@@ -1,0 +1,271 @@
+(* StencilFlow command-line interface: analysis, simulation, partitioning
+   and code generation for JSON stencil-program descriptions. *)
+open Stencilflow
+open Cmdliner
+
+let program_arg =
+  let doc = "JSON stencil program description (see README for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.json" ~doc)
+
+let vector_width_arg =
+  let doc = "Override the program's vectorization width W (Sec. IV-C)." in
+  Arg.(value & opt (some int) None & info [ "w"; "vector-width" ] ~docv:"W" ~doc)
+
+let fuse_arg =
+  let doc = "Apply aggressive stencil fusion before mapping (Sec. V-B)." in
+  Arg.(value & flag & info [ "fuse" ] ~doc)
+
+let load path width =
+  match
+    let p = load_file path in
+    match width with None -> p | Some w -> Vectorize.apply p w
+  with
+  | p -> p
+  | exception Program_json.Format_error m | exception Invalid_argument m ->
+      Format.eprintf "stencilflow: invalid program %s: %s@." path m;
+      exit 1
+  | exception Json.Parse_error m ->
+      Format.eprintf "stencilflow: malformed JSON in %s: %s@." path m;
+      exit 1
+
+let with_fusion fuse p = if fuse then fst (Fusion.fuse_all p) else p
+
+let analyze_cmd =
+  let run path width fuse =
+    let p = with_fusion fuse (load path width) in
+    let analysis = Delay_buffer.analyze p in
+    Format.printf "%a@." Delay_buffer.pp analysis;
+    let counts = Op_count.of_program p in
+    Format.printf "%a@." Op_count.pp counts;
+    Format.printf "arithmetic intensity: %.3f Op/operand, %.3f Op/B@."
+      (Op_count.ai_ops_per_operand p) (Op_count.ai_ops_per_byte p);
+    Format.printf "expected cycles (Eq. 1): %d@." (Runtime_model.expected_cycles p);
+    let usage = Resource.of_program p in
+    Format.printf "estimated resources: %a@." Resource.pp usage;
+    let a, f, m, d = Resource.utilization Device.stratix10 usage in
+    Format.printf "utilization on %s: ALM %.1f%%, FF %.1f%%, M20K %.1f%%, DSP %.1f%%@."
+      Device.stratix10.Device.name (100. *. a) (100. *. f) (100. *. m) (100. *. d)
+  in
+  let doc = "Run the buffering, latency, and resource analyses on a program." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ program_arg $ vector_width_arg $ fuse_arg)
+
+let simulate_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed for generated input data.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE.csv"
+             ~doc:"Sample channel occupancies every 16 cycles into a CSV file.")
+  in
+  let run path width fuse seed trace =
+    let p = with_fusion fuse (load path width) in
+    let inputs = Interp.random_inputs ~seed p in
+    let sim_config =
+      match trace with
+      | None -> Engine.default_config
+      | Some _ -> { Engine.default_config with Engine.trace_interval = Some 16 }
+    in
+    let report = run ~sim_config ~inputs p in
+    Format.printf "%a@." pp_report report;
+    (match (trace, report.simulation) with
+    | Some file, Some (Ok stats) when stats.Engine.trace <> [] ->
+        Out_channel.with_open_text file (fun oc ->
+            let channels = List.map fst (snd (List.hd stats.Engine.trace)) in
+            output_string oc ("cycle," ^ String.concat "," channels ^ "\n");
+            List.iter
+              (fun (cycle, occupancies) ->
+                output_string oc
+                  (string_of_int cycle ^ ","
+                  ^ String.concat "," (List.map (fun (_, o) -> string_of_int o) occupancies)
+                  ^ "\n"))
+              stats.Engine.trace);
+        Format.printf "wrote %s@." file
+    | _, _ -> ());
+    match report.simulation with
+    | Some (Error _) -> exit 1
+    | Some (Ok _) | None -> ()
+  in
+  let doc =
+    "Execute the program on the cycle-level spatial simulator and validate against the \
+     sequential reference interpreter."
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ program_arg $ vector_width_arg $ fuse_arg $ seed_arg $ trace_arg)
+
+let codegen_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Write kernel files into this directory instead of stdout.")
+  in
+  let run path width fuse out =
+    let p = with_fusion fuse (load path width) in
+    let partition =
+      match Partition.greedy ~device:Device.stratix10 p with
+      | Ok pt -> pt
+      | Error _ -> Partition.single_device p
+    in
+    let artifacts = Opencl.generate ~partition p in
+    let host = Opencl.host_source ~partition p in
+    match out with
+    | None ->
+        List.iter
+          (fun (a : Opencl.artifact) ->
+            Format.printf "// ===== %s =====@.%s@." a.Opencl.filename a.Opencl.source)
+          artifacts;
+        Format.printf "// ===== host.c =====@.%s@." host
+    | Some dir ->
+        List.iter
+          (fun (a : Opencl.artifact) ->
+            let file = Filename.concat dir a.Opencl.filename in
+            Out_channel.with_open_text file (fun oc -> output_string oc a.Opencl.source);
+            Format.printf "wrote %s@." file)
+          artifacts;
+        let host_file = Filename.concat dir "host.c" in
+        Out_channel.with_open_text host_file (fun oc -> output_string oc host);
+        Format.printf "wrote %s@." host_file
+  in
+  let doc = "Emit Intel-FPGA-style annotated OpenCL kernels and host code." in
+  Cmd.v (Cmd.info "codegen" ~doc)
+    Term.(const run $ program_arg $ vector_width_arg $ fuse_arg $ out_arg)
+
+let partition_cmd =
+  let devices_arg =
+    Arg.(value & opt int 8 & info [ "max-devices" ] ~doc:"Maximum devices in the chain.")
+  in
+  let run path width fuse max_devices =
+    let p = with_fusion fuse (load path width) in
+    match Partition.greedy ~max_devices ~device:Device.stratix10 p with
+    | Error m ->
+        Format.eprintf "partitioning failed: %s@." m;
+        exit 1
+    | Ok pt ->
+        Format.printf "%a@." Partition.pp pt;
+        List.iteri
+          (fun d usage ->
+            let a, _, m, s = Resource.utilization Device.stratix10 usage in
+            Format.printf "device %d: %a (ALM %.1f%%, M20K %.1f%%, DSP %.1f%%)@." d Resource.pp
+              usage (100. *. a) (100. *. m) (100. *. s))
+          pt.Partition.per_device_usage;
+        Format.printf "network feasible at W=%d: %b@." p.Program.vector_width
+          (Partition.network_feasible p pt ~device:Device.stratix10)
+  in
+  let doc = "Partition a program across a chain of devices (Sec. III-B)." in
+  Cmd.v (Cmd.info "partition" ~doc)
+    Term.(const run $ program_arg $ vector_width_arg $ fuse_arg $ devices_arg)
+
+let dot_cmd =
+  let run path width fuse =
+    let p = with_fusion fuse (load path width) in
+    print_string (Dot.of_program p)
+  in
+  let doc = "Print the stencil DAG in Graphviz format with delay-buffer labels." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ program_arg $ vector_width_arg $ fuse_arg)
+
+let fuse_cmd =
+  let run path width =
+    let p = load path width in
+    let fused, report = Fusion.fuse_all p in
+    Format.printf "fused %d stencils into %d:@." report.Fusion.stencils_before
+      report.Fusion.stencils_after;
+    List.iter
+      (fun (u, v) -> Format.printf "  %s into %s@." u v)
+      report.Fusion.fused_pairs;
+    print_string (Program_json.to_string fused)
+  in
+  let doc = "Apply aggressive stencil fusion and print the resulting program." in
+  Cmd.v (Cmd.info "fuse" ~doc) Term.(const run $ program_arg $ vector_width_arg)
+
+let tile_cmd =
+  let tile_arg =
+    Arg.(required & opt (some string) None
+         & info [ "tile" ] ~docv:"T1,T2,..."
+             ~doc:"Tile extents per axis, comma separated (Sec. IX-D).")
+  in
+  let run path width tile =
+    let p = load path width in
+    let tile_shape =
+      try List.map int_of_string (String.split_on_char ',' tile)
+      with Failure _ ->
+        Format.eprintf "stencilflow: malformed tile %s@." tile;
+        exit 1
+    in
+    let plan = Tiling.plan p ~tile_shape in
+    Format.printf "%a@." Tiling.pp plan;
+    Format.printf "per-tile on-chip buffering: %d elements (untiled: %d)@."
+      (Tiling.buffer_elements_per_tile plan)
+      (Delay_buffer.total_fast_memory_elements (Delay_buffer.analyze p));
+    if Program.cells p <= 65536 then begin
+      let inputs = Interp.random_inputs p in
+      let untiled = Interp.run p ~inputs in
+      let tiled = Tiling.run_tiled plan ~inputs in
+      let exact =
+        List.for_all
+          (fun (name, (r : Interp.result)) ->
+            Tensor.max_abs_diff r.Interp.tensor (List.assoc name tiled) < 1e-9)
+          untiled
+      in
+      Format.printf "tiled execution equals untiled: %b@." exact
+    end
+  in
+  let doc = "Plan spatial tiling: halo, redundancy, per-tile buffers; verify on small domains." in
+  Cmd.v (Cmd.info "tile" ~doc) Term.(const run $ program_arg $ vector_width_arg $ tile_arg)
+
+let autotune_cmd =
+  let devices_arg =
+    Arg.(value & opt int 1 & info [ "devices" ] ~doc:"Devices in the chain (network bound).")
+  in
+  let run path devices =
+    let p = load path None in
+    match Autotune.choose ~devices ~device:Device.stratix10 ~max_width:16 p with
+    | exception Invalid_argument m ->
+        Format.eprintf "stencilflow: %s@." m;
+        exit 1
+    | best, sweep ->
+        Format.printf "%6s %14s %10s %6s %8s@." "W" "model GOp/s" "bw-bound" "fits" "network";
+        List.iter
+          (fun e ->
+            Format.printf "%6d %14.1f %10b %6b %8b%s@." e.Autotune.vector_width
+              (e.Autotune.modeled_ops_per_s /. 1e9)
+              e.Autotune.bandwidth_bound e.Autotune.fits e.Autotune.network_ok
+              (if e.Autotune.vector_width = best.Autotune.vector_width then "   <- chosen"
+               else ""))
+          sweep
+  in
+  let doc = "Sweep vectorization widths under the device, memory and network models." in
+  Cmd.v (Cmd.info "autotune" ~doc) Term.(const run $ program_arg $ devices_arg)
+
+let optimize_cmd =
+  let run path width =
+    let p = load path width in
+    let optimized, entries = Pipeline.run Pipeline.default_pipeline p in
+    List.iter (fun e -> Format.printf "%a@." Pipeline.pp_entry e) entries;
+    print_string (Program_json.to_string optimized)
+  in
+  let doc =
+    "Run the verified optimization pipeline (fusion, folding, CSE) and print the optimized \
+     program."
+  in
+  Cmd.v (Cmd.info "optimize" ~doc) Term.(const run $ program_arg $ vector_width_arg)
+
+let report_cmd =
+  let run path width fuse =
+    let p = with_fusion fuse (load path width) in
+    print_string (Report.markdown p)
+  in
+  let doc = "Print a Markdown report: DAG, buffers, runtime model, roofline, resources." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ program_arg $ vector_width_arg $ fuse_arg)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "stencilflow" ~version:"1.0.0"
+      ~doc:"Mapping large stencil programs to distributed spatial computing systems"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ analyze_cmd; simulate_cmd; codegen_cmd; partition_cmd; dot_cmd; fuse_cmd; optimize_cmd;
+            report_cmd; tile_cmd; autotune_cmd ]))

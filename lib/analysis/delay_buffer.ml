@@ -1,0 +1,135 @@
+open Sf_ir
+
+type node_info = { init_cycles : int; compute_cycles : int }
+
+type t = {
+  program : Program.t;
+  nodes : (string * node_info) list;
+  edges : ((string * string) * int) list;
+  latency_cycles : int;
+  timing : (string * (int * int)) list;
+      (* per stencil: (t0 = first pipeline step's cycle,
+                       avail = first output word's cycle) *)
+}
+
+(* For every node v, in topological order, we track [avail v]: the cycle at
+   which v's first output word emerges, assuming continuous streaming.
+   For an edge e = (u, v) carrying field u into stencil v:
+
+   - [need e] is the pipeline step at which v first consumes a word of u:
+     v's initialization phase is init_max(v), but the field's own buffer
+     only starts filling after init_max(v) - init_extra(u) steps
+     (Sec. IV-A: the largest buffers start reading immediately);
+   - v's step 0 can happen no earlier than
+     [t0 v = max(0, max_e (avail u - need e))];
+   - the delay buffer must hold everything u produces before v starts
+     draining the edge: [buffer e = t0 v + need e - avail u]. The edge
+     with the largest slack gets zero, as the paper observes;
+   - [avail v = t0 v + init_max v + compute v].
+
+   This realizes the paper's rule of accumulating latencies along all
+   paths "including the contribution of the initialization phase of the
+   node itself" (Sec. IV-B): each in-edge carries the consuming node's
+   per-field start offset, which both synchronizes joins (Fig. 4) and
+   compensates differing internal-buffer spans within one stencil. *)
+let analyze ?(config = Latency.default) (p : Program.t) =
+  let g = Program.graph p in
+  let w = max 1 p.Program.vector_width in
+  let full_rank = Program.rank p in
+  let info_table : (string, node_info) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace info_table f.Field.name { init_cycles = 0; compute_cycles = 0 })
+    p.Program.inputs;
+  List.iter
+    (fun s ->
+      let init_cycles = Internal_buffer.stencil_init_cycles p s in
+      let compute_cycles = Latency.critical_path config s.Stencil.body in
+      Hashtbl.replace info_table s.Stencil.name { init_cycles; compute_cycles })
+    p.Program.stencils;
+  let order =
+    match Program.G.topological_sort g with
+    | Ok o -> o
+    | Error cyc -> invalid_arg ("Delay_buffer.analyze: cycle through " ^ String.concat "," cyc)
+  in
+  let avail : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let timing = ref [] in
+  let edges = ref [] in
+  List.iter
+    (fun v ->
+      match Program.G.find_vertex_exn g v with
+      | Program.Input _ -> Hashtbl.replace avail v 0
+      | Program.Op s ->
+          let info = Hashtbl.find info_table v in
+          let buffers = Internal_buffer.of_stencil p s in
+          let init_extra field =
+            match
+              List.find_opt (fun (b : Internal_buffer.t) -> String.equal b.field field) buffers
+            with
+            | Some b -> Sf_support.Util.ceil_div b.init_elements w
+            | None -> 0
+          in
+          (* Only full-rank producers stream through channels; lower-
+             dimensional inputs are prefetched and impose no edge. *)
+          let streaming_preds =
+            List.filter
+              (fun (u, ()) -> List.length (Program.field_axes p u) = full_rank)
+              (Program.G.preds g v)
+          in
+          let annotated =
+            List.map
+              (fun (u, ()) ->
+                let need = info.init_cycles - init_extra u in
+                (u, need, Hashtbl.find avail u))
+              streaming_preds
+          in
+          let t0 =
+            List.fold_left (fun acc (_, need, av) -> max acc (av - need)) 0 annotated
+          in
+          List.iter
+            (fun (u, need, av) -> edges := ((u, v), t0 + need - av) :: !edges)
+            annotated;
+          let out = t0 + info.init_cycles + info.compute_cycles in
+          timing := (v, (t0, out)) :: !timing;
+          Hashtbl.replace avail v out)
+    order;
+  let latency_cycles =
+    List.fold_left (fun acc s -> max acc (Hashtbl.find avail s.Stencil.name)) 0 p.Program.stencils
+  in
+  let nodes = List.map (fun (v, _) -> (v, Hashtbl.find info_table v)) (Program.G.vertices g) in
+  { program = p; nodes; edges = List.rev !edges; latency_cycles; timing = List.rev !timing }
+
+let node_info t name =
+  match List.assoc_opt name t.nodes with Some i -> i | None -> raise Not_found
+
+let start_cycle t name =
+  match List.assoc_opt name t.timing with Some (t0, _) -> t0 | None -> raise Not_found
+
+let output_cycle t name =
+  match List.assoc_opt name t.timing with Some (_, out) -> out | None -> raise Not_found
+
+let buffer_for t ~src ~dst =
+  match List.assoc_opt (src, dst) t.edges with Some b -> b | None -> raise Not_found
+
+let total_delay_buffer_words t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.edges
+
+let total_fast_memory_elements t =
+  let w = t.program.Program.vector_width in
+  let internal =
+    List.fold_left
+      (fun acc s -> acc + Internal_buffer.total_buffer_elements t.program s)
+      0 t.program.Program.stencils
+  in
+  internal + (total_delay_buffer_words t * w)
+
+let pp fmt t =
+  Format.fprintf fmt "delay analysis of %s: L = %d cycles@." t.program.Program.name
+    t.latency_cycles;
+  List.iter
+    (fun (v, i) ->
+      if i.init_cycles + i.compute_cycles > 0 then
+        Format.fprintf fmt "  node %s: init %d + compute %d cycles@." v i.init_cycles
+          i.compute_cycles)
+    t.nodes;
+  List.iter
+    (fun ((u, v), b) -> if b > 0 then Format.fprintf fmt "  edge %s -> %s: buffer %d words@." u v b)
+    t.edges

@@ -1,0 +1,20 @@
+(** Influence radius: how far outputs depend on inputs.
+
+    For every stencil, accumulated along all dependency paths, the
+    farthest (per axis) any output cell's value can depend on an input
+    cell. This bounds the halo spatial tiling needs (paper, Sec. IX-D:
+    redundancy "proportional to the DAG depth") and the boundary region
+    where transformed programs — whose out-of-bounds predication fires at
+    different offsets — may legally differ from the original.
+
+    Note that the radius of a {e fused} program's syntactic offsets can
+    be smaller than the original program's influence: substituting a
+    producer that reads only scalar or lower-dimensional fields absorbs
+    the consumer's offsets entirely. Comparisons between program versions
+    must therefore use the maximum of both influences. *)
+
+val radius : Sf_ir.Program.t -> int list
+(** Per-axis influence over the whole program (max over outputs). *)
+
+val max_radius : Sf_ir.Program.t -> int
+(** Largest per-axis entry (0 for programs reading only scalars). *)

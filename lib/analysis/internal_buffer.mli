@@ -1,0 +1,55 @@
+(** Internal buffers for intra-stencil reuse (paper, Sec. IV-A).
+
+    When a stencil accesses the same input field at multiple offsets, a
+    single on-chip buffer (a shift register in hardware, Fig. 6) holds the
+    sliding window between the lowest and highest accessed address. The
+    buffer size is the largest distance between any two offsets in memory
+    order, plus the vector width W: e.g. in a 3D space {K,J,I}, accesses
+    [0,1,0] and [0,-1,0] buffer two rows (2I + W elements), while [0,0,0]
+    and [1,0,0] buffer a 2D slice (2IJ + W, Fig. 7).
+
+    The stencil's initialization phase is the maximum buffer size over its
+    fields; smaller buffers start filling after [max - B_f] elements so
+    that all fill simultaneously. Lower-dimensional (non-full-rank) fields
+    are prefetched and contribute no initialization delay (DESIGN.md). *)
+
+type t = {
+  field : string;
+  offsets : int list list;  (** Distinct access offsets, in program order. *)
+  min_flat : int;  (** Lowest flattened offset in memory order. *)
+  max_flat : int;  (** Highest flattened offset in memory order. *)
+  size_elements : int;
+      (** Shift-register size: [max_flat - min_flat + W]; 0 when the field
+          is accessed at a single offset at or before the center. *)
+  init_elements : int;
+      (** Extra input elements (beyond the one-per-output streaming rate)
+          that must arrive before the first output can be produced:
+          [max (size_elements - 1) (max 0 max_flat)] for buffered fields
+          (the paper's initialization phase max{B_i}, modulo the element
+          consumed in the producing cycle), and [max 0 max_flat] for
+          single-access fields. The cycle-level simulator realizes exactly
+          this schedule, so analysis and measurement agree. *)
+}
+
+val flatten_offset : shape:int list -> int list -> int
+(** Row-major flattening of a full-rank offset vector. *)
+
+val of_stencil : Sf_ir.Program.t -> Sf_ir.Stencil.t -> t list
+(** One entry per full-rank field the stencil reads (buffered or not). *)
+
+val stencil_init_delay : Sf_ir.Program.t -> Sf_ir.Stencil.t -> int
+(** The initialization phase in {e elements}: max over fields of
+    [init_elements] (paper: max of the internal buffer sizes). *)
+
+val stencil_init_cycles : Sf_ir.Program.t -> Sf_ir.Stencil.t -> int
+(** {!stencil_init_delay} divided by the vector width (rounded up):
+    vectorization shortens initialization phases (Sec. IV-C). *)
+
+val fill_start : t list -> t -> int
+(** [fill_start all b]: the element index at which buffer [b] starts
+    filling, [max_i init - b.init]; the largest buffer(s) start at 0. *)
+
+val total_buffer_elements : Sf_ir.Program.t -> Sf_ir.Stencil.t -> int
+(** Sum of buffer sizes — on-chip memory pressure of one stencil unit. *)
+
+val pp : Format.formatter -> t -> unit

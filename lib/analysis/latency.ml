@@ -1,0 +1,53 @@
+open Sf_ir
+
+type config = {
+  add : int;
+  mul : int;
+  div : int;
+  sqrt : int;
+  compare : int;
+  logic : int;
+  select : int;
+  call : int;
+  min_max : int;
+}
+
+let default =
+  { add = 8; mul = 8; div = 32; sqrt = 32; compare = 2; logic = 1; select = 1; call = 32; min_max = 2 }
+
+let cheap =
+  { add = 1; mul = 1; div = 1; sqrt = 1; compare = 1; logic = 1; select = 1; call = 1; min_max = 1 }
+
+let binop_latency cfg = function
+  | Expr.Add | Expr.Sub -> cfg.add
+  | Expr.Mul -> cfg.mul
+  | Expr.Div -> cfg.div
+  | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge | Expr.Eq | Expr.Ne -> cfg.compare
+  | Expr.And | Expr.Or -> cfg.logic
+
+let func_latency cfg = function
+  | Expr.Sqrt -> cfg.sqrt
+  | Expr.Min | Expr.Max -> cfg.min_max
+  | Expr.Abs -> cfg.logic
+  | Expr.Exp | Expr.Log | Expr.Pow | Expr.Sin | Expr.Cos | Expr.Floor | Expr.Ceil -> cfg.call
+
+let critical_path cfg (body : Expr.body) =
+  let depth_of_var = Hashtbl.create 8 in
+  let rec depth expr =
+    match expr with
+    | Expr.Const _ | Expr.Access _ -> 0
+    | Expr.Var v -> ( match Hashtbl.find_opt depth_of_var v with Some d -> d | None -> 0)
+    | Expr.Unary (Expr.Neg, x) -> cfg.add + depth x
+    | Expr.Unary (Expr.Not, x) -> cfg.logic + depth x
+    | Expr.Binary (op, x, y) -> binop_latency cfg op + max (depth x) (depth y)
+    | Expr.Select { cond; if_true; if_false } ->
+        cfg.select + max (depth cond) (max (depth if_true) (depth if_false))
+    | Expr.Call (f, args) ->
+        func_latency cfg f + List.fold_left (fun acc a -> max acc (depth a)) 0 args
+  in
+  List.iter (fun (name, e) -> Hashtbl.replace depth_of_var name (depth e)) body.Expr.lets;
+  depth body.Expr.result
+
+let pp_config fmt cfg =
+  Format.fprintf fmt "add=%d mul=%d div=%d sqrt=%d cmp=%d sel=%d call=%d" cfg.add cfg.mul cfg.div
+    cfg.sqrt cfg.compare cfg.select cfg.call

@@ -1,0 +1,44 @@
+(** Operation and data-volume accounting (paper, Sec. IX-A).
+
+    With perfect reuse of all input and computed fields — the execution
+    model StencilFlow builds — every off-chip input is read exactly once
+    and every declared output written exactly once. For horizontal
+    diffusion this yields the paper's 5·IJK + 5·I reads and 4·IJK writes,
+    and an arithmetic intensity of 130/9 ops per operand (Eq. 2). *)
+
+type t = {
+  profile : Sf_ir.Expr.op_profile;  (** Aggregate over all stencils, per cell. *)
+  flops_per_cell : int;
+      (** Floating-point ops per iteration-space cell, counting adds,
+          muls, divs and sqrt (each as one op), as the paper counts. *)
+  read_elements : int;  (** Total operands read from off-chip memory. *)
+  written_elements : int;  (** Total operands written to off-chip memory. *)
+  read_bytes : int;
+  written_bytes : int;
+}
+
+val of_program : Sf_ir.Program.t -> t
+
+val total_flops : Sf_ir.Program.t -> float
+(** [flops_per_cell * cells]. *)
+
+val total_operands : t -> int
+val total_bytes : t -> int
+
+val ai_ops_per_operand : Sf_ir.Program.t -> float
+(** Upper-bound arithmetic intensity in ops/operand (Eq. 2, left side). *)
+
+val ai_ops_per_byte : Sf_ir.Program.t -> float
+(** Arithmetic intensity in ops/byte (Eq. 2): ops/operand divided by the
+    operand size. *)
+
+val streaming_operands_per_cycle : Sf_ir.Program.t -> int
+(** Off-chip operands required per cycle during steady-state streaming:
+    (full-rank inputs + outputs) x vector width. Lower-dimensional inputs
+    are prefetched and do not stream (Sec. IX-B: "approximately 9
+    operands/cycle" for horizontal diffusion at W=1). *)
+
+val streaming_bytes_per_second : frequency_hz:float -> Sf_ir.Program.t -> float
+(** Bandwidth needed to stream without stalling at a clock frequency. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+open Sf_ir
+
+let expected_cycles ?config (p : Program.t) =
+  let analysis = Delay_buffer.analyze ?config p in
+  let n = Sf_support.Util.ceil_div (Program.cells p) p.Program.vector_width in
+  analysis.Delay_buffer.latency_cycles + n
+
+let expected_seconds ?config ~frequency_hz p =
+  float_of_int (expected_cycles ?config p) /. frequency_hz
+
+let performance_ops_per_s ?config ~frequency_hz p =
+  Op_count.total_flops p /. expected_seconds ?config ~frequency_hz p
+
+let initialization_fraction ?config p =
+  let analysis = Delay_buffer.analyze ?config p in
+  float_of_int analysis.Delay_buffer.latency_cycles /. float_of_int (expected_cycles ?config p)

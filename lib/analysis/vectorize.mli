@@ -1,0 +1,14 @@
+(** Vectorization (paper, Sec. IV-C).
+
+    Vectorizing by W reduces inner-loop iterations by W, shortens
+    initialization phases and delay buffers (in cycles), and multiplies
+    the bandwidth requirement and parallelism by W. The transformation
+    itself only re-parameterizes the program; all W-dependence lives in
+    the analyses. *)
+
+val apply : Sf_ir.Program.t -> int -> Sf_ir.Program.t
+(** Set the vector width; raises [Invalid_argument] if W does not divide
+    the innermost extent or the program does not validate. *)
+
+val legal_widths : Sf_ir.Program.t -> max:int -> int list
+(** Powers of two up to [max] dividing the innermost extent. *)

@@ -1,0 +1,36 @@
+(** Code generation to Intel-FPGA-style annotated OpenCL (paper, Sec. VI).
+
+    One source file is emitted per device. Each stencil becomes an
+    [autorun] kernel containing the Fig. 12 structure: a fully unrolled
+    shift phase over the field's shift register, an update phase reading
+    the input channels, and a compute phase with boundary predication and
+    a guarded output write. Channels carry the delay-buffer depths from
+    the analysis; edges crossing devices are emitted as SMI push/pop
+    calls instead of channel operations (Sec. VI-B). Dedicated reader
+    (prefetcher) and writer kernels move data between DRAM and streams.
+
+    The output is not synthesized in this reproduction (no vendor
+    toolchain); its structure is verified by tests and it documents
+    exactly what the lowering decides: channel depths, tap offsets,
+    predication, initialization and drain scheduling. *)
+
+type artifact = {
+  device : int;
+  filename : string;
+  source : string;
+}
+
+val generate : ?partition:Sf_mapping.Partition.t -> Sf_ir.Program.t -> artifact list
+(** Kernel source per device (a single artifact when unpartitioned). *)
+
+val host_source : ?partition:Sf_mapping.Partition.t -> Sf_ir.Program.t -> string
+(** Host-side C-style pseudo code: buffer allocation, replication of
+    inputs to each device, kernel launch, and result copy-back. *)
+
+val float_literal : float -> string
+(** C float literal rendering shared by the backends. *)
+
+val expression_to_c :
+  access:(field:string -> offsets:int list -> string) -> Sf_ir.Expr.t -> string
+(** Render an expression as C, delegating access rendering to the caller
+    (exposed for tests). *)

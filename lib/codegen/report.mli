@@ -1,0 +1,10 @@
+(** Human-readable program reports.
+
+    Generates a Markdown document summarizing everything StencilFlow
+    derives about a program: the DAG, per-stencil buffering and latency,
+    the Eq. 1 runtime model, the operation profile and roofline position,
+    estimated resources and device utilization, the vectorization sweep,
+    and the device partition. Exposed through the CLI as
+    [stencilflow report]. *)
+
+val markdown : ?device:Sf_models.Device.t -> Sf_ir.Program.t -> string

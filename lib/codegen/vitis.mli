@@ -1,0 +1,19 @@
+(** Second code-generation backend: Xilinx-style HLS C++.
+
+    The paper notes that "supporting Xilinx FPGAs, emitting RTL code
+    directly, or targeting other spatial systems entirely will only
+    require adapting the stencil library node expansion" (Sec. VI). This
+    backend demonstrates that claim: the same analysis results lower to
+    Vitis-HLS C++ — one dataflow region whose processing elements
+    communicate through [hls::stream] channels carrying the analysed
+    depths, with [PIPELINE II=1] loops and partitioned shift registers.
+
+    Single-device only (Xilinx boards in the paper's comparison have no
+    SMI equivalent); use {!Opencl} for multi-device programs. *)
+
+val generate : Sf_ir.Program.t -> string
+(** The full kernel source (streams, one function per processing element,
+    and the [dataflow] top function). Raises [Invalid_argument] if the
+    program does not validate. *)
+
+val top_function_name : Sf_ir.Program.t -> string

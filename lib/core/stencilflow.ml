@@ -1,0 +1,118 @@
+module Json = Sf_support.Json
+module Dgraph = Sf_support.Dgraph
+module Util = Sf_support.Util
+module Dtype = Sf_ir.Dtype
+module Boundary = Sf_ir.Boundary
+module Expr = Sf_ir.Expr
+module Field = Sf_ir.Field
+module Stencil = Sf_ir.Stencil
+module Program = Sf_ir.Program
+module Builder = Sf_ir.Builder
+module Lexer = Sf_frontend.Lexer
+module Parser = Sf_frontend.Parser
+module Program_json = Sf_frontend.Program_json
+module Internal_buffer = Sf_analysis.Internal_buffer
+module Delay_buffer = Sf_analysis.Delay_buffer
+module Latency = Sf_analysis.Latency
+module Op_count = Sf_analysis.Op_count
+module Roofline = Sf_analysis.Roofline
+module Runtime_model = Sf_analysis.Runtime_model
+module Vectorize = Sf_analysis.Vectorize
+module Influence = Sf_analysis.Influence
+module Tensor = Sf_reference.Tensor
+module Interp = Sf_reference.Interp
+module Engine = Sf_sim.Engine
+module Timeloop = Sf_sim.Timeloop
+module Sdfg = Sf_sdfg.Sdfg
+module Fusion = Sf_sdfg.Fusion
+module Transform = Sf_sdfg.Transform
+module Opt = Sf_sdfg.Opt
+module Pipeline = Sf_sdfg.Pipeline
+module Partition = Sf_mapping.Partition
+module Tiling = Sf_mapping.Tiling
+module Autotune = Sf_mapping.Autotune
+module Smi = Sf_smi.Smi
+module Opencl = Sf_codegen.Opencl
+module Report = Sf_codegen.Report
+module Vitis = Sf_codegen.Vitis
+module Dot = Sf_codegen.Dot
+module Device = Sf_models.Device
+module Resource = Sf_models.Resource
+module Memory_model = Sf_models.Memory_model
+module Loadstore = Sf_models.Loadstore
+module Literature = Sf_models.Literature
+module Silicon = Sf_models.Silicon
+module Iterative = Sf_kernels.Iterative
+module Hdiff = Sf_kernels.Hdiff
+module Swe = Sf_kernels.Swe
+module Wave = Sf_kernels.Wave
+
+let load_file = Program_json.of_file
+let load_string = Program_json.of_string
+
+type report = {
+  program : Program.t;
+  fusion : Fusion.report option;
+  analysis : Delay_buffer.t;
+  partition : Partition.t;
+  simulation : (Engine.stats, string) result option;
+  performance_model : float;
+}
+
+let run ?(device = Device.stratix10) ?(fuse = true) ?(simulate = true) ?(validate = true)
+    ?(sim_config = Engine.default_config) ?inputs program =
+  Program.validate_exn program;
+  let program, fusion =
+    if fuse then
+      let p, report = Fusion.fuse_all program in
+      (p, Some report)
+    else (program, None)
+  in
+  let analysis = Delay_buffer.analyze ~config:sim_config.Engine.latency program in
+  let partition =
+    match Partition.greedy ~device program with
+    | Ok p -> p
+    | Error _ -> Partition.single_device program
+  in
+  let placement = Partition.placement_fn partition in
+  let simulation =
+    if not simulate then None
+    else if validate then
+      Some (Engine.run_and_validate ~config:sim_config ~placement ?inputs program)
+    else
+      Some
+        (match Engine.run ~config:sim_config ~placement ?inputs program with
+        | Engine.Completed stats -> Ok stats
+        | Engine.Deadlocked { cycle; _ } ->
+            Error (Printf.sprintf "deadlocked at cycle %d" cycle))
+  in
+  let performance_model =
+    Runtime_model.performance_ops_per_s ~config:sim_config.Engine.latency
+      ~frequency_hz:device.Device.frequency_hz program
+  in
+  { program; fusion; analysis; partition; simulation; performance_model }
+
+let codegen ?partition program = Opencl.generate ?partition program
+
+let pp_report fmt r =
+  Format.fprintf fmt "program %s: %d stencil(s) over %d device(s)@." r.program.Program.name
+    (List.length r.program.Program.stencils)
+    r.partition.Partition.num_devices;
+  (match r.fusion with
+  | Some f when f.Fusion.fused_pairs <> [] ->
+      Format.fprintf fmt "  fusion: %d -> %d stencils@." f.Fusion.stencils_before
+        f.Fusion.stencils_after
+  | Some _ | None -> ());
+  Format.fprintf fmt "  latency L = %d cycles, expected C = L + N = %d cycles@."
+    r.analysis.Delay_buffer.latency_cycles
+    (r.analysis.Delay_buffer.latency_cycles
+    + (Program.cells r.program / r.program.Program.vector_width));
+  Format.fprintf fmt "  modelled performance: %s@."
+    (Util.human_rate r.performance_model);
+  match r.simulation with
+  | None -> ()
+  | Some (Error m) -> Format.fprintf fmt "  simulation FAILED: %s@." m
+  | Some (Ok stats) ->
+      Format.fprintf fmt "  simulated %d cycles (model: %d), %d B read, %d B written@."
+        stats.Engine.cycles stats.Engine.predicted_cycles stats.Engine.bytes_read
+        stats.Engine.bytes_written

@@ -1,0 +1,103 @@
+(** StencilFlow: end-to-end analysis, optimization, mapping and code
+    generation for DAGs of stencil computations on spatial computing
+    systems — an OCaml reproduction of de Fine Licht et al., CGO 2021.
+
+    This umbrella module re-exports the public API of every layer and
+    provides the end-to-end driver of Sec. VII: parse a program
+    description, run the buffering analyses, apply domain-specific
+    optimization (stencil fusion), partition across devices, then either
+    execute it on the cycle-level spatial simulator (validated against a
+    sequential reference) or emit annotated OpenCL kernels.
+
+    {2 Quick start}
+
+    {[
+      let program = Stencilflow.load_file "program.json" in
+      let report = Stencilflow.run program in
+      Format.printf "%a@." Stencilflow.pp_report report
+    ]} *)
+
+(** {1 Re-exported layers} *)
+
+module Json = Sf_support.Json
+module Dgraph = Sf_support.Dgraph
+module Util = Sf_support.Util
+module Dtype = Sf_ir.Dtype
+module Boundary = Sf_ir.Boundary
+module Expr = Sf_ir.Expr
+module Field = Sf_ir.Field
+module Stencil = Sf_ir.Stencil
+module Program = Sf_ir.Program
+module Builder = Sf_ir.Builder
+module Lexer = Sf_frontend.Lexer
+module Parser = Sf_frontend.Parser
+module Program_json = Sf_frontend.Program_json
+module Internal_buffer = Sf_analysis.Internal_buffer
+module Delay_buffer = Sf_analysis.Delay_buffer
+module Latency = Sf_analysis.Latency
+module Op_count = Sf_analysis.Op_count
+module Roofline = Sf_analysis.Roofline
+module Runtime_model = Sf_analysis.Runtime_model
+module Vectorize = Sf_analysis.Vectorize
+module Influence = Sf_analysis.Influence
+module Tensor = Sf_reference.Tensor
+module Interp = Sf_reference.Interp
+module Engine = Sf_sim.Engine
+module Timeloop = Sf_sim.Timeloop
+module Sdfg = Sf_sdfg.Sdfg
+module Fusion = Sf_sdfg.Fusion
+module Transform = Sf_sdfg.Transform
+module Opt = Sf_sdfg.Opt
+module Pipeline = Sf_sdfg.Pipeline
+module Partition = Sf_mapping.Partition
+module Tiling = Sf_mapping.Tiling
+module Autotune = Sf_mapping.Autotune
+module Smi = Sf_smi.Smi
+module Opencl = Sf_codegen.Opencl
+module Report = Sf_codegen.Report
+module Vitis = Sf_codegen.Vitis
+module Dot = Sf_codegen.Dot
+module Device = Sf_models.Device
+module Resource = Sf_models.Resource
+module Memory_model = Sf_models.Memory_model
+module Loadstore = Sf_models.Loadstore
+module Literature = Sf_models.Literature
+module Silicon = Sf_models.Silicon
+module Iterative = Sf_kernels.Iterative
+module Hdiff = Sf_kernels.Hdiff
+module Swe = Sf_kernels.Swe
+module Wave = Sf_kernels.Wave
+
+(** {1 End-to-end driver (Sec. VII)} *)
+
+val load_file : string -> Program.t
+(** Parse and validate a JSON program description. *)
+
+val load_string : string -> Program.t
+
+type report = {
+  program : Program.t;  (** After optimization. *)
+  fusion : Fusion.report option;
+  analysis : Delay_buffer.t;
+  partition : Partition.t;
+  simulation : (Engine.stats, string) result option;
+  performance_model : float;  (** Modelled ops/s at the device clock. *)
+}
+
+val run :
+  ?device:Device.t ->
+  ?fuse:bool ->
+  ?simulate:bool ->
+  ?validate:bool ->
+  ?sim_config:Engine.config ->
+  ?inputs:(string * Tensor.t) list ->
+  Program.t ->
+  report
+(** The transparent pipeline of Sec. VII: dependency analysis, buffering
+    analysis, domain-specific optimization ([fuse], default true),
+    multi-device partitioning under the device resource model, optional
+    simulation ([simulate], default true) with validation against the
+    sequential reference ([validate], default true). *)
+
+val codegen : ?partition:Partition.t -> Program.t -> Opencl.artifact list
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,166 @@
+type token =
+  | Number of float
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Assign
+  | Question
+  | Colon
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | EqEq
+  | Ne
+  | AndAnd
+  | OrOr
+  | Bang
+  | Eof
+
+type spanned = { token : token; line : int; col : int }
+
+exception Lex_error of string
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let fail msg = raise (Lex_error (Printf.sprintf "line %d, column %d: %s" !line !col msg)) in
+  let emit token = tokens := { token; line = !line; col = !col } :: !tokens in
+  let advance () =
+    if !pos < n && src.[!pos] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr pos
+  in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_digit c || (c = '.' && match peek 1 with Some d -> is_digit d | None -> false)
+    then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      if !pos < n && src.[!pos] = '.' then begin
+        advance ();
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done
+      end;
+      if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+        advance ();
+        if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then advance ();
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done
+      end;
+      let text = String.sub src start (!pos - start) in
+      match float_of_string_opt text with
+      | Some f -> emit (Number f)
+      | None -> fail (Printf.sprintf "malformed number %s" text)
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      emit (Ident (String.sub src start (!pos - start)))
+    end
+    else begin
+      let two = match peek 1 with Some d -> Printf.sprintf "%c%c" c d | None -> "" in
+      match two with
+      | "<=" ->
+          emit Le;
+          advance ();
+          advance ()
+      | ">=" ->
+          emit Ge;
+          advance ();
+          advance ()
+      | "==" ->
+          emit EqEq;
+          advance ();
+          advance ()
+      | "!=" ->
+          emit Ne;
+          advance ();
+          advance ()
+      | "&&" ->
+          emit AndAnd;
+          advance ();
+          advance ()
+      | "||" ->
+          emit OrOr;
+          advance ();
+          advance ()
+      | _ -> (
+          (match c with
+          | '(' -> emit Lparen
+          | ')' -> emit Rparen
+          | '[' -> emit Lbracket
+          | ']' -> emit Rbracket
+          | ',' -> emit Comma
+          | ';' -> emit Semicolon
+          | '=' -> emit Assign
+          | '?' -> emit Question
+          | ':' -> emit Colon
+          | '+' -> emit Plus
+          | '-' -> emit Minus
+          | '*' -> emit Star
+          | '/' -> emit Slash
+          | '<' -> emit Lt
+          | '>' -> emit Gt
+          | '!' -> emit Bang
+          | c -> fail (Printf.sprintf "unexpected character %c" c));
+          advance ())
+    end
+  done;
+  tokens := { token = Eof; line = !line; col = !col } :: !tokens;
+  List.rev !tokens
+
+let token_to_string = function
+  | Number f -> Printf.sprintf "number %g" f
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Assign -> "="
+  | Question -> "?"
+  | Colon -> ":"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | EqEq -> "=="
+  | Ne -> "!="
+  | AndAnd -> "&&"
+  | OrOr -> "||"
+  | Bang -> "!"
+  | Eof -> "end of input"

@@ -1,0 +1,41 @@
+(** Hand-written lexer for the stencil computation DSL (paper, Sec. II).
+
+    The token stream feeds the Pratt parser in {!Parser}. Positions are
+    byte offsets into the source, reported in errors as line/column. *)
+
+type token =
+  | Number of float
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Assign  (** [=] *)
+  | Question
+  | Colon
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | EqEq
+  | Ne
+  | AndAnd
+  | OrOr
+  | Bang
+  | Eof
+
+type spanned = { token : token; line : int; col : int }
+
+exception Lex_error of string
+
+val tokenize : string -> spanned list
+(** Lex a full source string; the result always ends with [Eof]. Comments
+    ([// ...] to end of line) and whitespace are skipped. *)
+
+val token_to_string : token -> string

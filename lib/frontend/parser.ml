@@ -1,0 +1,236 @@
+open Sf_ir
+
+exception Syntax_error of string
+
+type state = { mutable tokens : Lexer.spanned list }
+
+let peek st = match st.tokens with [] -> assert false | t :: _ -> t
+
+let fail_at (spanned : Lexer.spanned) msg =
+  raise (Syntax_error (Printf.sprintf "line %d, column %d: %s" spanned.line spanned.col msg))
+
+let advance st = match st.tokens with [] -> assert false | _ :: rest -> st.tokens <- rest
+
+let expect st token =
+  let t = peek st in
+  if t.token = token then advance st
+  else
+    fail_at t
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string token)
+         (Lexer.token_to_string t.token))
+
+let parse_int_offset st =
+  let t = peek st in
+  let negated =
+    match t.token with
+    | Lexer.Minus ->
+        advance st;
+        true
+    | Lexer.Plus ->
+        advance st;
+        false
+    | _ -> false
+  in
+  let t = peek st in
+  match t.token with
+  | Lexer.Number f when Float.is_integer f ->
+      advance st;
+      let v = int_of_float f in
+      if negated then -v else v
+  | tok -> fail_at t (Printf.sprintf "expected integer offset, found %s" (Lexer.token_to_string tok))
+
+(* Binding powers; ternary sits below all binary operators. *)
+let binop_of_token = function
+  | Lexer.OrOr -> Some (Expr.Or, 1)
+  | Lexer.AndAnd -> Some (Expr.And, 2)
+  | Lexer.EqEq -> Some (Expr.Eq, 3)
+  | Lexer.Ne -> Some (Expr.Ne, 3)
+  | Lexer.Lt -> Some (Expr.Lt, 4)
+  | Lexer.Le -> Some (Expr.Le, 4)
+  | Lexer.Gt -> Some (Expr.Gt, 4)
+  | Lexer.Ge -> Some (Expr.Ge, 4)
+  | Lexer.Plus -> Some (Expr.Add, 5)
+  | Lexer.Minus -> Some (Expr.Sub, 5)
+  | Lexer.Star -> Some (Expr.Mul, 6)
+  | Lexer.Slash -> Some (Expr.Div, 6)
+  | _ -> None
+
+let rec parse_ternary st =
+  let cond = parse_binary st 1 in
+  let t = peek st in
+  match t.token with
+  | Lexer.Question ->
+      advance st;
+      let if_true = parse_ternary st in
+      expect st Lexer.Colon;
+      let if_false = parse_ternary st in
+      Expr.Select { cond; if_true; if_false }
+  | _ -> cond
+
+and parse_binary st min_bp =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    let t = peek st in
+    match binop_of_token t.token with
+    | Some (op, bp) when bp >= min_bp ->
+        advance st;
+        let rhs = parse_binary st (bp + 1) in
+        loop (Expr.Binary (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.token with
+  | Lexer.Minus ->
+      advance st;
+      Expr.Unary (Expr.Neg, parse_unary st)
+  | Lexer.Bang ->
+      advance st;
+      Expr.Unary (Expr.Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.token with
+  | Lexer.Number f ->
+      advance st;
+      Expr.Const f
+  | Lexer.Lparen ->
+      advance st;
+      let e = parse_ternary st in
+      expect st Lexer.Rparen;
+      e
+  | Lexer.Ident name -> (
+      advance st;
+      let next = peek st in
+      match next.token with
+      | Lexer.Lbracket ->
+          advance st;
+          let rec offsets acc =
+            let o = parse_int_offset st in
+            let t = peek st in
+            match t.token with
+            | Lexer.Comma ->
+                advance st;
+                offsets (o :: acc)
+            | Lexer.Rbracket ->
+                advance st;
+                List.rev (o :: acc)
+            | tok ->
+                fail_at t
+                  (Printf.sprintf "expected , or ] in access, found %s"
+                     (Lexer.token_to_string tok))
+          in
+          Expr.Access { field = name; offsets = offsets [] }
+      | Lexer.Lparen -> (
+          match Expr.func_of_name name with
+          | None -> fail_at next (Printf.sprintf "unknown function %s" name)
+          | Some f ->
+              advance st;
+              let rec args acc =
+                let a = parse_ternary st in
+                let t = peek st in
+                match t.token with
+                | Lexer.Comma ->
+                    advance st;
+                    args (a :: acc)
+                | Lexer.Rparen ->
+                    advance st;
+                    List.rev (a :: acc)
+                | tok ->
+                    fail_at t
+                      (Printf.sprintf "expected , or ) in call, found %s"
+                         (Lexer.token_to_string tok))
+              in
+              let args = args [] in
+              if List.length args <> Expr.func_arity f then
+                fail_at next
+                  (Printf.sprintf "%s expects %d argument(s), got %d" (Expr.func_name f)
+                     (Expr.func_arity f) (List.length args));
+              Expr.Call (f, args))
+      | _ -> Expr.Var name)
+  | tok -> fail_at t (Printf.sprintf "unexpected %s" (Lexer.token_to_string tok))
+
+let with_state src f =
+  let st = { tokens = Lexer.tokenize src } in
+  let result = f st in
+  (match (peek st).token with
+  | Lexer.Eof -> ()
+  | tok -> fail_at (peek st) (Printf.sprintf "trailing %s" (Lexer.token_to_string tok)));
+  result
+
+let parse_expr src = with_state src parse_ternary
+
+let parse_assignments_state st =
+  let rec stmts acc =
+    let t = peek st in
+    match t.token with
+    | Lexer.Eof -> List.rev acc
+    | Lexer.Ident name -> (
+        advance st;
+        expect st Lexer.Assign;
+        let e = parse_ternary st in
+        let t = peek st in
+        match t.token with
+        | Lexer.Semicolon ->
+            advance st;
+            stmts ((name, e) :: acc)
+        | Lexer.Eof -> List.rev ((name, e) :: acc)
+        | tok -> fail_at t (Printf.sprintf "expected ; after statement, found %s" (Lexer.token_to_string tok)))
+    | tok -> fail_at t (Printf.sprintf "expected statement, found %s" (Lexer.token_to_string tok))
+  in
+  stmts []
+
+let parse_assignments src = with_state src parse_assignments_state
+
+let parse_body ~output src =
+  (* Heuristic: code containing an assignment at the start is a statement
+     list; otherwise it is a bare result expression. *)
+  let tokens = Lexer.tokenize src in
+  let is_statement_form =
+    match tokens with
+    | { token = Lexer.Ident _; _ } :: { token = Lexer.Assign; _ } :: _ -> true
+    | _ -> false
+  in
+  if not is_statement_form then { Expr.lets = []; result = parse_expr src }
+  else begin
+    let stmts = parse_assignments src in
+    match List.rev stmts with
+    | [] -> raise (Syntax_error "empty stencil body")
+    | (last_name, result) :: rev_lets when String.equal last_name output ->
+        { Expr.lets = List.rev rev_lets; result }
+    | (last_name, _) :: _ ->
+        raise
+          (Syntax_error
+             (Printf.sprintf "final statement must assign the stencil output %s, found %s"
+                output last_name))
+  end
+
+let resolve_idents ~scalar expr =
+  let rec go expr =
+    match expr with
+    | Expr.Var v when scalar v -> Expr.Access { field = v; offsets = [] }
+    | Expr.Const _ | Expr.Access _ | Expr.Var _ -> expr
+    | Expr.Unary (op, x) -> Expr.Unary (op, go x)
+    | Expr.Binary (op, x, y) -> Expr.Binary (op, go x, go y)
+    | Expr.Select { cond; if_true; if_false } ->
+        Expr.Select { cond = go cond; if_true = go if_true; if_false = go if_false }
+    | Expr.Call (f, args) -> Expr.Call (f, List.map go args)
+  in
+  go expr
+
+let resolve_body ~scalar (body : Expr.body) =
+  let bound = Hashtbl.create 8 in
+  let lets =
+    List.map
+      (fun (name, e) ->
+        let scalar v = scalar v && not (Hashtbl.mem bound v) in
+        let e = resolve_idents ~scalar e in
+        Hashtbl.replace bound name ();
+        (name, e))
+      body.Expr.lets
+  in
+  let scalar v = scalar v && not (Hashtbl.mem bound v) in
+  { Expr.lets; result = resolve_idents ~scalar body.Expr.result }

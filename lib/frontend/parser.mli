@@ -1,0 +1,37 @@
+(** Pratt parser for stencil computation code (paper, Sec. II, Lst. 1).
+
+    Grammar (C-like expression syntax):
+    {v
+      stmt      ::= ident '=' expr ';'
+      code      ::= stmt* expr?          (or stmt+ where the last statement
+                                          assigns the stencil's own name)
+      expr      ::= ternary
+      ternary   ::= or ('?' ternary ':' ternary)?
+      binary levels: || < && < ==,!= < <,<=,>,>= < +,- < *,/
+      unary     ::= ('-' | '!') unary | primary
+      primary   ::= number | ident | ident '[' int (',' int)* ']'
+                  | func '(' expr (',' expr)* ')' | '(' expr ')'
+    v}
+
+    Bare identifiers parse to [Expr.Var]; {!resolve_idents} later rewrites
+    those naming scalar (0-dimensional) fields into zero-offset accesses. *)
+
+exception Syntax_error of string
+
+val parse_expr : string -> Sf_ir.Expr.t
+(** Parse a single expression. *)
+
+val parse_assignments : string -> (string * Sf_ir.Expr.t) list
+(** Parse a sequence of [name = expr;] statements (the trailing semicolon
+    of the last statement may be omitted). *)
+
+val parse_body : output:string -> string -> Sf_ir.Expr.body
+(** Parse stencil code. Either a bare expression, or a statement list in
+    which the assignment to [output] (which must be the final statement)
+    provides the result and the preceding assignments become lets. *)
+
+val resolve_idents : scalar:(string -> bool) -> Sf_ir.Expr.t -> Sf_ir.Expr.t
+(** Rewrite [Var v] into [Access {field = v; offsets = []}] whenever
+    [scalar v]. *)
+
+val resolve_body : scalar:(string -> bool) -> Sf_ir.Expr.body -> Sf_ir.Expr.body

@@ -1,0 +1,41 @@
+(** The JSON-based program description format (paper, Sec. II, Lst. 1).
+
+    A program document looks like:
+    {v
+    {
+      "name": "example",
+      "shape": [64, 64, 64],
+      "dtype": "float32",          // optional, default float32
+      "vector_width": 1,           // optional, default 1
+      "inputs": {
+        "a":     {},                         // full-rank field
+        "crlat": {"axes": [1]},              // lower-dimensional field
+        "alpha": {"axes": []}                // scalar (0D)
+      },
+      "stencils": {
+        "b": {
+          "code": "b = a[0,0,1] + a[0,0,-1] + alpha;",
+          "boundary": {"a": {"type": "constant", "value": 0.0}}
+        },
+        "c": {"code": "0.5 * (b[0,0,0] + b[0,1,0])", "shrink": true}
+      },
+      "outputs": ["c"]
+    }
+    v}
+
+    Bare identifiers in stencil code that name scalar inputs are resolved
+    to 0-offset accesses. Object member order defines stencil order. *)
+
+exception Format_error of string
+
+val of_json : Sf_support.Json.t -> Sf_ir.Program.t
+(** Decode and validate. Raises {!Format_error} (or passes through
+    [Invalid_argument] from validation) on malformed documents. *)
+
+val of_string : string -> Sf_ir.Program.t
+val of_file : string -> Sf_ir.Program.t
+
+val to_json : Sf_ir.Program.t -> Sf_support.Json.t
+(** Encode; decoding the result yields an equivalent program. *)
+
+val to_string : Sf_ir.Program.t -> string

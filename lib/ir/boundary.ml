@@ -1,0 +1,15 @@
+type t = Constant of float | Copy
+
+let default = Constant 0.
+
+let equal a b =
+  match (a, b) with
+  | Constant x, Constant y -> x = y
+  | Copy, Copy -> true
+  | (Constant _ | Copy), _ -> false
+
+let to_string = function
+  | Constant c -> Printf.sprintf "constant(%g)" c
+  | Copy -> "copy"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,17 @@
+(** Boundary conditions for out-of-bounds field accesses (paper, Sec. II).
+
+    [Constant c] replaces out-of-bounds reads with [c]; [Copy] replaces
+    them with the value at offset 0 in all dimensions (the "center").
+    Both are specified per input field. The third condition of the paper,
+    "shrink", is a property of a stencil's {e output} (cells whose inputs
+    were out of bounds are dropped from the result) and is therefore a
+    stencil flag, not a constructor here. *)
+
+type t = Constant of float | Copy
+
+val default : t
+(** [Constant 0.] — used when a program does not specify a condition. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

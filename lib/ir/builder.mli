@@ -1,0 +1,62 @@
+(** Programmatic construction of stencil programs.
+
+    This is the OCaml counterpart of the paper's "productive high-level
+    interfaces": kernels and examples assemble programs with expression
+    combinators instead of writing JSON by hand. [finish] validates the
+    assembled program. *)
+
+type t
+
+val create : ?dtype:Dtype.t -> ?vector_width:int -> name:string -> shape:int list -> unit -> t
+val input : t -> ?dtype:Dtype.t -> ?axes:int list -> string -> unit
+(** Declare an off-chip input field (full rank unless [axes] narrows it). *)
+
+val stencil :
+  t ->
+  ?boundary:(string * Boundary.t) list ->
+  ?shrink:bool ->
+  ?lets:(string * Expr.t) list ->
+  string ->
+  Expr.t ->
+  unit
+(** Declare a stencil producing the named field. *)
+
+val output : t -> string -> unit
+(** Mark a stencil result as written to off-chip memory. *)
+
+val finish : t -> Program.t
+(** Assemble and validate; raises [Invalid_argument] on diagnostics. *)
+
+(** Expression combinators. [acc] builds a field access, [sc] a scalar
+    (0-offset) access, [c] a constant. The infix operators mirror the DSL
+    and avoid clashing with Stdlib arithmetic by a [%] suffix. *)
+module E : sig
+  val c : float -> Expr.t
+  val i : int -> Expr.t
+  val acc : string -> int list -> Expr.t
+  val sc : string -> Expr.t
+  val var : string -> Expr.t
+  val ( +% ) : Expr.t -> Expr.t -> Expr.t
+  val ( -% ) : Expr.t -> Expr.t -> Expr.t
+  val ( *% ) : Expr.t -> Expr.t -> Expr.t
+  val ( /% ) : Expr.t -> Expr.t -> Expr.t
+  val ( <% ) : Expr.t -> Expr.t -> Expr.t
+  val ( <=% ) : Expr.t -> Expr.t -> Expr.t
+  val ( >% ) : Expr.t -> Expr.t -> Expr.t
+  val ( >=% ) : Expr.t -> Expr.t -> Expr.t
+  val ( ==% ) : Expr.t -> Expr.t -> Expr.t
+  val ( !=% ) : Expr.t -> Expr.t -> Expr.t
+  val ( &&% ) : Expr.t -> Expr.t -> Expr.t
+  val ( ||% ) : Expr.t -> Expr.t -> Expr.t
+  val neg : Expr.t -> Expr.t
+  val sel : Expr.t -> Expr.t -> Expr.t -> Expr.t
+  val sqrt_ : Expr.t -> Expr.t
+  val abs_ : Expr.t -> Expr.t
+  val exp_ : Expr.t -> Expr.t
+  val log_ : Expr.t -> Expr.t
+  val pow_ : Expr.t -> Expr.t -> Expr.t
+  val min_ : Expr.t -> Expr.t -> Expr.t
+  val max_ : Expr.t -> Expr.t -> Expr.t
+  val sum : Expr.t list -> Expr.t
+  (** Left-associated sum; raises on the empty list. *)
+end

@@ -1,0 +1,15 @@
+type t = F32 | F64 | I32 | I64
+
+let size_bytes = function F32 | I32 -> 4 | F64 | I64 -> 8
+let name = function F32 -> "float32" | F64 -> "float64" | I32 -> "int32" | I64 -> "int64"
+
+let of_string = function
+  | "float32" | "float" -> Some F32
+  | "float64" | "double" -> Some F64
+  | "int32" | "int" -> Some I32
+  | "int64" | "long" -> Some I64
+  | _ -> None
+
+let is_float = function F32 | F64 -> true | I32 | I64 -> false
+let equal (a : t) (b : t) = a = b
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,23 @@
+(** Data types of stencil fields.
+
+    The paper's stack supports "any data type recognized by the underlying
+    compiler" (Sec. VIII-B); the evaluation focuses on 32-bit floats. The
+    data type determines operand size (for bandwidth and buffer sizing) and
+    default operation latencies. Arithmetic in this reproduction is always
+    evaluated in double precision; see DESIGN.md. *)
+
+type t = F32 | F64 | I32 | I64
+
+val size_bytes : t -> int
+(** Operand size in bytes: 4, 8, 4, 8 respectively. *)
+
+val name : t -> string
+(** Canonical lowercase name: ["float32"], ["float64"], ["int32"], ["int64"]. *)
+
+val of_string : string -> t option
+(** Parse a name as produced by {!name}; also accepts the C-style aliases
+    ["float"], ["double"], ["int"], ["long"]. *)
+
+val is_float : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t = { name : string; dtype : Dtype.t; axes : int list }
+
+let make ?(dtype = Dtype.F32) ?axes ~name ~full_rank () =
+  let axes = match axes with Some a -> a | None -> Sf_support.Util.range full_rank in
+  { name; dtype; axes }
+
+let rank f = List.length f.axes
+let is_full_rank f ~rank:full = rank f = full
+let is_scalar f = f.axes = []
+let extent f ~shape = List.map (fun axis -> List.nth shape axis) f.axes
+let num_elements f ~shape = List.fold_left ( * ) 1 (extent f ~shape)
+let size_bytes f ~shape = num_elements f ~shape * Dtype.size_bytes f.dtype
+
+let validate f ~full_rank =
+  let rec strictly_increasing = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+  in
+  if f.name = "" then Error "field has an empty name"
+  else if not (strictly_increasing f.axes) then
+    Error (Printf.sprintf "field %s: axes must be strictly increasing" f.name)
+  else if List.exists (fun a -> a < 0 || a >= full_rank) f.axes then
+    Error
+      (Printf.sprintf "field %s: axes must lie within the %d-dimensional iteration space"
+         f.name full_rank)
+  else Ok ()
+
+let pp fmt f =
+  Format.fprintf fmt "%s:%s[%s]" f.name (Dtype.name f.dtype)
+    (Sf_support.Util.string_concat_map "," string_of_int f.axes)

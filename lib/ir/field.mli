@@ -1,0 +1,31 @@
+(** Logical input fields of a stencil program (paper, Sec. II).
+
+    A field is a named, typed array read from off-chip memory. Fields may
+    be lower-dimensional than the iteration space — a 3D stencil can read
+    2D, 1D or 0D (scalar) arrays using subsets of its indices. [axes]
+    records which iteration-space axes the field spans, e.g. in a 3D
+    program with axes (0=K, 1=J, 2=I), a per-row field spanning only the
+    innermost dimension has [axes = [2]], and a scalar has [axes = []]. *)
+
+type t = { name : string; dtype : Dtype.t; axes : int list }
+
+val make : ?dtype:Dtype.t -> ?axes:int list -> name:string -> full_rank:int -> unit -> t
+(** [make ~name ~full_rank ()] builds a field spanning all [full_rank]
+    iteration axes unless [axes] narrows it. [dtype] defaults to F32. *)
+
+val rank : t -> int
+(** Number of axes the field spans. *)
+
+val is_full_rank : t -> rank:int -> bool
+val is_scalar : t -> bool
+
+val extent : t -> shape:int list -> int list
+(** The field's own shape: the iteration-space extents of the axes it
+    spans. A scalar has extent []. *)
+
+val num_elements : t -> shape:int list -> int
+(** Product of {!extent} (1 for scalars). *)
+
+val size_bytes : t -> shape:int list -> int
+val validate : t -> full_rank:int -> (unit, string) result
+val pp : Format.formatter -> t -> unit

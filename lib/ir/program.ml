@@ -1,0 +1,176 @@
+module G = Sf_support.Dgraph.Make (String)
+
+type node = Input of Field.t | Op of Stencil.t
+
+type t = {
+  name : string;
+  shape : int list;
+  dtype : Dtype.t;
+  vector_width : int;
+  inputs : Field.t list;
+  outputs : string list;
+  stencils : Stencil.t list;
+}
+
+let make ?(dtype = Dtype.F32) ?(vector_width = 1) ~name ~shape ~inputs ~outputs stencils =
+  { name; shape; dtype; vector_width; inputs; outputs; stencils }
+
+let rank t = List.length t.shape
+let cells t = List.fold_left ( * ) 1 t.shape
+
+let strides t =
+  (* Row major: the stride of each axis is the product of the extents of
+     the axes inside it; the innermost axis has stride 1. *)
+  let rec go = function
+    | [] -> []
+    | _ :: rest -> List.fold_left ( * ) 1 rest :: go rest
+  in
+  go t.shape
+
+let find_stencil t name = List.find_opt (fun s -> String.equal s.Stencil.name name) t.stencils
+let find_input t name = List.find_opt (fun f -> String.equal f.Field.name name) t.inputs
+let is_input t name = Option.is_some (find_input t name)
+
+let field_axes t name =
+  match find_input t name with
+  | Some f -> f.Field.axes
+  | None -> (
+      match find_stencil t name with
+      | Some _ -> Sf_support.Util.range (rank t)
+      | None -> raise Not_found)
+
+let producer_rank t name = List.length (field_axes t name)
+
+let graph t =
+  let g = List.fold_left (fun g f -> G.add_vertex g f.Field.name (Input f)) G.empty t.inputs in
+  let g = List.fold_left (fun g s -> G.add_vertex g s.Stencil.name (Op s)) g t.stencils in
+  List.fold_left
+    (fun g s ->
+      List.fold_left
+        (fun g src ->
+          if G.mem_vertex g src then G.add_edge g ~src ~dst:s.Stencil.name () else g)
+        g (Stencil.input_fields s))
+    g t.stencils
+
+let consumers t field =
+  List.filter_map
+    (fun s ->
+      if List.exists (String.equal field) (Stencil.input_fields s) then Some s.Stencil.name
+      else None)
+    t.stencils
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let d = rank t in
+  if d < 1 || d > 3 then err "program %s: iteration space must have 1-3 dimensions" t.name;
+  List.iter (fun ext -> if ext <= 0 then err "program %s: non-positive extent %d" t.name ext) t.shape;
+  if t.vector_width < 1 then err "program %s: vector width must be positive" t.name;
+  (match List.rev t.shape with
+  | innermost :: _ when t.vector_width > 0 && innermost mod t.vector_width <> 0 ->
+      err "program %s: vector width %d does not divide innermost extent %d" t.name
+        t.vector_width innermost
+  | _ -> ());
+  if t.outputs = [] then err "program %s: no outputs declared" t.name;
+  (* Name uniqueness across inputs and stencils. *)
+  let names = List.map (fun f -> f.Field.name) t.inputs @ List.map (fun s -> s.Stencil.name) t.stencils in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then err "duplicate name %s" n else Hashtbl.add seen n ())
+    names;
+  List.iter
+    (fun f ->
+      match Field.validate f ~full_rank:d with Ok () -> () | Error m -> err "%s" m)
+    t.inputs;
+  (* Access resolution: every access names a known field and matches its
+     rank; let-bound variables resolve in order; boundary conditions refer
+     to read fields. *)
+  List.iter
+    (fun s ->
+      let body = s.Stencil.body in
+      let bound = Hashtbl.create 8 in
+      let check_expr expr =
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem bound v) then
+              err "stencil %s: unbound variable %s (not a declared field or prior let)"
+                s.Stencil.name v)
+          (Expr.free_vars expr);
+        List.iter
+          (fun (field, offsets) ->
+            if Hashtbl.mem seen field then begin
+              let want = List.length (field_axes t field) in
+              let got = List.length offsets in
+              if want <> got then
+                err "stencil %s: access %s has %d offsets but the field spans %d axes"
+                  s.Stencil.name field got want
+            end
+            else err "stencil %s: access to undeclared field %s" s.Stencil.name field)
+          (Expr.accesses expr)
+      in
+      List.iter
+        (fun (v, e) ->
+          check_expr e;
+          Hashtbl.replace bound v ())
+        body.Expr.lets;
+      check_expr body.Expr.result;
+      if List.exists (fun (f, _) -> String.equal f s.Stencil.name) (Stencil.accesses s) then
+        err "stencil %s: reads its own output (cycle)" s.Stencil.name;
+      let inputs_read = Stencil.input_fields s in
+      List.iter
+        (fun (f, _) ->
+          if not (List.exists (String.equal f) inputs_read) then
+            err "stencil %s: boundary condition for unread field %s" s.Stencil.name f)
+        s.Stencil.boundary)
+    t.stencils;
+  List.iter
+    (fun o ->
+      if find_stencil t o = None then err "declared output %s is not a stencil" o)
+    t.outputs;
+  (* Global structure: acyclic, and every stencil feeds some output. *)
+  if !errors = [] then begin
+    let g = graph t in
+    (match G.topological_sort g with
+    | Ok _ -> ()
+    | Error cyc ->
+        err "program %s: dependency cycle through {%s}" t.name (String.concat ", " cyc));
+    let live = G.reachable_from (G.transpose g) t.outputs in
+    List.iter
+      (fun s ->
+        if not (List.exists (String.equal s.Stencil.name) live) then
+          err "stencil %s does not contribute to any output (dead code)" s.Stencil.name)
+      t.stencils
+  end;
+  match List.rev !errors with [] -> Ok () | errs -> Error errs
+
+let validate_exn t =
+  match validate t with
+  | Ok () -> ()
+  | Error errs -> invalid_arg (String.concat "\n" errs)
+
+let topological_stencils t =
+  match G.topological_sort (graph t) with
+  | Error cyc -> invalid_arg ("Program.topological_stencils: cycle through " ^ String.concat "," cyc)
+  | Ok order -> List.filter_map (find_stencil t) order
+
+let with_vector_width t w = { t with vector_width = w }
+
+let pp fmt t =
+  Format.fprintf fmt "program %s: shape [%s], dtype %s, W=%d@." t.name
+    (Sf_support.Util.string_concat_map "x" string_of_int t.shape)
+    (Dtype.name t.dtype) t.vector_width;
+  Format.fprintf fmt "  inputs: %s@."
+    (Sf_support.Util.string_concat_map ", " (fun f -> Format.asprintf "%a" Field.pp f) t.inputs);
+  List.iter
+    (fun (s : Stencil.t) ->
+      Format.fprintf fmt "  %a" Stencil.pp s;
+      if s.Stencil.boundary <> [] then
+        Format.fprintf fmt "  [bc: %s]"
+          (Sf_support.Util.string_concat_map ", "
+             (fun (f, b) -> f ^ "=" ^ Boundary.to_string b)
+             s.Stencil.boundary);
+      if s.Stencil.shrink then Format.fprintf fmt "  [shrink]";
+      Format.fprintf fmt "@.")
+    t.stencils;
+  Format.fprintf fmt "  outputs: %s" (String.concat ", " t.outputs)

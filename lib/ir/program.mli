@@ -1,0 +1,72 @@
+(** Stencil programs: DAGs of stencil operations on a structured grid
+    (paper, Sec. II and Fig. 2).
+
+    Nodes are off-chip input fields and stencil operations; edges are data
+    dependencies. Every stencil iterates over the same iteration space
+    [shape] (1, 2 or 3 dimensions). [outputs] lists the stencil results
+    that are written back to off-chip memory; intermediate results flow
+    producer-to-consumer without a memory round trip (Sec. IV). *)
+
+module G : module type of Sf_support.Dgraph.Make (String)
+
+type node = Input of Field.t | Op of Stencil.t
+
+type t = {
+  name : string;
+  shape : int list;  (** Iteration-space extents, slowest-varying first. *)
+  dtype : Dtype.t;  (** Data type of stencil results. *)
+  vector_width : int;  (** W of Sec. IV-C; divides the innermost extent. *)
+  inputs : Field.t list;
+  outputs : string list;
+  stencils : Stencil.t list;
+}
+
+val make :
+  ?dtype:Dtype.t ->
+  ?vector_width:int ->
+  name:string ->
+  shape:int list ->
+  inputs:Field.t list ->
+  outputs:string list ->
+  Stencil.t list ->
+  t
+
+val rank : t -> int
+val cells : t -> int
+(** Product of the iteration-space extents. *)
+
+val strides : t -> int list
+(** Row-major strides of the full iteration space; innermost is 1. *)
+
+val find_stencil : t -> string -> Stencil.t option
+val find_input : t -> string -> Field.t option
+val is_input : t -> string -> bool
+
+val field_axes : t -> string -> int list
+(** Axes spanned by a named field: an input's declared axes, or all axes
+    for a stencil result. Raises [Not_found] for unknown names. *)
+
+val producer_rank : t -> string -> int
+
+val graph : t -> (node, unit) G.t
+(** The dependency DAG. An edge [u -> v] means stencil [v] reads the field
+    produced by (or stored in) [u]. *)
+
+val consumers : t -> string -> string list
+(** Stencils reading a given field, in program order. *)
+
+val validate : t -> (unit, string list) result
+(** Check structural well-formedness: name uniqueness, access resolution,
+    offset ranks, axis declarations, acyclicity, output liveness, vector
+    width divisibility, and boundary-condition references. Returns all
+    diagnostics, not just the first. *)
+
+val validate_exn : t -> unit
+(** Raises [Invalid_argument] with the joined diagnostics. *)
+
+val topological_stencils : t -> Stencil.t list
+(** Stencils in dependency order. Raises if the program has a cycle. *)
+
+val with_vector_width : t -> int -> t
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line summary. *)

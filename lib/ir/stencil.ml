@@ -1,0 +1,48 @@
+type t = {
+  name : string;
+  body : Expr.body;
+  boundary : (string * Boundary.t) list;
+  shrink : bool;
+}
+
+let make ?(boundary = []) ?(shrink = false) ~name body = { name; body; boundary; shrink }
+
+let boundary_for t field =
+  match List.assoc_opt field t.boundary with Some b -> b | None -> Boundary.default
+
+let accesses t = Expr.body_accesses t.body
+
+let dedup_keep_order l =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let input_fields t = List.map fst (accesses t) |> dedup_keep_order
+
+let accesses_of_field t field =
+  List.filter_map (fun (f, offs) -> if String.equal f field then Some offs else None) (accesses t)
+
+let op_profile t = Expr.body_op_profile t.body
+
+let equal_boundaries a b =
+  let normalize s =
+    List.map (fun f -> (f, boundary_for s f)) (input_fields s)
+    |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+  in
+  a.shrink = b.shrink
+  &&
+  let ba = normalize a and bb = normalize b in
+  (* Compare only on fields both read; fields read by one stencil alone
+     cannot conflict. *)
+  List.for_all
+    (fun (f, cond) ->
+      match List.assoc_opt f bb with None -> true | Some cond' -> Boundary.equal cond cond')
+    ba
+
+let pp fmt t = Format.fprintf fmt "%s = %s" t.name (Expr.body_to_string t.body)

@@ -1,0 +1,39 @@
+(** A single stencil operation: one node of the stencil program DAG.
+
+    Each stencil reads one or more inputs (off-chip fields or results of
+    other stencils) at constant offsets and produces exactly one output
+    field, named after the stencil itself (paper, Sec. II). Boundary
+    conditions are per input; the "shrink" condition is a flag on the
+    output. *)
+
+type t = {
+  name : string;  (** Also the name of the field this stencil produces. *)
+  body : Expr.body;
+  boundary : (string * Boundary.t) list;
+      (** Per-input boundary conditions; inputs not listed use
+          {!Boundary.default}. *)
+  shrink : bool;
+      (** When set, output cells whose computation read out-of-bounds
+          values are dropped from the written result. *)
+}
+
+val make : ?boundary:(string * Boundary.t) list -> ?shrink:bool -> name:string -> Expr.body -> t
+
+val boundary_for : t -> string -> Boundary.t
+(** The boundary condition for one input field. *)
+
+val accesses : t -> (string * int list) list
+(** All field accesses of the (inlined) body, duplicates removed. *)
+
+val input_fields : t -> string list
+(** Names of fields read, duplicates removed, in order of first access. *)
+
+val accesses_of_field : t -> string -> int list list
+(** The distinct offsets at which this stencil reads a given field. *)
+
+val op_profile : t -> Expr.op_profile
+val equal_boundaries : t -> t -> bool
+(** Same boundary-condition table and shrink flag (fusion precondition,
+    Sec. V-B). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+open Sf_ir
+module E = Builder.E
+
+let meteoswiss_shape = [ 80; 128; 128 ]
+
+(* Per-field 5-point laplacian with a latitude-dependent correction:
+   lap = (q_west + q_east - 2q) + crlat0(j) * (q_south + q_north - 2q);
+   the doubled centre is strength-reduced to an addition, as synthesis
+   does, keeping the operation mix adds-heavy like the paper's (87/41). *)
+let laplacian field =
+  let centre2 = E.(acc field [ 0; 0; 0 ] +% acc field [ 0; 0; 0 ]) in
+  E.(
+    acc field [ 0; 0; -1 ] +% acc field [ 0; 0; 1 ] -% centre2
+    +% (acc "crlat0" [ 0 ] *% (acc field [ 0; -1; 0 ] +% acc field [ 0; 1; 0 ] -% centre2)))
+
+(* Monotonic flux limiter (i direction): the raw laplacian difference is
+   suppressed when it transports against the gradient, then capped by the
+   latitude-dependent threshold — both data-dependent branches. *)
+let flux_i ~lap ~field =
+  let raw = E.(acc lap [ 0; 0; 1 ] -% acc lap [ 0; 0; 0 ]) in
+  let grad = E.(acc field [ 0; 0; 1 ] -% acc field [ 0; 0; 0 ]) in
+  E.(
+    sel
+      (var "raw" *% var "grad" >% c 0.)
+      (c 0.)
+      (sel (abs_ (var "raw") >% acc "acrlat0" [ 0 ]) (acc "acrlat0" [ 0 ]) (var "raw")),
+    [ ("raw", raw); ("grad", grad) ])
+
+let flux_j ~lap ~field =
+  let raw = E.(acc "crlat1" [ 0 ] *% (acc lap [ 0; 1; 0 ] -% acc lap [ 0; 0; 0 ])) in
+  let grad = E.(acc field [ 0; 1; 0 ] -% acc field [ 0; 0; 0 ]) in
+  E.(
+    sel
+      (var "raw" *% var "grad" >% c 0.)
+      (c 0.)
+      (sel (abs_ (var "raw") >% acc "acrlat0" [ 0 ]) (acc "acrlat0" [ 0 ]) (var "raw")),
+    [ ("raw", raw); ("grad", grad) ])
+
+(* Smagorinsky diffusion factor for the wind components: shear and strain
+   of the (u, v) field with an extra vertical-velocity contribution,
+   clamped into [0, 0.5] (sqrt + min + max, Sec. IX-A). *)
+let smagorinsky =
+  let t =
+    E.(
+      acc "crlatu" [ 0 ] *% (acc "u" [ 0; 0; 1 ] -% acc "u" [ 0; 0; -1 ])
+      -% (acc "crlatv" [ 0 ] *% (acc "v" [ 0; 1; 0 ] -% acc "v" [ 0; -1; 0 ]))
+      +% (c 0.05 *% (acc "w" [ 0; 0; 1 ] -% acc "w" [ 0; 0; -1 ])))
+  in
+  let s =
+    E.(
+      acc "crlatu" [ 0 ] *% (acc "u" [ 0; 1; 0 ] -% acc "u" [ 0; -1; 0 ])
+      +% (acc "crlatv" [ 0 ] *% (acc "v" [ 0; 0; 1 ] -% acc "v" [ 0; 0; -1 ]))
+      +% (c 0.05 *% (acc "w" [ 0; 1; 0 ] -% acc "w" [ 0; -1; 0 ])))
+  in
+  ( E.(min_ (c 0.5) (max_ (c 0.) (var "smag_raw"))),
+    [
+      ("t_shear", t);
+      ("s_strain", s);
+      ( "smag_raw",
+        E.(
+          (c 0.5 *% sqrt_ ((var "t_shear" *% var "t_shear") +% (var "s_strain" *% var "s_strain")))
+          -% acc "acrlat0" [ 0 ]) );
+    ] )
+
+(* Guarded update: flux divergence scaled by the externally supplied
+   diffusion mask, with a Smagorinsky term for the wind components, and a
+   rejection branch for updates exceeding the stability cap. *)
+let update ~field ~flx ~fly ~smag =
+  let delta =
+    E.(
+      acc flx [ 0; 0; 0 ] -% acc flx [ 0; 0; -1 ]
+      +% (acc fly [ 0; 0; 0 ] -% acc fly [ 0; -1; 0 ]))
+  in
+  let smag_term =
+    match smag with
+    | None -> E.c 0.
+    | Some (s, lap) -> E.(acc s [ 0; 0; 0 ] *% acc lap [ 0; 0; 0 ])
+  in
+  ( E.(
+      sel
+        (abs_ (var "upd") >% c 4.)
+        (acc field [ 0; 0; 0 ])
+        (acc field [ 0; 0; 0 ] -% var "upd" +% var "smag_term")),
+    [
+      ("delta", delta);
+      ("upd", E.(acc "hdmask" [ 0; 0; 0 ] *% var "delta"));
+      ("smag_term", smag_term);
+    ] )
+
+let fields = [ "u"; "v"; "w"; "pp" ]
+let stencil_count = (3 * List.length fields) + 2 + List.length fields
+
+let program ?(shape = meteoswiss_shape) ?(vector_width = 1) ?(dtype = Dtype.F32) () =
+  let b = Builder.create ~dtype ~vector_width ~name:"horizontal_diffusion" ~shape () in
+  List.iter (fun f -> Builder.input b f) (fields @ [ "hdmask" ]);
+  List.iter
+    (fun f -> Builder.input b ~axes:[ 1 ] f)
+    [ "crlat0"; "crlat1"; "crlatu"; "crlatv"; "acrlat0" ];
+  let zero_bc inputs = List.map (fun f -> (f, Boundary.Constant 0.)) inputs in
+  (* Laplacians. *)
+  List.iter
+    (fun f ->
+      Builder.stencil b ~boundary:(zero_bc [ f ]) (Printf.sprintf "lap_%s" f) (laplacian f))
+    fields;
+  (* Limited fluxes in both horizontal directions. *)
+  List.iter
+    (fun f ->
+      let lap = Printf.sprintf "lap_%s" f in
+      let result_i, lets_i = flux_i ~lap ~field:f in
+      Builder.stencil b ~boundary:(zero_bc [ lap; f ]) ~lets:lets_i
+        (Printf.sprintf "flx_%s" f) result_i;
+      let result_j, lets_j = flux_j ~lap ~field:f in
+      Builder.stencil b ~boundary:(zero_bc [ lap; f ]) ~lets:lets_j
+        (Printf.sprintf "fly_%s" f) result_j)
+    fields;
+  (* Smagorinsky factors for the wind components. *)
+  let smag_result, smag_lets = smagorinsky in
+  Builder.stencil b ~boundary:(zero_bc [ "u"; "v"; "w" ]) ~lets:smag_lets "smag_u" smag_result;
+  Builder.stencil b ~boundary:(zero_bc [ "u"; "v"; "w" ]) ~lets:smag_lets "smag_v" smag_result;
+  (* Guarded updates. *)
+  List.iter
+    (fun f ->
+      let flx = Printf.sprintf "flx_%s" f and fly = Printf.sprintf "fly_%s" f in
+      let smag =
+        match f with
+        | "u" -> Some ("smag_u", "lap_u")
+        | "v" -> Some ("smag_v", "lap_v")
+        | _ -> None
+      in
+      let result, lets = update ~field:f ~flx ~fly ~smag in
+      Builder.stencil b
+        ~boundary:(zero_bc [ flx; fly; f ])
+        ~lets
+        (Printf.sprintf "%s_out" f)
+        result;
+      Builder.output b (Printf.sprintf "%s_out" f))
+    fields;
+  Builder.finish b

@@ -1,0 +1,33 @@
+(** Horizontal diffusion from the COSMO weather model (paper, Sec. IX).
+
+    A 4th-order explicit diffusion operator on a staggered
+    latitude-longitude grid with Smagorinsky diffusion on the wind
+    components and monotonic flux limiting [26]. The original stencil
+    program is proprietary MeteoSwiss code extracted through Dawn; this
+    generator reconstructs a program with the characteristics the paper
+    reports (Sec. IX-A) — validated by the test suite and reported
+    against the paper in EXPERIMENTS.md:
+
+    - five 3D input fields (u, v, w, pp, hdmask) and five 1D per-latitude
+      fields (crlat0, crlat1, crlatu, crlatv, acrlat0): reads 5·IJK + 5·J
+      operands under perfect reuse (the paper writes 5·I for its 1D
+      extent);
+    - four 3D outputs (u_out, v_out, w_out, pp_out): writes 4·IJK;
+    - per-field laplacians, limited fluxes in both horizontal directions,
+      Smagorinsky factors with sqrt / min / max clamping, and guarded
+      updates — data-dependent ternary branches throughout;
+    - an operation mix dominated by additions, with arithmetic intensity
+      within a few percent of the paper's 130/9 ops per operand (Eq. 2);
+    - complex dependencies: non-source stencils consume 1-4 producers,
+      many stencils share the same inputs. *)
+
+val program :
+  ?shape:int list -> ?vector_width:int -> ?dtype:Sf_ir.Dtype.t -> unit -> Sf_ir.Program.t
+(** Default shape is the MeteoSwiss benchmark domain 80 x 128 x 128
+    (stored K-outermost; the paper stacks a 128 x 128 horizontal domain
+    in 80 vertical layers). *)
+
+val meteoswiss_shape : int list
+
+val stencil_count : int
+(** Number of stencil nodes before fusion. *)

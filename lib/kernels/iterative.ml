@@ -1,0 +1,69 @@
+open Sf_ir
+module E = Builder.E
+
+type kind = Jacobi2d | Jacobi3d | Diffusion2d | Diffusion3d | Laplace2d
+
+let kind_name = function
+  | Jacobi2d -> "jacobi2d"
+  | Jacobi3d -> "jacobi3d"
+  | Diffusion2d -> "diffusion2d"
+  | Diffusion3d -> "diffusion3d"
+  | Laplace2d -> "laplace2d"
+
+(* Domains sized so a chain stage's internal buffers cost roughly the
+   per-stage M20K budget implied by Table I, while the outer extent is
+   large enough that initialization latency L is negligible relative to
+   N (Sec. VIII-A: "L becomes negligible when the domain is large
+   relative to the depth of the stencil DAG" — Sec. VIII-C runs "a large
+   input domain"). *)
+let default_shape = function
+  | Jacobi2d | Diffusion2d | Laplace2d -> [ 16384; 4096 ]
+  | Jacobi3d | Diffusion3d -> [ 32768; 64; 64 ]
+
+(* Jacobi: average of the von Neumann neighbourhood.
+   Diffusion: weighted 5/7-point update with distinct coefficients, as in
+   Zohouri et al.'s diffusion kernels. *)
+let body kind ~field =
+  let a o = E.acc field o in
+  match kind with
+  | Jacobi2d ->
+      E.(c 0.25 *% (a [ 0; -1 ] +% a [ 0; 1 ] +% a [ -1; 0 ] +% a [ 1; 0 ]))
+  | Laplace2d ->
+      E.(a [ 0; -1 ] +% a [ 0; 1 ] +% a [ -1; 0 ] +% a [ 1; 0 ] -% (c 4. *% a [ 0; 0 ]))
+  | Jacobi3d ->
+      E.(
+        c 0.125
+        *% (a [ 0; 0; -1 ] +% a [ 0; 0; 1 ] +% a [ 0; -1; 0 ] +% a [ 0; 1; 0 ]
+           +% a [ -1; 0; 0 ] +% a [ 1; 0; 0 ] +% a [ 0; 0; 0 ]))
+  | Diffusion2d ->
+      E.(
+        (c 0.1 *% a [ 0; -1 ]) +% (c 0.15 *% a [ 0; 1 ]) +% (c 0.2 *% a [ -1; 0 ])
+        +% (c 0.25 *% a [ 1; 0 ]) +% (c 0.3 *% a [ 0; 0 ]))
+  | Diffusion3d ->
+      E.(
+        (c 0.1 *% a [ 0; 0; -1 ]) +% (c 0.12 *% a [ 0; 0; 1 ]) +% (c 0.14 *% a [ 0; -1; 0 ])
+        +% (c 0.16 *% a [ 0; 1; 0 ]) +% (c 0.18 *% a [ -1; 0; 0 ]) +% (c 0.2 *% a [ 1; 0; 0 ])
+        +% (c 0.1 *% a [ 0; 0; 0 ]))
+
+let flops_per_cell kind =
+  Expr.flop_count (Expr.op_profile (body kind ~field:"x"))
+
+let chain ?shape ?(vector_width = 1) ?(boundary = Boundary.Constant 0.) kind ~length =
+  if length < 1 then invalid_arg "Iterative.chain: length must be positive";
+  let shape = match shape with Some s -> s | None -> default_shape kind in
+  let b =
+    Builder.create ~vector_width
+      ~name:(Printf.sprintf "%s_chain%d" (kind_name kind) length)
+      ~shape ()
+  in
+  Builder.input b "f0";
+  let prev = ref "f0" in
+  for i = 1 to length do
+    let name = Printf.sprintf "f%d" i in
+    Builder.stencil b ~boundary:[ (!prev, boundary) ] name (body kind ~field:!prev);
+    prev := name
+  done;
+  Builder.output b !prev;
+  Builder.finish b
+
+let single ?shape ?vector_width kind = chain ?shape ?vector_width kind ~length:1

@@ -1,0 +1,33 @@
+(** Iterative-style stencil workloads (paper, Sec. VIII-C).
+
+    StencilFlow handles traditional iterative stencils by chaining many
+    copies of the operation into a linear DAG — analogous to time-tiled
+    iterative execution, where each chain stage corresponds to one
+    timestep unrolled into hardware. These generators produce the
+    kernels benchmarked in Figs. 14-15 and Table I. *)
+
+type kind = Jacobi2d | Jacobi3d | Diffusion2d | Diffusion3d | Laplace2d
+
+val kind_name : kind -> string
+val default_shape : kind -> int list
+(** Benchmark domain: slice sizes chosen so internal buffers match the
+    M20K budgets of Table I (see DESIGN.md). *)
+
+val body : kind -> field:string -> Sf_ir.Expr.t
+(** One application of the operation reading [field]. *)
+
+val flops_per_cell : kind -> int
+(** Floating-point ops of a single application (adds + muls). *)
+
+val chain :
+  ?shape:int list ->
+  ?vector_width:int ->
+  ?boundary:Sf_ir.Boundary.t ->
+  kind ->
+  length:int ->
+  Sf_ir.Program.t
+(** A linear chain of [length] applications: stage i reads stage i-1's
+    stream; only the final stage is written to memory. *)
+
+val single : ?shape:int list -> ?vector_width:int -> kind -> Sf_ir.Program.t
+(** A one-stage program (for validation and examples). *)

@@ -1,0 +1,87 @@
+open Sf_ir
+module E = Builder.E
+
+let feedback = [ ("h_out", "h"); ("hu_out", "hu"); ("hv_out", "hv") ]
+
+(* Momentum flux with a dry-cell guard: hu^2/h + g h^2/2, zeroed where
+   the water column is (numerically) dry. *)
+let momentum_flux ~num ~h =
+  E.(
+    sel
+      (acc h [ 0; 0 ] >% c 1e-6)
+      ((acc num [ 0; 0 ] *% acc num [ 0; 0 ] /% acc h [ 0; 0 ])
+      +% (c 0.5 *% sc "g" *% (acc h [ 0; 0 ] *% acc h [ 0; 0 ])))
+      (c 0.))
+
+let average field =
+  E.(
+    c 0.25
+    *% (acc field [ 0; -1 ] +% acc field [ 0; 1 ] +% acc field [ -1; 0 ] +% acc field [ 1; 0 ]))
+
+let program ?(shape = [ 64; 64 ]) ?(vector_width = 1) () =
+  let b = Builder.create ~vector_width ~name:"shallow_water" ~shape () in
+  List.iter (fun f -> Builder.input b f) [ "h"; "hu"; "hv" ];
+  List.iter (fun f -> Builder.input b ~axes:[] f) [ "g"; "dtdx"; "dtdy" ];
+  let copy_bc fields = List.map (fun f -> (f, Boundary.Copy)) fields in
+  (* Flux components as separate stencils: both momenta read them, and
+     they read all three state fields. *)
+  Builder.stencil b ~boundary:(copy_bc [ "hu"; "h" ]) "fx" (momentum_flux ~num:"hu" ~h:"h");
+  Builder.stencil b ~boundary:(copy_bc [ "hv"; "h" ]) "fy" (momentum_flux ~num:"hv" ~h:"h");
+  Builder.stencil b
+    ~boundary:(copy_bc [ "h"; "hu"; "hv" ])
+    ~lets:
+      [
+        ("dflux_x", E.(acc "hu" [ 0; 1 ] -% acc "hu" [ 0; -1 ]));
+        ("dflux_y", E.(acc "hv" [ 1; 0 ] -% acc "hv" [ -1; 0 ]));
+      ]
+    "h_out"
+    E.(average "h" -% (c 0.5 *% sc "dtdx" *% var "dflux_x") -% (c 0.5 *% sc "dtdy" *% var "dflux_y"));
+  Builder.stencil b
+    ~boundary:(copy_bc [ "hu"; "h"; "hv"; "fx" ])
+    ~lets:
+      [
+        ("dpress", E.(acc "fx" [ 0; 1 ] -% acc "fx" [ 0; -1 ]));
+        ( "dadv",
+          E.(
+            (acc "hu" [ 1; 0 ] *% acc "hv" [ 1; 0 ] /% max_ (acc "h" [ 1; 0 ]) (c 1e-6))
+            -% (acc "hu" [ -1; 0 ] *% acc "hv" [ -1; 0 ] /% max_ (acc "h" [ -1; 0 ]) (c 1e-6))) );
+      ]
+    "hu_out"
+    E.(average "hu" -% (c 0.5 *% sc "dtdx" *% var "dpress") -% (c 0.5 *% sc "dtdy" *% var "dadv"));
+  Builder.stencil b
+    ~boundary:(copy_bc [ "hv"; "h"; "hu"; "fy" ])
+    ~lets:
+      [
+        ("dpress", E.(acc "fy" [ 1; 0 ] -% acc "fy" [ -1; 0 ]));
+        ( "dadv",
+          E.(
+            (acc "hu" [ 0; 1 ] *% acc "hv" [ 0; 1 ] /% max_ (acc "h" [ 0; 1 ]) (c 1e-6))
+            -% (acc "hu" [ 0; -1 ] *% acc "hv" [ 0; -1 ] /% max_ (acc "h" [ 0; -1 ]) (c 1e-6))) );
+      ]
+    "hv_out"
+    E.(average "hv" -% (c 0.5 *% sc "dtdy" *% var "dpress") -% (c 0.5 *% sc "dtdx" *% var "dadv"));
+  List.iter (Builder.output b) [ "h_out"; "hu_out"; "hv_out" ];
+  Builder.finish b
+
+let stable_inputs ?(seed = 7) (p : Program.t) =
+  let module Tensor = Sf_reference.Tensor in
+  let shape = p.Program.shape in
+  let j_ext = List.nth shape 0 and i_ext = List.nth shape 1 in
+  let state = Random.State.make [| seed |] in
+  let hump idx =
+    match idx with
+    | [ j; i ] ->
+        let dj = float_of_int (j - (j_ext / 2)) /. float_of_int j_ext in
+        let di = float_of_int (i - (i_ext / 2)) /. float_of_int i_ext in
+        1. +. (0.1 *. Float.exp (-40. *. ((dj *. dj) +. (di *. di))))
+        +. (0.001 *. (Random.State.float state 2. -. 1.))
+    | _ -> 1.
+  in
+  [
+    ("h", Tensor.of_fn shape hump);
+    ("hu", Tensor.create shape);
+    ("hv", Tensor.create shape);
+    ("g", Tensor.of_array [ 1 ] [| 9.81 |]);
+    ("dtdx", Tensor.of_array [ 1 ] [| 0.01 |]);
+    ("dtdy", Tensor.of_array [ 1 ] [| 0.01 |]);
+  ]

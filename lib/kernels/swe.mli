@@ -1,0 +1,23 @@
+(** Shallow-water equations: a multi-output application example.
+
+    One Lax-Friedrichs step of the 2D shallow-water system over water
+    height [h] and momenta [hu], [hv], with gravity [g] and the grid
+    ratios [dtdx], [dtdy] as scalar inputs. Unlike the paper's iterative
+    microbenchmarks this is a {e coupled} system: three stencils each
+    read all three state fields (plus flux terms with divisions and a
+    dry-cell guard branch), producing three outputs — the
+    multiple-producer / multiple-consumer sharing pattern StencilFlow's
+    delay-buffer analysis exists for. Combine with
+    {!Sf_sim.Timeloop.unroll} to chain timesteps spatially. *)
+
+val program : ?shape:int list -> ?vector_width:int -> unit -> Sf_ir.Program.t
+(** Outputs [h_out], [hu_out], [hv_out]; default shape 64 x 64. *)
+
+val feedback : (string * string) list
+(** The time-loop feedback relation: [h_out -> h], [hu_out -> hu],
+    [hv_out -> hv]. *)
+
+val stable_inputs : ?seed:int -> Sf_ir.Program.t -> (string * Sf_reference.Tensor.t) list
+(** A physically reasonable initial state (a smooth hump of water at
+    rest, h around 1, small g·dt/dx) on which repeated stepping stays
+    finite — useful for multi-step tests. *)

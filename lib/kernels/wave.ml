@@ -1,0 +1,47 @@
+open Sf_ir
+module E = Builder.E
+
+let feedback = [ ("u_next", "u"); ("u_pass", "u_prev") ]
+
+let program ?(shape = [ 64; 64 ]) ?(vector_width = 1) () =
+  let b = Builder.create ~vector_width ~name:"acoustic_wave" ~shape () in
+  Builder.input b "u";
+  Builder.input b "u_prev";
+  Builder.input b "c2";
+  Builder.input b ~axes:[] "dt2";
+  (* Zero (absorbing-ish) boundaries on the laplacian taps. *)
+  Builder.stencil b
+    ~boundary:[ ("u", Boundary.Constant 0.) ]
+    "lap"
+    E.(
+      acc "u" [ 0; -1 ] +% acc "u" [ 0; 1 ] +% acc "u" [ -1; 0 ] +% acc "u" [ 1; 0 ]
+      -% ((acc "u" [ 0; 0 ] +% acc "u" [ 0; 0 ]) +% (acc "u" [ 0; 0 ] +% acc "u" [ 0; 0 ])));
+  Builder.stencil b "u_next"
+    E.(
+      acc "u" [ 0; 0 ] +% acc "u" [ 0; 0 ] -% acc "u_prev" [ 0; 0 ]
+      +% (sc "dt2" *% acc "c2" [ 0; 0 ] *% acc "lap" [ 0; 0 ]));
+  (* Pass-through so the current level can feed back as the previous
+     one; reads at the center only, so it adds no latency. *)
+  Builder.stencil b "u_pass" E.(acc "u" [ 0; 0 ]);
+  Builder.output b "u_next";
+  Builder.output b "u_pass";
+  Builder.finish b
+
+let pulse_inputs (p : Program.t) =
+  let module Tensor = Sf_reference.Tensor in
+  let shape = p.Program.shape in
+  let j_ext = List.nth shape 0 and i_ext = List.nth shape 1 in
+  let pulse idx =
+    match idx with
+    | [ j; i ] ->
+        let dj = float_of_int (j - (j_ext / 2)) and di = float_of_int (i - (i_ext / 2)) in
+        Float.exp (-0.05 *. ((dj *. dj) +. (di *. di)))
+    | _ -> 0.
+  in
+  let u = Tensor.of_fn shape pulse in
+  [
+    ("u", u);
+    ("u_prev", Tensor.copy u) (* at rest: du/dt = 0 *);
+    ("c2", Tensor.create ~init:1. shape);
+    ("dt2", Tensor.of_array [ 1 ] [| 0.1 |]);
+  ]

@@ -1,0 +1,21 @@
+(** Acoustic wave propagation: a second-order-in-time kernel.
+
+    The 2D acoustic wave equation, discretized leap-frog style, needs
+    {e two} previous time levels: [u_next = 2u - u_prev + c^2 lap(u)].
+    On load/store architectures this is the classic seismic
+    reverse-time-migration workload the FPGA stencil literature targets
+    (paper, Sec. X and [15]). Spatially, iterating it requires feeding
+    two results back: the new field, and a pass-through copy of the
+    current field that becomes the previous level — exercising
+    {!Sf_sim.Timeloop} with multi-field feedback. *)
+
+val program : ?shape:int list -> ?vector_width:int -> unit -> Sf_ir.Program.t
+(** Outputs [u_next] and [u_pass] (the carried copy of [u]); inputs [u],
+    [u_prev], the velocity-squared field [c2], and the scalar [dt2]. *)
+
+val feedback : (string * string) list
+(** [u_next -> u], [u_pass -> u_prev]. *)
+
+val pulse_inputs : Sf_ir.Program.t -> (string * Sf_reference.Tensor.t) list
+(** A centred Gaussian pulse at rest in a homogeneous medium with a CFL-
+    stable time step. *)

@@ -1,0 +1,66 @@
+(** Mapping stencil programs to multiple devices (paper, Sec. III-B,
+    Fig. 5).
+
+    When a program exceeds one device's logic, on-chip memory, or off-chip
+    bandwidth, the DAG is split across a chain of devices: stencil units
+    are assigned to devices, inter-stencil edges crossing the cut become
+    network (SMI) streams, and off-chip input fields are replicated into
+    the DRAM of every device whose stencils read them. *)
+
+type t = {
+  num_devices : int;
+  device_of : (string * int) list;  (** Per-stencil device index. *)
+  replicated_inputs : (string * int list) list;
+      (** Input field -> devices holding a DRAM copy. *)
+  cross_edges : ((string * string) * (int * int)) list;
+      (** Dataflow edges that cross devices, with their endpoints. *)
+  per_device_usage : Sf_models.Resource.usage list;
+}
+
+val greedy :
+  ?ceiling:float ->
+  ?max_devices:int ->
+  device:Sf_models.Device.t ->
+  Sf_ir.Program.t ->
+  (t, string) result
+(** Topological greedy bin packing: fill the current device until the
+    next stencil unit no longer fits, then start the next one. Inputs are
+    replicated wherever consumed. Fails when one stencil alone exceeds a
+    device or more than [max_devices] (default 8, the testbed size) are
+    needed. *)
+
+val single_device : Sf_ir.Program.t -> t
+(** Everything on device 0 (no resource check). *)
+
+val placement_fn : t -> string -> int
+(** Adapter for {!Sf_sim.Engine}'s [placement] argument. *)
+
+val validate : Sf_ir.Program.t -> t -> (unit, string list) result
+(** Every stencil assigned exactly once to an existing device; cross-edge
+    list consistent with the assignment; every consumed input replicated
+    on the consuming devices. *)
+
+val hop_demand_bytes_per_cycle : Sf_ir.Program.t -> t -> hop:int -> float
+(** Bytes per cycle that must cross between devices [hop] and [hop + 1]
+    when every stream moves one word per cycle: the sum over crossing
+    edges of vector width times element size (streams spanning several
+    hops load every hop in between — the chain topology of Sec. VIII-B). *)
+
+val network_feasible : Sf_ir.Program.t -> t -> device:Sf_models.Device.t -> bool
+(** Whether every hop's demand fits in the link bandwidth at one word per
+    cycle (the constraint that capped distributed vectorization in
+    Sec. VIII-C). *)
+
+val pp : Format.formatter -> t -> unit
+
+val balanced :
+  ?ceiling:float ->
+  ?max_devices:int ->
+  device:Sf_models.Device.t ->
+  Sf_ir.Program.t ->
+  (t, string) result
+(** Like {!greedy}, but balances load: among contiguous topological
+    splits into the minimum feasible number of devices, choose the one
+    minimizing the worst per-device utilization (dynamic programming).
+    Balanced cuts leave headroom on every device — important in practice
+    since highly utilized FPGAs fail timing. *)

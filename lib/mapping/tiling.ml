@@ -1,0 +1,133 @@
+open Sf_ir
+module Tensor = Sf_reference.Tensor
+
+type tile = {
+  core_origin : int list;
+  core_extent : int list;
+  ext_origin : int list;
+  ext_extent : int list;
+}
+
+type t = {
+  program : Program.t;
+  tile_shape : int list;
+  halo : int list;
+  tiles : tile list;
+  redundancy : float;
+}
+
+let influence_radius = Sf_analysis.Influence.radius
+
+let plan (p : Program.t) ~tile_shape =
+  let rank = Program.rank p in
+  if List.length tile_shape <> rank then invalid_arg "Tiling.plan: rank mismatch";
+  List.iter (fun t -> if t <= 0 then invalid_arg "Tiling.plan: non-positive tile extent") tile_shape;
+  let halo = influence_radius p in
+  let shape = p.Program.shape in
+  (* Per-axis list of (core_origin, core_extent). *)
+  let axis_segments extent tile =
+    let rec go origin acc =
+      if origin >= extent then List.rev acc
+      else go (origin + tile) ((origin, min tile (extent - origin)) :: acc)
+    in
+    go 0 []
+  in
+  let per_axis = List.map2 axis_segments shape tile_shape in
+  let rec cartesian = function
+    | [] -> [ [] ]
+    | axis :: rest ->
+        let tails = cartesian rest in
+        List.concat_map (fun seg -> List.map (fun tail -> seg :: tail) tails) axis
+  in
+  let tiles =
+    List.map
+      (fun segments ->
+        let core_origin = List.map fst segments in
+        let core_extent = List.map snd segments in
+        let ext_origin = List.map2 (fun (o, _) h -> max 0 (o - h)) segments halo in
+        let ext_end =
+          List.map2
+            (fun ((o, e), h) bound -> min bound (o + e + h))
+            (List.combine segments halo)
+            shape
+        in
+        let ext_extent = List.map2 ( - ) ext_end ext_origin in
+        { core_origin; core_extent; ext_origin; ext_extent })
+      (cartesian per_axis)
+  in
+  let cells extents = List.fold_left ( * ) 1 extents in
+  let useful = List.fold_left (fun acc t -> acc + cells t.core_extent) 0 tiles in
+  let computed = List.fold_left (fun acc t -> acc + cells t.ext_extent) 0 tiles in
+  {
+    program = p;
+    tile_shape;
+    halo;
+    tiles;
+    redundancy = float_of_int (computed - useful) /. float_of_int useful;
+  }
+
+let sub_program (p : Program.t) extent =
+  Program.make ~dtype:p.Program.dtype ~vector_width:1
+    ~name:(p.Program.name ^ "_tile")
+    ~shape:extent ~inputs:p.Program.inputs ~outputs:p.Program.outputs p.Program.stencils
+
+let buffer_elements_per_tile (t : t) =
+  let p = t.program in
+  let interior_extent =
+    List.map2
+      (fun tile_e (h, bound) -> min bound (tile_e + (2 * h)))
+      t.tile_shape
+      (List.combine t.halo p.Program.shape)
+  in
+  let sub = sub_program p interior_extent in
+  Sf_analysis.Delay_buffer.total_fast_memory_elements (Sf_analysis.Delay_buffer.analyze sub)
+
+let project axes values = List.map (fun a -> List.nth values a) axes
+
+let run_tiled (t : t) ~inputs =
+  let p = t.program in
+  let outputs =
+    List.map (fun o -> (o, Tensor.create p.Program.shape)) p.Program.outputs
+  in
+  List.iter
+    (fun tile ->
+      let sub = sub_program p tile.ext_extent in
+      let sub_inputs =
+        List.map
+          (fun (f : Field.t) ->
+            let tensor =
+              match List.assoc_opt f.Field.name inputs with
+              | Some tensor -> tensor
+              | None ->
+                  raise
+                    (Sf_reference.Interp.Runtime_error
+                       (Printf.sprintf "missing input %s" f.Field.name))
+            in
+            let value =
+              if Field.is_scalar f then tensor
+              else
+                Tensor.slice tensor
+                  ~origin:(project f.Field.axes tile.ext_origin)
+                  ~extent:(project f.Field.axes tile.ext_extent)
+            in
+            (f.Field.name, value))
+          p.Program.inputs
+      in
+      let results = Sf_reference.Interp.run sub ~inputs:sub_inputs in
+      List.iter
+        (fun (name, dst) ->
+          let (r : Sf_reference.Interp.result) = List.assoc name results in
+          Tensor.blit_region ~src:r.Sf_reference.Interp.tensor
+            ~src_origin:(List.map2 ( - ) tile.core_origin tile.ext_origin)
+            ~dst ~dst_origin:tile.core_origin ~extent:tile.core_extent)
+        outputs)
+    t.tiles;
+  outputs
+
+let pp fmt t =
+  Format.fprintf fmt "tiling of %s: tile %s, halo [%s], %d tiles, %.1f%% redundant computation"
+    t.program.Program.name
+    (Sf_support.Util.string_concat_map "x" string_of_int t.tile_shape)
+    (Sf_support.Util.string_concat_map "," string_of_int t.halo)
+    (List.length t.tiles)
+    (100. *. t.redundancy)

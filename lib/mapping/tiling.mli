@@ -1,0 +1,54 @@
+(** Spatial tiling (paper, Sec. IX-D).
+
+    When the domain grows, internal and delay buffer sizes — proportional
+    to (D-1)-dimensional slices of the iteration space — eventually exceed
+    on-chip memory. Spatial tiling processes the domain in tiles whose
+    inner extents bound the buffer sizes, at the price of {e redundant
+    computation} at tile boundaries: each tile must be extended by a halo
+    equal to the program's influence radius, which grows with the DAG
+    depth, so the overhead is proportional to the DAG depth times the
+    tile's surface-to-volume ratio.
+
+    [run_tiled] executes each (halo-extended) tile independently and
+    stitches the cores together; because the halo covers the full
+    influence radius, the result equals the untiled execution exactly —
+    including boundary-condition behaviour at true domain faces, where
+    the extended tile is clipped to the domain. *)
+
+type tile = {
+  core_origin : int list;
+  core_extent : int list;
+  ext_origin : int list;  (** Core minus halo, clipped to the domain. *)
+  ext_extent : int list;
+}
+
+type t = {
+  program : Sf_ir.Program.t;
+  tile_shape : int list;
+  halo : int list;
+      (** Per-axis influence radius of the whole DAG: the farthest any
+          output cell's value depends on input cells, accumulated along
+          paths (each stencil adds its own per-axis offset reach). *)
+  tiles : tile list;
+  redundancy : float;  (** Extra cells computed / useful cells. *)
+}
+
+val influence_radius : Sf_ir.Program.t -> int list
+(** Per-axis reach of the whole program. *)
+
+val plan : Sf_ir.Program.t -> tile_shape:int list -> t
+(** Tile the iteration space; the last tile per axis may be partial.
+    Raises [Invalid_argument] on rank mismatch or non-positive tiles. *)
+
+val buffer_elements_per_tile : t -> int
+(** On-chip buffering required when processing one tile at a time
+    (internal + delay buffers at the tile's inner extents) — compare with
+    {!Sf_analysis.Delay_buffer.total_fast_memory_elements} of the untiled
+    program to see the capacity saving. *)
+
+val run_tiled :
+  t -> inputs:(string * Sf_reference.Tensor.t) list -> (string * Sf_reference.Tensor.t) list
+(** Reference-execute every tile and stitch the cores; returns the
+    program outputs. *)
+
+val pp : Format.formatter -> t -> unit

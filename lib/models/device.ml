@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  alm : int;
+  ff : int;
+  m20k : int;
+  dsp : int;
+  frequency_hz : float;
+  peak_bandwidth : float;
+  scalar_bw_cap : float;
+  vector_bw_cap : float;
+  links_per_hop : int;
+  link_bytes_per_s : float;
+  die_area_mm2 : float;
+}
+
+let stratix10 =
+  {
+    name = "Stratix 10 GX 2800 (BittWare 520N)";
+    alm = 692_000;
+    ff = 2_800_000;
+    m20k = 8_900;
+    dsp = 4_468;
+    frequency_hz = 300e6;
+    peak_bandwidth = 76.8e9;
+    scalar_bw_cap = 36.4e9;
+    vector_bw_cap = 58.3e9;
+    links_per_hop = 2;
+    link_bytes_per_s = 40e9 /. 8.;
+    die_area_mm2 = 700.;
+  }
+
+let m20k_bytes = 2560
+let bytes_per_cycle d = d.peak_bandwidth /. d.frequency_hz
+
+let link_bytes_per_cycle d =
+  float_of_int d.links_per_hop *. d.link_bytes_per_s /. d.frequency_hz

@@ -1,0 +1,39 @@
+(** Spatial device descriptions.
+
+    The evaluation platform of the paper (Sec. VIII-B): a BittWare 520N
+    board with an Intel Stratix 10 GX 2800, four DDR4 banks at a combined
+    76.8 GB/s, and four 40 Gbit/s network ports of which two connect each
+    pair of consecutive devices in the testbed chain. Resource totals are
+    the "available" row of Table I (the shell reserves the rest). *)
+
+type t = {
+  name : string;
+  alm : int;  (** Adaptive logic modules available to the kernel. *)
+  ff : int;  (** Flip-flops. *)
+  m20k : int;  (** 20 Kbit on-chip RAM blocks. *)
+  dsp : int;  (** Hardened floating-point DSP blocks. *)
+  frequency_hz : float;
+      (** Achieved kernel clock; the paper reports 292-317 MHz across all
+          bitstreams, modelled as a flat 300 MHz. *)
+  peak_bandwidth : float;  (** Data-sheet DDR4 bandwidth, bytes/s. *)
+  scalar_bw_cap : float;
+      (** Effective bandwidth ceiling with many scalar access points
+          (Fig. 16): 36.4 GB/s = 47% of peak. *)
+  vector_bw_cap : float;
+      (** Effective ceiling with vectorized access points: 58.3 GB/s =
+          76% of peak. *)
+  links_per_hop : int;  (** Network connections between adjacent devices. *)
+  link_bytes_per_s : float;  (** Per link. *)
+  die_area_mm2 : float;
+}
+
+val stratix10 : t
+
+val m20k_bytes : int
+(** Usable bytes per M20K block (20 Kbit = 2560 B). *)
+
+val bytes_per_cycle : t -> float
+(** Peak DDR bytes per kernel clock cycle. *)
+
+val link_bytes_per_cycle : t -> float
+(** Combined network bytes per cycle between adjacent devices. *)

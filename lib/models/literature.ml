@@ -1,0 +1,78 @@
+type entry = {
+  label : string;
+  performance_gop_s : float;
+  platform : string;
+  alm : int option;
+  ff : int option;
+  m20k : int option;
+  dsp : int option;
+}
+
+let zohouri_diffusion2d =
+  {
+    label = "Diffusion 2D (Zohouri et al.)";
+    performance_gop_s = 913.;
+    platform = "Stratix 10 GX 2800";
+    alm = Some 471_400;
+    ff = Some 1_173_600;
+    m20k = Some 2_204;
+    dsp = Some 3_844;
+  }
+
+let zohouri_diffusion3d =
+  {
+    label = "Diffusion 3D (Zohouri et al.)";
+    performance_gop_s = 934.;
+    platform = "Stratix 10 GX 2800";
+    alm = Some 450_500;
+    ff = Some 1_078_200;
+    m20k = Some 8_684;
+    dsp = Some 3_592;
+  }
+
+let waidyasooriya =
+  {
+    label = "Waidyasooriya and Hariyama";
+    performance_gop_s = 630.;
+    platform = "Arria 10 GX 1150";
+    alm = None;
+    ff = None;
+    m20k = None;
+    dsp = None;
+  }
+
+let soda_jacobi3d =
+  {
+    label = "SODA (Jacobi 3D)";
+    performance_gop_s = 135.;
+    platform = "ADM-PCIE-KU3";
+    alm = None;
+    ff = None;
+    m20k = None;
+    dsp = None;
+  }
+
+let niu =
+  {
+    label = "Niu et al.";
+    performance_gop_s = 119.;
+    platform = "Virtex-6 SX475T";
+    alm = None;
+    ff = None;
+    m20k = None;
+    dsp = None;
+  }
+
+let ben_nun_dace =
+  {
+    label = "Ben-Nun et al. (DaCe)";
+    performance_gop_s = 139.;
+    platform = "Virtex UltraScale+ VCU1525";
+    alm = None;
+    ff = None;
+    m20k = None;
+    dsp = None;
+  }
+
+let all =
+  [ zohouri_diffusion2d; zohouri_diffusion3d; waidyasooriya; soda_jacobi3d; niu; ben_nun_dace ]

@@ -1,0 +1,23 @@
+(** Published results quoted by Table I for comparison.
+
+    These numbers are taken verbatim from the paper (and the works it
+    cites); they are constants, not measurements of this reproduction. *)
+
+type entry = {
+  label : string;
+  performance_gop_s : float;
+  platform : string;
+  alm : int option;  (** Resource usage where the paper reports it. *)
+  ff : int option;
+  m20k : int option;
+  dsp : int option;
+}
+
+val zohouri_diffusion2d : entry
+val zohouri_diffusion3d : entry
+val waidyasooriya : entry
+val soda_jacobi3d : entry
+val niu : entry
+val ben_nun_dace : entry
+
+val all : entry list

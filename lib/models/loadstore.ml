@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  bandwidth_bytes_per_s : float;
+  achievable_fraction : float;
+  die_area_mm2 : float;
+  process : string;
+}
+
+let xeon_12c =
+  {
+    name = "Xeon 12C (E5-2690V3)";
+    bandwidth_bytes_per_s = 68e9;
+    achievable_fraction = 0.13;
+    die_area_mm2 = 662.;
+    process = "Intel 22 nm";
+  }
+
+let p100 =
+  {
+    name = "Tesla P100";
+    bandwidth_bytes_per_s = 732e9;
+    achievable_fraction = 0.08;
+    die_area_mm2 = 610.;
+    process = "TSMC 16 nm";
+  }
+
+let v100 =
+  {
+    name = "Tesla V100";
+    bandwidth_bytes_per_s = 900e9;
+    achievable_fraction = 0.26;
+    die_area_mm2 = 815.;
+    process = "TSMC 12 nm";
+  }
+
+let performance t ~ai_ops_per_byte =
+  ai_ops_per_byte *. t.bandwidth_bytes_per_s *. t.achievable_fraction
+
+let runtime t ~ai_ops_per_byte ~total_flops = total_flops /. performance t ~ai_ops_per_byte
+let roof_fraction t = t.achievable_fraction

@@ -1,0 +1,34 @@
+(** Load/store architecture baselines for the application study
+    (paper, Sec. IX-B, Table II).
+
+    The paper compares the generated FPGA architecture to the horizontal
+    diffusion program emitted by the MeteoSwiss Dawn compiler for a
+    12-core Xeon and for P100/V100 GPUs. Without that hardware we model
+    each architecture by its memory bandwidth and the fraction of its
+    bandwidth roofline the Dawn-generated code achieves — the paper's own
+    %Roof column (13%, 8% and 26%): load/store architectures fall well
+    short of the roofline because they cannot exploit all temporal
+    locality without a fused global pipeline (Secs. I, III-A). *)
+
+type t = {
+  name : string;
+  bandwidth_bytes_per_s : float;
+  achievable_fraction : float;
+      (** Measured fraction of the bandwidth roofline reached on
+          horizontal diffusion (calibrated from Table II). *)
+  die_area_mm2 : float;
+  process : string;
+}
+
+val xeon_12c : t
+val p100 : t
+val v100 : t
+
+val performance : t -> ai_ops_per_byte:float -> float
+(** Modelled ops/s on a program of the given arithmetic intensity. *)
+
+val runtime : t -> ai_ops_per_byte:float -> total_flops:float -> float
+(** Modelled kernel runtime in seconds. *)
+
+val roof_fraction : t -> float
+(** The %Roof column entry. *)

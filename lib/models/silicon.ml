@@ -1,0 +1,1 @@
+let efficiency ~performance_ops_per_s ~die_area_mm2 = performance_ops_per_s /. 1e9 /. die_area_mm2

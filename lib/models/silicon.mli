@@ -1,0 +1,9 @@
+(** Silicon efficiency accounting (paper, Sec. IX-C).
+
+    Performance per die area compares architectures across process nodes:
+    the paper reports 0.21 / 0.71 GOp/s/mm2 for the Stratix 10 with and
+    without its memory bottleneck, 0.34 for the P100 and 1.04 for the
+    V100 on horizontal diffusion. *)
+
+val efficiency : performance_ops_per_s:float -> die_area_mm2:float -> float
+(** GOp/s per mm2. *)

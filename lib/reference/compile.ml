@@ -1,0 +1,100 @@
+open Sf_ir
+
+type 'ctx fn = 'ctx -> float
+
+let truthy v = v <> 0.
+let of_bool b = if b then 1. else 0.
+
+let rec expr ~access ~env e =
+  match e with
+  | Expr.Const c -> fun _ -> c
+  | Expr.Access { field; offsets } -> access ~field ~offsets
+  | Expr.Var v -> (
+      match env v with
+      | Some f -> f
+      | None -> invalid_arg (Printf.sprintf "Compile.expr: unbound variable %s" v))
+  | Expr.Unary (Expr.Neg, x) ->
+      let cx = expr ~access ~env x in
+      fun ctx -> -.cx ctx
+  | Expr.Unary (Expr.Not, x) ->
+      let cx = expr ~access ~env x in
+      fun ctx -> of_bool (not (truthy (cx ctx)))
+  | Expr.Binary (op, x, y) -> (
+      let cx = expr ~access ~env x and cy = expr ~access ~env y in
+      match op with
+      | Expr.Add -> fun ctx -> cx ctx +. cy ctx
+      | Expr.Sub -> fun ctx -> cx ctx -. cy ctx
+      | Expr.Mul -> fun ctx -> cx ctx *. cy ctx
+      | Expr.Div -> fun ctx -> cx ctx /. cy ctx
+      | Expr.Lt -> fun ctx -> of_bool (cx ctx < cy ctx)
+      | Expr.Le -> fun ctx -> of_bool (cx ctx <= cy ctx)
+      | Expr.Gt -> fun ctx -> of_bool (cx ctx > cy ctx)
+      | Expr.Ge -> fun ctx -> of_bool (cx ctx >= cy ctx)
+      | Expr.Eq -> fun ctx -> of_bool (cx ctx = cy ctx)
+      | Expr.Ne -> fun ctx -> of_bool (cx ctx <> cy ctx)
+      (* Non-short-circuit, as in the predicated hardware pipeline. *)
+      | Expr.And ->
+          fun ctx ->
+            let a = truthy (cx ctx) in
+            let b = truthy (cy ctx) in
+            of_bool (a && b)
+      | Expr.Or ->
+          fun ctx ->
+            let a = truthy (cx ctx) in
+            let b = truthy (cy ctx) in
+            of_bool (a || b))
+  | Expr.Select { cond; if_true; if_false } ->
+      let cc = expr ~access ~env cond in
+      let ct = expr ~access ~env if_true in
+      let cf = expr ~access ~env if_false in
+      (* Both branches evaluate (predication), then one is selected. *)
+      fun ctx ->
+        let c = cc ctx in
+        let t = ct ctx in
+        let f = cf ctx in
+        if truthy c then t else f
+  | Expr.Call (f, args) -> (
+      let cargs = List.map (expr ~access ~env) args in
+      match (f, cargs) with
+      | Expr.Sqrt, [ x ] -> fun ctx -> Float.sqrt (x ctx)
+      | Expr.Abs, [ x ] -> fun ctx -> Float.abs (x ctx)
+      | Expr.Exp, [ x ] -> fun ctx -> Float.exp (x ctx)
+      | Expr.Log, [ x ] -> fun ctx -> Float.log (x ctx)
+      | Expr.Sin, [ x ] -> fun ctx -> Float.sin (x ctx)
+      | Expr.Cos, [ x ] -> fun ctx -> Float.cos (x ctx)
+      | Expr.Floor, [ x ] -> fun ctx -> Float.floor (x ctx)
+      | Expr.Ceil, [ x ] -> fun ctx -> Float.ceil (x ctx)
+      | Expr.Pow, [ x; y ] -> fun ctx -> Float.pow (x ctx) (y ctx)
+      | Expr.Min, [ x; y ] -> fun ctx -> Float.min (x ctx) (y ctx)
+      | Expr.Max, [ x; y ] -> fun ctx -> Float.max (x ctx) (y ctx)
+      | ( ( Expr.Sqrt | Expr.Abs | Expr.Exp | Expr.Log | Expr.Sin | Expr.Cos | Expr.Floor
+          | Expr.Ceil | Expr.Pow | Expr.Min | Expr.Max ),
+          _ ) ->
+          invalid_arg (Printf.sprintf "Compile.expr: wrong arity for %s" (Expr.func_name f)))
+
+let body ~access (b : Expr.body) =
+  let slots : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri (fun i (name, _) -> Hashtbl.replace slots name i) b.Expr.lets;
+  let values = Array.make (max 1 (List.length b.Expr.lets)) 0. in
+  let env v =
+    match Hashtbl.find_opt slots v with
+    | Some i -> Some (fun _ -> values.(i))
+    | None -> None
+  in
+  (* Bindings may only reference earlier bindings; restrict the
+     environment while compiling each one. *)
+  let compiled_lets =
+    List.mapi
+      (fun i (_, e) ->
+        let env v =
+          match Hashtbl.find_opt slots v with
+          | Some j when j < i -> Some (fun _ -> values.(j))
+          | Some _ | None -> None
+        in
+        expr ~access ~env e)
+      b.Expr.lets
+  in
+  let compiled_result = expr ~access ~env b.Expr.result in
+  fun ctx ->
+    List.iteri (fun i c -> values.(i) <- c ctx) compiled_lets;
+    compiled_result ctx

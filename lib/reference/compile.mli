@@ -1,0 +1,29 @@
+(** Staged compilation of stencil expressions to closures.
+
+    Evaluating the AST per cell costs a pattern match and environment
+    lookup per node; since the DSL is closed and analyzable (paper,
+    Sec. II), each stencil body can instead be compiled once into a tree
+    of closures over an abstract per-cell context ['ctx]. The caller
+    supplies the access compiler, which may pre-resolve everything that
+    does not depend on the cell — which tensor or window backs a field,
+    flattened offsets, boundary-condition constants — so the per-cell
+    work is only loads and arithmetic. Both the reference interpreter
+    and the simulator's stencil units execute through this path; the
+    semantics are those of {!Interp.eval_expr} (non-short-circuit
+    booleans, both select branches evaluated), which property tests
+    enforce. *)
+
+type 'ctx fn = 'ctx -> float
+
+val expr :
+  access:(field:string -> offsets:int list -> 'ctx fn) ->
+  env:(string -> 'ctx fn option) ->
+  Sf_ir.Expr.t ->
+  'ctx fn
+(** Compile one expression; [env] resolves let-bound variables. Raises
+    [Invalid_argument] on unbound variables or bad arity. *)
+
+val body : access:(field:string -> offsets:int list -> 'ctx fn) -> Sf_ir.Expr.body -> 'ctx fn
+(** Compile a whole body: each let binding is computed once per
+    invocation (into a reused slot array — the result is not reentrant,
+    matching the single-threaded execution engines). *)

@@ -1,0 +1,173 @@
+open Sf_ir
+
+type result = { tensor : Tensor.t; valid : bool array }
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+let truthy v = v <> 0.
+let of_bool b = if b then 1. else 0.
+
+let eval_func f args =
+  match (f, args) with
+  | Expr.Sqrt, [ x ] -> Float.sqrt x
+  | Expr.Abs, [ x ] -> Float.abs x
+  | Expr.Exp, [ x ] -> Float.exp x
+  | Expr.Log, [ x ] -> Float.log x
+  | Expr.Pow, [ x; y ] -> Float.pow x y
+  | Expr.Min, [ x; y ] -> Float.min x y
+  | Expr.Max, [ x; y ] -> Float.max x y
+  | Expr.Sin, [ x ] -> Float.sin x
+  | Expr.Cos, [ x ] -> Float.cos x
+  | Expr.Floor, [ x ] -> Float.floor x
+  | Expr.Ceil, [ x ] -> Float.ceil x
+  | ( ( Expr.Sqrt | Expr.Abs | Expr.Exp | Expr.Log | Expr.Pow | Expr.Min | Expr.Max
+      | Expr.Sin | Expr.Cos | Expr.Floor | Expr.Ceil ),
+      _ ) ->
+      fail "wrong arity for %s" (Expr.func_name f)
+
+let rec eval_expr ~lookup ~env expr =
+  match expr with
+  | Expr.Const c -> c
+  | Expr.Access { field; offsets } -> lookup ~field ~offsets
+  | Expr.Var v -> (
+      match env v with Some value -> value | None -> fail "unbound variable %s" v)
+  | Expr.Unary (Expr.Neg, x) -> -.eval_expr ~lookup ~env x
+  | Expr.Unary (Expr.Not, x) -> of_bool (not (truthy (eval_expr ~lookup ~env x)))
+  | Expr.Binary (op, x, y) -> (
+      let a = eval_expr ~lookup ~env x in
+      (* && and || are not short-circuit: the spatial pipeline evaluates
+         both sides unconditionally, and so do we. *)
+      let b = eval_expr ~lookup ~env y in
+      match op with
+      | Expr.Add -> a +. b
+      | Expr.Sub -> a -. b
+      | Expr.Mul -> a *. b
+      | Expr.Div -> a /. b
+      | Expr.Lt -> of_bool (a < b)
+      | Expr.Le -> of_bool (a <= b)
+      | Expr.Gt -> of_bool (a > b)
+      | Expr.Ge -> of_bool (a >= b)
+      | Expr.Eq -> of_bool (a = b)
+      | Expr.Ne -> of_bool (a <> b)
+      | Expr.And -> of_bool (truthy a && truthy b)
+      | Expr.Or -> of_bool (truthy a || truthy b))
+  | Expr.Select { cond; if_true; if_false } ->
+      (* Both branches are evaluated (predication), then one selected. *)
+      let c = eval_expr ~lookup ~env cond in
+      let t = eval_expr ~lookup ~env if_true in
+      let f = eval_expr ~lookup ~env if_false in
+      if truthy c then t else f
+  | Expr.Call (f, args) -> eval_func f (List.map (eval_expr ~lookup ~env) args)
+
+let input_extent (p : Program.t) (f : Field.t) =
+  match Field.extent f ~shape:p.Program.shape with [] -> [ 1 ] | extent -> extent
+
+(* Per-cell evaluation context shared with the compiled closures: the
+   current multi-index plus the out-of-bounds flag that drives "shrink"
+   validity. *)
+type cell_ctx = { idx : int array; mutable oob : bool }
+
+let run_all (p : Program.t) ~inputs =
+  Program.validate_exn p;
+  let shape = p.Program.shape in
+  let rank = Program.rank p in
+  let store : (string, Tensor.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let expected = input_extent p f in
+      match List.assoc_opt f.Field.name inputs with
+      | None -> fail "missing input data for field %s" f.Field.name
+      | Some t ->
+          let extent = if t.Tensor.extent = [] then [ 1 ] else t.Tensor.extent in
+          if extent <> expected then
+            fail "input %s: expected extent [%s], got [%s]" f.Field.name
+              (Sf_support.Util.string_concat_map "," string_of_int expected)
+              (Sf_support.Util.string_concat_map "," string_of_int extent);
+          Hashtbl.replace store f.Field.name { t with Tensor.extent })
+    p.Program.inputs;
+  let results = ref [] in
+  let eval_stencil (s : Stencil.t) =
+    let out = Tensor.create shape in
+    let valid = Array.make (Program.cells p) true in
+    (* The access compiler pre-resolves everything cell-independent:
+       which tensor backs the field, its strides, the offset vector and
+       the boundary condition. Per cell only bounds checks and a flat
+       load remain. *)
+    let access ~field ~offsets =
+      let axes = Array.of_list (Program.field_axes p field) in
+      let tensor =
+        match Hashtbl.find_opt store field with
+        | Some t -> t
+        | None -> fail "field %s evaluated before its producer" field
+      in
+      let offsets = Array.of_list offsets in
+      let extents = Array.map (fun axis -> List.nth shape axis) axes in
+      let strides =
+        (* Row-major strides of the field's own extent. *)
+        let n = Array.length extents in
+        let strides = Array.make n 1 in
+        for d = n - 2 downto 0 do
+          strides.(d) <- strides.(d + 1) * extents.(d + 1)
+        done;
+        strides
+      in
+      let n = Array.length axes in
+      let boundary = Stencil.boundary_for s field in
+      fun (ctx : cell_ctx) ->
+        let flat = ref 0 in
+        let center = ref 0 in
+        let in_bounds = ref true in
+        for d = 0 to n - 1 do
+          let base = ctx.idx.(axes.(d)) in
+          let target = base + offsets.(d) in
+          if target < 0 || target >= extents.(d) then in_bounds := false;
+          flat := !flat + (target * strides.(d));
+          center := !center + (base * strides.(d))
+        done;
+        if !in_bounds then Tensor.get_flat tensor !flat
+        else begin
+          ctx.oob <- true;
+          match boundary with
+          | Boundary.Constant c -> c
+          | Boundary.Copy -> Tensor.get_flat tensor !center
+        end
+    in
+    let compiled = Compile.body ~access s.Stencil.body in
+    let ctx = { idx = Array.make rank 0; oob = false } in
+    let extents = Array.of_list shape in
+    let cells = Program.cells p in
+    for flat = 0 to cells - 1 do
+      ctx.oob <- false;
+      Tensor.set_flat out flat (compiled ctx);
+      if s.Stencil.shrink && ctx.oob then valid.(flat) <- false;
+      (* Advance the mixed-radix counter. *)
+      let rec bump d =
+        if d >= 0 then begin
+          ctx.idx.(d) <- ctx.idx.(d) + 1;
+          if ctx.idx.(d) = extents.(d) then begin
+            ctx.idx.(d) <- 0;
+            bump (d - 1)
+          end
+        end
+      in
+      bump (rank - 1)
+    done;
+    Hashtbl.replace store s.Stencil.name out;
+    results := (s.Stencil.name, { tensor = out; valid }) :: !results
+  in
+  List.iter eval_stencil (Program.topological_stencils p);
+  List.rev !results
+
+let run p ~inputs =
+  let all = run_all p ~inputs in
+  List.filter (fun (name, _) -> List.exists (String.equal name) p.Program.outputs) all
+
+let random_inputs ?(seed = 42) (p : Program.t) =
+  let state = Random.State.make [| seed |] in
+  List.map
+    (fun f ->
+      let extent = input_extent p f in
+      let t = Tensor.of_fn extent (fun _ -> Random.State.float state 2. -. 1.) in
+      (f.Field.name, t))
+    p.Program.inputs

@@ -1,0 +1,45 @@
+(** Sequential reference interpreter (paper, Sec. VI-C).
+
+    Stencil evaluations execute one at a time in topological order — no
+    fusion or inter-stencil parallelism — over real arrays. This is the
+    oracle against which the spatial simulator's streamed results are
+    validated, and doubles as a measured CPU baseline.
+
+    Boundary semantics match the DSL: per-dimension out-of-bounds reads
+    are replaced according to the input's boundary condition; a stencil
+    with [shrink] marks every output cell whose computation touched an
+    out-of-bounds value as invalid. Comparisons yield 1.0 / 0.0 and any
+    non-zero value is true, matching the generated hardware's predicated
+    float pipeline. *)
+
+type result = {
+  tensor : Tensor.t;
+  valid : bool array;
+      (** Per-cell validity (row-major); all-true unless the producing
+          stencil declares [shrink]. *)
+}
+
+exception Runtime_error of string
+
+val eval_expr :
+  lookup:(field:string -> offsets:int list -> float) ->
+  env:(string -> float option) ->
+  Sf_ir.Expr.t ->
+  float
+(** Evaluate one expression given an access oracle and a let-binding
+    environment. Exposed for testing and for the simulator's compute
+    stage, which shares these semantics. *)
+
+val run_all : Sf_ir.Program.t -> inputs:(string * Tensor.t) list -> (string * result) list
+(** Execute every stencil; returns results for all stencils in topological
+    order. Raises {!Runtime_error} on missing or mis-shaped inputs. *)
+
+val run : Sf_ir.Program.t -> inputs:(string * Tensor.t) list -> (string * result) list
+(** Like {!run_all} but restricted to the program's declared outputs. *)
+
+val random_inputs : ?seed:int -> Sf_ir.Program.t -> (string * Tensor.t) list
+(** Deterministic pseudo-random input data in [-1, 1] for every declared
+    input field — convenient for tests and validation runs. *)
+
+val input_extent : Sf_ir.Program.t -> Sf_ir.Field.t -> int list
+(** The tensor extent a given input field must have. *)

@@ -1,0 +1,120 @@
+open Sf_ir
+
+type report = {
+  fused_pairs : (string * string) list;
+  stencils_before : int;
+  stencils_after : int;
+}
+
+let can_fuse (p : Program.t) ~producer ~consumer =
+  match (Program.find_stencil p producer, Program.find_stencil p consumer) with
+  | None, _ -> Error (Printf.sprintf "%s is not a stencil" producer)
+  | _, None -> Error (Printf.sprintf "%s is not a stencil" consumer)
+  | Some u, Some v ->
+      if List.exists (String.equal producer) p.Program.outputs then
+        Error (Printf.sprintf "%s is written to off-chip memory" producer)
+      else begin
+        match Program.consumers p producer with
+        | [ c ] when String.equal c consumer ->
+            if not (Stencil.equal_boundaries u v) then
+              Error "boundary conditions differ"
+            else Ok ()
+        | [ _ ] -> Error (Printf.sprintf "%s does not feed %s" producer consumer)
+        | consumers ->
+            Error
+              (Printf.sprintf "%s has %d consumers (container degree > 2)" producer
+                 (List.length consumers))
+      end
+
+let fuse_pair (p : Program.t) ~producer ~consumer =
+  (match can_fuse p ~producer ~consumer with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Fusion.fuse_pair: " ^ m));
+  let u = Option.get (Program.find_stencil p producer) in
+  let v = Option.get (Program.find_stencil p consumer) in
+  let u_expr = Expr.inline_lets u.Stencil.body in
+  let v_expr = Expr.inline_lets v.Stencil.body in
+  (* Substitute u's body (shifted by the access offset) for each access to
+     the producer. Full-rank fields shift componentwise; lower-dimensional
+     fields shift only on the axes they span. *)
+  let fused_expr =
+    Expr.map_accesses
+      (fun ~field ~offsets ->
+        if String.equal field producer then begin
+          let delta = offsets in
+          Expr.map_accesses
+            (fun ~field:f ~offsets:inner ->
+              let axes = Program.field_axes p f in
+              if List.length axes = Program.rank p then
+                Expr.Access { field = f; offsets = List.map2 ( + ) inner delta }
+              else
+                Expr.Access
+                  { field = f; offsets = List.map2 (fun o axis -> o + List.nth delta axis) inner axes })
+            u_expr
+        end
+        else Expr.Access { field; offsets })
+      v_expr
+  in
+  let merged_boundary =
+    let from_u =
+      List.filter (fun (f, _) -> not (List.mem_assoc f v.Stencil.boundary)) u.Stencil.boundary
+    in
+    v.Stencil.boundary @ from_u
+  in
+  let fused =
+    Stencil.make
+      ~boundary:
+        (List.filter (fun (f, _) -> not (String.equal f producer)) merged_boundary)
+      ~shrink:v.Stencil.shrink ~name:consumer
+      { Expr.lets = []; result = fused_expr }
+  in
+  let stencils =
+    List.filter_map
+      (fun s ->
+        if String.equal s.Stencil.name producer then None
+        else if String.equal s.Stencil.name consumer then Some fused
+        else Some s)
+      p.Program.stencils
+  in
+  let p' = { p with Program.stencils } in
+  Program.validate_exn p';
+  p'
+
+let fuse_all ?(max_body_size = max_int) (p : Program.t) =
+  let before = List.length p.Program.stencils in
+  let rec go p fused =
+    let candidate =
+      List.find_map
+        (fun (s : Stencil.t) ->
+          let producer = s.Stencil.name in
+          match Program.consumers p producer with
+          | [ consumer ] -> (
+              match can_fuse p ~producer ~consumer with
+              | Ok () ->
+                  let u = Option.get (Program.find_stencil p producer) in
+                  let v = Option.get (Program.find_stencil p consumer) in
+                  let size =
+                    Expr.size (Expr.inline_lets u.Stencil.body)
+                    * List.length (Stencil.accesses_of_field v producer)
+                    + Expr.size (Expr.inline_lets v.Stencil.body)
+                  in
+                  if size <= max_body_size then Some (producer, consumer) else None
+              | Error _ -> None)
+          | _ -> None)
+        (Program.topological_stencils p)
+    in
+    match candidate with
+    | None -> (p, List.rev fused)
+    | Some (producer, consumer) ->
+        go (fuse_pair p ~producer ~consumer) ((producer, consumer) :: fused)
+  in
+  let p', fused_pairs = go p [] in
+  (p', { fused_pairs; stencils_before = before; stencils_after = List.length p'.Program.stencils })
+
+let interior_radius (p : Program.t) = Sf_analysis.Influence.max_radius p
+
+let equivalence_radius ~original ~fused =
+  max (interior_radius original) (interior_radius fused)
+
+let equivalence_radii ~original ~fused =
+  List.map2 max (Sf_analysis.Influence.radius original) (Sf_analysis.Influence.radius fused)

@@ -1,0 +1,59 @@
+(** Spatial stencil fusion (paper, Sec. V-B, Fig. 11).
+
+    On a spatial architecture every stencil already runs in a fully
+    "fused" global pipeline, so fusing two stencils does not change the
+    schedule; instead it combines initialization phases (shortening the
+    critical path when the pair lies on it), merges internal buffers for
+    shared fields, coalesces delay buffers, exposes common-subexpression
+    elimination, and coarsens nodes to improve the useful-logic ratio.
+
+    Preconditions for fusing producer [u] into consumer [v] (paper):
+    - [u] and [v] operate on the same iteration shape (always true inside
+      one program) with the same boundary-condition definitions;
+    - the connecting container has degree 2 — [u] has exactly one
+      consumer, so all stencils keep a single output;
+    - no other instance of [u] exists — [u] is not written to off-chip
+      memory — so removing it adds no extra memory traffic.
+
+    The rewrite substitutes, for each access [u\[d\]] in [v], the body of
+    [u] with every access shifted by [d]. Fused and unfused programs
+    agree exactly on cells where no boundary condition fires; at boundary
+    cells the fused program applies predication at the combined offsets,
+    as generated hardware does. *)
+
+type report = {
+  fused_pairs : (string * string) list;  (** (producer, consumer) in order. *)
+  stencils_before : int;
+  stencils_after : int;
+}
+
+val can_fuse : Sf_ir.Program.t -> producer:string -> consumer:string -> (unit, string) result
+(** Check the preconditions, returning the violated one. *)
+
+val fuse_pair : Sf_ir.Program.t -> producer:string -> consumer:string -> Sf_ir.Program.t
+(** Fuse one edge; raises [Invalid_argument] if {!can_fuse} fails. The
+    consumer keeps its name; the producer disappears. *)
+
+val fuse_all : ?max_body_size:int -> Sf_ir.Program.t -> Sf_ir.Program.t * report
+(** Aggressive fusion to fixpoint, as used for the paper's experiments.
+    [max_body_size] (AST nodes, default unlimited) stops the expression
+    blow-up that full inlining can cause. *)
+
+val interior_radius : Sf_ir.Program.t -> int
+(** The program's accumulated influence radius
+    ({!Sf_analysis.Influence.max_radius}): cells at least this far from
+    every domain face never trigger boundary handling anywhere in the
+    DAG. *)
+
+val equivalence_radii : original:Sf_ir.Program.t -> fused:Sf_ir.Program.t -> int list
+(** Per-axis version of {!equivalence_radius} — tighter for programs with
+    axes the stencils never offset along (e.g. the vertical axis of
+    horizontal diffusion). *)
+
+val equivalence_radius : original:Sf_ir.Program.t -> fused:Sf_ir.Program.t -> int
+(** Cells at least this far from every face agree exactly between the two
+    program versions. The maximum of both influences is required: fusing
+    a producer that reads only scalar or lower-dimensional fields absorbs
+    the consumer's offsets, so the fused program's own radius can
+    underestimate where the {e unfused} program applied its boundary
+    conditions. *)

@@ -1,0 +1,186 @@
+open Sf_ir
+
+let is_const = function Expr.Const _ -> true | _ -> false
+
+let eval_const_unop op c =
+  match op with
+  | Expr.Neg -> -.c
+  | Expr.Not -> if c <> 0. then 0. else 1.
+
+let eval_const_binop op a b =
+  let of_bool p = if p then 1. else 0. in
+  match op with
+  | Expr.Add -> a +. b
+  | Expr.Sub -> a -. b
+  | Expr.Mul -> a *. b
+  | Expr.Div -> a /. b
+  | Expr.Lt -> of_bool (a < b)
+  | Expr.Le -> of_bool (a <= b)
+  | Expr.Gt -> of_bool (a > b)
+  | Expr.Ge -> of_bool (a >= b)
+  | Expr.Eq -> of_bool (a = b)
+  | Expr.Ne -> of_bool (a <> b)
+  | Expr.And -> of_bool (a <> 0. && b <> 0.)
+  | Expr.Or -> of_bool (a <> 0. || b <> 0.)
+
+let eval_const_call f args =
+  match (f, args) with
+  | Expr.Sqrt, [ x ] -> Some (Float.sqrt x)
+  | Expr.Abs, [ x ] -> Some (Float.abs x)
+  | Expr.Exp, [ x ] -> Some (Float.exp x)
+  | Expr.Log, [ x ] -> Some (Float.log x)
+  | Expr.Pow, [ x; y ] -> Some (Float.pow x y)
+  | Expr.Min, [ x; y ] -> Some (Float.min x y)
+  | Expr.Max, [ x; y ] -> Some (Float.max x y)
+  | Expr.Sin, [ x ] -> Some (Float.sin x)
+  | Expr.Cos, [ x ] -> Some (Float.cos x)
+  | Expr.Floor, [ x ] -> Some (Float.floor x)
+  | Expr.Ceil, [ x ] -> Some (Float.ceil x)
+  | ( ( Expr.Sqrt | Expr.Abs | Expr.Exp | Expr.Log | Expr.Pow | Expr.Min | Expr.Max | Expr.Sin
+      | Expr.Cos | Expr.Floor | Expr.Ceil ),
+      _ ) ->
+      None
+
+let fold_constants ?(preserve_access_effects = false) expr =
+  let rec fold_constants expr =
+    match expr with
+  | Expr.Const _ | Expr.Access _ | Expr.Var _ -> expr
+  | Expr.Unary (op, x) -> (
+      match fold_constants x with
+      | Expr.Const c -> Expr.Const (eval_const_unop op c)
+      | x' -> Expr.Unary (op, x'))
+  | Expr.Binary (op, x, y) -> (
+      let x' = fold_constants x and y' = fold_constants y in
+      match (op, x', y') with
+      | _, Expr.Const a, Expr.Const b -> Expr.Const (eval_const_binop op a b)
+      (* IEEE-safe identities only: adding/subtracting zero and
+         multiplying/dividing by one preserve NaN and Inf propagation. *)
+      | Expr.Add, Expr.Const 0., e | Expr.Add, e, Expr.Const 0. -> e
+      | Expr.Sub, e, Expr.Const 0. -> e
+      | Expr.Mul, Expr.Const 1., e | Expr.Mul, e, Expr.Const 1. -> e
+      | Expr.Div, e, Expr.Const 1. -> e
+      | _, _, _ -> Expr.Binary (op, x', y'))
+  | Expr.Select { cond; if_true; if_false } -> (
+      let cond' = fold_constants cond in
+      match cond' with
+      (* Folding a constant-condition select drops the unselected branch.
+         Under "shrink" semantics the dropped branch's (predicated,
+         possibly out-of-bounds) accesses still affect the validity mask,
+         so the fold is only legal when that branch reads nothing or the
+         caller asked for pure-value semantics. *)
+      | Expr.Const c
+        when (not preserve_access_effects)
+             || Expr.accesses (if c <> 0. then if_false else if_true) = [] ->
+          fold_constants (if c <> 0. then if_true else if_false)
+      | _ ->
+          Expr.Select
+            { cond = cond'; if_true = fold_constants if_true; if_false = fold_constants if_false })
+  | Expr.Call (f, args) -> (
+      let args' = List.map fold_constants args in
+      if List.for_all is_const args' then
+        let values = List.map (function Expr.Const c -> c | _ -> assert false) args' in
+        match eval_const_call f values with
+        | Some v -> Expr.Const v
+        | None -> Expr.Call (f, args')
+      else Expr.Call (f, args'))
+  in
+  fold_constants expr
+
+let cse ?(min_size = 3) (body : Expr.body) =
+  let expr = Expr.inline_lets body in
+  (* Count structurally identical subtrees (keyed by their canonical
+     rendering, which is unambiguous). *)
+  let counts : (string, int * Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec count e =
+    (match e with
+    | Expr.Const _ | Expr.Access _ | Expr.Var _ -> ()
+    | Expr.Unary (_, x) -> count x
+    | Expr.Binary (_, x, y) ->
+        count x;
+        count y
+    | Expr.Select { cond; if_true; if_false } ->
+        count cond;
+        count if_true;
+        count if_false
+    | Expr.Call (_, args) -> List.iter count args);
+    if Expr.size e >= min_size then begin
+      let key = Expr.to_string e in
+      match Hashtbl.find_opt counts key with
+      | Some (n, _) -> Hashtbl.replace counts key (n + 1, e)
+      | None -> Hashtbl.replace counts key (1, e)
+    end
+  in
+  count expr;
+  let shared =
+    Hashtbl.fold (fun key (n, e) acc -> if n >= 2 then (key, e) :: acc else acc) counts []
+    (* Bind smaller subtrees first so larger ones can reference them. *)
+    |> List.sort (fun (_, a) (_, b) -> compare (Expr.size a) (Expr.size b))
+  in
+  let name_of : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri (fun i (key, _) -> Hashtbl.replace name_of key (Printf.sprintf "__cse%d" i)) shared;
+  (* Rewrite an expression, replacing shared subtrees by their variable —
+     except the expression being defined itself ([skip]). *)
+  let rec rewrite ?skip e =
+    let key = Expr.to_string e in
+    match Hashtbl.find_opt name_of key with
+    | Some v when skip <> Some key -> Expr.Var v
+    | Some _ | None -> (
+        match e with
+        | Expr.Const _ | Expr.Access _ | Expr.Var _ -> e
+        | Expr.Unary (op, x) -> Expr.Unary (op, rewrite x)
+        | Expr.Binary (op, x, y) -> Expr.Binary (op, rewrite x, rewrite y)
+        | Expr.Select { cond; if_true; if_false } ->
+            Expr.Select
+              { cond = rewrite cond; if_true = rewrite if_true; if_false = rewrite if_false }
+        | Expr.Call (f, args) -> Expr.Call (f, List.map rewrite args))
+  in
+  let lets =
+    List.map
+      (fun (key, e) -> (Hashtbl.find name_of key, rewrite ~skip:key e))
+      shared
+  in
+  { Expr.lets; result = rewrite expr }
+
+let optimize_stencil ?min_size (s : Stencil.t) =
+  (* Shrink stencils must keep predicated accesses alive (they feed the
+     validity mask) even when a constant condition never selects them. *)
+  let fold e = fold_constants ~preserve_access_effects:s.Stencil.shrink e in
+  let folded =
+    {
+      Expr.lets = List.map (fun (n, e) -> (n, fold e)) s.Stencil.body.Expr.lets;
+      result = fold s.Stencil.body.Expr.result;
+    }
+  in
+  let s = { s with Stencil.body = cse ?min_size folded } in
+  (* Folding can eliminate every access to a field (a constant-condition
+     select, for instance); drop boundary conditions for fields that are
+     no longer read. *)
+  let still_read = Stencil.input_fields s in
+  {
+    s with
+    Stencil.boundary =
+      List.filter (fun (f, _) -> List.exists (String.equal f) still_read) s.Stencil.boundary;
+  }
+
+let optimize ?min_size (p : Program.t) =
+  let stencils = List.map (optimize_stencil ?min_size) p.Program.stencils in
+  (* Dead-code elimination: folding may disconnect stencils entirely;
+     remove (transitively) everything that is neither an output nor read
+     by a surviving stencil. *)
+  let rec prune stencils =
+    let read = List.concat_map (fun (s : Stencil.t) -> Stencil.input_fields s) stencils in
+    let live (s : Stencil.t) =
+      List.exists (String.equal s.Stencil.name) p.Program.outputs
+      || List.exists (String.equal s.Stencil.name) read
+    in
+    let survivors = List.filter live stencils in
+    if List.length survivors = List.length stencils then stencils else prune survivors
+  in
+  let stencils = prune stencils in
+  let read = List.concat_map (fun (s : Stencil.t) -> Stencil.input_fields s) stencils in
+  let inputs =
+    List.filter (fun f -> List.exists (String.equal f.Field.name) read) p.Program.inputs
+  in
+  let optimized = { p with Program.stencils; inputs } in
+  Program.validate_exn optimized;
+  optimized

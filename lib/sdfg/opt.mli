@@ -1,0 +1,36 @@
+(** Expression-level optimizations.
+
+    Fusion (Sec. V-B) inlines producer expressions once per consuming
+    access, so a fused stencil can contain many copies of the same
+    subexpression; the paper relies on the downstream optimizing compiler
+    to clean this up ("combined code sections increase the opportunity
+    for common subexpression elimination"). This module provides that
+    cleanup natively so that op counts, critical paths and resource
+    estimates of fused programs reflect hardware sharing:
+
+    - {!fold_constants}: constant subtrees are evaluated, and the safe
+      algebraic identities [x + 0], [0 + x], [x - 0], [x * 1], [1 * x],
+      [x / 1] and constant-condition selects are simplified (identities
+      that could change IEEE semantics on NaN/Inf inputs, like [x * 0],
+      are left alone);
+    - {!cse}: repeated subtrees are hoisted into let bindings, computed
+      once and fanned out. *)
+
+val fold_constants : ?preserve_access_effects:bool -> Sf_ir.Expr.t -> Sf_ir.Expr.t
+(** With [preserve_access_effects] (used for "shrink" stencils, whose
+    validity masks depend on every predicated access), constant-condition
+    selects are only folded when the eliminated branch reads no fields. *)
+
+val cse : ?min_size:int -> Sf_ir.Expr.body -> Sf_ir.Expr.body
+(** Inline the body's existing lets, then hoist every subtree of at least
+    [min_size] AST nodes (default 3) occurring more than once into a
+    fresh let ([__cseN]). Inner shared subtrees are bound before the
+    outer ones that use them. *)
+
+val optimize_stencil : ?min_size:int -> Sf_ir.Stencil.t -> Sf_ir.Stencil.t
+
+val optimize : ?min_size:int -> Sf_ir.Program.t -> Sf_ir.Program.t
+(** Apply both passes to every stencil, then clean up what folding may
+    have disconnected: boundary conditions of fields no longer read,
+    stencils that became dead, and inputs that fell out of use. Validates
+    the result. Typically run after {!Fusion.fuse_all}. *)

@@ -1,0 +1,152 @@
+open Sf_ir
+
+type pass = {
+  pass_name : string;
+  description : string;
+  apply : Program.t -> Program.t;
+  preserves_shape : bool;
+}
+
+let fuse ?max_body_size () =
+  {
+    pass_name = "stencil-fusion";
+    description = "aggressively fuse producer/consumer stencils (Sec. V-B)";
+    apply = (fun p -> fst (Fusion.fuse_all ?max_body_size p));
+    preserves_shape = true;
+  }
+
+let fold_and_cse ?min_size () =
+  {
+    pass_name = "fold-cse";
+    description = "constant folding and common subexpression elimination";
+    apply = (fun p -> Opt.optimize ?min_size p);
+    preserves_shape = true;
+  }
+
+let vectorize w =
+  {
+    pass_name = Printf.sprintf "vectorize-%d" w;
+    description = "set the vectorization width (Sec. IV-C)";
+    apply = (fun p -> Sf_analysis.Vectorize.apply p w);
+    preserves_shape = true;
+  }
+
+let nest ~extent =
+  {
+    pass_name = Printf.sprintf "nest-dim-%d" extent;
+    description = "lift the program to one more outer dimension (NestDim)";
+    apply = (fun p -> Transform.nest_dim p ~extent);
+    preserves_shape = false;
+  }
+
+let custom ~name ?(description = "user transformation") ?(preserves_shape = true) apply =
+  { pass_name = name; description; apply; preserves_shape }
+
+type entry = {
+  applied : string;
+  stencils_before : int;
+  stencils_after : int;
+  flops_before : int;
+  flops_after : int;
+  latency_before : int;
+  latency_after : int;
+  verified : bool option;
+}
+
+exception Verification_failed of string
+
+let flops_per_cell p = (Sf_analysis.Op_count.of_program p).Sf_analysis.Op_count.flops_per_cell
+let latency p = (Sf_analysis.Delay_buffer.analyze p).Sf_analysis.Delay_buffer.latency_cycles
+
+(* Interior-cell comparison of two same-shape programs on shared random
+   probe inputs; both programs' combined access radius bounds the region
+   where boundary handling may differ. *)
+let probes_match before after =
+  let radii = Fusion.equivalence_radii ~original:before ~fused:after in
+  let shape = before.Program.shape in
+  if not (List.for_all2 (fun e r -> e > 2 * r) shape radii) then None
+  else begin
+    let inputs = Sf_reference.Interp.random_inputs before in
+    let ra = Sf_reference.Interp.run before ~inputs in
+    let rb = Sf_reference.Interp.run after ~inputs in
+    let equal = ref true in
+    List.iter
+      (fun (name, (r : Sf_reference.Interp.result)) ->
+        match List.assoc_opt name rb with
+        | None -> equal := false
+        | Some r' ->
+            let rec scan prefix = function
+              | [] ->
+                  let idx = List.rev prefix in
+                  if
+                    List.for_all2
+                      (fun i (e, r) -> i >= r && i < e - r)
+                      idx (List.combine shape radii)
+                  then begin
+                    let a = Sf_reference.Tensor.get r.Sf_reference.Interp.tensor idx in
+                    let b = Sf_reference.Tensor.get r'.Sf_reference.Interp.tensor idx in
+                    if
+                      not
+                        ((Float.is_nan a && Float.is_nan b)
+                        || Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a))
+                    then equal := false
+                  end
+              | e :: rest ->
+                  for i = 0 to e - 1 do
+                    scan (i :: prefix) rest
+                  done
+            in
+            scan [] shape)
+      ra;
+    Some !equal
+  end
+
+let run ?(verify = true) ?(max_probe_cells = 65536) passes program =
+  Program.validate_exn program;
+  let entries = ref [] in
+  let final =
+    List.fold_left
+      (fun p pass ->
+        let p' = pass.apply p in
+        Program.validate_exn p';
+        let verified =
+          if
+            verify && pass.preserves_shape
+            && Program.cells p <= max_probe_cells
+          then probes_match p p'
+          else None
+        in
+        (match verified with
+        | Some false ->
+            raise
+              (Verification_failed
+                 (Printf.sprintf "pass %s changed interior results of %s" pass.pass_name
+                    p.Program.name))
+        | Some true | None -> ());
+        entries :=
+          {
+            applied = pass.pass_name;
+            stencils_before = List.length p.Program.stencils;
+            stencils_after = List.length p'.Program.stencils;
+            flops_before = flops_per_cell p;
+            flops_after = flops_per_cell p';
+            latency_before = latency p;
+            latency_after = latency p';
+            verified;
+          }
+          :: !entries;
+        p')
+      program passes
+  in
+  (final, List.rev !entries)
+
+let default_pipeline = [ fuse (); fold_and_cse () ]
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%s: stencils %d -> %d, flops/cell %d -> %d, L %d -> %d%s" e.applied
+    e.stencils_before e.stencils_after e.flops_before e.flops_after e.latency_before
+    e.latency_after
+    (match e.verified with
+    | Some true -> " [verified]"
+    | Some false -> " [MISMATCH]"
+    | None -> "")

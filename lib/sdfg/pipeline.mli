@@ -1,0 +1,70 @@
+(** Transformation pipelines with built-in verification.
+
+    DaCe's workflow (paper, Sec. V) separates program definition from
+    optimization: performance engineers compose graph-rewriting
+    transformations, and adaptations are recorded separately from the
+    source. This module provides that workflow over stencil programs: a
+    {!pass} is a named rewrite; {!run} applies a list of passes in order,
+    records what each one changed (stencil count, op count, latency), and
+    optionally {e verifies} each step by executing the program before and
+    after on probe inputs and comparing results on interior cells (passes
+    that legally change boundary behaviour, like fusion, still agree
+    there). *)
+
+type pass = {
+  pass_name : string;
+  description : string;
+  apply : Sf_ir.Program.t -> Sf_ir.Program.t;
+  preserves_shape : bool;
+      (** Whether the iteration space (and thus cell-wise comparison) is
+          preserved — false for {!nest}. *)
+}
+
+val fuse : ?max_body_size:int -> unit -> pass
+(** Aggressive stencil fusion (Sec. V-B). *)
+
+val fold_and_cse : ?min_size:int -> unit -> pass
+(** Constant folding + common subexpression elimination. *)
+
+val vectorize : int -> pass
+(** Set the vectorization width (Sec. IV-C). *)
+
+val nest : extent:int -> pass
+(** Lift to one more outer dimension (NestDim). Not verifiable cell-wise
+    (the shape changes); see {!Transform.nest_dim} tests for its own
+    correctness property. *)
+
+val custom :
+  name:string -> ?description:string -> ?preserves_shape:bool ->
+  (Sf_ir.Program.t -> Sf_ir.Program.t) -> pass
+(** User-extensible transformations, as in DaCe. *)
+
+type entry = {
+  applied : string;
+  stencils_before : int;
+  stencils_after : int;
+  flops_before : int;  (** Per cell. *)
+  flops_after : int;
+  latency_before : int;
+  latency_after : int;
+  verified : bool option;
+      (** [Some true] when probe execution matched; [None] when
+          verification was skipped (disabled, shape-changing pass, domain
+          too large, or no interior cells). *)
+}
+
+exception Verification_failed of string
+(** Raised when a verified pass changes interior results. *)
+
+val run :
+  ?verify:bool -> ?max_probe_cells:int -> pass list -> Sf_ir.Program.t ->
+  Sf_ir.Program.t * entry list
+(** Apply the passes in order. [verify] (default true) compares interior
+    cells on random probe inputs after each shape-preserving pass,
+    skipping programs larger than [max_probe_cells] (default 65536). *)
+
+val default_pipeline : pass list
+(** The paper's experiment configuration: aggressive fusion followed by
+    cleanup ([fuse (); fold_and_cse ()]). *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,480 @@
+open Sf_ir
+
+type storage = Off_chip | On_chip | Stream of { depth : int }
+
+type container = {
+  cname : string;
+  dtype : Dtype.t;
+  extent : int list;
+  storage : storage;
+  transient : bool;
+  axes_hint : int list option;
+}
+
+type node_id = int
+
+type node =
+  | Access of string
+  | Tasklet of { label : string; body : Expr.body }
+  | Stencil_node of Stencil.t
+  | Pipeline of {
+      label : string;
+      iteration : int list;
+      init_cycles : int;
+      drain_cycles : int;
+      body : graph;
+    }
+  | Unrolled_map of { label : string; width : int; body : graph }
+
+and edge = { src : node_id; dst : node_id; data : string; subset : string }
+and graph = { nodes : (node_id * node) list; edges : edge list }
+
+type state = { slabel : string; body : graph }
+type t = { name : string; containers : container list; states : state list }
+
+let empty_graph = { nodes = []; edges = [] }
+
+let add_node g node =
+  let id = List.length g.nodes in
+  ({ g with nodes = g.nodes @ [ (id, node) ] }, id)
+
+let add_edge g ~src ~dst ~data ~subset = { g with edges = g.edges @ [ { src; dst; data; subset } ] }
+let find_container t name = List.find_opt (fun c -> String.equal c.cname name) t.containers
+
+let subset_of_offsets offsets =
+  "[" ^ Sf_support.Util.string_concat_map ", " string_of_int offsets ^ "]"
+
+let stream_name ~src ~dst = Printf.sprintf "%s__to__%s" src dst
+
+(* Metadata containers encode program-level parameters that DaCe would
+   keep as symbols; they are zero-extent and transient. *)
+let symbol_container name value =
+  { cname = Printf.sprintf "__sym_%s_%d" name value; dtype = Dtype.I32; extent = [];
+    storage = On_chip; transient = true; axes_hint = None }
+
+let symbol_value t name =
+  List.find_map
+    (fun c ->
+      let prefix = Printf.sprintf "__sym_%s_" name in
+      if String.length c.cname > String.length prefix
+         && String.sub c.cname 0 (String.length prefix) = prefix
+      then int_of_string_opt (String.sub c.cname (String.length prefix)
+             (String.length c.cname - String.length prefix))
+      else None)
+    t.containers
+
+let of_program (p : Program.t) =
+  Program.validate_exn p;
+  let analysis = Sf_analysis.Delay_buffer.analyze p in
+  let full_shape = p.Program.shape in
+  let containers = ref [] in
+  let add_container c = containers := !containers @ [ c ] in
+  List.iter
+    (fun (f : Field.t) ->
+      add_container
+        {
+          cname = f.Field.name;
+          dtype = f.Field.dtype;
+          extent = Field.extent f ~shape:full_shape;
+          storage = Off_chip;
+          transient = false;
+          axes_hint = Some f.Field.axes;
+        })
+    p.Program.inputs;
+  let graph = ref empty_graph in
+  let node id_graph node =
+    let g, id = add_node id_graph node in
+    graph := g;
+    id
+  in
+  (* Access nodes are shared per container within the state. *)
+  let access_ids : (string, node_id) Hashtbl.t = Hashtbl.create 16 in
+  let access name =
+    match Hashtbl.find_opt access_ids name with
+    | Some id -> id
+    | None ->
+        let id = node !graph (Access name) in
+        Hashtbl.replace access_ids name id;
+        id
+  in
+  let stencil_ids : (string, node_id) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Stencil.t) ->
+      let id = node !graph (Stencil_node s) in
+      Hashtbl.replace stencil_ids s.Stencil.name id)
+    p.Program.stencils;
+  (* Result containers: off-chip when written to memory, streams between
+     stencils otherwise; a stencil consumed by several others gets one
+     stream per edge, with the analysed depth. *)
+  List.iter
+    (fun (s : Stencil.t) ->
+      let name = s.Stencil.name in
+      let sid = Hashtbl.find stencil_ids name in
+      if List.exists (String.equal name) p.Program.outputs then begin
+        add_container
+          {
+            cname = name;
+            dtype = p.Program.dtype;
+            extent = full_shape;
+            storage = Off_chip;
+            transient = false;
+            axes_hint = None;
+          };
+        graph :=
+          add_edge !graph ~src:sid ~dst:(access name) ~data:name ~subset:"[full]"
+      end;
+      List.iter
+        (fun consumer ->
+          let sname = stream_name ~src:name ~dst:consumer in
+          let depth = Sf_analysis.Delay_buffer.buffer_for analysis ~src:name ~dst:consumer in
+          add_container
+            {
+              cname = sname;
+              dtype = p.Program.dtype;
+              extent = [];
+              storage = Stream { depth };
+              transient = true;
+              axes_hint = None;
+            };
+          let aid = access sname in
+          graph := add_edge !graph ~src:sid ~dst:aid ~data:sname ~subset:"[stream]";
+          graph :=
+            add_edge !graph ~src:aid
+              ~dst:(Hashtbl.find stencil_ids consumer)
+              ~data:sname ~subset:"[stream]")
+        (Program.consumers p name))
+    p.Program.stencils;
+  (* Input reads. *)
+  List.iter
+    (fun (s : Stencil.t) ->
+      let sid = Hashtbl.find stencil_ids s.Stencil.name in
+      List.iter
+        (fun field ->
+          if Program.is_input p field then begin
+            let offsets = Stencil.accesses_of_field s field in
+            graph :=
+              add_edge !graph ~src:(access field) ~dst:sid ~data:field
+                ~subset:(Sf_support.Util.string_concat_map " " subset_of_offsets offsets)
+          end)
+        (Stencil.input_fields s))
+    p.Program.stencils;
+  add_container (symbol_container "W" p.Program.vector_width);
+  {
+    name = p.Program.name;
+    containers = !containers;
+    states = [ { slabel = "main"; body = !graph } ];
+  }
+
+let extract_program (t : t) =
+  let stencils =
+    List.concat_map
+      (fun st -> List.filter_map (fun (_, n) -> match n with Stencil_node s -> Some s | _ -> None) st.body.nodes)
+      t.states
+  in
+  if stencils = [] then Error "SDFG contains no stencil library nodes"
+  else begin
+    let written = List.map (fun (s : Stencil.t) -> s.Stencil.name) stencils in
+    let outputs =
+      List.filter_map
+        (fun c ->
+          if (not c.transient) && c.storage = Off_chip
+             && List.exists (String.equal c.cname) written
+          then Some c.cname
+          else None)
+        t.containers
+    in
+    match
+      List.find_opt
+        (fun c -> (not c.transient) && List.exists (String.equal c.cname) outputs)
+        t.containers
+    with
+    | None -> Error "no off-chip output container found"
+    | Some out_container ->
+        let shape = out_container.extent in
+        (* Recover each input's axes by matching its extent against a
+           subsequence of the iteration shape (leftmost match). *)
+        let infer_axes extent =
+          let rec go axes axis = function
+            | [] -> Some (List.rev axes)
+            | e :: rest ->
+                let rec seek a =
+                  if a >= List.length shape then None
+                  else if List.nth shape a = e then Some a
+                  else seek (a + 1)
+                in
+                (match seek axis with
+                | None -> None
+                | Some a -> go (a :: axes) (a + 1) rest)
+          in
+          go [] 0 extent
+        in
+        let read_fields =
+          List.concat_map (fun (s : Stencil.t) -> Stencil.input_fields s) stencils
+          |> List.filter (fun f -> not (List.exists (String.equal f) written))
+          |> List.sort_uniq String.compare
+        in
+        let inputs =
+          List.filter_map
+            (fun c ->
+              if c.transient || not (List.exists (String.equal c.cname) read_fields) then None
+              else
+                (* Prefer the recorded axes (set when the SDFG was lowered
+                   from a program); inference from extents is ambiguous
+                   when several iteration axes share an extent. *)
+                match c.axes_hint with
+                | Some axes -> Some { Field.name = c.cname; dtype = c.dtype; axes }
+                | None -> (
+                    match infer_axes c.extent with
+                    | None -> None
+                    | Some axes -> Some { Field.name = c.cname; dtype = c.dtype; axes }))
+            t.containers
+        in
+        let w = Option.value (symbol_value t "W") ~default:1 in
+        let program =
+          Program.make ~dtype:out_container.dtype ~vector_width:w ~name:t.name ~shape
+            ~inputs ~outputs stencils
+        in
+        (match Program.validate program with
+        | Ok () -> Ok program
+        | Error errs -> Error (String.concat "; " errs))
+  end
+
+(* Expansion of a stencil library node into the Fig. 12 subgraph. *)
+let expand_stencil (p_shape : int list) w init_cycles drain_cycles (s : Stencil.t) containers =
+  let g = ref empty_graph in
+  let node n =
+    let g', id = add_node !g n in
+    g := g';
+    id
+  in
+  let new_containers = ref [] in
+  let fields = Stencil.input_fields s in
+  let compute_inputs = ref [] in
+  List.iter
+    (fun field ->
+      let offsets = Stencil.accesses_of_field s field in
+      let buffered = List.length offsets > 1 in
+      let sr = Printf.sprintf "sr_%s_%s" s.Stencil.name field in
+      if buffered then begin
+        (* Shift-register container sized by the flat span of the
+           accesses; a full-rank requirement is guaranteed upstream. *)
+        let flats =
+          List.filter_map
+            (fun o ->
+              if List.length o = List.length p_shape then
+                Some (Sf_analysis.Internal_buffer.flatten_offset ~shape:p_shape o)
+              else None)
+            offsets
+        in
+        let size =
+          match flats with
+          | [] -> w
+          | f :: rest ->
+              let lo = List.fold_left min f rest and hi = List.fold_left max f rest in
+              hi - lo + w
+        in
+        new_containers :=
+          { cname = sr; dtype = Dtype.F32; extent = [ size ]; storage = On_chip;
+            transient = true; axes_hint = None }
+          :: !new_containers;
+        (* As in DaCe, each use of a container gets its own access node:
+           one for the pre-shift state and one for the written state, so
+           the dataflow inside the scope stays acyclic. *)
+        let sr_read = node (Access sr) in
+        let sr_write = node (Access sr) in
+        (* Shift phase: move every entry by W, fully unrolled. *)
+        let shift_body, _ =
+          add_node empty_graph
+            (Tasklet
+               {
+                 label = Printf.sprintf "shift_%s" field;
+                 body = { Expr.lets = []; result = Expr.Var "in" };
+               })
+        in
+        let shift =
+          node
+            (Unrolled_map { label = Printf.sprintf "shift_%s" field; width = size - w; body = shift_body })
+        in
+        g := add_edge !g ~src:sr_read ~dst:shift ~data:sr ~subset:"[i]";
+        g := add_edge !g ~src:shift ~dst:sr_write ~data:sr ~subset:"[i+W]";
+        (* Update phase: a tasklet reads the input stream into the head of
+           the register. *)
+        let update =
+          node
+            (Tasklet
+               {
+                 label = Printf.sprintf "update_%s" field;
+                 body = { Expr.lets = []; result = Expr.Var "in" };
+               })
+        in
+        let in_access = node (Access field) in
+        g := add_edge !g ~src:in_access ~dst:update ~data:field ~subset:"[stream]";
+        g := add_edge !g ~src:update ~dst:sr_write ~data:sr ~subset:"[0:W]";
+        compute_inputs := (sr_write, sr, offsets) :: !compute_inputs
+      end
+      else begin
+        let in_access = node (Access field) in
+        compute_inputs := (in_access, field, offsets) :: !compute_inputs
+      end)
+    fields;
+  (* Compute phase: taps feed the computation tasklet, whose result passes
+     through a conditional write guard that drops initialization-phase
+     outputs. *)
+  let compute = node (Tasklet { label = "compute"; body = s.Stencil.body }) in
+  List.iter
+    (fun (src, data, offsets) ->
+      g :=
+        add_edge !g ~src ~dst:compute ~data
+          ~subset:(Sf_support.Util.string_concat_map " " subset_of_offsets offsets))
+    (List.rev !compute_inputs);
+  let guard =
+    node
+      (Tasklet
+         {
+           label = "write_if_not_initializing";
+           body = { Expr.lets = []; result = Expr.Var "value" };
+         })
+  in
+  g := add_edge !g ~src:compute ~dst:guard ~data:"value" ~subset:"[scalar]";
+  let out_access = node (Access s.Stencil.name) in
+  g := add_edge !g ~src:guard ~dst:out_access ~data:s.Stencil.name ~subset:"[stream]";
+  ignore containers;
+  ( Pipeline
+      {
+        label = Printf.sprintf "pipeline_%s" s.Stencil.name;
+        iteration = p_shape;
+        init_cycles;
+        drain_cycles;
+        body = !g;
+      },
+    !new_containers )
+
+let expand_library_nodes (t : t) =
+  match extract_program t with
+  | Error _ -> t
+  | Ok p ->
+      let new_containers = ref [] in
+      let states =
+        List.map
+          (fun st ->
+            let nodes =
+              List.map
+                (fun (id, n) ->
+                  match n with
+                  | Stencil_node s ->
+                      let init = Sf_analysis.Internal_buffer.stencil_init_cycles p s in
+                      let drain =
+                        Sf_analysis.Latency.critical_path Sf_analysis.Latency.default
+                          s.Stencil.body
+                      in
+                      let expanded, extra =
+                        expand_stencil p.Program.shape p.Program.vector_width init drain s
+                          t.containers
+                      in
+                      new_containers := extra @ !new_containers;
+                      (id, expanded)
+                  | other -> (id, other))
+                st.body.nodes
+            in
+            { st with body = { st.body with nodes } })
+          t.states
+      in
+      let with_new = t.containers @ List.rev !new_containers in
+      (* Expanded scopes reference stencil results by their bare names
+         (the connector the outer graph wires to a stream); declare port
+         containers for any name not already present. *)
+      let ports =
+        List.filter_map
+          (fun (s : Stencil.t) ->
+            let name = s.Stencil.name in
+            if List.exists (fun c -> String.equal c.cname name) with_new then None
+            else
+              Some
+                {
+                  cname = name;
+                  dtype = p.Program.dtype;
+                  extent = [];
+                  storage = Stream { depth = 0 };
+                  transient = true;
+                  axes_hint = None;
+                })
+          p.Program.stencils
+      in
+      { t with states; containers = with_new @ ports }
+
+let rec graph_acyclic g =
+  let module G = Sf_support.Dgraph.Make (Int) in
+  let dg = List.fold_left (fun dg (id, _) -> G.add_vertex dg id ()) G.empty g.nodes in
+  let dg =
+    List.fold_left
+      (fun dg e ->
+        if G.mem_vertex dg e.src && G.mem_vertex dg e.dst && e.src <> e.dst then
+          G.add_edge dg ~src:e.src ~dst:e.dst ()
+        else dg)
+      dg g.edges
+  in
+  G.is_dag dg
+  && List.for_all
+       (fun (_, n) ->
+         match n with
+         | Pipeline { body; _ } | Unrolled_map { body; _ } -> graph_acyclic body
+         | Access _ | Tasklet _ | Stencil_node _ -> true)
+       g.nodes
+
+let validate (t : t) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.cname then err "duplicate container %s" c.cname
+      else Hashtbl.add seen c.cname ())
+    t.containers;
+  let rec check_graph path g =
+    let ids = List.map fst g.nodes in
+    List.iter
+      (fun e ->
+        if not (List.mem e.src ids) then err "%s: edge references unknown source %d" path e.src;
+        if not (List.mem e.dst ids) then err "%s: edge references unknown destination %d" path e.dst)
+      g.edges;
+    List.iter
+      (fun (_, n) ->
+        match n with
+        | Access name ->
+            (* Access nodes inside expansions may reference shift registers
+               declared at the SDFG level. *)
+            if not (Hashtbl.mem seen name) then err "%s: access to unknown container %s" path name
+        | Pipeline { label; body; _ } -> check_graph (path ^ "/" ^ label) body
+        | Unrolled_map { label; body; _ } -> check_graph (path ^ "/" ^ label) body
+        | Tasklet _ | Stencil_node _ -> ())
+      g.nodes;
+    if not (graph_acyclic g) then err "%s: dataflow graph has a cycle" path
+  in
+  List.iter (fun st -> check_graph st.slabel st.body) t.states;
+  match List.rev !errors with [] -> Ok () | errs -> Error errs
+
+let stats (t : t) =
+  let rec count g =
+    List.fold_left
+      (fun (n, e) (_, node) ->
+        match node with
+        | Pipeline { body; _ } | Unrolled_map { body; _ } ->
+            let n', e' = count body in
+            (n + 1 + n', e + e')
+        | Access _ | Tasklet _ | Stencil_node _ -> (n + 1, e))
+      (0, List.length g.edges)
+      g.nodes
+  in
+  let nodes, edges =
+    List.fold_left
+      (fun (n, e) st ->
+        let n', e' = count st.body in
+        (n + n', e + e'))
+      (0, 0) t.states
+  in
+  (List.length t.states, nodes, edges)
+
+let pp fmt (t : t) =
+  let states, nodes, edges = stats t in
+  Format.fprintf fmt "sdfg %s: %d state(s), %d node(s), %d edge(s), %d container(s)" t.name
+    states nodes edges (List.length t.containers)

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  capacity : int;
+  slots : Word.t option array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable count : int;
+  mutable total_pushed : int;
+  mutable high_water : int;
+}
+
+let create ~name ~capacity =
+  if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
+  {
+    name;
+    capacity;
+    slots = Array.make capacity None;
+    head = 0;
+    count = 0;
+    total_pushed = 0;
+    high_water = 0;
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+let occupancy t = t.count
+let is_empty t = t.count = 0
+let is_full t = t.count = t.capacity
+
+let push t word =
+  if is_full t then failwith (Printf.sprintf "Channel.push: %s is full" t.name);
+  let tail = (t.head + t.count) mod t.capacity in
+  t.slots.(tail) <- Some word;
+  t.count <- t.count + 1;
+  t.total_pushed <- t.total_pushed + 1;
+  if t.count > t.high_water then t.high_water <- t.count
+
+let pop t =
+  if is_empty t then failwith (Printf.sprintf "Channel.pop: %s is empty" t.name);
+  match t.slots.(t.head) with
+  | None -> assert false
+  | Some word ->
+      t.slots.(t.head) <- None;
+      t.head <- (t.head + 1) mod t.capacity;
+      t.count <- t.count - 1;
+      word
+
+let peek t = if is_empty t then None else t.slots.(t.head)
+let total_pushed t = t.total_pushed
+let high_water t = t.high_water

@@ -1,0 +1,28 @@
+(** Bounded FIFO channels between processing elements.
+
+    Channels model the Intel OpenCL channel / hardware FIFO abstraction
+    the paper maps DaCe streams onto (Sec. VI-A). Their capacity is the
+    delay-buffer depth computed by the analysis plus a small slack; the
+    high-water mark is recorded so tests can check how tightly the
+    analysis sizes buffers. *)
+
+type t
+
+val create : name:string -> capacity:int -> t
+(** [capacity] is in words and must be positive. *)
+
+val name : t -> string
+val capacity : t -> int
+val occupancy : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val push : t -> Word.t -> unit
+(** Raises [Failure] when full — callers must check {!is_full}. *)
+
+val pop : t -> Word.t
+(** Raises [Failure] when empty. *)
+
+val peek : t -> Word.t option
+val total_pushed : t -> int
+val high_water : t -> int

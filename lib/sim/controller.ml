@@ -1,0 +1,31 @@
+type t = {
+  bytes_per_cycle : float;
+  mutable budget : float;
+  mutable bytes_granted : int;
+}
+
+let create ~bytes_per_cycle = { bytes_per_cycle; budget = 0.; bytes_granted = 0 }
+let unlimited () = create ~bytes_per_cycle:infinity
+
+let begin_cycle t =
+  if Float.is_finite t.bytes_per_cycle then begin
+    (* Carry only the fractional remainder: an idle bus does not bank
+       whole cycles of bandwidth for later bursts. *)
+    let carry = Float.min t.budget t.bytes_per_cycle in
+    t.budget <- carry +. t.bytes_per_cycle
+  end
+
+let request t bytes =
+  if not (Float.is_finite t.bytes_per_cycle) then begin
+    t.bytes_granted <- t.bytes_granted + bytes;
+    true
+  end
+  else if t.budget >= float_of_int bytes then begin
+    t.budget <- t.budget -. float_of_int bytes;
+    t.bytes_granted <- t.bytes_granted + bytes;
+    true
+  end
+  else false
+
+let bytes_granted t = t.bytes_granted
+let bytes_per_cycle t = t.bytes_per_cycle

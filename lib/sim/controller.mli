@@ -1,0 +1,27 @@
+(** Off-chip memory controller with a bytes-per-cycle budget.
+
+    Models the DDR4 controller behaviour measured in the paper's
+    bandwidth study (Sec. VIII-D, Fig. 16): all readers and writers on a
+    device share an effective bandwidth that is well below the data-sheet
+    peak once many access points contend. Fractional budgets accumulate
+    across cycles so sub-byte-per-cycle rates still make progress. *)
+
+type t
+
+val create : bytes_per_cycle:float -> t
+(** [bytes_per_cycle = infinity] disables the constraint. *)
+
+val unlimited : unit -> t
+
+val begin_cycle : t -> unit
+(** Refill the budget; unspent budget does not accumulate beyond one
+    cycle's worth (the bus cannot "save up" bandwidth), but fractional
+    remainders carry so small rates are honoured on average. *)
+
+val request : t -> int -> bool
+(** [request t bytes] grants all-or-nothing and debits the budget. *)
+
+val bytes_granted : t -> int
+(** Total bytes granted over the run. *)
+
+val bytes_per_cycle : t -> float

@@ -1,0 +1,463 @@
+open Sf_ir
+module Tensor = Sf_reference.Tensor
+module Interp = Sf_reference.Interp
+
+type config = {
+  latency : Sf_analysis.Latency.config;
+  channel_slack : int;
+  writer_buffer : int;
+  mem_bytes_per_cycle : float;
+  net_bytes_per_cycle : float;
+  net_latency_cycles : int;
+  deadlock_window : int;
+  max_cycles : int option;
+  override_edge_buffers : ((string * string) * int) list;
+  trace_interval : int option;
+}
+
+let default_config =
+  {
+    latency = Sf_analysis.Latency.default;
+    channel_slack = 4;
+    writer_buffer = 8;
+    mem_bytes_per_cycle = infinity;
+    net_bytes_per_cycle = infinity;
+    net_latency_cycles = 64;
+    deadlock_window = 4096;
+    max_cycles = None;
+    override_edge_buffers = [];
+    trace_interval = None;
+  }
+
+type stats = {
+  cycles : int;
+  predicted_cycles : int;
+  results : (string * Interp.result) list;
+  bytes_read : int;
+  bytes_written : int;
+  network_bytes : int;
+  unit_stalls : (string * int) list;
+  channel_high_water : (string * int * int) list;
+  trace : (int * (string * int) list) list;
+}
+
+type outcome =
+  | Completed of stats
+  | Deadlocked of {
+      cycle : int;
+      blocked : (string * string) list;
+      wait_cycle : string list;
+    }
+
+(* One simulated system: all channels, units, readers, writers and links. *)
+type system = {
+  channels : Channel.t list ref;
+  units : Stencil_unit.t list;
+  readers : Memory_unit.Reader.t list;
+  writers : (string * Memory_unit.Writer.t) list;
+  links : Link.t list;
+  mem_controllers : Controller.t array;
+  prefetch_bytes : int;
+  (* Wait-for relationships for deadlock diagnosis: which component
+     consumes each channel, and which component produces each field for a
+     given consumer. *)
+  channel_consumer : (string, string) Hashtbl.t;
+  producer_for : (string * string, string) Hashtbl.t;
+}
+
+let build ~config ~placement ~inputs (p : Program.t) =
+  Program.validate_exn p;
+  let analysis = Sf_analysis.Delay_buffer.analyze ~config:config.latency p in
+  let w = p.Program.vector_width in
+  let element_bytes = Dtype.size_bytes p.Program.dtype in
+  let word_bytes = w * element_bytes in
+  let full_rank = Program.rank p in
+  let num_devices =
+    1 + List.fold_left (fun acc s -> max acc (placement s.Stencil.name)) 0 p.Program.stencils
+  in
+  let mem_controllers =
+    Array.init num_devices (fun _ -> Controller.create ~bytes_per_cycle:config.mem_bytes_per_cycle)
+  in
+  let channels = ref [] in
+  let new_channel name capacity =
+    let c = Channel.create ~name ~capacity in
+    channels := c :: !channels;
+    c
+  in
+  let buffer_for ~src ~dst =
+    match List.assoc_opt (src, dst) config.override_edge_buffers with
+    | Some b -> b
+    | None -> Sf_analysis.Delay_buffer.buffer_for analysis ~src ~dst
+  in
+  let links : (int * int, Link.t) Hashtbl.t = Hashtbl.create 4 in
+  let link_between d1 d2 =
+    let key = (min d1 d2, max d1 d2) in
+    match Hashtbl.find_opt links key with
+    | Some l -> l
+    | None ->
+        let l =
+          Link.create
+            ~name:(Printf.sprintf "link%d-%d" (fst key) (snd key))
+            ~bytes_per_cycle:config.net_bytes_per_cycle
+            ~latency_cycles:config.net_latency_cycles
+        in
+        Hashtbl.replace links key l;
+        l
+  in
+  let device_of name =
+    if Option.is_some (Program.find_stencil p name) then placement name
+    else
+      (* Inputs live wherever their consumer lives; resolved per edge. *)
+      invalid_arg "device_of: only stencils have a home device"
+  in
+  (* Input channel of each consumer edge, keyed by (src, dst). Cross-device
+     edges get a source-side channel, a link port, and the destination-side
+     channel with the analysed delay buffer. *)
+  let dst_channel : (string * string, Channel.t) Hashtbl.t = Hashtbl.create 32 in
+  let src_endpoint : (string * string, Channel.t) Hashtbl.t = Hashtbl.create 32 in
+  let channel_consumer : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let producer_for : (string * string, string) Hashtbl.t = Hashtbl.create 32 in
+  let make_edge ~src ~dst ~src_device ~dst_device =
+    let cap = buffer_for ~src ~dst + config.channel_slack in
+    Hashtbl.replace producer_for (dst, src) src;
+    if src_device = dst_device then begin
+      let c = new_channel (Printf.sprintf "%s->%s" src dst) cap in
+      Hashtbl.replace channel_consumer (Channel.name c) dst;
+      Hashtbl.replace dst_channel (src, dst) c;
+      Hashtbl.replace src_endpoint (src, dst) c
+    end
+    else begin
+      let near = new_channel (Printf.sprintf "%s->%s.tx" src dst) config.channel_slack in
+      let far = new_channel (Printf.sprintf "%s->%s.rx" src dst) cap in
+      Hashtbl.replace channel_consumer (Channel.name near) dst;
+      Hashtbl.replace channel_consumer (Channel.name far) dst;
+      Link.add_port (link_between src_device dst_device) ~src:near ~dst:far ~word_bytes;
+      Hashtbl.replace dst_channel (src, dst) far;
+      Hashtbl.replace src_endpoint (src, dst) near
+    end
+  in
+  (* Create edges: stencil -> stencil. *)
+  List.iter
+    (fun s ->
+      let dst = s.Stencil.name in
+      List.iter
+        (fun field ->
+          match Program.find_stencil p field with
+          | Some producer ->
+              make_edge ~src:producer.Stencil.name ~dst
+                ~src_device:(device_of producer.Stencil.name) ~dst_device:(device_of dst)
+          | None -> ())
+        (Stencil.input_fields s))
+    p.Program.stencils;
+  (* Readers: one per (full-rank input field, device); they multicast to
+     every consumer on that device. Lower-dimensional fields are prefetched
+     straight into consuming units and accounted once per device. *)
+  let input_tensor name =
+    match List.assoc_opt name inputs with
+    | Some t -> t
+    | None -> raise (Interp.Runtime_error (Printf.sprintf "missing input data for field %s" name))
+  in
+  let readers = ref [] in
+  let prefetch_bytes = ref 0 in
+  List.iter
+    (fun (f : Field.t) ->
+      let consumers = Program.consumers p f.Field.name in
+      let devices = List.sort_uniq compare (List.map device_of consumers) in
+      if Field.rank f = full_rank then
+        List.iter
+          (fun d ->
+            let consumer_channels =
+              List.filter_map
+                (fun c ->
+                  if device_of c = d then begin
+                    let cap = buffer_for ~src:f.Field.name ~dst:c + config.channel_slack in
+                    let ch = new_channel (Printf.sprintf "%s->%s" f.Field.name c) cap in
+                    Hashtbl.replace channel_consumer (Channel.name ch) c;
+                    Hashtbl.replace producer_for (c, f.Field.name)
+                      (Printf.sprintf "read.%s@%d" f.Field.name d);
+                    Hashtbl.replace dst_channel (f.Field.name, c) ch;
+                    Some ch
+                  end
+                  else None)
+                consumers
+            in
+            let tensor = { (input_tensor f.Field.name) with Tensor.extent = Interp.input_extent p f } in
+            let r =
+              Memory_unit.Reader.create
+                ~name:(Printf.sprintf "read.%s@%d" f.Field.name d)
+                ~tensor ~vector_width:w ~element_bytes:(Dtype.size_bytes f.Field.dtype)
+                ~controller:mem_controllers.(d) ~outputs:consumer_channels
+            in
+            readers := r :: !readers)
+          devices
+      else
+        List.iter
+          (fun _ -> prefetch_bytes := !prefetch_bytes + Field.size_bytes f ~shape:p.Program.shape)
+          devices)
+    p.Program.inputs;
+  (* Writers for declared outputs. *)
+  let writers = ref [] in
+  let writer_channels : (string * Channel.t) list =
+    List.map
+      (fun o ->
+        let cap = config.channel_slack + config.writer_buffer in
+        let c = new_channel (Printf.sprintf "%s->mem" o) cap in
+        let d = device_of o in
+        Hashtbl.replace channel_consumer (Channel.name c) (Printf.sprintf "write.%s@%d" o d);
+        let writer =
+          Memory_unit.Writer.create ~name:(Printf.sprintf "write.%s@%d" o d)
+            ~shape:p.Program.shape ~vector_width:w ~element_bytes ~controller:mem_controllers.(d)
+            ~input:c
+        in
+        writers := (o, writer) :: !writers;
+        (o, c))
+      p.Program.outputs
+  in
+  (* Stencil units, in topological order. *)
+  let units =
+    List.map
+      (fun s ->
+        let name = s.Stencil.name in
+        let bindings =
+          List.map
+            (fun field ->
+              let is_lower = List.length (Program.field_axes p field) < full_rank in
+              if is_lower then
+                let f = Option.get (Program.find_input p field) in
+                let tensor =
+                  { (input_tensor field) with Tensor.extent = Interp.input_extent p f }
+                in
+                { Stencil_unit.field; channel = None; prefetched = Some tensor }
+              else
+                {
+                  Stencil_unit.field;
+                  channel = Some (Hashtbl.find dst_channel (field, name));
+                  prefetched = None;
+                })
+            (Stencil.input_fields s)
+        in
+        let consumer_outputs =
+          List.filter_map
+            (fun c -> Hashtbl.find_opt src_endpoint (name, c))
+            (Program.consumers p name)
+        in
+        let writer_output = List.assoc_opt name writer_channels in
+        let outputs = consumer_outputs @ Option.to_list writer_output in
+        let compute_cycles =
+          (Sf_analysis.Delay_buffer.node_info analysis name).Sf_analysis.Delay_buffer.compute_cycles
+        in
+        Stencil_unit.create ~program:p ~stencil:s ~compute_cycles ~inputs:bindings ~outputs)
+      (Program.topological_stencils p)
+  in
+  let predicted =
+    analysis.Sf_analysis.Delay_buffer.latency_cycles + (Program.cells p / w)
+  in
+  ( {
+      channels;
+      units;
+      readers = List.rev !readers;
+      writers = List.rev !writers;
+      links = Hashtbl.fold (fun _ l acc -> l :: acc) links [];
+      mem_controllers;
+      prefetch_bytes = !prefetch_bytes;
+      channel_consumer;
+      producer_for;
+    },
+    predicted )
+
+let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Program.t) =
+  let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
+  let system, predicted = build ~config ~placement ~inputs p in
+  let cycle = ref 0 in
+  let idle_cycles = ref 0 in
+  let finished () = List.for_all (fun (_, w) -> Memory_unit.Writer.is_done w) system.writers in
+  let max_cycles = match config.max_cycles with Some m -> m | None -> max_int in
+  let deadlocked = ref false in
+  let trace = ref [] in
+  let sample_trace () =
+    match config.trace_interval with
+    | Some interval when !cycle mod interval = 0 ->
+        let snapshot =
+          List.rev_map (fun c -> (Channel.name c, Channel.occupancy c)) !(system.channels)
+        in
+        trace := (!cycle, snapshot) :: !trace
+    | Some _ | None -> ()
+  in
+  while (not (finished ())) && (not !deadlocked) && !cycle < max_cycles do
+    Array.iter Controller.begin_cycle system.mem_controllers;
+    let progress = ref false in
+    List.iter (fun l -> if Link.cycle l ~now:!cycle then progress := true) system.links;
+    List.iter
+      (fun (_, writer) -> if Memory_unit.Writer.cycle writer then progress := true)
+      system.writers;
+    (* Units run consumers-before-producers (reverse topological order):
+       data pushed this cycle becomes visible next cycle, space freed this
+       cycle is reusable immediately — matching credit-based hardware. *)
+    List.iter (fun u -> if Stencil_unit.cycle u ~now:!cycle then progress := true)
+      (List.rev system.units);
+    List.iter (fun r -> if Memory_unit.Reader.cycle r then progress := true) system.readers;
+    sample_trace ();
+    if !progress then idle_cycles := 0
+    else begin
+      incr idle_cycles;
+      if !idle_cycles > config.deadlock_window then deadlocked := true
+    end;
+    incr cycle
+  done;
+  if !deadlocked || not (finished ()) then begin
+    (* Wait-for graph: who is each blocked component waiting on?
+       A cycle through it is the circular dependency of Fig. 4. *)
+    let module G = Sf_support.Dgraph.Make (String) in
+    let g = ref G.empty in
+    let ensure v = if not (G.mem_vertex !g v) then g := G.add_vertex !g v () in
+    let wait_edge waiter waited =
+      ensure waiter;
+      ensure waited;
+      g := G.add_edge !g ~src:waiter ~dst:waited ()
+    in
+    List.iter
+      (fun u ->
+        let name = Stencil_unit.name u in
+        List.iter
+          (fun b ->
+            match b with
+            | Stencil_unit.Input_empty field -> (
+                match Hashtbl.find_opt system.producer_for (name, field) with
+                | Some producer -> wait_edge name producer
+                | None -> ())
+            | Stencil_unit.Output_full channel -> (
+                match Hashtbl.find_opt system.channel_consumer channel with
+                | Some consumer -> wait_edge name consumer
+                | None -> ()))
+          (Stencil_unit.blockages u))
+      system.units;
+    List.iter
+      (fun r ->
+        List.iter
+          (fun channel ->
+            match Hashtbl.find_opt system.channel_consumer channel with
+            | Some consumer -> wait_edge (Memory_unit.Reader.name r) consumer
+            | None -> ())
+          (Memory_unit.Reader.full_output_channels r))
+      system.readers;
+    List.iter
+      (fun (o, w) ->
+        if Memory_unit.Writer.waiting_on_input w then
+          wait_edge (Memory_unit.Writer.name w) o)
+      system.writers;
+    let wait_cycle =
+      match G.topological_sort !g with
+      | Ok _ -> []
+      | Error remaining ->
+          (* Walk successors within the cyclic residue until a repeat. *)
+          let in_residue v = List.exists (String.equal v) remaining in
+          let rec walk path v =
+            if List.exists (String.equal v) path then begin
+              (* [path] holds the visit order newest-first; reverse it and
+                 trim everything before the first occurrence of v, leaving
+                 the cycle in wait-for order (x waits on its successor). *)
+              let rec drop = function
+                | [] -> []
+                | x :: rest -> if String.equal x v then x :: rest else drop rest
+              in
+              drop (List.rev (v :: path))
+            end
+            else
+              match List.find_opt (fun (s, ()) -> in_residue s) (G.succs !g v) with
+              | Some (next, ()) -> walk (v :: path) next
+              | None -> []
+          in
+          (match remaining with [] -> [] | v :: _ -> walk [] v)
+    in
+    let blocked =
+      List.filter_map
+        (fun u ->
+          Option.map (fun r -> (Stencil_unit.name u, r)) (Stencil_unit.blocked_reason u))
+        system.units
+      @ List.filter_map
+          (fun r ->
+            Option.map
+              (fun reason -> (Memory_unit.Reader.name r, reason))
+              (Memory_unit.Reader.blocked_reason r))
+          system.readers
+      @ List.filter_map
+          (fun (_, w) ->
+            Option.map
+              (fun reason -> (Memory_unit.Writer.name w, reason))
+              (Memory_unit.Writer.blocked_reason w))
+          system.writers
+    in
+    Deadlocked { cycle = !cycle; blocked; wait_cycle }
+  end
+  else begin
+    (* Controllers account reads and writes together; split the writes
+       back out below. Prefetched lower-dimensional inputs are charged
+       once per device replica. *)
+    let bytes_granted =
+      system.prefetch_bytes
+      + Array.fold_left (fun acc c -> acc + Controller.bytes_granted c) 0 system.mem_controllers
+    in
+    let bytes_written =
+      List.fold_left
+        (fun acc (_, w) ->
+          let r = Memory_unit.Writer.result w in
+          acc
+          + Array.fold_left (fun n v -> if v then n + 1 else n) 0 r.Interp.valid
+            * Dtype.size_bytes p.Program.dtype)
+        0 system.writers
+    in
+    Completed
+      {
+        cycles = !cycle;
+        predicted_cycles = predicted;
+        results = List.map (fun (o, w) -> (o, Memory_unit.Writer.result w)) system.writers;
+        bytes_read = bytes_granted - bytes_written;
+        bytes_written;
+        network_bytes = List.fold_left (fun acc l -> acc + Link.bytes_transferred l) 0 system.links;
+        unit_stalls =
+          List.map (fun u -> (Stencil_unit.name u, Stencil_unit.stall_cycles u)) system.units;
+        channel_high_water =
+          List.map
+            (fun c -> (Channel.name c, Channel.high_water c, Channel.capacity c))
+            (List.rev !(system.channels));
+        trace = List.rev !trace;
+      }
+  end
+
+let run_and_validate ?config ?placement ?inputs p =
+  let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
+  match run ?config ?placement ~inputs p with
+  | Deadlocked { cycle; blocked; wait_cycle = _ } ->
+      let detail =
+        Sf_support.Util.string_concat_map "; " (fun (n, r) -> n ^ ": " ^ r) blocked
+      in
+      Error (Printf.sprintf "deadlocked at cycle %d (%s)" cycle detail)
+  | Completed stats ->
+      let reference = Interp.run p ~inputs in
+      let rec check = function
+        | [] -> Ok stats
+        | (name, simulated) :: rest -> (
+            match List.assoc_opt name reference with
+            | None -> Error (Printf.sprintf "output %s missing from reference" name)
+            | Some expected ->
+                let (simulated : Interp.result) = simulated in
+                if simulated.Interp.valid <> expected.Interp.valid then
+                  Error (Printf.sprintf "output %s: validity masks differ" name)
+                else begin
+                  let worst = ref 0. in
+                  Array.iteri
+                    (fun i v ->
+                      if expected.Interp.valid.(i) then begin
+                        let d =
+                          Float.abs (v -. Tensor.get_flat expected.Interp.tensor i)
+                        in
+                        if d > !worst then worst := d
+                      end)
+                    simulated.Interp.tensor.Tensor.data;
+                  if !worst > 1e-9 then
+                    Error
+                      (Printf.sprintf "output %s: max deviation %g from reference" name !worst)
+                  else check rest
+                end)
+      in
+      check stats.results

@@ -1,0 +1,87 @@
+(** The cycle-level spatial simulator: this reproduction's substitute for
+    the paper's Stratix 10 testbed (see DESIGN.md).
+
+    The engine instantiates one {!Stencil_unit} per stencil, FIFO
+    channels with the depths computed by the delay-buffer analysis
+    (Sec. IV-B), prefetching memory readers and buffering writers behind a
+    bandwidth-limited memory {!Controller} per device, and network
+    {!Link}s for edges whose endpoints are placed on different devices
+    (Sec. III-B). It then advances the whole system cycle by cycle until
+    all program outputs have been written, or reports a deadlock when no
+    component can make progress.
+
+    Because the units execute the real computations on real data, a run
+    both measures cycles (to validate the model C = L + N of Eq. 1) and
+    produces output tensors (validated against {!Sf_reference.Interp}). *)
+
+type config = {
+  latency : Sf_analysis.Latency.config;
+  channel_slack : int;
+      (** Extra FIFO capacity on every channel beyond the analysed delay
+          buffer, covering per-hop pipeline registers. *)
+  writer_buffer : int;  (** Extra buffering in front of memory writers. *)
+  mem_bytes_per_cycle : float;  (** Per-device off-chip bandwidth. *)
+  net_bytes_per_cycle : float;  (** Per-link network bandwidth. *)
+  net_latency_cycles : int;
+  deadlock_window : int;
+      (** Cycles without any progress before declaring deadlock. *)
+  max_cycles : int option;
+  override_edge_buffers : ((string * string) * int) list;
+      (** Replace the analysed buffer size on specific edges — used by the
+          deadlock experiments (Fig. 4) to demonstrate what happens with
+          insufficient buffering. *)
+  trace_interval : int option;
+      (** When set, sample every channel's occupancy every N cycles into
+          {!stats.trace} (for visualizing fill behaviour and buffer
+          tightness over time). *)
+}
+
+val default_config : config
+
+type stats = {
+  cycles : int;
+  predicted_cycles : int;  (** L + N/W from the runtime model (Eq. 1). *)
+  results : (string * Sf_reference.Interp.result) list;
+  bytes_read : int;
+  bytes_written : int;
+  network_bytes : int;
+  unit_stalls : (string * int) list;
+  channel_high_water : (string * int * int) list;  (** name, high water, capacity *)
+  trace : (int * (string * int) list) list;
+      (** Occupancy samples [(cycle, [(channel, occupancy)])], empty
+          unless [trace_interval] is set. *)
+}
+
+type outcome =
+  | Completed of stats
+  | Deadlocked of {
+      cycle : int;
+      blocked : (string * string) list;  (** Component names with reasons. *)
+      wait_cycle : string list;
+          (** One circular wait through the blocked components — the
+              concrete instance of Fig. 4's deadlock (e.g. [a] waits on
+              [c] accepting data, [c] on [b] producing, [b] on [a]).
+              Empty if no cycle was identified (e.g. a timeout rather
+              than a true deadlock). *)
+    }
+
+val run :
+  ?config:config ->
+  ?placement:(string -> int) ->
+  ?inputs:(string * Sf_reference.Tensor.t) list ->
+  Sf_ir.Program.t ->
+  outcome
+(** Simulate a program. [placement] maps each stencil name to a device
+    index (default: everything on device 0); input fields are replicated
+    to every device that reads them. [inputs] default to
+    {!Sf_reference.Interp.random_inputs}. *)
+
+val run_and_validate :
+  ?config:config ->
+  ?placement:(string -> int) ->
+  ?inputs:(string * Sf_reference.Tensor.t) list ->
+  Sf_ir.Program.t ->
+  (stats, string) result
+(** {!run}, then compare every program output against the sequential
+    reference interpreter. [Error] carries a diagnostic on deadlock,
+    timeout, or mismatch. *)

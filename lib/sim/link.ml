@@ -1,0 +1,44 @@
+type port = {
+  src : Channel.t;
+  dst : Channel.t;
+  word_bytes : int;
+  in_flight : (int * Word.t) Queue.t;
+}
+
+type t = {
+  name : string;
+  controller : Controller.t;
+  latency_cycles : int;
+  mutable ports : port list;
+}
+
+let create ~name ~bytes_per_cycle ~latency_cycles =
+  { name; controller = Controller.create ~bytes_per_cycle; latency_cycles; ports = [] }
+
+let add_port t ~src ~dst ~word_bytes =
+  t.ports <- t.ports @ [ { src; dst; word_bytes; in_flight = Queue.create () } ]
+
+let cycle t ~now =
+  Controller.begin_cycle t.controller;
+  let progress = ref false in
+  List.iter
+    (fun p ->
+      (* Deliver matured words first, freeing in-flight slots. *)
+      (match Queue.peek_opt p.in_flight with
+      | Some (release, word) when release <= now && not (Channel.is_full p.dst) ->
+          ignore (Queue.pop p.in_flight);
+          Channel.push p.dst word;
+          progress := true
+      | Some _ | None -> ());
+      (* Inject new words subject to shared link bandwidth. *)
+      if (not (Channel.is_empty p.src)) && Controller.request t.controller p.word_bytes then begin
+        let word = Channel.pop p.src in
+        Queue.push (now + t.latency_cycles, word) p.in_flight;
+        progress := true
+      end)
+    t.ports;
+  !progress
+
+let name t = t.name
+let bytes_transferred t = Controller.bytes_granted t.controller
+let is_idle t = List.for_all (fun p -> Queue.is_empty p.in_flight) t.ports

@@ -1,0 +1,23 @@
+(** Inter-device network links (the SMI substitute, paper Sec. VI-B).
+
+    A link connects two adjacent devices with a fixed bandwidth (the
+    testbed provides two 40 Gbit/s connections between consecutive FPGAs)
+    and a propagation latency. Remote streams register a port on the
+    link; injection contends for the shared bandwidth, delivery happens
+    [latency] cycles later, subject to destination buffer space — the
+    same FIFO semantics as on-chip channels. *)
+
+type t
+
+val create : name:string -> bytes_per_cycle:float -> latency_cycles:int -> t
+
+val add_port : t -> src:Channel.t -> dst:Channel.t -> word_bytes:int -> unit
+(** Register a remote stream crossing this link. *)
+
+val cycle : t -> now:int -> bool
+(** Returns true when any word was injected or delivered. *)
+
+val name : t -> string
+val bytes_transferred : t -> int
+val is_idle : t -> bool
+(** No words in flight. *)

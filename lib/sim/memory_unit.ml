@@ -1,0 +1,110 @@
+module Tensor = Sf_reference.Tensor
+
+module Reader = struct
+  type t = {
+    name : string;
+    tensor : Tensor.t;
+    vector_width : int;
+    element_bytes : int;
+    controller : Controller.t;
+    outputs : Channel.t list;
+    n_words : int;
+    mutable pos : int; (* words streamed so far *)
+  }
+
+  let create ~name ~tensor ~vector_width ~element_bytes ~controller ~outputs =
+    let elements = Tensor.num_elements tensor in
+    if elements mod vector_width <> 0 then
+      invalid_arg "Reader.create: vector width does not divide field size";
+    { name; tensor; vector_width; element_bytes; controller; outputs; n_words = elements / vector_width; pos = 0 }
+
+  let is_done t = t.pos >= t.n_words
+  let name t = t.name
+
+  let cycle t =
+    if is_done t then false
+    else if List.exists Channel.is_full t.outputs then false
+    else if not (Controller.request t.controller (t.vector_width * t.element_bytes)) then false
+    else begin
+      let word = Word.create t.vector_width in
+      for lane = 0 to t.vector_width - 1 do
+        word.Word.values.(lane) <- Tensor.get_flat t.tensor ((t.pos * t.vector_width) + lane)
+      done;
+      List.iter (fun c -> Channel.push c (Word.copy word)) t.outputs;
+      t.pos <- t.pos + 1;
+      true
+    end
+
+  let blocked_reason t =
+    if is_done t then None
+    else if List.exists Channel.is_full t.outputs then Some "consumer channel full"
+    else Some "waiting for memory bandwidth"
+
+  let full_output_channels t =
+    if is_done t then []
+    else List.filter_map (fun c -> if Channel.is_full c then Some (Channel.name c) else None) t.outputs
+end
+
+module Writer = struct
+  type t = {
+    name : string;
+    tensor : Tensor.t;
+    valid : bool array;
+    vector_width : int;
+    element_bytes : int;
+    controller : Controller.t;
+    input : Channel.t;
+    n_words : int;
+    mutable pos : int;
+  }
+
+  let create ~name ~shape ~vector_width ~element_bytes ~controller ~input =
+    let tensor = Tensor.create shape in
+    let elements = Tensor.num_elements tensor in
+    if elements mod vector_width <> 0 then
+      invalid_arg "Writer.create: vector width does not divide output size";
+    {
+      name;
+      tensor;
+      valid = Array.make elements true;
+      vector_width;
+      element_bytes;
+      controller;
+      input;
+      n_words = elements / vector_width;
+      pos = 0;
+    }
+
+  let is_done t = t.pos >= t.n_words
+  let name t = t.name
+
+  let cycle t =
+    if is_done t then false
+    else if Channel.is_empty t.input then false
+    else begin
+      (* Only valid (non-shrunk) elements consume write bandwidth. *)
+      let word = match Channel.peek t.input with Some w -> w | None -> assert false in
+      let valid_count = Array.fold_left (fun n v -> if v then n + 1 else n) 0 word.Word.valid in
+      if valid_count > 0 && not (Controller.request t.controller (valid_count * t.element_bytes))
+      then false
+      else begin
+        ignore (Channel.pop t.input);
+        for lane = 0 to t.vector_width - 1 do
+          let idx = (t.pos * t.vector_width) + lane in
+          if word.Word.valid.(lane) then Tensor.set_flat t.tensor idx word.Word.values.(lane)
+          else t.valid.(idx) <- false
+        done;
+        t.pos <- t.pos + 1;
+        true
+      end
+    end
+
+  let result t = { Sf_reference.Interp.tensor = t.tensor; valid = t.valid }
+
+  let blocked_reason t =
+    if is_done t then None
+    else if Channel.is_empty t.input then Some "waiting on empty input stream"
+    else Some "waiting for memory bandwidth"
+
+  let waiting_on_input t = (not (is_done t)) && Channel.is_empty t.input
+end

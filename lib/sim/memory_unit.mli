@@ -1,0 +1,54 @@
+(** Off-chip memory readers and writers.
+
+    Source fields are instantiated as dedicated prefetchers that read
+    ahead of computations; dedicated writers at sink nodes buffer data
+    while waiting for DRAM writes (paper, Sec. VI-A). Both contend for
+    their device's {!Controller} bandwidth. *)
+
+module Reader : sig
+  type t
+
+  val create :
+    name:string ->
+    tensor:Sf_reference.Tensor.t ->
+    vector_width:int ->
+    element_bytes:int ->
+    controller:Controller.t ->
+    outputs:Channel.t list ->
+    t
+  (** Streams the tensor row-major, one word per cycle when bandwidth and
+      all consumer channels allow, multicasting to every consumer. *)
+
+  val cycle : t -> bool
+  val is_done : t -> bool
+  val name : t -> string
+  val blocked_reason : t -> string option
+
+  val full_output_channels : t -> string list
+  (** Names of consumer channels currently exerting backpressure. *)
+end
+
+module Writer : sig
+  type t
+
+  val create :
+    name:string ->
+    shape:int list ->
+    vector_width:int ->
+    element_bytes:int ->
+    controller:Controller.t ->
+    input:Channel.t ->
+    t
+
+  val cycle : t -> bool
+  val is_done : t -> bool
+  val name : t -> string
+
+  val result : t -> Sf_reference.Interp.result
+  (** The written tensor with its validity mask ("shrink" cells are left
+      at zero and marked invalid). *)
+
+  val blocked_reason : t -> string option
+
+  val waiting_on_input : t -> bool
+end

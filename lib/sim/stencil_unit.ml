@@ -1,0 +1,295 @@
+open Sf_ir
+module Tensor = Sf_reference.Tensor
+
+type input_binding = {
+  field : string;
+  channel : Channel.t option;
+  prefetched : Tensor.t option;
+}
+
+(* Ring buffer over the flattened element stream of one full-rank input:
+   the shift register of Fig. 6. [newest] is the flat element index of the
+   most recently received element (-1 before any data arrives). *)
+type window = { data : float array; cap : int; mutable newest : int }
+
+type input_state = {
+  field : string;
+  channel : Channel.t option;
+  window : window option;
+  prefetched : Tensor.t option;
+  axes : int list;
+  start_step : int;
+  boundary : Boundary.t;
+}
+
+(* Mutable per-cell context threaded through the compiled expression:
+   the flat cell index, its multi-index, and the out-of-bounds flag. *)
+type cell_ctx = { mutable cell_flat : int; idx : int array; mutable oob : bool }
+
+type t = {
+  name : string;
+  shape : int array;
+  strides : int array;
+  w : int;
+  cells : int;
+  n_words : int;
+  init_max : int;
+  compute_cycles : int;
+  inputs : input_state array;
+  outputs : Channel.t list;
+  compiled : cell_ctx -> float;
+  ctx : cell_ctx;
+  shrink : bool;
+  mutable step : int;
+  pending : (int * Word.t) Queue.t;
+  mutable stalls : int;
+}
+
+let window_get win e =
+  assert (e <= win.newest && e > win.newest - win.cap && e >= 0);
+  win.data.(e mod win.cap)
+
+let window_append win v =
+  win.newest <- win.newest + 1;
+  win.data.(win.newest mod win.cap) <- v
+
+let create ~program ~stencil ~compute_cycles ~inputs ~outputs =
+  let shape_list = program.Program.shape in
+  let shape = Array.of_list shape_list in
+  let strides = Array.of_list (Program.strides program) in
+  let w = program.Program.vector_width in
+  let cells = Program.cells program in
+  let n_words = cells / w in
+  let buffers = Sf_analysis.Internal_buffer.of_stencil program stencil in
+  let init_max = Sf_analysis.Internal_buffer.stencil_init_cycles program stencil in
+  let full_rank = Program.rank program in
+  let input_states =
+    List.map
+      (fun (b : input_binding) ->
+        let axes = Program.field_axes program b.field in
+        let is_full = List.length axes = full_rank in
+        let window, start_step =
+          if not is_full then (None, 0)
+          else begin
+            let info =
+              List.find
+                (fun (ib : Sf_analysis.Internal_buffer.t) -> String.equal ib.field b.field)
+                buffers
+            in
+            let init_extra = Sf_support.Util.ceil_div info.init_elements (max 1 w) in
+            let cap =
+              ((init_extra + 2) * w) + max 0 (-info.Sf_analysis.Internal_buffer.min_flat) + w
+            in
+            ( Some { data = Array.make cap 0.; cap; newest = -1 },
+              init_max - init_extra )
+          end
+        in
+        {
+          field = b.field;
+          channel = b.channel;
+          window;
+          prefetched = b.prefetched;
+          axes;
+          start_step;
+          boundary = Stencil.boundary_for stencil b.field;
+        })
+      inputs
+  in
+  let inputs_arr = Array.of_list input_states in
+  (* Compile the body once: every access pre-resolves its input, flat
+     offset, per-dimension bounds data and boundary condition, leaving
+     only loads and arithmetic per cell (see Sf_reference.Compile). *)
+  let access ~field ~offsets =
+    let input =
+      match Array.find_opt (fun i -> String.equal i.field field) inputs_arr with
+      | Some i -> i
+      | None -> failwith (Printf.sprintf "stencil %s: unbound access to %s" stencil.Stencil.name field)
+    in
+    match input.window with
+    | Some win ->
+        let rank = Array.length shape in
+        let offs = Array.of_list offsets in
+        let flat =
+          List.fold_left ( + ) 0 (List.mapi (fun d o -> o * strides.(d)) offsets)
+        in
+        let boundary = input.boundary in
+        fun (ctx : cell_ctx) ->
+          let in_bounds = ref true in
+          for d = 0 to rank - 1 do
+            let i = ctx.idx.(d) + offs.(d) in
+            if i < 0 || i >= shape.(d) then in_bounds := false
+          done;
+          if !in_bounds then window_get win (ctx.cell_flat + flat)
+          else begin
+            ctx.oob <- true;
+            match boundary with
+            | Boundary.Constant c -> c
+            | Boundary.Copy -> window_get win ctx.cell_flat
+          end
+    | None ->
+        let tensor = Option.get input.prefetched in
+        let axes = Array.of_list input.axes in
+        let offs = Array.of_list offsets in
+        let n = Array.length axes in
+        let extents = Array.map (fun axis -> shape.(axis)) axes in
+        let tstrides =
+          let st = Array.make (max 1 n) 1 in
+          for d = n - 2 downto 0 do
+            st.(d) <- st.(d + 1) * extents.(d + 1)
+          done;
+          st
+        in
+        let boundary = input.boundary in
+        fun (ctx : cell_ctx) ->
+          let flat = ref 0 in
+          let center = ref 0 in
+          let in_bounds = ref true in
+          for d = 0 to n - 1 do
+            let base = ctx.idx.(axes.(d)) in
+            let target = base + offs.(d) in
+            if target < 0 || target >= extents.(d) then in_bounds := false;
+            flat := !flat + (target * tstrides.(d));
+            center := !center + (base * tstrides.(d))
+          done;
+          if !in_bounds then Tensor.get_flat tensor !flat
+          else begin
+            ctx.oob <- true;
+            match boundary with
+            | Boundary.Constant c -> c
+            | Boundary.Copy -> Tensor.get_flat tensor !center
+          end
+  in
+  let compiled = Sf_reference.Compile.body ~access stencil.Stencil.body in
+  {
+    name = stencil.Stencil.name;
+    shape;
+    strides;
+    w;
+    cells;
+    n_words;
+    init_max;
+    compute_cycles;
+    inputs = inputs_arr;
+    outputs;
+    compiled;
+    ctx = { cell_flat = 0; idx = Array.make (Array.length shape) 0; oob = false };
+    shrink = stencil.Stencil.shrink;
+    step = 0;
+    pending = Queue.create ();
+    stalls = 0;
+  }
+
+let name t = t.name
+let total_steps t = t.init_max + t.n_words
+let is_done t = t.step >= total_steps t && Queue.is_empty t.pending
+let stall_cycles t = t.stalls
+let steps_completed t = t.step
+
+(* Input [i] must consume a word at pipeline step [s]. *)
+let consuming_at i s =
+  match i.window with
+  | None -> false (* prefetched: never streams *)
+  | Some _ -> s >= i.start_step
+
+let consuming_active t i = consuming_at i t.step && t.step - i.start_step < t.n_words
+
+let compute_word t word_index =
+  let word = Word.create t.w in
+  let rank = Array.length t.shape in
+  for lane = 0 to t.w - 1 do
+    let cell_flat = (word_index * t.w) + lane in
+    t.ctx.cell_flat <- cell_flat;
+    (* Recover the multi-index for boundary predication. *)
+    let rec fill d rem =
+      if d < rank then begin
+        t.ctx.idx.(d) <- rem / t.strides.(d);
+        fill (d + 1) (rem mod t.strides.(d))
+      end
+    in
+    fill 0 cell_flat;
+    t.ctx.oob <- false;
+    word.Word.values.(lane) <- t.compiled t.ctx;
+    if t.shrink && t.ctx.oob then word.Word.valid.(lane) <- false
+  done;
+  word
+
+let try_flush t ~now =
+  match Queue.peek_opt t.pending with
+  | Some (release, word) when release <= now && List.for_all (fun c -> not (Channel.is_full c)) t.outputs ->
+      ignore (Queue.pop t.pending);
+      List.iter (fun c -> Channel.push c (Word.copy word)) t.outputs;
+      true
+  | Some _ | None -> false
+
+let try_step t ~now =
+  if t.step >= total_steps t then false
+  else if Queue.length t.pending > t.compute_cycles then false
+  else begin
+    let ready =
+      Array.for_all
+        (fun i ->
+          (not (consuming_active t i))
+          || match i.channel with Some c -> not (Channel.is_empty c) | None -> true)
+        t.inputs
+    in
+    if not ready then false
+    else begin
+      Array.iter
+        (fun i ->
+          if consuming_active t i then begin
+            let word = Channel.pop (Option.get i.channel) in
+            let win = Option.get i.window in
+            Array.iter (fun v -> window_append win v) word.Word.values
+          end)
+        t.inputs;
+      if t.step >= t.init_max then begin
+        let word_index = t.step - t.init_max in
+        let word = compute_word t word_index in
+        Queue.push (now + t.compute_cycles, word) t.pending
+      end;
+      t.step <- t.step + 1;
+      true
+    end
+  end
+
+let cycle t ~now =
+  let flushed = try_flush t ~now in
+  let stepped = try_step t ~now in
+  let progress = flushed || stepped in
+  if (not progress) && not (is_done t) then t.stalls <- t.stalls + 1;
+  progress
+
+type blockage = Input_empty of string | Output_full of string
+
+let blockages t =
+  if is_done t then []
+  else
+    (Array.to_list t.inputs
+    |> List.filter_map (fun i ->
+           match i.channel with
+           | Some c when consuming_active t i && Channel.is_empty c -> Some (Input_empty i.field)
+           | Some _ | None -> None))
+    @ List.filter_map
+        (fun c -> if Channel.is_full c then Some (Output_full (Channel.name c)) else None)
+        t.outputs
+
+let blocked_reason t =
+  if is_done t then None
+  else begin
+    let input_block =
+      Array.to_list t.inputs
+      |> List.filter_map (fun i ->
+             match i.channel with
+             | Some c when consuming_active t i && Channel.is_empty c ->
+                 Some (Printf.sprintf "waiting on empty input %s" i.field)
+             | Some _ | None -> None)
+    in
+    let output_block =
+      List.filter_map
+        (fun c -> if Channel.is_full c then Some (Printf.sprintf "output %s full" (Channel.name c)) else None)
+        t.outputs
+    in
+    match input_block @ output_block with
+    | [] -> Some "pipeline in flight"
+    | reasons -> Some (String.concat "; " reasons)
+  end

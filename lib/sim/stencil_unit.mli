@@ -1,0 +1,55 @@
+(** A stencil unit: the dedicated pipeline instantiated for one stencil
+    operation (paper, Sec. III-A and Fig. 12).
+
+    Per successful pipeline step the unit consumes one word from every
+    active input stream (shifting it into the field's internal window
+    buffer), and — once the initialization phase has passed — computes one
+    output word and emits it after its compute latency, multicasting to
+    every consumer channel. If any required input is empty or any output
+    is full, the whole unit stalls for the cycle (the fine-grained
+    per-cell dependency of Sec. III-A).
+
+    The consumption schedule realizes the internal-buffer analysis
+    exactly: input [f] starts being consumed at step
+    [init_max - init_f] (larger buffers start immediately, Sec. IV-A),
+    the first output is produced at step [init_max], and out-of-bounds
+    taps are predicated with the input's boundary condition. *)
+
+type input_binding = {
+  field : string;
+  channel : Channel.t option;
+      (** [None] for prefetched lower-dimensional inputs. *)
+  prefetched : Sf_reference.Tensor.t option;
+      (** The whole tensor, for lower-dimensional inputs. *)
+}
+
+type t
+
+val create :
+  program:Sf_ir.Program.t ->
+  stencil:Sf_ir.Stencil.t ->
+  compute_cycles:int ->
+  inputs:input_binding list ->
+  outputs:Channel.t list ->
+  t
+
+val name : t -> string
+val is_done : t -> bool
+
+val cycle : t -> now:int -> bool
+(** Advance one clock cycle; returns true if any progress was made
+    (a flush or a pipeline step). *)
+
+val stall_cycles : t -> int
+val steps_completed : t -> int
+
+(** Structured description of what blocks the unit, for deadlock-cycle
+    diagnosis: inputs it waits on (by field) and output channels that are
+    full (by channel name). *)
+type blockage = Input_empty of string | Output_full of string
+
+val blockages : t -> blockage list
+
+val blocked_reason : t -> string option
+(** Human-readable description of why the unit cannot currently advance
+    (for deadlock diagnostics); [None] when done. *)

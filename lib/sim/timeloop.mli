@@ -1,0 +1,51 @@
+(** Iterative (time-stepped) execution of stencil programs.
+
+    The paper handles traditional iterative stencils by chaining
+    timesteps into a linear DAG (Sec. VIII-C); this module generalizes
+    that to arbitrary programs. A {e feedback} relation maps program
+    outputs back onto input fields; then:
+
+    - {!unroll} builds the spatial form: [steps] copies of the DAG wired
+      output-to-input, exactly the paper's "analogous to time-tiled
+      iterative stencils". Non-feedback inputs (coefficients, masks,
+      lower-dimensional fields) are shared by all steps and still read
+      from memory only once — perfect reuse across the whole time loop;
+    - {!run_reference} executes the time loop sequentially (the
+      load/store baseline), for validation;
+    - {!run_simulated} executes the unrolled program on the spatial
+      simulator and returns the final-step outputs under their original
+      names. *)
+
+type feedback = (string * string) list
+(** [(output, input)] pairs: after each step, [output]'s result becomes
+    [input]'s data. Each output and input may appear at most once; the
+    fields must have identical rank (full) and dtype. *)
+
+val unroll : Sf_ir.Program.t -> steps:int -> feedback:feedback -> Sf_ir.Program.t
+(** Replicate the DAG [steps] times; step [s]'s feedback inputs read step
+    [s-1]'s corresponding outputs directly as streams. Stencil [x] of
+    step [s] is named [x_t<s>]; the returned program's outputs are the
+    final step's outputs. Validates the result. Raises
+    [Invalid_argument] on malformed feedback. *)
+
+val final_output_names : Sf_ir.Program.t -> steps:int -> string list -> string list
+(** The unrolled names of the given outputs ([x -> x_t<steps>]). *)
+
+val run_reference :
+  Sf_ir.Program.t ->
+  steps:int ->
+  feedback:feedback ->
+  inputs:(string * Sf_reference.Tensor.t) list ->
+  (string * Sf_reference.Tensor.t) list
+(** Sequential time loop: run, feed back, repeat. Returns the outputs
+    after the last step, under their original names. *)
+
+val run_simulated :
+  ?config:Engine.config ->
+  Sf_ir.Program.t ->
+  steps:int ->
+  feedback:feedback ->
+  inputs:(string * Sf_reference.Tensor.t) list ->
+  ((string * Sf_reference.Tensor.t) list, string) result
+(** Unroll, simulate, validate against the engine's own reference check,
+    and return final outputs under original names. *)

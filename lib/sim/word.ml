@@ -1,0 +1,5 @@
+type t = { values : float array; valid : bool array }
+
+let create w = { values = Array.make w 0.; valid = Array.make w true }
+let width t = Array.length t.values
+let copy t = { values = Array.copy t.values; valid = Array.copy t.valid }

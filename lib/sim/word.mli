@@ -1,0 +1,14 @@
+(** Vector words: the unit of data movement in the simulator.
+
+    One word carries W consecutive elements (the vector width of
+    Sec. IV-C) plus per-element validity flags used by the "shrink"
+    boundary condition — invalid elements are dropped by memory writers
+    but still occupy stream slots, preserving stream rates. *)
+
+type t = { values : float array; valid : bool array }
+
+val create : int -> t
+(** All-zero, all-valid word of the given width. *)
+
+val width : t -> int
+val copy : t -> t

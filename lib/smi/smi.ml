@@ -1,0 +1,76 @@
+type rank = int
+
+type channel = {
+  src_rank : rank;
+  dst_rank : rank;
+  port : int;
+  element_bytes : int;
+  vector_width : int;
+  depth : int;
+}
+
+type topology = { devices : int; links_per_hop : int }
+
+let chain ~devices ~links_per_hop =
+  if devices < 1 || links_per_hop < 1 then invalid_arg "Smi.chain: non-positive topology";
+  { devices; links_per_hop }
+
+let hops _t ~src ~dst = abs (dst - src)
+
+let validate_channel t c =
+  if c.src_rank < 0 || c.src_rank >= t.devices then Error "source rank out of range"
+  else if c.dst_rank < 0 || c.dst_rank >= t.devices then Error "destination rank out of range"
+  else if c.src_rank = c.dst_rank then Error "channel endpoints on the same rank"
+  else if c.vector_width < 1 then Error "non-positive vector width"
+  else Ok ()
+
+let split t c =
+  let ways = t.links_per_hop in
+  List.map (fun i -> { c with port = (c.port * ways) + i; depth = (c.depth + ways - 1) / ways })
+    (Sf_support.Util.range ways)
+
+let split_words words ~ways =
+  if ways < 1 then invalid_arg "Smi.split_words: non-positive ways";
+  let buckets = Array.make ways [] in
+  List.iteri (fun i word -> buckets.(i mod ways) <- word :: buckets.(i mod ways)) words;
+  Array.to_list (Array.map List.rev buckets)
+
+let reassemble substreams =
+  let streams = Array.of_list (List.map (fun l -> ref l) substreams) in
+  let ways = Array.length streams in
+  if ways = 0 then []
+  else begin
+    let out = ref [] in
+    let continue = ref true in
+    let i = ref 0 in
+    while !continue do
+      match !(streams.(!i mod ways)) with
+      | [] -> continue := false
+      | word :: rest ->
+          streams.(!i mod ways) := rest;
+          out := word :: !out;
+          incr i
+    done;
+    (* Drain any remainder (streams may differ in length by one). *)
+    List.rev !out
+  end
+
+let bandwidth_bytes_per_s t (d : Sf_models.Device.t) (_ : channel) =
+  let links = min t.links_per_hop d.Sf_models.Device.links_per_hop in
+  float_of_int links *. d.Sf_models.Device.link_bytes_per_s
+
+(* Effective goodput fraction of the raw link rate: the SMI paper
+   measures ~30.8 of 40 Gbit/s once framing and flow control are paid. *)
+let link_efficiency = 0.77
+
+let max_vector_width t (d : Sf_models.Device.t) ~element_bytes ~streams_per_hop =
+  let per_hop_bytes_per_cycle =
+    link_efficiency
+    *. float_of_int (min t.links_per_hop d.Sf_models.Device.links_per_hop)
+    *. d.Sf_models.Device.link_bytes_per_s /. d.Sf_models.Device.frequency_hz
+  in
+  let budget = per_hop_bytes_per_cycle /. float_of_int (max 1 streams_per_hop) in
+  let rec largest w =
+    if float_of_int (2 * w * element_bytes) <= budget then largest (2 * w) else w
+  in
+  if float_of_int element_bytes > budget then 0 else largest 1

@@ -1,0 +1,55 @@
+(** Streaming Message Interface substitute (paper, Sec. VI-B; [16]).
+
+    SMI exposes inter-device communication as channels with FIFO
+    semantics, making remote streams look like on-chip streams in
+    generated code. Two capabilities matter to StencilFlow:
+
+    - {b transparent remote channels}: a channel descriptor names source
+      and destination ranks and a port; codegen emits the same push/pop
+      calls as for local channels;
+    - {b stream splitting}: when several physical network connections
+      exist between two endpoints, one logical stream can be split into
+      substreams routed over different links and recombined in order at
+      the receiver, multiplying achievable bandwidth — StencilFlow uses
+      this to raise the vectorization width across devices (Sec. VI-B).
+
+    The testbed topology is a chain of ranks with [links_per_hop]
+    connections between consecutive devices (Sec. VIII-B). *)
+
+type rank = int
+
+type channel = {
+  src_rank : rank;
+  dst_rank : rank;
+  port : int;  (** Distinguishes channels between the same pair. *)
+  element_bytes : int;
+  vector_width : int;
+  depth : int;  (** Receiver-side FIFO depth (delay buffer), in words. *)
+}
+
+type topology = { devices : int; links_per_hop : int }
+
+val chain : devices:int -> links_per_hop:int -> topology
+val hops : topology -> src:rank -> dst:rank -> int
+(** Number of physical hops a message traverses (chain distance). *)
+
+val validate_channel : topology -> channel -> (unit, string) result
+
+val split : topology -> channel -> channel list
+(** Split a channel into [links_per_hop] substreams, one per physical
+    link, each carrying an interleaved share of the words. *)
+
+val split_words : 'a list -> ways:int -> 'a list list
+(** Round-robin distribution of a word stream over substreams. *)
+
+val reassemble : 'a list list -> 'a list
+(** Inverse of {!split_words}: interleave substreams back in order. *)
+
+val bandwidth_bytes_per_s : topology -> Sf_models.Device.t -> channel -> float
+(** Aggregate bandwidth available to the (possibly split) channel. *)
+
+val max_vector_width :
+  topology -> Sf_models.Device.t -> element_bytes:int -> streams_per_hop:int -> int
+(** The largest power-of-two vector width sustainable at one word per
+    cycle per stream across a hop — the network bound that capped the
+    paper's distributed runs at W=4 (Sec. VIII-C). *)

@@ -1,0 +1,175 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (V : ORDERED) = struct
+  type vertex = V.t
+
+  module VMap = Map.Make (V)
+  module VSet = Set.Make (V)
+
+  (* Adjacency is kept in insertion order (lists) so that analyses and
+     printers are deterministic across runs. *)
+  type ('a, 'e) t = {
+    labels : 'a VMap.t;
+    succ : (vertex * 'e) list VMap.t;
+    pred : (vertex * 'e) list VMap.t;
+    insertion : vertex list; (* reverse insertion order of vertices *)
+  }
+
+  let empty = { labels = VMap.empty; succ = VMap.empty; pred = VMap.empty; insertion = [] }
+  let mem_vertex g v = VMap.mem v g.labels
+
+  let add_vertex g v label =
+    if mem_vertex g v then { g with labels = VMap.add v label g.labels }
+    else
+      {
+        labels = VMap.add v label g.labels;
+        succ = VMap.add v [] g.succ;
+        pred = VMap.add v [] g.pred;
+        insertion = v :: g.insertion;
+      }
+
+  let adjacency map v = match VMap.find_opt v map with Some l -> l | None -> []
+
+  let replace_assoc key value l =
+    let without = List.filter (fun (k, _) -> V.compare k key <> 0) l in
+    without @ [ (key, value) ]
+
+  let add_edge g ~src ~dst e =
+    if not (mem_vertex g src) then invalid_arg "Dgraph.add_edge: unknown source vertex";
+    if not (mem_vertex g dst) then invalid_arg "Dgraph.add_edge: unknown destination vertex";
+    {
+      g with
+      succ = VMap.add src (replace_assoc dst e (adjacency g.succ src)) g.succ;
+      pred = VMap.add dst (replace_assoc src e (adjacency g.pred dst)) g.pred;
+    }
+
+  let remove_edge g ~src ~dst =
+    let drop key l = List.filter (fun (k, _) -> V.compare k key <> 0) l in
+    {
+      g with
+      succ = VMap.add src (drop dst (adjacency g.succ src)) g.succ;
+      pred = VMap.add dst (drop src (adjacency g.pred dst)) g.pred;
+    }
+
+  let remove_vertex g v =
+    if not (mem_vertex g v) then g
+    else begin
+      let g =
+        List.fold_left (fun g (s, _) -> remove_edge g ~src:v ~dst:s) g (adjacency g.succ v)
+      in
+      let g =
+        List.fold_left (fun g (p, _) -> remove_edge g ~src:p ~dst:v) g (adjacency g.pred v)
+      in
+      {
+        labels = VMap.remove v g.labels;
+        succ = VMap.remove v g.succ;
+        pred = VMap.remove v g.pred;
+        insertion = List.filter (fun u -> V.compare u v <> 0) g.insertion;
+      }
+    end
+
+  let mem_edge g ~src ~dst = List.exists (fun (k, _) -> V.compare k dst = 0) (adjacency g.succ src)
+  let find_vertex g v = VMap.find_opt v g.labels
+
+  let find_vertex_exn g v =
+    match find_vertex g v with
+    | Some label -> label
+    | None -> invalid_arg "Dgraph.find_vertex_exn: unknown vertex"
+
+  let find_edge g ~src ~dst =
+    List.find_opt (fun (k, _) -> V.compare k dst = 0) (adjacency g.succ src) |> Option.map snd
+
+  let succs g v = adjacency g.succ v
+  let preds g v = adjacency g.pred v
+  let out_degree g v = List.length (succs g v)
+  let in_degree g v = List.length (preds g v)
+  let vertex_order g = List.rev g.insertion
+  let vertices g = List.map (fun v -> (v, VMap.find v g.labels)) (vertex_order g)
+
+  let edges g =
+    List.concat_map (fun v -> List.map (fun (d, e) -> (v, d, e)) (succs g v)) (vertex_order g)
+
+  let num_vertices g = VMap.cardinal g.labels
+  let num_edges g = List.length (edges g)
+  let sources g = List.filter (fun v -> in_degree g v = 0) (vertex_order g)
+  let sinks g = List.filter (fun v -> out_degree g v = 0) (vertex_order g)
+
+  (* Kahn's algorithm, scanning ready vertices in insertion order for
+     deterministic output. *)
+  let topological_sort g =
+    let in_deg = Hashtbl.create 16 in
+    List.iter (fun (v, _) -> Hashtbl.replace in_deg v (in_degree g v)) (vertices g);
+    let order = vertex_order g in
+    let rec collect_ready acc = function
+      | [] -> List.rev acc
+      | v :: rest ->
+          if Hashtbl.find in_deg v = 0 then collect_ready (v :: acc) rest
+          else collect_ready acc rest
+    in
+    let rec go sorted ready remaining =
+      match ready with
+      | [] ->
+          if remaining = [] then Ok (List.rev sorted)
+          else
+            (* Every remaining vertex has positive in-degree among the
+               remaining set: they all lie on or feed cycles. *)
+            Error remaining
+      | v :: ready_rest ->
+          let newly_ready =
+            List.filter_map
+              (fun (s, _) ->
+                let d = Hashtbl.find in_deg s - 1 in
+                Hashtbl.replace in_deg s d;
+                if d = 0 then Some s else None)
+              (succs g v)
+          in
+          let remaining = List.filter (fun u -> V.compare u v <> 0) remaining in
+          go (v :: sorted) (ready_rest @ newly_ready) remaining
+    in
+    go [] (collect_ready [] order) order
+
+  let is_dag g = match topological_sort g with Ok _ -> true | Error _ -> false
+
+  let reachable_from g seeds =
+    let visited = ref VSet.empty in
+    let rec visit v =
+      if not (VSet.mem v !visited) then begin
+        visited := VSet.add v !visited;
+        List.iter (fun (s, _) -> visit s) (succs g v)
+      end
+    in
+    List.iter visit seeds;
+    List.filter (fun v -> VSet.mem v !visited) (vertex_order g)
+
+  let map_vertices f g = { g with labels = VMap.mapi f g.labels }
+  let fold_vertices f g acc = List.fold_left (fun acc (v, a) -> f v a acc) acc (vertices g)
+  let transpose g = { g with succ = g.pred; pred = g.succ }
+
+  let longest_path g ~weight =
+    match topological_sort g with
+    | Error _ -> invalid_arg "Dgraph.longest_path: graph has a cycle"
+    | Ok order ->
+        let dist = Hashtbl.create 16 in
+        List.iter
+          (fun v ->
+            let d =
+              List.fold_left
+                (fun acc (p, _) -> Float.max acc (Hashtbl.find dist p +. weight p))
+                0. (preds g v)
+            in
+            Hashtbl.replace dist v d)
+          order;
+        let total =
+          List.fold_left (fun acc v -> Float.max acc (Hashtbl.find dist v +. weight v)) 0. order
+        in
+        let lookup v =
+          match Hashtbl.find_opt dist v with
+          | Some d -> d
+          | None -> invalid_arg "Dgraph.longest_path: unknown vertex"
+        in
+        (lookup, total)
+end

@@ -1,0 +1,41 @@
+let range n = List.init (max 0 n) Fun.id
+let sum_int = List.fold_left ( + ) 0
+let sum_float = List.fold_left ( +. ) 0.
+
+let max_int_list = function
+  | [] -> invalid_arg "Util.max_int_list: empty list"
+  | x :: rest -> List.fold_left max x rest
+
+let float_close ?(rel = 1e-9) ?(abs = 1e-9) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= abs || diff <= rel *. Float.max (Float.abs a) (Float.abs b)
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Util.ceil_div: non-positive divisor";
+  (a + b - 1) / b
+
+let clamp ~lo ~hi x = max lo (min hi x)
+let string_concat_map sep f l = String.concat sep (List.map f l)
+
+let scaled units value =
+  let rec go value = function
+    | [] -> assert false
+    | [ unit_name ] -> (value, unit_name)
+    | unit_name :: rest -> if Float.abs value < 1000. then (value, unit_name) else go (value /. 1000.) rest
+  in
+  go value units
+
+let human_rate ops_per_s =
+  let value, unit_name = scaled [ "Op/s"; "KOp/s"; "MOp/s"; "GOp/s"; "TOp/s"; "POp/s" ] ops_per_s in
+  Printf.sprintf "%.2f %s" value unit_name
+
+let human_bytes_rate bytes_per_s =
+  let value, unit_name = scaled [ "B/s"; "KB/s"; "MB/s"; "GB/s"; "TB/s" ] bytes_per_s in
+  Printf.sprintf "%.1f %s" value unit_name
+
+let human_time seconds =
+  if seconds < 1e-3 then Printf.sprintf "%.0f us" (seconds *. 1e6)
+  else if seconds < 1. then Printf.sprintf "%.2f ms" (seconds *. 1e3)
+  else Printf.sprintf "%.2f s" seconds
+
+let percent part whole = if whole = 0. then 0. else 100. *. part /. whole

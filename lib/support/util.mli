@@ -1,0 +1,32 @@
+(** Small shared helpers used across the StencilFlow stack. *)
+
+val range : int -> int list
+(** [range n] is [[0; 1; ...; n-1]]; empty when [n <= 0]. *)
+
+val sum_int : int list -> int
+val sum_float : float list -> float
+val max_int_list : int list -> int
+(** Maximum of a list; raises [Invalid_argument] on the empty list. *)
+
+val float_close : ?rel:float -> ?abs:float -> float -> float -> bool
+(** Relative/absolute tolerance comparison (defaults: 1e-9 both). *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is ⌈a / b⌉ for positive [b]. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+
+val string_concat_map : string -> ('a -> string) -> 'a list -> string
+(** [string_concat_map sep f l] is [String.concat sep (List.map f l)]. *)
+
+val human_rate : float -> string
+(** Format an operations-per-second figure: ["264.0 GOp/s"], ["4.18 TOp/s"]. *)
+
+val human_bytes_rate : float -> string
+(** Format a bandwidth figure in B/s: ["36.4 GB/s"]. *)
+
+val human_time : float -> string
+(** Format a duration in seconds: ["1178 us"], ["1.2 ms"]. *)
+
+val percent : float -> float -> float
+(** [percent part whole] is [100 * part / whole] (0 when [whole = 0]). *)

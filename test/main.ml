@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "stencilflow"
+    [
+      ("support", Test_support.suite);
+      ("json", Test_json.suite);
+      ("dgraph", Test_dgraph.suite);
+      ("expr", Test_expr.suite);
+      ("parser", Test_parser.suite);
+      ("program", Test_program.suite);
+      ("analysis", Test_analysis.suite);
+      ("reference", Test_reference.suite);
+      ("sim_primitives", Test_sim_primitives.suite);
+      ("memory_units", Test_memory_units.suite);
+      ("sim", Test_sim.suite);
+      ("sdfg", Test_sdfg.suite);
+      ("fusion", Test_fusion.suite);
+      ("models", Test_models.suite);
+      ("mapping", Test_mapping.suite);
+      ("codegen", Test_codegen.suite);
+      ("codegen_exec", Test_codegen_exec.suite);
+      ("kernels", Test_kernels.suite);
+      ("opt", Test_opt.suite);
+      ("tiling", Test_tiling.suite);
+      ("autotune", Test_autotune.suite);
+      ("examples", Test_examples.suite);
+      ("timeloop", Test_timeloop.suite);
+      ("swe", Test_swe.suite);
+      ("partition_balanced", Test_partition_balanced.suite);
+      ("random_programs", Test_random_programs.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("compile", Test_compile.suite);
+      ("wave", Test_wave.suite);
+    ]

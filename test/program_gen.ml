@@ -1,0 +1,175 @@
+(* QCheck generator for arbitrary well-formed stencil programs: random
+   rank, shape, input fields (including lower-dimensional and scalar
+   ones), a random DAG of stencils with random bodies, boundary
+   conditions and shrink flags. Drives the cross-cutting property tests
+   in Test_random_programs. *)
+open Sf_ir
+open QCheck.Gen
+
+let identifier prefix i = Printf.sprintf "%s%d" prefix i
+
+let offsets_gen ~rank_of_field =
+  list_repeat rank_of_field (int_range (-2) 2)
+
+(* A random expression over the given (field, field_rank) environment.
+   Division, log and exp are excluded to keep values bounded; sqrt is
+   applied to |x|. *)
+let expr_gen ~fields ~depth =
+  let leaf =
+    oneof
+      [
+        map (fun f -> Expr.Const (Float.of_int f /. 4.)) (int_range (-8) 8);
+        (let* field, rank_of_field = oneofl fields in
+         let* offsets = offsets_gen ~rank_of_field in
+         return (Expr.Access { field; offsets }));
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 4,
+            let* op = oneofl [ Expr.Add; Expr.Sub; Expr.Mul ] in
+            let* l = node (depth - 1) in
+            let* r = node (depth - 1) in
+            return (Expr.Binary (op, l, r)) );
+          ( 1,
+            let* f = oneofl [ Expr.Min; Expr.Max ] in
+            let* l = node (depth - 1) in
+            let* r = node (depth - 1) in
+            return (Expr.Call (f, [ l; r ])) );
+          (1, map (fun x -> Expr.Call (Expr.Abs, [ x ])) (node (depth - 1)));
+          (1, map (fun x -> Expr.Call (Expr.Sqrt, [ Expr.Call (Expr.Abs, [ x ]) ])) (node (depth - 1)));
+          ( 1,
+            let* cmp = oneofl [ Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ] in
+            let* a = node (depth - 1) in
+            let* b = node (depth - 1) in
+            let* t = node (depth - 1) in
+            let* f = node (depth - 1) in
+            return (Expr.Select { cond = Expr.Binary (cmp, a, b); if_true = t; if_false = f }) );
+        ]
+  in
+  node depth
+
+let boundary_gen =
+  oneof
+    [
+      map (fun c -> Boundary.Constant (Float.of_int c /. 2.)) (int_range (-4) 4);
+      return Boundary.Copy;
+    ]
+
+let program_gen =
+  let* rank = int_range 1 3 in
+  let* shape =
+    match rank with
+    | 1 -> map (fun i -> [ 2 * i ]) (int_range 3 8)
+    | 2 ->
+        let* j = int_range 3 6 in
+        let* i = int_range 2 4 in
+        return [ j; 2 * i ]
+    | _ ->
+        let* k = int_range 2 4 in
+        let* j = int_range 2 4 in
+        let* i = int_range 2 3 in
+        return [ k; j; 2 * i ]
+  in
+  let* num_full_inputs = int_range 1 2 in
+  let* num_lower = if rank > 1 then int_range 0 2 else return 0 in
+  let* vector_width = oneofl [ 1; 2 ] in
+  let full_inputs = List.map (identifier "in") (Sf_support.Util.range num_full_inputs) in
+  let* lower_inputs =
+    List.fold_left
+      (fun acc i ->
+        let* acc = acc in
+        let* axes =
+          if rank = 2 then oneofl [ []; [ 0 ]; [ 1 ] ]
+          else oneofl [ []; [ 0 ]; [ 1 ]; [ 2 ]; [ 1; 2 ] ]
+        in
+        return ((identifier "lo" i, axes) :: acc))
+      (return []) (Sf_support.Util.range num_lower)
+  in
+  let* num_stencils = int_range 1 5 in
+  let rank_of name =
+    if List.exists (String.equal name) full_inputs then rank
+    else
+      match List.assoc_opt name lower_inputs with
+      | Some axes -> List.length axes
+      | None -> rank (* stencil result *)
+  in
+  let* stencils =
+    List.fold_left
+      (fun acc i ->
+        let* acc = acc in
+        let name = identifier "s" i in
+        let available =
+          full_inputs
+          @ List.map fst lower_inputs
+          @ List.map (fun (s : Stencil.t) -> s.Stencil.name) acc
+        in
+        let* num_reads = int_range 1 (min 3 (List.length available)) in
+        let* chosen =
+          (* Sample without replacement, biased towards recent names so
+             DAGs chain rather than always fanning from the inputs. *)
+          let rec pick n pool acc_fields =
+            if n = 0 || pool = [] then return acc_fields
+            else
+              let* idx = int_range 0 (List.length pool - 1) in
+              let f = List.nth pool idx in
+              pick (n - 1) (List.filter (fun x -> not (String.equal x f)) pool) (f :: acc_fields)
+          in
+          pick num_reads available []
+        in
+        let fields = List.map (fun f -> (f, rank_of f)) chosen in
+        let* body = expr_gen ~fields ~depth:3 in
+        (* Ensure every chosen field is actually read (the generator may
+           have dropped some): sum unused ones in. *)
+        let used = List.map fst (Expr.accesses body) in
+        let body =
+          List.fold_left
+            (fun e (f, r) ->
+              if List.exists (String.equal f) used then e
+              else
+                Expr.Binary
+                  (Expr.Add, e, Expr.Access { field = f; offsets = List.map (fun _ -> 0) (Sf_support.Util.range r) }))
+            body fields
+        in
+        let* boundary =
+          List.fold_left
+            (fun acc (f, _) ->
+              let* acc = acc in
+              let* b = boundary_gen in
+              return ((f, b) :: acc))
+            (return []) fields
+        in
+        let* shrink = frequency [ (4, return false); (1, return true) ] in
+        return (acc @ [ Stencil.make ~boundary ~shrink ~name { Expr.lets = []; result = body } ]))
+      (return []) (Sf_support.Util.range num_stencils)
+  in
+  let inputs =
+    List.map (fun n -> Field.make ~name:n ~full_rank:rank ()) full_inputs
+    @ List.map (fun (n, axes) -> Field.make ~axes ~name:n ~full_rank:rank ()) lower_inputs
+  in
+  let program =
+    Program.make ~vector_width ~name:"random" ~shape ~inputs ~outputs:[] stencils
+  in
+  (* Outputs: every stencil not consumed by another (so nothing is dead);
+     inputs that are never read are dropped. *)
+  let read_fields =
+    List.concat_map (fun (s : Stencil.t) -> Stencil.input_fields s) stencils
+  in
+  let outputs =
+    List.filter_map
+      (fun (s : Stencil.t) ->
+        if List.exists (String.equal s.Stencil.name) read_fields then None
+        else Some s.Stencil.name)
+      stencils
+  in
+  let inputs =
+    List.filter (fun f -> List.exists (String.equal f.Field.name) read_fields) inputs
+  in
+  return { program with Program.inputs; outputs }
+
+let arbitrary_program =
+  QCheck.make ~print:(fun p -> Format.asprintf "%a" Program.pp p) program_gen

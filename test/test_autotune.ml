@@ -1,0 +1,73 @@
+module Autotune = Sf_mapping.Autotune
+module Device = Sf_models.Device
+module Hdiff = Sf_kernels.Hdiff
+module Iterative = Sf_kernels.Iterative
+
+let dev = Device.stratix10
+
+let test_hdiff_is_bandwidth_bound () =
+  let p = Hdiff.program () in
+  let best, sweep = Autotune.choose ~device:dev p in
+  (* Sec. IX-B: without vectorization hdiff needs ~9 operands/cycle
+     (10.8 GB/s) - not bandwidth bound; by W=8 the demand (86.4 GB/s)
+     exceeds the 58.3 GB/s effective cap. *)
+  let at w = List.find (fun e -> e.Autotune.vector_width = w) sweep in
+  Alcotest.(check bool) "W=1 not bandwidth bound" false (at 1).Autotune.bandwidth_bound;
+  Alcotest.(check bool) "W=8 bandwidth bound" true (at 8).Autotune.bandwidth_bound;
+  (* Once bandwidth-bound, wider vectors stop helping: the best modelled
+     width saturates the memory system. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "best W=%d >= 8" best.Autotune.vector_width)
+    true
+    (best.Autotune.vector_width >= 8);
+  Alcotest.(check bool) "best is feasible" true (best.Autotune.fits && best.Autotune.network_ok);
+  (* The modelled performance at the chosen width is the bandwidth roof. *)
+  let roof =
+    Sf_analysis.Roofline.attainable_ops_per_s
+      ~ai_ops_per_byte:(Sf_analysis.Op_count.ai_ops_per_byte p)
+      ~bandwidth_bytes_per_s:dev.Device.vector_bw_cap
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "modeled %.1f ~ roof %.1f GOp/s" (best.Autotune.modeled_ops_per_s /. 1e9)
+       (roof /. 1e9))
+    true
+    (Float.abs ((best.Autotune.modeled_ops_per_s /. roof) -. 1.) < 0.1)
+
+let test_small_kernel_prefers_wide () =
+  (* A single compute-light stencil on a small domain never saturates
+     bandwidth: wider is better until resources or legality stop it. *)
+  let p = Iterative.single ~shape:[ 64; 64 ] Iterative.Jacobi2d in
+  let best, sweep = Autotune.choose ~device:dev ~max_width:16 p in
+  Alcotest.(check int) "widest legal width wins" 16 best.Autotune.vector_width;
+  List.iter
+    (fun e -> Alcotest.(check bool) "all fit" true e.Autotune.fits)
+    sweep
+
+let test_network_constrains_multi_device () =
+  let p = Iterative.chain ~shape:[ 64; 64 ] Iterative.Jacobi2d ~length:4 in
+  let best, _ = Autotune.choose ~devices:4 ~device:dev ~max_width:16 p in
+  (* Across devices the SMI links cap the stream width at 4
+     (Sec. VIII-C). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "multi-device W=%d <= 4" best.Autotune.vector_width)
+    true
+    (best.Autotune.vector_width <= 4)
+
+let test_monotone_until_bound () =
+  let p = Hdiff.program () in
+  let _, sweep = Autotune.choose ~device:dev p in
+  let perf w =
+    (List.find (fun e -> e.Autotune.vector_width = w) sweep).Autotune.modeled_ops_per_s
+  in
+  Alcotest.(check bool) "W=2 beats W=1" true (perf 2 > perf 1);
+  Alcotest.(check bool) "W=4 beats W=2" true (perf 4 > perf 2)
+
+let suite =
+  [
+    Alcotest.test_case "hdiff: bandwidth-bound at W>=8 (sec 9B)" `Quick
+      test_hdiff_is_bandwidth_bound;
+    Alcotest.test_case "light kernels prefer the widest vectors" `Quick
+      test_small_kernel_prefers_wide;
+    Alcotest.test_case "network caps multi-device width" `Quick test_network_constrains_multi_device;
+    Alcotest.test_case "performance monotone until the bound" `Quick test_monotone_until_bound;
+  ]

@@ -1,0 +1,89 @@
+module Compile = Sf_reference.Compile
+module Interp = Sf_reference.Interp
+open Sf_ir
+
+(* The compiled closures must agree exactly with the tree-walking
+   evaluator on arbitrary expressions and access environments. *)
+let prop_compile_equals_eval =
+  QCheck.Test.make ~count:500 ~name:"compiled expressions equal the evaluator"
+    (QCheck.make ~print:Expr.to_string Test_expr.expr_gen)
+    (fun e ->
+      let lookup ~field ~offsets =
+        float_of_int (Hashtbl.hash (field, offsets) mod 31) /. 13.
+      in
+      let var_value v = float_of_int (Hashtbl.hash v mod 7) /. 3. in
+      let interpreted = Interp.eval_expr ~lookup ~env:(fun v -> Some (var_value v)) e in
+      let compiled =
+        Compile.expr
+          ~access:(fun ~field ~offsets -> fun () -> lookup ~field ~offsets)
+          ~env:(fun v -> Some (fun () -> var_value v))
+          e ()
+      in
+      (Float.is_nan interpreted && Float.is_nan compiled) || interpreted = compiled)
+
+let test_body_lets_evaluate_once () =
+  (* Each let is computed once per invocation; the access counter shows
+     exactly one evaluation of the shared access per call. *)
+  let counter = ref 0 in
+  let access ~field:_ ~offsets:_ =
+    fun () ->
+      incr counter;
+      2.
+  in
+  let body =
+    {
+      Expr.lets = [ ("t", Expr.Access { field = "a"; offsets = [ 0 ] }) ];
+      result = Expr.Binary (Expr.Mul, Expr.Var "t", Expr.Var "t");
+    }
+  in
+  let f = Compile.body ~access body in
+  Alcotest.(check (float 0.)) "t*t" 4. (f ());
+  Alcotest.(check int) "access evaluated once" 1 !counter;
+  Alcotest.(check (float 0.)) "second call" 4. (f ());
+  Alcotest.(check int) "once per call" 2 !counter
+
+let test_unbound_variable_rejected () =
+  match
+    Compile.expr
+      ~access:(fun ~field:_ ~offsets:_ -> fun () -> 0.)
+      ~env:(fun _ -> None)
+      (Expr.Var "ghost")
+  with
+  | exception Invalid_argument _ -> ()
+  | (f : unit Compile.fn) ->
+      ignore f;
+      Alcotest.fail "unbound variable must be rejected"
+
+let test_let_ordering () =
+  (* A binding may reference earlier bindings but not later ones. *)
+  let access ~field:_ ~offsets:_ = fun () -> 3. in
+  let ok =
+    {
+      Expr.lets =
+        [
+          ("a", Expr.Access { field = "x"; offsets = [] });
+          ("b", Expr.Binary (Expr.Add, Expr.Var "a", Expr.Const 1.));
+        ];
+      result = Expr.Var "b";
+    }
+  in
+  Alcotest.(check (float 0.)) "forward refs work" 4. (Compile.body ~access ok ());
+  let backwards =
+    {
+      Expr.lets = [ ("a", Expr.Var "b"); ("b", Expr.Const 1.) ];
+      result = Expr.Var "a";
+    }
+  in
+  match Compile.body ~access backwards with
+  | exception Invalid_argument _ -> ()
+  | (f : unit Compile.fn) ->
+      ignore f;
+      Alcotest.fail "backward reference must be rejected"
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_compile_equals_eval;
+    Alcotest.test_case "lets evaluate once per call" `Quick test_body_lets_evaluate_once;
+    Alcotest.test_case "unbound variables rejected" `Quick test_unbound_variable_rejected;
+    Alcotest.test_case "let ordering enforced" `Quick test_let_ordering;
+  ]

@@ -1,0 +1,134 @@
+module G = Sf_support.Dgraph.Make (String)
+
+let build vertices edges =
+  let g = List.fold_left (fun g v -> G.add_vertex g v ()) G.empty vertices in
+  List.fold_left (fun g (src, dst) -> G.add_edge g ~src ~dst ()) g edges
+
+let diamond = build [ "a"; "b"; "c"; "d" ] [ ("a", "b"); ("a", "c"); ("b", "d"); ("c", "d") ]
+
+let test_degrees () =
+  Alcotest.(check int) "out a" 2 (G.out_degree diamond "a");
+  Alcotest.(check int) "in d" 2 (G.in_degree diamond "d");
+  Alcotest.(check (list string)) "sources" [ "a" ] (G.sources diamond);
+  Alcotest.(check (list string)) "sinks" [ "d" ] (G.sinks diamond)
+
+let test_topo () =
+  match G.topological_sort diamond with
+  | Error _ -> Alcotest.fail "diamond is a DAG"
+  | Ok order ->
+      Alcotest.(check int) "all vertices" 4 (List.length order);
+      let pos v =
+        let rec go i = function
+          | [] -> Alcotest.fail (v ^ " missing")
+          | x :: rest -> if String.equal x v then i else go (i + 1) rest
+        in
+        go 0 order
+      in
+      List.iter
+        (fun (src, dst, ()) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s before %s" src dst)
+            true
+            (pos src < pos dst))
+        (G.edges diamond)
+
+let test_cycle_detection () =
+  let cyclic = build [ "x"; "y"; "z" ] [ ("x", "y"); ("y", "z"); ("z", "x") ] in
+  Alcotest.(check bool) "cyclic" false (G.is_dag cyclic);
+  Alcotest.(check bool) "diamond acyclic" true (G.is_dag diamond);
+  match G.topological_sort cyclic with
+  | Ok _ -> Alcotest.fail "cycle not detected"
+  | Error witnesses -> Alcotest.(check bool) "witnesses nonempty" true (witnesses <> [])
+
+let test_self_loop () =
+  let g = build [ "v" ] [ ("v", "v") ] in
+  Alcotest.(check bool) "self loop is a cycle" false (G.is_dag g)
+
+let test_remove () =
+  let g = G.remove_vertex diamond "b" in
+  Alcotest.(check bool) "vertex gone" false (G.mem_vertex g "b");
+  Alcotest.(check bool) "edge gone" false (G.mem_edge g ~src:"a" ~dst:"b");
+  Alcotest.(check int) "d in-degree drops" 1 (G.in_degree g "d");
+  let g2 = G.remove_edge diamond ~src:"a" ~dst:"c" in
+  Alcotest.(check bool) "edge removed" false (G.mem_edge g2 ~src:"a" ~dst:"c");
+  Alcotest.(check bool) "other edge kept" true (G.mem_edge g2 ~src:"a" ~dst:"b")
+
+let test_reachability () =
+  let g = build [ "a"; "b"; "c"; "d"; "e" ] [ ("a", "b"); ("b", "c"); ("d", "e") ] in
+  Alcotest.(check (list string)) "from a" [ "a"; "b"; "c" ] (G.reachable_from g [ "a" ]);
+  Alcotest.(check (list string)) "backwards from c" [ "a"; "b"; "c" ]
+    (G.reachable_from (G.transpose g) [ "c" ])
+
+let test_longest_path () =
+  (* a(5) -> b(3) -> d(1); a -> c(10) -> d. dist d = max(5+3, 5+10) = 15. *)
+  let weight = function "a" -> 5. | "b" -> 3. | "c" -> 10. | "d" -> 1. | _ -> 0. in
+  let dist, total = G.longest_path diamond ~weight in
+  Alcotest.(check (float 0.)) "dist a" 0. (dist "a");
+  Alcotest.(check (float 0.)) "dist b" 5. (dist "b");
+  Alcotest.(check (float 0.)) "dist d" 15. (dist "d");
+  Alcotest.(check (float 0.)) "total" 16. total
+
+let test_edge_relabel () =
+  let g = List.fold_left (fun g v -> G.add_vertex g v 0) G.empty [ "u"; "v" ] in
+  let g = G.add_edge g ~src:"u" ~dst:"v" 1 in
+  let g = G.add_edge g ~src:"u" ~dst:"v" 2 in
+  Alcotest.(check int) "single edge" 1 (G.num_edges g);
+  Alcotest.(check (option int)) "label replaced" (Some 2) (G.find_edge g ~src:"u" ~dst:"v")
+
+(* Property: on random DAGs (edges only from lower to higher index),
+   topological_sort succeeds and respects all edges. *)
+let random_dag_gen =
+  let open QCheck.Gen in
+  int_range 1 12 >>= fun n ->
+  let vertex i = Printf.sprintf "v%d" i in
+  let all_pairs =
+    List.concat_map
+      (fun i -> List.map (fun j -> (vertex i, vertex j)) (List.filter (fun j -> j > i) (List.init n Fun.id)))
+      (List.init n Fun.id)
+  in
+  let* edges = List.fold_left
+    (fun acc pair ->
+      let* acc = acc in
+      let* keep = bool in
+      return (if keep then pair :: acc else acc))
+    (return []) all_pairs
+  in
+  return (build (List.init n vertex) edges)
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~count:100 ~name:"topological sort respects edges on random DAGs"
+    (QCheck.make random_dag_gen) (fun g ->
+      match G.topological_sort g with
+      | Error _ -> false
+      | Ok order ->
+          let position = Hashtbl.create 16 in
+          List.iteri (fun i v -> Hashtbl.replace position v i) order;
+          List.for_all
+            (fun (src, dst, ()) -> Hashtbl.find position src < Hashtbl.find position dst)
+            (G.edges g))
+
+(* Property: longest_path with unit weights equals the depth computed by
+   brute-force DFS. *)
+let prop_longest_path_matches_dfs =
+  QCheck.Test.make ~count:100 ~name:"longest path equals brute-force depth"
+    (QCheck.make random_dag_gen) (fun g ->
+      let rec depth v =
+        List.fold_left (fun acc (s, ()) -> Float.max acc (1. +. depth s)) 1. (G.succs g v)
+      in
+      let brute = List.fold_left (fun acc v -> Float.max acc (depth v)) 0. (G.sources g) in
+      let _, total = G.longest_path g ~weight:(fun _ -> 1.) in
+      total = brute)
+
+let suite =
+  [
+    Alcotest.test_case "degrees, sources, sinks" `Quick test_degrees;
+    Alcotest.test_case "topological sort of diamond" `Quick test_topo;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "self loop" `Quick test_self_loop;
+    Alcotest.test_case "vertex and edge removal" `Quick test_remove;
+    Alcotest.test_case "reachability and transpose" `Quick test_reachability;
+    Alcotest.test_case "weighted longest path" `Quick test_longest_path;
+    Alcotest.test_case "edge relabeling keeps one edge" `Quick test_edge_relabel;
+    QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+    QCheck_alcotest.to_alcotest prop_longest_path_matches_dfs;
+  ]

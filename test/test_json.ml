@@ -1,0 +1,149 @@
+module Json = Sf_support.Json
+
+let check_roundtrip json () =
+  let s = Json.to_string json in
+  let reparsed = Json.of_string s in
+  Alcotest.(check bool) ("roundtrip " ^ s) true (Json.equal json reparsed);
+  let minified = Json.of_string (Json.to_string ~minify:true json) in
+  Alcotest.(check bool) ("minified roundtrip " ^ s) true (Json.equal json minified)
+
+let test_parse_basic () =
+  let j = Json.of_string {| {"a": 1, "b": [true, null, -2.5], "c": "x\ny"} |} in
+  Alcotest.(check int) "a" 1 (Json.get_int (Json.member_exn "a" j));
+  (match Json.member_exn "b" j with
+  | Json.List [ Json.Bool true; Json.Null; Json.Float f ] ->
+      Alcotest.(check (float 0.)) "float" (-2.5) f
+  | _ -> Alcotest.fail "list shape");
+  Alcotest.(check string) "c" "x\ny" (Json.get_string (Json.member_exn "c" j))
+
+let test_comments () =
+  let j = Json.of_string "{\n// a comment\n\"k\": 2 // trailing\n}" in
+  Alcotest.(check int) "k" 2 (Json.get_int (Json.member_exn "k" j))
+
+let test_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for " ^ s)
+  in
+  fails "{";
+  fails "[1,]";
+  fails "{\"a\" 1}";
+  fails "tru";
+  fails "\"unterminated";
+  fails "1 2"
+
+let test_scientific () =
+  match Json.of_string "[1e3, 2.5E-2, -4e+1]" with
+  | Json.List [ Json.Float a; Json.Float b; Json.Float c ] ->
+      Alcotest.(check (float 1e-12)) "1e3" 1000. a;
+      Alcotest.(check (float 1e-12)) "2.5e-2" 0.025 b;
+      Alcotest.(check (float 1e-12)) "-4e1" (-40.) c
+  | _ -> Alcotest.fail "scientific notation"
+
+let test_unicode_escape () =
+  let j = Json.of_string {| "Aé" |} in
+  Alcotest.(check string) "unicode" "A\xc3\xa9" (Json.get_string j)
+
+let test_accessors () =
+  let j = Json.of_string {| {"s": "x", "i": 3, "f": 1.5, "b": false, "l": [1]} |} in
+  Alcotest.(check (float 0.)) "int as float" 3. (Json.get_float (Json.member_exn "i" j));
+  Alcotest.(check bool) "bool" false (Json.get_bool (Json.member_exn "b" j));
+  Alcotest.(check int) "list len" 1 (List.length (Json.get_list (Json.member_exn "l" j)));
+  (match Json.member "missing" j with
+  | None -> ()
+  | Some _ -> Alcotest.fail "missing member should be None");
+  match Json.get_int (Json.member_exn "s" j) with
+  | exception Json.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error"
+
+(* Property: every generated document survives print -> parse. *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+        map (fun f -> Json.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                (* Deduplicate keys: objects with repeated keys do not
+                   roundtrip through assoc semantics. *)
+                let seen = Hashtbl.create 8 in
+                Json.Obj
+                  (List.filter
+                     (fun (k, _) ->
+                       if Hashtbl.mem seen k then false
+                       else (
+                         Hashtbl.add seen k ();
+                         true))
+                     kvs))
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:printable (int_range 1 8)) (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"json print/parse roundtrip"
+    (QCheck.make ~print:Json.to_string json_gen) (fun j ->
+      Json.equal j (Json.of_string (Json.to_string j))
+      && Json.equal j (Json.of_string (Json.to_string ~minify:true j)))
+
+(* Fuzz: arbitrary byte strings either parse or raise Parse_error —
+   never any other exception, never a hang. *)
+let prop_fuzz_no_crash =
+  QCheck.Test.make ~count:500 ~name:"json parser never crashes on fuzz input"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 64) QCheck.Gen.char)
+    (fun s ->
+      match Json.of_string s with
+      | _ -> true
+      | exception Json.Parse_error _ -> true)
+
+(* Fuzz structured-ish inputs: mutate a valid document by splicing random
+   characters; same guarantee. *)
+let prop_fuzz_mutated =
+  QCheck.Test.make ~count:300 ~name:"json parser survives mutated documents"
+    QCheck.(pair (int_range 0 80) printable_char)
+    (fun (pos, c) ->
+      let base = {| {"name": "x", "shape": [4, 4], "inputs": {"a": {}}, "outputs": ["s"]} |} in
+      let mutated =
+        if pos >= String.length base then base ^ String.make 1 c
+        else String.mapi (fun i ch -> if i = pos then c else ch) base
+      in
+      match Json.of_string mutated with
+      | _ -> true
+      | exception Json.Parse_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "parse basic document" `Quick test_parse_basic;
+    Alcotest.test_case "line comments" `Quick test_comments;
+    Alcotest.test_case "malformed documents are rejected" `Quick test_errors;
+    Alcotest.test_case "scientific notation" `Quick test_scientific;
+    Alcotest.test_case "unicode escapes decode to UTF-8" `Quick test_unicode_escape;
+    Alcotest.test_case "typed accessors" `Quick test_accessors;
+    Alcotest.test_case "nested roundtrip" `Quick
+      (check_roundtrip
+         (Json.Obj
+            [
+              ("nested", Json.List [ Json.Obj [ ("x", Json.Int 1) ]; Json.List [] ]);
+              ("empty", Json.Obj []);
+            ]));
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_fuzz_no_crash;
+    QCheck_alcotest.to_alcotest prop_fuzz_mutated;
+  ]

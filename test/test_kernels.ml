@@ -1,0 +1,110 @@
+open Sf_ir
+module Iterative = Sf_kernels.Iterative
+module Hdiff = Sf_kernels.Hdiff
+module Engine = Sf_sim.Engine
+module Interp = Sf_reference.Interp
+module Tensor = Sf_reference.Tensor
+
+let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+
+let test_all_kinds_validate () =
+  List.iter
+    (fun kind ->
+      let shape =
+        match kind with
+        | Iterative.Jacobi3d | Iterative.Diffusion3d -> [ 4; 6; 8 ]
+        | Iterative.Jacobi2d | Iterative.Diffusion2d | Iterative.Laplace2d -> [ 8; 12 ]
+      in
+      let p = Iterative.chain ~shape kind ~length:3 in
+      match Engine.run_and_validate ~config:cheap p with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail (Iterative.kind_name kind ^ ": " ^ m))
+    [ Iterative.Jacobi2d; Iterative.Jacobi3d; Iterative.Diffusion2d; Iterative.Diffusion3d;
+      Iterative.Laplace2d ]
+
+let test_flop_counts () =
+  (* 7-point Jacobi 3D: 6 adds + 1 mul. *)
+  Alcotest.(check int) "jacobi3d" 7 (Iterative.flops_per_cell Iterative.Jacobi3d);
+  Alcotest.(check int) "jacobi2d" 4 (Iterative.flops_per_cell Iterative.Jacobi2d);
+  Alcotest.(check int) "diffusion2d" 9 (Iterative.flops_per_cell Iterative.Diffusion2d);
+  Alcotest.(check int) "diffusion3d" 13 (Iterative.flops_per_cell Iterative.Diffusion3d);
+  Alcotest.(check int) "laplace2d" 5 (Iterative.flops_per_cell Iterative.Laplace2d)
+
+let test_jacobi_smoothing () =
+  (* Jacobi iteration is an averaging operator: with constant-1 input and
+     copy-like interior, interior values stay bounded by the input range. *)
+  let p = Iterative.chain ~shape:[ 8; 8 ] Iterative.Jacobi2d ~length:2 in
+  let a = Tensor.create ~init:1. [ 8; 8 ] in
+  let r = (List.assoc "f2" (Interp.run p ~inputs:[ ("f0", a) ])).Interp.tensor in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "bounded" true (v >= 0. && v <= 1.))
+    r.Tensor.data;
+  (* Center cells far from the zero boundary remain exactly 1. *)
+  Alcotest.(check (float 1e-12)) "interior untouched" 1. (Tensor.get r [ 4; 4 ])
+
+let test_chain_is_iteration () =
+  (* Chaining n stencils equals applying the single stencil n times
+     through off-chip round trips. *)
+  let single = Iterative.chain ~shape:[ 6; 8 ] Iterative.Diffusion2d ~length:1 in
+  let chain3 = Iterative.chain ~shape:[ 6; 8 ] Iterative.Diffusion2d ~length:3 in
+  let inputs = Interp.random_inputs single in
+  let step data =
+    (List.assoc "f1" (Interp.run single ~inputs:[ ("f0", data) ])).Interp.tensor
+  in
+  let manual = step (step (step (List.assoc "f0" inputs))) in
+  let chained = (List.assoc "f3" (Interp.run chain3 ~inputs)).Interp.tensor in
+  Alcotest.(check bool) "equal" true (Tensor.max_abs_diff manual chained < 1e-12)
+
+let test_hdiff_structure () =
+  let p = Hdiff.program ~shape:[ 4; 8; 8 ] () in
+  Alcotest.(check int) "stencil count" Hdiff.stencil_count (List.length p.Program.stencils);
+  Alcotest.(check int) "18 stencils" 18 Hdiff.stencil_count;
+  Alcotest.(check int) "4 outputs" 4 (List.length p.Program.outputs);
+  Alcotest.(check int) "10 input fields" 10 (List.length p.Program.inputs);
+  (* Complex dependencies: the updates consume multiple producers. *)
+  let out_u = Option.get (Program.find_stencil p "u_out") in
+  let producer_inputs =
+    List.filter (fun f -> Option.is_some (Program.find_stencil p f)) (Stencil.input_fields out_u)
+  in
+  Alcotest.(check bool) "u_out reads 3 producers" true (List.length producer_inputs >= 3)
+
+let test_hdiff_simulates () =
+  let p = Hdiff.program ~shape:[ 4; 8; 8 ] () in
+  match Engine.run_and_validate ~config:cheap p with
+  | Ok stats ->
+      Alcotest.(check bool) "cycles near model" true
+        (stats.Engine.cycles - stats.Engine.predicted_cycles < 200)
+  | Error m -> Alcotest.fail m
+
+let test_hdiff_vectorized_simulates () =
+  let p = Hdiff.program ~shape:[ 4; 8; 8 ] ~vector_width:4 () in
+  match Engine.run_and_validate ~config:cheap p with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_hdiff_init_fraction_negligible () =
+  (* Sec. IX: on the MeteoSwiss domain the initialization latency is
+     ~0.7% of total iterations. *)
+  let p = Hdiff.program () in
+  let frac = Sf_analysis.Runtime_model.initialization_fraction p in
+  Alcotest.(check bool)
+    (Printf.sprintf "init fraction %.4f < 2%%" frac)
+    true (frac < 0.02)
+
+let test_meteoswiss_domain () =
+  Alcotest.(check (list int)) "80x128x128" [ 80; 128; 128 ] Hdiff.meteoswiss_shape;
+  let p = Hdiff.program () in
+  Alcotest.(check int) "cells" (80 * 128 * 128) (Program.cells p)
+
+let suite =
+  [
+    Alcotest.test_case "all kernel kinds validate in simulation" `Slow test_all_kinds_validate;
+    Alcotest.test_case "flop counts per kernel" `Quick test_flop_counts;
+    Alcotest.test_case "jacobi smoothing sanity" `Quick test_jacobi_smoothing;
+    Alcotest.test_case "chains equal repeated application" `Quick test_chain_is_iteration;
+    Alcotest.test_case "hdiff DAG structure (sec 9A)" `Quick test_hdiff_structure;
+    Alcotest.test_case "hdiff simulates and validates" `Slow test_hdiff_simulates;
+    Alcotest.test_case "vectorized hdiff validates" `Slow test_hdiff_vectorized_simulates;
+    Alcotest.test_case "hdiff init fraction negligible" `Quick test_hdiff_init_fraction_negligible;
+    Alcotest.test_case "meteoswiss benchmark domain" `Quick test_meteoswiss_domain;
+  ]

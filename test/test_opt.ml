@@ -1,0 +1,178 @@
+open Sf_ir
+module Opt = Sf_sdfg.Opt
+module Fusion = Sf_sdfg.Fusion
+module Interp = Sf_reference.Interp
+module Parser = Sf_frontend.Parser
+module E = Builder.E
+
+let expr_testable = Alcotest.testable (fun fmt e -> Expr.pp fmt e) Expr.equal
+
+let check_fold src expected () =
+  Alcotest.check expr_testable src (Parser.parse_expr expected)
+    (Opt.fold_constants (Parser.parse_expr src))
+
+let fold_cases =
+  [
+    ("1.0 + 2.0 * 3.0", "7.0");
+    ("a[0] + 0.0", "a[0]");
+    ("0.0 + a[0]", "a[0]");
+    ("a[0] - 0.0", "a[0]");
+    ("a[0] * 1.0", "a[0]");
+    ("1.0 * a[0]", "a[0]");
+    ("a[0] / 1.0", "a[0]");
+    ("sqrt(16.0)", "4.0");
+    ("min(2.0, 3.0) + max(2.0, 3.0)", "5.0");
+    ("1.0 < 2.0 ? a[0] : b[0]", "a[0]");
+    ("2.0 < 1.0 ? a[0] : b[0] + 0.0", "b[0]");
+    (* Nested folding. *)
+    ("a[0] * (2.0 - 1.0) + (3.0 - 3.0)", "a[0]");
+    (* x * 0 is NOT folded (NaN/Inf semantics). *)
+    ("a[0] * 0.0", "a[0] * 0.0");
+  ]
+
+let test_fold_preserves_semantics =
+  let gen = QCheck.Gen.oneofl (List.map (fun (src, _) -> src) fold_cases) in
+  ignore gen;
+  fun () ->
+    let lookup ~field:_ ~offsets:_ = 1.75 in
+    List.iter
+      (fun (src, _) ->
+        let e = Parser.parse_expr src in
+        let before = Interp.eval_expr ~lookup ~env:(fun _ -> None) e in
+        let after = Interp.eval_expr ~lookup ~env:(fun _ -> None) (Opt.fold_constants e) in
+        Alcotest.(check (float 1e-12)) src before after)
+      fold_cases
+
+let test_cse_extracts_shared () =
+  (* (a+b)*(a+b) -> let t = a+b in t*t *)
+  let body =
+    { Expr.lets = []; result = E.((acc "a" [ 0 ] +% acc "b" [ 0 ]) *% (acc "a" [ 0 ] +% acc "b" [ 0 ])) }
+  in
+  let out = Opt.cse body in
+  Alcotest.(check int) "one binding" 1 (List.length out.Expr.lets);
+  let profile = Expr.body_op_profile out in
+  Alcotest.(check int) "one add remains" 1 profile.Expr.adds;
+  Alcotest.(check int) "one mul" 1 profile.Expr.muls
+
+let test_cse_nested_sharing () =
+  (* sqrt(a+b) used twice, and (a+b) also used separately: the inner
+     shared node is bound before the outer one. *)
+  let ab = E.(acc "a" [ 0 ] +% acc "b" [ 0 ]) in
+  let body =
+    { Expr.lets = []; result = E.(sqrt_ ab +% sqrt_ ab +% ab) }
+  in
+  let out = Opt.cse ~min_size:2 body in
+  Alcotest.(check bool) "at least two bindings" true (List.length out.Expr.lets >= 2);
+  let profile = Expr.body_op_profile out in
+  Alcotest.(check int) "adds reduced to 3" 3 profile.Expr.adds;
+  Alcotest.(check int) "one sqrt" 1 profile.Expr.sqrts
+
+let test_cse_no_sharing_is_identity_profile () =
+  let body = { Expr.lets = []; result = E.(acc "a" [ 0 ] +% acc "b" [ 0 ]) } in
+  let out = Opt.cse body in
+  Alcotest.(check int) "no bindings" 0 (List.length out.Expr.lets);
+  Alcotest.check expr_testable "unchanged" body.Expr.result out.Expr.result
+
+let semantically_equal p q =
+  let inputs = Interp.random_inputs p in
+  let rp = Interp.run p ~inputs and rq = Interp.run q ~inputs in
+  List.for_all
+    (fun (name, (r : Interp.result)) ->
+      match List.assoc_opt name rq with
+      | None -> false
+      | Some r' ->
+          Sf_reference.Tensor.max_abs_diff r.Interp.tensor r'.Interp.tensor < 1e-12)
+    rp
+
+let test_optimize_preserves_program_semantics () =
+  List.iter
+    (fun p ->
+      let optimized = Opt.optimize p in
+      Alcotest.(check bool) (p.Program.name ^ " semantics") true (semantically_equal p optimized))
+    [
+      Fixtures.laplace2d ();
+      Fixtures.kitchen_sink ();
+      Fixtures.fork ();
+      Sf_kernels.Hdiff.program ~shape:[ 3; 6; 6 ] ();
+    ]
+
+let test_fusion_plus_cse_recovers_sharing () =
+  (* Fusing a chain duplicates the producer per consuming access; CSE
+     brings the op count back down. *)
+  let p = Fixtures.chain ~shape:[ 8; 12 ] ~n:3 () in
+  let fused, _ = Fusion.fuse_all p in
+  let flops body = Expr.flop_count (Expr.body_op_profile body) in
+  let before = flops (List.hd fused.Program.stencils).Stencil.body in
+  let optimized = Opt.optimize fused in
+  let after = flops (List.hd optimized.Program.stencils).Stencil.body in
+  Alcotest.(check bool)
+    (Printf.sprintf "CSE reduces fused flops (%d -> %d)" before after)
+    true (after < before);
+  Alcotest.(check bool) "still correct" true (semantically_equal fused optimized)
+
+let test_optimized_simulates () =
+  let p = Opt.optimize (fst (Fusion.fuse_all (Fixtures.kitchen_sink ()))) in
+  match Sf_sim.Engine.run_and_validate p with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+(* Property: folding and CSE preserve evaluation on random expressions
+   and random access values. *)
+let prop_fold_preserves =
+  QCheck.Test.make ~count:300 ~name:"constant folding preserves evaluation"
+    (QCheck.make ~print:Expr.to_string Test_expr.expr_gen)
+    (fun e ->
+      let lookup ~field ~offsets =
+        float_of_int (Hashtbl.hash (field, offsets) mod 17) /. 7.
+      in
+      let env _ = Some 0.5 in
+      let a = Interp.eval_expr ~lookup ~env e in
+      let b = Interp.eval_expr ~lookup ~env (Opt.fold_constants e) in
+      (Float.is_nan a && Float.is_nan b) || a = b)
+
+let prop_cse_preserves =
+  QCheck.Test.make ~count:300 ~name:"CSE preserves evaluation and never adds ops"
+    (QCheck.make ~print:Expr.to_string Test_expr.expr_gen)
+    (fun e ->
+      (* Use a closed body: replace free vars with accesses first. *)
+      let closed =
+        List.fold_left
+          (fun acc v -> Expr.substitute_var ~name:v ~value:(Expr.Access { field = "a"; offsets = [ 0 ] }) acc)
+          e (Expr.free_vars e)
+      in
+      let body = { Expr.lets = []; result = closed } in
+      let out = Opt.cse body in
+      let lookup ~field ~offsets =
+        float_of_int (Hashtbl.hash (field, offsets) mod 23) /. 11.
+      in
+      let a = Interp.eval_expr ~lookup ~env:(fun _ -> None) closed in
+      let bindings = Hashtbl.create 8 in
+      List.iter
+        (fun (n, bexpr) ->
+          Hashtbl.replace bindings n
+            (Interp.eval_expr ~lookup ~env:(Hashtbl.find_opt bindings) bexpr))
+        out.Expr.lets;
+      let b = Interp.eval_expr ~lookup ~env:(Hashtbl.find_opt bindings) out.Expr.result in
+      let same = (Float.is_nan a && Float.is_nan b) || a = b in
+      let before = Expr.flop_count (Expr.op_profile closed) in
+      let after = Expr.flop_count (Expr.body_op_profile out) in
+      same && after <= before)
+
+let suite =
+  List.map
+    (fun (src, expected) ->
+      Alcotest.test_case (Printf.sprintf "fold: %s" src) `Quick (check_fold src expected))
+    fold_cases
+  @ [
+      Alcotest.test_case "folding preserves values" `Quick test_fold_preserves_semantics;
+      Alcotest.test_case "CSE extracts shared subtrees" `Quick test_cse_extracts_shared;
+      Alcotest.test_case "CSE binds inner shares first" `Quick test_cse_nested_sharing;
+      Alcotest.test_case "CSE without sharing changes nothing" `Quick
+        test_cse_no_sharing_is_identity_profile;
+      Alcotest.test_case "optimize preserves program semantics" `Quick
+        test_optimize_preserves_program_semantics;
+      Alcotest.test_case "fusion + CSE recovers sharing" `Quick test_fusion_plus_cse_recovers_sharing;
+      Alcotest.test_case "optimized programs simulate" `Quick test_optimized_simulates;
+      QCheck_alcotest.to_alcotest prop_fold_preserves;
+      QCheck_alcotest.to_alcotest prop_cse_preserves;
+    ]

@@ -1,0 +1,101 @@
+open Sf_ir
+module Parser = Sf_frontend.Parser
+module Lexer = Sf_frontend.Lexer
+module E = Builder.E
+
+let expr_testable = Alcotest.testable (fun fmt e -> Expr.pp fmt e) Expr.equal
+
+let check_parse src expected () =
+  Alcotest.check expr_testable src expected (Parser.parse_expr src)
+
+let test_unary_minus_literal =
+  check_parse "-2.0" (Expr.Unary (Expr.Neg, Expr.Const 2.))
+
+let test_precedence =
+  check_parse "1 + 2 * 3 < 4 && 5 > 6 || !x"
+    E.(
+      (c 1. +% (c 2. *% c 3.) <% c 4.) &&% (c 5. >% c 6.)
+      ||% Expr.Unary (Expr.Not, var "x"))
+
+let test_ternary_right_assoc =
+  check_parse "a ? 1 : b ? 2 : 3" E.(sel (var "a") (c 1.) (sel (var "b") (c 2.) (c 3.)))
+
+let test_access_offsets =
+  check_parse "a[0, -1, +2] * b[1]" E.(acc "a" [ 0; -1; 2 ] *% acc "b" [ 1 ])
+
+let test_calls =
+  check_parse "min(sqrt(a[0]), pow(b[0], 2))"
+    E.(min_ (sqrt_ (acc "a" [ 0 ])) (pow_ (acc "b" [ 0 ]) (c 2.)))
+
+let test_comments_in_code =
+  check_parse "1 + // note\n 2" E.(c 1. +% c 2.)
+
+let test_errors () =
+  let fails src =
+    match Parser.parse_expr src with
+    | exception Parser.Syntax_error _ -> ()
+    | exception Lexer.Lex_error _ -> ()
+    | _ -> Alcotest.fail ("expected syntax error for " ^ src)
+  in
+  fails "1 +";
+  fails "a[0";
+  fails "a[1.5]";
+  fails "unknownfn(1)";
+  fails "sqrt(1, 2)";
+  fails "min(1)";
+  fails "(1";
+  fails "1 2";
+  fails "a ? 1";
+  fails "@"
+
+let test_assignments () =
+  let stmts = Parser.parse_assignments "t = a[0] + 1.0; out = t * t;" in
+  Alcotest.(check int) "two statements" 2 (List.length stmts);
+  Alcotest.(check string) "first lhs" "t" (fst (List.hd stmts))
+
+let test_body_statement_form () =
+  let body = Parser.parse_body ~output:"out" "t = a[0] + 1.0; out = t * t" in
+  Alcotest.(check int) "one let" 1 (List.length body.Expr.lets);
+  Alcotest.check expr_testable "result" E.(var "t" *% var "t") body.Expr.result
+
+let test_body_expression_form () =
+  let body = Parser.parse_body ~output:"out" "a[0] * 2.0" in
+  Alcotest.(check int) "no lets" 0 (List.length body.Expr.lets);
+  Alcotest.check expr_testable "result" E.(acc "a" [ 0 ] *% c 2.) body.Expr.result
+
+let test_body_wrong_output () =
+  match Parser.parse_body ~output:"out" "x = 1.0; y = 2.0;" with
+  | exception Parser.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "final statement must assign the output"
+
+let test_resolve_scalars () =
+  let body = Parser.parse_body ~output:"out" "t = alpha * a[0]; out = t + alpha" in
+  let resolved = Parser.resolve_body ~scalar:(String.equal "alpha") body in
+  let lets_expr = snd (List.hd resolved.Expr.lets) in
+  Alcotest.check expr_testable "alpha resolved in let" E.(sc "alpha" *% acc "a" [ 0 ]) lets_expr;
+  Alcotest.check expr_testable "alpha resolved in result" E.(var "t" +% sc "alpha")
+    resolved.Expr.result
+
+let test_resolve_respects_let_shadowing () =
+  (* A let binding named like a scalar field shadows it downstream. *)
+  let body = Parser.parse_body ~output:"out" "alpha = 2.0; out = alpha * a[0]" in
+  let resolved = Parser.resolve_body ~scalar:(String.equal "alpha") body in
+  Alcotest.check expr_testable "shadowed stays a var" E.(var "alpha" *% acc "a" [ 0 ])
+    resolved.Expr.result
+
+let suite =
+  [
+    Alcotest.test_case "unary minus on literals" `Quick test_unary_minus_literal;
+    Alcotest.test_case "operator precedence" `Quick test_precedence;
+    Alcotest.test_case "ternary right associativity" `Quick test_ternary_right_assoc;
+    Alcotest.test_case "access offsets with signs" `Quick test_access_offsets;
+    Alcotest.test_case "math calls with arity checking" `Quick test_calls;
+    Alcotest.test_case "comments inside code" `Quick test_comments_in_code;
+    Alcotest.test_case "syntax errors" `Quick test_errors;
+    Alcotest.test_case "assignment sequences" `Quick test_assignments;
+    Alcotest.test_case "statement-form body" `Quick test_body_statement_form;
+    Alcotest.test_case "expression-form body" `Quick test_body_expression_form;
+    Alcotest.test_case "body must end assigning output" `Quick test_body_wrong_output;
+    Alcotest.test_case "scalar identifier resolution" `Quick test_resolve_scalars;
+    Alcotest.test_case "let shadowing of scalar names" `Quick test_resolve_respects_let_shadowing;
+  ]

@@ -1,0 +1,136 @@
+open Sf_ir
+module Partition = Sf_mapping.Partition
+module Resource = Sf_models.Resource
+module Device = Sf_models.Device
+module Report = Sf_codegen.Report
+module E = Builder.E
+
+let dev = Device.stratix10
+
+(* A deliberately unbalanced chain: alternating light and heavy stages
+   (the heavy ones carry wide vector bodies through many operations). *)
+let lopsided_chain n =
+  let b = Builder.create ~vector_width:8 ~name:"lopsided" ~shape:[ 16; 64 ] () in
+  Builder.input b "f0";
+  let prev = ref "f0" in
+  for i = 1 to n do
+    let name = Printf.sprintf "f%d" i in
+    let body =
+      if i mod 2 = 0 then E.(acc !prev [ 0; 0 ] +% c 1.)
+      else
+        (* Heavy: a long sum of neighbour products. *)
+        E.sum
+          (List.map
+             (fun k -> E.(acc !prev [ 0; k - 2 ] *% acc !prev [ 0; 2 - k ]))
+             (Sf_support.Util.range 5))
+    in
+    Builder.stencil b ~boundary:[ (!prev, Boundary.Constant 0.) ] name body;
+    prev := name
+  done;
+  Builder.output b !prev;
+  Builder.finish b
+
+let worst_utilization pt =
+  List.fold_left
+    (fun acc usage ->
+      let a, f, m, d = Resource.utilization dev usage in
+      Float.max acc (Float.max (Float.max a f) (Float.max m d)))
+    0. pt.Partition.per_device_usage
+
+let test_balanced_improves_on_greedy () =
+  let p = lopsided_chain 24 in
+  let ceiling = 0.08 in
+  match (Partition.greedy ~ceiling ~device:dev p, Partition.balanced ~ceiling ~device:dev p) with
+  | Ok g, Ok b ->
+      Alcotest.(check bool) "same or fewer devices" true
+        (b.Partition.num_devices <= g.Partition.num_devices);
+      (match Partition.validate p b with
+      | Ok () -> ()
+      | Error errs -> Alcotest.fail (String.concat "; " errs));
+      let wg = worst_utilization g and wb = worst_utilization b in
+      Alcotest.(check bool)
+        (Printf.sprintf "balanced max %.4f <= greedy max %.4f" wb wg)
+        true (wb <= wg +. 1e-9)
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let test_balanced_single_device () =
+  let p = Fixtures.kitchen_sink () in
+  match Partition.balanced ~device:dev p with
+  | Ok pt -> Alcotest.(check int) "one device" 1 pt.Partition.num_devices
+  | Error m -> Alcotest.fail m
+
+let test_balanced_respects_max_devices () =
+  let p = lopsided_chain 24 in
+  match Partition.balanced ~ceiling:0.001 ~max_devices:2 ~device:dev p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "infeasible ceiling must be reported"
+
+let test_balanced_simulates () =
+  let p = Fixtures.chain ~shape:[ 6; 10 ] ~n:6 () in
+  match Partition.balanced ~ceiling:0.02 ~device:dev p with
+  | Error m -> Alcotest.fail m
+  | Ok pt ->
+      Alcotest.(check bool) "multiple devices" true (pt.Partition.num_devices > 1);
+      let config =
+        { Sf_sim.Engine.default_config with
+          Sf_sim.Engine.latency = Sf_analysis.Latency.cheap }
+      in
+      (match
+         Sf_sim.Engine.run_and_validate ~config ~placement:(Partition.placement_fn pt) p
+       with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+
+let prop_balanced_never_worse =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 6 20 in
+      let* ceiling = oneofl [ 0.06; 0.1; 0.2 ] in
+      return (lopsided_chain n, ceiling))
+  in
+  QCheck.Test.make ~count:25 ~name:"balanced partition is valid and never worse than greedy"
+    (QCheck.make ~print:(fun (p, c) -> Printf.sprintf "%s c=%.2f" p.Program.name c) gen)
+    (fun (p, ceiling) ->
+      match (Partition.greedy ~ceiling ~device:dev p, Partition.balanced ~ceiling ~device:dev p) with
+      | Error _, Error _ -> true
+      | Error _, Ok _ -> true (* balanced can succeed where greedy packs badly *)
+      | Ok _, Error _ -> false
+      | Ok g, Ok b ->
+          Partition.validate p b = Ok ()
+          && b.Partition.num_devices <= g.Partition.num_devices
+          && worst_utilization b <= worst_utilization g +. 1e-9)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_report_contents () =
+  let p = Sf_kernels.Hdiff.program ~shape:[ 8; 32; 32 ] () in
+  let md = Report.markdown p in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("report contains " ^ fragment) true (contains md fragment))
+    [
+      "# StencilFlow report: horizontal_diffusion";
+      "## Stencil DAG";
+      "## Delay buffers";
+      "## Runtime model (Eq. 1)";
+      "## Data movement and roofline";
+      "## Resources on";
+      "## Vectorization sweep";
+      "<- recommended";
+      "## Device mapping";
+      "fits on 1 device(s)";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "balanced beats greedy on lopsided chains" `Quick
+      test_balanced_improves_on_greedy;
+    Alcotest.test_case "balanced single device" `Quick test_balanced_single_device;
+    Alcotest.test_case "balanced respects max devices" `Quick test_balanced_respects_max_devices;
+    Alcotest.test_case "balanced placement simulates" `Quick test_balanced_simulates;
+    Alcotest.test_case "markdown report contents" `Quick test_report_contents;
+    QCheck_alcotest.to_alcotest prop_balanced_never_worse;
+  ]

@@ -1,0 +1,172 @@
+(* Cross-cutting properties on fully random programs (Program_gen):
+   every layer of the stack must agree with the sequential reference on
+   arbitrary DAGs, not just the curated fixtures. *)
+open Sf_ir
+module Engine = Sf_sim.Engine
+module Interp = Sf_reference.Interp
+module Tensor = Sf_reference.Tensor
+module Fusion = Sf_sdfg.Fusion
+module Opt = Sf_sdfg.Opt
+module Sdfg = Sf_sdfg.Sdfg
+module Tiling = Sf_mapping.Tiling
+module Program_json = Sf_frontend.Program_json
+
+let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+
+let semantically_equal ?(inputs = None) p q =
+  let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
+  let rp = Interp.run p ~inputs and rq = Interp.run q ~inputs in
+  List.for_all
+    (fun (name, (r : Interp.result)) ->
+      match List.assoc_opt name rq with
+      | None -> false
+      | Some r' ->
+          r.Interp.valid = r'.Interp.valid
+          &&
+          let ok = ref true in
+          Array.iteri
+            (fun i v ->
+              if r.Interp.valid.(i) then begin
+                let v' = Tensor.get_flat r'.Interp.tensor i in
+                if not ((Float.is_nan v && Float.is_nan v') || Float.abs (v -. v') <= 1e-9)
+                then ok := false
+              end)
+            r.Interp.tensor.Tensor.data;
+          !ok)
+    rp
+
+let prop_generator_produces_valid =
+  QCheck.Test.make ~count:200 ~name:"generator produces valid programs"
+    Program_gen.arbitrary_program (fun p ->
+      match Program.validate p with Ok () -> true | Error _ -> false)
+
+let prop_sim_equals_reference =
+  QCheck.Test.make ~count:60 ~name:"random programs: simulator equals reference"
+    Program_gen.arbitrary_program (fun p ->
+      match Engine.run_and_validate ~config:cheap p with Ok _ -> true | Error _ -> false)
+
+let prop_cycles_near_model =
+  QCheck.Test.make ~count:40 ~name:"random programs: cycles within envelope of Eq. 1"
+    Program_gen.arbitrary_program (fun p ->
+      match Engine.run ~config:cheap p with
+      | Engine.Deadlocked _ -> false
+      | Engine.Completed stats ->
+          let nodes = List.length p.Program.stencils in
+          stats.Engine.cycles >= stats.Engine.predicted_cycles
+          && stats.Engine.cycles <= stats.Engine.predicted_cycles + (4 * (nodes + 2)) + 16)
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"random programs: JSON roundtrip preserves semantics"
+    Program_gen.arbitrary_program (fun p ->
+      let q = Program_json.of_string (Program_json.to_string p) in
+      semantically_equal p q)
+
+let prop_sdfg_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"random programs: SDFG lower/extract preserves semantics"
+    Program_gen.arbitrary_program (fun p ->
+      match Sdfg.extract_program (Sdfg.of_program p) with
+      | Error _ -> false
+      | Ok q -> semantically_equal p q)
+
+let prop_optimize_preserves =
+  QCheck.Test.make ~count:60 ~name:"random programs: fold+CSE preserves semantics"
+    Program_gen.arbitrary_program (fun p -> semantically_equal p (Opt.optimize p))
+
+let prop_fusion_interior =
+  QCheck.Test.make ~count:40 ~name:"random programs: fusion preserves interior cells"
+    Program_gen.arbitrary_program (fun p ->
+      let fused, report = Fusion.fuse_all p in
+      if report.Fusion.fused_pairs = [] then true
+      else begin
+        let radius = Fusion.equivalence_radius ~original:p ~fused in
+        let interior_exists =
+          List.for_all (fun e -> e > 2 * radius) p.Program.shape
+        in
+        QCheck.assume interior_exists;
+        let inputs = Interp.random_inputs p in
+        let rp = Interp.run p ~inputs and rq = Interp.run fused ~inputs in
+        let shape = p.Program.shape in
+        List.for_all
+          (fun (name, (r : Interp.result)) ->
+            match List.assoc_opt name rq with
+            | None -> false
+            | Some r' ->
+                let ok = ref true in
+                let rec scan prefix = function
+                  | [] ->
+                      let idx = List.rev prefix in
+                      if List.for_all2 (fun i e -> i >= radius && i < e - radius) idx shape
+                      then begin
+                        let a = Tensor.get r.Interp.tensor idx
+                        and b = Tensor.get r'.Interp.tensor idx in
+                        if
+                          not
+                            ((Float.is_nan a && Float.is_nan b)
+                            || Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a))
+                        then ok := false
+                      end
+                  | e :: rest ->
+                      for i = 0 to e - 1 do
+                        scan (i :: prefix) rest
+                      done
+                in
+                scan [] shape;
+                !ok)
+          rp
+      end)
+
+let prop_tiling_exact =
+  QCheck.Test.make ~count:40 ~name:"random programs: tiled equals untiled"
+    Program_gen.arbitrary_program (fun p ->
+      (* Shrink masks are per-tile, so restrict to non-shrinking programs
+         (shrink + tiling composes at the writer level, not per tile). *)
+      QCheck.assume (List.for_all (fun s -> not s.Stencil.shrink) p.Program.stencils);
+      let tile_shape = List.map (fun e -> max 2 (e / 2)) p.Program.shape in
+      let inputs = Interp.random_inputs p in
+      let untiled = Interp.run p ~inputs in
+      let plan = Tiling.plan p ~tile_shape in
+      let tiled = Tiling.run_tiled plan ~inputs in
+      List.for_all
+        (fun (name, (r : Interp.result)) ->
+          match List.assoc_opt name tiled with
+          | None -> false
+          | Some t ->
+              let ok = ref true in
+              Array.iteri
+                (fun i v ->
+                  let v' = Tensor.get_flat t i in
+                  if not ((Float.is_nan v && Float.is_nan v') || Float.abs (v -. v') <= 1e-9)
+                  then ok := false)
+                r.Interp.tensor.Tensor.data;
+              !ok)
+        untiled)
+
+let prop_codegen_never_crashes =
+  QCheck.Test.make ~count:80 ~name:"random programs: both backends generate without crashing"
+    Program_gen.arbitrary_program (fun p ->
+      let opencl = Sf_codegen.Opencl.generate p in
+      let vitis = Sf_codegen.Vitis.generate p in
+      let host = Sf_codegen.Opencl.host_source p in
+      let dot = Sf_codegen.Dot.of_program p in
+      List.for_all (fun (a : Sf_codegen.Opencl.artifact) -> String.length a.Sf_codegen.Opencl.source > 0) opencl
+      && String.length vitis > 0 && String.length host > 0 && String.length dot > 0)
+
+let prop_report_never_crashes =
+  QCheck.Test.make ~count:40 ~name:"random programs: markdown report generates"
+    Program_gen.arbitrary_program (fun p ->
+      String.length (Sf_codegen.Report.markdown p) > 0)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_generator_produces_valid;
+      prop_sim_equals_reference;
+      prop_cycles_near_model;
+      prop_json_roundtrip;
+      prop_sdfg_roundtrip;
+      prop_optimize_preserves;
+      prop_fusion_interior;
+      prop_tiling_exact;
+      prop_codegen_never_crashes;
+      prop_report_never_crashes;
+    ]

@@ -1,0 +1,130 @@
+open Sf_ir
+module Tensor = Sf_reference.Tensor
+module Interp = Sf_reference.Interp
+module E = Builder.E
+
+let test_tensor_basics () =
+  let t = Tensor.of_fn [ 2; 3 ] (fun idx -> match idx with [ i; j ] -> float_of_int ((10 * i) + j) | _ -> 0.) in
+  Alcotest.(check (float 0.)) "get" 12. (Tensor.get t [ 1; 2 ]);
+  Alcotest.(check int) "flat" 5 (Tensor.flat_index t [ 1; 2 ]);
+  Alcotest.(check bool) "in bounds" true (Tensor.in_bounds t [ 1; 2 ]);
+  Alcotest.(check bool) "out of bounds" false (Tensor.in_bounds t [ 2; 0 ]);
+  (match Tensor.get t [ 0; 3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bounds error");
+  let u = Tensor.copy t in
+  Tensor.set u [ 0; 0 ] 99.;
+  Alcotest.(check (float 0.)) "copy is independent" 0. (Tensor.get t [ 0; 0 ]);
+  Alcotest.(check (float 0.)) "max abs diff" 99. (Tensor.max_abs_diff t u)
+
+let test_laplace_center () =
+  (* On a linear ramp f(j,i) = i, the 4-point laplacian minus 4*center is
+     -2*i at interior cells with constant-zero boundary corrections at the
+     edges. Check one interior cell exactly. *)
+  let p = Fixtures.laplace2d ~shape:[ 4; 4 ] () in
+  let a = Tensor.of_fn [ 4; 4 ] (function [ _; i ] -> float_of_int i | _ -> 0.) in
+  let results = Interp.run p ~inputs:[ ("a", a) ] in
+  let lap = (List.assoc "lap" results).Interp.tensor in
+  (* cell (1,1): left 0 + right 2 + up 1 + down 1 - 4*1 = 0. *)
+  Alcotest.(check (float 1e-12)) "interior" 0. (Tensor.get lap [ 1; 1 ]);
+  (* cell (0,0): left OOB->0, right 1, up OOB->0, down 0, -4*0 = 1. *)
+  Alcotest.(check (float 1e-12)) "corner with constant bc" 1. (Tensor.get lap [ 0; 0 ])
+
+let test_copy_boundary () =
+  let b = Builder.create ~name:"copybc" ~shape:[ 1; 4 ] () in
+  Builder.input b "a";
+  Builder.stencil b ~boundary:[ ("a", Boundary.Copy) ] "s" E.(acc "a" [ 0; -1 ] +% acc "a" [ 0; 1 ]);
+  Builder.output b "s";
+  let p = Builder.finish b in
+  let a = Tensor.of_array [ 1; 4 ] [| 1.; 2.; 3.; 4. |] in
+  let s = (List.assoc "s" (Interp.run p ~inputs:[ ("a", a) ])).Interp.tensor in
+  (* At i=0 the left neighbour copies the center: 1 + 2 = 3. *)
+  Alcotest.(check (float 0.)) "left edge" 3. (Tensor.get s [ 0; 0 ]);
+  Alcotest.(check (float 0.)) "right edge" 7. (Tensor.get s [ 0; 3 ]);
+  Alcotest.(check (float 0.)) "interior" 4. (Tensor.get s [ 0; 1 ])
+
+let test_shrink_mask () =
+  let b = Builder.create ~name:"shrink" ~shape:[ 3; 3 ] () in
+  Builder.input b "a";
+  Builder.stencil b ~shrink:true
+    ~boundary:[ ("a", Boundary.Constant 0.) ]
+    "s"
+    E.(acc "a" [ 0; -1 ] +% acc "a" [ 0; 1 ] +% acc "a" [ -1; 0 ] +% acc "a" [ 1; 0 ]);
+  Builder.output b "s";
+  let p = Builder.finish b in
+  let a = Tensor.create ~init:1. [ 3; 3 ] in
+  let r = List.assoc "s" (Interp.run p ~inputs:[ ("a", a) ]) in
+  (* Only the single interior cell (1,1) is valid on a 3x3 domain. *)
+  let valid_count = Array.fold_left (fun n v -> if v then n + 1 else n) 0 r.Interp.valid in
+  Alcotest.(check int) "one valid cell" 1 valid_count;
+  Alcotest.(check bool) "center valid" true r.Interp.valid.(4);
+  Alcotest.(check (float 0.)) "center value" 4. (Tensor.get r.Interp.tensor [ 1; 1 ])
+
+let test_lower_dim_and_scalar () =
+  let b = Builder.create ~name:"lower" ~shape:[ 2; 3; 4 ] () in
+  Builder.input b "u";
+  Builder.input b ~axes:[ 1 ] "row";
+  Builder.input b ~axes:[] "alpha";
+  Builder.stencil b "s" E.(acc "u" [ 0; 0; 0 ] *% acc "row" [ 0 ] +% sc "alpha");
+  Builder.output b "s";
+  let p = Builder.finish b in
+  let u = Tensor.create ~init:2. [ 2; 3; 4 ] in
+  let row = Tensor.of_array [ 3 ] [| 10.; 20.; 30. |] in
+  let alpha = Tensor.of_array [ 1 ] [| 0.5 |] in
+  let s =
+    (List.assoc "s" (Interp.run p ~inputs:[ ("u", u); ("row", row); ("alpha", alpha) ]))
+      .Interp.tensor
+  in
+  Alcotest.(check (float 0.)) "j=0" 20.5 (Tensor.get s [ 0; 0; 3 ]);
+  Alcotest.(check (float 0.)) "j=2" 60.5 (Tensor.get s [ 1; 2; 0 ])
+
+let test_multi_stage_dependency () =
+  (* b = a+1 everywhere; c = b * 2 reads b at an offset. *)
+  let bld = Builder.create ~name:"stages" ~shape:[ 1; 4 ] () in
+  Builder.input bld "a";
+  Builder.stencil bld "b" E.(acc "a" [ 0; 0 ] +% c 1.);
+  Builder.stencil bld ~boundary:[ ("b", Boundary.Constant 100.) ] "c" E.(acc "b" [ 0; 1 ] *% c 2.);
+  Builder.output bld "c";
+  let p = Builder.finish bld in
+  let a = Tensor.of_array [ 1; 4 ] [| 0.; 1.; 2.; 3. |] in
+  let cres = (List.assoc "c" (Interp.run p ~inputs:[ ("a", a) ])).Interp.tensor in
+  Alcotest.(check (float 0.)) "reads downstream neighbour" 4. (Tensor.get cres [ 0; 0 ]);
+  Alcotest.(check (float 0.)) "boundary of produced field" 200. (Tensor.get cres [ 0; 3 ])
+
+let test_data_dependent_branch () =
+  let bld = Builder.create ~name:"branchy" ~shape:[ 1; 4 ] () in
+  Builder.input bld "a";
+  Builder.stencil bld "s" E.(sel (acc "a" [ 0; 0 ] >% c 0.) (sqrt_ (acc "a" [ 0; 0 ])) (c 0.)) ;
+  Builder.output bld "s";
+  let p = Builder.finish bld in
+  let a = Tensor.of_array [ 1; 4 ] [| 4.; -1.; 9.; 0. |] in
+  let s = (List.assoc "s" (Interp.run p ~inputs:[ ("a", a) ])).Interp.tensor in
+  Alcotest.(check (float 0.)) "sqrt branch" 2. (Tensor.get s [ 0; 0 ]);
+  Alcotest.(check (float 0.)) "else branch" 0. (Tensor.get s [ 0; 1 ]);
+  Alcotest.(check (float 0.)) "sqrt 9" 3. (Tensor.get s [ 0; 2 ])
+
+let test_missing_input () =
+  let p = Fixtures.laplace2d () in
+  match Interp.run p ~inputs:[] with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected runtime error for missing input"
+
+let test_non_shortcircuit_semantics () =
+  (* Both sides of && are evaluated but selection is still correct. *)
+  let e = Sf_frontend.Parser.parse_expr "a[0] > 0.0 && 1.0 / a[0] > 0.5 ? 1.0 : 0.0" in
+  let lookup ~field:_ ~offsets:_ = 0. in
+  let v = Interp.eval_expr ~lookup ~env:(fun _ -> None) e in
+  Alcotest.(check (float 0.)) "division by zero tolerated" 0. v
+
+let suite =
+  [
+    Alcotest.test_case "tensor basics" `Quick test_tensor_basics;
+    Alcotest.test_case "laplace values" `Quick test_laplace_center;
+    Alcotest.test_case "copy boundary condition" `Quick test_copy_boundary;
+    Alcotest.test_case "shrink validity mask" `Quick test_shrink_mask;
+    Alcotest.test_case "lower-dimensional and scalar inputs" `Quick test_lower_dim_and_scalar;
+    Alcotest.test_case "multi-stage dependencies" `Quick test_multi_stage_dependency;
+    Alcotest.test_case "data-dependent branches" `Quick test_data_dependent_branch;
+    Alcotest.test_case "missing input is reported" `Quick test_missing_input;
+    Alcotest.test_case "non-short-circuit logic" `Quick test_non_shortcircuit_semantics;
+  ]

@@ -1,0 +1,183 @@
+module Channel = Sf_sim.Channel
+module Controller = Sf_sim.Controller
+module Link = Sf_sim.Link
+module Word = Sf_sim.Word
+
+let word v =
+  let w = Word.create 1 in
+  w.Word.values.(0) <- v;
+  w
+
+let test_channel_fifo_order () =
+  let c = Channel.create ~name:"c" ~capacity:3 in
+  Alcotest.(check bool) "empty" true (Channel.is_empty c);
+  Channel.push c (word 1.);
+  Channel.push c (word 2.);
+  Channel.push c (word 3.);
+  Alcotest.(check bool) "full" true (Channel.is_full c);
+  Alcotest.(check (float 0.)) "fifo 1" 1. (Channel.pop c).Word.values.(0);
+  Channel.push c (word 4.);
+  Alcotest.(check (float 0.)) "fifo 2" 2. (Channel.pop c).Word.values.(0);
+  Alcotest.(check (float 0.)) "fifo 3" 3. (Channel.pop c).Word.values.(0);
+  Alcotest.(check (float 0.)) "fifo 4" 4. (Channel.pop c).Word.values.(0);
+  Alcotest.(check int) "total pushed" 4 (Channel.total_pushed c);
+  Alcotest.(check int) "high water" 3 (Channel.high_water c)
+
+let test_channel_overflow_underflow () =
+  let c = Channel.create ~name:"c" ~capacity:1 in
+  (match Channel.pop c with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "pop of empty must fail");
+  Channel.push c (word 0.);
+  match Channel.push c (word 1.) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "push to full must fail"
+
+let test_channel_capacity_positive () =
+  match Channel.create ~name:"bad" ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero capacity must be rejected"
+
+let prop_channel_queue_model =
+  (* The channel behaves exactly like a bounded queue. *)
+  QCheck.Test.make ~count:200 ~name:"channel equals a bounded FIFO"
+    QCheck.(pair (int_range 1 8) (small_list (QCheck.oneofl [ `Push; `Pop ])))
+    (fun (capacity, ops) ->
+      let c = Channel.create ~name:"q" ~capacity in
+      let model = Queue.create () in
+      let counter = ref 0. in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push ->
+              if Queue.length model < capacity then begin
+                counter := !counter +. 1.;
+                Queue.push !counter model;
+                Channel.push c (word !counter);
+                true
+              end
+              else Channel.is_full c
+          | `Pop ->
+              if Queue.length model > 0 then begin
+                let expected = Queue.pop model in
+                (Channel.pop c).Word.values.(0) = expected
+              end
+              else Channel.is_empty c)
+        ops
+      && Channel.occupancy c = Queue.length model)
+
+let test_controller_budget () =
+  let ctrl = Controller.create ~bytes_per_cycle:8. in
+  Controller.begin_cycle ctrl;
+  Alcotest.(check bool) "grant within budget" true (Controller.request ctrl 8);
+  Alcotest.(check bool) "deny beyond budget" false (Controller.request ctrl 1);
+  Controller.begin_cycle ctrl;
+  Alcotest.(check bool) "fresh budget" true (Controller.request ctrl 4);
+  Alcotest.(check bool) "partial remains" true (Controller.request ctrl 4);
+  Alcotest.(check int) "accounting" 16 (Controller.bytes_granted ctrl)
+
+let test_controller_fractional_rates () =
+  (* With 0.5 B/cycle, a 1-byte request succeeds every other cycle. *)
+  let ctrl = Controller.create ~bytes_per_cycle:0.5 in
+  let grants = ref 0 in
+  for _ = 1 to 100 do
+    Controller.begin_cycle ctrl;
+    if Controller.request ctrl 1 then incr grants
+  done;
+  Alcotest.(check int) "half rate" 50 !grants
+
+let test_controller_no_banking () =
+  (* Idle cycles don't bank unbounded bandwidth for later bursts. *)
+  let ctrl = Controller.create ~bytes_per_cycle:4. in
+  for _ = 1 to 10 do
+    Controller.begin_cycle ctrl
+  done;
+  Alcotest.(check bool) "burst capped" false (Controller.request ctrl 100)
+
+let test_controller_unlimited () =
+  let ctrl = Controller.unlimited () in
+  Controller.begin_cycle ctrl;
+  Alcotest.(check bool) "always grants" true (Controller.request ctrl max_int)
+
+let test_link_latency_and_order () =
+  let src = Channel.create ~name:"src" ~capacity:8 in
+  let dst = Channel.create ~name:"dst" ~capacity:8 in
+  let link = Link.create ~name:"l" ~bytes_per_cycle:4. ~latency_cycles:3 in
+  Link.add_port link ~src ~dst ~word_bytes:4;
+  Channel.push src (word 1.);
+  Channel.push src (word 2.);
+  (* Word 1 injected at cycle 0, delivered no earlier than cycle 3. *)
+  for now = 0 to 2 do
+    ignore (Link.cycle link ~now)
+  done;
+  Alcotest.(check bool) "nothing before latency" true (Channel.is_empty dst);
+  ignore (Link.cycle link ~now:3);
+  Alcotest.(check (float 0.)) "word 1 arrives" 1. (Channel.pop dst).Word.values.(0);
+  ignore (Link.cycle link ~now:4);
+  Alcotest.(check (float 0.)) "word 2 follows in order" 2. (Channel.pop dst).Word.values.(0);
+  Alcotest.(check bool) "idle after drain" true (Link.is_idle link);
+  Alcotest.(check int) "bytes counted" 8 (Link.bytes_transferred link)
+
+let test_link_bandwidth_shared () =
+  (* Two ports share one link's bandwidth: at 4 B/cycle and 4 B words,
+     only one word total is injected per cycle. *)
+  let mk name = Channel.create ~name ~capacity:8 in
+  let s1 = mk "s1" and d1 = mk "d1" and s2 = mk "s2" and d2 = mk "d2" in
+  let link = Link.create ~name:"l" ~bytes_per_cycle:4. ~latency_cycles:0 in
+  Link.add_port link ~src:s1 ~dst:d1 ~word_bytes:4;
+  Link.add_port link ~src:s2 ~dst:d2 ~word_bytes:4;
+  for i = 1 to 4 do
+    Channel.push s1 (word (float_of_int i));
+    Channel.push s2 (word (float_of_int (10 * i)))
+  done;
+  for now = 0 to 20 do
+    ignore (Link.cycle link ~now)
+  done;
+  Alcotest.(check int) "all delivered eventually" 4 (Channel.occupancy d1);
+  Alcotest.(check int) "both ports served" 4 (Channel.occupancy d2);
+  Alcotest.(check int) "total bytes" 32 (Link.bytes_transferred link)
+
+let test_link_backpressure () =
+  (* A full destination blocks delivery but not other ports. *)
+  let src = Channel.create ~name:"src" ~capacity:8 in
+  let dst = Channel.create ~name:"dst" ~capacity:1 in
+  let link = Link.create ~name:"l" ~bytes_per_cycle:infinity ~latency_cycles:0 in
+  Link.add_port link ~src ~dst ~word_bytes:4;
+  Channel.push src (word 1.);
+  Channel.push src (word 2.);
+  for now = 0 to 5 do
+    ignore (Link.cycle link ~now)
+  done;
+  Alcotest.(check int) "only capacity delivered" 1 (Channel.occupancy dst);
+  ignore (Channel.pop dst);
+  for now = 6 to 8 do
+    ignore (Link.cycle link ~now)
+  done;
+  Alcotest.(check (float 0.)) "second arrives after drain" 2. (Channel.pop dst).Word.values.(0)
+
+let test_word_copy_independent () =
+  let w = Word.create 4 in
+  w.Word.values.(2) <- 7.;
+  w.Word.valid.(1) <- false;
+  let copy = Word.copy w in
+  copy.Word.values.(2) <- 0.;
+  copy.Word.valid.(1) <- true;
+  Alcotest.(check (float 0.)) "values independent" 7. w.Word.values.(2);
+  Alcotest.(check bool) "valid independent" false w.Word.valid.(1);
+  Alcotest.(check int) "width" 4 (Word.width w)
+
+let suite =
+  [
+    Alcotest.test_case "channel FIFO order and stats" `Quick test_channel_fifo_order;
+    Alcotest.test_case "channel overflow/underflow" `Quick test_channel_overflow_underflow;
+    Alcotest.test_case "channel capacity validation" `Quick test_channel_capacity_positive;
+    QCheck_alcotest.to_alcotest prop_channel_queue_model;
+    Alcotest.test_case "controller budget accounting" `Quick test_controller_budget;
+    Alcotest.test_case "controller fractional rates" `Quick test_controller_fractional_rates;
+    Alcotest.test_case "controller does not bank bandwidth" `Quick test_controller_no_banking;
+    Alcotest.test_case "controller unlimited mode" `Quick test_controller_unlimited;
+    Alcotest.test_case "link latency preserves order" `Quick test_link_latency_and_order;
+    Alcotest.test_case "link bandwidth is shared" `Quick test_link_bandwidth_shared;
+    Alcotest.test_case "link backpressure" `Quick test_link_backpressure;
+    Alcotest.test_case "word copies are independent" `Quick test_word_copy_independent;
+  ]

@@ -1,0 +1,106 @@
+open Sf_ir
+module Util = Sf_support.Util
+
+let test_range () =
+  Alcotest.(check (list int)) "range 4" [ 0; 1; 2; 3 ] (Util.range 4);
+  Alcotest.(check (list int)) "range 0" [] (Util.range 0);
+  Alcotest.(check (list int)) "range negative" [] (Util.range (-3))
+
+let test_ceil_div () =
+  Alcotest.(check int) "exact" 3 (Util.ceil_div 9 3);
+  Alcotest.(check int) "round up" 4 (Util.ceil_div 10 3);
+  Alcotest.(check int) "zero" 0 (Util.ceil_div 0 5);
+  match Util.ceil_div 1 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero divisor must be rejected"
+
+let test_float_close () =
+  Alcotest.(check bool) "equal" true (Util.float_close 1.0 1.0);
+  Alcotest.(check bool) "relative" true (Util.float_close ~rel:1e-3 1000. 1000.5);
+  Alcotest.(check bool) "not close" false (Util.float_close 1.0 1.1)
+
+let test_human_formats () =
+  Alcotest.(check string) "gops" "264.00 GOp/s" (Util.human_rate 264e9);
+  Alcotest.(check string) "tops" "4.18 TOp/s" (Util.human_rate 4.18e12);
+  Alcotest.(check string) "gbs" "36.4 GB/s" (Util.human_bytes_rate 36.4e9);
+  Alcotest.(check string) "us" "118 us" (Util.human_time 118e-6);
+  Alcotest.(check string) "ms" "5.27 ms" (Util.human_time 5.27e-3);
+  Alcotest.(check string) "s" "2.00 s" (Util.human_time 2.)
+
+let test_clamp_and_max () =
+  Alcotest.(check int) "clamp low" 2 (Util.clamp ~lo:2 ~hi:5 1);
+  Alcotest.(check int) "clamp high" 5 (Util.clamp ~lo:2 ~hi:5 9);
+  Alcotest.(check int) "clamp mid" 3 (Util.clamp ~lo:2 ~hi:5 3);
+  Alcotest.(check int) "max list" 9 (Util.max_int_list [ 3; 9; 1 ]);
+  match Util.max_int_list [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty max must be rejected"
+
+let test_dtype () =
+  Alcotest.(check int) "f32 size" 4 (Dtype.size_bytes Dtype.F32);
+  Alcotest.(check int) "f64 size" 8 (Dtype.size_bytes Dtype.F64);
+  Alcotest.(check (option bool)) "alias parse" (Some true)
+    (Option.map Dtype.is_float (Dtype.of_string "double"));
+  Alcotest.(check (option bool)) "int parse" (Some false)
+    (Option.map Dtype.is_float (Dtype.of_string "int32"));
+  Alcotest.(check bool) "unknown rejected" true (Dtype.of_string "quad" = None);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "name roundtrip" true (Dtype.of_string (Dtype.name d) = Some d))
+    [ Dtype.F32; Dtype.F64; Dtype.I32; Dtype.I64 ]
+
+let test_boundary () =
+  Alcotest.(check bool) "constant equal" true
+    (Boundary.equal (Boundary.Constant 1.) (Boundary.Constant 1.));
+  Alcotest.(check bool) "constant differs" false
+    (Boundary.equal (Boundary.Constant 1.) (Boundary.Constant 2.));
+  Alcotest.(check bool) "copy equal" true (Boundary.equal Boundary.Copy Boundary.Copy);
+  Alcotest.(check bool) "mixed differ" false
+    (Boundary.equal Boundary.Copy (Boundary.Constant 0.));
+  Alcotest.(check string) "default is constant zero" "constant(0)"
+    (Boundary.to_string Boundary.default)
+
+let test_field () =
+  let f = Field.make ~axes:[ 1 ] ~name:"row" ~full_rank:3 () in
+  Alcotest.(check int) "rank" 1 (Field.rank f);
+  Alcotest.(check bool) "not full" false (Field.is_full_rank f ~rank:3);
+  Alcotest.(check (list int)) "extent" [ 7 ] (Field.extent f ~shape:[ 5; 7; 9 ]);
+  Alcotest.(check int) "elements" 7 (Field.num_elements f ~shape:[ 5; 7; 9 ]);
+  Alcotest.(check int) "bytes" 28 (Field.size_bytes f ~shape:[ 5; 7; 9 ]);
+  let scalar = Field.make ~axes:[] ~name:"s" ~full_rank:3 () in
+  Alcotest.(check bool) "scalar" true (Field.is_scalar scalar);
+  Alcotest.(check int) "scalar elements" 1 (Field.num_elements scalar ~shape:[ 5; 7; 9 ]);
+  (match Field.validate (Field.make ~axes:[ 1; 1 ] ~name:"dup" ~full_rank:3 ()) ~full_rank:3 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate axes rejected");
+  match Field.validate (Field.make ~axes:[ 3 ] ~name:"oob" ~full_rank:3 ()) ~full_rank:3 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range axis rejected"
+
+let test_tensor_slice () =
+  let module Tensor = Sf_reference.Tensor in
+  let t =
+    Tensor.of_fn [ 4; 5 ] (function [ i; j ] -> float_of_int ((10 * i) + j) | _ -> 0.)
+  in
+  let s = Tensor.slice t ~origin:[ 1; 2 ] ~extent:[ 2; 3 ] in
+  Alcotest.(check (float 0.)) "corner" 12. (Tensor.get s [ 0; 0 ]);
+  Alcotest.(check (float 0.)) "other corner" 24. (Tensor.get s [ 1; 2 ]);
+  (match Tensor.slice t ~origin:[ 3; 3 ] ~extent:[ 2; 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds slice rejected");
+  let dst = Tensor.create [ 4; 5 ] in
+  Tensor.blit_region ~src:t ~src_origin:[ 0; 0 ] ~dst ~dst_origin:[ 2; 2 ] ~extent:[ 2; 3 ];
+  Alcotest.(check (float 0.)) "blitted" 1. (Tensor.get dst [ 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "ceiling division" `Quick test_ceil_div;
+    Alcotest.test_case "float comparison" `Quick test_float_close;
+    Alcotest.test_case "human-readable formats" `Quick test_human_formats;
+    Alcotest.test_case "clamp and max" `Quick test_clamp_and_max;
+    Alcotest.test_case "dtypes" `Quick test_dtype;
+    Alcotest.test_case "boundary conditions" `Quick test_boundary;
+    Alcotest.test_case "fields" `Quick test_field;
+    Alcotest.test_case "tensor slicing" `Quick test_tensor_slice;
+  ]

@@ -1,0 +1,109 @@
+open Sf_ir
+module Swe = Sf_kernels.Swe
+module Engine = Sf_sim.Engine
+module Interp = Sf_reference.Interp
+module Tensor = Sf_reference.Tensor
+module Timeloop = Sf_sim.Timeloop
+
+let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+
+let test_structure () =
+  let p = Swe.program () in
+  Alcotest.(check int) "5 stencils" 5 (List.length p.Program.stencils);
+  Alcotest.(check int) "3 outputs" 3 (List.length p.Program.outputs);
+  (* Coupled system: the momentum updates read several fields. *)
+  let hu = Option.get (Program.find_stencil p "hu_out") in
+  Alcotest.(check bool) "hu_out reads 4+ fields" true
+    (List.length (Stencil.input_fields hu) >= 4);
+  let profile = Sf_analysis.Op_count.of_program p in
+  Alcotest.(check bool) "divisions present" true (profile.Sf_analysis.Op_count.profile.Expr.divs > 0);
+  Alcotest.(check bool) "branch present" true
+    (profile.Sf_analysis.Op_count.profile.Expr.data_branches > 0)
+
+let test_simulates_and_validates () =
+  let p = Swe.program ~shape:[ 12; 12 ] () in
+  match Engine.run_and_validate ~config:cheap ~inputs:(Swe.stable_inputs p) p with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_mass_is_plausible () =
+  (* Lax-Friedrichs with copy boundaries keeps the water volume of a hump
+     near its initial value over a few steps (no blow-up). *)
+  let p = Swe.program ~shape:[ 16; 16 ] () in
+  let inputs = Swe.stable_inputs p in
+  let mass t = Array.fold_left ( +. ) 0. t.Tensor.data in
+  let initial = mass (List.assoc "h" inputs) in
+  let finals = Timeloop.run_reference p ~steps:5 ~feedback:Swe.feedback ~inputs in
+  let final = mass (List.assoc "h_out" finals) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mass %.3f -> %.3f stays within 2%%" initial final)
+    true
+    (Float.abs (final -. initial) /. initial < 0.02);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "heights stay finite and positive" true (v > 0.5 && v < 2.))
+    (List.assoc "h_out" finals).Tensor.data
+
+let test_symmetric_hump_stays_symmetric () =
+  (* With a centred symmetric hump and symmetric scheme, h stays
+     mirror-symmetric across both axes (a discretization-correctness
+     check of the generator, seed noise disabled by averaging). *)
+  let shape = [ 16; 16 ] in
+  let p = Swe.program ~shape () in
+  let hump =
+    Tensor.of_fn shape (function
+      | [ j; i ] ->
+          let dj = float_of_int (2 * j - 15) and di = float_of_int (2 * i - 15) in
+          1. +. (0.1 *. Float.exp (-0.02 *. ((dj *. dj) +. (di *. di))))
+      | _ -> 1.)
+  in
+  let inputs =
+    [
+      ("h", hump);
+      ("hu", Tensor.create shape);
+      ("hv", Tensor.create shape);
+      ("g", Tensor.of_array [ 1 ] [| 9.81 |]);
+      ("dtdx", Tensor.of_array [ 1 ] [| 0.01 |]);
+      ("dtdy", Tensor.of_array [ 1 ] [| 0.01 |]);
+    ]
+  in
+  let finals = Timeloop.run_reference p ~steps:3 ~feedback:Swe.feedback ~inputs in
+  let h = List.assoc "h_out" finals in
+  for j = 0 to 15 do
+    for i = 0 to 15 do
+      Alcotest.(check (float 1e-9)) "mirror i" (Tensor.get h [ j; i ])
+        (Tensor.get h [ j; 15 - i ]);
+      Alcotest.(check (float 1e-9)) "mirror j" (Tensor.get h [ j; i ])
+        (Tensor.get h [ 15 - j; i ])
+    done
+  done
+
+let test_flat_lake_is_steady () =
+  (* A flat lake at rest is a steady state of the scheme. *)
+  let shape = [ 8; 8 ] in
+  let p = Swe.program ~shape () in
+  let inputs =
+    [
+      ("h", Tensor.create ~init:1. shape);
+      ("hu", Tensor.create shape);
+      ("hv", Tensor.create shape);
+      ("g", Tensor.of_array [ 1 ] [| 9.81 |]);
+      ("dtdx", Tensor.of_array [ 1 ] [| 0.01 |]);
+      ("dtdy", Tensor.of_array [ 1 ] [| 0.01 |]);
+    ]
+  in
+  let finals = Timeloop.run_reference p ~steps:4 ~feedback:Swe.feedback ~inputs in
+  Array.iter
+    (fun v -> Alcotest.(check (float 1e-9)) "h stays 1" 1. v)
+    (List.assoc "h_out" finals).Tensor.data;
+  Array.iter
+    (fun v -> Alcotest.(check (float 1e-9)) "hu stays 0" 0. v)
+    (List.assoc "hu_out" finals).Tensor.data
+
+let suite =
+  [
+    Alcotest.test_case "coupled-system structure" `Quick test_structure;
+    Alcotest.test_case "simulates and validates" `Quick test_simulates_and_validates;
+    Alcotest.test_case "mass conservation over steps" `Quick test_mass_is_plausible;
+    Alcotest.test_case "symmetry preservation" `Quick test_symmetric_hump_stays_symmetric;
+    Alcotest.test_case "lake at rest is steady" `Quick test_flat_lake_is_steady;
+  ]

@@ -1,0 +1,147 @@
+open Sf_ir
+module Tiling = Sf_mapping.Tiling
+module Interp = Sf_reference.Interp
+module Tensor = Sf_reference.Tensor
+module Delay_buffer = Sf_analysis.Delay_buffer
+
+let test_influence_module_direct () =
+  let module Influence = Sf_analysis.Influence in
+  (* Per-axis accumulation through the hdiff DAG: lap (1) + flux (1) +
+     update (1) in i and j, nothing vertical. *)
+  let hdiff = Sf_kernels.Hdiff.program ~shape:[ 4; 12; 12 ] () in
+  Alcotest.(check (list int)) "hdiff radii" [ 0; 3; 3 ] (Influence.radius hdiff);
+  Alcotest.(check int) "max radius" 3 (Influence.max_radius hdiff);
+  (* Scalar-only programs have radius 0 on every axis. *)
+  let b = Builder.create ~name:"sc" ~shape:[ 4; 4 ] () in
+  Builder.input b ~axes:[] "alpha";
+  Builder.stencil b "s" Builder.E.(sc "alpha" *% c 2.);
+  Builder.output b "s";
+  Alcotest.(check (list int)) "scalar radii" [ 0; 0 ] (Influence.radius (Builder.finish b))
+
+let test_influence_radius () =
+  (* A 3-stage chain of radius-1 stencils reaches 3 cells. *)
+  let chain = Fixtures.chain ~shape:[ 8; 8 ] ~n:3 () in
+  Alcotest.(check (list int)) "chain radius" [ 3; 3 ] (Tiling.influence_radius chain);
+  (* The diamond: c reads a directly (radius 0 on that path) and through
+     b (span +-s on the inner axis). *)
+  let diamond = Fixtures.diamond ~shape:[ 8; 16 ] ~span:4 () in
+  Alcotest.(check (list int)) "diamond radius" [ 0; 4 ] (Tiling.influence_radius diamond);
+  (* Lower-dimensional inputs contribute on the axes they span. *)
+  let p = Fixtures.kitchen_sink () in
+  let radius = Tiling.influence_radius p in
+  Alcotest.(check int) "3 axes" 3 (List.length radius)
+
+let test_plan_structure () =
+  let p = Fixtures.chain ~shape:[ 8; 12 ] ~n:2 () in
+  let plan = Tiling.plan p ~tile_shape:[ 4; 6 ] in
+  Alcotest.(check int) "four tiles" 4 (List.length plan.Tiling.tiles);
+  Alcotest.(check (list int)) "halo" [ 2; 2 ] plan.Tiling.halo;
+  (* Core regions partition the domain. *)
+  let covered =
+    List.fold_left
+      (fun acc t -> acc + List.fold_left ( * ) 1 t.Tiling.core_extent)
+      0 plan.Tiling.tiles
+  in
+  Alcotest.(check int) "cores cover the domain" (Program.cells p) covered;
+  (* Extended regions stay within the domain. *)
+  List.iter
+    (fun t ->
+      List.iteri
+        (fun d (o, e) ->
+          Alcotest.(check bool) "in bounds" true (o >= 0 && o + e <= List.nth p.Program.shape d))
+        (List.combine t.Tiling.ext_origin t.Tiling.ext_extent))
+    plan.Tiling.tiles;
+  Alcotest.(check bool) "redundancy positive" true (plan.Tiling.redundancy > 0.)
+
+let test_partial_tiles () =
+  let p = Fixtures.laplace2d ~shape:[ 7; 10 ] () in
+  let plan = Tiling.plan p ~tile_shape:[ 4; 4 ] in
+  (* ceil(7/4) * ceil(10/4) = 2 * 3. *)
+  Alcotest.(check int) "six tiles" 6 (List.length plan.Tiling.tiles)
+
+let tiled_equals_untiled p tile_shape =
+  let inputs = Interp.random_inputs p in
+  let untiled = Interp.run p ~inputs in
+  let plan = Tiling.plan p ~tile_shape in
+  let tiled = Tiling.run_tiled plan ~inputs in
+  List.for_all
+    (fun (name, (r : Interp.result)) ->
+      match List.assoc_opt name tiled with
+      | None -> false
+      | Some t -> Tensor.max_abs_diff r.Interp.tensor t < 1e-12)
+    untiled
+
+let test_tiled_execution_exact () =
+  Alcotest.(check bool) "chain" true
+    (tiled_equals_untiled (Fixtures.chain ~shape:[ 10; 14 ] ~n:3 ()) [ 4; 5 ]);
+  Alcotest.(check bool) "diamond" true
+    (tiled_equals_untiled (Fixtures.diamond ~shape:[ 8; 16 ] ~span:3 ()) [ 4; 4 ]);
+  Alcotest.(check bool) "fork (multiple outputs)" true
+    (tiled_equals_untiled (Fixtures.fork ~shape:[ 9; 9 ] ()) [ 4; 4 ]);
+  Alcotest.(check bool) "kitchen sink (lower-dim inputs, copy bc)" true
+    (tiled_equals_untiled (Fixtures.kitchen_sink ~shape:[ 4; 6; 8 ] ()) [ 2; 3; 4 ])
+
+let test_hdiff_tiled () =
+  let p = Sf_kernels.Hdiff.program ~shape:[ 4; 12; 12 ] () in
+  Alcotest.(check bool) "hdiff tiled == untiled" true (tiled_equals_untiled p [ 2; 6; 6 ])
+
+let test_buffer_savings () =
+  (* Sec. IX-D: tiling bounds the internal/delay buffer sizes, which are
+     proportional to (D-1)-dimensional slices. *)
+  let p = Fixtures.chain ~shape:[ 64; 256 ] ~n:4 () in
+  let untiled =
+    Delay_buffer.total_fast_memory_elements (Delay_buffer.analyze p)
+  in
+  let plan = Tiling.plan p ~tile_shape:[ 64; 32 ] in
+  let tiled = Tiling.buffer_elements_per_tile plan in
+  Alcotest.(check bool)
+    (Printf.sprintf "buffers shrink (%d -> %d)" untiled tiled)
+    true
+    (tiled * 4 < untiled)
+
+let test_redundancy_grows_with_depth () =
+  (* Deeper DAGs need wider halos: redundancy at a fixed tile size grows
+     with chain length (Sec. IX-D). *)
+  let redundancy n =
+    (Tiling.plan (Fixtures.chain ~shape:[ 32; 32 ] ~n ()) ~tile_shape:[ 8; 8 ]).Tiling.redundancy
+  in
+  Alcotest.(check bool) "monotone in depth" true
+    (redundancy 1 < redundancy 2 && redundancy 2 < redundancy 4)
+
+let test_redundancy_shrinks_with_tile_size () =
+  let p = Fixtures.chain ~shape:[ 32; 32 ] ~n:2 () in
+  let redundancy tile = (Tiling.plan p ~tile_shape:[ tile; tile ]).Tiling.redundancy in
+  Alcotest.(check bool) "monotone in tile size" true
+    (redundancy 16 < redundancy 8 && redundancy 8 < redundancy 4)
+
+let prop_tiled_exact =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 3 in
+      let* tile = oneofl [ 3; 4; 5 ] in
+      let* span = int_range 1 2 in
+      let* kind = int_range 0 1 in
+      let p =
+        if kind = 0 then Fixtures.chain ~shape:[ 9; 12 ] ~n ()
+        else Fixtures.diamond ~shape:[ 9; 12 ] ~span ()
+      in
+      return (p, tile))
+  in
+  QCheck.Test.make ~count:30 ~name:"tiled execution equals untiled on random programs"
+    (QCheck.make ~print:(fun (p, t) -> Printf.sprintf "%s tile=%d" p.Program.name t) gen)
+    (fun (p, tile) -> tiled_equals_untiled p [ tile; tile ])
+
+let suite =
+  [
+    Alcotest.test_case "influence module direct" `Quick test_influence_module_direct;
+    Alcotest.test_case "influence radius" `Quick test_influence_radius;
+    Alcotest.test_case "plan structure" `Quick test_plan_structure;
+    Alcotest.test_case "partial tiles" `Quick test_partial_tiles;
+    Alcotest.test_case "tiled execution is exact" `Quick test_tiled_execution_exact;
+    Alcotest.test_case "hdiff tiles correctly" `Slow test_hdiff_tiled;
+    Alcotest.test_case "tiling shrinks on-chip buffers (sec 9D)" `Quick test_buffer_savings;
+    Alcotest.test_case "redundancy grows with DAG depth" `Quick test_redundancy_grows_with_depth;
+    Alcotest.test_case "redundancy shrinks with tile size" `Quick
+      test_redundancy_shrinks_with_tile_size;
+    QCheck_alcotest.to_alcotest prop_tiled_exact;
+  ]

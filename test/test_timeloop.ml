@@ -1,0 +1,175 @@
+open Sf_ir
+module Timeloop = Sf_sim.Timeloop
+module Engine = Sf_sim.Engine
+module Interp = Sf_reference.Interp
+module Tensor = Sf_reference.Tensor
+module Iterative = Sf_kernels.Iterative
+module Swe = Sf_kernels.Swe
+
+let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+
+let single_jacobi () = Iterative.chain ~shape:[ 8; 12 ] Iterative.Jacobi2d ~length:1
+
+let test_unroll_structure () =
+  let p = single_jacobi () in
+  let unrolled = Timeloop.unroll p ~steps:3 ~feedback:[ ("f1", "f0") ] in
+  Alcotest.(check int) "3x stencils" 3 (List.length unrolled.Program.stencils);
+  Alcotest.(check (list string)) "final output" [ "f1_t3" ] unrolled.Program.outputs;
+  (* Step 2 reads step 1's result, not the input. *)
+  let st2 = Option.get (Program.find_stencil unrolled "f1_t2") in
+  Alcotest.(check (list string)) "wiring" [ "f1_t1" ] (Stencil.input_fields st2);
+  let st1 = Option.get (Program.find_stencil unrolled "f1_t1") in
+  Alcotest.(check (list string)) "first step reads the input" [ "f0" ]
+    (Stencil.input_fields st1)
+
+let test_unroll_equals_chain () =
+  (* Unrolling the single-step Jacobi k times produces the same values as
+     the chain generator of Sec. VIII-C. *)
+  let single = single_jacobi () in
+  let unrolled = Timeloop.unroll single ~steps:4 ~feedback:[ ("f1", "f0") ] in
+  let chain = Iterative.chain ~shape:[ 8; 12 ] Iterative.Jacobi2d ~length:4 in
+  let inputs = Interp.random_inputs single in
+  let a = (List.assoc "f1_t4" (Interp.run unrolled ~inputs)).Interp.tensor in
+  let b = (List.assoc "f4" (Interp.run chain ~inputs)).Interp.tensor in
+  Alcotest.(check bool) "identical" true (Tensor.max_abs_diff a b < 1e-12)
+
+let test_unroll_matches_reference_loop () =
+  let p = Swe.program ~shape:[ 8; 8 ] () in
+  let inputs = Swe.stable_inputs p in
+  let looped = Timeloop.run_reference p ~steps:3 ~feedback:Swe.feedback ~inputs in
+  let unrolled = Timeloop.unroll p ~steps:3 ~feedback:Swe.feedback in
+  let spatial = Interp.run unrolled ~inputs in
+  List.iter
+    (fun (o, expected) ->
+      let got = (List.assoc (o ^ "_t3") spatial).Interp.tensor in
+      Alcotest.(check bool) (o ^ " equal") true (Tensor.max_abs_diff expected got < 1e-9))
+    looped
+
+let test_simulated_timeloop () =
+  let p = Swe.program ~shape:[ 6; 6 ] () in
+  let inputs = Swe.stable_inputs p in
+  match Timeloop.run_simulated ~config:cheap p ~steps:2 ~feedback:Swe.feedback ~inputs with
+  | Error m -> Alcotest.fail m
+  | Ok finals ->
+      let looped = Timeloop.run_reference p ~steps:2 ~feedback:Swe.feedback ~inputs in
+      List.iter
+        (fun (o, expected) ->
+          Alcotest.(check bool) (o ^ " matches loop") true
+            (Tensor.max_abs_diff expected (List.assoc o finals) < 1e-9))
+        looped
+
+let test_shared_inputs_not_duplicated () =
+  (* Non-feedback inputs (coefficients) are shared across all steps:
+     the unrolled program still has the original input list, and its
+     perfect-reuse read volume counts them once. *)
+  let p = Swe.program ~shape:[ 8; 8 ] () in
+  let unrolled = Timeloop.unroll p ~steps:4 ~feedback:Swe.feedback in
+  Alcotest.(check int) "same inputs" (List.length p.Program.inputs)
+    (List.length unrolled.Program.inputs);
+  let c = Sf_analysis.Op_count.of_program unrolled in
+  let c1 = Sf_analysis.Op_count.of_program p in
+  Alcotest.(check int) "reads unchanged by unrolling" c1.Sf_analysis.Op_count.read_elements
+    c.Sf_analysis.Op_count.read_elements
+
+let test_feedback_validation () =
+  let p = single_jacobi () in
+  let fails feedback =
+    match Timeloop.unroll p ~steps:2 ~feedback with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected feedback rejection"
+  in
+  fails [ ("nope", "f0") ];
+  fails [ ("f1", "nope") ];
+  fails [ ("f1", "f0"); ("f1", "f0") ];
+  let ks = Fixtures.kitchen_sink () in
+  match
+    Timeloop.unroll ks ~steps:2 ~feedback:[ ("out", "crlat") ]
+    (* crlat is lower-dimensional: cannot receive a 3D output *)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rank mismatch must be rejected"
+
+let test_non_fedback_outputs_written_each_step () =
+  (* An output not in the feedback relation is written at every step. *)
+  let b = Builder.create ~name:"obs" ~shape:[ 4; 8 ] () in
+  Builder.input b "x";
+  Builder.stencil b "next" Builder.E.(acc "x" [ 0; 0 ] *% c 0.5);
+  Builder.stencil b "energy" Builder.E.(acc "x" [ 0; 0 ] *% acc "x" [ 0; 0 ]);
+  Builder.output b "next";
+  Builder.output b "energy";
+  let p = Builder.finish b in
+  let unrolled = Timeloop.unroll p ~steps:3 ~feedback:[ ("next", "x") ] in
+  Alcotest.(check (list string)) "energy written every step, next only at the end"
+    [ "energy_t1"; "energy_t2"; "next_t3"; "energy_t3" ]
+    unrolled.Program.outputs
+
+let test_final_output_names () =
+  let p = single_jacobi () in
+  Alcotest.(check (list string)) "names" [ "f1_t5" ]
+    (Timeloop.final_output_names p ~steps:5 [ "f1" ])
+
+let test_hdiff_timeloop () =
+  (* The weather kernel itself is iterative in production: feed the four
+     outputs back and run several diffusion steps, spatially vs
+     sequentially. *)
+  let p = Sf_kernels.Hdiff.program ~shape:[ 3; 8; 8 ] () in
+  let feedback = [ ("u_out", "u"); ("v_out", "v"); ("w_out", "w"); ("pp_out", "pp") ] in
+  let inputs = Interp.random_inputs p in
+  let looped = Timeloop.run_reference p ~steps:2 ~feedback ~inputs in
+  match Timeloop.run_simulated ~config:cheap p ~steps:2 ~feedback ~inputs with
+  | Error m -> Alcotest.fail m
+  | Ok finals ->
+      List.iter
+        (fun (o, expected) ->
+          Alcotest.(check bool) (o ^ " equal") true
+            (Tensor.max_abs_diff expected (List.assoc o finals) < 1e-9))
+        looped
+
+let prop_timeloop_on_random_programs =
+  (* Whenever a random program has a full-rank input to feed its first
+     output back into, unrolling must equal the sequential loop. *)
+  QCheck.Test.make ~count:25 ~name:"random programs: unrolled time loop equals sequential"
+    Program_gen.arbitrary_program (fun p ->
+      let full_rank = Program.rank p in
+      let candidate_input =
+        List.find_opt (fun f -> Sf_ir.Field.rank f = full_rank) p.Program.inputs
+      in
+      match (p.Program.outputs, candidate_input) with
+      | o :: _, Some f ->
+          let feedback = [ (o, f.Sf_ir.Field.name) ] in
+          let inputs = Interp.random_inputs p in
+          let looped = Timeloop.run_reference p ~steps:2 ~feedback ~inputs in
+          let unrolled = Timeloop.unroll p ~steps:2 ~feedback in
+          let spatial = Interp.run unrolled ~inputs in
+          List.for_all
+            (fun (name, expected) ->
+              match List.assoc_opt (name ^ "_t2") spatial with
+              | None -> false
+              | Some (r : Interp.result) ->
+                  let ok = ref true in
+                  Array.iteri
+                    (fun i v ->
+                      let v' = Tensor.get_flat expected i in
+                      if not ((Float.is_nan v && Float.is_nan v') || Float.abs (v -. v') <= 1e-9)
+                      then ok := false)
+                    r.Interp.tensor.Tensor.data;
+                  !ok)
+            looped
+      | _, _ -> QCheck.assume_fail ())
+
+let suite =
+  [
+    Alcotest.test_case "unroll structure" `Quick test_unroll_structure;
+    Alcotest.test_case "unroll equals the chain generator" `Quick test_unroll_equals_chain;
+    Alcotest.test_case "unroll equals the sequential time loop" `Quick
+      test_unroll_matches_reference_loop;
+    Alcotest.test_case "simulated time loop validates" `Slow test_simulated_timeloop;
+    Alcotest.test_case "shared inputs read once across steps" `Quick
+      test_shared_inputs_not_duplicated;
+    Alcotest.test_case "feedback validation" `Quick test_feedback_validation;
+    Alcotest.test_case "non-fed-back outputs observed each step" `Quick
+      test_non_fedback_outputs_written_each_step;
+    Alcotest.test_case "final output names" `Quick test_final_output_names;
+    Alcotest.test_case "iterative horizontal diffusion" `Slow test_hdiff_timeloop;
+    QCheck_alcotest.to_alcotest prop_timeloop_on_random_programs;
+  ]
