@@ -1,0 +1,117 @@
+(* Simulator throughput benchmark: how fast the cycle-level engine
+   itself runs, in simulated cells/second and cycles/second of wall
+   clock. This is the binding constraint on how large a stencil DAG,
+   vector width or iterative-chain depth the evaluation harness can
+   reach (the paper scales to 226-stage chains and the 139-node COSMO
+   program), so its trajectory is tracked in BENCH_sim.json.
+
+   Run:  dune exec bench/sim_perf.exe            (writes BENCH_sim.json)
+         dune exec bench/sim_perf.exe -- --quick (fewer/smaller cases)
+
+   Each case simulates a program to completion with unconstrained
+   bandwidth (the hot configuration of the evaluation harness), checks
+   the run completed, and reports the median of three runs. *)
+open Stencilflow
+
+type case = { name : string; program : Program.t; runs : int }
+
+let jacobi_chain ~stages ~shape ~w =
+  {
+    name = Printf.sprintf "jacobi2d-%dstage-%dx%d-w%d" stages (List.nth shape 0) (List.nth shape 1) w;
+    program = Iterative.chain ~shape ~vector_width:w Iterative.Jacobi2d ~length:stages;
+    runs = 3;
+  }
+
+let hdiff_small ~w =
+  let dir = if Sys.file_exists "examples/programs" then "examples/programs" else "../examples/programs" in
+  let p = Program_json.of_file (Filename.concat dir "horizontal_diffusion_small.json") in
+  let p = if w = p.Program.vector_width then p else Vectorize.apply p w in
+  { name = Printf.sprintf "hdiff-small-w%d" w; program = p; runs = 3 }
+
+let cases ~quick =
+  if quick then
+    [ jacobi_chain ~stages:8 ~shape:[ 64; 64 ] ~w:1; hdiff_small ~w:1 ]
+  else
+    [
+      jacobi_chain ~stages:8 ~shape:[ 256; 256 ] ~w:1;
+      jacobi_chain ~stages:16 ~shape:[ 256; 256 ] ~w:1;
+      jacobi_chain ~stages:32 ~shape:[ 128; 128 ] ~w:1;
+      jacobi_chain ~stages:64 ~shape:[ 128; 128 ] ~w:1;
+      jacobi_chain ~stages:8 ~shape:[ 256; 256 ] ~w:4;
+      jacobi_chain ~stages:8 ~shape:[ 256; 256 ] ~w:8;
+      hdiff_small ~w:1;
+      hdiff_small ~w:2;
+      hdiff_small ~w:4;
+    ]
+
+type measurement = {
+  case : case;
+  cycles : int;
+  seconds : float;
+  cells : int;
+  stages : int;
+}
+
+let measure case =
+  let p = case.program in
+  let inputs = Interp.random_inputs p in
+  let samples =
+    List.init case.runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        match Engine.run ~inputs p with
+        | Engine.Deadlocked _ -> failwith (case.name ^ ": unexpected deadlock")
+        | Engine.Completed stats -> (Unix.gettimeofday () -. t0, stats.Engine.cycles))
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) samples in
+  let seconds, cycles = List.nth sorted (List.length sorted / 2) in
+  {
+    case;
+    cycles;
+    seconds;
+    cells = Program.cells p;
+    stages = List.length p.Program.stencils;
+  }
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  Printf.printf "%-32s %10s %10s %14s %14s\n" "case" "cycles" "wall [s]" "cells/s" "cycles/s";
+  let results = List.map measure (cases ~quick) in
+  List.iter
+    (fun m ->
+      (* Throughput in *simulated stage-cells* per wall second: each chain
+         stage computes every cell once, so deeper chains do more work. *)
+      let stage_cells = float_of_int (m.cells * m.stages) in
+      Printf.printf "%-32s %10d %10.3f %14.3e %14.3e\n" m.case.name m.cycles m.seconds
+        (stage_cells /. m.seconds)
+        (float_of_int m.cycles /. m.seconds))
+    results;
+  let json =
+    Json.Obj
+      [
+        ("benchmark", Json.String "sim_perf");
+        ("quick", Json.Bool quick);
+        ( "cases",
+          Json.List
+            (List.map
+               (fun m ->
+                 Json.Obj
+                   [
+                     ("name", Json.String m.case.name);
+                     ("cycles", Json.Int m.cycles);
+                     ("wall_seconds", Json.Float m.seconds);
+                     ("cells", Json.Int m.cells);
+                     ("stages", Json.Int m.stages);
+                     ( "stage_cells_per_second",
+                       Json.Float (float_of_int (m.cells * m.stages) /. m.seconds) );
+                     ("cycles_per_second", Json.Float (float_of_int m.cycles /. m.seconds));
+                   ])
+               results) );
+      ]
+  in
+  let out = if Sys.file_exists "BENCH_sim.json" || Sys.file_exists "dune-project" then "BENCH_sim.json" else "../BENCH_sim.json" in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out

@@ -1,49 +1,94 @@
 type t = {
   name : string;
   capacity : int;
-  slots : Word.t option array;
-  mutable head : int;  (* index of the oldest element *)
+  width : int;
+  values : float array; (* capacity * width, ring of slots *)
+  valid : bool array;
+  mutable head : int; (* slot index of the oldest element *)
   mutable count : int;
   mutable total_pushed : int;
   mutable high_water : int;
+  mutable on_push : unit -> unit;
+  mutable on_pop : unit -> unit;
 }
 
-let create ~name ~capacity =
+let nop () = ()
+
+let create_vec ~width ~name ~capacity =
   if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
+  if width <= 0 then invalid_arg "Channel.create: width must be positive";
   {
     name;
     capacity;
-    slots = Array.make capacity None;
+    width;
+    values = Array.make (capacity * width) 0.;
+    valid = Array.make (capacity * width) true;
     head = 0;
     count = 0;
     total_pushed = 0;
     high_water = 0;
+    on_push = nop;
+    on_pop = nop;
   }
 
+let create ~name ~capacity = create_vec ~width:1 ~name ~capacity
 let name t = t.name
 let capacity t = t.capacity
+let width t = t.width
 let occupancy t = t.count
 let is_empty t = t.count = 0
 let is_full t = t.count = t.capacity
+let buf_values t = t.values
+let buf_valid t = t.valid
 
-let push t word =
-  if is_full t then failwith (Printf.sprintf "Channel.push: %s is full" t.name);
-  let tail = (t.head + t.count) mod t.capacity in
-  t.slots.(tail) <- Some word;
+let set_hooks t ~on_push ~on_pop =
+  t.on_push <- on_push;
+  t.on_pop <- on_pop
+
+let push_slot t =
+  if t.count = t.capacity then failwith (Printf.sprintf "Channel.push: %s is full" t.name);
+  let tail = t.head + t.count in
+  let tail = if tail >= t.capacity then tail - t.capacity else tail in
   t.count <- t.count + 1;
   t.total_pushed <- t.total_pushed + 1;
-  if t.count > t.high_water then t.high_water <- t.count
+  if t.count > t.high_water then t.high_water <- t.count;
+  t.on_push ();
+  tail * t.width
+
+let front_slot t =
+  if t.count = 0 then failwith (Printf.sprintf "Channel.pop: %s is empty" t.name);
+  t.head * t.width
+
+let drop t =
+  if t.count = 0 then failwith (Printf.sprintf "Channel.pop: %s is empty" t.name);
+  t.head <- (if t.head + 1 >= t.capacity then 0 else t.head + 1);
+  t.count <- t.count - 1;
+  t.on_pop ()
+
+let push t word =
+  if Word.width word <> t.width then
+    invalid_arg (Printf.sprintf "Channel.push: %s expects width %d" t.name t.width);
+  let base = push_slot t in
+  Array.blit word.Word.values 0 t.values base t.width;
+  Array.blit word.Word.valid 0 t.valid base t.width
 
 let pop t =
-  if is_empty t then failwith (Printf.sprintf "Channel.pop: %s is empty" t.name);
-  match t.slots.(t.head) with
-  | None -> assert false
-  | Some word ->
-      t.slots.(t.head) <- None;
-      t.head <- (t.head + 1) mod t.capacity;
-      t.count <- t.count - 1;
-      word
+  let base = front_slot t in
+  let word = Word.create t.width in
+  Array.blit t.values base word.Word.values 0 t.width;
+  Array.blit t.valid base word.Word.valid 0 t.width;
+  drop t;
+  word
 
-let peek t = if is_empty t then None else t.slots.(t.head)
+let peek t =
+  if t.count = 0 then None
+  else begin
+    let base = front_slot t in
+    let word = Word.create t.width in
+    Array.blit t.values base word.Word.values 0 t.width;
+    Array.blit t.valid base word.Word.valid 0 t.width;
+    Some word
+  end
+
 let total_pushed t = t.total_pushed
 let high_water t = t.high_water

@@ -4,25 +4,70 @@
     the paper maps DaCe streams onto (Sec. VI-A). Their capacity is the
     delay-buffer depth computed by the analysis plus a small slack; the
     high-water mark is recorded so tests can check how tightly the
-    analysis sizes buffers. *)
+    analysis sizes buffers.
+
+    Storage is structure-of-arrays: one flat [float array] for lane
+    values and one [bool array] for lane validity, both of size
+    [capacity * width], treated as a ring of [capacity] slots. The slot
+    API ({!push_slot}, {!front_slot}, {!drop}) lets hot paths copy lanes
+    in place without allocating; the {!Word.t}-based API is retained for
+    tests and cold paths and allocates on {!pop}/{!peek}. *)
 
 type t
 
 val create : name:string -> capacity:int -> t
-(** [capacity] is in words and must be positive. *)
+(** [capacity] is in words and must be positive; the width is 1. *)
+
+val create_vec : width:int -> name:string -> capacity:int -> t
+(** As {!create} with [width] lanes per word. *)
 
 val name : t -> string
 val capacity : t -> int
+val width : t -> int
 val occupancy : t -> int
 val is_empty : t -> bool
 val is_full : t -> bool
 
+(** {2 Zero-allocation slot access}
+
+    Slots are addressed by the base offset of their first lane in
+    {!buf_values} / {!buf_valid}; lane [l] of a slot with base [b] lives
+    at index [b + l]. *)
+
+val buf_values : t -> float array
+val buf_valid : t -> bool array
+
+val push_slot : t -> int
+(** Append a slot and return its base offset. The caller must fill all
+    [width] lanes of {!buf_values} and {!buf_valid} at that offset.
+    Updates occupancy, the push counter and the high-water mark, and
+    fires the push hook. Raises [Failure] when full. *)
+
+val front_slot : t -> int
+(** Base offset of the oldest slot. Raises [Failure] when empty. *)
+
+val drop : t -> unit
+(** Discard the oldest slot (a pop whose lanes have been read in place
+    via {!front_slot}). Fires the pop hook. Raises [Failure] when
+    empty. *)
+
+val set_hooks : t -> on_push:(unit -> unit) -> on_pop:(unit -> unit) -> unit
+(** Install wake hooks, fired after every successful push and pop
+    respectively (including the slot API). Used by the engine's
+    ready-set scheduler; defaults are no-ops. *)
+
+(** {2 Word-based compatibility API} *)
+
 val push : t -> Word.t -> unit
-(** Raises [Failure] when full — callers must check {!is_full}. *)
+(** Copies the word's lanes into the ring. The word width must match the
+    channel width. Raises [Failure] when full. *)
 
 val pop : t -> Word.t
-(** Raises [Failure] when empty. *)
+(** Allocates a fresh word holding the oldest slot. Raises [Failure]
+    when empty. *)
 
 val peek : t -> Word.t option
+(** Allocates a fresh copy of the oldest slot, if any. *)
+
 val total_pushed : t -> int
 val high_water : t -> int

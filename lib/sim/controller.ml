@@ -27,5 +27,7 @@ let request t bytes =
   end
   else false
 
+let account t bytes = t.bytes_granted <- t.bytes_granted + bytes
+let is_unlimited t = not (Float.is_finite t.bytes_per_cycle)
 let bytes_granted t = t.bytes_granted
 let bytes_per_cycle t = t.bytes_per_cycle

@@ -21,6 +21,13 @@ val begin_cycle : t -> unit
 val request : t -> int -> bool
 (** [request t bytes] grants all-or-nothing and debits the budget. *)
 
+val account : t -> int -> unit
+(** Record [bytes] as granted without a budget check — for fast paths
+    that have already established the controller is {!is_unlimited}. *)
+
+val is_unlimited : t -> bool
+(** True when the bytes-per-cycle budget is infinite. *)
+
 val bytes_granted : t -> int
 (** Total bytes granted over the run. *)
 

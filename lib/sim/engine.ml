@@ -58,6 +58,9 @@ type system = {
   links : Link.t list;
   mem_controllers : Controller.t array;
   prefetch_bytes : int;
+  writers_done : int ref;
+      (* Completed-writer counter, bumped by each writer's on_done hook
+         so the hot loop's termination test is one integer compare. *)
   (* Wait-for relationships for deadlock diagnosis: which component
      consumes each channel, and which component produces each field for a
      given consumer. *)
@@ -80,7 +83,7 @@ let build ~config ~placement ~inputs (p : Program.t) =
   in
   let channels = ref [] in
   let new_channel name capacity =
-    let c = Channel.create ~name ~capacity in
+    let c = Channel.create_vec ~width:w ~name ~capacity in
     channels := c :: !channels;
     c
   in
@@ -197,6 +200,7 @@ let build ~config ~placement ~inputs (p : Program.t) =
     p.Program.inputs;
   (* Writers for declared outputs. *)
   let writers = ref [] in
+  let writers_done = ref 0 in
   let writer_channels : (string * Channel.t) list =
     List.map
       (fun o ->
@@ -205,9 +209,11 @@ let build ~config ~placement ~inputs (p : Program.t) =
         let d = device_of o in
         Hashtbl.replace channel_consumer (Channel.name c) (Printf.sprintf "write.%s@%d" o d);
         let writer =
-          Memory_unit.Writer.create ~name:(Printf.sprintf "write.%s@%d" o d)
+          Memory_unit.Writer.create
+            ~on_done:(fun () -> incr writers_done)
+            ~name:(Printf.sprintf "write.%s@%d" o d)
             ~shape:p.Program.shape ~vector_width:w ~element_bytes ~controller:mem_controllers.(d)
-            ~input:c
+            ~input:c ()
         in
         writers := (o, writer) :: !writers;
         (o, c))
@@ -260,17 +266,49 @@ let build ~config ~placement ~inputs (p : Program.t) =
       links = Hashtbl.fold (fun _ l acc -> l :: acc) links [];
       mem_controllers;
       prefetch_bytes = !prefetch_bytes;
+      writers_done;
       channel_consumer;
       producer_for;
     },
     predicted )
+
+(* ------------------------------------------------------------------ *)
+(* Execution core.                                                     *)
+(*                                                                     *)
+(* The seed engine ran every component every cycle in a fixed order:   *)
+(* links, writers, units in reverse topological order (consumers       *)
+(* before producers), readers. That order is preserved exactly — it    *)
+(* defines when data and buffer space become visible — but components  *)
+(* that provably cannot progress are parked in a ready-set and only    *)
+(* re-run when one of their channels changes state (producer pushed,   *)
+(* consumer popped, link word matured, pending word released), and a   *)
+(* fast-forward path replays a planned steady-state action for many    *)
+(* cycles at once. Cycle counts, stalls, high-water marks and deadlock *)
+(* diagnoses are bit-identical to the seed; see docs/SIMULATOR.md and  *)
+(* test/test_sim_parity.ml.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type comp =
+  | Clink of Link.t
+  | Cwriter of Memory_unit.Writer.t
+  | Cunit of Stencil_unit.t
+  | Creader of Memory_unit.Reader.t
+
+(* Planned per-cycle action of one component inside a fast-forward
+   window. *)
+type batch_entry =
+  | Bskip
+  | Bwriter of Memory_unit.Writer.t
+  | Bunit of Stencil_unit.t * Stencil_unit.plan
+  | Breader of Memory_unit.Reader.t
 
 let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Program.t) =
   let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
   let system, predicted = build ~config ~placement ~inputs p in
   let cycle = ref 0 in
   let idle_cycles = ref 0 in
-  let finished () = List.for_all (fun (_, w) -> Memory_unit.Writer.is_done w) system.writers in
+  let n_writers = List.length system.writers in
+  let finished () = !(system.writers_done) >= n_writers in
   let max_cycles = match config.max_cycles with Some m -> m | None -> max_int in
   let deadlocked = ref false in
   let trace = ref [] in
@@ -283,27 +321,267 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
         trace := (!cycle, snapshot) :: !trace
     | Some _ | None -> ()
   in
+  (* Components in the seed's per-cycle order: links, writers, units
+     consumers-before-producers (reverse topological order — data pushed
+     this cycle becomes visible next cycle, space freed this cycle is
+     reusable immediately, matching credit-based hardware), readers. The
+     reversal happens once here, not per cycle. *)
+  let comps =
+    Array.of_list
+      (List.map (fun l -> Clink l) system.links
+      @ List.map (fun (_, w) -> Cwriter w) system.writers
+      @ List.map (fun u -> Cunit u) (List.rev system.units)
+      @ List.map (fun r -> Creader r) system.readers)
+  in
+  let ncomps = Array.length comps in
+  (* Ready-set state. [ready.(i)] means component i must run next cycle;
+     a sleeping component is provably inert until a wake hook or its
+     [wake_at] timer fires, so skipping it cannot change any observable
+     state. [last_ran] backs the lazy stall accounting for units and the
+     one-shot bandwidth-refill catch-up for links. *)
+  let ready = Array.make ncomps true in
+  let wake_at = Array.make ncomps max_int in
+  let last_ran = Array.make ncomps (-1) in
+  (* Wake hooks, derived from the component structure: a push wakes the
+     channel's consumer, a pop wakes its producer. *)
+  let consumer_idx : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let producer_idx : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i comp ->
+      match comp with
+      | Clink l ->
+          List.iter
+            (fun (src, dst) ->
+              Hashtbl.replace consumer_idx (Channel.name src) i;
+              Hashtbl.replace producer_idx (Channel.name dst) i)
+            (Link.port_channels l)
+      | Cwriter w ->
+          Hashtbl.replace consumer_idx (Channel.name (Memory_unit.Writer.input_channel w)) i
+      | Cunit u ->
+          List.iter
+            (fun c -> Hashtbl.replace consumer_idx (Channel.name c) i)
+            (Stencil_unit.input_channels u);
+          List.iter
+            (fun c -> Hashtbl.replace producer_idx (Channel.name c) i)
+            (Stencil_unit.output_channels u)
+      | Creader r ->
+          List.iter
+            (fun c -> Hashtbl.replace producer_idx (Channel.name c) i)
+            (Memory_unit.Reader.output_channels r))
+    comps;
+  List.iter
+    (fun c ->
+      let wake tbl =
+        match Hashtbl.find_opt tbl (Channel.name c) with
+        | Some i -> fun () -> ready.(i) <- true
+        | None -> fun () -> ()
+      in
+      Channel.set_hooks c ~on_push:(wake consumer_idx) ~on_pop:(wake producer_idx))
+    !(system.channels);
+  (* Fast-forward batching applies only when every per-cycle effect is
+     plannable: no links (link rx channels are pushed before their
+     consumer pops, breaking the pop-before-push occupancy invariant),
+     unlimited memory bandwidth (grants never vary), and no tracing. *)
+  let batchable =
+    system.links = []
+    && Array.for_all Controller.is_unlimited system.mem_controllers
+    && config.trace_interval = None
+  in
+  let all_channels = Array.of_list (List.rev !(system.channels)) in
+  let nchan = Array.length all_channels in
+  let chan_idx : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri (fun i c -> Hashtbl.replace chan_idx (Channel.name c) i) all_channels;
+  let pushed = Array.make nchan false in
+  let popped = Array.make nchan false in
+  let entries = Array.make ncomps Bskip in
+  let mark arr c = arr.(Hashtbl.find chan_idx (Channel.name c)) <- true in
+  (* Try to advance the whole system k >= 2 cycles at once. Sound only if
+     every non-done component repeats the identical action each cycle of
+     the window: components plan their per-cycle intent, channels bound k
+     by occupancy. All touched channels are popped before they are pushed
+     within a cycle (consumers precede producers in [comps]), so a
+     channel that is both keeps constant occupancy and only needs one
+     word in it; push-only channels bound k by free space, pop-only ones
+     by occupancy. Any sleeping non-done component or unplannable unit
+     aborts — the ordinary per-cycle path remains the reference. *)
+  let attempt_batch () =
+    let now = !cycle in
+    Array.fill pushed 0 nchan false;
+    Array.fill popped 0 nchan false;
+    let k = ref (max_cycles - now) in
+    let cap n = if n < !k then k := n in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < ncomps do
+      (match comps.(!i) with
+      | Clink _ -> ok := false
+      | Cwriter w ->
+          if Memory_unit.Writer.is_done w then entries.(!i) <- Bskip
+          else if not ready.(!i) then ok := false
+          else begin
+            entries.(!i) <- Bwriter w;
+            cap (Memory_unit.Writer.words_remaining w);
+            mark popped (Memory_unit.Writer.input_channel w)
+          end
+      | Cunit u ->
+          if Stencil_unit.is_done u then entries.(!i) <- Bskip
+          else if not ready.(!i) then ok := false
+          else begin
+            match Stencil_unit.plan u ~now with
+            | None -> ok := false
+            | Some pl ->
+                entries.(!i) <- Bunit (u, pl);
+                cap (Stencil_unit.plan_horizon pl);
+                List.iter (mark popped) (Stencil_unit.plan_pops pl);
+                if Stencil_unit.plan_flush pl then
+                  List.iter (mark pushed) (Stencil_unit.output_channels u)
+          end
+      | Creader r ->
+          if Memory_unit.Reader.is_done r then entries.(!i) <- Bskip
+          else if not ready.(!i) then ok := false
+          else begin
+            entries.(!i) <- Breader r;
+            cap (Memory_unit.Reader.words_remaining r);
+            List.iter (mark pushed) (Memory_unit.Reader.output_channels r)
+          end);
+      incr i
+    done;
+    if !ok then
+      for ci = 0 to nchan - 1 do
+        if pushed.(ci) || popped.(ci) then begin
+          let c = all_channels.(ci) in
+          let occ = Channel.occupancy c in
+          if pushed.(ci) && popped.(ci) then begin
+            if occ < 1 then ok := false
+          end
+          else if pushed.(ci) then cap (Channel.capacity c - occ)
+          else cap occ
+        end
+      done;
+    if !ok && !k >= 2 then begin
+      let kk = !k in
+      for rel = 0 to kk - 1 do
+        let nowr = now + rel in
+        for j = 0 to ncomps - 1 do
+          match entries.(j) with
+          | Bskip -> ()
+          | Bwriter w -> Memory_unit.Writer.run_fast w
+          | Bunit (u, pl) -> Stencil_unit.run_planned u ~now:nowr pl
+          | Breader r -> Memory_unit.Reader.run_fast r
+        done
+      done;
+      cycle := now + kk;
+      idle_cycles := 0;
+      for j = 0 to ncomps - 1 do
+        match entries.(j) with Bskip -> () | _ -> last_ran.(j) <- now + kk - 1
+      done;
+      true
+    end
+    else false
+  in
   while (not (finished ())) && (not !deadlocked) && !cycle < max_cycles do
-    Array.iter Controller.begin_cycle system.mem_controllers;
-    let progress = ref false in
-    List.iter (fun l -> if Link.cycle l ~now:!cycle then progress := true) system.links;
-    List.iter
-      (fun (_, writer) -> if Memory_unit.Writer.cycle writer then progress := true)
-      system.writers;
-    (* Units run consumers-before-producers (reverse topological order):
-       data pushed this cycle becomes visible next cycle, space freed this
-       cycle is reusable immediately — matching credit-based hardware. *)
-    List.iter (fun u -> if Stencil_unit.cycle u ~now:!cycle then progress := true)
-      (List.rev system.units);
-    List.iter (fun r -> if Memory_unit.Reader.cycle r then progress := true) system.readers;
-    sample_trace ();
-    if !progress then idle_cycles := 0
-    else begin
-      incr idle_cycles;
-      if !idle_cycles > config.deadlock_window then deadlocked := true
-    end;
-    incr cycle
+    if not (batchable && attempt_batch ()) then begin
+      Array.iter Controller.begin_cycle system.mem_controllers;
+      let now = !cycle in
+      let progress = ref false in
+      for i = 0 to ncomps - 1 do
+        if ready.(i) || wake_at.(i) <= now then begin
+          if wake_at.(i) <= now then wake_at.(i) <- max_int;
+          ready.(i) <- true;
+          (match comps.(i) with
+          | Clink l ->
+              (* A slept link missed its per-cycle bandwidth refill; the
+                 budget saturates after two grant-free refills, and the
+                 sleep cycle itself was grant-free, so one catch-up
+                 refill restores the exact seed budget. *)
+              if last_ran.(i) < now - 1 then Link.refill l;
+              if Link.cycle l ~now then progress := true
+              else if Link.sources_empty l then begin
+                ready.(i) <- false;
+                wake_at.(i) <- Link.next_arrival l ~now
+              end
+          | Cwriter w ->
+              if Memory_unit.Writer.cycle w then progress := true;
+              (* Sleep only when inert: done, or nothing to pop. A
+                 bandwidth-denied writer must retry after the refill. *)
+              if
+                Memory_unit.Writer.is_done w
+                || Channel.is_empty (Memory_unit.Writer.input_channel w)
+              then ready.(i) <- false
+          | Cunit u ->
+              (* The unit counts one stall per cycle it runs without
+                 progress; credit the slept cycles it would have stalled. *)
+              if (not (Stencil_unit.is_done u)) && last_ran.(i) < now - 1 then
+                Stencil_unit.add_stalls u (now - 1 - last_ran.(i));
+              if Stencil_unit.cycle u ~now then progress := true
+              else begin
+                ready.(i) <- false;
+                let nr = Stencil_unit.next_release u in
+                if nr > now then wake_at.(i) <- nr
+              end
+          | Creader r ->
+              if Memory_unit.Reader.cycle r then progress := true;
+              if
+                Memory_unit.Reader.is_done r
+                || List.exists Channel.is_full (Memory_unit.Reader.output_channels r)
+              then ready.(i) <- false);
+          last_ran.(i) <- now
+        end
+      done;
+      sample_trace ();
+      if !progress then idle_cycles := 0
+      else begin
+        incr idle_cycles;
+        if !idle_cycles > config.deadlock_window then deadlocked := true
+      end;
+      (* Quiescence jump: with every component asleep, only timers can
+         wake the system — skip straight to the earliest one, to the
+         cycle where the idle counter would trip the deadlock window, or
+         to the cycle budget, whichever comes first. The skipped cycles
+         are provably no-ops (memory-controller budgets saturate, see the
+         link catch-up note above), so counters land exactly where the
+         seed's cycle-by-cycle spin would put them. *)
+      let jumped = ref false in
+      if (not !deadlocked) && (not (finished ())) && config.trace_interval = None then begin
+        let any_ready = ref false in
+        for i = 0 to ncomps - 1 do
+          if ready.(i) then any_ready := true
+        done;
+        if not !any_ready then begin
+          let wake_min = Array.fold_left min max_int wake_at in
+          let wake_min = if wake_min <= now then now + 1 else wake_min in
+          let dead_at = now + (config.deadlock_window + 1 - !idle_cycles) in
+          if dead_at < wake_min && dead_at < max_cycles then begin
+            idle_cycles := config.deadlock_window + 1;
+            deadlocked := true;
+            cycle := dead_at + 1;
+            jumped := true
+          end
+          else if wake_min <= dead_at && wake_min < max_cycles then begin
+            idle_cycles := !idle_cycles + (wake_min - 1 - now);
+            cycle := wake_min;
+            jumped := true
+          end
+          else begin
+            idle_cycles := !idle_cycles + (max_cycles - 1 - now);
+            cycle := max_cycles;
+            jumped := true
+          end
+        end
+      end;
+      if not !jumped then incr cycle
+    end
   done;
+  (* Settle the lazy stall accounting for units still asleep at exit. *)
+  let final = !cycle in
+  Array.iteri
+    (fun i comp ->
+      match comp with
+      | Cunit u ->
+          if (not (Stencil_unit.is_done u)) && last_ran.(i) < final - 1 then
+            Stencil_unit.add_stalls u (final - 1 - last_ran.(i))
+      | Clink _ | Cwriter _ | Creader _ -> ())
+    comps;
   if !deadlocked || not (finished ()) then begin
     (* Wait-for graph: who is each blocked component waiting on?
        A cycle through it is the circular dependency of Fig. 4. *)

@@ -42,3 +42,15 @@ let cycle t ~now =
 let name t = t.name
 let bytes_transferred t = Controller.bytes_granted t.controller
 let is_idle t = List.for_all (fun p -> Queue.is_empty p.in_flight) t.ports
+let port_channels t = List.map (fun p -> (p.src, p.dst)) t.ports
+let sources_empty t = List.for_all (fun p -> Channel.is_empty p.src) t.ports
+
+let next_arrival t ~now =
+  List.fold_left
+    (fun acc p ->
+      match Queue.peek_opt p.in_flight with
+      | Some (release, _) when release > now -> min acc release
+      | Some _ | None -> acc)
+    max_int t.ports
+
+let refill t = Controller.begin_cycle t.controller

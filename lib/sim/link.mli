@@ -21,3 +21,23 @@ val name : t -> string
 val bytes_transferred : t -> int
 val is_idle : t -> bool
 (** No words in flight. *)
+
+val port_channels : t -> (Channel.t * Channel.t) list
+(** [(src, dst)] channel pair of every registered port, for the engine's
+    wake-hook wiring. *)
+
+val sources_empty : t -> bool
+(** No port has a word waiting for injection. A link with empty sources
+    and either empty or blocked in-flight queues can be put to sleep. *)
+
+val next_arrival : t -> now:int -> int
+(** Earliest in-flight release cycle strictly after [now], or [max_int]
+    — the link's next self-wake time while its sources stay empty.
+    Releases at or before [now] are excluded: a matured head that did
+    not deliver this cycle is blocked on destination space, and only a
+    pop on that destination can unblock it. *)
+
+val refill : t -> unit
+(** One bandwidth-controller refill, used by the scheduler to catch up a
+    link woken after sleeping: budgets converge after a single idle
+    refill, so one call reproduces any number of slept cycles. *)

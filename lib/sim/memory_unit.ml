@@ -7,7 +7,7 @@ module Reader = struct
     vector_width : int;
     element_bytes : int;
     controller : Controller.t;
-    outputs : Channel.t list;
+    outputs : Channel.t array;
     n_words : int;
     mutable pos : int; (* words streamed so far *)
   }
@@ -16,33 +16,72 @@ module Reader = struct
     let elements = Tensor.num_elements tensor in
     if elements mod vector_width <> 0 then
       invalid_arg "Reader.create: vector width does not divide field size";
-    { name; tensor; vector_width; element_bytes; controller; outputs; n_words = elements / vector_width; pos = 0 }
+    {
+      name;
+      tensor;
+      vector_width;
+      element_bytes;
+      controller;
+      outputs = Array.of_list outputs;
+      n_words = elements / vector_width;
+      pos = 0;
+    }
 
   let is_done t = t.pos >= t.n_words
   let name t = t.name
+  let words_remaining t = t.n_words - t.pos
+  let output_channels t = Array.to_list t.outputs
+  let word_bytes t = t.vector_width * t.element_bytes
+
+  (* Multicast the next word in place: one fresh slot per output, lanes
+     copied straight from the backing tensor. *)
+  let emit t =
+    let base_flat = t.pos * t.vector_width in
+    for i = 0 to Array.length t.outputs - 1 do
+      let c = t.outputs.(i) in
+      let base = Channel.push_slot c in
+      let values = Channel.buf_values c in
+      let valid = Channel.buf_valid c in
+      for lane = 0 to t.vector_width - 1 do
+        values.(base + lane) <- Tensor.get_flat t.tensor (base_flat + lane);
+        valid.(base + lane) <- true
+      done
+    done;
+    t.pos <- t.pos + 1
+
+  let any_output_full t =
+    let full = ref false in
+    for i = 0 to Array.length t.outputs - 1 do
+      if Channel.is_full t.outputs.(i) then full := true
+    done;
+    !full
 
   let cycle t =
     if is_done t then false
-    else if List.exists Channel.is_full t.outputs then false
+    else if any_output_full t then false
     else if not (Controller.request t.controller (t.vector_width * t.element_bytes)) then false
     else begin
-      let word = Word.create t.vector_width in
-      for lane = 0 to t.vector_width - 1 do
-        word.Word.values.(lane) <- Tensor.get_flat t.tensor ((t.pos * t.vector_width) + lane)
-      done;
-      List.iter (fun c -> Channel.push c (Word.copy word)) t.outputs;
-      t.pos <- t.pos + 1;
+      emit t;
       true
     end
 
+  (* One unchecked cycle for the fast-forward path: the engine has
+     verified output space for the whole window and that the controller
+     is unlimited. *)
+  let run_fast t =
+    Controller.account t.controller (t.vector_width * t.element_bytes);
+    emit t
+
   let blocked_reason t =
     if is_done t then None
-    else if List.exists Channel.is_full t.outputs then Some "consumer channel full"
+    else if any_output_full t then Some "consumer channel full"
     else Some "waiting for memory bandwidth"
 
   let full_output_channels t =
     if is_done t then []
-    else List.filter_map (fun c -> if Channel.is_full c then Some (Channel.name c) else None) t.outputs
+    else
+      Array.to_list t.outputs
+      |> List.filter_map (fun c -> if Channel.is_full c then Some (Channel.name c) else None)
 end
 
 module Writer = struct
@@ -56,9 +95,11 @@ module Writer = struct
     input : Channel.t;
     n_words : int;
     mutable pos : int;
+    on_done : unit -> unit;
   }
 
-  let create ~name ~shape ~vector_width ~element_bytes ~controller ~input =
+  let create ?(on_done = fun () -> ()) ~name ~shape ~vector_width ~element_bytes ~controller
+      ~input () =
     let tensor = Tensor.create shape in
     let elements = Tensor.num_elements tensor in
     if elements mod vector_width <> 0 then
@@ -73,31 +114,57 @@ module Writer = struct
       input;
       n_words = elements / vector_width;
       pos = 0;
+      on_done;
     }
 
   let is_done t = t.pos >= t.n_words
   let name t = t.name
+  let words_remaining t = t.n_words - t.pos
+  let input_channel t = t.input
+
+  let front_valid_count t =
+    let base = Channel.front_slot t.input in
+    let valid = Channel.buf_valid t.input in
+    let n = ref 0 in
+    for lane = 0 to t.vector_width - 1 do
+      if valid.(base + lane) then incr n
+    done;
+    !n
+
+  (* Commit the input's front word to the output tensor in place. *)
+  let commit t =
+    let base = Channel.front_slot t.input in
+    let values = Channel.buf_values t.input in
+    let valid = Channel.buf_valid t.input in
+    for lane = 0 to t.vector_width - 1 do
+      let idx = (t.pos * t.vector_width) + lane in
+      if valid.(base + lane) then Tensor.set_flat t.tensor idx values.(base + lane)
+      else t.valid.(idx) <- false
+    done;
+    Channel.drop t.input;
+    t.pos <- t.pos + 1;
+    if t.pos >= t.n_words then t.on_done ()
 
   let cycle t =
     if is_done t then false
     else if Channel.is_empty t.input then false
     else begin
       (* Only valid (non-shrunk) elements consume write bandwidth. *)
-      let word = match Channel.peek t.input with Some w -> w | None -> assert false in
-      let valid_count = Array.fold_left (fun n v -> if v then n + 1 else n) 0 word.Word.valid in
+      let valid_count = front_valid_count t in
       if valid_count > 0 && not (Controller.request t.controller (valid_count * t.element_bytes))
       then false
       else begin
-        ignore (Channel.pop t.input);
-        for lane = 0 to t.vector_width - 1 do
-          let idx = (t.pos * t.vector_width) + lane in
-          if word.Word.valid.(lane) then Tensor.set_flat t.tensor idx word.Word.values.(lane)
-          else t.valid.(idx) <- false
-        done;
-        t.pos <- t.pos + 1;
+        commit t;
         true
       end
     end
+
+  (* One unchecked cycle for the fast-forward path (input known
+     non-empty, controller known unlimited). *)
+  let run_fast t =
+    let valid_count = front_valid_count t in
+    if valid_count > 0 then Controller.account t.controller (valid_count * t.element_bytes);
+    commit t
 
   let result t = { Sf_reference.Interp.tensor = t.tensor; valid = t.valid }
 

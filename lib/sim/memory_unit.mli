@@ -24,6 +24,15 @@ module Reader : sig
   val name : t -> string
   val blocked_reason : t -> string option
 
+  val words_remaining : t -> int
+  val output_channels : t -> Channel.t list
+  val word_bytes : t -> int
+
+  val run_fast : t -> unit
+  (** One unchecked streaming cycle for the engine's fast-forward path:
+      requires every output to have space and the controller to be
+      {!Controller.is_unlimited}. *)
+
   val full_output_channels : t -> string list
   (** Names of consumer channels currently exerting backpressure. *)
 end
@@ -32,17 +41,29 @@ module Writer : sig
   type t
 
   val create :
+    ?on_done:(unit -> unit) ->
     name:string ->
     shape:int list ->
     vector_width:int ->
     element_bytes:int ->
     controller:Controller.t ->
     input:Channel.t ->
+    unit ->
     t
+  (** [on_done] fires once, when the final word is committed — the engine
+      uses it to maintain a completed-writer counter so the hot loop's
+      termination test is a single integer comparison. *)
 
   val cycle : t -> bool
   val is_done : t -> bool
   val name : t -> string
+
+  val words_remaining : t -> int
+  val input_channel : t -> Channel.t
+
+  val run_fast : t -> unit
+  (** One unchecked cycle for the engine's fast-forward path: requires a
+      non-empty input and an {!Controller.is_unlimited} controller. *)
 
   val result : t -> Sf_reference.Interp.result
   (** The written tensor with its validity mask ("shrink" cells are left

@@ -36,12 +36,26 @@ type t = {
   init_max : int;
   compute_cycles : int;
   inputs : input_state array;
-  outputs : Channel.t list;
+  outputs : Channel.t array;
   compiled : cell_ctx -> float;
   ctx : cell_ctx;
   shrink : bool;
   mutable step : int;
-  pending : (int * Word.t) Queue.t;
+  (* The delay line of computed-but-not-yet-emitted words, as a
+     structure-of-arrays ring: release cycle per slot, plus the lane
+     values and validity flattened at [slot * w]. Occupancy never
+     exceeds compute_cycles + 1 (the pipeline depth guard in try_step),
+     so compute_cycles + 2 slots suffice. *)
+  pend_release : int array;
+  pend_values : float array;
+  pend_valid : bool array;
+  pend_cap : int;
+  mutable pend_head : int;
+  mutable pend_count : int;
+  (* Next flat cell index expected by the incremental multi-index: when
+     compute proceeds sequentially (the common case) [ctx.idx] is
+     advanced by carry propagation instead of per-lane division. *)
+  mutable next_flat : int;
   mutable stalls : int;
 }
 
@@ -160,6 +174,7 @@ let create ~program ~stencil ~compute_cycles ~inputs ~outputs =
           end
   in
   let compiled = Sf_reference.Compile.body ~access stencil.Stencil.body in
+  let pend_cap = compute_cycles + 2 in
   {
     name = stencil.Stencil.name;
     shape;
@@ -170,20 +185,33 @@ let create ~program ~stencil ~compute_cycles ~inputs ~outputs =
     init_max;
     compute_cycles;
     inputs = inputs_arr;
-    outputs;
+    outputs = Array.of_list outputs;
     compiled;
     ctx = { cell_flat = 0; idx = Array.make (Array.length shape) 0; oob = false };
     shrink = stencil.Stencil.shrink;
     step = 0;
-    pending = Queue.create ();
+    pend_release = Array.make pend_cap 0;
+    pend_values = Array.make (pend_cap * w) 0.;
+    pend_valid = Array.make (pend_cap * w) true;
+    pend_cap;
+    pend_head = 0;
+    pend_count = 0;
+    next_flat = 0;
     stalls = 0;
   }
 
 let name t = t.name
 let total_steps t = t.init_max + t.n_words
-let is_done t = t.step >= total_steps t && Queue.is_empty t.pending
+let is_done t = t.step >= total_steps t && t.pend_count = 0
 let stall_cycles t = t.stalls
 let steps_completed t = t.step
+let add_stalls t n = t.stalls <- t.stalls + n
+
+let input_channels t =
+  Array.to_list t.inputs |> List.filter_map (fun i -> i.channel)
+
+let output_channels t = Array.to_list t.outputs
+let next_release t = if t.pend_count = 0 then max_int else t.pend_release.(t.pend_head)
 
 (* Input [i] must consume a word at pipeline step [s]. *)
 let consuming_at i s =
@@ -193,59 +221,108 @@ let consuming_at i s =
 
 let consuming_active t i = consuming_at i t.step && t.step - i.start_step < t.n_words
 
-let compute_word t word_index =
-  let word = Word.create t.w in
+(* Compute one output word into the pending slot whose value base is
+   [vbase]. The multi-index for boundary predication is carried
+   incrementally from cell to cell; the division rebuild only runs if a
+   word is ever computed out of sequence. *)
+let compute_into t word_index vbase =
   let rank = Array.length t.shape in
   for lane = 0 to t.w - 1 do
     let cell_flat = (word_index * t.w) + lane in
+    if cell_flat <> t.next_flat then begin
+      let rec fill d rem =
+        if d < rank then begin
+          t.ctx.idx.(d) <- rem / t.strides.(d);
+          fill (d + 1) (rem mod t.strides.(d))
+        end
+      in
+      fill 0 cell_flat;
+      t.next_flat <- cell_flat
+    end;
     t.ctx.cell_flat <- cell_flat;
-    (* Recover the multi-index for boundary predication. *)
-    let rec fill d rem =
-      if d < rank then begin
-        t.ctx.idx.(d) <- rem / t.strides.(d);
-        fill (d + 1) (rem mod t.strides.(d))
-      end
-    in
-    fill 0 cell_flat;
     t.ctx.oob <- false;
-    word.Word.values.(lane) <- t.compiled t.ctx;
-    if t.shrink && t.ctx.oob then word.Word.valid.(lane) <- false
+    t.pend_values.(vbase + lane) <- t.compiled t.ctx;
+    t.pend_valid.(vbase + lane) <- not (t.shrink && t.ctx.oob);
+    t.next_flat <- t.next_flat + 1;
+    let d = ref (rank - 1) in
+    let carry = ref (rank > 0) in
+    while !carry do
+      let v = t.ctx.idx.(!d) + 1 in
+      if v >= t.shape.(!d) && !d > 0 then begin
+        t.ctx.idx.(!d) <- 0;
+        decr d
+      end
+      else begin
+        t.ctx.idx.(!d) <- v;
+        carry := false
+      end
+    done
+  done
+
+(* Emit the pending head: copy its lanes into a fresh slot of every
+   output channel, in place. *)
+let emit_head t =
+  let vbase = t.pend_head * t.w in
+  for i = 0 to Array.length t.outputs - 1 do
+    let c = t.outputs.(i) in
+    let base = Channel.push_slot c in
+    Array.blit t.pend_values vbase (Channel.buf_values c) base t.w;
+    Array.blit t.pend_valid vbase (Channel.buf_valid c) base t.w
   done;
-  word
+  t.pend_head <- (t.pend_head + 1) mod t.pend_cap;
+  t.pend_count <- t.pend_count - 1
+
+let outputs_have_space t =
+  let ok = ref true in
+  for i = 0 to Array.length t.outputs - 1 do
+    if Channel.is_full t.outputs.(i) then ok := false
+  done;
+  !ok
 
 let try_flush t ~now =
-  match Queue.peek_opt t.pending with
-  | Some (release, word) when release <= now && List.for_all (fun c -> not (Channel.is_full c)) t.outputs ->
-      ignore (Queue.pop t.pending);
-      List.iter (fun c -> Channel.push c (Word.copy word)) t.outputs;
-      true
-  | Some _ | None -> false
+  if t.pend_count = 0 then false
+  else if t.pend_release.(t.pend_head) > now then false
+  else if not (outputs_have_space t) then false
+  else begin
+    emit_head t;
+    true
+  end
+
+(* Consume one word from input [i] into its window, lane by lane. *)
+let shift_in t i =
+  let c = Option.get i.channel in
+  let win = Option.get i.window in
+  let base = Channel.front_slot c in
+  let values = Channel.buf_values c in
+  for lane = 0 to t.w - 1 do
+    window_append win values.(base + lane)
+  done;
+  Channel.drop c
 
 let try_step t ~now =
   if t.step >= total_steps t then false
-  else if Queue.length t.pending > t.compute_cycles then false
+  else if t.pend_count > t.compute_cycles then false
   else begin
-    let ready =
-      Array.for_all
-        (fun i ->
-          (not (consuming_active t i))
-          || match i.channel with Some c -> not (Channel.is_empty c) | None -> true)
-        t.inputs
-    in
-    if not ready then false
+    let ready = ref true in
+    for k = 0 to Array.length t.inputs - 1 do
+      let i = t.inputs.(k) in
+      if consuming_active t i then
+        match i.channel with
+        | Some c -> if Channel.is_empty c then ready := false
+        | None -> ()
+    done;
+    if not !ready then false
     else begin
-      Array.iter
-        (fun i ->
-          if consuming_active t i then begin
-            let word = Channel.pop (Option.get i.channel) in
-            let win = Option.get i.window in
-            Array.iter (fun v -> window_append win v) word.Word.values
-          end)
-        t.inputs;
+      for k = 0 to Array.length t.inputs - 1 do
+        let i = t.inputs.(k) in
+        if consuming_active t i then shift_in t i
+      done;
       if t.step >= t.init_max then begin
         let word_index = t.step - t.init_max in
-        let word = compute_word t word_index in
-        Queue.push (now + t.compute_cycles, word) t.pending
+        let tail = (t.pend_head + t.pend_count) mod t.pend_cap in
+        t.pend_release.(tail) <- now + t.compute_cycles;
+        compute_into t word_index (tail * t.w);
+        t.pend_count <- t.pend_count + 1
       end;
       t.step <- t.step + 1;
       true
@@ -259,6 +336,112 @@ let cycle t ~now =
   if (not progress) && not (is_done t) then t.stalls <- t.stalls + 1;
   progress
 
+(* ------------------------------------------------------------------ *)
+(* Fast-forward batch planning (see Engine): describe the exact action  *)
+(* the unit will repeat every cycle over a uniform window, bounded by   *)
+(* its own phase boundaries and pending-line maturity. Channel          *)
+(* occupancy feasibility is the engine's responsibility.                *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  flush : bool;
+  pops : (Channel.t * window) array;
+  compute : bool;
+  advance : bool;
+  horizon : int;
+}
+
+let plan_flush p = p.flush
+let plan_steps p = p.compute || p.advance
+let plan_horizon p = p.horizon
+let plan_pops p = Array.to_list p.pops |> List.map fst
+
+let plan t ~now =
+  if is_done t then None
+  else begin
+    let l = t.compute_cycles in
+    let s = t.step in
+    let flush = t.pend_count > 0 && t.pend_release.(t.pend_head) <= now in
+    let after_flush = t.pend_count - (if flush then 1 else 0) in
+    let step_ok = s < total_steps t && after_flush <= l in
+    if not (flush || step_ok) then None
+    else begin
+      let horizon = ref max_int in
+      let cap v = if v < !horizon then horizon := v in
+      let compute = step_ok && s >= t.init_max in
+      if step_ok then begin
+        cap (total_steps t - s);
+        if s < t.init_max then cap (t.init_max - s);
+        (* The set of consuming inputs must not change inside the window. *)
+        Array.iter
+          (fun i ->
+            match i.window with
+            | None -> ()
+            | Some _ ->
+                let a = i.start_step and b = i.start_step + t.n_words in
+                if s < a then cap (a - s) else if s < b then cap (b - s))
+          t.inputs
+      end;
+      if flush then begin
+        (* Buffered entry [i] flushes at relative cycle [i] and must be
+           mature there; a freshly computed word flushes after
+           [pend_count] more cycles, mature only if the line is at least
+           as long as the compute latency. *)
+        for i = 0 to t.pend_count - 1 do
+          let r = t.pend_release.((t.pend_head + i) mod t.pend_cap) in
+          if r > now + i then cap i
+        done;
+        if compute then begin
+          if l > t.pend_count then cap t.pend_count
+        end
+        else cap t.pend_count
+      end
+      else if compute then begin
+        (* Not flushing: the window must close before the first flush
+           comes due and before the pending line refuses another step. *)
+        (if t.pend_count > 0 then cap (t.pend_release.(t.pend_head) - now)
+         else cap (max l 1));
+        cap (l - t.pend_count + 1)
+      end;
+      let pops =
+        if step_ok then
+          Array.to_list t.inputs
+          |> List.filter_map (fun i ->
+                 if consuming_active t i then
+                   Some (Option.get i.channel, Option.get i.window)
+                 else None)
+          |> Array.of_list
+        else [||]
+      in
+      if !horizon < 1 then None
+      else Some { flush; pops; compute; advance = step_ok && not compute; horizon = !horizon }
+    end
+  end
+
+(* One unchecked cycle of the planned action: the engine has already
+   validated maturity and channel occupancy for the whole window. *)
+let run_planned t ~now p =
+  if p.flush then emit_head t;
+  if p.compute || p.advance then begin
+    for k = 0 to Array.length p.pops - 1 do
+      let c, win = p.pops.(k) in
+      let base = Channel.front_slot c in
+      let values = Channel.buf_values c in
+      for lane = 0 to t.w - 1 do
+        window_append win values.(base + lane)
+      done;
+      Channel.drop c
+    done;
+    if p.compute then begin
+      let word_index = t.step - t.init_max in
+      let tail = (t.pend_head + t.pend_count) mod t.pend_cap in
+      t.pend_release.(tail) <- now + t.compute_cycles;
+      compute_into t word_index (tail * t.w);
+      t.pend_count <- t.pend_count + 1
+    end;
+    t.step <- t.step + 1
+  end
+
 type blockage = Input_empty of string | Output_full of string
 
 let blockages t =
@@ -269,9 +452,9 @@ let blockages t =
            match i.channel with
            | Some c when consuming_active t i && Channel.is_empty c -> Some (Input_empty i.field)
            | Some _ | None -> None))
-    @ List.filter_map
-        (fun c -> if Channel.is_full c then Some (Output_full (Channel.name c)) else None)
-        t.outputs
+    @ (Array.to_list t.outputs
+      |> List.filter_map (fun c ->
+             if Channel.is_full c then Some (Output_full (Channel.name c)) else None))
 
 let blocked_reason t =
   if is_done t then None
@@ -285,9 +468,10 @@ let blocked_reason t =
              | Some _ | None -> None)
     in
     let output_block =
-      List.filter_map
-        (fun c -> if Channel.is_full c then Some (Printf.sprintf "output %s full" (Channel.name c)) else None)
-        t.outputs
+      Array.to_list t.outputs
+      |> List.filter_map (fun c ->
+             if Channel.is_full c then Some (Printf.sprintf "output %s full" (Channel.name c))
+             else None)
     in
     match input_block @ output_block with
     | [] -> Some "pipeline in flight"

@@ -43,6 +43,46 @@ val cycle : t -> now:int -> bool
 val stall_cycles : t -> int
 val steps_completed : t -> int
 
+val add_stalls : t -> int -> unit
+(** Credit stall cycles accounted lazily by the scheduler for cycles the
+    unit was provably unable to progress and therefore not run. *)
+
+val input_channels : t -> Channel.t list
+(** Streaming (full-rank) input channels, for wake-hook wiring. *)
+
+val output_channels : t -> Channel.t list
+
+val next_release : t -> int
+(** Release cycle of the oldest pending word, or [max_int] when the
+    pending line is empty — the unit's next self-wake time. *)
+
+(** {2 Fast-forward batch planning}
+
+    A plan captures the single action (flush and/or step) the unit will
+    repeat identically every cycle for up to [plan_horizon] cycles,
+    given unchanged channel feasibility. The horizon only accounts for
+    the unit's own state (phase boundaries, pending-line maturity); the
+    engine bounds it further using channel occupancies. *)
+
+type plan
+
+val plan : t -> now:int -> plan option
+(** [None] when the unit cannot make progress this cycle or has no
+    uniform window (then the engine falls back to per-cycle stepping). *)
+
+val plan_horizon : plan -> int
+val plan_flush : plan -> bool
+(** Whether the plan emits one word per cycle to every output. *)
+
+val plan_steps : plan -> bool
+(** Whether the plan advances the pipeline one step per cycle. *)
+
+val plan_pops : plan -> Channel.t list
+(** Input channels from which the plan consumes one word per cycle. *)
+
+val run_planned : t -> now:int -> plan -> unit
+(** Execute one cycle of the plan without re-checking feasibility. *)
+
 (** Structured description of what blocks the unit, for deadlock-cycle
     diagnosis: inputs it waits on (by field) and output channels that are
     full (by channel name). *)

@@ -12,6 +12,7 @@ let () =
       ("sim_primitives", Test_sim_primitives.suite);
       ("memory_units", Test_memory_units.suite);
       ("sim", Test_sim.suite);
+      ("sim_parity", Test_sim_parity.suite);
       ("sdfg", Test_sdfg.suite);
       ("fusion", Test_fusion.suite);
       ("models", Test_models.suite);

@@ -67,7 +67,7 @@ let test_writer_drops_invalid_lanes () =
   let c = Channel.create ~name:"c" ~capacity:8 in
   let w =
     Writer.create ~name:"w" ~shape:[ 4 ] ~vector_width:1 ~element_bytes:4
-      ~controller:(Controller.unlimited ()) ~input:c
+      ~controller:(Controller.unlimited ()) ~input:c ()
   in
   Channel.push c (word 1.);
   Channel.push c (word ~valid:false 2.);
@@ -88,7 +88,7 @@ let test_writer_waits_for_bandwidth () =
   let ctrl = Controller.create ~bytes_per_cycle:0. in
   let w =
     Writer.create ~name:"w" ~shape:[ 2 ] ~vector_width:1 ~element_bytes:4 ~controller:ctrl
-      ~input:c
+      ~input:c ()
   in
   Channel.push c (word 1.);
   Controller.begin_cycle ctrl;

@@ -66,6 +66,73 @@ let prop_channel_queue_model =
         ops
       && Channel.occupancy c = Queue.length model)
 
+let prop_channel_soa_model =
+  (* The zero-allocation slot API and the Word API agree with a model
+     queue over random interleavings, including invalid ("shrink") lanes,
+     the high-water mark, and the wake-hook firing counts. *)
+  QCheck.Test.make ~count:200 ~name:"SoA slot API equals a bounded FIFO"
+    QCheck.(
+      triple (int_range 1 6) (int_range 1 4)
+        (small_list (oneofl [ `SlotPush; `WordPush; `SlotDrop; `WordPop; `Peek ])))
+    (fun (capacity, width, ops) ->
+      let c = Channel.create_vec ~width ~name:"q" ~capacity in
+      let pushes = ref 0 and pops = ref 0 in
+      Channel.set_hooks c ~on_push:(fun () -> incr pushes) ~on_pop:(fun () -> incr pops);
+      let model : (float array * bool array) Queue.t = Queue.create () in
+      let counter = ref 0 in
+      let hw = ref 0 in
+      let fresh () =
+        incr counter;
+        let base = 10 * !counter in
+        ( Array.init width (fun l -> float_of_int (base + l)),
+          (* Sprinkle invalid lanes the way shrink stencils do. *)
+          Array.init width (fun l -> (base + l) mod 3 <> 0) )
+      in
+      let agree (values, valid) w =
+        Array.for_all2 ( = ) values w.Word.values && Array.for_all2 ( = ) valid w.Word.valid
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | (`SlotPush | `WordPush) when Queue.length model < capacity ->
+              let values, valid = fresh () in
+              Queue.push (values, valid) model;
+              if !hw < Queue.length model then hw := Queue.length model;
+              (match op with
+              | `SlotPush ->
+                  let base = Channel.push_slot c in
+                  Array.blit values 0 (Channel.buf_values c) base width;
+                  Array.blit valid 0 (Channel.buf_valid c) base width
+              | _ ->
+                  let w = Word.create width in
+                  Array.blit values 0 w.Word.values 0 width;
+                  Array.blit valid 0 w.Word.valid 0 width;
+                  Channel.push c w);
+              true
+          | `SlotPush | `WordPush -> Channel.is_full c
+          | `SlotDrop when Queue.length model > 0 ->
+              let values, valid = Queue.pop model in
+              let base = Channel.front_slot c in
+              let ok = ref true in
+              for l = 0 to width - 1 do
+                if (Channel.buf_values c).(base + l) <> values.(l) then ok := false;
+                if (Channel.buf_valid c).(base + l) <> valid.(l) then ok := false
+              done;
+              Channel.drop c;
+              !ok
+          | `WordPop when Queue.length model > 0 -> agree (Queue.pop model) (Channel.pop c)
+          | `SlotDrop | `WordPop -> Channel.is_empty c
+          | `Peek -> (
+              match (Channel.peek c, Queue.peek_opt model) with
+              | None, None -> true
+              | Some w, Some front -> agree front w
+              | _ -> false))
+        ops
+      && Channel.occupancy c = Queue.length model
+      && Channel.high_water c = !hw
+      && !pushes = !counter
+      && !pops = !counter - Queue.length model)
+
 let test_controller_budget () =
   let ctrl = Controller.create ~bytes_per_cycle:8. in
   Controller.begin_cycle ctrl;
@@ -172,6 +239,7 @@ let suite =
     Alcotest.test_case "channel overflow/underflow" `Quick test_channel_overflow_underflow;
     Alcotest.test_case "channel capacity validation" `Quick test_channel_capacity_positive;
     QCheck_alcotest.to_alcotest prop_channel_queue_model;
+    QCheck_alcotest.to_alcotest prop_channel_soa_model;
     Alcotest.test_case "controller budget accounting" `Quick test_controller_budget;
     Alcotest.test_case "controller fractional rates" `Quick test_controller_fractional_rates;
     Alcotest.test_case "controller does not bank bandwidth" `Quick test_controller_no_banking;
