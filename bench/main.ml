@@ -8,8 +8,17 @@
    Run all sections:        dune exec bench/main.exe
    Run selected sections:   dune exec bench/main.exe -- fig14 tab2
    Sections: fig14 fig15 tab1 fig16 hdiff tab2 silicon fusion deadlock
-            tiling autotune cse fp64 micro *)
+            tiling autotune cse fp64 micro
+   Add the pseudo-section "timings" to print per-section wall-clock
+   times (measured through the pass manager's timing primitive). *)
 open Stencilflow
+
+let section_timings : (string * float) list ref = ref []
+
+let timed name f =
+  let result, seconds = Pass_manager.time ~label:name f in
+  section_timings := !section_timings @ [ (name, seconds) ];
+  result
 
 let dev = Device.stratix10
 let f = dev.Device.frequency_hz
@@ -288,9 +297,9 @@ let tab2 () =
      interpreter on a reduced domain, scaled per cell. *)
   let small = Hdiff.program ~shape:[ 4; 64; 64 ] () in
   let inputs = Interp.random_inputs small in
-  let t0 = Unix.gettimeofday () in
-  let _ = Interp.run small ~inputs in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let _, elapsed =
+    Pass_manager.time ~label:"reference-interpreter" (fun () -> Interp.run small ~inputs)
+  in
   let measured =
     float_of_int (Op_count.of_program small).Op_count.flops_per_cell
     *. float_of_int (Program.cells small) /. elapsed
@@ -550,7 +559,7 @@ let micro () =
                (Memory_model.effective_bandwidth dev ~operands_per_cycle:24 ~element_bytes:4
                   ~vectorized:true)));
       Test.make ~name:"tab2_hdiff_parse"
-        (Staged.stage (fun () -> ignore (Program_json.of_string json)));
+        (Staged.stage (fun () -> ignore (Program_json.of_string_exn json)));
       Test.make ~name:"fig17_hdiff_fusion"
         (Staged.stage (fun () -> ignore (Fusion.fuse_all hdiff_small)));
       Test.make ~name:"fig4_diamond_simulation"
@@ -573,21 +582,29 @@ let micro () =
     tests
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let raw = List.tl (Array.to_list Sys.argv) in
+  let show_timings = List.mem "timings" raw in
+  let requested = List.filter (fun s -> s <> "timings") raw in
   let want name = requested = [] || List.mem name requested in
-  if want "fig14" then fig14 ();
-  if want "fig15" then fig15 ();
-  if want "tab1" then tab1 ();
-  if want "fig16" then fig16 ();
-  if want "hdiff" then hdiff_analysis ();
+  if want "fig14" then timed "fig14" fig14;
+  if want "fig15" then timed "fig15" fig15;
+  if want "tab1" then timed "tab1" tab1;
+  if want "fig16" then timed "fig16" fig16;
+  if want "hdiff" then timed "hdiff" hdiff_analysis;
   (if want "tab2" || want "silicon" then
-     let perf_bw, perf_inf = tab2 () in
-     if want "silicon" then silicon_section perf_bw perf_inf);
-  if want "fusion" then fusion_study ();
-  if want "deadlock" then deadlock_study ();
-  if want "tiling" then tiling_ablation ();
-  if want "autotune" then autotune_ablation ();
-  if want "cse" then cse_ablation ();
-  if want "fp64" then fp64_ablation ();
-  if want "micro" then micro ();
+     let perf_bw, perf_inf = timed "tab2" tab2 in
+     if want "silicon" then timed "silicon" (fun () -> silicon_section perf_bw perf_inf));
+  if want "fusion" then timed "fusion" fusion_study;
+  if want "deadlock" then timed "deadlock" deadlock_study;
+  if want "tiling" then timed "tiling" tiling_ablation;
+  if want "autotune" then timed "autotune" autotune_ablation;
+  if want "cse" then timed "cse" cse_ablation;
+  if want "fp64" then timed "fp64" fp64_ablation;
+  if want "micro" then timed "micro" micro;
+  if show_timings then begin
+    Printf.printf "\nsection timings:\n";
+    List.iter
+      (fun (name, seconds) -> Printf.printf "  %-10s %10.1f ms\n" name (1000. *. seconds))
+      !section_timings
+  end;
   Printf.printf "\nAll requested sections complete. See EXPERIMENTS.md for the comparison log.\n"

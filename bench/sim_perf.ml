@@ -24,7 +24,7 @@ let jacobi_chain ~stages ~shape ~w =
 
 let hdiff_small ~w =
   let dir = if Sys.file_exists "examples/programs" then "examples/programs" else "../examples/programs" in
-  let p = Program_json.of_file (Filename.concat dir "horizontal_diffusion_small.json") in
+  let p = Program_json.of_file_exn (Filename.concat dir "horizontal_diffusion_small.json") in
   let p = if w = p.Program.vector_width then p else Vectorize.apply p w in
   { name = Printf.sprintf "hdiff-small-w%d" w; program = p; runs = 3 }
 

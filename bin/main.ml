@@ -1,5 +1,11 @@
 (* StencilFlow command-line interface: analysis, simulation, partitioning
-   and code generation for JSON stencil-program descriptions. *)
+   and code generation for JSON stencil-program descriptions.
+
+   The analyze/simulate/codegen commands execute through the instrumented
+   pass manager (lib/toolchain): --trace-passes prints per-pass timings
+   and artifact counters, --dump-ir writes every intermediate artifact to
+   a directory, and failures are structured diagnostics with stable codes
+   and exit codes (see docs/PIPELINE.md). *)
 open Stencilflow
 open Cmdliner
 
@@ -15,25 +21,74 @@ let fuse_arg =
   let doc = "Apply aggressive stencil fusion before mapping (Sec. V-B)." in
   Arg.(value & flag & info [ "fuse" ] ~doc)
 
+let trace_passes_arg =
+  let doc = "Print per-pass wall-clock timings and artifact counters." in
+  Arg.(value & flag & info [ "trace-passes" ] ~doc)
+
+let dump_ir_arg =
+  let doc = "Dump every intermediate artifact into $(docv)/NN-passname/ after each pass." in
+  Arg.(value & opt (some string) None & info [ "dump-ir" ] ~docv:"DIR" ~doc)
+
+let diag_json_arg =
+  let doc = "Report diagnostics as JSON on stdout instead of text on stderr." in
+  Arg.(value & flag & info [ "diag-json" ] ~doc)
+
+(* Diagnostics go to stderr as "stencilflow: <file:line:col:> severity[CODE]:
+   message" lines (or as one JSON object on stdout with --diag-json); the
+   process exit code is derived from the first error's code layer. *)
+let emit_diags ~json ds =
+  if ds <> [] then
+    if json then print_endline (Json.to_string (Diag.list_to_json ds))
+    else List.iter (fun d -> Format.eprintf "stencilflow: %s@." (Diag.to_string d)) ds
+
+let exit_diags ~json ds =
+  emit_diags ~json ds;
+  exit (Diag.exit_code ds)
+
+(* Run a pass list from an empty context; on failure print the executed
+   prefix's trace (if requested) and the diagnostics, and exit with the
+   stable code. On success, warnings are reported but do not change the
+   caller's flow. *)
+let run_pipeline ?device ?sim_config ?inputs ~trace_passes ~dump_ir ~diag_json passes =
+  let hooks =
+    match dump_ir with Some dir -> Passes.dump_hook ~dir | None -> Pass_manager.no_hooks
+  in
+  let ctx = Ctx.create ?device ?sim_config ?inputs () in
+  match Pass_manager.run ~hooks passes ctx with
+  | Ok (ctx, trace) ->
+      if trace_passes then Format.printf "%a" Pass_manager.pp_trace trace;
+      ctx
+  | Error (ds, trace) ->
+      if trace_passes then Format.printf "%a" Pass_manager.pp_trace trace;
+      exit_diags ~json:diag_json ds
+
+let frontend_passes path width fuse =
+  [ Passes.load_file path ]
+  @ (match width with Some w -> [ Passes.vectorize w ] | None -> [])
+  @ if fuse then [ Passes.fuse () ] else []
+
+(* Shared loader for the commands that do not run through the pass
+   manager; failures still carry coded diagnostics. *)
 let load path width =
-  match
-    let p = load_file path in
-    match width with None -> p | Some w -> Vectorize.apply p w
-  with
-  | p -> p
-  | exception Program_json.Format_error m | exception Invalid_argument m ->
-      Format.eprintf "stencilflow: invalid program %s: %s@." path m;
-      exit 1
-  | exception Json.Parse_error m ->
-      Format.eprintf "stencilflow: malformed JSON in %s: %s@." path m;
-      exit 1
+  match load_file path with
+  | Error ds -> exit_diags ~json:false ds
+  | Ok p -> ( match width with None -> p | Some w -> Vectorize.apply p w)
 
 let with_fusion fuse p = if fuse then fst (Fusion.fuse_all p) else p
 
+let the_program (ctx : Ctx.t) =
+  match ctx.Ctx.program with
+  | Some p -> p
+  | None -> invalid_arg "pipeline finished without a program"
+
 let analyze_cmd =
-  let run path width fuse =
-    let p = with_fusion fuse (load path width) in
-    let analysis = Delay_buffer.analyze p in
+  let run path width fuse trace_passes dump_ir diag_json =
+    let ctx =
+      run_pipeline ~trace_passes ~dump_ir ~diag_json
+        (frontend_passes path width fuse @ [ Passes.delay_buffers ])
+    in
+    let p = the_program ctx in
+    let analysis = match ctx.Ctx.analysis with Some a -> a | None -> assert false in
     Format.printf "%a@." Delay_buffer.pp analysis;
     let counts = Op_count.of_program p in
     Format.printf "%a@." Op_count.pp counts;
@@ -44,10 +99,15 @@ let analyze_cmd =
     Format.printf "estimated resources: %a@." Resource.pp usage;
     let a, f, m, d = Resource.utilization Device.stratix10 usage in
     Format.printf "utilization on %s: ALM %.1f%%, FF %.1f%%, M20K %.1f%%, DSP %.1f%%@."
-      Device.stratix10.Device.name (100. *. a) (100. *. f) (100. *. m) (100. *. d)
+      Device.stratix10.Device.name (100. *. a) (100. *. f) (100. *. m) (100. *. d);
+    emit_diags ~json:diag_json ctx.Ctx.diags;
+    exit (Diag.exit_code ctx.Ctx.diags)
   in
   let doc = "Run the buffering, latency, and resource analyses on a program." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ program_arg $ vector_width_arg $ fuse_arg)
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ program_arg $ vector_width_arg $ fuse_arg $ trace_passes_arg $ dump_ir_arg
+      $ diag_json_arg)
 
 let simulate_cmd =
   let seed_arg =
@@ -58,15 +118,21 @@ let simulate_cmd =
          & info [ "trace" ] ~docv:"FILE.csv"
              ~doc:"Sample channel occupancies every 16 cycles into a CSV file.")
   in
-  let run path width fuse seed trace =
-    let p = with_fusion fuse (load path width) in
-    let inputs = Interp.random_inputs ~seed p in
+  let run path width fuse seed trace trace_passes dump_ir diag_json =
     let sim_config =
       match trace with
       | None -> Engine.default_config
       | Some _ -> { Engine.default_config with Engine.trace_interval = Some 16 }
     in
-    let report = run ~sim_config ~inputs p in
+    let ctx =
+      run_pipeline ~sim_config ~trace_passes ~dump_ir ~diag_json
+        (frontend_passes path width false
+        @ [ Passes.fuse () ]
+        @ [ Passes.delay_buffers; Passes.partition; Passes.performance_model ]
+        @ [ Passes.simulate ~seed () ])
+    in
+    ignore fuse;
+    let report = report_of_ctx ctx in
     Format.printf "%a@." pp_report report;
     (match (trace, report.simulation) with
     | Some file, Some (Ok stats) when stats.Engine.trace <> [] ->
@@ -82,32 +148,31 @@ let simulate_cmd =
               stats.Engine.trace);
         Format.printf "wrote %s@." file
     | _, _ -> ());
-    match report.simulation with
-    | Some (Error _) -> exit 1
-    | Some (Ok _) | None -> ()
+    (if diag_json then emit_diags ~json:true ctx.Ctx.diags);
+    exit (Diag.exit_code ctx.Ctx.diags)
   in
   let doc =
     "Execute the program on the cycle-level spatial simulator and validate against the \
      sequential reference interpreter."
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ program_arg $ vector_width_arg $ fuse_arg $ seed_arg $ trace_arg)
+    Term.(
+      const run $ program_arg $ vector_width_arg $ fuse_arg $ seed_arg $ trace_arg
+      $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
 
 let codegen_cmd =
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
            ~doc:"Write kernel files into this directory instead of stdout.")
   in
-  let run path width fuse out =
-    let p = with_fusion fuse (load path width) in
-    let partition =
-      match Partition.greedy ~device:Device.stratix10 p with
-      | Ok pt -> pt
-      | Error _ -> Partition.single_device p
+  let run path width fuse out trace_passes dump_ir diag_json =
+    let ctx =
+      run_pipeline ~trace_passes ~dump_ir ~diag_json
+        (frontend_passes path width fuse @ Passes.codegen_pipeline ~backend:`Opencl)
     in
-    let artifacts = Opencl.generate ~partition p in
-    let host = Opencl.host_source ~partition p in
-    match out with
+    let artifacts = ctx.Ctx.kernels in
+    let host = match ctx.Ctx.host_source with Some h -> h | None -> assert false in
+    (match out with
     | None ->
         List.iter
           (fun (a : Opencl.artifact) ->
@@ -123,11 +188,15 @@ let codegen_cmd =
           artifacts;
         let host_file = Filename.concat dir "host.c" in
         Out_channel.with_open_text host_file (fun oc -> output_string oc host);
-        Format.printf "wrote %s@." host_file
+        Format.printf "wrote %s@." host_file);
+    emit_diags ~json:diag_json ctx.Ctx.diags;
+    exit (Diag.exit_code ctx.Ctx.diags)
   in
   let doc = "Emit Intel-FPGA-style annotated OpenCL kernels and host code." in
   Cmd.v (Cmd.info "codegen" ~doc)
-    Term.(const run $ program_arg $ vector_width_arg $ fuse_arg $ out_arg)
+    Term.(
+      const run $ program_arg $ vector_width_arg $ fuse_arg $ out_arg $ trace_passes_arg
+      $ dump_ir_arg $ diag_json_arg)
 
 let partition_cmd =
   let devices_arg =
@@ -136,9 +205,9 @@ let partition_cmd =
   let run path width fuse max_devices =
     let p = with_fusion fuse (load path width) in
     match Partition.greedy ~max_devices ~device:Device.stratix10 p with
-    | Error m ->
-        Format.eprintf "partitioning failed: %s@." m;
-        exit 1
+    | Error d ->
+        Format.eprintf "partitioning failed: %s@." d.Diag.message;
+        exit (Diag.exit_code [ d ])
     | Ok pt ->
         Format.printf "%a@." Partition.pp pt;
         List.iteri
@@ -238,9 +307,11 @@ let autotune_cmd =
 let optimize_cmd =
   let run path width =
     let p = load path width in
-    let optimized, entries = Pipeline.run Pipeline.default_pipeline p in
-    List.iter (fun e -> Format.printf "%a@." Pipeline.pp_entry e) entries;
-    print_string (Program_json.to_string optimized)
+    match Pipeline.run Pipeline.default_pipeline p with
+    | Error ds -> exit_diags ~json:false ds
+    | Ok (optimized, entries) ->
+        List.iter (fun e -> Format.printf "%a@." Pipeline.pp_entry e) entries;
+        print_string (Program_json.to_string optimized)
   in
   let doc =
     "Run the verified optimization pipeline (fusion, folding, CSE) and print the optimized \

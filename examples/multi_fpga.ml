@@ -15,7 +15,7 @@ let () =
   let partition =
     match Partition.greedy ~ceiling:0.06 ~device program with
     | Ok pt -> pt
-    | Error m -> failwith m
+    | Error m -> failwith m.Diag.message
   in
   Format.printf "%a@." Partition.pp partition;
   List.iteri

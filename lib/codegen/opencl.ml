@@ -223,8 +223,7 @@ let emit_writer buf (p : Program.t) output =
   add "    mem[idx] = read_channel_intel(%s);\n" (channel_name ~src:output ~dst:"mem");
   add "  }\n}\n\n"
 
-let generate ?partition (p : Program.t) =
-  Program.validate_exn p;
+let generate_unchecked ?partition (p : Program.t) =
   let partition = match partition with Some pt -> pt | None -> Partition.single_device p in
   let analysis = Sf_analysis.Delay_buffer.analyze p in
   let device_of = Partition.placement_fn partition in
@@ -331,7 +330,7 @@ let generate ?partition (p : Program.t) =
       })
     (Sf_support.Util.range partition.Partition.num_devices)
 
-let host_source ?partition (p : Program.t) =
+let host_source_unchecked ?partition (p : Program.t) =
   let partition = match partition with Some pt -> pt | None -> Partition.single_device p in
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -372,3 +371,29 @@ let host_source ?partition (p : Program.t) =
     p.Program.outputs;
   add "  return 0;\n}\n";
   Buffer.contents buf
+
+module Diag = Sf_support.Diag
+
+let validation_diags p =
+  match Program.validate p with
+  | Ok () -> []
+  | Error msgs -> List.map (Diag.error ~code:Diag.Code.validation) msgs
+
+let checked f p =
+  match validation_diags p with
+  | [] -> (
+      try Ok (f p)
+      with Invalid_argument m | Failure m ->
+        Error [ Diag.errorf ~code:Diag.Code.codegen "code generation failed: %s" m ])
+  | ds -> Error ds
+
+let generate ?partition p = checked (generate_unchecked ?partition) p
+let host_source ?partition p = checked (host_source_unchecked ?partition) p
+
+let generate_exn ?partition p =
+  Program.validate_exn p;
+  generate_unchecked ?partition p
+
+let host_source_exn ?partition p =
+  Program.validate_exn p;
+  host_source_unchecked ?partition p

@@ -20,12 +20,26 @@ type artifact = {
   source : string;
 }
 
-val generate : ?partition:Sf_mapping.Partition.t -> Sf_ir.Program.t -> artifact list
-(** Kernel source per device (a single artifact when unpartitioned). *)
+val generate :
+  ?partition:Sf_mapping.Partition.t ->
+  Sf_ir.Program.t ->
+  (artifact list, Sf_support.Diag.t list) result
+(** Kernel source per device (a single artifact when unpartitioned).
+    Validation problems surface as [SF0301] diagnostics; internal
+    lowering failures as [SF0601]. *)
 
-val host_source : ?partition:Sf_mapping.Partition.t -> Sf_ir.Program.t -> string
+val host_source :
+  ?partition:Sf_mapping.Partition.t ->
+  Sf_ir.Program.t ->
+  (string, Sf_support.Diag.t list) result
 (** Host-side C-style pseudo code: buffer allocation, replication of
     inputs to each device, kernel launch, and result copy-back. *)
+
+val generate_exn : ?partition:Sf_mapping.Partition.t -> Sf_ir.Program.t -> artifact list
+(** {!generate}, raising [Invalid_argument] — the historical behaviour. *)
+
+val host_source_exn : ?partition:Sf_mapping.Partition.t -> Sf_ir.Program.t -> string
+(** {!host_source}, raising [Invalid_argument] — the historical behaviour. *)
 
 val float_literal : float -> string
 (** C float literal rendering shared by the backends. *)

@@ -108,5 +108,5 @@ let markdown ?(device = Device.stratix10) (p : Program.t) =
         add "- network feasible at W=%d: %b\n" p.Program.vector_width
           (Partition.network_feasible p pt ~device)
       end
-  | Error m -> add "- does not fit: %s\n" m);
+  | Error d -> add "- does not fit: %s\n" d.Sf_support.Diag.message);
   Buffer.contents buf

@@ -122,8 +122,7 @@ let emit_stencil_pe buf (p : Program.t) analysis (s : Stencil.t) ~consumers ~wri
   if writes_memory then add "        out_mem_%s.write(value);\n" name;
   add "      }\n    }\n  }\n}\n\n"
 
-let generate (p : Program.t) =
-  Program.validate_exn p;
+let generate_unchecked (p : Program.t) =
   let analysis = Sf_analysis.Delay_buffer.analyze p in
   let rank = Program.rank p in
   let buf = Buffer.create 4096 in
@@ -239,3 +238,17 @@ let generate (p : Program.t) =
     p.Program.outputs;
   add "}\n";
   Buffer.contents buf
+
+module Diag = Sf_support.Diag
+
+let generate (p : Program.t) =
+  match Program.validate p with
+  | Ok () -> (
+      try Ok (generate_unchecked p)
+      with Invalid_argument m | Failure m ->
+        Error [ Diag.errorf ~code:Diag.Code.codegen "code generation failed: %s" m ])
+  | Error msgs -> Error (List.map (Diag.error ~code:Diag.Code.validation) msgs)
+
+let generate_exn (p : Program.t) =
+  Program.validate_exn p;
+  generate_unchecked p

@@ -11,9 +11,12 @@
     Single-device only (Xilinx boards in the paper's comparison have no
     SMI equivalent); use {!Opencl} for multi-device programs. *)
 
-val generate : Sf_ir.Program.t -> string
+val generate : Sf_ir.Program.t -> (string, Sf_support.Diag.t list) result
 (** The full kernel source (streams, one function per processing element,
-    and the [dataflow] top function). Raises [Invalid_argument] if the
-    program does not validate. *)
+    and the [dataflow] top function). Validation problems surface as
+    [SF0301] diagnostics; internal lowering failures as [SF0601]. *)
+
+val generate_exn : Sf_ir.Program.t -> string
+(** {!generate}, raising [Invalid_argument] — the historical behaviour. *)
 
 val top_function_name : Sf_ir.Program.t -> string

@@ -46,9 +46,15 @@ module Iterative = Sf_kernels.Iterative
 module Hdiff = Sf_kernels.Hdiff
 module Swe = Sf_kernels.Swe
 module Wave = Sf_kernels.Wave
+module Diag = Sf_support.Diag
+module Ctx = Sf_toolchain.Ctx
+module Pass_manager = Sf_toolchain.Pass_manager
+module Passes = Sf_toolchain.Passes
 
 let load_file = Program_json.of_file
-let load_string = Program_json.of_string
+let load_string source = Program_json.of_string source
+let load_file_exn = Program_json.of_file_exn
+let load_string_exn = Program_json.of_string_exn
 
 type report = {
   program : Program.t;
@@ -57,42 +63,39 @@ type report = {
   partition : Partition.t;
   simulation : (Engine.stats, string) result option;
   performance_model : float;
+  diagnostics : Diag.t list;
 }
 
-let run ?(device = Device.stratix10) ?(fuse = true) ?(simulate = true) ?(validate = true)
-    ?(sim_config = Engine.default_config) ?inputs program =
-  Program.validate_exn program;
-  let program, fusion =
-    if fuse then
-      let p, report = Fusion.fuse_all program in
-      (p, Some report)
-    else (program, None)
-  in
-  let analysis = Delay_buffer.analyze ~config:sim_config.Engine.latency program in
-  let partition =
-    match Partition.greedy ~device program with
-    | Ok p -> p
-    | Error _ -> Partition.single_device program
-  in
-  let placement = Partition.placement_fn partition in
-  let simulation =
-    if not simulate then None
-    else if validate then
-      Some (Engine.run_and_validate ~config:sim_config ~placement ?inputs program)
-    else
-      Some
-        (match Engine.run ~config:sim_config ~placement ?inputs program with
-        | Engine.Completed stats -> Ok stats
-        | Engine.Deadlocked { cycle; _ } ->
-            Error (Printf.sprintf "deadlocked at cycle %d" cycle))
-  in
-  let performance_model =
-    Runtime_model.performance_ops_per_s ~config:sim_config.Engine.latency
-      ~frequency_hz:device.Device.frequency_hz program
-  in
-  { program; fusion; analysis; partition; simulation; performance_model }
+let report_of_ctx (ctx : Ctx.t) =
+  match (ctx.Ctx.program, ctx.Ctx.analysis, ctx.Ctx.partition, ctx.Ctx.performance_model) with
+  | Some program, Some analysis, Some partition, Some performance_model ->
+      {
+        program;
+        fusion = ctx.Ctx.fusion;
+        analysis;
+        partition;
+        simulation = ctx.Ctx.simulation;
+        performance_model;
+        diagnostics = ctx.Ctx.diags;
+      }
+  | _ ->
+      invalid_arg "Stencilflow.report_of_ctx: pipeline did not produce all report artifacts"
+
+let run_result ?(device = Device.stratix10) ?(fuse = true) ?(simulate = true)
+    ?(validate = true) ?(sim_config = Engine.default_config) ?inputs ?hooks program =
+  let ctx = Ctx.create ~device ~sim_config ?inputs () in
+  let passes = Passes.use_program program :: Passes.standard ~fuse ~simulate ~validate () in
+  match Pass_manager.run ?hooks passes ctx with
+  | Ok (ctx, trace) -> Ok (report_of_ctx ctx, trace)
+  | Error (ds, _trace) -> Error ds
+
+let run ?device ?fuse ?simulate ?validate ?sim_config ?inputs program =
+  match run_result ?device ?fuse ?simulate ?validate ?sim_config ?inputs program with
+  | Ok (report, _trace) -> report
+  | Error ds -> invalid_arg (String.concat "; " (List.map Diag.to_string ds))
 
 let codegen ?partition program = Opencl.generate ?partition program
+let codegen_exn ?partition program = Opencl.generate_exn ?partition program
 
 let pp_report fmt r =
   Format.fprintf fmt "program %s: %d stencil(s) over %d device(s)@." r.program.Program.name
@@ -103,16 +106,21 @@ let pp_report fmt r =
       Format.fprintf fmt "  fusion: %d -> %d stencils@." f.Fusion.stencils_before
         f.Fusion.stencils_after
   | Some _ | None -> ());
-  Format.fprintf fmt "  latency L = %d cycles, expected C = L + N = %d cycles@."
+  let w = r.program.Program.vector_width in
+  Format.fprintf fmt "  latency L = %d cycles, expected C = %s = %d cycles@."
     r.analysis.Delay_buffer.latency_cycles
-    (r.analysis.Delay_buffer.latency_cycles
-    + (Program.cells r.program / r.program.Program.vector_width));
+    (if w > 1 then "L + N/W" else "L + N")
+    (r.analysis.Delay_buffer.latency_cycles + (Program.cells r.program / w));
   Format.fprintf fmt "  modelled performance: %s@."
     (Util.human_rate r.performance_model);
-  match r.simulation with
+  (match r.simulation with
   | None -> ()
   | Some (Error m) -> Format.fprintf fmt "  simulation FAILED: %s@." m
   | Some (Ok stats) ->
       Format.fprintf fmt "  simulated %d cycles (model: %d), %d B read, %d B written@."
         stats.Engine.cycles stats.Engine.predicted_cycles stats.Engine.bytes_read
-        stats.Engine.bytes_written
+        stats.Engine.bytes_written);
+  List.iter
+    (fun d ->
+      if not (Diag.is_error d) then Format.fprintf fmt "  %s@." (Diag.to_string d))
+    r.diagnostics

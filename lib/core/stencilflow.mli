@@ -67,13 +67,24 @@ module Iterative = Sf_kernels.Iterative
 module Hdiff = Sf_kernels.Hdiff
 module Swe = Sf_kernels.Swe
 module Wave = Sf_kernels.Wave
+module Diag = Sf_support.Diag
+module Ctx = Sf_toolchain.Ctx
+module Pass_manager = Sf_toolchain.Pass_manager
+module Passes = Sf_toolchain.Passes
 
 (** {1 End-to-end driver (Sec. VII)} *)
 
-val load_file : string -> Program.t
-(** Parse and validate a JSON program description. *)
+val load_file : string -> (Program.t, Diag.t list) result
+(** Parse and validate a JSON program description. Failures are located,
+    coded diagnostics (see {!Diag} and docs/PIPELINE.md). *)
 
-val load_string : string -> Program.t
+val load_string : string -> (Program.t, Diag.t list) result
+
+val load_file_exn : string -> Program.t
+(** {!load_file}, raising [Program_json.Format_error] — the historical
+    behaviour. *)
+
+val load_string_exn : string -> Program.t
 
 type report = {
   program : Program.t;  (** After optimization. *)
@@ -82,7 +93,34 @@ type report = {
   partition : Partition.t;
   simulation : (Engine.stats, string) result option;
   performance_model : float;  (** Modelled ops/s at the device clock. *)
+  diagnostics : Diag.t list;
+      (** Warnings (e.g. the [SF0503] single-device fallback) and
+          non-fatal errors (simulation failures) from the pipeline. *)
 }
+
+val report_of_ctx : Ctx.t -> report
+(** Assemble a report from a pass-manager context; raises
+    [Invalid_argument] when the pipeline has not produced the program,
+    analysis, partition and performance-model artifacts. *)
+
+val run_result :
+  ?device:Device.t ->
+  ?fuse:bool ->
+  ?simulate:bool ->
+  ?validate:bool ->
+  ?sim_config:Engine.config ->
+  ?inputs:(string * Tensor.t) list ->
+  ?hooks:Pass_manager.hooks ->
+  Program.t ->
+  (report * Pass_manager.trace, Diag.t list) result
+(** The transparent pipeline of Sec. VII, executed through the
+    instrumented {!Pass_manager}: dependency analysis, buffering
+    analysis, domain-specific optimization ([fuse], default true),
+    multi-device partitioning under the device resource model, optional
+    simulation ([simulate], default true) with validation against the
+    sequential reference ([validate], default true). The trace carries
+    per-pass wall-clock timings and artifact counters; [hooks] can
+    observe passes or dump intermediate artifacts. *)
 
 val run :
   ?device:Device.t ->
@@ -93,11 +131,15 @@ val run :
   ?inputs:(string * Tensor.t) list ->
   Program.t ->
   report
-(** The transparent pipeline of Sec. VII: dependency analysis, buffering
-    analysis, domain-specific optimization ([fuse], default true),
-    multi-device partitioning under the device resource model, optional
-    simulation ([simulate], default true) with validation against the
-    sequential reference ([validate], default true). *)
+(** {!run_result}, raising [Invalid_argument] on pipeline failure — the
+    historical behaviour. Simulation failures do not raise; they are
+    reported in {!report.simulation} and {!report.diagnostics}. *)
 
-val codegen : ?partition:Partition.t -> Program.t -> Opencl.artifact list
+val codegen :
+  ?partition:Partition.t -> Program.t -> (Opencl.artifact list, Diag.t list) result
+
+val codegen_exn : ?partition:Partition.t -> Program.t -> Opencl.artifact list
+
 val pp_report : Format.formatter -> report -> unit
+(** Human-readable summary; the expected-cycle label reads [C = L + N/W]
+    when the program is vectorized ([W > 1]). Warnings are appended. *)

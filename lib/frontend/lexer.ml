@@ -29,15 +29,22 @@ type spanned = { token : token; line : int; col : int }
 
 exception Lex_error of string
 
+module Diag = Sf_support.Diag
+
+(* Internal: carries the located diagnostic to the [tokenize] boundary. *)
+exception Located of Diag.t
+
 let is_digit c = c >= '0' && c <= '9'
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || is_digit c
 
-let tokenize src =
+let tokenize_located src =
   let n = String.length src in
   let tokens = ref [] in
   let pos = ref 0 and line = ref 1 and col = ref 1 in
-  let fail msg = raise (Lex_error (Printf.sprintf "line %d, column %d: %s" !line !col msg)) in
+  let fail msg =
+    raise (Located (Diag.error ~span:(Diag.span ~line:!line ~col:!col ()) ~code:Diag.Code.lex msg))
+  in
   let emit token = tokens := { token; line = !line; col = !col } :: !tokens in
   let advance () =
     if !pos < n && src.[!pos] = '\n' then begin
@@ -137,6 +144,18 @@ let tokenize src =
   done;
   tokens := { token = Eof; line = !line; col = !col } :: !tokens;
   List.rev !tokens
+
+let tokenize src =
+  match tokenize_located src with ts -> Ok ts | exception Located d -> Error d
+
+let diag_message d =
+  match d.Diag.span with
+  | Some s when s.Diag.line > 0 ->
+      Printf.sprintf "line %d, column %d: %s" s.Diag.line s.Diag.col d.Diag.message
+  | Some _ | None -> d.Diag.message
+
+let tokenize_exn src =
+  match tokenize src with Ok ts -> ts | Error d -> raise (Lex_error (diag_message d))
 
 let token_to_string = function
   | Number f -> Printf.sprintf "number %g" f

@@ -1,13 +1,23 @@
 open Sf_ir
+module Diag = Sf_support.Diag
 
 exception Syntax_error of string
+
+(* Internal: carries the located diagnostic to the public boundary. *)
+exception Located of Diag.t
 
 type state = { mutable tokens : Lexer.spanned list }
 
 let peek st = match st.tokens with [] -> assert false | t :: _ -> t
 
 let fail_at (spanned : Lexer.spanned) msg =
-  raise (Syntax_error (Printf.sprintf "line %d, column %d: %s" spanned.line spanned.col msg))
+  raise
+    (Located
+       (Diag.error
+          ~span:(Diag.span ~line:spanned.Lexer.line ~col:spanned.Lexer.col ())
+          ~code:Diag.Code.syntax msg))
+
+let fail_unlocated msg = raise (Located (Diag.error ~code:Diag.Code.syntax msg))
 
 let advance st = match st.tokens with [] -> assert false | _ :: rest -> st.tokens <- rest
 
@@ -154,14 +164,32 @@ and parse_primary st =
   | tok -> fail_at t (Printf.sprintf "unexpected %s" (Lexer.token_to_string tok))
 
 let with_state src f =
-  let st = { tokens = Lexer.tokenize src } in
+  let tokens = match Lexer.tokenize src with Ok ts -> ts | Error d -> raise (Located d) in
+  let st = { tokens } in
   let result = f st in
   (match (peek st).token with
   | Lexer.Eof -> ()
   | tok -> fail_at (peek st) (Printf.sprintf "trailing %s" (Lexer.token_to_string tok)));
   result
 
-let parse_expr src = with_state src parse_ternary
+let located f = match f () with v -> Ok v | exception Located d -> Error d
+
+(* Historical exception behaviour: lexical diagnostics raise [Lex_error],
+   everything else [Syntax_error], both with the position in the message. *)
+let raise_diag d =
+  let msg =
+    match d.Diag.span with
+    | Some s when s.Diag.line > 0 ->
+        Printf.sprintf "line %d, column %d: %s" s.Diag.line s.Diag.col d.Diag.message
+    | Some _ | None -> d.Diag.message
+  in
+  if String.equal d.Diag.code Diag.Code.lex then raise (Lexer.Lex_error msg)
+  else raise (Syntax_error msg)
+
+let run_exn f = match located f with Ok v -> v | Error d -> raise_diag d
+
+let parse_expr src = located (fun () -> with_state src parse_ternary)
+let parse_expr_exn src = run_exn (fun () -> with_state src parse_ternary)
 
 let parse_assignments_state st =
   let rec stmts acc =
@@ -183,30 +211,33 @@ let parse_assignments_state st =
   in
   stmts []
 
-let parse_assignments src = with_state src parse_assignments_state
+let parse_assignments src = located (fun () -> with_state src parse_assignments_state)
+let parse_assignments_exn src = run_exn (fun () -> with_state src parse_assignments_state)
 
-let parse_body ~output src =
+let parse_body_located ~output src =
   (* Heuristic: code containing an assignment at the start is a statement
      list; otherwise it is a bare result expression. *)
-  let tokens = Lexer.tokenize src in
+  let tokens = match Lexer.tokenize src with Ok ts -> ts | Error d -> raise (Located d) in
   let is_statement_form =
     match tokens with
-    | { token = Lexer.Ident _; _ } :: { token = Lexer.Assign; _ } :: _ -> true
+    | { Lexer.token = Lexer.Ident _; _ } :: { Lexer.token = Lexer.Assign; _ } :: _ -> true
     | _ -> false
   in
-  if not is_statement_form then { Expr.lets = []; result = parse_expr src }
+  if not is_statement_form then { Expr.lets = []; result = with_state src parse_ternary }
   else begin
-    let stmts = parse_assignments src in
+    let stmts = with_state src parse_assignments_state in
     match List.rev stmts with
-    | [] -> raise (Syntax_error "empty stencil body")
+    | [] -> fail_unlocated "empty stencil body"
     | (last_name, result) :: rev_lets when String.equal last_name output ->
         { Expr.lets = List.rev rev_lets; result }
     | (last_name, _) :: _ ->
-        raise
-          (Syntax_error
-             (Printf.sprintf "final statement must assign the stencil output %s, found %s"
-                output last_name))
+        fail_unlocated
+          (Printf.sprintf "final statement must assign the stencil output %s, found %s" output
+             last_name)
   end
+
+let parse_body ~output src = located (fun () -> parse_body_located ~output src)
+let parse_body_exn ~output src = run_exn (fun () -> parse_body_located ~output src)
 
 let resolve_idents ~scalar expr =
   let rec go expr =

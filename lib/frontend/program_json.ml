@@ -1,9 +1,14 @@
 module Json = Sf_support.Json
+module Diag = Sf_support.Diag
 open Sf_ir
 
 exception Format_error of string
 
-let fail fmt = Printf.ksprintf (fun m -> raise (Format_error m)) fmt
+(* Internal: carries the structured diagnostic to the public boundary. *)
+exception Fail of Diag.t
+
+let fail fmt =
+  Printf.ksprintf (fun m -> raise (Fail (Diag.error ~code:Diag.Code.format m))) fmt
 
 let decode_dtype json =
   let name = Json.get_string json in
@@ -44,9 +49,12 @@ let decode_stencil ~scalar (name, spec) =
         | None -> fail "stencil %s: missing code" name)
   in
   let body =
-    try Parser.parse_body ~output:name code with
-    | Parser.Syntax_error m -> fail "stencil %s: %s" name m
-    | Lexer.Lex_error m -> fail "stencil %s: %s" name m
+    match Parser.parse_body ~output:name code with
+    | Ok b -> b
+    | Error d ->
+        (* Keep the DSL diagnostic's own code and span; record which
+           stencil's code it came from. *)
+        raise (Fail (Diag.add_note (Printf.sprintf "in the code of stencil %s" name) d))
   in
   let body = Parser.resolve_body ~scalar body in
   let boundary =
@@ -59,7 +67,7 @@ let decode_stencil ~scalar (name, spec) =
   in
   Stencil.make ~boundary ~shrink ~name body
 
-let of_json json =
+let decode json =
   let name =
     match Json.member "name" json with Some n -> Json.get_string n | None -> "unnamed"
   in
@@ -93,12 +101,54 @@ let of_json json =
     | Some o -> List.map Json.get_string (Json.get_list o)
     | None -> fail "missing outputs"
   in
-  let program = Program.make ~dtype ~vector_width ~name ~shape ~inputs ~outputs stencils in
-  Program.validate_exn program;
-  program
+  Program.make ~dtype ~vector_width ~name ~shape ~inputs ~outputs stencils
 
-let of_string s = of_json (Json.of_string s)
-let of_file path = of_json (Json.of_file path)
+let locate file d = match file with Some f -> Diag.with_file f d | None -> d
+
+let of_json ?file json =
+  match decode json with
+  | program -> (
+      match Program.validate program with
+      | Ok () -> Ok program
+      | Error msgs ->
+          Error (List.map (fun m -> locate file (Diag.error ~code:Diag.Code.validation m)) msgs))
+  | exception Fail d -> Error [ locate file d ]
+  | exception Json.Type_error m ->
+      Error [ locate file (Diag.error ~code:Diag.Code.json_type m) ]
+  | exception Invalid_argument m ->
+      Error [ locate file (Diag.error ~code:Diag.Code.format m) ]
+
+let json_error ?file (e : Json.error) =
+  if e.Json.line = 0 then Error [ locate file (Diag.error ~code:Diag.Code.io e.Json.reason) ]
+  else
+    Error
+      [
+        locate file
+          (Diag.error
+             ~span:(Diag.span ~line:e.Json.line ~col:e.Json.col ())
+             ~code:Diag.Code.json_parse e.Json.reason);
+      ]
+
+let of_string ?file s =
+  match Json.parse s with Ok j -> of_json ?file j | Error e -> json_error ?file e
+
+let of_file path =
+  match Json.parse_file path with
+  | Ok j -> of_json ~file:path j
+  | Error e -> json_error ~file:path e
+
+let first_message = function
+  | d :: _ -> Diag.to_string d
+  | [] -> "unknown program format error"
+
+let of_json_exn json =
+  match of_json json with Ok p -> p | Error ds -> raise (Format_error (first_message ds))
+
+let of_string_exn s =
+  match of_string s with Ok p -> p | Error ds -> raise (Format_error (first_message ds))
+
+let of_file_exn path =
+  match of_file path with Ok p -> p | Error ds -> raise (Format_error (first_message ds))
 
 let encode_field f =
   let members = [ ("dtype", Json.String (Dtype.name f.Field.dtype)) ] in

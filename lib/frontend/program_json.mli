@@ -28,12 +28,25 @@
 
 exception Format_error of string
 
-val of_json : Sf_support.Json.t -> Sf_ir.Program.t
-(** Decode and validate. Raises {!Format_error} (or passes through
-    [Invalid_argument] from validation) on malformed documents. *)
+val of_json :
+  ?file:string -> Sf_support.Json.t -> (Sf_ir.Program.t, Sf_support.Diag.t list) result
+(** Decode and validate. Failures are structured diagnostics: decode
+    problems carry code [SF0203] (or the DSL code [SF0101]/[SF0102] with
+    its span for stencil-code errors), JSON type mismatches [SF0202],
+    and validation failures one [SF0301] diagnostic per problem. When
+    [file] is given it is attached to every diagnostic's span. *)
 
-val of_string : string -> Sf_ir.Program.t
-val of_file : string -> Sf_ir.Program.t
+val of_string : ?file:string -> string -> (Sf_ir.Program.t, Sf_support.Diag.t list) result
+(** {!of_json} after parsing; malformed JSON yields a located [SF0201]. *)
+
+val of_file : string -> (Sf_ir.Program.t, Sf_support.Diag.t list) result
+(** {!of_string} on a file's contents; I/O failures yield [SF0204]. *)
+
+val of_json_exn : Sf_support.Json.t -> Sf_ir.Program.t
+(** Raises {!Format_error} with the first diagnostic's rendering. *)
+
+val of_string_exn : string -> Sf_ir.Program.t
+val of_file_exn : string -> Sf_ir.Program.t
 
 val to_json : Sf_ir.Program.t -> Sf_support.Json.t
 (** Encode; decoding the result yields an equivalent program. *)

@@ -79,7 +79,7 @@ let greedy ?(ceiling = 0.85) ?(max_devices = 8) ~device (p : Program.t) =
     device_usages := !current :: !device_usages;
     let device_of = List.rev !assignments in
     Ok (derive_metadata p device_of (!current_id + 1) (List.rev !device_usages))
-  with Unsplittable m -> Error m
+  with Unsplittable m -> Error (Sf_support.Diag.error ~code:Sf_support.Diag.Code.partition m)
 
 let placement_fn t name = device_lookup t name
 
@@ -186,7 +186,10 @@ let balanced ?(ceiling = 0.85) ?(max_devices = 8) ~device (p : Program.t) =
     if dp.(n).(d) <= ceiling then Some (dp.(n).(d), cut) else None
   in
   let rec first_feasible d =
-    if d > max_devices then Error (Printf.sprintf "program needs more than %d devices" max_devices)
+    if d > max_devices then
+      Error
+        (Sf_support.Diag.errorf ~code:Sf_support.Diag.Code.partition
+           "program needs more than %d devices" max_devices)
     else match feasible d with Some (cost, cut) -> Ok (d, cost, cut) | None -> first_feasible (d + 1)
   in
   match first_feasible 1 with

@@ -22,12 +22,12 @@ val greedy :
   ?max_devices:int ->
   device:Sf_models.Device.t ->
   Sf_ir.Program.t ->
-  (t, string) result
+  (t, Sf_support.Diag.t) result
 (** Topological greedy bin packing: fill the current device until the
     next stencil unit no longer fits, then start the next one. Inputs are
-    replicated wherever consumed. Fails when one stencil alone exceeds a
-    device or more than [max_devices] (default 8, the testbed size) are
-    needed. *)
+    replicated wherever consumed. Fails (diagnostic code [SF0501]) when
+    one stencil alone exceeds a device or more than [max_devices]
+    (default 8, the testbed size) are needed. *)
 
 val single_device : Sf_ir.Program.t -> t
 (** Everything on device 0 (no resource check). *)
@@ -58,7 +58,7 @@ val balanced :
   ?max_devices:int ->
   device:Sf_models.Device.t ->
   Sf_ir.Program.t ->
-  (t, string) result
+  (t, Sf_support.Diag.t) result
 (** Like {!greedy}, but balances load: among contiguous topological
     splits into the minimum feasible number of devices, choose the one
     minimizing the worst per-device utilization (dynamic programming).

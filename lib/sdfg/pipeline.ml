@@ -101,44 +101,85 @@ let probes_match before after =
     Some !equal
   end
 
+module Diag = Sf_support.Diag
+
+let validation_diags ~context p =
+  match Program.validate p with
+  | Ok () -> []
+  | Error msgs ->
+      List.map (fun m -> Diag.error ~notes:[ context ] ~code:Diag.Code.validation m) msgs
+
+(* Internal control flow for [run]. *)
+exception Failed of Diag.t list
+
 let run ?(verify = true) ?(max_probe_cells = 65536) passes program =
-  Program.validate_exn program;
-  let entries = ref [] in
-  let final =
-    List.fold_left
-      (fun p pass ->
-        let p' = pass.apply p in
-        Program.validate_exn p';
-        let verified =
-          if
-            verify && pass.preserves_shape
-            && Program.cells p <= max_probe_cells
-          then probes_match p p'
-          else None
-        in
-        (match verified with
-        | Some false ->
-            raise
-              (Verification_failed
-                 (Printf.sprintf "pass %s changed interior results of %s" pass.pass_name
-                    p.Program.name))
-        | Some true | None -> ());
-        entries :=
-          {
-            applied = pass.pass_name;
-            stencils_before = List.length p.Program.stencils;
-            stencils_after = List.length p'.Program.stencils;
-            flops_before = flops_per_cell p;
-            flops_after = flops_per_cell p';
-            latency_before = latency p;
-            latency_after = latency p';
-            verified;
-          }
-          :: !entries;
-        p')
-      program passes
-  in
-  (final, List.rev !entries)
+  match
+    (match validation_diags ~context:"before the optimization pipeline" program with
+    | [] -> ()
+    | ds -> raise (Failed ds));
+    let entries = ref [] in
+    let final =
+      List.fold_left
+        (fun p pass ->
+          let p' =
+            try pass.apply p
+            with
+            | (Invalid_argument m | Failure m) ->
+              raise
+                (Failed
+                   [
+                     Diag.errorf ~code:Diag.Code.transform "pass %s failed: %s" pass.pass_name
+                       m;
+                   ])
+          in
+          (match validation_diags ~context:("after pass " ^ pass.pass_name) p' with
+          | [] -> ()
+          | ds -> raise (Failed ds));
+          let verified =
+            if
+              verify && pass.preserves_shape
+              && Program.cells p <= max_probe_cells
+            then probes_match p p'
+            else None
+          in
+          (match verified with
+          | Some false ->
+              raise
+                (Failed
+                   [
+                     Diag.errorf ~code:Diag.Code.pass_verification
+                       "pass %s changed interior results of %s" pass.pass_name
+                       p.Program.name;
+                   ])
+          | Some true | None -> ());
+          entries :=
+            {
+              applied = pass.pass_name;
+              stencils_before = List.length p.Program.stencils;
+              stencils_after = List.length p'.Program.stencils;
+              flops_before = flops_per_cell p;
+              flops_after = flops_per_cell p';
+              latency_before = latency p;
+              latency_after = latency p';
+              verified;
+            }
+            :: !entries;
+          p')
+        program passes
+    in
+    (final, List.rev !entries)
+  with
+  | result -> Ok result
+  | exception Failed ds -> Error ds
+
+let run_exn ?verify ?max_probe_cells passes program =
+  match run ?verify ?max_probe_cells passes program with
+  | Ok result -> result
+  | Error (d :: _ as ds) ->
+      if String.equal d.Diag.code Diag.Code.pass_verification then
+        raise (Verification_failed d.Diag.message)
+      else invalid_arg (String.concat "; " (List.map Diag.to_string ds))
+  | Error [] -> invalid_arg "optimization pipeline failed"
 
 let default_pipeline = [ fuse (); fold_and_cse () ]
 

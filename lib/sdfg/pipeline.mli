@@ -54,14 +54,22 @@ type entry = {
 }
 
 exception Verification_failed of string
-(** Raised when a verified pass changes interior results. *)
+(** Raised by {!run_exn} when a verified pass changes interior results. *)
 
 val run :
   ?verify:bool -> ?max_probe_cells:int -> pass list -> Sf_ir.Program.t ->
-  Sf_ir.Program.t * entry list
+  (Sf_ir.Program.t * entry list, Sf_support.Diag.t list) result
 (** Apply the passes in order. [verify] (default true) compares interior
     cells on random probe inputs after each shape-preserving pass,
-    skipping programs larger than [max_probe_cells] (default 65536). *)
+    skipping programs larger than [max_probe_cells] (default 65536).
+    Failures are diagnostics: validation problems [SF0301], a pass
+    raising [SF0302], and a verification mismatch [SF0801]. *)
+
+val run_exn :
+  ?verify:bool -> ?max_probe_cells:int -> pass list -> Sf_ir.Program.t ->
+  Sf_ir.Program.t * entry list
+(** {!run}, raising {!Verification_failed} on a probe mismatch and
+    [Invalid_argument] otherwise — the historical behaviour. *)
 
 val default_pipeline : pass list
 (** The paper's experiment configuration: aggressive fusion followed by

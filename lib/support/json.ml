@@ -10,12 +10,17 @@ type t =
 exception Parse_error of string
 exception Type_error of string
 
+type error = { line : int; col : int; reason : string }
+
+(* Internal: carries the structured position to the [parse] boundary;
+   [of_string] re-raises it as the historical [Parse_error]. *)
+exception Located_error of error
+
 (* Parsing state: a cursor over the input string that tracks line and
    column for error messages. *)
 type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
 
-let fail st msg =
-  raise (Parse_error (Printf.sprintf "line %d, column %d: %s" st.line st.col msg))
+let fail st msg = raise (Located_error { line = st.line; col = st.col; reason = msg })
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -226,20 +231,37 @@ and parse_list st =
       in
       elements []
 
-let of_string src =
-  let st = { src; pos = 0; line = 1; col = 1 } in
-  let v = parse_value st in
-  skip_ws st;
-  match peek st with
-  | None -> v
-  | Some c -> fail st (Printf.sprintf "trailing content starting with %c" c)
+let parse src =
+  match
+    let st = { src; pos = 0; line = 1; col = 1 } in
+    let v = parse_value st in
+    skip_ws st;
+    match peek st with
+    | None -> v
+    | Some c -> fail st (Printf.sprintf "trailing content starting with %c" c)
+  with
+  | v -> Ok v
+  | exception Located_error e -> Error e
 
-let of_file path =
+let error_to_string (e : error) =
+  Printf.sprintf "line %d, column %d: %s" e.line e.col e.reason
+
+let of_string src =
+  match parse src with Ok v -> v | Error e -> raise (Parse_error (error_to_string e))
+
+let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  of_string src
+  src
+
+let parse_file path =
+  match read_file path with
+  | src -> parse src
+  | exception Sys_error m -> Error { line = 0; col = 0; reason = m }
+
+let of_file path = of_string (read_file path)
 
 let escape_string s =
   let buf = Buffer.create (String.length s + 2) in

@@ -17,6 +17,18 @@ type t =
 exception Parse_error of string
 (** Raised by {!of_string} with a message containing line and column. *)
 
+type error = { line : int; col : int; reason : string }
+(** A structured parse failure. [line]/[col] are 1-based; both are [0]
+    when the input could not be read at all (I/O failure). *)
+
+val parse : string -> (t, error) result
+(** Parse a JSON document, reporting failures as values. *)
+
+val parse_file : string -> (t, error) result
+(** Like {!parse}; I/O failures map to an [error] with [line = 0]. *)
+
+val error_to_string : error -> string
+
 val of_string : string -> t
 (** Parse a JSON document. Raises {!Parse_error} on malformed input. *)
 

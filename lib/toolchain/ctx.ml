@@ -1,0 +1,155 @@
+module Diag = Sf_support.Diag
+module Program = Sf_ir.Program
+module Stencil = Sf_ir.Stencil
+module Engine = Sf_sim.Engine
+
+type t = {
+  device : Sf_models.Device.t;
+  sim_config : Engine.config;
+  inputs : (string * Sf_reference.Tensor.t) list option;
+  source_file : string option;
+  program : Program.t option;
+  fusion : Sf_sdfg.Fusion.report option;
+  pipeline_entries : Sf_sdfg.Pipeline.entry list;
+  analysis : Sf_analysis.Delay_buffer.t option;
+  partition : Sf_mapping.Partition.t option;
+  kernels : Sf_codegen.Opencl.artifact list;
+  host_source : string option;
+  vitis_source : string option;
+  simulation : (Engine.stats, string) result option;
+  performance_model : float option;
+  diags : Diag.t list;
+}
+
+let create ?(device = Sf_models.Device.stratix10) ?(sim_config = Engine.default_config)
+    ?inputs () =
+  {
+    device;
+    sim_config;
+    inputs;
+    source_file = None;
+    program = None;
+    fusion = None;
+    pipeline_entries = [];
+    analysis = None;
+    partition = None;
+    kernels = [];
+    host_source = None;
+    vitis_source = None;
+    simulation = None;
+    performance_model = None;
+    diags = [];
+  }
+
+(* A new program version invalidates everything derived from the old one;
+   reports about how it was produced (fusion, pipeline entries) stay. *)
+let with_program ctx p =
+  {
+    ctx with
+    program = Some p;
+    analysis = None;
+    partition = None;
+    kernels = [];
+    host_source = None;
+    vitis_source = None;
+    simulation = None;
+    performance_model = None;
+  }
+
+let the_program ctx =
+  match ctx.program with
+  | Some p -> Ok p
+  | None ->
+      Error
+        [
+          Diag.error ~code:Diag.Code.internal
+            "no program loaded: a frontend pass must run first";
+        ]
+
+let add_diag ctx d =
+  let same (d' : Diag.t) =
+    d'.Diag.severity = d.Diag.severity
+    && String.equal d'.Diag.code d.Diag.code
+    && String.equal d'.Diag.message d.Diag.message
+  in
+  if List.exists same ctx.diags then ctx else { ctx with diags = ctx.diags @ [ d ] }
+
+let code_bytes ctx =
+  List.fold_left (fun acc (a : Sf_codegen.Opencl.artifact) -> acc + String.length a.source)
+    0 ctx.kernels
+  + (match ctx.host_source with Some s -> String.length s | None -> 0)
+  + match ctx.vitis_source with Some s -> String.length s | None -> 0
+
+let counters ctx =
+  let program_counters =
+    match ctx.program with
+    | None -> []
+    | Some p ->
+        let edges =
+          List.fold_left
+            (fun acc s -> acc + List.length (Stencil.input_fields s))
+            0 p.Program.stencils
+        in
+        [ ("stencils", List.length p.Program.stencils); ("edges", edges) ]
+  in
+  program_counters
+  @ (match ctx.analysis with
+    | None -> []
+    | Some a -> [ ("delay-words", Sf_analysis.Delay_buffer.total_delay_buffer_words a) ])
+  @ (match ctx.partition with
+    | None -> []
+    | Some pt -> [ ("devices", pt.Sf_mapping.Partition.num_devices) ])
+  @ match code_bytes ctx with 0 -> [] | n -> [ ("code-bytes", n) ]
+
+let fmt_to_string pp v =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  pp fmt v;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let artifact_files ctx =
+  let file name content = Some (name, content) in
+  List.filter_map
+    (fun x -> x)
+    [
+      (match ctx.program with
+      | Some p -> file "program.json" (Sf_frontend.Program_json.to_string p)
+      | None -> None);
+      (match ctx.fusion with
+      | Some (r : Sf_sdfg.Fusion.report) ->
+          file "fusion.txt"
+            (Printf.sprintf "stencils %d -> %d\n%s" r.stencils_before r.stencils_after
+               (String.concat ""
+                  (List.map
+                     (fun (u, v) -> Printf.sprintf "fused %s into %s\n" u v)
+                     r.fused_pairs)))
+      | None -> None);
+      (match ctx.pipeline_entries with
+      | [] -> None
+      | entries ->
+          file "pipeline.txt"
+            (String.concat ""
+               (List.map
+                  (fun e -> fmt_to_string Sf_sdfg.Pipeline.pp_entry e ^ "\n")
+                  entries)));
+      (match ctx.analysis with
+      | Some a -> file "analysis.txt" (fmt_to_string Sf_analysis.Delay_buffer.pp a)
+      | None -> None);
+      (match ctx.partition with
+      | Some pt -> file "partition.txt" (fmt_to_string Sf_mapping.Partition.pp pt)
+      | None -> None);
+      (match ctx.simulation with
+      | Some (Ok (s : Engine.stats)) ->
+          file "simulation.txt"
+            (Printf.sprintf
+               "cycles %d (predicted %d)\nbytes read %d, written %d, network %d\n" s.cycles
+               s.predicted_cycles s.bytes_read s.bytes_written s.network_bytes)
+      | Some (Error m) -> file "simulation.txt" (Printf.sprintf "FAILED: %s\n" m)
+      | None -> None);
+      (match ctx.host_source with Some s -> file "host.c" s | None -> None);
+      (match ctx.vitis_source with Some s -> file "vitis.cpp" s | None -> None);
+    ]
+  @ List.map
+      (fun (a : Sf_codegen.Opencl.artifact) -> (a.filename, a.source))
+      ctx.kernels

@@ -1,0 +1,61 @@
+(** The typed artifact store threaded through {!Pass_manager} passes.
+
+    Each pipeline stage reads the artifacts it needs and records the ones
+    it produces: the frontend fills {!t.program}, transformations replace
+    it (recording fusion/pipeline reports), analyses fill {!t.analysis},
+    mapping fills {!t.partition}, and backends fill the generated-code
+    slots. Warnings accumulate in {!t.diags} (deduplicated); hard errors
+    are returned by the pass itself and abort the pipeline. *)
+
+type t = {
+  device : Sf_models.Device.t;  (** Resource/frequency model for mapping. *)
+  sim_config : Sf_sim.Engine.config;
+  inputs : (string * Sf_reference.Tensor.t) list option;
+      (** Simulation inputs (default: random). *)
+  source_file : string option;  (** Where {!t.program} was loaded from. *)
+  program : Sf_ir.Program.t option;
+  fusion : Sf_sdfg.Fusion.report option;
+  pipeline_entries : Sf_sdfg.Pipeline.entry list;
+      (** Per-pass records from an embedded {!Sf_sdfg.Pipeline} run. *)
+  analysis : Sf_analysis.Delay_buffer.t option;
+  partition : Sf_mapping.Partition.t option;
+  kernels : Sf_codegen.Opencl.artifact list;
+  host_source : string option;
+  vitis_source : string option;
+  simulation : (Sf_sim.Engine.stats, string) result option;
+  performance_model : float option;  (** Modelled ops/s at the device clock. *)
+  diags : Sf_support.Diag.t list;
+      (** Accumulated non-fatal diagnostics, oldest first. *)
+}
+
+val create :
+  ?device:Sf_models.Device.t ->
+  ?sim_config:Sf_sim.Engine.config ->
+  ?inputs:(string * Sf_reference.Tensor.t) list ->
+  unit ->
+  t
+(** An empty context (default device: Stratix 10). *)
+
+val with_program : t -> Sf_ir.Program.t -> t
+(** Install a (new version of the) program, invalidating the artifacts
+    derived from the previous version (analysis, partition, generated
+    code, simulation). *)
+
+val the_program : t -> (Sf_ir.Program.t, Sf_support.Diag.t list) result
+(** The current program, or an [SF0901] diagnostic when no frontend pass
+    has run yet. *)
+
+val add_diag : t -> Sf_support.Diag.t -> t
+(** Append a diagnostic unless an identical one (severity, code, message)
+    is already recorded. *)
+
+val counters : t -> (string * int) list
+(** Artifact-size counters for the artifacts present: [stencils] and
+    [edges] of the program, [delay-words] of the analysis, [devices] of
+    the partition, [code-bytes] of all generated sources. Used by
+    {!Pass_manager} to report what each pass changed. *)
+
+val artifact_files : t -> (string * string) list
+(** The current artifacts as [(filename, contents)] pairs — the program
+    as JSON, textual renderings of reports/analysis/partition/simulation,
+    and the generated sources verbatim. Used by the [--dump-ir] hook. *)

@@ -1,0 +1,149 @@
+module Diag = Sf_support.Diag
+module Program = Sf_ir.Program
+module Partition = Sf_mapping.Partition
+module Resource = Sf_models.Resource
+
+type kind = Frontend | Transform | Analysis | Mapping | Codegen | Simulation | Other
+
+let kind_to_string = function
+  | Frontend -> "frontend"
+  | Transform -> "transform"
+  | Analysis -> "analysis"
+  | Mapping -> "mapping"
+  | Codegen -> "codegen"
+  | Simulation -> "simulation"
+  | Other -> "other"
+
+type pass = {
+  name : string;
+  description : string;
+  kind : kind;
+  run : Ctx.t -> (Ctx.t, Diag.t list) result;
+}
+
+type timing = {
+  pass : string;
+  kind : kind;
+  seconds : float;
+  counters_before : (string * int) list;
+  counters_after : (string * int) list;
+  ok : bool;
+}
+
+type trace = timing list
+
+type hooks = {
+  on_pass : (timing -> unit) option;
+  dump : (index:int -> pass:string -> Ctx.t -> unit) option;
+}
+
+let no_hooks = { on_pass = None; dump = None }
+
+(* Post-pass invariants over whatever artifacts the context holds.
+   Returns hard errors (abort) and warnings (dedupe into ctx.diags). *)
+let invariant_diags (ctx : Ctx.t) =
+  let errors = ref [] and warnings = ref [] in
+  let error d = errors := d :: !errors in
+  let warning d = warnings := d :: !warnings in
+  (match ctx.Ctx.program with
+  | None -> ()
+  | Some p -> (
+      match Program.validate p with
+      | Ok () -> ()
+      | Error msgs ->
+          List.iter (fun m -> error (Diag.error ~code:Diag.Code.validation m)) msgs));
+  (match ctx.Ctx.analysis with
+  | None -> ()
+  | Some a ->
+      List.iter
+        (fun ((src, dst), depth) ->
+          if depth < 0 then
+            error
+              (Diag.errorf ~code:Diag.Code.analysis_invariant
+                 "delay buffer %s -> %s has negative depth %d" src dst depth))
+        a.Sf_analysis.Delay_buffer.edges);
+  (match (ctx.Ctx.program, ctx.Ctx.partition) with
+  | Some p, Some pt -> (
+      (match Partition.validate p pt with
+      | Ok () -> ()
+      | Error msgs ->
+          List.iter
+            (fun m -> error (Diag.error ~code:Diag.Code.partition_invariant m))
+            msgs);
+      List.iteri
+        (fun d usage ->
+          if not (Resource.fits ctx.Ctx.device usage) then
+            warning
+              (Diag.warningf ~code:Diag.Code.partition_invariant
+                 "device %d of the partition exceeds the %s resource budget" d
+                 ctx.Ctx.device.Sf_models.Device.name))
+        pt.Partition.per_device_usage)
+  | _ -> ());
+  (List.rev !errors, List.rev !warnings)
+
+let run ?(hooks = no_hooks) passes ctx =
+  let trace = ref [] in
+  let record t =
+    trace := t :: !trace;
+    match hooks.on_pass with Some f -> f t | None -> ()
+  in
+  let rec go index ctx = function
+    | [] -> Ok (ctx, List.rev !trace)
+    | pass :: rest -> (
+        let counters_before = Ctx.counters ctx in
+        let t0 = Unix.gettimeofday () in
+        let result =
+          try pass.run ctx
+          with exn ->
+            Error
+              [
+                Diag.errorf ~code:Diag.Code.internal "pass %s raised: %s" pass.name
+                  (Printexc.to_string exn);
+              ]
+        in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let entry ok counters_after =
+          { pass = pass.name; kind = pass.kind; seconds; counters_before; counters_after; ok }
+        in
+        match result with
+        | Error ds ->
+            record (entry false counters_before);
+            Error (ds, List.rev !trace)
+        | Ok ctx' -> (
+            let errors, warnings = invariant_diags ctx' in
+            let ctx' = List.fold_left Ctx.add_diag ctx' warnings in
+            record (entry (errors = []) (Ctx.counters ctx'));
+            match errors with
+            | _ :: _ -> Error (errors, List.rev !trace)
+            | [] ->
+                (match hooks.dump with
+                | Some f -> f ~index ~pass:pass.name ctx'
+                | None -> ());
+                go (index + 1) ctx' rest))
+  in
+  go 0 ctx passes
+
+let pp_counters fmt (before, after) =
+  List.iter
+    (fun (key, v) ->
+      match List.assoc_opt key before with
+      | Some v0 when v0 <> v -> Format.fprintf fmt " %s=%d->%d" key v0 v
+      | Some _ | None -> Format.fprintf fmt " %s=%d" key v)
+    after
+
+let pp_trace fmt (trace : trace) =
+  Format.fprintf fmt "pass trace (%d pass(es)):@." (List.length trace);
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "  %-18s %-10s %8.2f ms %s%a@." t.pass (kind_to_string t.kind)
+        (t.seconds *. 1000.)
+        (if t.ok then "" else "[FAILED]")
+        pp_counters
+        (t.counters_before, t.counters_after))
+    trace
+
+let time ~label f =
+  ignore label;
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)

@@ -1,0 +1,62 @@
+(** Instrumented execution of a declared pass list.
+
+    {!run} applies passes over a {!Ctx.t} in order, recording per-pass
+    wall-clock time and artifact-size counters, invoking dump hooks
+    between passes (the [--dump-ir] mechanism), and checking artifact
+    invariants after every pass: the program still validates ([SF0301]),
+    every analysed delay buffer has non-negative depth ([SF0401]), and
+    the partition is structurally sound ([SF0502]) and fits the device
+    (a deduplicated warning when it does not — the single-device
+    fallback intentionally overflows). A pass returning [Error] (or an
+    invariant error) aborts the pipeline; the timings of all executed
+    passes, including the failing one, are still reported. *)
+
+type kind = Frontend | Transform | Analysis | Mapping | Codegen | Simulation | Other
+
+val kind_to_string : kind -> string
+
+type pass = {
+  name : string;
+  description : string;
+  kind : kind;
+  run : Ctx.t -> (Ctx.t, Sf_support.Diag.t list) result;
+}
+
+type timing = {
+  pass : string;
+  kind : kind;
+  seconds : float;
+  counters_before : (string * int) list;
+  counters_after : (string * int) list;
+  ok : bool;  (** False for the pass that aborted the pipeline. *)
+}
+
+type trace = timing list
+(** One entry per executed pass, in execution order. *)
+
+type hooks = {
+  on_pass : (timing -> unit) option;
+      (** Called after each pass completes (successfully or not). *)
+  dump : (index:int -> pass:string -> Ctx.t -> unit) option;
+      (** Called with the post-pass context after each successful pass;
+          see {!Passes.dump_hook}. *)
+}
+
+val no_hooks : hooks
+
+val run :
+  ?hooks:hooks -> pass list -> Ctx.t -> (Ctx.t * trace, Sf_support.Diag.t list * trace) result
+(** Run the passes in order. [Ok] carries the final context (whose
+    [diags] field holds accumulated warnings) and the trace; [Error]
+    carries the diagnostics of the failing pass or invariant and the
+    trace up to and including it. A pass raising an exception becomes an
+    [SF0901] diagnostic rather than escaping. *)
+
+val pp_trace : Format.formatter -> trace -> unit
+(** The [--trace-passes] rendering: one line per pass with its kind,
+    wall-clock time and the artifact counters it changed. *)
+
+val time : label:string -> (unit -> 'a) -> 'a * float
+(** [time ~label f] runs [f ()] and returns its result with the elapsed
+    wall-clock seconds — the shared timing primitive for benchmark
+    sections ([label] is not printed, only carried for callers). *)

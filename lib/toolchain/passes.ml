@@ -1,0 +1,264 @@
+module Diag = Sf_support.Diag
+module Program = Sf_ir.Program
+module Engine = Sf_sim.Engine
+module Partition = Sf_mapping.Partition
+
+open Pass_manager
+
+let ( let* ) r f = match r with Ok v -> f v | Error ds -> Error ds
+
+(* Map the ad-hoc exceptions legacy transforms still raise. *)
+let transform_guard name f =
+  try f ()
+  with Invalid_argument m | Failure m ->
+    Error [ Diag.errorf ~code:Diag.Code.transform "pass %s failed: %s" name m ]
+
+let install ?file ctx p = Ok { (Ctx.with_program ctx p) with Ctx.source_file = file }
+
+let load_file path =
+  {
+    name = "load-file";
+    description = "parse and validate a JSON program description from " ^ path;
+    kind = Frontend;
+    run =
+      (fun ctx ->
+        let* p = Sf_frontend.Program_json.of_file path in
+        install ~file:path ctx p);
+  }
+
+let load_string ?file source =
+  {
+    name = "load-string";
+    description = "parse and validate an in-memory JSON program description";
+    kind = Frontend;
+    run =
+      (fun ctx ->
+        let* p = Sf_frontend.Program_json.of_string ?file source in
+        install ?file ctx p);
+  }
+
+let use_program p =
+  {
+    name = "use-program";
+    description = "install an already-constructed program";
+    kind = Frontend;
+    run =
+      (fun ctx ->
+        match Program.validate p with
+        | Ok () -> install ctx p
+        | Error msgs ->
+            Error (List.map (Diag.error ~code:Diag.Code.validation) msgs));
+  }
+
+let fuse ?max_body_size () =
+  {
+    name = "stencil-fusion";
+    description = "aggressively fuse producer/consumer stencils (Sec. V-B)";
+    kind = Transform;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        transform_guard "stencil-fusion" @@ fun () ->
+        let p', report = Sf_sdfg.Fusion.fuse_all ?max_body_size p in
+        Ok { (Ctx.with_program ctx p') with Ctx.fusion = Some report });
+  }
+
+let optimize ?min_size () =
+  {
+    name = "fold-cse";
+    description = "constant folding and common subexpression elimination";
+    kind = Transform;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        transform_guard "fold-cse" @@ fun () ->
+        Ok (Ctx.with_program ctx (Sf_sdfg.Opt.optimize ?min_size p)));
+  }
+
+let vectorize w =
+  {
+    name = Printf.sprintf "vectorize-%d" w;
+    description = "set the vectorization width (Sec. IV-C)";
+    kind = Transform;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        transform_guard "vectorize" @@ fun () ->
+        Ok (Ctx.with_program ctx (Sf_analysis.Vectorize.apply p w)));
+  }
+
+let sdfg_pipeline ?verify ?max_probe_cells passes =
+  {
+    name = "sdfg-pipeline";
+    description = "verified graph-rewriting pipeline (Sec. V)";
+    kind = Transform;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        let* p', entries = Sf_sdfg.Pipeline.run ?verify ?max_probe_cells passes p in
+        Ok
+          {
+            (Ctx.with_program ctx p') with
+            Ctx.pipeline_entries = ctx.Ctx.pipeline_entries @ entries;
+          });
+  }
+
+let delay_buffers =
+  {
+    name = "delay-buffers";
+    description = "size inter-stencil delay buffers and the program latency (Sec. IV-B)";
+    kind = Analysis;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        try
+          let a =
+            Sf_analysis.Delay_buffer.analyze ~config:ctx.Ctx.sim_config.Engine.latency p
+          in
+          Ok { ctx with Ctx.analysis = Some a }
+        with Invalid_argument m | Failure m ->
+          Error [ Diag.errorf ~code:Diag.Code.analysis_invariant "delay-buffer analysis failed: %s" m ]);
+  }
+
+let partition =
+  {
+    name = "partition";
+    description = "map stencils onto devices under the resource model (Sec. III-B)";
+    kind = Mapping;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        match Partition.greedy ~device:ctx.Ctx.device p with
+        | Ok pt -> Ok { ctx with Ctx.partition = Some pt }
+        | Error d ->
+            let warn =
+              Diag.warning ~code:Diag.Code.partition_fallback
+                ~notes:[ d.Diag.message ]
+                "program does not partition across devices; falling back to a single \
+                 oversubscribed device"
+            in
+            Ctx.add_diag { ctx with Ctx.partition = Some (Partition.single_device p) } warn
+            |> Result.ok);
+  }
+
+let performance_model =
+  {
+    name = "performance-model";
+    description = "evaluate the Eq. 1 runtime model at the device clock";
+    kind = Analysis;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        let ops =
+          Sf_analysis.Runtime_model.performance_ops_per_s
+            ~config:ctx.Ctx.sim_config.Engine.latency
+            ~frequency_hz:ctx.Ctx.device.Sf_models.Device.frequency_hz p
+        in
+        Ok { ctx with Ctx.performance_model = Some ops });
+  }
+
+let sim_failure_diag m =
+  let is_deadlock =
+    (* run_and_validate reports deadlocks as "deadlocked at cycle N ..." *)
+    String.length m >= 8 && String.equal (String.sub m 0 8) "deadlock"
+  in
+  if is_deadlock then Diag.error ~code:Diag.Code.sim_deadlock m
+  else Diag.error ~code:Diag.Code.sim_mismatch m
+
+let simulate ?(validate = true) ?seed () =
+  {
+    name = "simulate";
+    description = "cycle-level spatial simulation validated against the reference";
+    kind = Simulation;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        let placement = Option.map Partition.placement_fn ctx.Ctx.partition in
+        let config = ctx.Ctx.sim_config in
+        let inputs =
+          match (ctx.Ctx.inputs, seed) with
+          | (Some _ as i), _ -> i
+          | None, Some seed -> Some (Sf_reference.Interp.random_inputs ~seed p)
+          | None, None -> None
+        in
+        let result =
+          if validate then Engine.run_and_validate ~config ?placement ?inputs p
+          else
+            match Engine.run ~config ?placement ?inputs p with
+            | Engine.Completed stats -> Ok stats
+            | Engine.Deadlocked { cycle; _ } ->
+                Error (Printf.sprintf "deadlocked at cycle %d" cycle)
+        in
+        let ctx = { ctx with Ctx.simulation = Some result } in
+        match result with
+        | Ok _ -> Ok ctx
+        | Error m -> Ok (Ctx.add_diag ctx (sim_failure_diag m)));
+  }
+
+let codegen_opencl =
+  {
+    name = "codegen-opencl";
+    description = "emit Intel-FPGA-style OpenCL kernels and host code (Sec. VI)";
+    kind = Codegen;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        let* kernels = Sf_codegen.Opencl.generate ?partition:ctx.Ctx.partition p in
+        let* host = Sf_codegen.Opencl.host_source ?partition:ctx.Ctx.partition p in
+        Ok { ctx with Ctx.kernels = kernels; Ctx.host_source = Some host });
+  }
+
+let codegen_vitis =
+  {
+    name = "codegen-vitis";
+    description = "emit Xilinx-style Vitis HLS C++ (Sec. VI)";
+    kind = Codegen;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        let* source = Sf_codegen.Vitis.generate p in
+        Ok { ctx with Ctx.vitis_source = Some source });
+  }
+
+let fuse_pass = fuse
+let simulate_pass = simulate
+
+let standard ?(fuse = true) ?(simulate = true) ?(validate = true) () =
+  (if fuse then [ fuse_pass () ] else [])
+  @ [ delay_buffers; partition; performance_model ]
+  @ if simulate then [ simulate_pass ~validate () ] else []
+
+let codegen_pipeline ~backend =
+  [ delay_buffers; partition ]
+  @ match backend with `Opencl -> [ codegen_opencl ] | `Vitis -> [ codegen_vitis ]
+
+let mkdir_p dir =
+  (* Only the leaf and its parent are ever missing in practice, but walk
+     the whole path to be safe. *)
+  let parts = String.split_on_char '/' dir in
+  ignore
+    (List.fold_left
+       (fun prefix part ->
+         let path = if prefix = "" then part else prefix ^ "/" ^ part in
+         if path <> "" && not (Sys.file_exists path) then Sys.mkdir path 0o755;
+         path)
+       (if String.length dir > 0 && dir.[0] = '/' then "/" else "")
+       parts)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let dump_hook ~dir =
+  {
+    Pass_manager.no_hooks with
+    dump =
+      Some
+        (fun ~index ~pass ctx ->
+          let subdir = Filename.concat dir (Printf.sprintf "%02d-%s" index pass) in
+          mkdir_p subdir;
+          List.iter
+            (fun (name, content) -> write_file (Filename.concat subdir name) content)
+            (Ctx.artifact_files ctx));
+  }

@@ -1,0 +1,80 @@
+The analyze/simulate/codegen commands run through the instrumented pass
+manager. --trace-passes prints one line per executed pass with its kind,
+wall-clock time and the artifact counters it changed (times normalized
+here for determinism):
+
+  $ ../../bin/main.exe simulate ../../examples/programs/diamond.json --trace-passes \
+  >   | sed -E 's/ +[0-9]+\.[0-9]+ ms/ _ ms/' | head -7
+  pass trace (6 pass(es)):
+    load-file          frontend _ ms  stencils=3 edges=4
+    stencil-fusion     transform _ ms  stencils=3->1 edges=4->1
+    delay-buffers      analysis _ ms  stencils=1 edges=1 delay-words=0
+    partition          mapping _ ms  stencils=1 edges=1 delay-words=0 devices=1
+    performance-model  analysis _ ms  stencils=1 edges=1 delay-words=0 devices=1
+    simulate           simulation _ ms  stencils=1 edges=1 delay-words=0 devices=1
+
+--dump-ir writes every artifact after every pass into numbered
+directories:
+
+  $ ../../bin/main.exe analyze ../../examples/programs/diamond.json --dump-ir ir >/dev/null
+  $ find ir -type f | sort
+  ir/00-load-file/program.json
+  ir/01-delay-buffers/analysis.txt
+  ir/01-delay-buffers/program.json
+
+Parse errors carry a stable code, a source span, and exit with the
+frontend code 2. A truncated JSON file:
+
+  $ printf '{"shape": [4,' > truncated.json
+  $ ../../bin/main.exe analyze truncated.json
+  stencilflow: truncated.json:1:14: error[SF0201]: unexpected end of input
+  [2]
+
+A malformed stencil DSL body points into the embedded code and names the
+stencil:
+
+  $ echo '{"shape": [4], "inputs": {"a": {}}, "stencils": {"s": {"code": "a[0] +"}}, "outputs": ["s"]}' > badsyntax.json
+  $ ../../bin/main.exe analyze badsyntax.json
+  stencilflow: badsyntax.json:1:7: error[SF0102]: unexpected end of input
+    note: in the code of stencil s
+  [2]
+
+A lexically invalid body is distinguished by the lexer code:
+
+  $ echo '{"shape": [4], "inputs": {"a": {}}, "stencils": {"s": {"code": "a[0] @ 1.0"}}, "outputs": ["s"]}' > badlex.json
+  $ ../../bin/main.exe analyze badlex.json
+  stencilflow: badlex.json:1:6: error[SF0101]: unexpected character @
+    note: in the code of stencil s
+  [2]
+
+Semantic validation failures exit with the program-layer code 3:
+
+  $ echo '{"shape": [4], "inputs": {"a": {}}, "stencils": {"s": {"code": "ghost[0]"}}, "outputs": ["s"]}' > bad.json
+  $ ../../bin/main.exe codegen bad.json
+  stencilflow: bad.json: error[SF0301]: stencil s: access to undeclared field ghost
+  [3]
+
+--diag-json renders the same diagnostics as machine-readable JSON on
+stdout:
+
+  $ ../../bin/main.exe analyze bad.json --diag-json
+  {
+    "diagnostics": [
+      {
+        "severity": "error",
+        "code": "SF0301",
+        "span": {
+          "file": "bad.json"
+        },
+        "message": "stencil s: access to undeclared field ghost"
+      }
+    ]
+  }
+  [3]
+
+A failing pass still reports the timings of the executed prefix:
+
+  $ ../../bin/main.exe analyze bad.json --trace-passes 2>/dev/null \
+  >   | sed -E 's/ +[0-9]+\.[0-9]+ ms/ _ ms/'
+  pass trace (1 pass(es)):
+    load-file          frontend _ ms [FAILED]

@@ -26,8 +26,8 @@ Malformed programs are rejected with a diagnostic:
 
   $ echo '{"shape": [4], "inputs": {"a": {}}, "stencils": {"s": {"code": "ghost[0]"}}, "outputs": ["s"]}' > bad.json
   $ ../../bin/main.exe analyze bad.json
-  stencilflow: invalid program bad.json: stencil s: access to undeclared field ghost
-  [1]
+  stencilflow: bad.json: error[SF0301]: stencil s: access to undeclared field ghost
+  [3]
 
 The benchmark harness's deadlock section is deterministic end to end —
 buffer analysis, full-rate streaming, and the extracted circular wait:

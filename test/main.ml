@@ -2,6 +2,8 @@ let () =
   Alcotest.run "stencilflow"
     [
       ("support", Test_support.suite);
+      ("diag", Test_diag.suite);
+      ("toolchain", Test_toolchain.suite);
       ("json", Test_json.suite);
       ("dgraph", Test_dgraph.suite);
       ("expr", Test_expr.suite);

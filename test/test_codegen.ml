@@ -15,7 +15,7 @@ let check_contains source fragments =
     fragments
 
 let generate_single p =
-  match Opencl.generate p with
+  match Opencl.generate_exn p with
   | [ a ] -> a.Opencl.source
   | artifacts -> Alcotest.fail (Printf.sprintf "expected 1 artifact, got %d" (List.length artifacts))
 
@@ -77,7 +77,7 @@ let test_multi_device_smi () =
       per_device_usage = [];
     }
   in
-  match Opencl.generate ~partition:pt p with
+  match Opencl.generate_exn ~partition:pt p with
   | [ dev0; dev1 ] ->
       check_contains dev0.Opencl.source [ "SMI_Push(&smi_f2__f3"; "__kernel void stencil_f2" ];
       check_contains dev1.Opencl.source [ "SMI_Pop(&smi_f2__f3"; "__kernel void stencil_f3" ];
@@ -91,7 +91,7 @@ let test_multi_device_smi () =
 
 let test_host_code () =
   let p = Fixtures.fork () in
-  let host = Opencl.host_source p in
+  let host = Opencl.host_source_exn p in
   check_contains host
     [ "clCreateBuffer"; "clEnqueueWriteBuffer"; "kernel_write_left"; "kernel_write_join" ]
 
@@ -99,14 +99,14 @@ let test_expression_to_c () =
   let access ~field ~offsets =
     Printf.sprintf "%s_%s" field (Sf_support.Util.string_concat_map "_" string_of_int offsets)
   in
-  let e = Sf_frontend.Parser.parse_expr "a[0,1] * (b[0,0] + 2.0) < 1.0 ? sqrt(a[0,1]) : -b[0,0]" in
+  let e = Sf_frontend.Parser.parse_expr_exn "a[0,1] * (b[0,0] + 2.0) < 1.0 ? sqrt(a[0,1]) : -b[0,0]" in
   Alcotest.(check string) "rendered"
     "((a_0_1 * (b_0_0 + 2.0f)) < 1.0f) ? sqrtf(a_0_1) : (-b_0_0)"
     (Opencl.expression_to_c ~access e)
 
 let test_vitis_backend () =
   let p = Fixtures.diamond ~shape:[ 8; 16 ] ~span:3 () in
-  let src = Sf_codegen.Vitis.generate p in
+  let src = Sf_codegen.Vitis.generate_exn p in
   check_contains src
     [
       "#include <hls_stream.h>";
@@ -122,7 +122,7 @@ let test_vitis_backend () =
 
 let test_vitis_kitchen_sink () =
   (* Lower-dimensional inputs, copy boundaries and lets all lower. *)
-  let src = Sf_codegen.Vitis.generate (Fixtures.kitchen_sink ()) in
+  let src = Sf_codegen.Vitis.generate_exn (Fixtures.kitchen_sink ()) in
   check_contains src [ "float pref_crlat[6]"; "const float t ="; "#pragma HLS ARRAY_PARTITION" ]
 
 let test_dot_export () =

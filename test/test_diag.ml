@@ -1,0 +1,152 @@
+(* Structured diagnostics: formatting, exit codes, JSON rendering, and
+   the property that malformed frontend input always yields located,
+   coded diagnostics — never a raw exception. *)
+module Diag = Sf_support.Diag
+module Json = Sf_support.Json
+module Program_json = Sf_frontend.Program_json
+
+let test_pp_format () =
+  let d =
+    Diag.error ~code:Diag.Code.syntax
+      ~span:(Diag.span ~file:"prog.json" ~line:3 ~col:7 ())
+      ~notes:[ "in the code of stencil s" ]
+      "unexpected token"
+  in
+  Alcotest.(check string) "rendered"
+    "prog.json:3:7: error[SF0102]: unexpected token\n  note: in the code of stencil s"
+    (Diag.to_string d)
+
+let test_pp_no_span () =
+  let d = Diag.warning ~code:Diag.Code.partition_fallback "falling back" in
+  Alcotest.(check string) "rendered" "warning[SF0503]: falling back" (Diag.to_string d)
+
+let test_file_only_span () =
+  let d = Diag.with_file "p.json" (Diag.error ~code:Diag.Code.validation "bad") in
+  Alcotest.(check string) "rendered" "p.json: error[SF0301]: bad" (Diag.to_string d)
+
+let test_exit_codes () =
+  let check_code code expected =
+    Alcotest.(check int) code expected (Diag.exit_code [ Diag.error ~code "m" ])
+  in
+  check_code Diag.Code.lex 2;
+  check_code Diag.Code.syntax 2;
+  check_code Diag.Code.json_parse 2;
+  check_code Diag.Code.format 2;
+  check_code Diag.Code.validation 3;
+  check_code Diag.Code.analysis_invariant 4;
+  check_code Diag.Code.partition 5;
+  check_code Diag.Code.codegen 6;
+  check_code Diag.Code.sim_deadlock 7;
+  check_code Diag.Code.sim_mismatch 7;
+  check_code Diag.Code.pass_verification 8;
+  check_code Diag.Code.internal 9;
+  (* Warnings alone exit 0; the first *error* decides. *)
+  Alcotest.(check int) "warnings only" 0
+    (Diag.exit_code [ Diag.warning ~code:Diag.Code.partition_fallback "w" ]);
+  Alcotest.(check int) "first error wins" 5
+    (Diag.exit_code
+       [
+         Diag.warning ~code:Diag.Code.partition_fallback "w";
+         Diag.error ~code:Diag.Code.partition "e";
+         Diag.error ~code:Diag.Code.internal "e2";
+       ]);
+  Alcotest.(check int) "empty" 0 (Diag.exit_code [])
+
+let test_to_json () =
+  let d =
+    Diag.error ~code:Diag.Code.json_parse
+      ~span:(Diag.span ~file:"x.json" ~line:2 ~col:5 ())
+      "unexpected end of input"
+  in
+  let j = Diag.list_to_json [ d ] in
+  match Json.member "diagnostics" j with
+  | Some (Json.List [ entry ]) ->
+      let str key = Json.member_exn key entry |> Json.get_string in
+      Alcotest.(check string) "severity" "error" (str "severity");
+      Alcotest.(check string) "code" "SF0201" (str "code");
+      let span = Json.member_exn "span" entry in
+      Alcotest.(check string) "file" "x.json" (Json.member_exn "file" span |> Json.get_string);
+      Alcotest.(check int) "line" 2 (Json.member_exn "line" span |> Json.get_int);
+      Alcotest.(check int) "col" 5 (Json.member_exn "col" span |> Json.get_int)
+  | _ -> Alcotest.fail "expected {\"diagnostics\": [entry]}"
+
+let located ds =
+  List.for_all
+    (fun (d : Diag.t) ->
+      String.length d.Diag.code = 6
+      && String.sub d.Diag.code 0 2 = "SF"
+      && d.Diag.message <> "")
+    ds
+  && ds <> []
+
+let test_malformed_json_diag () =
+  match Program_json.of_string ~file:"t.json" "{\"shape\": [4," with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error ds -> (
+      Alcotest.(check bool) "coded" true (located ds);
+      match ds with
+      | { Diag.code = "SF0201"; span = Some { Diag.file = Some "t.json"; line; _ }; _ } :: _
+        ->
+          Alcotest.(check bool) "positioned" true (line >= 1)
+      | d :: _ -> Alcotest.fail ("unexpected diagnostic: " ^ Diag.to_string d)
+      | [] -> Alcotest.fail "no diagnostics")
+
+let test_malformed_dsl_diag () =
+  let json =
+    {|{"shape": [4], "inputs": {"a": {}}, "stencils": {"s": {"code": "a[0] +"}}, "outputs": ["s"]}|}
+  in
+  match Program_json.of_string ~file:"t.json" json with
+  | Ok _ -> Alcotest.fail "expected a syntax error"
+  | Error (d :: _) ->
+      Alcotest.(check string) "code" "SF0102" d.Diag.code;
+      Alcotest.(check bool) "names the stencil" true
+        (List.exists (fun n -> n = "in the code of stencil s") d.Diag.notes)
+  | Error [] -> Alcotest.fail "no diagnostics"
+
+let test_lex_error_diag () =
+  let json =
+    {|{"shape": [4], "inputs": {"a": {}}, "stencils": {"s": {"code": "a[0] @ 1.0"}}, "outputs": ["s"]}|}
+  in
+  match Program_json.of_string json with
+  | Ok _ -> Alcotest.fail "expected a lex error"
+  | Error (d :: _) -> Alcotest.(check string) "code" "SF0101" d.Diag.code
+  | Error [] -> Alcotest.fail "no diagnostics"
+
+(* Any mangling of a valid program description must produce coded
+   diagnostics through the result API — never escape as an exception. *)
+let valid_source = Program_json.to_string (Fixtures.diamond ())
+
+let mangle (pos, mode) =
+  let n = String.length valid_source in
+  let pos = pos mod n in
+  match mode mod 3 with
+  | 0 -> String.sub valid_source 0 pos (* truncate *)
+  | 1 ->
+      String.sub valid_source 0 pos ^ "@"
+      ^ String.sub valid_source pos (n - pos) (* inject *)
+  | _ ->
+      Bytes.of_string valid_source |> fun b ->
+      Bytes.set b pos '}';
+      Bytes.to_string b (* overwrite *)
+
+let fuzz_frontend_total =
+  QCheck.Test.make ~count:300 ~name:"mangled input yields coded diagnostics, never raises"
+    QCheck.(pair (int_bound 10_000) (int_bound 1_000))
+    (fun seed ->
+      match Program_json.of_string (mangle seed) with
+      | Ok _ -> true (* some mutations stay valid *)
+      | Error ds -> located ds
+      | exception e -> QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e))
+
+let suite =
+  [
+    Alcotest.test_case "pp format" `Quick test_pp_format;
+    Alcotest.test_case "pp without span" `Quick test_pp_no_span;
+    Alcotest.test_case "file-only span" `Quick test_file_only_span;
+    Alcotest.test_case "stable exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "json rendering" `Quick test_to_json;
+    Alcotest.test_case "malformed json is located" `Quick test_malformed_json_diag;
+    Alcotest.test_case "malformed dsl names the stencil" `Quick test_malformed_dsl_diag;
+    Alcotest.test_case "lex errors carry the lexer code" `Quick test_lex_error_diag;
+    QCheck_alcotest.to_alcotest fuzz_frontend_total;
+  ]

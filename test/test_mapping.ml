@@ -10,7 +10,7 @@ let dev = Device.stratix10
 let test_single_device_fits () =
   let p = Fixtures.kitchen_sink () in
   match Partition.greedy ~device:dev p with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
   | Ok pt ->
       Alcotest.(check int) "one device" 1 pt.Partition.num_devices;
       Alcotest.(check int) "no cross edges" 0 (List.length pt.Partition.cross_edges);
@@ -23,7 +23,7 @@ let test_long_chain_splits () =
      consecutive boundaries (Sec. VIII-C). *)
   let p = Iterative.chain ~shape:[ 256; 64; 64 ] Iterative.Jacobi3d ~length:300 in
   match Partition.greedy ~device:dev p with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
   | Ok pt ->
       Alcotest.(check bool)
         (Printf.sprintf "%d devices > 1" pt.Partition.num_devices)

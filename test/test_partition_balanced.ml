@@ -51,13 +51,13 @@ let test_balanced_improves_on_greedy () =
       Alcotest.(check bool)
         (Printf.sprintf "balanced max %.4f <= greedy max %.4f" wb wg)
         true (wb <= wg +. 1e-9)
-  | Error m, _ | _, Error m -> Alcotest.fail m
+  | Error m, _ | _, Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_balanced_single_device () =
   let p = Fixtures.kitchen_sink () in
   match Partition.balanced ~device:dev p with
   | Ok pt -> Alcotest.(check int) "one device" 1 pt.Partition.num_devices
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_balanced_respects_max_devices () =
   let p = lopsided_chain 24 in
@@ -68,7 +68,7 @@ let test_balanced_respects_max_devices () =
 let test_balanced_simulates () =
   let p = Fixtures.chain ~shape:[ 6; 10 ] ~n:6 () in
   match Partition.balanced ~ceiling:0.02 ~device:dev p with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
   | Ok pt ->
       Alcotest.(check bool) "multiple devices" true (pt.Partition.num_devices > 1);
       let config =

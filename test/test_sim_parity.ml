@@ -91,7 +91,7 @@ let signature outcome =
 let example name =
   let candidates = [ "../examples/programs/" ^ name; "examples/programs/" ^ name ] in
   match List.find_opt Sys.file_exists candidates with
-  | Some path -> Sf_frontend.Program_json.of_file path
+  | Some path -> Sf_frontend.Program_json.of_file_exn path
   | None -> failwith ("cannot locate example program " ^ name)
 
 let cases : (string * (unit -> Engine.outcome)) list =
