@@ -71,7 +71,7 @@ let print_points points =
 let anchor_chain_model () =
   let shape = [ 32; 64 ] and w = 1 and stages = 8 in
   let p = Iterative.chain ~shape ~vector_width:w Iterative.Jacobi2d ~length:stages in
-  match Engine.run p with
+  match Engine.run_exn p with
   | Engine.Deadlocked _ -> Printf.printf "anchor: unexpected deadlock\n"
   | Engine.Completed stats ->
       let model = chain_model Iterative.Jacobi2d ~shape ~w ~stages ~devices:1 ~bound:"-" in
@@ -199,8 +199,10 @@ let fig16 () =
      cap. *)
   let p = Hdiff.program ~shape:[ 4; 16; 16 ] ~vector_width:8 () in
   let cap = Memory_model.bytes_per_cycle_cap dev ~vectorized:true in
-  let config = { Engine.default_config with Engine.mem_bytes_per_cycle = cap } in
-  match Engine.run ~config p with
+  let config =
+    Engine.Config.make ~bandwidth:(Engine.Config.bandwidth ~mem_bytes_per_cycle:cap ()) ()
+  in
+  match Engine.run_exn ~config p with
   | Engine.Deadlocked _ -> Printf.printf "simulator check: deadlock (unexpected)\n"
   | Engine.Completed stats ->
       let achieved =
@@ -322,8 +324,12 @@ let tab2 () =
   (* Cross-check the bandwidth-bound row on the simulator at a reduced
      domain: same W, same per-cycle bandwidth cap. *)
   let small = Hdiff.program ~shape:[ 8; 32; 32 ] ~vector_width:8 () in
-  let config = { Engine.default_config with Engine.mem_bytes_per_cycle = cap_bytes } in
-  (match Engine.run ~config small with
+  let config =
+    Engine.Config.make
+      ~bandwidth:(Engine.Config.bandwidth ~mem_bytes_per_cycle:cap_bytes ())
+      ()
+  in
+  (match Engine.run_exn ~config small with
   | Engine.Deadlocked _ -> Printf.printf "simulator cross-check: deadlock (unexpected)\n"
   | Engine.Completed stats ->
       let words = Program.cells small / 8 in
@@ -394,7 +400,12 @@ let deadlock_study () =
   let skip_depth = Delay_buffer.buffer_for a ~src:"a" ~dst:"c" in
   Printf.printf "computed skip-edge buffer: %d words\n" skip_depth;
   (match
-     Engine.run ~config:{ Engine.default_config with Engine.trace_interval = Some 32 } p
+     Engine.run_exn
+       ~config:
+         (Engine.Config.make
+            ~tracing:(Engine.Config.tracing ~trace_interval:32 ~telemetry:true ())
+            ())
+       p
    with
   | Engine.Completed stats ->
       Printf.printf "with buffers:    completed in %d cycles (model %d)\n" stats.Engine.cycles
@@ -405,7 +416,7 @@ let deadlock_study () =
       let samples =
         List.filter_map
           (fun (_, occupancies) -> List.assoc_opt "a->c" occupancies)
-          stats.Engine.trace
+          stats.Engine.telemetry.Telemetry.samples
       in
       let glyph occ =
         let levels = "_.:-=+*#" in
@@ -416,14 +427,12 @@ let deadlock_study () =
         (String.init (List.length samples) (fun i -> glyph (List.nth samples i)))
   | Engine.Deadlocked _ -> Printf.printf "with buffers:    DEADLOCK (unexpected)\n");
   let config =
-    {
-      Engine.default_config with
-      Engine.override_edge_buffers = [ (("a", "c"), 0) ];
-      Engine.channel_slack = 2;
-      Engine.deadlock_window = 512;
-    }
+    Engine.Config.make ~channel_slack:2
+      ~override_edge_buffers:[ (("a", "c"), 0) ]
+      ~safety:(Engine.Config.safety ~deadlock_window:512 ())
+      ()
   in
-  match Engine.run ~config p with
+  match Engine.run_exn ~config p with
   | Engine.Completed _ -> Printf.printf "without buffers: completed (unexpected)\n"
   | Engine.Deadlocked { cycle; wait_cycle; _ } ->
       Printf.printf "without buffers: deadlock detected at cycle %d, as in Fig. 4\n" cycle;
@@ -505,7 +514,7 @@ let cse_ablation () =
   describe "fused + CSE" optimized;
   (match Engine.run_and_validate optimized with
   | Ok _ -> Printf.printf "optimized program validates against the reference\n"
-  | Error m -> Printf.printf "optimized program FAILED: %s\n" m);
+  | Error m -> Printf.printf "optimized program FAILED: %s\n" (Diag.to_string m));
   Printf.printf
     "fusion duplicates producer expressions per consuming access; CSE restores the sharing the \
      paper delegates to the downstream compiler (Sec. V-B)\n"
@@ -533,7 +542,7 @@ let fp64_ablation () =
   (* The whole stack runs in f64 too. *)
   match Engine.run_and_validate (Hdiff.program ~shape:[ 4; 8; 8 ] ~dtype:Dtype.F64 ()) with
   | Ok _ -> Printf.printf "f64 simulation validates against the reference\n"
-  | Error m -> Printf.printf "f64 simulation FAILED: %s\n" m
+  | Error m -> Printf.printf "f64 simulation FAILED: %s\n" (Diag.to_string m)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: wall-clock cost of the framework itself, *)
@@ -563,7 +572,7 @@ let micro () =
       Test.make ~name:"fig17_hdiff_fusion"
         (Staged.stage (fun () -> ignore (Fusion.fuse_all hdiff_small)));
       Test.make ~name:"fig4_diamond_simulation"
-        (Staged.stage (fun () -> ignore (Engine.run diamond)));
+        (Staged.stage (fun () -> ignore (Engine.run_exn diamond)));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in

@@ -52,13 +52,13 @@ type measurement = {
   stages : int;
 }
 
-let measure case =
+let measure ?(config = Engine.default_config) case =
   let p = case.program in
   let inputs = Interp.random_inputs p in
   let samples =
     List.init case.runs (fun _ ->
         let t0 = Unix.gettimeofday () in
-        match Engine.run ~inputs p with
+        match Engine.run_exn ~config ~inputs p with
         | Engine.Deadlocked _ -> failwith (case.name ^ ": unexpected deadlock")
         | Engine.Completed stats -> (Unix.gettimeofday () -. t0, stats.Engine.cycles))
   in
@@ -108,6 +108,36 @@ let () =
                    ])
                results) );
       ]
+  in
+  (* Telemetry overhead: the same case with the counter registry off
+     (default) and on (--profile). Off must stay within noise of the
+     historical baseline -- the probes compile to no-ops; on pays for the
+     instrumented schedule (no fast-forward batching), which is the
+     documented price of exact stall attribution. *)
+  let overhead_case =
+    if quick then jacobi_chain ~stages:8 ~shape:[ 64; 64 ] ~w:1
+    else jacobi_chain ~stages:8 ~shape:[ 256; 256 ] ~w:1
+  in
+  let off = measure overhead_case in
+  let on_config =
+    Engine.Config.make ~tracing:(Engine.Config.tracing ~telemetry:true ()) ()
+  in
+  let on = measure ~config:on_config overhead_case in
+  Printf.printf "\ntelemetry overhead (%s): off %.3fs, on %.3fs (%.2fx)\n"
+    overhead_case.name off.seconds on.seconds (on.seconds /. off.seconds);
+  let telemetry_json =
+    Json.Obj
+      [
+        ("case", Json.String overhead_case.name);
+        ("off_wall_seconds", Json.Float off.seconds);
+        ("on_wall_seconds", Json.Float on.seconds);
+        ("on_over_off", Json.Float (on.seconds /. off.seconds));
+      ]
+  in
+  let json =
+    match json with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("telemetry_overhead", telemetry_json) ])
+    | other -> other
   in
   let out = if Sys.file_exists "BENCH_sim.json" || Sys.file_exists "dune-project" then "BENCH_sim.json" else "../BENCH_sim.json" in
   let oc = open_out out in

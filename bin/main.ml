@@ -118,11 +118,36 @@ let simulate_cmd =
          & info [ "trace" ] ~docv:"FILE.csv"
              ~doc:"Sample channel occupancies every 16 cycles into a CSV file.")
   in
-  let run path width fuse seed trace trace_passes dump_ir diag_json =
+  let profile_arg =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Run the simulator instrumented and print a stall-attribution table \
+                   ranking components by blocked cycles.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE.json"
+             ~doc:"Write a Chrome trace_event JSON file (open in chrome://tracing or \
+                   Perfetto) with per-component activity, stall spans and channel \
+                   occupancy counters.")
+  in
+  let counters_json_arg =
+    Arg.(value & flag
+         & info [ "counters-json" ]
+             ~doc:"Print the telemetry counter registry (per-component busy/stalled \
+                   cycles, stalls by cause, pushes, pops, bytes; per-channel high-water \
+                   marks) as JSON on stdout.")
+  in
+  let run path width fuse seed trace profile trace_out counters_json trace_passes dump_ir
+      diag_json =
+    let telemetry = profile || trace_out <> None || counters_json in
+    let trace_interval =
+      if trace <> None || trace_out <> None then Some 16 else None
+    in
     let sim_config =
-      match trace with
-      | None -> Engine.default_config
-      | Some _ -> { Engine.default_config with Engine.trace_interval = Some 16 }
+      Engine.Config.make
+        ~tracing:(Engine.Config.tracing ?trace_interval ~telemetry ())
+        ()
     in
     let ctx =
       run_pipeline ~sim_config ~trace_passes ~dump_ir ~diag_json
@@ -134,10 +159,30 @@ let simulate_cmd =
     ignore fuse;
     let report = report_of_ctx ctx in
     Format.printf "%a@." pp_report report;
-    (match (trace, report.simulation) with
-    | Some file, Some (Ok stats) when stats.Engine.trace <> [] ->
+    (* The failed-run report is still available for profiling: the engine
+       harvests telemetry on deadlock and timeout too. *)
+    let telemetry_report =
+      match report.simulation with
+      | Some (Ok stats) -> Some stats.Engine.telemetry
+      | _ -> None
+    in
+    (match (profile, telemetry_report) with
+    | true, Some t -> Format.printf "%a@." Telemetry.pp_attribution t
+    | _, _ -> ());
+    (match (counters_json, telemetry_report) with
+    | true, Some t -> print_endline (Json.to_string (Telemetry.counters_json t))
+    | _, _ -> ());
+    (match (trace_out, telemetry_report) with
+    | Some file, Some t ->
         Out_channel.with_open_text file (fun oc ->
-            let channels = List.map fst (snd (List.hd stats.Engine.trace)) in
+            output_string oc (Json.to_string (Telemetry.trace_events_json t)));
+        Format.printf "wrote %s@." file
+    | _, _ -> ());
+    (match (trace, telemetry_report) with
+    | Some file, Some t when t.Telemetry.samples <> [] ->
+        let samples = t.Telemetry.samples in
+        Out_channel.with_open_text file (fun oc ->
+            let channels = List.map fst (snd (List.hd samples)) in
             output_string oc ("cycle," ^ String.concat "," channels ^ "\n");
             List.iter
               (fun (cycle, occupancies) ->
@@ -145,7 +190,7 @@ let simulate_cmd =
                   (string_of_int cycle ^ ","
                   ^ String.concat "," (List.map (fun (_, o) -> string_of_int o) occupancies)
                   ^ "\n"))
-              stats.Engine.trace);
+              samples);
         Format.printf "wrote %s@." file
     | _, _ -> ());
     (if diag_json then emit_diags ~json:true ctx.Ctx.diags);
@@ -158,7 +203,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ program_arg $ vector_width_arg $ fuse_arg $ seed_arg $ trace_arg
-      $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
+      $ profile_arg $ trace_out_arg $ counters_json_arg $ trace_passes_arg $ dump_ir_arg
+      $ diag_json_arg)
 
 let codegen_cmd =
   let out_arg =

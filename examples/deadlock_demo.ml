@@ -30,7 +30,7 @@ let () =
     analysis.Delay_buffer.edges;
 
   (* Scenario 1: analysed buffers in place. *)
-  (match Engine.run program with
+  (match Engine.run_exn program with
   | Engine.Completed stats ->
       Format.printf "@.with delay buffers: completed in %d cycles (model: %d)@."
         stats.Engine.cycles stats.Engine.predicted_cycles
@@ -39,18 +39,19 @@ let () =
   (* Scenario 2: force the skip edge's buffer to zero (the left side of
      Fig. 4) and watch the circular wait appear. *)
   let config =
-    {
-      Engine.default_config with
-      Engine.override_edge_buffers = [ (("a", "c"), 0) ];
-      Engine.channel_slack = 2;
-      Engine.deadlock_window = 512;
-    }
+    Engine.Config.make ~channel_slack:2
+      ~override_edge_buffers:[ (("a", "c"), 0) ]
+      ~safety:(Engine.Config.safety ~deadlock_window:512 ())
+      ~tracing:(Engine.Config.tracing ~telemetry:true ())
+      ()
   in
-  match Engine.run ~config program with
+  match Engine.run_exn ~config program with
   | Engine.Completed _ -> Format.printf "unexpectedly completed@."
-  | Engine.Deadlocked { cycle; blocked; wait_cycle } ->
+  | Engine.Deadlocked { cycle; blocked; wait_cycle; telemetry; _ } ->
       Format.printf "@.without the skip-edge buffer: deadlock detected at cycle %d@." cycle;
       List.iter (fun (unit_name, reason) -> Format.printf "  %s: %s@." unit_name reason) blocked;
       if wait_cycle <> [] then
         Format.printf "circular wait: %s -> (back to start)@."
-          (String.concat " -> " wait_cycle)
+          (String.concat " -> " wait_cycle);
+      (* The stall-attribution table names the undersized edge directly. *)
+      Format.printf "@.%a@." Telemetry.pp_attribution telemetry

@@ -61,7 +61,7 @@ let () =
      scales the results). *)
   let small = Hdiff.program ~shape:[ 8; 32; 32 ] () in
   match Engine.run_and_validate small with
-  | Error m -> Format.printf "simulation failed: %s@." m
+  | Error m -> Format.printf "simulation failed: %s@." (Sf_support.Diag.to_string m)
   | Ok stats ->
       Format.printf "simulated reduced domain: %d cycles (model: %d); validated@."
         stats.Engine.cycles stats.Engine.predicted_cycles

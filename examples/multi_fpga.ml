@@ -41,16 +41,17 @@ let () =
 
   (* Simulate the partitioned system with realistic link parameters. *)
   let config =
-    {
-      Engine.default_config with
-      Engine.net_bytes_per_cycle = Device.link_bytes_per_cycle device;
-      Engine.net_latency_cycles = 128;
-    }
+    Engine.Config.make
+      ~network:
+        (Engine.Config.network
+           ~net_bytes_per_cycle:(Device.link_bytes_per_cycle device)
+           ~net_latency_cycles:128 ())
+      ()
   in
   match
     Engine.run_and_validate ~config ~placement:(Partition.placement_fn partition) program
   with
-  | Error m -> Format.printf "simulation failed: %s@." m
+  | Error m -> Format.printf "simulation failed: %s@." (Sf_support.Diag.to_string m)
   | Ok stats ->
       Format.printf "simulated %d cycles (model: %d) across %d devices@." stats.Engine.cycles
         stats.Engine.predicted_cycles partition.Partition.num_devices;

@@ -41,7 +41,7 @@ let () =
   (* Execute on the cycle-level spatial simulator and compare the
      streamed outputs with the sequential reference interpreter. *)
   match Engine.run_and_validate program with
-  | Error m -> Format.printf "simulation failed: %s@." m
+  | Error m -> Format.printf "simulation failed: %s@." (Sf_support.Diag.to_string m)
   | Ok stats ->
       Format.printf "simulated %d cycles (model predicted %d); outputs match the reference@."
         stats.Engine.cycles stats.Engine.predicted_cycles;

@@ -22,6 +22,7 @@ module Influence = Sf_analysis.Influence
 module Tensor = Sf_reference.Tensor
 module Interp = Sf_reference.Interp
 module Engine = Sf_sim.Engine
+module Telemetry = Sf_sim.Telemetry
 module Timeloop = Sf_sim.Timeloop
 module Sdfg = Sf_sdfg.Sdfg
 module Fusion = Sf_sdfg.Fusion
@@ -61,7 +62,7 @@ type report = {
   fusion : Fusion.report option;
   analysis : Delay_buffer.t;
   partition : Partition.t;
-  simulation : (Engine.stats, string) result option;
+  simulation : (Engine.stats, Diag.t) result option;
   performance_model : float;
   diagnostics : Diag.t list;
 }
@@ -115,7 +116,7 @@ let pp_report fmt r =
     (Util.human_rate r.performance_model);
   (match r.simulation with
   | None -> ()
-  | Some (Error m) -> Format.fprintf fmt "  simulation FAILED: %s@." m
+  | Some (Error d) -> Format.fprintf fmt "  simulation FAILED: %s@." (Diag.to_string d)
   | Some (Ok stats) ->
       Format.fprintf fmt "  simulated %d cycles (model: %d), %d B read, %d B written@."
         stats.Engine.cycles stats.Engine.predicted_cycles stats.Engine.bytes_read

@@ -43,6 +43,7 @@ module Influence = Sf_analysis.Influence
 module Tensor = Sf_reference.Tensor
 module Interp = Sf_reference.Interp
 module Engine = Sf_sim.Engine
+module Telemetry = Sf_sim.Telemetry
 module Timeloop = Sf_sim.Timeloop
 module Sdfg = Sf_sdfg.Sdfg
 module Fusion = Sf_sdfg.Fusion
@@ -91,7 +92,7 @@ type report = {
   fusion : Fusion.report option;
   analysis : Delay_buffer.t;
   partition : Partition.t;
-  simulation : (Engine.stats, string) result option;
+  simulation : (Engine.stats, Diag.t) result option;
   performance_model : float;  (** Modelled ops/s at the device clock. *)
   diagnostics : Diag.t list;
       (** Warnings (e.g. the [SF0503] single-device fallback) and

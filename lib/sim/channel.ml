@@ -7,6 +7,7 @@ type t = {
   mutable head : int; (* slot index of the oldest element *)
   mutable count : int;
   mutable total_pushed : int;
+  mutable total_popped : int;
   mutable high_water : int;
   mutable on_push : unit -> unit;
   mutable on_pop : unit -> unit;
@@ -26,6 +27,7 @@ let create_vec ~width ~name ~capacity =
     head = 0;
     count = 0;
     total_pushed = 0;
+    total_popped = 0;
     high_water = 0;
     on_push = nop;
     on_pop = nop;
@@ -38,8 +40,6 @@ let width t = t.width
 let occupancy t = t.count
 let is_empty t = t.count = 0
 let is_full t = t.count = t.capacity
-let buf_values t = t.values
-let buf_valid t = t.valid
 
 let set_hooks t ~on_push ~on_pop =
   t.on_push <- on_push;
@@ -63,6 +63,7 @@ let drop t =
   if t.count = 0 then failwith (Printf.sprintf "Channel.pop: %s is empty" t.name);
   t.head <- (if t.head + 1 >= t.capacity then 0 else t.head + 1);
   t.count <- t.count - 1;
+  t.total_popped <- t.total_popped + 1;
   t.on_pop ()
 
 let push t word =
@@ -91,4 +92,12 @@ let peek t =
   end
 
 let total_pushed t = t.total_pushed
+let total_popped t = t.total_popped
 let high_water t = t.high_water
+
+module Unsafe = struct
+  let buf_values t = t.values
+  let buf_valid t = t.valid
+  let push_slot = push_slot
+  let front_slot = front_slot
+end

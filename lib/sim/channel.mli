@@ -8,10 +8,12 @@
 
     Storage is structure-of-arrays: one flat [float array] for lane
     values and one [bool array] for lane validity, both of size
-    [capacity * width], treated as a ring of [capacity] slots. The slot
-    API ({!push_slot}, {!front_slot}, {!drop}) lets hot paths copy lanes
-    in place without allocating; the {!Word.t}-based API is retained for
-    tests and cold paths and allocates on {!pop}/{!peek}. *)
+    [capacity * width], treated as a ring of [capacity] slots. The raw
+    slot API lives in {!Unsafe} and lets hot paths copy lanes in place
+    without allocating; the public surface is the FIFO operations plus
+    the telemetry counters ({!occupancy}, {!total_pushed},
+    {!total_popped}, {!high_water}). The {!Word.t}-based API is retained
+    for tests and cold paths and allocates on {!pop}/{!peek}. *)
 
 type t
 
@@ -28,28 +30,34 @@ val occupancy : t -> int
 val is_empty : t -> bool
 val is_full : t -> bool
 
-(** {2 Zero-allocation slot access}
-
-    Slots are addressed by the base offset of their first lane in
-    {!buf_values} / {!buf_valid}; lane [l] of a slot with base [b] lives
-    at index [b + l]. *)
-
-val buf_values : t -> float array
-val buf_valid : t -> bool array
-
-val push_slot : t -> int
-(** Append a slot and return its base offset. The caller must fill all
-    [width] lanes of {!buf_values} and {!buf_valid} at that offset.
-    Updates occupancy, the push counter and the high-water mark, and
-    fires the push hook. Raises [Failure] when full. *)
-
-val front_slot : t -> int
-(** Base offset of the oldest slot. Raises [Failure] when empty. *)
-
 val drop : t -> unit
 (** Discard the oldest slot (a pop whose lanes have been read in place
-    via {!front_slot}). Fires the pop hook. Raises [Failure] when
+    via {!Unsafe.front_slot}). Fires the pop hook. Raises [Failure] when
     empty. *)
+
+(** {2 Zero-allocation slot access}
+
+    The raw structure-of-arrays internals, for the simulator's hot
+    paths (stencil units and memory units copying lanes in place).
+    Slots are addressed by the base offset of their first lane in
+    {!Unsafe.buf_values} / {!Unsafe.buf_valid}; lane [l] of a slot with
+    base [b] lives at index [b + l]. Callers own the invariant that
+    every lane of a pushed slot is written before the next simulator
+    step reads it — nothing here is checked beyond occupancy. *)
+
+module Unsafe : sig
+  val buf_values : t -> float array
+  val buf_valid : t -> bool array
+
+  val push_slot : t -> int
+  (** Append a slot and return its base offset. The caller must fill
+      all [width] lanes of {!buf_values} and {!buf_valid} at that
+      offset. Updates occupancy, the push counter and the high-water
+      mark, and fires the push hook. Raises [Failure] when full. *)
+
+  val front_slot : t -> int
+  (** Base offset of the oldest slot. Raises [Failure] when empty. *)
+end
 
 val set_hooks : t -> on_push:(unit -> unit) -> on_pop:(unit -> unit) -> unit
 (** Install wake hooks, fired after every successful push and pop
@@ -70,4 +78,5 @@ val peek : t -> Word.t option
 (** Allocates a fresh copy of the oldest slot, if any. *)
 
 val total_pushed : t -> int
+val total_popped : t -> int
 val high_water : t -> int

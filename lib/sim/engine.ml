@@ -1,33 +1,52 @@
 open Sf_ir
 module Tensor = Sf_reference.Tensor
 module Interp = Sf_reference.Interp
+module Diag = Sf_support.Diag
 
-type config = {
-  latency : Sf_analysis.Latency.config;
-  channel_slack : int;
-  writer_buffer : int;
-  mem_bytes_per_cycle : float;
-  net_bytes_per_cycle : float;
-  net_latency_cycles : int;
-  deadlock_window : int;
-  max_cycles : int option;
-  override_edge_buffers : ((string * string) * int) list;
-  trace_interval : int option;
-}
+module Config = struct
+  type bandwidth = { mem_bytes_per_cycle : float; writer_buffer : int }
+  type network = { net_bytes_per_cycle : float; net_latency_cycles : int }
+  type safety = { deadlock_window : int; max_cycles : int option }
+  type tracing = { trace_interval : int option; telemetry : bool }
 
-let default_config =
-  {
-    latency = Sf_analysis.Latency.default;
-    channel_slack = 4;
-    writer_buffer = 8;
-    mem_bytes_per_cycle = infinity;
-    net_bytes_per_cycle = infinity;
-    net_latency_cycles = 64;
-    deadlock_window = 4096;
-    max_cycles = None;
-    override_edge_buffers = [];
-    trace_interval = None;
+  let bandwidth ?(mem_bytes_per_cycle = infinity) ?(writer_buffer = 8) () =
+    { mem_bytes_per_cycle; writer_buffer }
+
+  let network ?(net_bytes_per_cycle = infinity) ?(net_latency_cycles = 64) () =
+    { net_bytes_per_cycle; net_latency_cycles }
+
+  let safety ?(deadlock_window = 4096) ?max_cycles () = { deadlock_window; max_cycles }
+  let tracing ?trace_interval ?(telemetry = false) () = { trace_interval; telemetry }
+
+  type t = {
+    latency : Sf_analysis.Latency.config;
+    channel_slack : int;
+    override_edge_buffers : ((string * string) * int) list;
+    bandwidth : bandwidth;
+    network : network;
+    safety : safety;
+    tracing : tracing;
   }
+
+  let make ?(latency = Sf_analysis.Latency.default) ?(channel_slack = 4)
+      ?(override_edge_buffers = []) ?bandwidth:(bw = bandwidth ()) ?network:(net = network ())
+      ?safety:(sf = safety ()) ?tracing:(tr = tracing ()) () =
+    {
+      latency;
+      channel_slack;
+      override_edge_buffers;
+      bandwidth = bw;
+      network = net;
+      safety = sf;
+      tracing = tr;
+    }
+
+  let default = make ()
+end
+
+type config = Config.t
+
+let default_config = Config.default
 
 type stats = {
   cycles : int;
@@ -36,9 +55,7 @@ type stats = {
   bytes_read : int;
   bytes_written : int;
   network_bytes : int;
-  unit_stalls : (string * int) list;
-  channel_high_water : (string * int * int) list;
-  trace : (int * (string * int) list) list;
+  telemetry : Telemetry.report;
 }
 
 type outcome =
@@ -47,15 +64,18 @@ type outcome =
       cycle : int;
       blocked : (string * string) list;
       wait_cycle : string list;
+      timed_out : bool;
+      telemetry : Telemetry.report;
     }
 
-(* One simulated system: all channels, units, readers, writers and links. *)
+(* One simulated system: all channels, units, readers, writers and links,
+   each paired with its telemetry probe (absent when telemetry is off). *)
 type system = {
   channels : Channel.t list ref;
-  units : Stencil_unit.t list;
-  readers : Memory_unit.Reader.t list;
-  writers : (string * Memory_unit.Writer.t) list;
-  links : Link.t list;
+  units : (Stencil_unit.t * Telemetry.probe option) list;
+  readers : (Memory_unit.Reader.t * Telemetry.probe option) list;
+  writers : (string * Memory_unit.Writer.t * Telemetry.probe option) list;
+  links : (Link.t * Telemetry.probe option) list;
   mem_controllers : Controller.t array;
   prefetch_bytes : int;
   writers_done : int ref;
@@ -68,9 +88,14 @@ type system = {
   producer_for : (string * string, string) Hashtbl.t;
 }
 
-let build ~config ~placement ~inputs (p : Program.t) =
+let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
   Program.validate_exn p;
-  let analysis = Sf_analysis.Delay_buffer.analyze ~config:config.latency p in
+  let { Config.latency; channel_slack; override_edge_buffers; bandwidth; network; _ } =
+    config
+  in
+  let { Config.mem_bytes_per_cycle; writer_buffer } = bandwidth in
+  let { Config.net_bytes_per_cycle; net_latency_cycles } = network in
+  let analysis = Sf_analysis.Delay_buffer.analyze ~config:latency p in
   let w = p.Program.vector_width in
   let element_bytes = Dtype.size_bytes p.Program.dtype in
   let word_bytes = w * element_bytes in
@@ -79,7 +104,7 @@ let build ~config ~placement ~inputs (p : Program.t) =
     1 + List.fold_left (fun acc s -> max acc (placement s.Stencil.name)) 0 p.Program.stencils
   in
   let mem_controllers =
-    Array.init num_devices (fun _ -> Controller.create ~bytes_per_cycle:config.mem_bytes_per_cycle)
+    Array.init num_devices (fun _ -> Controller.create ~bytes_per_cycle:mem_bytes_per_cycle)
   in
   let channels = ref [] in
   let new_channel name capacity =
@@ -88,23 +113,23 @@ let build ~config ~placement ~inputs (p : Program.t) =
     c
   in
   let buffer_for ~src ~dst =
-    match List.assoc_opt (src, dst) config.override_edge_buffers with
+    match List.assoc_opt (src, dst) override_edge_buffers with
     | Some b -> b
     | None -> Sf_analysis.Delay_buffer.buffer_for analysis ~src ~dst
   in
-  let links : (int * int, Link.t) Hashtbl.t = Hashtbl.create 4 in
+  let links : (int * int, Link.t * Telemetry.probe option) Hashtbl.t = Hashtbl.create 4 in
   let link_between d1 d2 =
     let key = (min d1 d2, max d1 d2) in
     match Hashtbl.find_opt links key with
-    | Some l -> l
+    | Some (l, _) -> l
     | None ->
+        let name = Printf.sprintf "link%d-%d" (fst key) (snd key) in
+        let probe = Telemetry.probe telemetry ~kind:Telemetry.Link ~name in
         let l =
-          Link.create
-            ~name:(Printf.sprintf "link%d-%d" (fst key) (snd key))
-            ~bytes_per_cycle:config.net_bytes_per_cycle
-            ~latency_cycles:config.net_latency_cycles
+          Link.create ?probe ~name ~bytes_per_cycle:net_bytes_per_cycle
+            ~latency_cycles:net_latency_cycles ()
         in
-        Hashtbl.replace links key l;
+        Hashtbl.replace links key (l, probe);
         l
   in
   let device_of name =
@@ -121,7 +146,7 @@ let build ~config ~placement ~inputs (p : Program.t) =
   let channel_consumer : (string, string) Hashtbl.t = Hashtbl.create 32 in
   let producer_for : (string * string, string) Hashtbl.t = Hashtbl.create 32 in
   let make_edge ~src ~dst ~src_device ~dst_device =
-    let cap = buffer_for ~src ~dst + config.channel_slack in
+    let cap = buffer_for ~src ~dst + channel_slack in
     Hashtbl.replace producer_for (dst, src) src;
     if src_device = dst_device then begin
       let c = new_channel (Printf.sprintf "%s->%s" src dst) cap in
@@ -130,7 +155,7 @@ let build ~config ~placement ~inputs (p : Program.t) =
       Hashtbl.replace src_endpoint (src, dst) c
     end
     else begin
-      let near = new_channel (Printf.sprintf "%s->%s.tx" src dst) config.channel_slack in
+      let near = new_channel (Printf.sprintf "%s->%s.tx" src dst) channel_slack in
       let far = new_channel (Printf.sprintf "%s->%s.rx" src dst) cap in
       Hashtbl.replace channel_consumer (Channel.name near) dst;
       Hashtbl.replace channel_consumer (Channel.name far) dst;
@@ -173,7 +198,7 @@ let build ~config ~placement ~inputs (p : Program.t) =
               List.filter_map
                 (fun c ->
                   if device_of c = d then begin
-                    let cap = buffer_for ~src:f.Field.name ~dst:c + config.channel_slack in
+                    let cap = buffer_for ~src:f.Field.name ~dst:c + channel_slack in
                     let ch = new_channel (Printf.sprintf "%s->%s" f.Field.name c) cap in
                     Hashtbl.replace channel_consumer (Channel.name ch) c;
                     Hashtbl.replace producer_for (c, f.Field.name)
@@ -185,13 +210,14 @@ let build ~config ~placement ~inputs (p : Program.t) =
                 consumers
             in
             let tensor = { (input_tensor f.Field.name) with Tensor.extent = Interp.input_extent p f } in
+            let name = Printf.sprintf "read.%s@%d" f.Field.name d in
+            let probe = Telemetry.probe telemetry ~kind:Telemetry.Reader ~name in
             let r =
-              Memory_unit.Reader.create
-                ~name:(Printf.sprintf "read.%s@%d" f.Field.name d)
-                ~tensor ~vector_width:w ~element_bytes:(Dtype.size_bytes f.Field.dtype)
-                ~controller:mem_controllers.(d) ~outputs:consumer_channels
+              Memory_unit.Reader.create ?probe ~name ~tensor ~vector_width:w
+                ~element_bytes:(Dtype.size_bytes f.Field.dtype) ~controller:mem_controllers.(d)
+                ~outputs:consumer_channels ()
             in
-            readers := r :: !readers)
+            readers := (r, probe) :: !readers)
           devices
       else
         List.iter
@@ -204,18 +230,19 @@ let build ~config ~placement ~inputs (p : Program.t) =
   let writer_channels : (string * Channel.t) list =
     List.map
       (fun o ->
-        let cap = config.channel_slack + config.writer_buffer in
+        let cap = channel_slack + writer_buffer in
         let c = new_channel (Printf.sprintf "%s->mem" o) cap in
         let d = device_of o in
-        Hashtbl.replace channel_consumer (Channel.name c) (Printf.sprintf "write.%s@%d" o d);
+        let name = Printf.sprintf "write.%s@%d" o d in
+        Hashtbl.replace channel_consumer (Channel.name c) name;
+        let probe = Telemetry.probe telemetry ~kind:Telemetry.Writer ~name in
         let writer =
-          Memory_unit.Writer.create
+          Memory_unit.Writer.create ?probe
             ~on_done:(fun () -> incr writers_done)
-            ~name:(Printf.sprintf "write.%s@%d" o d)
-            ~shape:p.Program.shape ~vector_width:w ~element_bytes ~controller:mem_controllers.(d)
-            ~input:c ()
+            ~name ~shape:p.Program.shape ~vector_width:w ~element_bytes
+            ~controller:mem_controllers.(d) ~input:c ()
         in
-        writers := (o, writer) :: !writers;
+        writers := (o, writer, probe) :: !writers;
         (o, c))
       p.Program.outputs
   in
@@ -252,7 +279,10 @@ let build ~config ~placement ~inputs (p : Program.t) =
         let compute_cycles =
           (Sf_analysis.Delay_buffer.node_info analysis name).Sf_analysis.Delay_buffer.compute_cycles
         in
-        Stencil_unit.create ~program:p ~stencil:s ~compute_cycles ~inputs:bindings ~outputs)
+        let probe = Telemetry.probe telemetry ~kind:Telemetry.Unit ~name in
+        ( Stencil_unit.create ?probe ~program:p ~stencil:s ~compute_cycles ~inputs:bindings
+            ~outputs (),
+          probe ))
       (Program.topological_stencils p)
   in
   let predicted =
@@ -272,6 +302,66 @@ let build ~config ~placement ~inputs (p : Program.t) =
     },
     predicted )
 
+(* Freeze the counter registry: per-component push/pop/byte counts are
+   harvested once here from the always-on channel and controller
+   counters, so the hot loop pays nothing for them; cause breakdowns
+   come from the probes when telemetry was enabled. *)
+let harvest ~telemetry ~system ~cycles ~samples =
+  let sum_pushed chans = List.fold_left (fun a c -> a + Channel.total_pushed c) 0 chans in
+  let sum_popped chans = List.fold_left (fun a c -> a + Channel.total_popped c) 0 chans in
+  let unit_rows =
+    List.map
+      (fun (u, probe) ->
+        Telemetry.counters_row ?probe ~stalled:(Stencil_unit.stall_cycles u)
+          ~pushes:(sum_pushed (Stencil_unit.output_channels u))
+          ~pops:(sum_popped (Stencil_unit.input_channels u))
+          ~name:(Stencil_unit.name u) ~kind:Telemetry.Unit ())
+      system.units
+  in
+  let reader_rows =
+    List.map
+      (fun (r, probe) ->
+        Telemetry.counters_row ?probe
+          ~pushes:(sum_pushed (Memory_unit.Reader.output_channels r))
+          ~bytes:(Memory_unit.Reader.words_streamed r * Memory_unit.Reader.word_bytes r)
+          ~name:(Memory_unit.Reader.name r) ~kind:Telemetry.Reader ())
+      system.readers
+  in
+  let writer_rows =
+    List.map
+      (fun (_, w, probe) ->
+        Telemetry.counters_row ?probe
+          ~pops:(Channel.total_popped (Memory_unit.Writer.input_channel w))
+          ~bytes:(Memory_unit.Writer.bytes_committed w)
+          ~name:(Memory_unit.Writer.name w) ~kind:Telemetry.Writer ())
+      system.writers
+  in
+  let link_rows =
+    List.map
+      (fun (l, probe) ->
+        let ports = Link.port_channels l in
+        Telemetry.counters_row ?probe
+          ~pushes:(sum_pushed (List.map snd ports))
+          ~pops:(sum_popped (List.map fst ports))
+          ~bytes:(Link.bytes_transferred l) ~name:(Link.name l) ~kind:Telemetry.Link ())
+      system.links
+  in
+  let channels =
+    List.map
+      (fun c ->
+        {
+          Telemetry.channel = Channel.name c;
+          capacity = Channel.capacity c;
+          high_water = Channel.high_water c;
+          total_pushed = Channel.total_pushed c;
+          total_popped = Channel.total_popped c;
+        })
+      (List.rev !(system.channels))
+  in
+  Telemetry.freeze telemetry ~cycles
+    ~components:(unit_rows @ reader_rows @ writer_rows @ link_rows)
+    ~channels ~samples
+
 (* ------------------------------------------------------------------ *)
 (* Execution core.                                                     *)
 (*                                                                     *)
@@ -286,6 +376,13 @@ let build ~config ~placement ~inputs (p : Program.t) =
 (* cycles at once. Cycle counts, stalls, high-water marks and deadlock *)
 (* diagnoses are bit-identical to the seed; see docs/SIMULATOR.md and  *)
 (* test/test_sim_parity.ml.                                            *)
+(*                                                                     *)
+(* When telemetry is enabled the engine instead runs instrumented:     *)
+(* sleeping, quiescence jumps and fast-forward batching are all        *)
+(* disabled, so every component runs every cycle — exactly the seed    *)
+(* schedule — and classifies its own no-progress cycles. Cycle and     *)
+(* stall counts are therefore identical with telemetry on or off; only *)
+(* the wall-clock cost differs.                                        *)
 (* ------------------------------------------------------------------ *)
 
 type comp =
@@ -302,18 +399,22 @@ type batch_entry =
   | Bunit of Stencil_unit.t * Stencil_unit.plan
   | Breader of Memory_unit.Reader.t
 
-let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Program.t) =
+let run_exn ?(config = Config.default) ?(placement = fun _ -> 0) ?inputs (p : Program.t) =
   let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
-  let system, predicted = build ~config ~placement ~inputs p in
+  let { Config.deadlock_window; max_cycles } = config.Config.safety in
+  let { Config.trace_interval; telemetry = telemetry_on } = config.Config.tracing in
+  let telemetry = Telemetry.create ~enabled:telemetry_on () in
+  let instrumented = telemetry_on in
+  let system, predicted = build ~config ~telemetry ~placement ~inputs p in
   let cycle = ref 0 in
   let idle_cycles = ref 0 in
   let n_writers = List.length system.writers in
   let finished () = !(system.writers_done) >= n_writers in
-  let max_cycles = match config.max_cycles with Some m -> m | None -> max_int in
+  let max_cycles = match max_cycles with Some m -> m | None -> max_int in
   let deadlocked = ref false in
   let trace = ref [] in
   let sample_trace () =
-    match config.trace_interval with
+    match trace_interval with
     | Some interval when !cycle mod interval = 0 ->
         let snapshot =
           List.rev_map (fun c -> (Channel.name c, Channel.occupancy c)) !(system.channels)
@@ -328,10 +429,10 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
      reversal happens once here, not per cycle. *)
   let comps =
     Array.of_list
-      (List.map (fun l -> Clink l) system.links
-      @ List.map (fun (_, w) -> Cwriter w) system.writers
-      @ List.map (fun u -> Cunit u) (List.rev system.units)
-      @ List.map (fun r -> Creader r) system.readers)
+      (List.map (fun (l, _) -> Clink l) system.links
+      @ List.map (fun (_, w, _) -> Cwriter w) system.writers
+      @ List.rev_map (fun (u, _) -> Cunit u) system.units
+      @ List.map (fun (r, _) -> Creader r) system.readers)
   in
   let ncomps = Array.length comps in
   (* Ready-set state. [ready.(i)] means component i must run next cycle;
@@ -381,11 +482,13 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
   (* Fast-forward batching applies only when every per-cycle effect is
      plannable: no links (link rx channels are pushed before their
      consumer pops, breaking the pop-before-push occupancy invariant),
-     unlimited memory bandwidth (grants never vary), and no tracing. *)
+     unlimited memory bandwidth (grants never vary), no tracing, and no
+     telemetry (instrumented runs classify every cycle individually). *)
   let batchable =
     system.links = []
     && Array.for_all Controller.is_unlimited system.mem_controllers
-    && config.trace_interval = None
+    && trace_interval = None
+    && not instrumented
   in
   let all_channels = Array.of_list (List.rev !(system.channels)) in
   let nchan = Array.length all_channels in
@@ -485,7 +588,7 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
       let now = !cycle in
       let progress = ref false in
       for i = 0 to ncomps - 1 do
-        if ready.(i) || wake_at.(i) <= now then begin
+        if instrumented || ready.(i) || wake_at.(i) <= now then begin
           if wake_at.(i) <= now then wake_at.(i) <- max_int;
           ready.(i) <- true;
           (match comps.(i) with
@@ -501,7 +604,7 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
                 wake_at.(i) <- Link.next_arrival l ~now
               end
           | Cwriter w ->
-              if Memory_unit.Writer.cycle w then progress := true;
+              if Memory_unit.Writer.cycle w ~now then progress := true;
               (* Sleep only when inert: done, or nothing to pop. A
                  bandwidth-denied writer must retry after the refill. *)
               if
@@ -520,7 +623,7 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
                 if nr > now then wake_at.(i) <- nr
               end
           | Creader r ->
-              if Memory_unit.Reader.cycle r then progress := true;
+              if Memory_unit.Reader.cycle r ~now then progress := true;
               if
                 Memory_unit.Reader.is_done r
                 || List.exists Channel.is_full (Memory_unit.Reader.output_channels r)
@@ -532,7 +635,7 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
       if !progress then idle_cycles := 0
       else begin
         incr idle_cycles;
-        if !idle_cycles > config.deadlock_window then deadlocked := true
+        if !idle_cycles > deadlock_window then deadlocked := true
       end;
       (* Quiescence jump: with every component asleep, only timers can
          wake the system — skip straight to the earliest one, to the
@@ -542,7 +645,9 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
          link catch-up note above), so counters land exactly where the
          seed's cycle-by-cycle spin would put them. *)
       let jumped = ref false in
-      if (not !deadlocked) && (not (finished ())) && config.trace_interval = None then begin
+      if
+        (not !deadlocked) && (not (finished ())) && trace_interval = None && not instrumented
+      then begin
         let any_ready = ref false in
         for i = 0 to ncomps - 1 do
           if ready.(i) then any_ready := true
@@ -550,9 +655,9 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
         if not !any_ready then begin
           let wake_min = Array.fold_left min max_int wake_at in
           let wake_min = if wake_min <= now then now + 1 else wake_min in
-          let dead_at = now + (config.deadlock_window + 1 - !idle_cycles) in
+          let dead_at = now + (deadlock_window + 1 - !idle_cycles) in
           if dead_at < wake_min && dead_at < max_cycles then begin
-            idle_cycles := config.deadlock_window + 1;
+            idle_cycles := deadlock_window + 1;
             deadlocked := true;
             cycle := dead_at + 1;
             jumped := true
@@ -582,6 +687,7 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
             Stencil_unit.add_stalls u (final - 1 - last_ran.(i))
       | Clink _ | Cwriter _ | Creader _ -> ())
     comps;
+  let report () = harvest ~telemetry ~system ~cycles:!cycle ~samples:(List.rev !trace) in
   if !deadlocked || not (finished ()) then begin
     (* Wait-for graph: who is each blocked component waiting on?
        A cycle through it is the circular dependency of Fig. 4. *)
@@ -594,7 +700,7 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
       g := G.add_edge !g ~src:waiter ~dst:waited ()
     in
     List.iter
-      (fun u ->
+      (fun (u, _) ->
         let name = Stencil_unit.name u in
         List.iter
           (fun b ->
@@ -610,7 +716,7 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
           (Stencil_unit.blockages u))
       system.units;
     List.iter
-      (fun r ->
+      (fun (r, _) ->
         List.iter
           (fun channel ->
             match Hashtbl.find_opt system.channel_consumer channel with
@@ -619,7 +725,7 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
           (Memory_unit.Reader.full_output_channels r))
       system.readers;
     List.iter
-      (fun (o, w) ->
+      (fun (o, w, _) ->
         if Memory_unit.Writer.waiting_on_input w then
           wait_edge (Memory_unit.Writer.name w) o)
       system.writers;
@@ -649,23 +755,30 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
     in
     let blocked =
       List.filter_map
-        (fun u ->
+        (fun (u, _) ->
           Option.map (fun r -> (Stencil_unit.name u, r)) (Stencil_unit.blocked_reason u))
         system.units
       @ List.filter_map
-          (fun r ->
+          (fun (r, _) ->
             Option.map
               (fun reason -> (Memory_unit.Reader.name r, reason))
               (Memory_unit.Reader.blocked_reason r))
           system.readers
       @ List.filter_map
-          (fun (_, w) ->
+          (fun (_, w, _) ->
             Option.map
               (fun reason -> (Memory_unit.Writer.name w, reason))
               (Memory_unit.Writer.blocked_reason w))
           system.writers
     in
-    Deadlocked { cycle = !cycle; blocked; wait_cycle }
+    Deadlocked
+      {
+        cycle = !cycle;
+        blocked;
+        wait_cycle;
+        timed_out = not !deadlocked;
+        telemetry = report ();
+      }
   end
   else begin
     (* Controllers account reads and writes together; split the writes
@@ -677,50 +790,68 @@ let run ?(config = default_config) ?(placement = fun _ -> 0) ?inputs (p : Progra
     in
     let bytes_written =
       List.fold_left
-        (fun acc (_, w) ->
+        (fun acc (_, w, _) ->
           let r = Memory_unit.Writer.result w in
           acc
           + Array.fold_left (fun n v -> if v then n + 1 else n) 0 r.Interp.valid
-            * Dtype.size_bytes p.Program.dtype)
+            * Dtype.size_bytes p.Program.dtype
+        )
         0 system.writers
     in
     Completed
       {
         cycles = !cycle;
         predicted_cycles = predicted;
-        results = List.map (fun (o, w) -> (o, Memory_unit.Writer.result w)) system.writers;
+        results = List.map (fun (o, w, _) -> (o, Memory_unit.Writer.result w)) system.writers;
         bytes_read = bytes_granted - bytes_written;
         bytes_written;
-        network_bytes = List.fold_left (fun acc l -> acc + Link.bytes_transferred l) 0 system.links;
-        unit_stalls =
-          List.map (fun u -> (Stencil_unit.name u, Stencil_unit.stall_cycles u)) system.units;
-        channel_high_water =
-          List.map
-            (fun c -> (Channel.name c, Channel.high_water c, Channel.capacity c))
-            (List.rev !(system.channels));
-        trace = List.rev !trace;
+        network_bytes =
+          List.fold_left (fun acc (l, _) -> acc + Link.bytes_transferred l) 0 system.links;
+        telemetry = report ();
       }
   end
+
+(* The structured failure of a non-completing run: SF0701 for a true
+   deadlock (the idle window tripped), SF0703 for a cycle-budget
+   timeout. The circular wait and per-component blocked reasons ride
+   along as notes, followed by the top stall-attribution rows when
+   telemetry was enabled. *)
+let failure_diag ~cycle ~blocked ~wait_cycle ~timed_out ~telemetry =
+  let code = if timed_out then Diag.Code.sim_timeout else Diag.Code.sim_deadlock in
+  let what = if timed_out then "timed out" else "deadlocked" in
+  let d = Diag.errorf ~code "simulation %s at cycle %d" what cycle in
+  let d =
+    match wait_cycle with
+    | [] -> d
+    | ws -> Diag.add_note ("circular wait: " ^ String.concat " -> " ws) d
+  in
+  let d =
+    List.fold_left (fun d (n, r) -> Diag.add_note (Printf.sprintf "%s: %s" n r) d) d blocked
+  in
+  List.fold_left (fun d n -> Diag.add_note n d) d (Telemetry.attribution_notes telemetry)
+
+let run ?config ?placement ?inputs p =
+  match run_exn ?config ?placement ?inputs p with
+  | Completed stats -> Ok stats
+  | Deadlocked { cycle; blocked; wait_cycle; timed_out; telemetry } ->
+      Error (failure_diag ~cycle ~blocked ~wait_cycle ~timed_out ~telemetry)
 
 let run_and_validate ?config ?placement ?inputs p =
   let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
   match run ?config ?placement ~inputs p with
-  | Deadlocked { cycle; blocked; wait_cycle = _ } ->
-      let detail =
-        Sf_support.Util.string_concat_map "; " (fun (n, r) -> n ^ ": " ^ r) blocked
-      in
-      Error (Printf.sprintf "deadlocked at cycle %d (%s)" cycle detail)
-  | Completed stats ->
+  | Error d -> Error d
+  | Ok stats ->
+      let mismatch fmt = Format.kasprintf (fun m -> Error (Diag.error ~code:Diag.Code.sim_mismatch m)) fmt in
       let reference = Interp.run p ~inputs in
       let rec check = function
         | [] -> Ok stats
         | (name, simulated) :: rest -> (
             match List.assoc_opt name reference with
-            | None -> Error (Printf.sprintf "output %s missing from reference" name)
+            | None -> mismatch "output %s missing from reference" name
             | Some expected ->
                 let (simulated : Interp.result) = simulated in
                 if simulated.Interp.valid <> expected.Interp.valid then
-                  Error (Printf.sprintf "output %s: validity masks differ" name)
+                  mismatch "output %s: validity masks differ" name
                 else begin
                   let worst = ref 0. in
                   Array.iteri
@@ -733,8 +864,7 @@ let run_and_validate ?config ?placement ?inputs p =
                       end)
                     simulated.Interp.tensor.Tensor.data;
                   if !worst > 1e-9 then
-                    Error
-                      (Printf.sprintf "output %s: max deviation %g from reference" name !worst)
+                    mismatch "output %s: max deviation %g from reference" name !worst
                   else check rest
                 end)
       in

@@ -12,31 +12,100 @@
 
     Because the units execute the real computations on real data, a run
     both measures cycles (to validate the model C = L + N of Eq. 1) and
-    produces output tensors (validated against {!Sf_reference.Interp}). *)
+    produces output tensors (validated against {!Sf_reference.Interp}).
 
-type config = {
-  latency : Sf_analysis.Latency.config;
-  channel_slack : int;
-      (** Extra FIFO capacity on every channel beyond the analysed delay
-          buffer, covering per-hop pipeline registers. *)
-  writer_buffer : int;  (** Extra buffering in front of memory writers. *)
-  mem_bytes_per_cycle : float;  (** Per-device off-chip bandwidth. *)
-  net_bytes_per_cycle : float;  (** Per-link network bandwidth. *)
-  net_latency_cycles : int;
-  deadlock_window : int;
-      (** Cycles without any progress before declaring deadlock. *)
-  max_cycles : int option;
-  override_edge_buffers : ((string * string) * int) list;
-      (** Replace the analysed buffer size on specific edges — used by the
-          deadlock experiments (Fig. 4) to demonstrate what happens with
-          insufficient buffering. *)
-  trace_interval : int option;
-      (** When set, sample every channel's occupancy every N cycles into
-          {!stats.trace} (for visualizing fill behaviour and buffer
-          tightness over time). *)
-}
+    Every run carries a {!Telemetry.report}: push/pop/byte counters and
+    channel high-water marks are harvested from always-on component
+    counters at no per-cycle cost, while per-cause stall attribution and
+    the event trace require {!Config.tracing} with [telemetry = true]
+    (which runs the engine instrumented — same cycle and stall counts,
+    slower wall-clock; see docs/SIMULATOR.md). *)
+
+(** Engine configuration, grouped by concern. Build one with
+    {!Config.make}; every group has a smart constructor supplying the
+    defaults, so call sites name only what they change:
+    {[
+      Engine.Config.make
+        ~bandwidth:(Engine.Config.bandwidth ~mem_bytes_per_cycle:64. ())
+        ~safety:(Engine.Config.safety ~max_cycles:100_000 ())
+        ()
+    ]} *)
+module Config : sig
+  type bandwidth = {
+    mem_bytes_per_cycle : float;  (** Per-device off-chip bandwidth. *)
+    writer_buffer : int;  (** Extra buffering in front of memory writers. *)
+  }
+
+  type network = {
+    net_bytes_per_cycle : float;  (** Per-link network bandwidth. *)
+    net_latency_cycles : int;
+  }
+
+  type safety = {
+    deadlock_window : int;
+        (** Cycles without any progress before declaring deadlock. *)
+    max_cycles : int option;
+  }
+
+  type tracing = {
+    trace_interval : int option;
+        (** When set, sample every channel's occupancy every N cycles into
+            {!Telemetry.report.samples} (for visualizing fill behaviour
+            and buffer tightness over time). *)
+    telemetry : bool;
+        (** Run instrumented: classify every component's no-progress
+            cycles by cause and record stall spans for the event trace.
+            Cycle and stall counts are identical to an uninstrumented
+            run; only wall-clock time differs. *)
+  }
+
+  val bandwidth : ?mem_bytes_per_cycle:float -> ?writer_buffer:int -> unit -> bandwidth
+  (** Defaults: unlimited bandwidth, 8 words of writer buffering. *)
+
+  val network : ?net_bytes_per_cycle:float -> ?net_latency_cycles:int -> unit -> network
+  (** Defaults: unlimited bandwidth, 64 cycles latency. *)
+
+  val safety : ?deadlock_window:int -> ?max_cycles:int -> unit -> safety
+  (** Defaults: 4096-cycle idle window, no cycle budget. *)
+
+  val tracing : ?trace_interval:int -> ?telemetry:bool -> unit -> tracing
+  (** Defaults: no occupancy sampling, telemetry off. *)
+
+  type t = {
+    latency : Sf_analysis.Latency.config;
+    channel_slack : int;
+        (** Extra FIFO capacity on every channel beyond the analysed delay
+            buffer, covering per-hop pipeline registers. *)
+    override_edge_buffers : ((string * string) * int) list;
+        (** Replace the analysed buffer size on specific edges — used by
+            the deadlock experiments (Fig. 4) to demonstrate what happens
+            with insufficient buffering. *)
+    bandwidth : bandwidth;
+    network : network;
+    safety : safety;
+    tracing : tracing;
+  }
+
+  val make :
+    ?latency:Sf_analysis.Latency.config ->
+    ?channel_slack:int ->
+    ?override_edge_buffers:((string * string) * int) list ->
+    ?bandwidth:bandwidth ->
+    ?network:network ->
+    ?safety:safety ->
+    ?tracing:tracing ->
+    unit ->
+    t
+
+  val default : t
+  (** [make ()]. *)
+end
+
+type config = Config.t
 
 val default_config : config
+(** @deprecated Alias of {!Config.default}; use [Config.make] or
+    [Config.default] in new code. *)
 
 type stats = {
   cycles : int;
@@ -45,11 +114,11 @@ type stats = {
   bytes_read : int;
   bytes_written : int;
   network_bytes : int;
-  unit_stalls : (string * int) list;
-  channel_high_water : (string * int * int) list;  (** name, high water, capacity *)
-  trace : (int * (string * int) list) list;
-      (** Occupancy samples [(cycle, [(channel, occupancy)])], empty
-          unless [trace_interval] is set. *)
+  telemetry : Telemetry.report;
+      (** Typed counter registry, channel occupancy samples and (when
+          instrumented) stall attribution + event spans. The legacy
+          shapes are derivable via {!Telemetry.unit_stalls} and
+          {!Telemetry.channel_high_water}. *)
 }
 
 type outcome =
@@ -63,9 +132,14 @@ type outcome =
               [c] accepting data, [c] on [b] producing, [b] on [a]).
               Empty if no cycle was identified (e.g. a timeout rather
               than a true deadlock). *)
+      timed_out : bool;
+          (** The cycle budget ran out before the idle window tripped —
+              a timeout ([SF0703]) rather than a true deadlock
+              ([SF0701]). *)
+      telemetry : Telemetry.report;
     }
 
-val run :
+val run_exn :
   ?config:config ->
   ?placement:(string -> int) ->
   ?inputs:(string * Sf_reference.Tensor.t) list ->
@@ -74,14 +148,26 @@ val run :
 (** Simulate a program. [placement] maps each stencil name to a device
     index (default: everything on device 0); input fields are replicated
     to every device that reads them. [inputs] default to
-    {!Sf_reference.Interp.random_inputs}. *)
+    {!Sf_reference.Interp.random_inputs}. Despite the name this raises
+    only on malformed programs ({!Sf_ir.Program.validate_exn}); a
+    non-completing simulation is the [Deadlocked] outcome. *)
+
+val run :
+  ?config:config ->
+  ?placement:(string -> int) ->
+  ?inputs:(string * Sf_reference.Tensor.t) list ->
+  Sf_ir.Program.t ->
+  (stats, Sf_support.Diag.t) result
+(** {!run_exn} with structured failure: a deadlock maps to a Diag with
+    code [SF0701], a cycle-budget timeout to [SF0703]. The Diag's notes
+    carry the circular wait, each blocked component's reason, and (when
+    instrumented) the top stall-attribution rows. *)
 
 val run_and_validate :
   ?config:config ->
   ?placement:(string -> int) ->
   ?inputs:(string * Sf_reference.Tensor.t) list ->
   Sf_ir.Program.t ->
-  (stats, string) result
+  (stats, Sf_support.Diag.t) result
 (** {!run}, then compare every program output against the sequential
-    reference interpreter. [Error] carries a diagnostic on deadlock,
-    timeout, or mismatch. *)
+    reference interpreter. A mismatch maps to code [SF0702]. *)

@@ -10,10 +10,11 @@ type t = {
   controller : Controller.t;
   latency_cycles : int;
   mutable ports : port list;
+  probe : Telemetry.probe option;
 }
 
-let create ~name ~bytes_per_cycle ~latency_cycles =
-  { name; controller = Controller.create ~bytes_per_cycle; latency_cycles; ports = [] }
+let create ?probe ~name ~bytes_per_cycle ~latency_cycles () =
+  { name; controller = Controller.create ~bytes_per_cycle; latency_cycles; ports = []; probe }
 
 let add_port t ~src ~dst ~word_bytes =
   t.ports <- t.ports @ [ { src; dst; word_bytes; in_flight = Queue.create () } ]
@@ -37,6 +38,36 @@ let cycle t ~now =
         progress := true
       end)
     t.ports;
+  (match t.probe with
+  | None -> ()
+  | Some probe ->
+      if !progress then Telemetry.busy probe ~now
+      else begin
+        (* Classify the blocked cycle in backpressure-first order: a
+           matured word refused by a full destination, then a source
+           word refused by the shared bandwidth budget (injection is
+           always attempted when a source is non-empty), then words
+           merely still in flight. A link with no work records nothing. *)
+        let matured_blocked p =
+          match Queue.peek_opt p.in_flight with
+          | Some (release, _) when release <= now -> Channel.is_full p.dst
+          | Some _ | None -> false
+        in
+        match List.find_opt matured_blocked t.ports with
+        | Some p ->
+            Telemetry.stall probe ~now ~channel:(Channel.name p.dst) Telemetry.Output_full
+        | None -> (
+            match List.find_opt (fun p -> not (Channel.is_empty p.src)) t.ports with
+            | Some p ->
+                Telemetry.stall probe ~now ~channel:(Channel.name p.src)
+                  Telemetry.Bandwidth_denied
+            | None -> (
+                match List.find_opt (fun p -> not (Queue.is_empty p.in_flight)) t.ports with
+                | Some p ->
+                    Telemetry.stall probe ~now ~channel:(Channel.name p.dst)
+                      Telemetry.Link_latency
+                | None -> ()))
+      end);
   !progress
 
 let name t = t.name

@@ -9,7 +9,11 @@
 
 type t
 
-val create : name:string -> bytes_per_cycle:float -> latency_cycles:int -> t
+val create :
+  ?probe:Telemetry.probe -> name:string -> bytes_per_cycle:float -> latency_cycles:int -> unit -> t
+(** [probe] classifies no-progress cycles (destination backpressure,
+    bandwidth denial, propagation latency) into the telemetry
+    registry. *)
 
 val add_port : t -> src:Channel.t -> dst:Channel.t -> word_bytes:int -> unit
 (** Register a remote stream crossing this link. *)

@@ -10,9 +10,10 @@ module Reader = struct
     outputs : Channel.t array;
     n_words : int;
     mutable pos : int; (* words streamed so far *)
+    probe : Telemetry.probe option;
   }
 
-  let create ~name ~tensor ~vector_width ~element_bytes ~controller ~outputs =
+  let create ?probe ~name ~tensor ~vector_width ~element_bytes ~controller ~outputs () =
     let elements = Tensor.num_elements tensor in
     if elements mod vector_width <> 0 then
       invalid_arg "Reader.create: vector width does not divide field size";
@@ -25,11 +26,13 @@ module Reader = struct
       outputs = Array.of_list outputs;
       n_words = elements / vector_width;
       pos = 0;
+      probe;
     }
 
   let is_done t = t.pos >= t.n_words
   let name t = t.name
   let words_remaining t = t.n_words - t.pos
+  let words_streamed t = t.pos
   let output_channels t = Array.to_list t.outputs
   let word_bytes t = t.vector_width * t.element_bytes
 
@@ -39,9 +42,9 @@ module Reader = struct
     let base_flat = t.pos * t.vector_width in
     for i = 0 to Array.length t.outputs - 1 do
       let c = t.outputs.(i) in
-      let base = Channel.push_slot c in
-      let values = Channel.buf_values c in
-      let valid = Channel.buf_valid c in
+      let base = Channel.Unsafe.push_slot c in
+      let values = Channel.Unsafe.buf_values c in
+      let valid = Channel.Unsafe.buf_valid c in
       for lane = 0 to t.vector_width - 1 do
         values.(base + lane) <- Tensor.get_flat t.tensor (base_flat + lane);
         valid.(base + lane) <- true
@@ -56,12 +59,32 @@ module Reader = struct
     done;
     !full
 
-  let cycle t =
+  let first_full_output t =
+    let rec go i =
+      if i >= Array.length t.outputs then ""
+      else if Channel.is_full t.outputs.(i) then Channel.name t.outputs.(i)
+      else go (i + 1)
+    in
+    go 0
+
+  let cycle t ~now =
     if is_done t then false
-    else if any_output_full t then false
-    else if not (Controller.request t.controller (t.vector_width * t.element_bytes)) then false
+    else if any_output_full t then begin
+      (match t.probe with
+      | None -> ()
+      | Some p ->
+          Telemetry.stall p ~now ~channel:(first_full_output t) Telemetry.Output_full);
+      false
+    end
+    else if not (Controller.request t.controller (t.vector_width * t.element_bytes)) then begin
+      (match t.probe with
+      | None -> ()
+      | Some p -> Telemetry.stall p ~now Telemetry.Bandwidth_denied);
+      false
+    end
     else begin
       emit t;
+      (match t.probe with None -> () | Some p -> Telemetry.busy p ~now);
       true
     end
 
@@ -95,11 +118,13 @@ module Writer = struct
     input : Channel.t;
     n_words : int;
     mutable pos : int;
+    mutable bytes_committed : int;
     on_done : unit -> unit;
+    probe : Telemetry.probe option;
   }
 
-  let create ?(on_done = fun () -> ()) ~name ~shape ~vector_width ~element_bytes ~controller
-      ~input () =
+  let create ?probe ?(on_done = fun () -> ()) ~name ~shape ~vector_width ~element_bytes
+      ~controller ~input () =
     let tensor = Tensor.create shape in
     let elements = Tensor.num_elements tensor in
     if elements mod vector_width <> 0 then
@@ -114,17 +139,20 @@ module Writer = struct
       input;
       n_words = elements / vector_width;
       pos = 0;
+      bytes_committed = 0;
       on_done;
+      probe;
     }
 
   let is_done t = t.pos >= t.n_words
   let name t = t.name
   let words_remaining t = t.n_words - t.pos
   let input_channel t = t.input
+  let bytes_committed t = t.bytes_committed
 
   let front_valid_count t =
-    let base = Channel.front_slot t.input in
-    let valid = Channel.buf_valid t.input in
+    let base = Channel.Unsafe.front_slot t.input in
+    let valid = Channel.Unsafe.buf_valid t.input in
     let n = ref 0 in
     for lane = 0 to t.vector_width - 1 do
       if valid.(base + lane) then incr n
@@ -133,28 +161,45 @@ module Writer = struct
 
   (* Commit the input's front word to the output tensor in place. *)
   let commit t =
-    let base = Channel.front_slot t.input in
-    let values = Channel.buf_values t.input in
-    let valid = Channel.buf_valid t.input in
+    let base = Channel.Unsafe.front_slot t.input in
+    let values = Channel.Unsafe.buf_values t.input in
+    let valid = Channel.Unsafe.buf_valid t.input in
+    let committed = ref 0 in
     for lane = 0 to t.vector_width - 1 do
       let idx = (t.pos * t.vector_width) + lane in
-      if valid.(base + lane) then Tensor.set_flat t.tensor idx values.(base + lane)
+      if valid.(base + lane) then begin
+        Tensor.set_flat t.tensor idx values.(base + lane);
+        incr committed
+      end
       else t.valid.(idx) <- false
     done;
+    t.bytes_committed <- t.bytes_committed + (!committed * t.element_bytes);
     Channel.drop t.input;
     t.pos <- t.pos + 1;
     if t.pos >= t.n_words then t.on_done ()
 
-  let cycle t =
+  let cycle t ~now =
     if is_done t then false
-    else if Channel.is_empty t.input then false
+    else if Channel.is_empty t.input then begin
+      (match t.probe with
+      | None -> ()
+      | Some p ->
+          Telemetry.stall p ~now ~channel:(Channel.name t.input) Telemetry.Input_starved);
+      false
+    end
     else begin
       (* Only valid (non-shrunk) elements consume write bandwidth. *)
       let valid_count = front_valid_count t in
       if valid_count > 0 && not (Controller.request t.controller (valid_count * t.element_bytes))
-      then false
+      then begin
+        (match t.probe with
+        | None -> ()
+        | Some p -> Telemetry.stall p ~now Telemetry.Bandwidth_denied);
+        false
+      end
       else begin
         commit t;
+        (match t.probe with None -> () | Some p -> Telemetry.busy p ~now);
         true
       end
     end

@@ -9,22 +9,27 @@ module Reader : sig
   type t
 
   val create :
+    ?probe:Telemetry.probe ->
     name:string ->
     tensor:Sf_reference.Tensor.t ->
     vector_width:int ->
     element_bytes:int ->
     controller:Controller.t ->
     outputs:Channel.t list ->
+    unit ->
     t
   (** Streams the tensor row-major, one word per cycle when bandwidth and
-      all consumer channels allow, multicasting to every consumer. *)
+      all consumer channels allow, multicasting to every consumer.
+      [probe] classifies no-progress cycles (output-full vs
+      bandwidth-denied) into the telemetry registry. *)
 
-  val cycle : t -> bool
+  val cycle : t -> now:int -> bool
   val is_done : t -> bool
   val name : t -> string
   val blocked_reason : t -> string option
 
   val words_remaining : t -> int
+  val words_streamed : t -> int
   val output_channels : t -> Channel.t list
   val word_bytes : t -> int
 
@@ -41,6 +46,7 @@ module Writer : sig
   type t
 
   val create :
+    ?probe:Telemetry.probe ->
     ?on_done:(unit -> unit) ->
     name:string ->
     shape:int list ->
@@ -52,14 +58,19 @@ module Writer : sig
     t
   (** [on_done] fires once, when the final word is committed — the engine
       uses it to maintain a completed-writer counter so the hot loop's
-      termination test is a single integer comparison. *)
+      termination test is a single integer comparison. [probe]
+      classifies no-progress cycles (input-starved vs bandwidth-denied)
+      into the telemetry registry. *)
 
-  val cycle : t -> bool
+  val cycle : t -> now:int -> bool
   val is_done : t -> bool
   val name : t -> string
 
   val words_remaining : t -> int
   val input_channel : t -> Channel.t
+
+  val bytes_committed : t -> int
+  (** Bytes of valid (non-shrunk) elements committed so far. *)
 
   val run_fast : t -> unit
   (** One unchecked cycle for the engine's fast-forward path: requires a

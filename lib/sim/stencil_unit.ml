@@ -57,6 +57,7 @@ type t = {
      advanced by carry propagation instead of per-lane division. *)
   mutable next_flat : int;
   mutable stalls : int;
+  probe : Telemetry.probe option;
 }
 
 let window_get win e =
@@ -67,7 +68,7 @@ let window_append win v =
   win.newest <- win.newest + 1;
   win.data.(win.newest mod win.cap) <- v
 
-let create ~program ~stencil ~compute_cycles ~inputs ~outputs =
+let create ?probe ~program ~stencil ~compute_cycles ~inputs ~outputs () =
   let shape_list = program.Program.shape in
   let shape = Array.of_list shape_list in
   let strides = Array.of_list (Program.strides program) in
@@ -198,6 +199,7 @@ let create ~program ~stencil ~compute_cycles ~inputs ~outputs =
     pend_count = 0;
     next_flat = 0;
     stalls = 0;
+    probe;
   }
 
 let name t = t.name
@@ -265,9 +267,9 @@ let emit_head t =
   let vbase = t.pend_head * t.w in
   for i = 0 to Array.length t.outputs - 1 do
     let c = t.outputs.(i) in
-    let base = Channel.push_slot c in
-    Array.blit t.pend_values vbase (Channel.buf_values c) base t.w;
-    Array.blit t.pend_valid vbase (Channel.buf_valid c) base t.w
+    let base = Channel.Unsafe.push_slot c in
+    Array.blit t.pend_values vbase (Channel.Unsafe.buf_values c) base t.w;
+    Array.blit t.pend_valid vbase (Channel.Unsafe.buf_valid c) base t.w
   done;
   t.pend_head <- (t.pend_head + 1) mod t.pend_cap;
   t.pend_count <- t.pend_count - 1
@@ -292,8 +294,8 @@ let try_flush t ~now =
 let shift_in t i =
   let c = Option.get i.channel in
   let win = Option.get i.window in
-  let base = Channel.front_slot c in
-  let values = Channel.buf_values c in
+  let base = Channel.Unsafe.front_slot c in
+  let values = Channel.Unsafe.buf_values c in
   for lane = 0 to t.w - 1 do
     window_append win values.(base + lane)
   done;
@@ -329,11 +331,47 @@ let try_step t ~now =
     end
   end
 
+(* What to blame for a no-progress cycle, in the order a hardware
+   pipeline would observe it: an empty input it must pop, then a full
+   output it must push, then its own pending line (words still
+   propagating through the compute latency). *)
+let stall_blame t =
+  let n = Array.length t.inputs in
+  let rec starved k =
+    if k >= n then None
+    else
+      let i = t.inputs.(k) in
+      match i.channel with
+      | Some c when consuming_active t i && Channel.is_empty c ->
+          Some (Telemetry.Input_starved, Channel.name c)
+      | Some _ | None -> starved (k + 1)
+  in
+  match starved 0 with
+  | Some _ as blame -> blame
+  | None ->
+      let m = Array.length t.outputs in
+      let rec full k =
+        if k >= m then None
+        else if Channel.is_full t.outputs.(k) then
+          Some (Telemetry.Output_full, Channel.name t.outputs.(k))
+        else full (k + 1)
+      in
+      full 0
+
 let cycle t ~now =
   let flushed = try_flush t ~now in
   let stepped = try_step t ~now in
   let progress = flushed || stepped in
-  if (not progress) && not (is_done t) then t.stalls <- t.stalls + 1;
+  if (not progress) && not (is_done t) then begin
+    t.stalls <- t.stalls + 1;
+    match t.probe with
+    | None -> ()
+    | Some p -> (
+        match stall_blame t with
+        | Some (cause, channel) -> Telemetry.stall p ~now ~channel cause
+        | None -> Telemetry.stall p ~now Telemetry.Pipeline_drain)
+  end
+  else if progress then (match t.probe with None -> () | Some p -> Telemetry.busy p ~now);
   progress
 
 (* ------------------------------------------------------------------ *)
@@ -425,8 +463,8 @@ let run_planned t ~now p =
   if p.compute || p.advance then begin
     for k = 0 to Array.length p.pops - 1 do
       let c, win = p.pops.(k) in
-      let base = Channel.front_slot c in
-      let values = Channel.buf_values c in
+      let base = Channel.Unsafe.front_slot c in
+      let values = Channel.Unsafe.buf_values c in
       for lane = 0 to t.w - 1 do
         window_append win values.(base + lane)
       done;

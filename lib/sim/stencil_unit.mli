@@ -26,12 +26,17 @@ type input_binding = {
 type t
 
 val create :
+  ?probe:Telemetry.probe ->
   program:Sf_ir.Program.t ->
   stencil:Sf_ir.Stencil.t ->
   compute_cycles:int ->
   inputs:input_binding list ->
   outputs:Channel.t list ->
+  unit ->
   t
+(** [probe] enables per-cycle stall classification (cause + blamed
+    channel) into the telemetry registry; without it only the aggregate
+    {!stall_cycles} counter is maintained. *)
 
 val name : t -> string
 val is_done : t -> bool

@@ -98,7 +98,7 @@ let run_reference (p : Program.t) ~steps ~feedback ~inputs =
 let run_simulated ?config (p : Program.t) ~steps ~feedback ~inputs =
   let unrolled = unroll p ~steps ~feedback in
   match Engine.run_and_validate ?config ~inputs unrolled with
-  | Error m -> Error m
+  | Error d -> Error (Sf_support.Diag.to_string d)
   | Ok stats ->
       let finals =
         List.map

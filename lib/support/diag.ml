@@ -26,6 +26,7 @@ module Code = struct
   let codegen = "SF0601"
   let sim_deadlock = "SF0701"
   let sim_mismatch = "SF0702"
+  let sim_timeout = "SF0703"
   let pass_verification = "SF0801"
   let internal = "SF0901"
 end

@@ -21,7 +21,8 @@
       SF05xx  mapping (partition SF0501, partition invariant
               SF0502, fallback warning SF0503)                  exit 5
       SF06xx  code generation SF0601                            exit 6
-      SF07xx  simulation (deadlock SF0701, mismatch SF0702)     exit 7
+      SF07xx  simulation (deadlock SF0701, mismatch SF0702,
+              timeout SF0703)                                   exit 7
       SF08xx  optimization-pass verification SF0801             exit 8
       SF09xx  internal errors SF0901                            exit 9
     v} *)
@@ -59,6 +60,7 @@ module Code : sig
   val codegen : string
   val sim_deadlock : string
   val sim_mismatch : string
+  val sim_timeout : string
   val pass_verification : string
   val internal : string
 end

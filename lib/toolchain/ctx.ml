@@ -16,7 +16,7 @@ type t = {
   kernels : Sf_codegen.Opencl.artifact list;
   host_source : string option;
   vitis_source : string option;
-  simulation : (Engine.stats, string) result option;
+  simulation : (Engine.stats, Diag.t) result option;
   performance_model : float option;
   diags : Diag.t list;
 }
@@ -99,7 +99,15 @@ let counters ctx =
   @ (match ctx.partition with
     | None -> []
     | Some pt -> [ ("devices", pt.Sf_mapping.Partition.num_devices) ])
-  @ match code_bytes ctx with 0 -> [] | n -> [ ("code-bytes", n) ]
+  @ (match code_bytes ctx with 0 -> [] | n -> [ ("code-bytes", n) ])
+  @
+  match ctx.simulation with
+  | Some (Ok (s : Engine.stats)) ->
+      [
+        ("sim-cycles", s.cycles);
+        ("sim-stalls", Sf_sim.Telemetry.total_blocked s.telemetry);
+      ]
+  | Some (Error _) | None -> []
 
 let fmt_to_string pp v =
   let buf = Buffer.create 256 in
@@ -145,7 +153,7 @@ let artifact_files ctx =
             (Printf.sprintf
                "cycles %d (predicted %d)\nbytes read %d, written %d, network %d\n" s.cycles
                s.predicted_cycles s.bytes_read s.bytes_written s.network_bytes)
-      | Some (Error m) -> file "simulation.txt" (Printf.sprintf "FAILED: %s\n" m)
+      | Some (Error d) -> file "simulation.txt" (Printf.sprintf "FAILED: %s\n" (Diag.to_string d))
       | None -> None);
       (match ctx.host_source with Some s -> file "host.c" s | None -> None);
       (match ctx.vitis_source with Some s -> file "vitis.cpp" s | None -> None);

@@ -22,7 +22,7 @@ type t = {
   kernels : Sf_codegen.Opencl.artifact list;
   host_source : string option;
   vitis_source : string option;
-  simulation : (Sf_sim.Engine.stats, string) result option;
+  simulation : (Sf_sim.Engine.stats, Sf_support.Diag.t) result option;
   performance_model : float option;  (** Modelled ops/s at the device clock. *)
   diags : Sf_support.Diag.t list;
       (** Accumulated non-fatal diagnostics, oldest first. *)

@@ -113,7 +113,7 @@ let delay_buffers =
         let* p = Ctx.the_program ctx in
         try
           let a =
-            Sf_analysis.Delay_buffer.analyze ~config:ctx.Ctx.sim_config.Engine.latency p
+            Sf_analysis.Delay_buffer.analyze ~config:ctx.Ctx.sim_config.Engine.Config.latency p
           in
           Ok { ctx with Ctx.analysis = Some a }
         with Invalid_argument m | Failure m ->
@@ -151,19 +151,11 @@ let performance_model =
         let* p = Ctx.the_program ctx in
         let ops =
           Sf_analysis.Runtime_model.performance_ops_per_s
-            ~config:ctx.Ctx.sim_config.Engine.latency
+            ~config:ctx.Ctx.sim_config.Engine.Config.latency
             ~frequency_hz:ctx.Ctx.device.Sf_models.Device.frequency_hz p
         in
         Ok { ctx with Ctx.performance_model = Some ops });
   }
-
-let sim_failure_diag m =
-  let is_deadlock =
-    (* run_and_validate reports deadlocks as "deadlocked at cycle N ..." *)
-    String.length m >= 8 && String.equal (String.sub m 0 8) "deadlock"
-  in
-  if is_deadlock then Diag.error ~code:Diag.Code.sim_deadlock m
-  else Diag.error ~code:Diag.Code.sim_mismatch m
 
 let simulate ?(validate = true) ?seed () =
   {
@@ -183,16 +175,12 @@ let simulate ?(validate = true) ?seed () =
         in
         let result =
           if validate then Engine.run_and_validate ~config ?placement ?inputs p
-          else
-            match Engine.run ~config ?placement ?inputs p with
-            | Engine.Completed stats -> Ok stats
-            | Engine.Deadlocked { cycle; _ } ->
-                Error (Printf.sprintf "deadlocked at cycle %d" cycle)
+          else Engine.run ~config ?placement ?inputs p
         in
         let ctx = { ctx with Ctx.simulation = Some result } in
         match result with
         | Ok _ -> Ok ctx
-        | Error m -> Ok (Ctx.add_diag ctx (sim_failure_diag m)));
+        | Error d -> Ok (Ctx.add_diag ctx d));
   }
 
 let codegen_opencl =

@@ -48,7 +48,8 @@ val simulate : ?validate:bool -> ?seed:int -> unit -> Pass_manager.pass
 (** Cycle-level simulation on the context's partition placement, on the
     context's inputs (or random inputs from [seed] when absent),
     validated against the sequential reference when [validate] (default
-    true). Failures (deadlock [SF0701], mismatch [SF0702]) are recorded
+    true). Failures (deadlock [SF0701], mismatch [SF0702], timeout
+    [SF0703]) are recorded
     as error diagnostics in {!Ctx.t.diags} and in {!Ctx.t.simulation}
     without aborting the pipeline, so reports and exit codes can still
     be produced from the remaining artifacts. *)

@@ -33,4 +33,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("compile", Test_compile.suite);
       ("wave", Test_wave.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -30,7 +30,7 @@ let test_examples_simulate () =
       if Sf_ir.Program.cells p <= 16384 then
         match Engine.run_and_validate p with
         | Ok _ -> ()
-        | Error m -> Alcotest.fail (file ^ ": " ^ m))
+        | Error m -> Alcotest.fail (file ^ ": " ^ Sf_support.Diag.to_string m))
     (example_files ())
 
 let suite =

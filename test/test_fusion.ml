@@ -101,9 +101,9 @@ let test_fusion_reduces_latency () =
     true
     (l fused <= l p);
   let module Engine = Sf_sim.Engine in
-  let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap } in
+  let cheap = Engine.Config.make ~latency:Sf_analysis.Latency.cheap () in
   let cycles q =
-    match Engine.run ~config:cheap q with
+    match Engine.run_exn ~config:cheap q with
     | Engine.Completed stats -> stats.Engine.cycles
     | Engine.Deadlocked _ -> Alcotest.fail "deadlock"
   in

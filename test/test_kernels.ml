@@ -5,7 +5,7 @@ module Engine = Sf_sim.Engine
 module Interp = Sf_reference.Interp
 module Tensor = Sf_reference.Tensor
 
-let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+let cheap = Engine.Config.make ~latency:Sf_analysis.Latency.cheap ()
 
 let test_all_kinds_validate () =
   List.iter
@@ -18,7 +18,7 @@ let test_all_kinds_validate () =
       let p = Iterative.chain ~shape kind ~length:3 in
       match Engine.run_and_validate ~config:cheap p with
       | Ok _ -> ()
-      | Error m -> Alcotest.fail (Iterative.kind_name kind ^ ": " ^ m))
+      | Error m -> Alcotest.fail (Iterative.kind_name kind ^ ": " ^ Sf_support.Diag.to_string m))
     [ Iterative.Jacobi2d; Iterative.Jacobi3d; Iterative.Diffusion2d; Iterative.Diffusion3d;
       Iterative.Laplace2d ]
 
@@ -74,13 +74,13 @@ let test_hdiff_simulates () =
   | Ok stats ->
       Alcotest.(check bool) "cycles near model" true
         (stats.Engine.cycles - stats.Engine.predicted_cycles < 200)
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_hdiff_vectorized_simulates () =
   let p = Hdiff.program ~shape:[ 4; 8; 8 ] ~vector_width:4 () in
   match Engine.run_and_validate ~config:cheap p with
   | Ok _ -> ()
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_hdiff_init_fraction_negligible () =
   (* Sec. IX: on the MeteoSwiss domain the initialization latency is

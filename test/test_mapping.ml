@@ -97,12 +97,13 @@ let test_partitioned_simulation_validates () =
     | _ -> 2
   in
   let config =
-    { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap;
-      Engine.net_latency_cycles = 8 }
+    Engine.Config.make ~latency:Sf_analysis.Latency.cheap
+      ~network:(Engine.Config.network ~net_latency_cycles:8 ())
+      ()
   in
   match Engine.run_and_validate ~config ~placement p with
   | Ok stats -> Alcotest.(check bool) "network used" true (stats.Engine.network_bytes > 0)
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_hop_demand () =
   let p = Sf_analysis.Vectorize.apply (Fixtures.chain ~shape:[ 6; 12 ] ~n:2 ()) 4 in

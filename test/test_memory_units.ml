@@ -18,10 +18,11 @@ let test_reader_multicast_order () =
   let c2 = Channel.create ~name:"c2" ~capacity:8 in
   let r =
     Reader.create ~name:"r" ~tensor ~vector_width:1 ~element_bytes:4
-      ~controller:(Controller.unlimited ()) ~outputs:[ c1; c2 ]
+      ~controller:(Controller.unlimited ()) ~outputs:[ c1; c2 ] ()
   in
-  while Reader.cycle r do
-    ()
+  let now = ref 0 in
+  while Reader.cycle r ~now:!now do
+    incr now
   done;
   Alcotest.(check bool) "done" true (Reader.is_done r);
   Alcotest.(check int) "all words on both channels" 4 (Channel.occupancy c1);
@@ -38,14 +39,14 @@ let test_reader_respects_backpressure () =
   let c2 = Channel.create ~name:"c2" ~capacity:8 in
   let r =
     Reader.create ~name:"r" ~tensor ~vector_width:1 ~element_bytes:4
-      ~controller:(Controller.unlimited ()) ~outputs:[ c1; c2 ]
+      ~controller:(Controller.unlimited ()) ~outputs:[ c1; c2 ] ()
   in
-  Alcotest.(check bool) "first word moves" true (Reader.cycle r);
+  Alcotest.(check bool) "first word moves" true (Reader.cycle r ~now:0);
   (* c1 now full: nothing moves (multicast is all-or-nothing). *)
-  Alcotest.(check bool) "blocked by the slow consumer" false (Reader.cycle r);
+  Alcotest.(check bool) "blocked by the slow consumer" false (Reader.cycle r ~now:1);
   Alcotest.(check int) "fast consumer got exactly one" 1 (Channel.occupancy c2);
   ignore (Channel.pop c1);
-  Alcotest.(check bool) "resumes after drain" true (Reader.cycle r)
+  Alcotest.(check bool) "resumes after drain" true (Reader.cycle r ~now:2)
 
 let test_reader_respects_bandwidth () =
   let tensor = Tensor.of_array [ 4 ] [| 1.; 2.; 3.; 4. |] in
@@ -53,13 +54,13 @@ let test_reader_respects_bandwidth () =
   let ctrl = Controller.create ~bytes_per_cycle:4. in
   let r =
     Reader.create ~name:"r" ~tensor ~vector_width:1 ~element_bytes:8 ~controller:ctrl
-      ~outputs:[ c ]
+      ~outputs:[ c ] ()
   in
   (* 8-byte elements at 4 B/cycle: one word every other cycle. *)
   let moved = ref 0 in
-  for _ = 1 to 8 do
+  for now = 1 to 8 do
     Controller.begin_cycle ctrl;
-    if Reader.cycle r then incr moved
+    if Reader.cycle r ~now then incr moved
   done;
   Alcotest.(check int) "half rate" 4 !moved
 
@@ -73,8 +74,9 @@ let test_writer_drops_invalid_lanes () =
   Channel.push c (word ~valid:false 2.);
   Channel.push c (word 3.);
   Channel.push c (word 4.);
-  while Writer.cycle w do
-    ()
+  let now = ref 0 in
+  while Writer.cycle w ~now:!now do
+    incr now
   done;
   Alcotest.(check bool) "done" true (Writer.is_done w);
   let r = Writer.result w in
@@ -92,7 +94,7 @@ let test_writer_waits_for_bandwidth () =
   in
   Channel.push c (word 1.);
   Controller.begin_cycle ctrl;
-  Alcotest.(check bool) "denied" false (Writer.cycle w);
+  Alcotest.(check bool) "denied" false (Writer.cycle w ~now:0);
   Alcotest.(check int) "word not consumed" 1 (Channel.occupancy c);
   Alcotest.(check bool) "reports bandwidth wait" true
     (Writer.blocked_reason w = Some "waiting for memory bandwidth")
@@ -101,7 +103,7 @@ let test_vector_width_must_divide () =
   let tensor = Tensor.of_array [ 3 ] [| 1.; 2.; 3. |] in
   match
     Reader.create ~name:"r" ~tensor ~vector_width:2 ~element_bytes:4
-      ~controller:(Controller.unlimited ()) ~outputs:[]
+      ~controller:(Controller.unlimited ()) ~outputs:[] ()
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "W=2 over 3 elements must be rejected"

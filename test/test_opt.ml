@@ -114,7 +114,7 @@ let test_optimized_simulates () =
   let p = Opt.optimize (fst (Fusion.fuse_all (Fixtures.kitchen_sink ()))) in
   match Sf_sim.Engine.run_and_validate p with
   | Ok _ -> ()
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 (* Property: folding and CSE preserve evaluation on random expressions
    and random access values. *)

@@ -72,14 +72,13 @@ let test_balanced_simulates () =
   | Ok pt ->
       Alcotest.(check bool) "multiple devices" true (pt.Partition.num_devices > 1);
       let config =
-        { Sf_sim.Engine.default_config with
-          Sf_sim.Engine.latency = Sf_analysis.Latency.cheap }
+        Sf_sim.Engine.Config.make ~latency:Sf_analysis.Latency.cheap ()
       in
       (match
          Sf_sim.Engine.run_and_validate ~config ~placement:(Partition.placement_fn pt) p
        with
       | Ok _ -> ()
-      | Error m -> Alcotest.fail m)
+      | Error m -> Alcotest.fail (Sf_support.Diag.to_string m))
 
 let prop_balanced_never_worse =
   let gen =

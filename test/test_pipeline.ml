@@ -17,11 +17,11 @@ let test_default_pipeline_on_hdiff () =
   (* The optimized program still streams correctly. *)
   match
     Engine.run_and_validate
-      ~config:{ Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+      ~config:(Engine.Config.make ~latency:Sf_analysis.Latency.cheap ())
       optimized
   with
   | Ok _ -> ()
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_vectorize_pass () =
   let p = Fixtures.chain ~shape:[ 8; 32 ] ~n:2 () in

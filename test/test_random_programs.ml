@@ -11,7 +11,7 @@ module Sdfg = Sf_sdfg.Sdfg
 module Tiling = Sf_mapping.Tiling
 module Program_json = Sf_frontend.Program_json
 
-let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+let cheap = Engine.Config.make ~latency:Sf_analysis.Latency.cheap ()
 
 let semantically_equal ?(inputs = None) p q =
   let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
@@ -48,7 +48,7 @@ let prop_sim_equals_reference =
 let prop_cycles_near_model =
   QCheck.Test.make ~count:40 ~name:"random programs: cycles within envelope of Eq. 1"
     Program_gen.arbitrary_program (fun p ->
-      match Engine.run ~config:cheap p with
+      match Engine.run_exn ~config:cheap p with
       | Engine.Deadlocked _ -> false
       | Engine.Completed stats ->
           let nodes = List.length p.Program.stencils in

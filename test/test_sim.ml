@@ -1,19 +1,20 @@
 open Sf_ir
 module Engine = Sf_sim.Engine
+module Telemetry = Sf_sim.Telemetry
 module Interp = Sf_reference.Interp
 module Tensor = Sf_reference.Tensor
 module E = Builder.E
 
-let cheap_config = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+let cheap_config = Engine.Config.make ~latency:Sf_analysis.Latency.cheap ()
 
 let check_validates ?config ?placement p () =
   match Engine.run_and_validate ?config ?placement p with
   | Ok _ -> ()
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_cycle_count_matches_model () =
   let p = Fixtures.chain ~shape:[ 6; 10 ] ~n:3 () in
-  match Engine.run ~config:cheap_config p with
+  match Engine.run_exn ~config:cheap_config p with
   | Engine.Deadlocked _ -> Alcotest.fail "unexpected deadlock"
   | Engine.Completed stats ->
       (* Eq. 1: C = L + N. The simulator adds a bounded per-hop overhead
@@ -31,7 +32,7 @@ let test_throughput_of_diamond () =
      runtime stays within a constant of L + N even though inputs reach c
      along paths of very different latency. *)
   let p = Fixtures.diamond ~shape:[ 8; 16 ] ~span:5 () in
-  match Engine.run ~config:cheap_config p with
+  match Engine.run_exn ~config:cheap_config p with
   | Engine.Deadlocked _ -> Alcotest.fail "unexpected deadlock"
   | Engine.Completed stats ->
       Alcotest.(check bool) "no throughput collapse" true
@@ -44,12 +45,12 @@ let test_deadlock_without_buffers () =
   let config =
     {
       cheap_config with
-      Engine.override_edge_buffers = [ (("a", "c"), 0) ];
-      Engine.deadlock_window = 256;
-      Engine.channel_slack = 2;
+      Engine.Config.override_edge_buffers = [ (("a", "c"), 0) ];
+      Engine.Config.channel_slack = 2;
+      Engine.Config.safety = Engine.Config.safety ~deadlock_window:256 ();
     }
   in
-  match Engine.run ~config p with
+  match Engine.run_exn ~config p with
   | Engine.Completed _ -> Alcotest.fail "expected deadlock with zeroed skip buffer"
   | Engine.Deadlocked { blocked; wait_cycle; _ } ->
       Alcotest.(check bool) "diagnostics identify blockage" true (blocked <> []);
@@ -65,16 +66,20 @@ let test_deadlock_without_buffers () =
 
 let test_deadlock_resolved_by_buffers () =
   let p = Fixtures.diamond ~shape:[ 8; 16 ] ~span:5 () in
-  let config = { cheap_config with Engine.channel_slack = 2; Engine.deadlock_window = 256 } in
+  let config = { cheap_config with
+      Engine.Config.channel_slack = 2;
+      Engine.Config.safety = Engine.Config.safety ~deadlock_window:256 ();
+    } in
   match Engine.run_and_validate ~config p with
   | Ok _ -> ()
-  | Error m -> Alcotest.fail ("analysed buffers should prevent deadlock: " ^ m)
+  | Error m ->
+      Alcotest.fail ("analysed buffers should prevent deadlock: " ^ Sf_support.Diag.to_string m)
 
 let test_vector_width_equivalence () =
   let inputs = Interp.random_inputs (Fixtures.chain ~shape:[ 4; 16 ] ~n:3 ~vector_width:1 ()) in
   let run w =
     let p = Fixtures.chain ~shape:[ 4; 16 ] ~n:3 ~vector_width:w () in
-    match Engine.run ~config:cheap_config ~inputs p with
+    match Engine.run_exn ~config:cheap_config ~inputs p with
     | Engine.Deadlocked _ -> Alcotest.fail "deadlock"
     | Engine.Completed stats -> (List.assoc "f3" stats.Engine.results).Interp.tensor
   in
@@ -91,7 +96,7 @@ let test_vector_width_equivalence () =
 let test_vectorization_reduces_cycles () =
   let cycles w =
     let p = Fixtures.chain ~shape:[ 8; 32 ] ~n:3 ~vector_width:w () in
-    match Engine.run ~config:cheap_config p with
+    match Engine.run_exn ~config:cheap_config p with
     | Engine.Deadlocked _ -> Alcotest.fail "deadlock"
     | Engine.Completed stats -> stats.Engine.cycles
   in
@@ -107,14 +112,14 @@ let test_multi_device_chain () =
   let placement name =
     match name with "f1" | "f2" -> 0 | "f3" | "f4" -> 1 | _ -> 0
   in
-  let config = { cheap_config with Engine.net_latency_cycles = 16 } in
+  let config = { cheap_config with Engine.Config.network = Engine.Config.network ~net_latency_cycles:16 () } in
   (match Engine.run_and_validate ~config ~placement p with
   | Ok stats ->
       Alcotest.(check bool) "network used" true (stats.Engine.network_bytes > 0)
-  | Error m -> Alcotest.fail m);
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m));
   match Engine.run_and_validate ~config p with
   | Ok stats -> Alcotest.(check int) "single device uses no network" 0 stats.Engine.network_bytes
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_network_bandwidth_limits_throughput () =
   let p = Fixtures.chain ~shape:[ 16; 48 ] ~n:2 () in
@@ -122,9 +127,13 @@ let test_network_bandwidth_limits_throughput () =
   let dtype_bytes = 4 in
   let run net =
     let config =
-      { cheap_config with Engine.net_bytes_per_cycle = net; Engine.net_latency_cycles = 4 }
+      {
+        cheap_config with
+        Engine.Config.network =
+          Engine.Config.network ~net_bytes_per_cycle:net ~net_latency_cycles:4 ();
+      }
     in
-    match Engine.run ~config ~placement p with
+    match Engine.run_exn ~config ~placement p with
     | Engine.Deadlocked _ -> Alcotest.fail "deadlock"
     | Engine.Completed stats -> stats.Engine.cycles
   in
@@ -138,8 +147,11 @@ let test_network_bandwidth_limits_throughput () =
 let test_memory_bandwidth_limits_throughput () =
   let p = Fixtures.laplace2d ~shape:[ 16; 64 ] () in
   let run bw =
-    let config = { cheap_config with Engine.mem_bytes_per_cycle = bw } in
-    match Engine.run ~config p with
+    let config =
+      { cheap_config with
+        Engine.Config.bandwidth = Engine.Config.bandwidth ~mem_bytes_per_cycle:bw () }
+    in
+    match Engine.run_exn ~config p with
     | Engine.Deadlocked _ -> Alcotest.fail "deadlock"
     | Engine.Completed stats -> stats.Engine.cycles
   in
@@ -154,7 +166,7 @@ let test_memory_bandwidth_limits_throughput () =
 
 let test_bytes_accounting () =
   let p = Fixtures.kitchen_sink ~shape:[ 4; 6; 8 ] () in
-  match Engine.run ~config:cheap_config p with
+  match Engine.run_exn ~config:cheap_config p with
   | Engine.Deadlocked _ -> Alcotest.fail "deadlock"
   | Engine.Completed stats ->
       let counts = Sf_analysis.Op_count.of_program p in
@@ -168,16 +180,18 @@ let test_bytes_accounting () =
 
 let test_high_water_within_capacity () =
   let p = Fixtures.diamond ~shape:[ 8; 16 ] ~span:4 () in
-  match Engine.run ~config:cheap_config p with
+  match Engine.run_exn ~config:cheap_config p with
   | Engine.Deadlocked _ -> Alcotest.fail "deadlock"
   | Engine.Completed stats ->
       List.iter
         (fun (name, high, cap) ->
           Alcotest.(check bool) (name ^ " within capacity") true (high <= cap))
-        stats.Engine.channel_high_water;
+        (Telemetry.channel_high_water stats.Engine.telemetry);
       (* The skip edge actually used its delay buffer. *)
       let skip =
-        List.find (fun (name, _, _) -> String.equal name "a->c") stats.Engine.channel_high_water
+        List.find
+          (fun (name, _, _) -> String.equal name "a->c")
+          (Telemetry.channel_high_water stats.Engine.telemetry)
       in
       let _, high, _ = skip in
       Alcotest.(check bool) "skip edge buffered data" true (high > 1)
@@ -216,11 +230,11 @@ let test_buffer_tightness () =
     let config =
       {
         cheap_config with
-        Engine.override_edge_buffers = [ (("a", "c"), buffer) ];
-        Engine.channel_slack = 2;
+        Engine.Config.override_edge_buffers = [ (("a", "c"), buffer) ];
+        Engine.Config.channel_slack = 2;
       }
     in
-    match Engine.run ~config p with
+    match Engine.run_exn ~config p with
     | Engine.Deadlocked _ -> max_int
     | Engine.Completed stats -> stats.Engine.cycles
   in
@@ -232,31 +246,35 @@ let test_buffer_tightness () =
 
 let test_trace_sampling () =
   let p = Fixtures.diamond ~shape:[ 8; 16 ] ~span:4 () in
-  let config = { cheap_config with Engine.trace_interval = Some 8 } in
-  match Engine.run ~config p with
+  let config =
+    { cheap_config with Engine.Config.tracing = Engine.Config.tracing ~trace_interval:8 () }
+  in
+  match Engine.run_exn ~config p with
   | Engine.Deadlocked _ -> Alcotest.fail "deadlock"
   | Engine.Completed stats ->
-      Alcotest.(check bool) "samples collected" true (List.length stats.Engine.trace > 2);
+      Alcotest.(check bool) "samples collected" true (List.length stats.Engine.telemetry.Telemetry.samples > 2);
       let expected = (stats.Engine.cycles / 8) + 1 in
       Alcotest.(check bool) "one sample per interval" true
-        (abs (List.length stats.Engine.trace - expected) <= 1);
+        (abs (List.length stats.Engine.telemetry.Telemetry.samples - expected) <= 1);
       List.iter
         (fun (cycle, occupancies) ->
           Alcotest.(check int) "aligned" 0 (cycle mod 8);
           List.iter
             (fun (name, occ) ->
               let _, _, cap =
-                List.find (fun (n, _, _) -> String.equal n name) stats.Engine.channel_high_water
+                List.find
+                  (fun (n, _, _) -> String.equal n name)
+                  (Telemetry.channel_high_water stats.Engine.telemetry)
               in
               Alcotest.(check bool) (name ^ " within capacity") true (occ >= 0 && occ <= cap))
             occupancies)
-        stats.Engine.trace;
+        stats.Engine.telemetry.Telemetry.samples;
       (* The skip-edge buffer visibly fills during the run. *)
       let peak =
         List.fold_left
           (fun acc (_, occupancies) ->
             match List.assoc_opt "a->c" occupancies with Some o -> max acc o | None -> acc)
-          0 stats.Engine.trace
+          0 stats.Engine.telemetry.Telemetry.samples
       in
       Alcotest.(check bool) "skip edge fills" true (peak > 1)
 

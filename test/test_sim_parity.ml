@@ -11,10 +11,11 @@
      SF_PARITY_RECORD=1 dune exec test/main.exe -- test sim_parity
    which rewrites test/seed_parity_data.ml in the source tree. *)
 module Engine = Sf_sim.Engine
+module Telemetry = Sf_sim.Telemetry
 module Interp = Sf_reference.Interp
 module Tensor = Sf_reference.Tensor
 
-let cheap_config = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+let cheap_config = Engine.Config.make ~latency:Sf_analysis.Latency.cheap ()
 
 (* FNV-1a over the exact float bits: any single-ulp deviation changes the
    fingerprint. *)
@@ -50,12 +51,12 @@ let signature outcome =
       let stalls =
         Sf_support.Util.string_concat_map ","
           (fun (n, c) -> Printf.sprintf "%s:%d" n c)
-          s.Engine.unit_stalls
+          (Telemetry.unit_stalls s.Engine.telemetry)
       in
       let hw =
         Sf_support.Util.string_concat_map ","
           (fun (n, h, c) -> Printf.sprintf "%s:%d/%d" n h c)
-          s.Engine.channel_high_water
+          (Telemetry.channel_high_water s.Engine.telemetry)
       in
       let trace =
         let h = ref 0xcbf29ce484222325L in
@@ -66,15 +67,15 @@ let signature outcome =
               (fun (_, occ) ->
                 h := Int64.mul (Int64.logxor !h (Int64.of_int occ)) 0x100000001b3L)
               occs)
-          s.Engine.trace;
-        Printf.sprintf "%d/%Lx" (List.length s.Engine.trace) !h
+          s.Engine.telemetry.Telemetry.samples;
+        Printf.sprintf "%d/%Lx" (List.length s.Engine.telemetry.Telemetry.samples) !h
       in
       Printf.sprintf "cycles=%d pred=%d read=%d written=%d net=%d stalls=[%s] hw=[%s] out=%Lx trace=%s"
         s.Engine.cycles s.Engine.predicted_cycles s.Engine.bytes_read s.Engine.bytes_written
         s.Engine.network_bytes stalls hw
         (fingerprint_results s.Engine.results)
         trace
-  | Engine.Deadlocked { cycle; blocked; wait_cycle } ->
+  | Engine.Deadlocked { cycle; blocked; wait_cycle; _ } ->
       Printf.sprintf "deadlock@%d blocked=[%s] wait=[%s]" cycle
         (Sf_support.Util.string_concat_map "," (fun (n, r) -> n ^ ":" ^ r) blocked)
         (String.concat "->" wait_cycle)
@@ -95,7 +96,7 @@ let example name =
   | None -> failwith ("cannot locate example program " ^ name)
 
 let cases : (string * (unit -> Engine.outcome)) list =
-  let run ?(config = cheap_config) ?placement p () = Engine.run ~config ?placement p in
+  let run ?(config = cheap_config) ?placement p () = Engine.run_exn ~config ?placement p in
   let named = [
     ("laplace2d", run (Fixtures.laplace2d ()));
     ("laplace2d-w4", run (Fixtures.laplace2d ~shape:[ 8; 32 ] ~vector_width:4 ()));
@@ -111,14 +112,16 @@ let cases : (string * (unit -> Engine.outcome)) list =
         ~config:
           {
             cheap_config with
-            Engine.override_edge_buffers = [ (("a", "c"), 0) ];
-            Engine.deadlock_window = 256;
-            Engine.channel_slack = 2;
+            Engine.Config.override_edge_buffers = [ (("a", "c"), 0) ];
+            Engine.Config.channel_slack = 2;
+            Engine.Config.safety = Engine.Config.safety ~deadlock_window:256 ();
           }
         (Fixtures.diamond ~shape:[ 8; 16 ] ~span:5 ()) );
     ( "multi-device-chain",
       run
-        ~config:{ cheap_config with Engine.net_latency_cycles = 16 }
+        ~config:
+          { cheap_config with
+            Engine.Config.network = Engine.Config.network ~net_latency_cycles:16 () }
         ~placement:(function "f1" | "f2" -> 0 | _ -> 1)
         (Fixtures.chain ~shape:[ 6; 10 ] ~n:4 ()) );
     ( "net-capped-chain",
@@ -126,22 +129,29 @@ let cases : (string * (unit -> Engine.outcome)) list =
         ~config:
           {
             cheap_config with
-            Engine.net_bytes_per_cycle = 2.;
-            Engine.net_latency_cycles = 4;
+            Engine.Config.network =
+              Engine.Config.network ~net_bytes_per_cycle:2. ~net_latency_cycles:4 ();
           }
         ~placement:(function "f2" -> 1 | _ -> 0)
         (Fixtures.chain ~shape:[ 8; 24 ] ~n:2 ()) );
     ( "mem-capped-laplace",
       run
-        ~config:{ cheap_config with Engine.mem_bytes_per_cycle = 4. }
+        ~config:
+          { cheap_config with
+            Engine.Config.bandwidth = Engine.Config.bandwidth ~mem_bytes_per_cycle:4. () }
         (Fixtures.laplace2d ~shape:[ 8; 32 ] ()) );
     ( "traced-diamond",
       run
-        ~config:{ cheap_config with Engine.trace_interval = Some 8 }
+        ~config:
+          { cheap_config with
+            Engine.Config.tracing = Engine.Config.tracing ~trace_interval:8 () }
         (Fixtures.diamond ~shape:[ 8; 16 ] ~span:4 ()) );
     ( "max-cycles-timeout",
       run
-        ~config:{ cheap_config with Engine.max_cycles = Some 40; Engine.deadlock_window = 4096 }
+        ~config:
+          { cheap_config with
+            Engine.Config.safety =
+              Engine.Config.safety ~deadlock_window:4096 ~max_cycles:40 () }
         (Fixtures.chain ~shape:[ 6; 10 ] ~n:3 ()) );
   ]
   in

@@ -100,9 +100,9 @@ let prop_channel_soa_model =
               if !hw < Queue.length model then hw := Queue.length model;
               (match op with
               | `SlotPush ->
-                  let base = Channel.push_slot c in
-                  Array.blit values 0 (Channel.buf_values c) base width;
-                  Array.blit valid 0 (Channel.buf_valid c) base width
+                  let base = Channel.Unsafe.push_slot c in
+                  Array.blit values 0 (Channel.Unsafe.buf_values c) base width;
+                  Array.blit valid 0 (Channel.Unsafe.buf_valid c) base width
               | _ ->
                   let w = Word.create width in
                   Array.blit values 0 w.Word.values 0 width;
@@ -112,11 +112,11 @@ let prop_channel_soa_model =
           | `SlotPush | `WordPush -> Channel.is_full c
           | `SlotDrop when Queue.length model > 0 ->
               let values, valid = Queue.pop model in
-              let base = Channel.front_slot c in
+              let base = Channel.Unsafe.front_slot c in
               let ok = ref true in
               for l = 0 to width - 1 do
-                if (Channel.buf_values c).(base + l) <> values.(l) then ok := false;
-                if (Channel.buf_valid c).(base + l) <> valid.(l) then ok := false
+                if (Channel.Unsafe.buf_values c).(base + l) <> values.(l) then ok := false;
+                if (Channel.Unsafe.buf_valid c).(base + l) <> valid.(l) then ok := false
               done;
               Channel.drop c;
               !ok
@@ -169,7 +169,7 @@ let test_controller_unlimited () =
 let test_link_latency_and_order () =
   let src = Channel.create ~name:"src" ~capacity:8 in
   let dst = Channel.create ~name:"dst" ~capacity:8 in
-  let link = Link.create ~name:"l" ~bytes_per_cycle:4. ~latency_cycles:3 in
+  let link = Link.create ~name:"l" ~bytes_per_cycle:4. ~latency_cycles:3 () in
   Link.add_port link ~src ~dst ~word_bytes:4;
   Channel.push src (word 1.);
   Channel.push src (word 2.);
@@ -190,7 +190,7 @@ let test_link_bandwidth_shared () =
      only one word total is injected per cycle. *)
   let mk name = Channel.create ~name ~capacity:8 in
   let s1 = mk "s1" and d1 = mk "d1" and s2 = mk "s2" and d2 = mk "d2" in
-  let link = Link.create ~name:"l" ~bytes_per_cycle:4. ~latency_cycles:0 in
+  let link = Link.create ~name:"l" ~bytes_per_cycle:4. ~latency_cycles:0 () in
   Link.add_port link ~src:s1 ~dst:d1 ~word_bytes:4;
   Link.add_port link ~src:s2 ~dst:d2 ~word_bytes:4;
   for i = 1 to 4 do
@@ -208,7 +208,7 @@ let test_link_backpressure () =
   (* A full destination blocks delivery but not other ports. *)
   let src = Channel.create ~name:"src" ~capacity:8 in
   let dst = Channel.create ~name:"dst" ~capacity:1 in
-  let link = Link.create ~name:"l" ~bytes_per_cycle:infinity ~latency_cycles:0 in
+  let link = Link.create ~name:"l" ~bytes_per_cycle:infinity ~latency_cycles:0 () in
   Link.add_port link ~src ~dst ~word_bytes:4;
   Channel.push src (word 1.);
   Channel.push src (word 2.);

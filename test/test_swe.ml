@@ -5,7 +5,7 @@ module Interp = Sf_reference.Interp
 module Tensor = Sf_reference.Tensor
 module Timeloop = Sf_sim.Timeloop
 
-let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+let cheap = Engine.Config.make ~latency:Sf_analysis.Latency.cheap ()
 
 let test_structure () =
   let p = Swe.program () in
@@ -24,7 +24,7 @@ let test_simulates_and_validates () =
   let p = Swe.program ~shape:[ 12; 12 ] () in
   match Engine.run_and_validate ~config:cheap ~inputs:(Swe.stable_inputs p) p with
   | Ok _ -> ()
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_mass_is_plausible () =
   (* Lax-Friedrichs with copy boundaries keeps the water volume of a hump

@@ -6,7 +6,7 @@ module Tensor = Sf_reference.Tensor
 module Iterative = Sf_kernels.Iterative
 module Swe = Sf_kernels.Swe
 
-let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+let cheap = Engine.Config.make ~latency:Sf_analysis.Latency.cheap ()
 
 let single_jacobi () = Iterative.chain ~shape:[ 8; 12 ] Iterative.Jacobi2d ~length:1
 

@@ -4,13 +4,13 @@ module Engine = Sf_sim.Engine
 module Interp = Sf_reference.Interp
 module Tensor = Sf_reference.Tensor
 
-let cheap = { Engine.default_config with Engine.latency = Sf_analysis.Latency.cheap }
+let cheap = Engine.Config.make ~latency:Sf_analysis.Latency.cheap ()
 
 let test_single_step_validates () =
   let p = Wave.program ~shape:[ 16; 16 ] () in
   match Engine.run_and_validate ~config:cheap ~inputs:(Wave.pulse_inputs p) p with
   | Ok _ -> ()
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let test_two_field_feedback () =
   (* The pass-through output carries u into u_prev: after one step,
@@ -59,7 +59,7 @@ let test_unrolled_wave_is_one_dag () =
   Alcotest.(check int) "9 stencils" 9 (List.length unrolled.Sf_ir.Program.stencils);
   match Engine.run_and_validate ~config:cheap ~inputs:(Wave.pulse_inputs p) unrolled with
   | Ok _ -> ()
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Sf_support.Diag.to_string m)
 
 let suite =
   [
