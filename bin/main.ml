@@ -138,8 +138,24 @@ let simulate_cmd =
                    cycles, stalls by cause, pushes, pops, bytes; per-channel high-water \
                    marks) as JSON on stdout.")
   in
-  let run path width fuse seed trace profile trace_out counters_json trace_passes dump_ir
-      diag_json =
+  let parallel_arg =
+    Arg.(value & flag
+         & info [ "parallel" ]
+             ~doc:"Simulate with one OCaml domain per device, synchronizing at link \
+                   boundaries (cycle- and bit-identical to the sequential engine). \
+                   Degrades to sequential for single-device placements and \
+                   instrumented runs ($(b,--profile), $(b,--trace), $(b,--trace-out), \
+                   $(b,--counters-json)).")
+  in
+  let devices_arg =
+    Arg.(value & opt (some int) None
+         & info [ "devices" ] ~docv:"N"
+             ~doc:"Force the mapping onto $(docv) devices (even contiguous chunks of \
+                   the topological order) instead of the resource-driven greedy \
+                   partitioner.")
+  in
+  let run path width fuse seed trace profile trace_out counters_json parallel devices
+      trace_passes dump_ir diag_json =
     let telemetry = profile || trace_out <> None || counters_json in
     let trace_interval =
       if trace <> None || trace_out <> None then Some 16 else None
@@ -147,13 +163,20 @@ let simulate_cmd =
     let sim_config =
       Engine.Config.make
         ~tracing:(Engine.Config.tracing ?trace_interval ~telemetry ())
+        ~parallelism:
+          (Engine.Config.parallelism
+             ~mode:(if parallel then `Domains_per_device else `Sequential)
+             ())
         ()
+    in
+    let partition_pass =
+      match devices with Some n -> Passes.partition_into n | None -> Passes.partition
     in
     let ctx =
       run_pipeline ~sim_config ~trace_passes ~dump_ir ~diag_json
         (frontend_passes path width false
         @ [ Passes.fuse () ]
-        @ [ Passes.delay_buffers; Passes.partition; Passes.performance_model ]
+        @ [ Passes.delay_buffers; partition_pass; Passes.performance_model ]
         @ [ Passes.simulate ~seed () ])
     in
     ignore fuse;
@@ -203,8 +226,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ program_arg $ vector_width_arg $ fuse_arg $ seed_arg $ trace_arg
-      $ profile_arg $ trace_out_arg $ counters_json_arg $ trace_passes_arg $ dump_ir_arg
-      $ diag_json_arg)
+      $ profile_arg $ trace_out_arg $ counters_json_arg $ parallel_arg $ devices_arg
+      $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
 
 let codegen_cmd =
   let out_arg =

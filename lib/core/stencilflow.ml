@@ -22,6 +22,7 @@ module Influence = Sf_analysis.Influence
 module Tensor = Sf_reference.Tensor
 module Interp = Sf_reference.Interp
 module Engine = Sf_sim.Engine
+module Parallel = Sf_sim.Parallel
 module Telemetry = Sf_sim.Telemetry
 module Timeloop = Sf_sim.Timeloop
 module Sdfg = Sf_sdfg.Sdfg
@@ -83,7 +84,7 @@ let report_of_ctx (ctx : Ctx.t) =
       invalid_arg "Stencilflow.report_of_ctx: pipeline did not produce all report artifacts"
 
 let run_result ?(device = Device.stratix10) ?(fuse = true) ?(simulate = true)
-    ?(validate = true) ?(sim_config = Engine.default_config) ?inputs ?hooks program =
+    ?(validate = true) ?(sim_config = Engine.Config.default) ?inputs ?hooks program =
   let ctx = Ctx.create ~device ~sim_config ?inputs () in
   let passes = Passes.use_program program :: Passes.standard ~fuse ~simulate ~validate () in
   match Pass_manager.run ?hooks passes ctx with

@@ -43,6 +43,7 @@ module Influence = Sf_analysis.Influence
 module Tensor = Sf_reference.Tensor
 module Interp = Sf_reference.Interp
 module Engine = Sf_sim.Engine
+module Parallel = Sf_sim.Parallel
 module Telemetry = Sf_sim.Telemetry
 module Timeloop = Sf_sim.Timeloop
 module Sdfg = Sf_sdfg.Sdfg

@@ -81,6 +81,36 @@ let greedy ?(ceiling = 0.85) ?(max_devices = 8) ~device (p : Program.t) =
     Ok (derive_metadata p device_of (!current_id + 1) (List.rev !device_usages))
   with Unsplittable m -> Error (Sf_support.Diag.error ~code:Sf_support.Diag.Code.partition m)
 
+let contiguous ~devices (p : Program.t) =
+  if devices < 1 then
+    Error
+      (Sf_support.Diag.errorf ~code:Sf_support.Diag.Code.partition
+         "contiguous partition needs at least 1 device, got %d" devices)
+  else begin
+    Program.validate_exn p;
+    let order = Array.of_list (Program.topological_stencils p) in
+    let n = Array.length order in
+    let d = min devices n in
+    (* Stencil i of n goes to segment i*d/n: even contiguous chunks of
+       the topological order, so every cut is a chain hop. *)
+    let device_of =
+      List.init n (fun i -> (order.(i).Stencil.name, i * d / n))
+    in
+    let per_device =
+      List.map
+        (fun k ->
+          List.fold_left
+            (fun acc (name, k') ->
+              if k' = k then
+                Resource.add acc
+                  (Resource.of_stencil p (Option.get (Program.find_stencil p name)))
+              else acc)
+            Resource.zero device_of)
+        (Sf_support.Util.range d)
+    in
+    Ok (derive_metadata p device_of d per_device)
+  end
+
 let placement_fn t name = device_lookup t name
 
 let validate (p : Program.t) t =

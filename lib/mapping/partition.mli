@@ -32,6 +32,14 @@ val greedy :
 val single_device : Sf_ir.Program.t -> t
 (** Everything on device 0 (no resource check). *)
 
+val contiguous : devices:int -> Sf_ir.Program.t -> (t, Sf_support.Diag.t) result
+(** Split the topological order into [devices] even contiguous chunks,
+    without a resource check — for forcing a multi-device mapping (and
+    thus the parallel simulator) on programs small enough that the
+    resource-driven partitioners keep them on one device. Uses
+    [min devices stencils] devices; fails ([SF0501]) when
+    [devices < 1]. *)
+
 val placement_fn : t -> string -> int
 (** Adapter for {!Sf_sim.Engine}'s [placement] argument. *)
 

@@ -8,6 +8,8 @@ module Config = struct
   type network = { net_bytes_per_cycle : float; net_latency_cycles : int }
   type safety = { deadlock_window : int; max_cycles : int option }
   type tracing = { trace_interval : int option; telemetry : bool }
+  type par_mode = [ `Sequential | `Domains_per_device ]
+  type parallelism = { mode : par_mode; window_cycles : int }
 
   let bandwidth ?(mem_bytes_per_cycle = infinity) ?(writer_buffer = 8) () =
     { mem_bytes_per_cycle; writer_buffer }
@@ -18,6 +20,9 @@ module Config = struct
   let safety ?(deadlock_window = 4096) ?max_cycles () = { deadlock_window; max_cycles }
   let tracing ?trace_interval ?(telemetry = false) () = { trace_interval; telemetry }
 
+  let parallelism ?(mode = `Sequential) ?(window_cycles = 1024) () =
+    { mode; window_cycles }
+
   type t = {
     latency : Sf_analysis.Latency.config;
     channel_slack : int;
@@ -26,11 +31,13 @@ module Config = struct
     network : network;
     safety : safety;
     tracing : tracing;
+    parallelism : parallelism;
   }
 
   let make ?(latency = Sf_analysis.Latency.default) ?(channel_slack = 4)
       ?(override_edge_buffers = []) ?bandwidth:(bw = bandwidth ()) ?network:(net = network ())
-      ?safety:(sf = safety ()) ?tracing:(tr = tracing ()) () =
+      ?safety:(sf = safety ()) ?tracing:(tr = tracing ()) ?parallelism:(par = parallelism ())
+      () =
     {
       latency;
       channel_slack;
@@ -39,6 +46,7 @@ module Config = struct
       network = net;
       safety = sf;
       tracing = tr;
+      parallelism = par;
     }
 
   let default = make ()
@@ -68,6 +76,11 @@ type outcome =
       telemetry : Telemetry.report;
     }
 
+(* The system model, its constructor and the counter harvest live in
+   [Internal] so the domain-parallel engine (parallel.ml) can drive the
+   exact same components through its own scheduler; see engine.mli for
+   the contract. The sequential engine below opens it. *)
+module Internal = struct
 (* One simulated system: all channels, units, readers, writers and links,
    each paired with its telemetry probe (absent when telemetry is off). *)
 type system = {
@@ -86,6 +99,12 @@ type system = {
      given consumer. *)
   channel_consumer : (string, string) Hashtbl.t;
   producer_for : (string * string, string) Hashtbl.t;
+  (* Structure the parallel engine partitions by: the home device of
+     every unit, reader and writer, and every cross-device link port as
+     [(link, src_device, dst_device, near, far, word_bytes)] in creation
+     order (the order [Link.cycle] visits ports). *)
+  comp_device : (string, int) Hashtbl.t;
+  cross_ports : (Link.t * int * int * Channel.t * Channel.t * int) list;
 }
 
 let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
@@ -145,6 +164,8 @@ let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
   let src_endpoint : (string * string, Channel.t) Hashtbl.t = Hashtbl.create 32 in
   let channel_consumer : (string, string) Hashtbl.t = Hashtbl.create 32 in
   let producer_for : (string * string, string) Hashtbl.t = Hashtbl.create 32 in
+  let comp_device : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let cross_ports = ref [] in
   let make_edge ~src ~dst ~src_device ~dst_device =
     let cap = buffer_for ~src ~dst + channel_slack in
     Hashtbl.replace producer_for (dst, src) src;
@@ -159,7 +180,9 @@ let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
       let far = new_channel (Printf.sprintf "%s->%s.rx" src dst) cap in
       Hashtbl.replace channel_consumer (Channel.name near) dst;
       Hashtbl.replace channel_consumer (Channel.name far) dst;
-      Link.add_port (link_between src_device dst_device) ~src:near ~dst:far ~word_bytes;
+      let link = link_between src_device dst_device in
+      Link.add_port link ~src:near ~dst:far ~word_bytes;
+      cross_ports := (link, src_device, dst_device, near, far, word_bytes) :: !cross_ports;
       Hashtbl.replace dst_channel (src, dst) far;
       Hashtbl.replace src_endpoint (src, dst) near
     end
@@ -211,6 +234,7 @@ let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
             in
             let tensor = { (input_tensor f.Field.name) with Tensor.extent = Interp.input_extent p f } in
             let name = Printf.sprintf "read.%s@%d" f.Field.name d in
+            Hashtbl.replace comp_device name d;
             let probe = Telemetry.probe telemetry ~kind:Telemetry.Reader ~name in
             let r =
               Memory_unit.Reader.create ?probe ~name ~tensor ~vector_width:w
@@ -234,6 +258,7 @@ let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
         let c = new_channel (Printf.sprintf "%s->mem" o) cap in
         let d = device_of o in
         let name = Printf.sprintf "write.%s@%d" o d in
+        Hashtbl.replace comp_device name d;
         Hashtbl.replace channel_consumer (Channel.name c) name;
         let probe = Telemetry.probe telemetry ~kind:Telemetry.Writer ~name in
         let writer =
@@ -251,6 +276,7 @@ let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
     List.map
       (fun s ->
         let name = s.Stencil.name in
+        Hashtbl.replace comp_device name (device_of name);
         let bindings =
           List.map
             (fun field ->
@@ -299,6 +325,8 @@ let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
       writers_done;
       channel_consumer;
       producer_for;
+      comp_device;
+      cross_ports = List.rev !cross_ports;
     },
     predicted )
 
@@ -361,6 +389,75 @@ let harvest ~telemetry ~system ~cycles ~samples =
   Telemetry.freeze telemetry ~cycles
     ~components:(unit_rows @ reader_rows @ writer_rows @ link_rows)
     ~channels ~samples
+
+(* Assemble the completion stats of a finished system — shared by the
+   sequential loop below and the domain-parallel engine, so byte and
+   network accounting cannot drift between the two. *)
+let completed_stats ~system ~predicted ~cycles ~report (p : Program.t) =
+  (* Controllers account reads and writes together; split the writes
+     back out below. Prefetched lower-dimensional inputs are charged
+     once per device replica. *)
+  let bytes_granted =
+    system.prefetch_bytes
+    + Array.fold_left (fun acc c -> acc + Controller.bytes_granted c) 0 system.mem_controllers
+  in
+  let bytes_written =
+    List.fold_left
+      (fun acc (_, w, _) ->
+        let r = Memory_unit.Writer.result w in
+        acc
+        + Array.fold_left (fun n v -> if v then n + 1 else n) 0 r.Interp.valid
+          * Dtype.size_bytes p.Program.dtype
+      )
+      0 system.writers
+  in
+  {
+    cycles;
+    predicted_cycles = predicted;
+    results = List.map (fun (o, w, _) -> (o, Memory_unit.Writer.result w)) system.writers;
+    bytes_read = bytes_granted - bytes_written;
+    bytes_written;
+    network_bytes =
+      List.fold_left (fun acc (l, _) -> acc + Link.bytes_transferred l) 0 system.links;
+    telemetry = report;
+  }
+
+(* Compare a completed run's outputs against the reference interpreter;
+   shared by [run_and_validate] in both engines. *)
+let compare_to_reference ~inputs (p : Program.t) stats =
+  let mismatch fmt =
+    Format.kasprintf (fun m -> Error (Diag.error ~code:Diag.Code.sim_mismatch m)) fmt
+  in
+  let reference = Interp.run p ~inputs in
+  let rec check = function
+    | [] -> Ok stats
+    | (name, simulated) :: rest -> (
+        match List.assoc_opt name reference with
+        | None -> mismatch "output %s missing from reference" name
+        | Some expected ->
+            let (simulated : Interp.result) = simulated in
+            if simulated.Interp.valid <> expected.Interp.valid then
+              mismatch "output %s: validity masks differ" name
+            else begin
+              let worst = ref 0. in
+              Array.iteri
+                (fun i v ->
+                  if expected.Interp.valid.(i) then begin
+                    let d =
+                      Float.abs (v -. Tensor.get_flat expected.Interp.tensor i)
+                    in
+                    if d > !worst then worst := d
+                  end)
+                simulated.Interp.tensor.Tensor.data;
+              if !worst > 1e-9 then
+                mismatch "output %s: max deviation %g from reference" name !worst
+              else check rest
+            end)
+  in
+  check stats.results
+end
+
+open Internal
 
 (* ------------------------------------------------------------------ *)
 (* Execution core.                                                     *)
@@ -780,36 +877,7 @@ let run_exn ?(config = Config.default) ?(placement = fun _ -> 0) ?inputs (p : Pr
         telemetry = report ();
       }
   end
-  else begin
-    (* Controllers account reads and writes together; split the writes
-       back out below. Prefetched lower-dimensional inputs are charged
-       once per device replica. *)
-    let bytes_granted =
-      system.prefetch_bytes
-      + Array.fold_left (fun acc c -> acc + Controller.bytes_granted c) 0 system.mem_controllers
-    in
-    let bytes_written =
-      List.fold_left
-        (fun acc (_, w, _) ->
-          let r = Memory_unit.Writer.result w in
-          acc
-          + Array.fold_left (fun n v -> if v then n + 1 else n) 0 r.Interp.valid
-            * Dtype.size_bytes p.Program.dtype
-        )
-        0 system.writers
-    in
-    Completed
-      {
-        cycles = !cycle;
-        predicted_cycles = predicted;
-        results = List.map (fun (o, w, _) -> (o, Memory_unit.Writer.result w)) system.writers;
-        bytes_read = bytes_granted - bytes_written;
-        bytes_written;
-        network_bytes =
-          List.fold_left (fun acc (l, _) -> acc + Link.bytes_transferred l) 0 system.links;
-        telemetry = report ();
-      }
-  end
+  else Completed (completed_stats ~system ~predicted ~cycles:!cycle ~report:(report ()) p)
 
 (* The structured failure of a non-completing run: SF0701 for a true
    deadlock (the idle window tripped), SF0703 for a cycle-budget
@@ -840,32 +908,4 @@ let run_and_validate ?config ?placement ?inputs p =
   let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
   match run ?config ?placement ~inputs p with
   | Error d -> Error d
-  | Ok stats ->
-      let mismatch fmt = Format.kasprintf (fun m -> Error (Diag.error ~code:Diag.Code.sim_mismatch m)) fmt in
-      let reference = Interp.run p ~inputs in
-      let rec check = function
-        | [] -> Ok stats
-        | (name, simulated) :: rest -> (
-            match List.assoc_opt name reference with
-            | None -> mismatch "output %s missing from reference" name
-            | Some expected ->
-                let (simulated : Interp.result) = simulated in
-                if simulated.Interp.valid <> expected.Interp.valid then
-                  mismatch "output %s: validity masks differ" name
-                else begin
-                  let worst = ref 0. in
-                  Array.iteri
-                    (fun i v ->
-                      if expected.Interp.valid.(i) then begin
-                        let d =
-                          Float.abs (v -. Tensor.get_flat expected.Interp.tensor i)
-                        in
-                        if d > !worst then worst := d
-                      end)
-                    simulated.Interp.tensor.Tensor.data;
-                  if !worst > 1e-9 then
-                    mismatch "output %s: max deviation %g from reference" name !worst
-                  else check rest
-                end)
-      in
-      check stats.results
+  | Ok stats -> compare_to_reference ~inputs p stats

@@ -59,6 +59,21 @@ module Config : sig
             run; only wall-clock time differs. *)
   }
 
+  type par_mode = [ `Sequential | `Domains_per_device ]
+
+  type parallelism = {
+    mode : par_mode;
+        (** [`Domains_per_device] asks {!Parallel.run_exn} to spawn one
+            OCaml domain per device and synchronize them only at link
+            boundaries. The sequential {!run_exn} ignores this field;
+            route runs through {!Parallel} to honour it. *)
+    window_cycles : int;
+        (** How far a domain may run ahead of its downstream consumers
+            before it blocks, bounding cross-domain queue occupancy.
+            Purely a throughput/memory knob: any positive value yields
+            bit-identical results. *)
+  }
+
   val bandwidth : ?mem_bytes_per_cycle:float -> ?writer_buffer:int -> unit -> bandwidth
   (** Defaults: unlimited bandwidth, 8 words of writer buffering. *)
 
@@ -70,6 +85,9 @@ module Config : sig
 
   val tracing : ?trace_interval:int -> ?telemetry:bool -> unit -> tracing
   (** Defaults: no occupancy sampling, telemetry off. *)
+
+  val parallelism : ?mode:par_mode -> ?window_cycles:int -> unit -> parallelism
+  (** Defaults: sequential execution, 1024-cycle run-ahead window. *)
 
   type t = {
     latency : Sf_analysis.Latency.config;
@@ -84,6 +102,7 @@ module Config : sig
     network : network;
     safety : safety;
     tracing : tracing;
+    parallelism : parallelism;
   }
 
   val make :
@@ -94,6 +113,7 @@ module Config : sig
     ?network:network ->
     ?safety:safety ->
     ?tracing:tracing ->
+    ?parallelism:parallelism ->
     unit ->
     t
 
@@ -104,8 +124,9 @@ end
 type config = Config.t
 
 val default_config : config
-(** @deprecated Alias of {!Config.default}; use [Config.make] or
-    [Config.default] in new code. *)
+(** @deprecated Alias of {!Config.default}, kept only for source
+    compatibility with pre-[Config] callers outside this repository;
+    every in-repo caller uses [Config.make] / [Config.default]. *)
 
 type stats = {
   cycles : int;
@@ -171,3 +192,75 @@ val run_and_validate :
   (stats, Sf_support.Diag.t) result
 (** {!run}, then compare every program output against the sequential
     reference interpreter. A mismatch maps to code [SF0702]. *)
+
+val failure_diag :
+  cycle:int ->
+  blocked:(string * string) list ->
+  wait_cycle:string list ->
+  timed_out:bool ->
+  telemetry:Telemetry.report ->
+  Sf_support.Diag.t
+(** The structured diagnostic of a [Deadlocked] outcome: [SF0701] for a
+    true deadlock, [SF0703] for a cycle-budget timeout, with the
+    circular wait and blocked reasons as notes. Shared with
+    {!Parallel.run}. *)
+
+(** {2 Internal plumbing}
+
+    The simulated system model, shared between this sequential engine
+    and the domain-parallel one ({!Parallel}): both build the exact same
+    components via {!Internal.build} and harvest the exact same counters
+    via {!Internal.harvest}, so observable behaviour can only differ if
+    a scheduler bug makes it differ — which the cross-engine parity
+    tests would catch. Not part of the stable API. *)
+module Internal : sig
+  type system = {
+    channels : Channel.t list ref;
+    units : (Stencil_unit.t * Telemetry.probe option) list;
+    readers : (Memory_unit.Reader.t * Telemetry.probe option) list;
+    writers : (string * Memory_unit.Writer.t * Telemetry.probe option) list;
+    links : (Link.t * Telemetry.probe option) list;
+    mem_controllers : Controller.t array;
+    prefetch_bytes : int;
+    writers_done : int ref;
+    channel_consumer : (string, string) Hashtbl.t;
+    producer_for : (string * string, string) Hashtbl.t;
+    comp_device : (string, int) Hashtbl.t;
+        (** Home device of every unit, reader and writer, by name. *)
+    cross_ports : (Link.t * int * int * Channel.t * Channel.t * int) list;
+        (** Every cross-device link port as [(link, src_device,
+            dst_device, near_channel, far_channel, word_bytes)], in the
+            order {!Link.cycle} visits ports. *)
+  }
+
+  val build :
+    config:Config.t ->
+    telemetry:Telemetry.t ->
+    placement:(string -> int) ->
+    inputs:(string * Sf_reference.Tensor.t) list ->
+    Sf_ir.Program.t ->
+    system * int
+  (** Instantiate the system; the [int] is the model-predicted cycle
+      count (Eq. 1). Raises on malformed programs. *)
+
+  val harvest :
+    telemetry:Telemetry.t ->
+    system:system ->
+    cycles:int ->
+    samples:(int * (string * int) list) list ->
+    Telemetry.report
+
+  val completed_stats :
+    system:system ->
+    predicted:int ->
+    cycles:int ->
+    report:Telemetry.report ->
+    Sf_ir.Program.t ->
+    stats
+
+  val compare_to_reference :
+    inputs:(string * Sf_reference.Tensor.t) list ->
+    Sf_ir.Program.t ->
+    stats ->
+    (stats, Sf_support.Diag.t) result
+end

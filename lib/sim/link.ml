@@ -72,6 +72,9 @@ let cycle t ~now =
 
 let name t = t.name
 let bytes_transferred t = Controller.bytes_granted t.controller
+let latency_cycles t = t.latency_cycles
+let bytes_per_cycle t = Controller.bytes_per_cycle t.controller
+let credit_bytes t n = Controller.account t.controller n
 let is_idle t = List.for_all (fun p -> Queue.is_empty p.in_flight) t.ports
 let port_channels t = List.map (fun p -> (p.src, p.dst)) t.ports
 let sources_empty t = List.for_all (fun p -> Channel.is_empty p.src) t.ports

@@ -23,6 +23,16 @@ val cycle : t -> now:int -> bool
 
 val name : t -> string
 val bytes_transferred : t -> int
+val latency_cycles : t -> int
+val bytes_per_cycle : t -> float
+
+val credit_bytes : t -> int -> unit
+(** Record bytes as transferred without running the link. The parallel
+    engine moves each direction's traffic through its own per-domain
+    controller and credits the totals back here after the join, so
+    {!bytes_transferred} and the harvested link counters agree with a
+    sequential run. *)
+
 val is_idle : t -> bool
 (** No words in flight. *)
 

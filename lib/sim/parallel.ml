@@ -1,0 +1,478 @@
+open Sf_ir
+module Interp = Sf_reference.Interp
+module Diag = Sf_support.Diag
+module I = Engine.Internal
+
+type decision =
+  [ `Parallel of int | `Degrade of string | `Reject of Sf_support.Diag.t ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain synchronization.                                       *)
+(*                                                                     *)
+(* Each device domain owns a [sync] cell and publishes its last fully  *)
+(* executed cycle through it. Neighbours read it to enforce the        *)
+(* conservative bounds: a device may execute cycle [t] once every      *)
+(* upstream committed [t - L] (all traffic that can reach it by [t] is *)
+(* then in the queue) and every downstream committed [t - window]      *)
+(* (bounding queue occupancy). The fast path is a plain SC atomic      *)
+(* read; a blocked domain spins briefly, then parks on the condition   *)
+(* variable. Publishers broadcast only when the waiter count is        *)
+(* non-zero — the increment-then-recheck / set-then-read pairing makes *)
+(* the lost-wakeup race impossible under the SC total order.           *)
+(* ------------------------------------------------------------------ *)
+
+type sync = {
+  committed : int Atomic.t;  (* last fully executed cycle; -1 before cycle 0 *)
+  waiters : int Atomic.t;
+  mu : Mutex.t;
+  cv : Condition.t;
+}
+
+(* Published in place of the cycle clock when a domain exits, so
+   neighbours never block on it again. Far below [max_int] because
+   readers cache [committed + lookahead] and must not overflow. *)
+let sentinel = max_int / 4
+
+let make_sync () =
+  {
+    committed = Atomic.make (-1);
+    waiters = Atomic.make 0;
+    mu = Mutex.create ();
+    cv = Condition.create ();
+  }
+
+let publish sync c =
+  Atomic.set sync.committed c;
+  if Atomic.get sync.waiters > 0 then begin
+    Mutex.lock sync.mu;
+    Condition.broadcast sync.cv;
+    Mutex.unlock sync.mu
+  end
+
+(* Wait until [committed >= target] or an abort; returns the committed
+   value read (callers re-check the abort flag). *)
+let await sync ~abort ~target =
+  let rec block () =
+    Atomic.incr sync.waiters;
+    Mutex.lock sync.mu;
+    let rec wait () =
+      let c = Atomic.get sync.committed in
+      if c >= target || Atomic.get abort then c
+      else begin
+        Condition.wait sync.cv sync.mu;
+        wait ()
+      end
+    in
+    let c = wait () in
+    Mutex.unlock sync.mu;
+    Atomic.decr sync.waiters;
+    c
+  and spin n =
+    let c = Atomic.get sync.committed in
+    if c >= target || Atomic.get abort then c
+    else if n > 0 then begin
+      Domain.cpu_relax ();
+      spin (n - 1)
+    end
+    else block ()
+  in
+  spin 256
+
+(* ------------------------------------------------------------------ *)
+(* Link directions.                                                    *)
+(*                                                                     *)
+(* The sequential [Link] holds both directions of a device pair and    *)
+(* steps them inside one global cycle. Here each direction is split in *)
+(* two halves with single-domain ownership: the tx half (source        *)
+(* domain) pops near channels and injects into the SPSC queue with a   *)
+(* release cycle [now + latency]; the rx half (destination domain)     *)
+(* drains the queue into per-port in-flight buffers and delivers       *)
+(* matured words into far channels, at most one word per port per      *)
+(* cycle — exactly [Link.cycle]'s per-port behaviour. Injection and    *)
+(* delivery commute within a cycle because latency >= 1 keeps a word   *)
+(* injected at [t] undeliverable before [t + 1].                       *)
+(*                                                                     *)
+(* Each direction gets its own bandwidth controller. That is exact     *)
+(* when the link budget is infinite (requests always grant) or the     *)
+(* link carries one direction only (the controller IS the link's);     *)
+(* bidirectional traffic on a finite budget shares grants across       *)
+(* directions in the sequential port order, which no per-direction     *)
+(* split can reproduce — [decide] degrades that case.                  *)
+(* ------------------------------------------------------------------ *)
+
+type direction = {
+  link : Link.t;
+  src_dev : int;
+  dst_dev : int;
+  ports : (Channel.t * Channel.t * int) array;  (* near, far, word_bytes *)
+  queue : (int * int * Word.t) Spsc.t;  (* port index, release cycle, word *)
+  tx_ctrl : Controller.t;
+  in_flight : (int * Word.t) Queue.t array;  (* per-port: release, word *)
+  latency : int;
+}
+
+(* Group [system.cross_ports] (in [Link.cycle] port order) by link and
+   direction. Queue capacity: the destination drains every cycle it
+   executes, and the conservative bounds keep the source within
+   [window] cycles of the destination's commit point and the
+   destination within [latency] cycles of the source's — so at most
+   [window + latency] undrained words per port, plus slack. *)
+let directions ~window (system : I.system) =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (link, sd, dd, near, far, wb) ->
+      let key = (Link.name link, sd, dd) in
+      let prev =
+        match Hashtbl.find_opt tbl key with
+        | Some ps -> ps
+        | None ->
+            order := (key, link, sd, dd) :: !order;
+            []
+      in
+      Hashtbl.replace tbl key ((near, far, wb) :: prev))
+    system.I.cross_ports;
+  List.rev_map
+    (fun (key, link, sd, dd) ->
+      let ports = Array.of_list (List.rev (Hashtbl.find tbl key)) in
+      let n = Array.length ports in
+      let latency = Link.latency_cycles link in
+      {
+        link;
+        src_dev = sd;
+        dst_dev = dd;
+        ports;
+        queue = Spsc.create ~capacity:(n * (window + latency + 2));
+        tx_ctrl = Controller.create ~bytes_per_cycle:(Link.bytes_per_cycle link);
+        in_flight = Array.init n (fun _ -> Queue.create ());
+        latency;
+      })
+    !order
+
+(* ------------------------------------------------------------------ *)
+(* Per-device schedule.                                                *)
+(*                                                                     *)
+(* Mirrors the seed's per-cycle component order restricted to one      *)
+(* device: link halves first (rx then tx — the link slot in the global *)
+(* order), then writers, units consumers-before-producers, readers.    *)
+(* Every channel is touched by exactly one domain, so all the plain    *)
+(* mutable component state stays single-domain.                        *)
+(* ------------------------------------------------------------------ *)
+
+type pcomp =
+  | Prx of direction
+  | Ptx of direction
+  | Pwriter of Memory_unit.Writer.t
+  | Punit of Stencil_unit.t
+  | Preader of Memory_unit.Reader.t
+
+type status = [ `Finished | `Aborted | `Stuck | `Timeout ]
+type verdict = Done of status * int | Crashed of exn * Printexc.raw_backtrace
+
+let run_domains ~config ~placement ~inputs (p : Program.t) =
+  let telemetry = Telemetry.create ~enabled:false () in
+  let system, predicted = I.build ~config ~telemetry ~placement ~inputs p in
+  let ndev = Array.length system.I.mem_controllers in
+  let window = max 1 config.Engine.Config.parallelism.Engine.Config.window_cycles in
+  let { Engine.Config.deadlock_window; max_cycles } = config.Engine.Config.safety in
+  let max_cycles = match max_cycles with Some m -> m | None -> max_int in
+  let dirs = directions ~window system in
+  let home name = Hashtbl.find system.I.comp_device name in
+  let dev_comps =
+    Array.init ndev (fun d ->
+        Array.of_list
+          (List.filter_map (fun dir -> if dir.dst_dev = d then Some (Prx dir) else None) dirs
+          @ List.filter_map (fun dir -> if dir.src_dev = d then Some (Ptx dir) else None) dirs
+          @ List.filter_map
+              (fun (_, w, _) ->
+                if home (Memory_unit.Writer.name w) = d then Some (Pwriter w) else None)
+              system.I.writers
+          @ List.rev
+              (List.filter_map
+                 (fun (u, _) ->
+                   if home (Stencil_unit.name u) = d then Some (Punit u) else None)
+                 system.I.units)
+          @ List.filter_map
+              (fun (r, _) ->
+                if home (Memory_unit.Reader.name r) = d then Some (Preader r) else None)
+              system.I.readers))
+  in
+  let syncs = Array.init ndev (fun _ -> make_sync ()) in
+  let progress = Array.init ndev (fun _ -> Atomic.make 0) in
+  let abort = Atomic.make false in
+  let trigger_abort () =
+    Atomic.set abort true;
+    Array.iter
+      (fun s ->
+        Mutex.lock s.mu;
+        Condition.broadcast s.cv;
+        Mutex.unlock s.mu)
+      syncs
+  in
+  let progress_sum () = Array.fold_left (fun a x -> a + Atomic.get x) 0 progress in
+  let run_device d =
+    let comps = dev_comps.(d) in
+    let sync = syncs.(d) in
+    let mem_ctrl = system.I.mem_controllers.(d) in
+    let up = Array.of_list (List.filter (fun dir -> dir.dst_dev = d) dirs) in
+    let down = Array.of_list (List.filter (fun dir -> dir.src_dev = d) dirs) in
+    (* Highest cycle each bound is known to allow (committed = -1 allows
+       [latency - 1] / [window - 1]); refreshed only when exceeded, so
+       most cycles touch no foreign atomics at all. *)
+    let up_ok = Array.map (fun dir -> dir.latency - 1) up in
+    let down_ok = Array.map (fun _ -> window - 1) down in
+    (* A device is done when its own pipeline has finished AND its tx
+       channels are drained (downstream may still need those words).
+       Inbound residue cannot exist at that point: every stream is
+       fully consumed, so a unit/writer is only done once everything
+       ever sent to it was delivered and popped. *)
+    let local_done () =
+      Array.for_all
+        (fun c ->
+          match c with
+          | Pwriter w -> Memory_unit.Writer.is_done w
+          | Punit u -> Stencil_unit.is_done u
+          | Preader r -> Memory_unit.Reader.is_done r
+          | Ptx dir -> Array.for_all (fun (near, _, _) -> Channel.is_empty near) dir.ports
+          | Prx _ -> true)
+        comps
+    in
+    let local_prog = ref 0 in
+    let idle = ref 0 in
+    let idle_stamp = ref (-1) in
+    let cycle = ref 0 in
+    let status : [ status | `Running ] ref = ref `Running in
+    while !status = `Running do
+      if local_done () then status := `Finished
+      else if Atomic.get abort then status := `Aborted
+      else if !cycle >= max_cycles then begin
+        status := `Timeout;
+        trigger_abort ()
+      end
+      else begin
+        let now = !cycle in
+        for i = 0 to Array.length up - 1 do
+          if !status = `Running && now > up_ok.(i) then begin
+            let c = await syncs.(up.(i).src_dev) ~abort ~target:(now - up.(i).latency) in
+            if Atomic.get abort then status := `Aborted
+            else up_ok.(i) <- c + up.(i).latency
+          end
+        done;
+        for i = 0 to Array.length down - 1 do
+          if !status = `Running && now > down_ok.(i) then begin
+            let c = await syncs.(down.(i).dst_dev) ~abort ~target:(now - window) in
+            if Atomic.get abort then status := `Aborted
+            else down_ok.(i) <- c + window
+          end
+        done;
+        if !status = `Running then begin
+          Controller.begin_cycle mem_ctrl;
+          let prog = ref false in
+          Array.iter
+            (fun comp ->
+              match comp with
+              | Prx dir ->
+                  let rec drain () =
+                    match Spsc.pop_opt dir.queue with
+                    | Some (i, release, word) ->
+                        Queue.push (release, word) dir.in_flight.(i);
+                        drain ()
+                    | None -> ()
+                  in
+                  drain ();
+                  Array.iteri
+                    (fun i (_, far, _) ->
+                      match Queue.peek_opt dir.in_flight.(i) with
+                      | Some (release, word)
+                        when release <= now && not (Channel.is_full far) ->
+                          ignore (Queue.pop dir.in_flight.(i));
+                          Channel.push far word;
+                          prog := true
+                      | Some _ | None -> ())
+                    dir.ports
+              | Ptx dir ->
+                  Controller.begin_cycle dir.tx_ctrl;
+                  Array.iteri
+                    (fun i (near, _, word_bytes) ->
+                      if
+                        (not (Channel.is_empty near))
+                        && Controller.request dir.tx_ctrl word_bytes
+                      then begin
+                        let word = Channel.pop near in
+                        if not (Spsc.try_push dir.queue (i, now + dir.latency, word))
+                        then begin
+                          (* Capacity proof violated — fail safe. *)
+                          status := `Stuck;
+                          trigger_abort ()
+                        end
+                        else prog := true
+                      end)
+                    dir.ports
+              | Pwriter w ->
+                  if (not (Memory_unit.Writer.is_done w)) && Memory_unit.Writer.cycle w ~now
+                  then prog := true
+              | Punit u ->
+                  if (not (Stencil_unit.is_done u)) && Stencil_unit.cycle u ~now then
+                    prog := true
+              | Preader r ->
+                  if (not (Memory_unit.Reader.is_done r)) && Memory_unit.Reader.cycle r ~now
+                  then prog := true)
+            comps;
+          if !prog then begin
+            incr local_prog;
+            Atomic.set progress.(d) !local_prog;
+            idle := 0;
+            idle_stamp := -1
+          end
+          else begin
+            incr idle;
+            if !idle > deadlock_window then begin
+              (* Locally stuck for a full window. If nothing progressed
+                 anywhere since the last check the whole system is
+                 wedged; otherwise keep waiting on the others. *)
+              let sum = progress_sum () in
+              if !idle_stamp >= 0 && sum = !idle_stamp then begin
+                status := `Stuck;
+                trigger_abort ()
+              end
+              else begin
+                idle_stamp := sum;
+                idle := 0
+              end
+            end
+          end;
+          if !status = `Running then begin
+            publish sync now;
+            incr cycle
+          end
+        end
+      end
+    done;
+    publish sync sentinel;
+    let s = match !status with #status as s -> s | `Running -> assert false in
+    (s, !cycle)
+  in
+  let run_device d =
+    match run_device d with
+    | s, c -> Done (s, c)
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (try trigger_abort () with _ -> ());
+        publish syncs.(d) sentinel;
+        Crashed (e, bt)
+  in
+  (* Devices left empty by the placement get their exit clock published
+     up front instead of an idle domain. *)
+  let used = Array.map (fun comps -> Array.length comps > 0) dev_comps in
+  Array.iteri (fun d u -> if not u then publish syncs.(d) sentinel) used;
+  let domains =
+    Array.init ndev (fun d ->
+        if used.(d) then Some (Domain.spawn (fun () -> run_device d)) else None)
+  in
+  let verdicts = Array.map (Option.map Domain.join) domains in
+  let crashed = ref None in
+  let all_finished = ref true in
+  let cycles = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (Crashed (e, bt)) -> if !crashed = None then crashed := Some (e, bt)
+      | Some (Done (s, c)) ->
+          if s <> `Finished then all_finished := false;
+          if c > !cycles then cycles := c)
+    verdicts;
+  match !crashed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+      if not !all_finished then
+        (* Deadlock, timeout or defensive abort: replay sequentially for
+           the exact seed diagnosis (blocked set, circular wait, SF0701
+           vs SF0703) — and, should the abort have been spurious, the
+           correct completion. *)
+        Engine.run_exn ~config ~placement ~inputs p
+      else begin
+        (* All traffic moved through per-direction controllers; credit
+           the totals back so [Link.bytes_transferred] and the link
+           counter rows match a sequential run. *)
+        List.iter
+          (fun dir -> Link.credit_bytes dir.link (Controller.bytes_granted dir.tx_ctrl))
+          dirs;
+        let report = I.harvest ~telemetry ~system ~cycles:!cycles ~samples:[] in
+        Engine.Completed (I.completed_stats ~system ~predicted ~cycles:!cycles ~report p)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Mode selection and public API.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let decide ~config ~placement (p : Program.t) =
+  let { Engine.Config.net_bytes_per_cycle; net_latency_cycles } =
+    config.Engine.Config.network
+  in
+  let { Engine.Config.trace_interval; telemetry } = config.Engine.Config.tracing in
+  if config.Engine.Config.parallelism.Engine.Config.mode = `Sequential then
+    `Degrade "parallelism.mode is `Sequential"
+  else begin
+    let devices =
+      List.sort_uniq compare
+        (List.map (fun s -> placement s.Stencil.name) p.Program.stencils)
+    in
+    if List.length devices <= 1 then `Degrade "placement uses a single device"
+    else begin
+      let cross =
+        List.concat_map
+          (fun s ->
+            let dd = placement s.Stencil.name in
+            List.filter_map
+              (fun field ->
+                match Program.find_stencil p field with
+                | Some producer ->
+                    let sd = placement producer.Stencil.name in
+                    if sd <> dd then Some (sd, dd) else None
+                | None -> None)
+              (Stencil.input_fields s))
+          p.Program.stencils
+      in
+      if cross <> [] && net_latency_cycles < 1 then
+        `Reject
+          (Diag.errorf ~code:Diag.Code.sim_config
+             "parallel lookahead requires net_latency_cycles >= 1, got %d"
+             net_latency_cycles)
+      else if telemetry then
+        `Degrade "instrumented telemetry attributes stalls on the global schedule"
+      else if trace_interval <> None then
+        `Degrade "occupancy tracing samples the global schedule"
+      else if
+        net_bytes_per_cycle < infinity
+        && List.exists (fun (a, b) -> List.mem (b, a) cross) cross
+      then `Degrade "finite link bandwidth is shared across directions"
+      else `Parallel (List.length devices)
+    end
+  end
+
+let run_exn ?(config = Engine.Config.default) ?(placement = fun _ -> 0) ?inputs
+    (p : Program.t) =
+  let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
+  match decide ~config ~placement p with
+  | `Reject d -> invalid_arg (Diag.to_string d)
+  | `Degrade _ -> Engine.run_exn ~config ~placement ~inputs p
+  | `Parallel _ ->
+      Program.validate_exn p;
+      run_domains ~config ~placement ~inputs p
+
+let run ?(config = Engine.Config.default) ?(placement = fun _ -> 0) ?inputs
+    (p : Program.t) =
+  let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
+  match decide ~config ~placement p with
+  | `Reject d -> Error d
+  | `Degrade _ | `Parallel _ -> (
+      match run_exn ~config ~placement ~inputs p with
+      | Engine.Completed stats -> Ok stats
+      | Engine.Deadlocked { cycle; blocked; wait_cycle; timed_out; telemetry } ->
+          Error (Engine.failure_diag ~cycle ~blocked ~wait_cycle ~timed_out ~telemetry))
+
+let run_and_validate ?config ?placement ?inputs (p : Program.t) =
+  let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
+  match run ?config ?placement ~inputs p with
+  | Error d -> Error d
+  | Ok stats -> I.compare_to_reference ~inputs p stats

@@ -1,0 +1,49 @@
+(* Classic power-of-two ring with monotonically increasing head/tail
+   indices; [land mask] maps an index to its slot. Indices are plain
+   ints: at one push per simulated cycle they cannot overflow within any
+   realistic run, and OCaml int wraparound would need 2^62 operations. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next slot to pop; written by the consumer only *)
+  tail : int Atomic.t;  (* next slot to push; written by the producer only *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { buf = Array.make !cap None; mask = !cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    (* The slot is free: the consumer finished with it before advancing
+       head past it, and reading [head] above synchronized with that
+       advance. Publish with the tail store. *)
+    t.buf.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop_opt t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then None
+  else begin
+    let i = head land t.mask in
+    let v = t.buf.(i) in
+    (* Clear the slot so the queue does not retain the element for a full
+       lap, then release it to the producer with the head store. *)
+    t.buf.(i) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0

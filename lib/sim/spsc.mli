@@ -1,0 +1,34 @@
+(** Bounded lock-free single-producer single-consumer queue.
+
+    The cross-domain transport of the parallel engine ({!Parallel}): each
+    inter-device link direction gets one queue, the owning (upstream)
+    domain pushes link words into it, the downstream domain drains it.
+    Exactly one domain may push and exactly one may pop; under that
+    contract every operation is wait-free — one sequentially-consistent
+    atomic read and write, no locks, no CAS loop.
+
+    The producer establishes free space by reading the consumer's head
+    index before writing a slot, and publishes the slot by advancing the
+    tail; the consumer mirrors this with the tail. The two
+    [Atomic] accesses give the happens-before edges that make the
+    non-atomic slot array safe to share. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A queue holding at least [capacity] elements (rounded up to a power
+    of two). [capacity] must be positive. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only. False when the queue is full; the element is not
+    enqueued. *)
+
+val pop_opt : 'a t -> 'a option
+(** Consumer only. [None] when the queue is empty. *)
+
+val is_empty : 'a t -> bool
+(** Safe from either side; a stale answer only errs toward "non-empty"
+    on the producer side and "empty" on the consumer side. *)
+
+val length : 'a t -> int
+(** Number of enqueued elements at some recent instant. *)

@@ -31,7 +31,6 @@ type t = {
   shape : int array;
   strides : int array;
   w : int;
-  cells : int;
   n_words : int;
   init_max : int;
   compute_cycles : int;
@@ -181,7 +180,6 @@ let create ?probe ~program ~stencil ~compute_cycles ~inputs ~outputs () =
     shape;
     strides;
     w;
-    cells;
     n_words;
     init_max;
     compute_cycles;

@@ -46,7 +46,6 @@ type span = {
    the same (cause, channel) extend the open span. *)
 type probe = {
   pname : string;
-  pkind : kind;
   by_cause : int array;
   blamed : (string, int) Hashtbl.t;
   mutable busy_cycles : int;
@@ -65,13 +64,12 @@ type t = { enabled : bool; mutable probes : probe list; closed_spans : span list
 let create ~enabled () = { enabled; probes = []; closed_spans = ref [] }
 let enabled t = t.enabled
 
-let probe t ~kind ~name =
+let probe t ~kind:_ ~name =
   if not t.enabled then None
   else begin
     let p =
       {
         pname = name;
-        pkind = kind;
         by_cause = Array.make n_causes 0;
         blamed = Hashtbl.create 4;
         busy_cycles = 0;

@@ -27,6 +27,7 @@ module Code = struct
   let sim_deadlock = "SF0701"
   let sim_mismatch = "SF0702"
   let sim_timeout = "SF0703"
+  let sim_config = "SF0704"
   let pass_verification = "SF0801"
   let internal = "SF0901"
 end

@@ -22,7 +22,7 @@
               SF0502, fallback warning SF0503)                  exit 5
       SF06xx  code generation SF0601                            exit 6
       SF07xx  simulation (deadlock SF0701, mismatch SF0702,
-              timeout SF0703)                                   exit 7
+              timeout SF0703, invalid config SF0704)            exit 7
       SF08xx  optimization-pass verification SF0801             exit 8
       SF09xx  internal errors SF0901                            exit 9
     v} *)
@@ -61,6 +61,7 @@ module Code : sig
   val sim_deadlock : string
   val sim_mismatch : string
   val sim_timeout : string
+  val sim_config : string
   val pass_verification : string
   val internal : string
 end

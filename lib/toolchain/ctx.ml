@@ -21,7 +21,7 @@ type t = {
   diags : Diag.t list;
 }
 
-let create ?(device = Sf_models.Device.stratix10) ?(sim_config = Engine.default_config)
+let create ?(device = Sf_models.Device.stratix10) ?(sim_config = Engine.Config.default)
     ?inputs () =
   {
     device;
@@ -106,6 +106,7 @@ let counters ctx =
       [
         ("sim-cycles", s.cycles);
         ("sim-stalls", Sf_sim.Telemetry.total_blocked s.telemetry);
+        ("sim-net-bytes", s.network_bytes);
       ]
   | Some (Error _) | None -> []
 

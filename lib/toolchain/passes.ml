@@ -141,6 +141,19 @@ let partition =
             |> Result.ok);
   }
 
+let partition_into devices =
+  {
+    name = Printf.sprintf "partition-into-%d" devices;
+    description = "split the topological order into even contiguous device chunks";
+    kind = Mapping;
+    run =
+      (fun ctx ->
+        let* p = Ctx.the_program ctx in
+        match Partition.contiguous ~devices p with
+        | Ok pt -> Ok { ctx with Ctx.partition = Some pt }
+        | Error d -> Error [ d ]);
+  }
+
 let performance_model =
   {
     name = "performance-model";
@@ -174,8 +187,8 @@ let simulate ?(validate = true) ?seed () =
           | None, None -> None
         in
         let result =
-          if validate then Engine.run_and_validate ~config ?placement ?inputs p
-          else Engine.run ~config ?placement ?inputs p
+          if validate then Sf_sim.Parallel.run_and_validate ~config ?placement ?inputs p
+          else Sf_sim.Parallel.run ~config ?placement ?inputs p
         in
         let ctx = { ctx with Ctx.simulation = Some result } in
         match result with

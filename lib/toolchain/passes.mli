@@ -41,6 +41,13 @@ val partition : Pass_manager.pass
     oversubscribed device and records an [SF0503] warning carrying the
     partitioner's reason — the fallback is never silent. *)
 
+val partition_into : int -> Pass_manager.pass
+(** Force a mapping onto exactly N devices via
+    {!Sf_mapping.Partition.contiguous}, ignoring the resource model —
+    the [--devices N] CLI option, for exercising multi-device simulation
+    on programs the greedy partitioner keeps on one device. Fails
+    ([SF0501]) when [N < 1]. *)
+
 val performance_model : Pass_manager.pass
 (** The Eq. 1 runtime model evaluated at the device clock. *)
 
@@ -48,8 +55,11 @@ val simulate : ?validate:bool -> ?seed:int -> unit -> Pass_manager.pass
 (** Cycle-level simulation on the context's partition placement, on the
     context's inputs (or random inputs from [seed] when absent),
     validated against the sequential reference when [validate] (default
-    true). Failures (deadlock [SF0701], mismatch [SF0702], timeout
-    [SF0703]) are recorded
+    true). Routed through {!Sf_sim.Parallel}, so the context's
+    [sim_config.parallelism] selects domain-parallel execution for
+    multi-device placements (identical results either way; invalid
+    parallel configurations are [SF0704]). Failures (deadlock [SF0701],
+    mismatch [SF0702], timeout [SF0703]) are recorded
     as error diagnostics in {!Ctx.t.diags} and in {!Ctx.t.simulation}
     without aborting the pipeline, so reports and exit codes can still
     be produced from the remaining artifacts. *)

@@ -11,7 +11,7 @@ here for determinism):
     delay-buffers      analysis _ ms  stencils=1 edges=1 delay-words=0
     partition          mapping _ ms  stencils=1 edges=1 delay-words=0 devices=1
     performance-model  analysis _ ms  stencils=1 edges=1 delay-words=0 devices=1
-    simulate           simulation _ ms  stencils=1 edges=1 delay-words=0 devices=1 sim-cycles=2090 sim-stalls=1
+    simulate           simulation _ ms  stencils=1 edges=1 delay-words=0 devices=1 sim-cycles=2090 sim-stalls=1 sim-net-bytes=0
 
 --dump-ir writes every artifact after every pass into numbered
 directories:

@@ -34,4 +34,5 @@ let () =
       ("compile", Test_compile.suite);
       ("wave", Test_wave.suite);
       ("telemetry", Test_telemetry.suite);
+      ("parallel", Test_parallel.suite);
     ]
