@@ -193,6 +193,52 @@ let () =
     | Json.Obj fields -> Json.Obj (fields @ [ ("multi_device", Json.List multi_device) ])
     | other -> other
   in
+  (* Fault-injection campaign: wall cost of the adversarial validation
+     harness (Faults.campaign). Injected runs force the cycle-exact
+     schedule — no fast-forward batching — so the per-schedule overhead
+     over the unperturbed baseline is the price of each robustness
+     sample, and the pass rate must stay 1.0 (the latency-insensitivity
+     claim itself). *)
+  let fc_case =
+    if quick then jacobi_chain ~stages:4 ~shape:[ 32; 32 ] ~w:1 else hdiff_small ~w:1
+  in
+  let fc_schedules = if quick then 5 else 25 in
+  let fc_inputs = Interp.random_inputs fc_case.program in
+  let fc_baseline = measure { fc_case with runs = 1 } in
+  let t0 = Unix.gettimeofday () in
+  let fc_report =
+    match Faults.campaign ~inputs:fc_inputs ~schedules:fc_schedules fc_case.program with
+    | Ok r -> r
+    | Error d -> failwith ("fault campaign baseline failed: " ^ d.Diag.message)
+  in
+  let fc_seconds = Unix.gettimeofday () -. t0 in
+  let fc_failures = List.length (Faults.failures fc_report) in
+  let fc_pass_rate =
+    float_of_int (fc_schedules - fc_failures) /. float_of_int fc_schedules
+  in
+  Printf.printf
+    "\nfault campaign (%s): %d schedules in %.3fs (baseline %.3fs, %.2fx per schedule), pass rate %.2f\n"
+    fc_case.name fc_schedules fc_seconds fc_baseline.seconds
+    (fc_seconds /. float_of_int fc_schedules /. fc_baseline.seconds)
+    fc_pass_rate;
+  let fault_campaign_json =
+    Json.Obj
+      [
+        ("case", Json.String fc_case.name);
+        ("schedules", Json.Int fc_schedules);
+        ("pass_rate", Json.Float fc_pass_rate);
+        ("baseline_cycles", Json.Int fc_report.Faults.baseline_cycles);
+        ("baseline_wall_seconds", Json.Float fc_baseline.seconds);
+        ("campaign_wall_seconds", Json.Float fc_seconds);
+        ( "overhead_per_schedule",
+          Json.Float (fc_seconds /. float_of_int fc_schedules /. fc_baseline.seconds) );
+      ]
+  in
+  let json =
+    match json with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("fault_campaign", fault_campaign_json) ])
+    | other -> other
+  in
   let out = if Sys.file_exists "BENCH_sim.json" || Sys.file_exists "dune-project" then "BENCH_sim.json" else "../BENCH_sim.json" in
   let oc = open_out out in
   output_string oc (Json.to_string json);

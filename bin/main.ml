@@ -154,11 +154,42 @@ let simulate_cmd =
                    the topological order) instead of the resource-driven greedy \
                    partitioner.")
   in
-  let run path width fuse seed trace profile trace_out counters_json parallel devices
-      trace_passes dump_ir diag_json =
+  let inject_arg =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"PLAN"
+             ~doc:"Inject deterministic timing faults: $(b,default), $(b,none), or a \
+                   semicolon-separated plan (e.g. \
+                   'link-stall:gap=100,dur=8;unit-hiccup\\@a:gap=50,dur=4'; see \
+                   docs/SIMULATOR.md). Faults perturb timing, never values; the run \
+                   degrades to the sequential engine.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed of the injected fault timeline (with $(b,--inject)). The whole \
+                   perturbation sequence is a pure function of (seed, plan).")
+  in
+  let max_cycles_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-cycles" ] ~docv:"N"
+             ~doc:"Abort the simulation after $(docv) cycles with a coded SF0703 \
+                   timeout; the budget is echoed in the diagnostic's notes.")
+  in
+  let run path width fuse seed trace profile trace_out counters_json parallel devices inject
+      fault_seed max_cycles trace_passes dump_ir diag_json =
     let telemetry = profile || trace_out <> None || counters_json in
     let trace_interval =
       if trace <> None || trace_out <> None then Some 16 else None
+    in
+    let fault_plan =
+      match inject with
+      | None -> None
+      | Some spec -> (
+          match Fault_plan.of_string spec with
+          | Ok pl -> if pl = Fault_plan.none then None else Some pl
+          | Error m ->
+              exit_diags ~json:diag_json
+                [ Diag.errorf ~code:Diag.Code.sim_config "bad --inject plan: %s" m ])
     in
     let sim_config =
       Engine.Config.make
@@ -167,6 +198,8 @@ let simulate_cmd =
           (Engine.Config.parallelism
              ~mode:(if parallel then `Domains_per_device else `Sequential)
              ())
+        ~safety:(Engine.Config.safety ?max_cycles ())
+        ~faults:(Engine.Config.faults ?plan:fault_plan ~seed:fault_seed ())
         ()
     in
     let partition_pass =
@@ -227,7 +260,110 @@ let simulate_cmd =
     Term.(
       const run $ program_arg $ vector_width_arg $ fuse_arg $ seed_arg $ trace_arg
       $ profile_arg $ trace_out_arg $ counters_json_arg $ parallel_arg $ devices_arg
+      $ inject_arg $ fault_seed_arg $ max_cycles_arg
       $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
+
+let validate_depths_cmd =
+  let campaign_arg =
+    Arg.(value & opt int 25
+         & info [ "campaign" ] ~docv:"N"
+             ~doc:"Number of seeded fault schedules to run against the analysed depths.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed for generated input data.")
+  in
+  let inject_arg =
+    Arg.(value & opt string "default"
+         & info [ "inject" ] ~docv:"PLAN"
+             ~doc:"Fault plan driving the campaign and the under-provisioning probe \
+                   (same syntax as $(b,simulate --inject)).")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Fault-timeline seed of the under-provisioning probe.")
+  in
+  let run path width campaign_n seed inject fault_seed =
+    (* No fusion: collapsing the DAG can erase the very join edges whose
+       delay buffers the campaign is exercising. *)
+    let p = load path width in
+    let plan =
+      match Fault_plan.of_string inject with
+      | Ok pl -> pl
+      | Error m ->
+          exit_diags ~json:false
+            [ Diag.errorf ~code:Diag.Code.sim_config "bad --inject plan: %s" m ]
+    in
+    let inputs = Interp.random_inputs ~seed p in
+    let analysis = Delay_buffer.analyze p in
+    let config = Engine.Config.default in
+    (match Faults.campaign ~config ~inputs ~plan ~schedules:campaign_n p with
+    | Error d -> exit_diags ~json:false [ d ]
+    | Ok report ->
+        let failed = Faults.failures report in
+        Format.printf
+          "campaign: %d/%d seeded schedules bit-identical to the unperturbed run (%d cycles)@."
+          (campaign_n - List.length failed)
+          campaign_n report.Faults.baseline_cycles;
+        List.iter
+          (fun (r, d) ->
+            Format.printf "  seed %d FAILED: %s@." r.Faults.seed (Diag.to_string d))
+          failed;
+        let probe_ok =
+          match Faults.probe_tightest ~config ~inputs ~plan ~fault_seed ~analysis p with
+          | None ->
+              Format.printf
+                "no positive-depth delay buffer: nothing to under-provision@.";
+              true
+          | Some probe ->
+              let src, dst = probe.Faults.edge in
+              let slack = config.Engine.Config.channel_slack in
+              Format.printf
+                "tightest delay-buffer edge: %s->%s (analysed depth %d + slack %d words)@."
+                src dst probe.Faults.analysed_depth slack;
+              (match probe.Faults.tight_capacity with
+              | None ->
+                  Format.printf
+                    "  completes even at capacity 1: edge is not load-bearing (no \
+                     blocking cycle forms through it)@.";
+                  true
+              | Some tight ->
+                  Format.printf
+                    "  under-provisioned to capacity %d: deadlocks; capacity %d \
+                     completes (margin %d words below analysed provisioning)@."
+                    tight (tight + 1)
+                    (probe.Faults.analysed_depth + slack - tight);
+                  (match probe.Faults.probe_diag with
+                  | None ->
+                      Format.printf "  probe run unexpectedly completed@.";
+                      false
+                  | Some d ->
+                      Format.printf "  error[%s]: %s@." d.Diag.code d.Diag.message;
+                      List.iter
+                        (fun note ->
+                          if
+                            String.starts_with ~prefix:"fault-attribution:" note
+                            || String.starts_with ~prefix:"injected " note
+                          then Format.printf "  %s@." note)
+                        d.Diag.notes;
+                      String.equal d.Diag.code Diag.Code.sim_deadlock))
+        in
+        if failed = [] && probe_ok then exit 0
+        else
+          exit
+            (Diag.exit_code
+               [ Diag.errorf ~code:Diag.Code.sim_deadlock "depth validation failed" ]))
+  in
+  let doc =
+    "Adversarially validate the analysed delay-buffer depths: run a seeded fault-injection \
+     campaign expecting bit-identical outputs, then under-provision the tightest edge to \
+     the largest capacity that deadlocks, expecting a deterministic SF0701 with \
+     fault-attribution notes."
+  in
+  Cmd.v (Cmd.info "validate-depths" ~doc)
+    Term.(
+      const run $ program_arg $ vector_width_arg $ campaign_arg $ seed_arg $ inject_arg
+      $ fault_seed_arg)
 
 let codegen_cmd =
   let out_arg =
@@ -407,5 +543,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ analyze_cmd; simulate_cmd; codegen_cmd; partition_cmd; dot_cmd; fuse_cmd; optimize_cmd;
-            report_cmd; tile_cmd; autotune_cmd ]))
+          [ analyze_cmd; simulate_cmd; validate_depths_cmd; codegen_cmd; partition_cmd; dot_cmd;
+            fuse_cmd; optimize_cmd; report_cmd; tile_cmd; autotune_cmd ]))

@@ -110,6 +110,18 @@ let output_cycle t name =
 let buffer_for t ~src ~dst =
   match List.assoc_opt (src, dst) t.edges with Some b -> b | None -> raise Not_found
 
+let edge_slack t ~src ~dst = buffer_for t ~src ~dst
+
+(* The smallest positive analysed depth: the edge where under-
+   provisioning experiments bite first. All-zero graphs (pure chains)
+   have no tight edge — nothing to under-provision. *)
+let tightest_edge t =
+  List.fold_left
+    (fun acc (e, b) ->
+      if b <= 0 then acc
+      else match acc with Some (_, best) when best <= b -> acc | _ -> Some (e, b))
+    None t.edges
+
 let total_delay_buffer_words t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.edges
 
 let total_fast_memory_elements t =

@@ -53,6 +53,17 @@ val buffer_for : t -> src:string -> dst:string -> int
 (** Delay-buffer depth (words) for an edge; raises [Not_found] if the edge
     does not exist. *)
 
+val edge_slack : t -> src:string -> dst:string -> int
+(** Synonym of {!buffer_for} under its path-slack reading: the worst-case
+    path-delay difference (in words) the edge's FIFO must absorb. The
+    fault-injection harness uses it to aim under-provisioning
+    experiments at the tightest edge. *)
+
+val tightest_edge : t -> ((string * string) * int) option
+(** The edge with the smallest strictly positive analysed depth — where
+    under-provisioning bites first. [None] when every edge is zero
+    (pure chains have no path-delay differences to absorb). *)
+
 val total_delay_buffer_words : t -> int
 (** Sum of all edge buffers — on-chip memory pressure of synchronization. *)
 

@@ -23,6 +23,8 @@ module Tensor = Sf_reference.Tensor
 module Interp = Sf_reference.Interp
 module Engine = Sf_sim.Engine
 module Parallel = Sf_sim.Parallel
+module Fault_plan = Sf_sim.Fault_plan
+module Faults = Sf_sim.Faults
 module Telemetry = Sf_sim.Telemetry
 module Timeloop = Sf_sim.Timeloop
 module Sdfg = Sf_sdfg.Sdfg
@@ -121,7 +123,11 @@ let pp_report fmt r =
   | Some (Ok stats) ->
       Format.fprintf fmt "  simulated %d cycles (model: %d), %d B read, %d B written@."
         stats.Engine.cycles stats.Engine.predicted_cycles stats.Engine.bytes_read
-        stats.Engine.bytes_written);
+        stats.Engine.bytes_written;
+      let f = stats.Engine.faults in
+      if f.Fault_plan.injected_events > 0 then
+        Format.fprintf fmt "  injected faults: %d event(s), %d perturbed component-cycle(s)@."
+          f.Fault_plan.injected_events f.Fault_plan.injected_stall_cycles);
   List.iter
     (fun d ->
       if not (Diag.is_error d) then Format.fprintf fmt "  %s@." (Diag.to_string d))

@@ -44,6 +44,8 @@ module Tensor = Sf_reference.Tensor
 module Interp = Sf_reference.Interp
 module Engine = Sf_sim.Engine
 module Parallel = Sf_sim.Parallel
+module Fault_plan = Sf_sim.Fault_plan
+module Faults = Sf_sim.Faults
 module Telemetry = Sf_sim.Telemetry
 module Timeloop = Sf_sim.Timeloop
 module Sdfg = Sf_sdfg.Sdfg

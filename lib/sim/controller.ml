@@ -2,9 +2,10 @@ type t = {
   bytes_per_cycle : float;
   mutable budget : float;
   mutable bytes_granted : int;
+  mutable denied : bool;
 }
 
-let create ~bytes_per_cycle = { bytes_per_cycle; budget = 0.; bytes_granted = 0 }
+let create ~bytes_per_cycle = { bytes_per_cycle; budget = 0.; bytes_granted = 0; denied = false }
 let unlimited () = create ~bytes_per_cycle:infinity
 
 let begin_cycle t =
@@ -16,7 +17,8 @@ let begin_cycle t =
   end
 
 let request t bytes =
-  if not (Float.is_finite t.bytes_per_cycle) then begin
+  if t.denied then false
+  else if not (Float.is_finite t.bytes_per_cycle) then begin
     t.bytes_granted <- t.bytes_granted + bytes;
     true
   end
@@ -28,6 +30,7 @@ let request t bytes =
   else false
 
 let account t bytes = t.bytes_granted <- t.bytes_granted + bytes
+let set_denied t denied = t.denied <- denied
 let is_unlimited t = not (Float.is_finite t.bytes_per_cycle)
 let bytes_granted t = t.bytes_granted
 let bytes_per_cycle t = t.bytes_per_cycle

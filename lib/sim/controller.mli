@@ -19,7 +19,14 @@ val begin_cycle : t -> unit
     remainders carry so small rates are honoured on average. *)
 
 val request : t -> int -> bool
-(** [request t bytes] grants all-or-nothing and debits the budget. *)
+(** [request t bytes] grants all-or-nothing and debits the budget.
+    Always refused while {!set_denied} is in force, even on an unlimited
+    controller. *)
+
+val set_denied : t -> bool -> unit
+(** Fault-injection hook ({!Fault_plan}): while set, every {!request} is
+    refused regardless of budget, modelling a transient
+    memory-controller throttle. Cleared by the injector each cycle. *)
 
 val account : t -> int -> unit
 (** Record [bytes] as granted without a budget check — for fast paths

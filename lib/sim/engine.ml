@@ -10,6 +10,7 @@ module Config = struct
   type tracing = { trace_interval : int option; telemetry : bool }
   type par_mode = [ `Sequential | `Domains_per_device ]
   type parallelism = { mode : par_mode; window_cycles : int }
+  type faults = { plan : Fault_plan.t option; fault_seed : int }
 
   let bandwidth ?(mem_bytes_per_cycle = infinity) ?(writer_buffer = 8) () =
     { mem_bytes_per_cycle; writer_buffer }
@@ -23,6 +24,8 @@ module Config = struct
   let parallelism ?(mode = `Sequential) ?(window_cycles = 1024) () =
     { mode; window_cycles }
 
+  let faults ?plan ?(seed = 1) () = { plan; fault_seed = seed }
+
   type t = {
     latency : Sf_analysis.Latency.config;
     channel_slack : int;
@@ -32,12 +35,13 @@ module Config = struct
     safety : safety;
     tracing : tracing;
     parallelism : parallelism;
+    faults : faults;
   }
 
   let make ?(latency = Sf_analysis.Latency.default) ?(channel_slack = 4)
       ?(override_edge_buffers = []) ?bandwidth:(bw = bandwidth ()) ?network:(net = network ())
       ?safety:(sf = safety ()) ?tracing:(tr = tracing ()) ?parallelism:(par = parallelism ())
-      () =
+      ?faults:(fl = faults ()) () =
     {
       latency;
       channel_slack;
@@ -47,14 +51,13 @@ module Config = struct
       safety = sf;
       tracing = tr;
       parallelism = par;
+      faults = fl;
     }
 
   let default = make ()
 end
 
 type config = Config.t
-
-let default_config = Config.default
 
 type stats = {
   cycles : int;
@@ -64,6 +67,7 @@ type stats = {
   bytes_written : int;
   network_bytes : int;
   telemetry : Telemetry.report;
+  faults : Fault_plan.summary;
 }
 
 type outcome =
@@ -74,6 +78,7 @@ type outcome =
       wait_cycle : string list;
       timed_out : bool;
       telemetry : Telemetry.report;
+      faults : Fault_plan.summary;
     }
 
 (* The system model, its constructor and the counter harvest live in
@@ -131,10 +136,18 @@ let build ~config ~telemetry ~placement ~inputs (p : Program.t) =
     channels := c :: !channels;
     c
   in
+  let fault_depths =
+    match config.Config.faults.Config.plan with
+    | Some pl -> pl.Fault_plan.depth_overrides
+    | None -> []
+  in
   let buffer_for ~src ~dst =
     match List.assoc_opt (src, dst) override_edge_buffers with
     | Some b -> b
-    | None -> Sf_analysis.Delay_buffer.buffer_for analysis ~src ~dst
+    | None -> (
+        match List.assoc_opt (src, dst) fault_depths with
+        | Some b -> b
+        | None -> Sf_analysis.Delay_buffer.buffer_for analysis ~src ~dst)
   in
   let links : (int * int, Link.t * Telemetry.probe option) Hashtbl.t = Hashtbl.create 4 in
   let link_between d1 d2 =
@@ -393,7 +406,8 @@ let harvest ~telemetry ~system ~cycles ~samples =
 (* Assemble the completion stats of a finished system — shared by the
    sequential loop below and the domain-parallel engine, so byte and
    network accounting cannot drift between the two. *)
-let completed_stats ~system ~predicted ~cycles ~report (p : Program.t) =
+let completed_stats ?(faults = Fault_plan.empty_summary) ~system ~predicted ~cycles ~report
+    (p : Program.t) =
   (* Controllers account reads and writes together; split the writes
      back out below. Prefetched lower-dimensional inputs are charged
      once per device replica. *)
@@ -420,6 +434,7 @@ let completed_stats ~system ~predicted ~cycles ~report (p : Program.t) =
     network_bytes =
       List.fold_left (fun acc (l, _) -> acc + Link.bytes_transferred l) 0 system.links;
     telemetry = report;
+    faults;
   }
 
 (* Compare a completed run's outputs against the reference interpreter;
@@ -503,6 +518,25 @@ let run_exn ?(config = Config.default) ?(placement = fun _ -> 0) ?inputs (p : Pr
   let telemetry = Telemetry.create ~enabled:telemetry_on () in
   let instrumented = telemetry_on in
   let system, predicted = build ~config ~telemetry ~placement ~inputs p in
+  (* Fault injection binds the plan's streams to the built components.
+     Injected runs use the instrumented (run-everything) schedule so that
+     per-cycle fault flags are honoured by every component every cycle. *)
+  let injector =
+    match config.Config.faults.Config.plan with
+    | None -> None
+    | Some plan ->
+        Some
+          (Fault_plan.create ~seed:config.Config.faults.Config.fault_seed ~plan
+             ~links:(List.map fst system.links)
+             ~controllers:
+               (Array.to_list
+                  (Array.mapi
+                     (fun d c -> (Printf.sprintf "mem@%d" d, c))
+                     system.mem_controllers))
+             ~units:(List.map fst system.units)
+             ~writers:(List.map (fun (_, w, _) -> w) system.writers))
+  in
+  let run_all = instrumented || Option.is_some injector in
   let cycle = ref 0 in
   let idle_cycles = ref 0 in
   let n_writers = List.length system.writers in
@@ -585,7 +619,8 @@ let run_exn ?(config = Config.default) ?(placement = fun _ -> 0) ?inputs (p : Pr
     system.links = []
     && Array.for_all Controller.is_unlimited system.mem_controllers
     && trace_interval = None
-    && not instrumented
+    && (not instrumented)
+    && Option.is_none injector
   in
   let all_channels = Array.of_list (List.rev !(system.channels)) in
   let nchan = Array.length all_channels in
@@ -683,9 +718,10 @@ let run_exn ?(config = Config.default) ?(placement = fun _ -> 0) ?inputs (p : Pr
     if not (batchable && attempt_batch ()) then begin
       Array.iter Controller.begin_cycle system.mem_controllers;
       let now = !cycle in
+      (match injector with Some inj -> Fault_plan.tick inj ~now | None -> ());
       let progress = ref false in
       for i = 0 to ncomps - 1 do
-        if instrumented || ready.(i) || wake_at.(i) <= now then begin
+        if run_all || ready.(i) || wake_at.(i) <= now then begin
           if wake_at.(i) <= now then wake_at.(i) <- max_int;
           ready.(i) <- true;
           (match comps.(i) with
@@ -742,8 +778,7 @@ let run_exn ?(config = Config.default) ?(placement = fun _ -> 0) ?inputs (p : Pr
          link catch-up note above), so counters land exactly where the
          seed's cycle-by-cycle spin would put them. *)
       let jumped = ref false in
-      if
-        (not !deadlocked) && (not (finished ())) && trace_interval = None && not instrumented
+      if (not !deadlocked) && (not (finished ())) && trace_interval = None && not run_all
       then begin
         let any_ready = ref false in
         for i = 0 to ncomps - 1 do
@@ -785,6 +820,9 @@ let run_exn ?(config = Config.default) ?(placement = fun _ -> 0) ?inputs (p : Pr
       | Clink _ | Cwriter _ | Creader _ -> ())
     comps;
   let report () = harvest ~telemetry ~system ~cycles:!cycle ~samples:(List.rev !trace) in
+  let faults =
+    match injector with Some inj -> Fault_plan.summary inj | None -> Fault_plan.empty_summary
+  in
   if !deadlocked || not (finished ()) then begin
     (* Wait-for graph: who is each blocked component waiting on?
        A cycle through it is the circular dependency of Fig. 4. *)
@@ -875,16 +913,19 @@ let run_exn ?(config = Config.default) ?(placement = fun _ -> 0) ?inputs (p : Pr
         wait_cycle;
         timed_out = not !deadlocked;
         telemetry = report ();
+        faults;
       }
   end
-  else Completed (completed_stats ~system ~predicted ~cycles:!cycle ~report:(report ()) p)
+  else Completed (completed_stats ~faults ~system ~predicted ~cycles:!cycle ~report:(report ()) p)
 
 (* The structured failure of a non-completing run: SF0701 for a true
    deadlock (the idle window tripped), SF0703 for a cycle-budget
    timeout. The circular wait and per-component blocked reasons ride
-   along as notes, followed by the top stall-attribution rows when
-   telemetry was enabled. *)
-let failure_diag ~cycle ~blocked ~wait_cycle ~timed_out ~telemetry =
+   along as notes, followed by the configured cycle budget on a timeout,
+   fault-attribution rows when a fault plan was active, and the top
+   stall-attribution rows when telemetry was enabled. *)
+let failure_diag ?budget ?(faults = Fault_plan.empty_summary) ~cycle ~blocked ~wait_cycle
+    ~timed_out ~telemetry () =
   let code = if timed_out then Diag.Code.sim_timeout else Diag.Code.sim_deadlock in
   let what = if timed_out then "timed out" else "deadlocked" in
   let d = Diag.errorf ~code "simulation %s at cycle %d" what cycle in
@@ -896,13 +937,29 @@ let failure_diag ~cycle ~blocked ~wait_cycle ~timed_out ~telemetry =
   let d =
     List.fold_left (fun d (n, r) -> Diag.add_note (Printf.sprintf "%s: %s" n r) d) d blocked
   in
+  let d =
+    match (timed_out, budget) with
+    | true, Some b ->
+        Diag.add_note
+          (Printf.sprintf "cycle budget: %d (Config.safety.max_cycles / --max-cycles)" b)
+          d
+    | _ -> d
+  in
+  let d =
+    List.fold_left
+      (fun d n -> Diag.add_note n d)
+      d
+      (Fault_plan.attribution_notes faults ~stall_cycle:cycle)
+  in
   List.fold_left (fun d n -> Diag.add_note n d) d (Telemetry.attribution_notes telemetry)
 
-let run ?config ?placement ?inputs p =
-  match run_exn ?config ?placement ?inputs p with
+let run ?(config = Config.default) ?placement ?inputs p =
+  match run_exn ~config ?placement ?inputs p with
   | Completed stats -> Ok stats
-  | Deadlocked { cycle; blocked; wait_cycle; timed_out; telemetry } ->
-      Error (failure_diag ~cycle ~blocked ~wait_cycle ~timed_out ~telemetry)
+  | Deadlocked { cycle; blocked; wait_cycle; timed_out; telemetry; faults } ->
+      Error
+        (failure_diag ?budget:config.Config.safety.Config.max_cycles ~faults ~cycle ~blocked
+           ~wait_cycle ~timed_out ~telemetry ())
 
 let run_and_validate ?config ?placement ?inputs p =
   let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in

@@ -89,6 +89,20 @@ module Config : sig
   val parallelism : ?mode:par_mode -> ?window_cycles:int -> unit -> parallelism
   (** Defaults: sequential execution, 1024-cycle run-ahead window. *)
 
+  type faults = {
+    plan : Fault_plan.t option;
+        (** When set, the engine runs with deterministic fault injection:
+            the plan's bursts/events perturb component timing (never
+            values) and its depth overrides shrink specific channels.
+            Injected runs use the instrumented run-everything schedule. *)
+    fault_seed : int;
+        (** Seed of the fault timeline. The whole perturbation sequence
+            is a pure function of [(fault_seed, plan)]. *)
+  }
+
+  val faults : ?plan:Fault_plan.t -> ?seed:int -> unit -> faults
+  (** Defaults: no plan (faults disabled), seed 1. *)
+
   type t = {
     latency : Sf_analysis.Latency.config;
     channel_slack : int;
@@ -103,6 +117,7 @@ module Config : sig
     safety : safety;
     tracing : tracing;
     parallelism : parallelism;
+    faults : faults;
   }
 
   val make :
@@ -114,6 +129,7 @@ module Config : sig
     ?safety:safety ->
     ?tracing:tracing ->
     ?parallelism:parallelism ->
+    ?faults:faults ->
     unit ->
     t
 
@@ -122,11 +138,6 @@ module Config : sig
 end
 
 type config = Config.t
-
-val default_config : config
-(** @deprecated Alias of {!Config.default}, kept only for source
-    compatibility with pre-[Config] callers outside this repository;
-    every in-repo caller uses [Config.make] / [Config.default]. *)
 
 type stats = {
   cycles : int;
@@ -140,6 +151,10 @@ type stats = {
           instrumented) stall attribution + event spans. The legacy
           shapes are derivable via {!Telemetry.unit_stalls} and
           {!Telemetry.channel_high_water}. *)
+  faults : Fault_plan.summary;
+      (** What the fault injector actually did: activation count,
+          perturbed component-cycles and the chronological event log.
+          {!Fault_plan.empty_summary} when no plan was configured. *)
 }
 
 type outcome =
@@ -158,6 +173,9 @@ type outcome =
               a timeout ([SF0703]) rather than a true deadlock
               ([SF0701]). *)
       telemetry : Telemetry.report;
+      faults : Fault_plan.summary;
+          (** The injected-event log up to the failure, for
+              fault-attribution notes. *)
     }
 
 val run_exn :
@@ -194,16 +212,21 @@ val run_and_validate :
     reference interpreter. A mismatch maps to code [SF0702]. *)
 
 val failure_diag :
+  ?budget:int ->
+  ?faults:Fault_plan.summary ->
   cycle:int ->
   blocked:(string * string) list ->
   wait_cycle:string list ->
   timed_out:bool ->
   telemetry:Telemetry.report ->
+  unit ->
   Sf_support.Diag.t
 (** The structured diagnostic of a [Deadlocked] outcome: [SF0701] for a
     true deadlock, [SF0703] for a cycle-budget timeout, with the
-    circular wait and blocked reasons as notes. Shared with
-    {!Parallel.run}. *)
+    circular wait and blocked reasons as notes. [budget] (echoed on
+    timeouts) records the configured cycle ceiling; [faults] adds
+    fault-attribution notes naming the injected events that preceded the
+    stall. Shared with {!Parallel.run}. *)
 
 (** {2 Internal plumbing}
 
@@ -251,6 +274,7 @@ module Internal : sig
     Telemetry.report
 
   val completed_stats :
+    ?faults:Fault_plan.summary ->
     system:system ->
     predicted:int ->
     cycles:int ->

@@ -11,16 +11,43 @@ type t = {
   latency_cycles : int;
   mutable ports : port list;
   probe : Telemetry.probe option;
+  (* Fault-injection state (Fault_plan): a stalled link neither injects
+     nor delivers for the cycle; extra_latency inflates the release time
+     of words injected this cycle. Both are cleared by the injector each
+     cycle before active faults are re-applied. *)
+  mutable stalled : bool;
+  mutable extra_latency : int;
 }
 
 let create ?probe ~name ~bytes_per_cycle ~latency_cycles () =
-  { name; controller = Controller.create ~bytes_per_cycle; latency_cycles; ports = []; probe }
+  {
+    name;
+    controller = Controller.create ~bytes_per_cycle;
+    latency_cycles;
+    ports = [];
+    probe;
+    stalled = false;
+    extra_latency = 0;
+  }
 
 let add_port t ~src ~dst ~word_bytes =
   t.ports <- t.ports @ [ { src; dst; word_bytes; in_flight = Queue.create () } ]
 
 let cycle t ~now =
   Controller.begin_cycle t.controller;
+  if t.stalled then begin
+    (* An injected stall freezes the whole link for the cycle. Classify
+       the lost cycle as link latency when anything is waiting on it. *)
+    (match t.probe with
+    | None -> ()
+    | Some probe -> (
+        let busy p = not (Queue.is_empty p.in_flight && Channel.is_empty p.src) in
+        match List.find_opt busy t.ports with
+        | Some p -> Telemetry.stall probe ~now ~channel:(Channel.name p.dst) Telemetry.Link_latency
+        | None -> ()));
+    false
+  end
+  else begin
   let progress = ref false in
   List.iter
     (fun p ->
@@ -31,10 +58,13 @@ let cycle t ~now =
           Channel.push p.dst word;
           progress := true
       | Some _ | None -> ());
-      (* Inject new words subject to shared link bandwidth. *)
+      (* Inject new words subject to shared link bandwidth. Injected
+         latency jitter only delays release times; the per-port queue
+         stays FIFO and delivery pops the head only, so word order is
+         preserved under any jitter. *)
       if (not (Channel.is_empty p.src)) && Controller.request t.controller p.word_bytes then begin
         let word = Channel.pop p.src in
-        Queue.push (now + t.latency_cycles, word) p.in_flight;
+        Queue.push (now + t.latency_cycles + t.extra_latency, word) p.in_flight;
         progress := true
       end)
     t.ports;
@@ -69,6 +99,7 @@ let cycle t ~now =
                 | None -> ()))
       end);
   !progress
+  end
 
 let name t = t.name
 let bytes_transferred t = Controller.bytes_granted t.controller
@@ -88,3 +119,7 @@ let next_arrival t ~now =
     max_int t.ports
 
 let refill t = Controller.begin_cycle t.controller
+let set_stalled t v = t.stalled <- v
+let stalled t = t.stalled
+let set_extra_latency t v = t.extra_latency <- v
+let extra_latency t = t.extra_latency

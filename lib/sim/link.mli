@@ -55,3 +55,19 @@ val refill : t -> unit
 (** One bandwidth-controller refill, used by the scheduler to catch up a
     link woken after sleeping: budgets converge after a single idle
     refill, so one call reproduces any number of slept cycles. *)
+
+(** {2 Fault-injection hooks ({!Fault_plan})} *)
+
+val set_stalled : t -> bool -> unit
+(** While set, {!cycle} neither injects nor delivers (a full link
+    freeze); lost cycles are classified as link latency. Cleared by the
+    injector each cycle. *)
+
+val stalled : t -> bool
+
+val set_extra_latency : t -> int -> unit
+(** Extra propagation latency added to words injected while set.
+    Delivery order stays FIFO per port. Cleared by the injector each
+    cycle. *)
+
+val extra_latency : t -> int

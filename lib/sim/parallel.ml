@@ -418,6 +418,11 @@ let decide ~config ~placement (p : Program.t) =
         (List.map (fun s -> placement s.Stencil.name) p.Program.stencils)
     in
     if List.length devices <= 1 then `Degrade "placement uses a single device"
+    else if Option.is_some config.Engine.Config.faults.Engine.Config.plan then
+      (* An injected run must see the sequential engine's global cycle
+         order: the fault timeline is keyed to absolute cycles, and the
+         domain-parallel scheduler has no global "now" to key it to. *)
+      `Degrade "fault injection perturbs the schedule on the sequential engine"
     else begin
       let cross =
         List.concat_map
@@ -468,8 +473,11 @@ let run ?(config = Engine.Config.default) ?(placement = fun _ -> 0) ?inputs
   | `Degrade _ | `Parallel _ -> (
       match run_exn ~config ~placement ~inputs p with
       | Engine.Completed stats -> Ok stats
-      | Engine.Deadlocked { cycle; blocked; wait_cycle; timed_out; telemetry } ->
-          Error (Engine.failure_diag ~cycle ~blocked ~wait_cycle ~timed_out ~telemetry))
+      | Engine.Deadlocked { cycle; blocked; wait_cycle; timed_out; telemetry; faults } ->
+          Error
+            (Engine.failure_diag
+               ?budget:config.Engine.Config.safety.Engine.Config.max_cycles ~faults ~cycle
+               ~blocked ~wait_cycle ~timed_out ~telemetry ()))
 
 let run_and_validate ?config ?placement ?inputs (p : Program.t) =
   let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in

@@ -56,6 +56,9 @@ type t = {
      advanced by carry propagation instead of per-lane division. *)
   mutable next_flat : int;
   mutable stalls : int;
+  (* Fault-injection flag (Fault_plan): a hiccup freezes the pipeline
+     for the cycle. Cleared by the injector each cycle. *)
+  mutable hiccup : bool;
   probe : Telemetry.probe option;
 }
 
@@ -197,6 +200,7 @@ let create ?probe ~program ~stencil ~compute_cycles ~inputs ~outputs () =
     pend_count = 0;
     next_flat = 0;
     stalls = 0;
+    hiccup = false;
     probe;
   }
 
@@ -356,7 +360,18 @@ let stall_blame t =
       in
       full 0
 
+let set_hiccup t v = t.hiccup <- v
+
 let cycle t ~now =
+  if t.hiccup && not (is_done t) then begin
+    (* Injected pipeline hiccup: the whole unit freezes for the cycle. *)
+    t.stalls <- t.stalls + 1;
+    (match t.probe with
+    | None -> ()
+    | Some p -> Telemetry.stall p ~now Telemetry.Pipeline_drain);
+    false
+  end
+  else
   let flushed = try_flush t ~now in
   let stepped = try_step t ~now in
   let progress = flushed || stepped in
@@ -394,6 +409,7 @@ let plan_pops p = Array.to_list p.pops |> List.map fst
 
 let plan t ~now =
   if is_done t then None
+  else if t.hiccup then None
   else begin
     let l = t.compute_cycles in
     let s = t.step in

@@ -52,6 +52,12 @@ val add_stalls : t -> int -> unit
 (** Credit stall cycles accounted lazily by the scheduler for cycles the
     unit was provably unable to progress and therefore not run. *)
 
+val set_hiccup : t -> bool -> unit
+(** Fault-injection hook ({!Fault_plan}): while set, the pipeline
+    freezes — {!cycle} makes no progress (counted and classified as a
+    pipeline stall) and {!plan} returns [None]. Cleared by the injector
+    each cycle. *)
+
 val input_channels : t -> Channel.t list
 (** Streaming (full-rank) input channels, for wake-hook wiring. *)
 

@@ -108,6 +108,14 @@ let counters ctx =
         ("sim-stalls", Sf_sim.Telemetry.total_blocked s.telemetry);
         ("sim-net-bytes", s.network_bytes);
       ]
+      @
+      let f = s.faults in
+      if f.Sf_sim.Fault_plan.injected_events > 0 then
+        [
+          ("faults-injected", f.Sf_sim.Fault_plan.injected_events);
+          ("stall-cycles-injected", f.Sf_sim.Fault_plan.injected_stall_cycles);
+        ]
+      else []
   | Some (Error _) | None -> []
 
 let fmt_to_string pp v =

@@ -248,7 +248,9 @@ let test_trace_events_json () =
 let test_config_defaults () =
   let c = Engine.Config.make () in
   Alcotest.(check bool) "default = make ()" true (c = Engine.Config.default);
-  Alcotest.(check bool) "default_config alias" true (Engine.default_config = Engine.Config.default);
+  Alcotest.(check bool)
+    "faults disabled by default" true
+    (Option.is_none c.Engine.Config.faults.Engine.Config.plan);
   Alcotest.(check int) "writer buffer" 8 c.Engine.Config.bandwidth.Engine.Config.writer_buffer;
   Alcotest.(check int) "net latency" 64 c.Engine.Config.network.Engine.Config.net_latency_cycles;
   Alcotest.(check int) "deadlock window" 4096 c.Engine.Config.safety.Engine.Config.deadlock_window;
