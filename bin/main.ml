@@ -33,6 +33,21 @@ let diag_json_arg =
   let doc = "Report diagnostics as JSON on stdout instead of text on stderr." in
   Arg.(value & flag & info [ "diag-json" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Hardware threads to use: campaigns, probe arms and sweeps run that many \
+     independent simulations concurrently, and the parallel engine tunes its \
+     spin/park behaviour to it. $(b,0) (the default) means auto-detect \
+     ($(b,Domain.recommended_domain_count)); $(b,1) forces fully serial \
+     execution. Results are byte-identical for every value."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* --jobs 0 = auto. Campaign/probe/sweep call sites take the resolved
+   count; the engine config keeps the raw value (its 0 means the same
+   auto-detect, resolved at run time). *)
+let resolve_jobs jobs = if jobs > 0 then jobs else Executor.default_jobs ()
+
 (* Diagnostics go to stderr as "stencilflow: <file:line:col:> severity[CODE]:
    message" lines (or as one JSON object on stdout with --diag-json); the
    process exit code is derived from the first error's code layer. *)
@@ -176,7 +191,7 @@ let simulate_cmd =
                    timeout; the budget is echoed in the diagnostic's notes.")
   in
   let run path width fuse seed trace profile trace_out counters_json parallel devices inject
-      fault_seed max_cycles trace_passes dump_ir diag_json =
+      fault_seed max_cycles jobs trace_passes dump_ir diag_json =
     let telemetry = profile || trace_out <> None || counters_json in
     let trace_interval =
       if trace <> None || trace_out <> None then Some 16 else None
@@ -197,7 +212,7 @@ let simulate_cmd =
         ~parallelism:
           (Engine.Config.parallelism
              ~mode:(if parallel then `Domains_per_device else `Sequential)
-             ())
+             ~host_jobs:jobs ())
         ~safety:(Engine.Config.safety ?max_cycles ())
         ~faults:(Engine.Config.faults ?plan:fault_plan ~seed:fault_seed ())
         ()
@@ -260,7 +275,7 @@ let simulate_cmd =
     Term.(
       const run $ program_arg $ vector_width_arg $ fuse_arg $ seed_arg $ trace_arg
       $ profile_arg $ trace_out_arg $ counters_json_arg $ parallel_arg $ devices_arg
-      $ inject_arg $ fault_seed_arg $ max_cycles_arg
+      $ inject_arg $ fault_seed_arg $ max_cycles_arg $ jobs_arg
       $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
 
 let validate_depths_cmd =
@@ -283,7 +298,8 @@ let validate_depths_cmd =
          & info [ "fault-seed" ] ~docv:"N"
              ~doc:"Fault-timeline seed of the under-provisioning probe.")
   in
-  let run path width campaign_n seed inject fault_seed =
+  let run path width campaign_n seed inject fault_seed jobs =
+    let jobs = resolve_jobs jobs in
     (* No fusion: collapsing the DAG can erase the very join edges whose
        delay buffers the campaign is exercising. *)
     let p = load path width in
@@ -297,7 +313,7 @@ let validate_depths_cmd =
     let inputs = Interp.random_inputs ~seed p in
     let analysis = Delay_buffer.analyze p in
     let config = Engine.Config.default in
-    (match Faults.campaign ~config ~inputs ~plan ~schedules:campaign_n p with
+    (match Faults.campaign ~config ~inputs ~plan ~schedules:campaign_n ~jobs p with
     | Error d -> exit_diags ~json:false [ d ]
     | Ok report ->
         let failed = Faults.failures report in
@@ -310,7 +326,7 @@ let validate_depths_cmd =
             Format.printf "  seed %d FAILED: %s@." r.Faults.seed (Diag.to_string d))
           failed;
         let probe_ok =
-          match Faults.probe_tightest ~config ~inputs ~plan ~fault_seed ~analysis p with
+          match Faults.probe_tightest ~config ~inputs ~plan ~fault_seed ~jobs ~analysis p with
           | None ->
               Format.printf
                 "no positive-depth delay buffer: nothing to under-provision@.";
@@ -363,7 +379,7 @@ let validate_depths_cmd =
   Cmd.v (Cmd.info "validate-depths" ~doc)
     Term.(
       const run $ program_arg $ vector_width_arg $ campaign_arg $ seed_arg $ inject_arg
-      $ fault_seed_arg)
+      $ fault_seed_arg $ jobs_arg)
 
 let codegen_cmd =
   let out_arg =
@@ -489,9 +505,12 @@ let autotune_cmd =
   let devices_arg =
     Arg.(value & opt int 1 & info [ "devices" ] ~doc:"Devices in the chain (network bound).")
   in
-  let run path devices =
+  let run path devices jobs =
     let p = load path None in
-    match Autotune.choose ~devices ~device:Device.stratix10 ~max_width:16 p with
+    match
+      Autotune.choose ~devices ~device:Device.stratix10 ~max_width:16
+        ~jobs:(resolve_jobs jobs) p
+    with
     | exception Invalid_argument m ->
         Format.eprintf "stencilflow: %s@." m;
         exit 1
@@ -507,7 +526,7 @@ let autotune_cmd =
           sweep
   in
   let doc = "Sweep vectorization widths under the device, memory and network models." in
-  Cmd.v (Cmd.info "autotune" ~doc) Term.(const run $ program_arg $ devices_arg)
+  Cmd.v (Cmd.info "autotune" ~doc) Term.(const run $ program_arg $ devices_arg $ jobs_arg)
 
 let optimize_cmd =
   let run path width =

@@ -72,6 +72,7 @@ module Hdiff = Sf_kernels.Hdiff
 module Swe = Sf_kernels.Swe
 module Wave = Sf_kernels.Wave
 module Diag = Sf_support.Diag
+module Executor = Sf_support.Executor
 module Ctx = Sf_toolchain.Ctx
 module Pass_manager = Sf_toolchain.Pass_manager
 module Passes = Sf_toolchain.Passes

@@ -9,7 +9,12 @@ module Config = struct
   type safety = { deadlock_window : int; max_cycles : int option }
   type tracing = { trace_interval : int option; telemetry : bool }
   type par_mode = [ `Sequential | `Domains_per_device ]
-  type parallelism = { mode : par_mode; window_cycles : int }
+  type parallelism = {
+    mode : par_mode;
+    window_cycles : int;
+    sync_batch_cycles : int;
+    host_jobs : int;
+  }
   type faults = { plan : Fault_plan.t option; fault_seed : int }
 
   let bandwidth ?(mem_bytes_per_cycle = infinity) ?(writer_buffer = 8) () =
@@ -21,8 +26,9 @@ module Config = struct
   let safety ?(deadlock_window = 4096) ?max_cycles () = { deadlock_window; max_cycles }
   let tracing ?trace_interval ?(telemetry = false) () = { trace_interval; telemetry }
 
-  let parallelism ?(mode = `Sequential) ?(window_cycles = 1024) () =
-    { mode; window_cycles }
+  let parallelism ?(mode = `Sequential) ?(window_cycles = 0) ?(sync_batch_cycles = 0)
+      ?(host_jobs = 0) () =
+    { mode; window_cycles; sync_batch_cycles; host_jobs }
 
   let faults ?plan ?(seed = 1) () = { plan; fault_seed = seed }
 

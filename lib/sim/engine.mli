@@ -69,9 +69,28 @@ module Config : sig
             route runs through {!Parallel} to honour it. *)
     window_cycles : int;
         (** How far a domain may run ahead of its downstream consumers
-            before it blocks, bounding cross-domain queue occupancy.
-            Purely a throughput/memory knob: any positive value yields
+            before it blocks, bounding cross-domain ring occupancy.
+            [0] (the default) sizes the window automatically:
+            [max 1024 (4 * net_latency_cycles)], well beyond the
+            lookahead, with the transport rings sized to match. Purely a
+            throughput/memory knob: any positive value yields
             bit-identical results. *)
+    sync_batch_cycles : int;
+        (** Commit batching: a domain publishes its committed-cycle
+            clock (and progress counter) every this many executed cycles
+            instead of every cycle, and always flushes before blocking
+            on a neighbour — so batching can delay a waiter, never
+            deadlock it. [0] (the default) derives the batch from the
+            smallest link latency (clamped to [1, 64]). Purely a
+            throughput knob: results are bit-identical for any positive
+            value. *)
+    host_jobs : int;
+        (** How many hardware threads this process may assume (the CLI
+            [--jobs]). [0] (the default) means
+            [Domain.recommended_domain_count ()]. When fewer than the
+            spawned domains, blocked domains park on their condition
+            variable immediately instead of spinning first, so an
+            oversubscribed host degrades gracefully. *)
   }
 
   val bandwidth : ?mem_bytes_per_cycle:float -> ?writer_buffer:int -> unit -> bandwidth
@@ -86,8 +105,15 @@ module Config : sig
   val tracing : ?trace_interval:int -> ?telemetry:bool -> unit -> tracing
   (** Defaults: no occupancy sampling, telemetry off. *)
 
-  val parallelism : ?mode:par_mode -> ?window_cycles:int -> unit -> parallelism
-  (** Defaults: sequential execution, 1024-cycle run-ahead window. *)
+  val parallelism :
+    ?mode:par_mode ->
+    ?window_cycles:int ->
+    ?sync_batch_cycles:int ->
+    ?host_jobs:int ->
+    unit ->
+    parallelism
+  (** Defaults: sequential execution, automatic run-ahead window,
+      automatic commit batch, automatic host-thread count. *)
 
   type faults = {
     plan : Fault_plan.t option;

@@ -43,7 +43,7 @@ let bit_identical (a : (string * Interp.result) list) (b : (string * Interp.resu
        a b
 
 let campaign ?(config = Engine.Config.default) ?(placement = fun _ -> 0) ?inputs
-    ?(plan = default_plan) ?(schedules = 25) (p : Sf_ir.Program.t) =
+    ?(plan = default_plan) ?(schedules = 25) ?(jobs = 1) (p : Sf_ir.Program.t) =
   let inputs = match inputs with Some i -> i | None -> Interp.random_inputs p in
   (* The unperturbed reference run: same config with faults stripped
      (any depth override in the plan still applies to the injected runs
@@ -69,7 +69,13 @@ let campaign ?(config = Engine.Config.default) ?(placement = fun _ -> 0) ?inputs
             in
             { seed; outcome; faults = stats.Engine.faults }
       in
-      let runs = List.init schedules (fun i -> one (i + 1)) in
+      (* Each schedule is an independent simulation on shared-immutable
+         inputs; [Executor.map] keeps the report indexed by seed, so the
+         result is byte-identical to the serial loop for any [jobs]. *)
+      let runs =
+        Sf_support.Executor.with_pool ~jobs (fun pool ->
+            Array.to_list (Sf_support.Executor.map pool schedules (fun i -> one (i + 1))))
+      in
       Ok { baseline_cycles = baseline.Engine.cycles; runs }
 
 (* Depth override pinning an edge's REAL channel capacity: the engine
@@ -102,8 +108,8 @@ type depth_probe = {
    monotonically — less space can only add deadlocks — so the largest
    deadlocking capacity is well-defined and binary-searchable. *)
 let probe_tightest ?(config = Engine.Config.default) ?(placement = fun _ -> 0) ?inputs
-    ?(plan = default_plan) ?(fault_seed = 1) ~(analysis : Sf_analysis.Delay_buffer.t)
-    (p : Sf_ir.Program.t) =
+    ?(plan = default_plan) ?(fault_seed = 1) ?(jobs = 1)
+    ~(analysis : Sf_analysis.Delay_buffer.t) (p : Sf_ir.Program.t) =
   match Sf_analysis.Delay_buffer.tightest_edge analysis with
   | None -> None
   | Some (edge, depth) ->
@@ -120,17 +126,37 @@ let probe_tightest ?(config = Engine.Config.default) ?(placement = fun _ -> 0) ?
         match Engine.run ~config:cfg ~placement ~inputs p with Ok _ -> true | Error _ -> false
       in
       (* Largest deadlocking capacity in [1, depth + slack - 1]: lo is
-         the highest KNOWN deadlock, hi the lowest known completion. *)
+         the highest KNOWN deadlock, hi the lowest known completion.
+         With [jobs > 1] each round samples k interior points of the
+         bracket concurrently (k-section) instead of one midpoint;
+         because [completes] is monotone in the capacity, every sample
+         tightens the bracket from one side or the other and the search
+         converges to the same boundary the serial bisection finds. At
+         [jobs = 1] the single sample IS the midpoint, so the probe
+         degenerates to exactly the old bisection. *)
       let tight =
         if completes 1 then None
         else begin
           let lo = ref 1 and hi = ref (depth + slack) in
           (* depth + slack completes by the campaign's own claim; treat
              it as the completing sentinel without re-running it. *)
-          while !hi - !lo > 1 do
-            let mid = (!lo + !hi) / 2 in
-            if completes mid then hi := mid else lo := mid
-          done;
+          Sf_support.Executor.with_pool ~jobs (fun pool ->
+              while !hi - !lo > 1 do
+                let gap = !hi - !lo in
+                let k = max 1 (min (Sf_support.Executor.jobs pool) (gap - 1)) in
+                (* Strictly increasing interior points: gap >= k + 1, so
+                   the real-valued increments are >= 1 and the floors
+                   stay distinct, all within (lo, hi). *)
+                let points = Array.init k (fun i -> !lo + (gap * (i + 1) / (k + 1))) in
+                let ok = Sf_support.Executor.map pool k (fun i -> completes points.(i)) in
+                Array.iteri
+                  (fun i completed ->
+                    if completed then begin
+                      if points.(i) < !hi then hi := points.(i)
+                    end
+                    else if points.(i) > !lo then lo := points.(i))
+                  ok
+              done);
           Some !lo
         end
       in

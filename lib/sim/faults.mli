@@ -38,13 +38,16 @@ val campaign :
   ?inputs:(string * Sf_reference.Tensor.t) list ->
   ?plan:plan ->
   ?schedules:int ->
+  ?jobs:int ->
   Sf_ir.Program.t ->
   (report, Sf_support.Diag.t) result
 (** Run the unperturbed baseline (any fault config in [config] is
     stripped for it), then [schedules] (default 25) injected runs with
-    seeds [1..N], comparing outputs bit-for-bit. [Error] only when the
-    baseline itself fails — per-schedule failures are reported in the
-    {!report}. *)
+    seeds [1..N], comparing outputs bit-for-bit. [jobs] (default 1) runs
+    the schedules across an {!Sf_support.Executor} pool; the report is
+    indexed by seed and byte-identical for every [jobs] value. [Error]
+    only when the baseline itself fails — per-schedule failures are
+    reported in the {!report}. *)
 
 val underprovision :
   channel_slack:int ->
@@ -78,6 +81,7 @@ val probe_tightest :
   ?inputs:(string * Sf_reference.Tensor.t) list ->
   ?plan:plan ->
   ?fault_seed:int ->
+  ?jobs:int ->
   analysis:Sf_analysis.Delay_buffer.t ->
   Sf_ir.Program.t ->
   depth_probe option
@@ -85,7 +89,11 @@ val probe_tightest :
     Binary-searches the largest deadlocking capacity below the analysed
     provisioning — deadlocks in a Kahn network depend only on channel
     capacities and shrink monotonically with them, so the boundary is
-    well-defined and independent of timing — then re-runs once at that
+    well-defined and independent of timing. [jobs] (default 1) widens
+    each bisection round into a k-section: up to [jobs] interior
+    capacities of the bracket are simulated concurrently on an
+    {!Sf_support.Executor} pool, and monotonicity guarantees the same
+    boundary as the serial search — then re-runs once at that
     capacity under [plan] (default {!default_plan}) and [fault_seed] to
     capture the [SF0701] with fault-attribution notes. The analysis is
     often conservative (it budgets compute latency the slow path does

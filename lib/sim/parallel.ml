@@ -14,8 +14,13 @@ type decision =
 (* conservative bounds: a device may execute cycle [t] once every      *)
 (* upstream committed [t - L] (all traffic that can reach it by [t] is *)
 (* then in the queue) and every downstream committed [t - window]      *)
-(* (bounding queue occupancy). The fast path is a plain SC atomic      *)
-(* read; a blocked domain spins briefly, then parks on the condition   *)
+(* (bounding queue occupancy). Commits are batched: a domain publishes *)
+(* every [batch] executed cycles rather than every cycle, and always   *)
+(* flushes before blocking on a neighbour — batching can therefore     *)
+(* delay a waiter by at most one batch, never deadlock it, and within  *)
+(* a batch the hot loop touches no shared state at all. A blocked      *)
+(* domain backs off exponentially (or parks immediately when the host  *)
+(* has fewer cores than domains), then waits on the condition          *)
 (* variable. Publishers broadcast only when the waiter count is        *)
 (* non-zero — the increment-then-recheck / set-then-read pairing makes *)
 (* the lost-wakeup race impossible under the SC total order.           *)
@@ -50,9 +55,14 @@ let publish sync c =
   end
 
 (* Wait until [committed >= target] or an abort; returns the committed
-   value read (callers re-check the abort flag). *)
-let await sync ~abort ~target =
-  let rec block () =
+   value read (callers re-check the abort flag). [spin_rounds] bounds
+   the pre-park backoff: round [n] costs [2^min(n,6)] cpu_relax hints,
+   so early rounds return quickly when the publisher is one batch away
+   and late rounds stop hammering the cache line. Zero rounds (an
+   oversubscribed host, where spinning steals the publisher's core)
+   parks immediately. *)
+let await sync ~abort ~spin_rounds ~target =
+  let block () =
     Atomic.incr sync.waiters;
     Mutex.lock sync.mu;
     let rec wait () =
@@ -67,16 +77,19 @@ let await sync ~abort ~target =
     Mutex.unlock sync.mu;
     Atomic.decr sync.waiters;
     c
-  and spin n =
+  in
+  let rec spin n =
     let c = Atomic.get sync.committed in
     if c >= target || Atomic.get abort then c
-    else if n > 0 then begin
-      Domain.cpu_relax ();
-      spin (n - 1)
+    else if n < spin_rounds then begin
+      for _ = 1 to 1 lsl min n 6 do
+        Domain.cpu_relax ()
+      done;
+      spin (n + 1)
     end
     else block ()
   in
-  spin 256
+  spin 0
 
 (* ------------------------------------------------------------------ *)
 (* Link directions.                                                    *)
@@ -84,13 +97,16 @@ let await sync ~abort ~target =
 (* The sequential [Link] holds both directions of a device pair and    *)
 (* steps them inside one global cycle. Here each direction is split in *)
 (* two halves with single-domain ownership: the tx half (source        *)
-(* domain) pops near channels and injects into the SPSC queue with a   *)
-(* release cycle [now + latency]; the rx half (destination domain)     *)
-(* drains the queue into per-port in-flight buffers and delivers       *)
-(* matured words into far channels, at most one word per port per      *)
-(* cycle — exactly [Link.cycle]'s per-port behaviour. Injection and    *)
-(* delivery commute within a cycle because latency >= 1 keeps a word   *)
-(* injected at [t] undeliverable before [t + 1].                       *)
+(* domain) moves lanes from near channels into the SPSC ring with a    *)
+(* release cycle [now + latency], publishing once per cycle; the rx    *)
+(* half (destination domain) drains the ring into per-port in-flight   *)
+(* rings and delivers matured words into far channels, at most one     *)
+(* word per port per cycle — exactly [Link.cycle]'s per-port           *)
+(* behaviour. Injection and delivery commute within a cycle because    *)
+(* latency >= 1 keeps a word injected at [t] undeliverable before      *)
+(* [t + 1]. All transport is in-place lane blits between the channel   *)
+(* and ring structure-of-arrays buffers: the steady state allocates    *)
+(* nothing.                                                            *)
 (*                                                                     *)
 (* Each direction gets its own bandwidth controller. That is exact     *)
 (* when the link budget is infinite (requests always grant) or the     *)
@@ -100,19 +116,70 @@ let await sync ~abort ~target =
 (* split can reproduce — [decide] degrades that case.                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-port FIFO of drained-but-undelivered words, owned by the rx
+   domain. A plain growable ring: the far channel can stay full for
+   arbitrarily long while the source keeps transmitting (the old
+   implementation used an unbounded [Queue.t] here), so growth must be
+   possible, but it doubles rarely and the steady state is in-place. *)
+type flight = {
+  mutable fmask : int;
+  mutable releases : int array;
+  mutable fvalues : float array;
+  mutable fvalid : bool array;
+  mutable head : int;  (* slot index of the oldest element *)
+  mutable count : int;
+  width : int;
+}
+
+let flight_create ~capacity ~width =
+  let cap = ref 4 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    fmask = !cap - 1;
+    releases = Array.make !cap 0;
+    fvalues = Array.make (!cap * width) 0.;
+    fvalid = Array.make (!cap * width) true;
+    head = 0;
+    count = 0;
+    width;
+  }
+
+let flight_grow fl =
+  let old_cap = fl.fmask + 1 in
+  let cap = old_cap * 2 in
+  let releases = Array.make cap 0 in
+  let fvalues = Array.make (cap * fl.width) 0. in
+  let fvalid = Array.make (cap * fl.width) true in
+  for j = 0 to fl.count - 1 do
+    let s = (fl.head + j) land fl.fmask in
+    releases.(j) <- fl.releases.(s);
+    Array.blit fl.fvalues (s * fl.width) fvalues (j * fl.width) fl.width;
+    Array.blit fl.fvalid (s * fl.width) fvalid (j * fl.width) fl.width
+  done;
+  fl.releases <- releases;
+  fl.fvalues <- fvalues;
+  fl.fvalid <- fvalid;
+  fl.fmask <- cap - 1;
+  fl.head <- 0
+
 type direction = {
   link : Link.t;
   src_dev : int;
   dst_dev : int;
-  ports : (Channel.t * Channel.t * int) array;  (* near, far, word_bytes *)
-  queue : (int * int * Word.t) Spsc.t;  (* port index, release cycle, word *)
+  near : Channel.t array;  (* tx side, per port *)
+  far : Channel.t array;  (* rx side, per port *)
+  word_bytes : int array;
+  widths : int array;
+  queue : Spsc.t;  (* tag = port index, release = delivery cycle *)
   tx_ctrl : Controller.t;
-  in_flight : (int * Word.t) Queue.t array;  (* per-port: release, word *)
+  in_flight : flight array;
   latency : int;
 }
 
 (* Group [system.cross_ports] (in [Link.cycle] port order) by link and
-   direction. Queue capacity: the destination drains every cycle it
+   direction. Ring capacity: the destination drains every cycle it
    executes, and the conservative bounds keep the source within
    [window] cycles of the destination's commit point and the
    destination within [latency] cycles of the source's — so at most
@@ -137,14 +204,19 @@ let directions ~window (system : I.system) =
       let ports = Array.of_list (List.rev (Hashtbl.find tbl key)) in
       let n = Array.length ports in
       let latency = Link.latency_cycles link in
+      let widths = Array.map (fun (near, _, _) -> Channel.width near) ports in
+      let lanes = Array.fold_left max 1 widths in
       {
         link;
         src_dev = sd;
         dst_dev = dd;
-        ports;
-        queue = Spsc.create ~capacity:(n * (window + latency + 2));
+        near = Array.map (fun (near, _, _) -> near) ports;
+        far = Array.map (fun (_, far, _) -> far) ports;
+        word_bytes = Array.map (fun (_, _, wb) -> wb) ports;
+        widths;
+        queue = Spsc.create ~capacity:(n * (window + latency + 2)) ~lanes;
         tx_ctrl = Controller.create ~bytes_per_cycle:(Link.bytes_per_cycle link);
-        in_flight = Array.init n (fun _ -> Queue.create ());
+        in_flight = Array.init n (fun i -> flight_create ~capacity:(latency + 16) ~width:widths.(i));
         latency;
       })
     !order
@@ -173,10 +245,30 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
   let telemetry = Telemetry.create ~enabled:false () in
   let system, predicted = I.build ~config ~telemetry ~placement ~inputs p in
   let ndev = Array.length system.I.mem_controllers in
-  let window = max 1 config.Engine.Config.parallelism.Engine.Config.window_cycles in
+  let { Engine.Config.window_cycles; sync_batch_cycles; host_jobs; mode = _ } =
+    config.Engine.Config.parallelism
+  in
   let { Engine.Config.deadlock_window; max_cycles } = config.Engine.Config.safety in
   let max_cycles = match max_cycles with Some m -> m | None -> max_int in
+  let max_latency =
+    List.fold_left
+      (fun acc (l, _, _, _, _, _) -> max acc (Link.latency_cycles l))
+      1 system.I.cross_ports
+  in
+  (* The run-ahead window is decoupled from the lookahead: the rings are
+     sized to carry it, so it defaults to several multiples of the
+     latency — domains re-synchronize on the slow commit clock as rarely
+     as the capacity slack allows. *)
+  let window =
+    if window_cycles > 0 then window_cycles else max 1024 (4 * max_latency)
+  in
   let dirs = directions ~window system in
+  let min_latency = List.fold_left (fun acc d -> min acc d.latency) max_latency dirs in
+  let batch =
+    if sync_batch_cycles > 0 then sync_batch_cycles
+    else max 1 (min 64 (min_latency / 4))
+  in
+  let host_jobs = if host_jobs > 0 then host_jobs else Domain.recommended_domain_count () in
   let home name = Hashtbl.find system.I.comp_device name in
   let dev_comps =
     Array.init ndev (fun d ->
@@ -197,6 +289,12 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
                 if home (Memory_unit.Reader.name r) = d then Some (Preader r) else None)
               system.I.readers))
   in
+  let used = Array.map (fun comps -> Array.length comps > 0) dev_comps in
+  let spawned = Array.fold_left (fun a u -> if u then a + 1 else a) 0 used in
+  (* Spinning only helps when the publisher can run concurrently; on an
+     oversubscribed host every spin steals the publisher's core, so park
+     at once and let the scheduler hand the core over. *)
+  let spin_rounds = if spawned > host_jobs then 0 else 10 in
   let syncs = Array.init ndev (fun _ -> make_sync ()) in
   let progress = Array.init ndev (fun _ -> Atomic.make 0) in
   let abort = Atomic.make false in
@@ -233,7 +331,7 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
           | Pwriter w -> Memory_unit.Writer.is_done w
           | Punit u -> Stencil_unit.is_done u
           | Preader r -> Memory_unit.Reader.is_done r
-          | Ptx dir -> Array.for_all (fun (near, _, _) -> Channel.is_empty near) dir.ports
+          | Ptx dir -> Array.for_all Channel.is_empty dir.near
           | Prx _ -> true)
         comps
     in
@@ -241,6 +339,20 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
     let idle = ref 0 in
     let idle_stamp = ref (-1) in
     let cycle = ref 0 in
+    let last_pub = ref (-1) in
+    (* Batched commit: publish the clock (and the progress counter the
+       global deadlock check reads) at batch boundaries, and always
+       before blocking — so a neighbour observing this domain's clock
+       while it waits sees the true committed cycle, which is what makes
+       batching deadlock-free. *)
+    let flush () =
+      let c = !cycle - 1 in
+      if c > !last_pub then begin
+        Atomic.set progress.(d) !local_prog;
+        publish sync c;
+        last_pub := c
+      end
+    in
     let status : [ status | `Running ] ref = ref `Running in
     while !status = `Running do
       if local_done () then status := `Finished
@@ -253,14 +365,16 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
         let now = !cycle in
         for i = 0 to Array.length up - 1 do
           if !status = `Running && now > up_ok.(i) then begin
-            let c = await syncs.(up.(i).src_dev) ~abort ~target:(now - up.(i).latency) in
+            flush ();
+            let c = await syncs.(up.(i).src_dev) ~abort ~spin_rounds ~target:(now - up.(i).latency) in
             if Atomic.get abort then status := `Aborted
             else up_ok.(i) <- c + up.(i).latency
           end
         done;
         for i = 0 to Array.length down - 1 do
           if !status = `Running && now > down_ok.(i) then begin
-            let c = await syncs.(down.(i).dst_dev) ~abort ~target:(now - window) in
+            flush ();
+            let c = await syncs.(down.(i).dst_dev) ~abort ~spin_rounds ~target:(now - window) in
             if Atomic.get abort then status := `Aborted
             else down_ok.(i) <- c + window
           end
@@ -272,42 +386,73 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
             (fun comp ->
               match comp with
               | Prx dir ->
+                  (* Drain every published word into its port's
+                     in-flight ring, then deliver at most one matured
+                     word per port. *)
+                  let qvalues = Spsc.values dir.queue in
+                  let qvalid = Spsc.valid dir.queue in
                   let rec drain () =
-                    match Spsc.pop_opt dir.queue with
-                    | Some (i, release, word) ->
-                        Queue.push (release, word) dir.in_flight.(i);
-                        drain ()
-                    | None -> ()
+                    let base = Spsc.front dir.queue in
+                    if base >= 0 then begin
+                      let fl = dir.in_flight.(Spsc.front_tag dir.queue) in
+                      if fl.count > fl.fmask then flight_grow fl;
+                      let slot = (fl.head + fl.count) land fl.fmask in
+                      fl.releases.(slot) <- Spsc.front_release dir.queue;
+                      Array.blit qvalues base fl.fvalues (slot * fl.width) fl.width;
+                      Array.blit qvalid base fl.fvalid (slot * fl.width) fl.width;
+                      fl.count <- fl.count + 1;
+                      Spsc.consume dir.queue;
+                      drain ()
+                    end
                   in
                   drain ();
                   Array.iteri
-                    (fun i (_, far, _) ->
-                      match Queue.peek_opt dir.in_flight.(i) with
-                      | Some (release, word)
-                        when release <= now && not (Channel.is_full far) ->
-                          ignore (Queue.pop dir.in_flight.(i));
-                          Channel.push far word;
-                          prog := true
-                      | Some _ | None -> ())
-                    dir.ports
+                    (fun i far ->
+                      let fl = dir.in_flight.(i) in
+                      if
+                        fl.count > 0
+                        && fl.releases.(fl.head) <= now
+                        && not (Channel.is_full far)
+                      then begin
+                        let dst = Channel.Unsafe.push_slot far in
+                        Array.blit fl.fvalues (fl.head * fl.width)
+                          (Channel.Unsafe.buf_values far) dst fl.width;
+                        Array.blit fl.fvalid (fl.head * fl.width)
+                          (Channel.Unsafe.buf_valid far) dst fl.width;
+                        fl.head <- (fl.head + 1) land fl.fmask;
+                        fl.count <- fl.count - 1;
+                        prog := true
+                      end)
+                    dir.far
               | Ptx dir ->
                   Controller.begin_cycle dir.tx_ctrl;
+                  let qvalues = Spsc.values dir.queue in
+                  let qvalid = Spsc.valid dir.queue in
                   Array.iteri
-                    (fun i (near, _, word_bytes) ->
+                    (fun i near ->
                       if
                         (not (Channel.is_empty near))
-                        && Controller.request dir.tx_ctrl word_bytes
+                        && Controller.request dir.tx_ctrl dir.word_bytes.(i)
                       then begin
-                        let word = Channel.pop near in
-                        if not (Spsc.try_push dir.queue (i, now + dir.latency, word))
-                        then begin
+                        let base =
+                          Spsc.try_produce dir.queue ~tag:i ~release:(now + dir.latency)
+                        in
+                        if base < 0 then begin
                           (* Capacity proof violated — fail safe. *)
                           status := `Stuck;
                           trigger_abort ()
                         end
-                        else prog := true
+                        else begin
+                          let w = dir.widths.(i) in
+                          let src = Channel.Unsafe.front_slot near in
+                          Array.blit (Channel.Unsafe.buf_values near) src qvalues base w;
+                          Array.blit (Channel.Unsafe.buf_valid near) src qvalid base w;
+                          Channel.drop near;
+                          prog := true
+                        end
                       end)
-                    dir.ports
+                    dir.near;
+                  Spsc.publish dir.queue
               | Pwriter w ->
                   if (not (Memory_unit.Writer.is_done w)) && Memory_unit.Writer.cycle w ~now
                   then prog := true
@@ -320,7 +465,6 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
             comps;
           if !prog then begin
             incr local_prog;
-            Atomic.set progress.(d) !local_prog;
             idle := 0;
             idle_stamp := -1
           end
@@ -330,6 +474,7 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
               (* Locally stuck for a full window. If nothing progressed
                  anywhere since the last check the whole system is
                  wedged; otherwise keep waiting on the others. *)
+              flush ();
               let sum = progress_sum () in
               if !idle_stamp >= 0 && sum = !idle_stamp then begin
                 status := `Stuck;
@@ -342,8 +487,12 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
             end
           end;
           if !status = `Running then begin
-            publish sync now;
-            incr cycle
+            incr cycle;
+            if now - !last_pub >= batch then begin
+              Atomic.set progress.(d) !local_prog;
+              publish sync now;
+              last_pub := now
+            end
           end
         end
       end
@@ -363,7 +512,6 @@ let run_domains ~config ~placement ~inputs (p : Program.t) =
   in
   (* Devices left empty by the placement get their exit clock published
      up front instead of an idle domain. *)
-  let used = Array.map (fun comps -> Array.length comps > 0) dev_comps in
   Array.iteri (fun d u -> if not u then publish syncs.(d) sentinel) used;
   let domains =
     Array.init ndev (fun d ->

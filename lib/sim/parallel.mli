@@ -10,9 +10,17 @@
     [net_latency_cycles] (= the lookahead L) to arrive, so a device may
     execute cycle [t] as soon as every upstream device has committed
     cycle [t - L] — everything that can influence it by cycle [t] is
-    already in the cross-domain queue (one lock-free {!Spsc} queue per
-    link direction). Run-ahead past downstream devices is throttled to
-    {!Engine.Config.parallelism.window_cycles} so queues stay bounded.
+    already in the cross-domain ring (one lock-free {!Spsc} ring per
+    link direction, moved by in-place lane blits — the steady state
+    allocates nothing). Run-ahead past downstream devices is throttled
+    to {!Engine.Config.parallelism.window_cycles} (0 = auto, several
+    lookaheads) so rings stay bounded; commits are published in batches
+    of {!Engine.Config.parallelism.sync_batch_cycles} executed cycles
+    and always flushed before blocking, so domains touch shared state a
+    few times per lookahead instead of every cycle; blocked domains back
+    off exponentially, or park immediately when the spawned domains
+    outnumber {!Engine.Config.parallelism.host_jobs}. All three are
+    throughput knobs only — any values give bit-identical results.
 
     {b Determinism.} Results are bit-identical and cycle-identical to
     {!Engine.run_exn} for every placement: same cycle count, outputs,

@@ -1,0 +1,216 @@
+(* Fixed domain pool with per-worker deques and work stealing.
+
+   Tasks of a batch are integer indices, block-partitioned across the
+   workers' deques up front (worker k owns a contiguous slice, so the
+   common balanced case never touches a foreign deque). Each worker pops
+   its own deque from the bottom and steals from the others' tops when
+   empty — the classic Chase-Lev discipline, simplified by the fact that
+   owners never push after the batch is installed, so the arrays never
+   grow. All cross-domain coordination is OCaml 5 SC atomics; batch
+   installation and completion are handed over under the pool mutex,
+   which also provides the happens-before edge that publishes task
+   results (written into caller arrays by workers) back to the
+   submitter. *)
+
+type deque = {
+  tasks : int array;
+  top : int Atomic.t;  (* next index to steal; CAS to claim *)
+  bottom : int Atomic.t;  (* one past the owner's end *)
+}
+
+let pop_bottom d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* Empty; restore the canonical empty shape (bottom = top). *)
+    Atomic.set d.bottom t;
+    -1
+  end
+  else if b = t then begin
+    (* Last element: race the thieves for it via top. *)
+    let v = if Atomic.compare_and_set d.top t (t + 1) then d.tasks.(b) else -1 in
+    Atomic.set d.bottom (t + 1);
+    v
+  end
+  else d.tasks.(b)
+
+(* -1 = observed empty, -2 = lost a race (the deque may still hold work). *)
+let try_steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then -1
+  else begin
+    let v = d.tasks.(t) in
+    if Atomic.compare_and_set d.top t (t + 1) then v else -2
+  end
+
+type batch = {
+  deques : deque array;
+  work : int -> unit;
+  pending : int Atomic.t;  (* tasks not yet executed or dropped *)
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  jobs : int;
+  mu : Mutex.t;
+  work_cv : Condition.t;  (* workers wait here for the next batch *)
+  done_cv : Condition.t;  (* the submitter waits here for completion *)
+  mutable current : (int * batch) option;  (* generation, batch *)
+  mutable generation : int;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Run one claimed task. After a failure the batch is cancelled: tasks
+   are still claimed (so [pending] drains and the submitter wakes) but
+   no longer run. *)
+let exec pool b i =
+  (match Atomic.get b.failed with
+  | Some _ -> ()
+  | None -> (
+      try b.work i
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set b.failed None (Some (e, bt)))));
+  if Atomic.fetch_and_add b.pending (-1) = 1 then begin
+    Mutex.lock pool.mu;
+    Condition.broadcast pool.done_cv;
+    Mutex.unlock pool.mu
+  end
+
+(* Drain the batch from worker [me]'s perspective: own deque first, then
+   sweep the others for steals. A lost steal race means the victim may
+   still hold work, so the sweep restarts; a clean all-empty sweep means
+   every task is claimed and this worker is done (claimed tasks finish
+   in their claimants before those exit). *)
+let drain pool b me =
+  let n = Array.length b.deques in
+  let rec own () =
+    let v = pop_bottom b.deques.(me) in
+    if v >= 0 then begin
+      exec pool b v;
+      own ()
+    end
+    else sweep 0 false
+  and sweep k contended =
+    if k >= n then if contended then sweep 0 false else ()
+    else begin
+      let v = try_steal b.deques.((me + 1 + k) mod n) in
+      if v >= 0 then begin
+        exec pool b v;
+        own ()
+      end
+      else sweep (k + 1) (contended || v = -2)
+    end
+  in
+  own ()
+
+let worker pool me () =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mu;
+    let rec next () =
+      if pool.stopped then None
+      else
+        match pool.current with
+        | Some (g, b) when g > !last ->
+            last := g;
+            Some b
+        | _ ->
+            Condition.wait pool.work_cv pool.mu;
+            next ()
+    in
+    let b = next () in
+    Mutex.unlock pool.mu;
+    match b with
+    | None -> ()
+    | Some b ->
+        drain pool b me;
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let pool =
+    {
+      jobs;
+      mu = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      generation = 0;
+      stopped = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init (jobs - 1) (fun k -> Domain.spawn (worker pool (k + 1)));
+  pool
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let ds = t.domains in
+  t.stopped <- true;
+  t.domains <- [];
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mu;
+  List.iter Domain.join ds
+
+let run pool n f =
+  if n > 0 then begin
+    if pool.stopped then invalid_arg "Executor.run: pool is shut down";
+    if pool.jobs <= 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let w = pool.jobs in
+      let deques =
+        Array.init w (fun k ->
+            let lo = k * n / w and hi = (k + 1) * n / w in
+            {
+              tasks = Array.init (hi - lo) (fun j -> lo + j);
+              top = Atomic.make 0;
+              bottom = Atomic.make (hi - lo);
+            })
+      in
+      let b = { deques; work = f; pending = Atomic.make n; failed = Atomic.make None } in
+      Mutex.lock pool.mu;
+      pool.generation <- pool.generation + 1;
+      pool.current <- Some (pool.generation, b);
+      Condition.broadcast pool.work_cv;
+      Mutex.unlock pool.mu;
+      (* The submitter works too: jobs = N means N executing domains. *)
+      drain pool b 0;
+      Mutex.lock pool.mu;
+      while Atomic.get b.pending > 0 do
+        Condition.wait pool.done_cv pool.mu
+      done;
+      pool.current <- None;
+      Mutex.unlock pool.mu;
+      match Atomic.get b.failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let map pool n f =
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run pool n (fun i -> results.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list pool f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map pool (Array.length arr) (fun i -> f arr.(i)))
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

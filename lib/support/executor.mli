@@ -1,0 +1,61 @@
+(** Shared fixed-size domain pool for embarrassingly-parallel work.
+
+    One pool serves every independent-simulation caller in the process —
+    fault campaigns, autotune sweeps, under-provisioning probe arms, the
+    bench harness — so concurrency is bounded once, by the pool size,
+    rather than per call site. Tasks are distributed over per-worker
+    deques (each worker owns a contiguous block of task indices) and
+    idle workers steal from the others, so an unbalanced workload — some
+    simulations deadlocking after thousands of idle cycles, others
+    finishing early — still keeps every domain busy.
+
+    {b Determinism.} [map pool n f] computes [f i] for every [i] and
+    returns the results indexed by [i]. Which worker computes which task
+    depends on steal order, but the result array does not: as long as
+    each [f i] is itself deterministic (no shared mutable state), the
+    output is byte-identical to the [jobs = 1] serial loop. This is what
+    lets campaign reports and sweep tables stay bit-reproducible under
+    any [--jobs].
+
+    {b Exceptions.} The first task exception (in completion order, which
+    is scheduling-dependent) is re-raised by [map]/[run] in the
+    submitting domain with its backtrace; remaining tasks are claimed
+    and dropped without running. The pool survives and can run further
+    batches.
+
+    {b Limits.} Batches must not nest: calling [map]/[run] from inside a
+    task of the same pool deadlocks the submitter. A pool with
+    [jobs <= 1] never spawns a domain and runs every batch inline, so
+    serial behaviour is always available as the degenerate case. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool executing up to [jobs] tasks concurrently: the submitting
+    domain participates, so [jobs - 1] worker domains are spawned
+    (none when [jobs <= 1]). [jobs] is clamped to at least 1. *)
+
+val jobs : t -> int
+(** The configured concurrency (>= 1). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: what [--jobs 0] / "auto"
+    resolves to. *)
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run pool n f] executes [f 0 .. f (n-1)], each exactly once, across
+    the pool, and returns when all have finished. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map pool n f] is [Array.init n f] computed across the pool, with
+    the determinism guarantee above. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must not be used afterwards;
+    idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], apply, then [shutdown] (also on exception). *)

@@ -1,0 +1,39 @@
+The --jobs flag bounds host concurrency everywhere: the parallel
+engine's spin/park policy, fault campaigns, under-provisioning probe
+arms and autotune sweeps. Results must be byte-identical for every
+value — --jobs is a throughput knob, never a semantics knob.
+
+simulate --parallel with an explicit --jobs must match the sequential
+run exactly (same report, same counters), whether under- or
+over-provisioned relative to the host:
+
+  $ ../../bin/main.exe simulate ../../examples/programs/hdiff_2dev.json \
+  >   --devices 2 > sequential.out
+  $ ../../bin/main.exe simulate ../../examples/programs/hdiff_2dev.json \
+  >   --devices 2 --parallel --jobs 1 > par_jobs1.out
+  $ ../../bin/main.exe simulate ../../examples/programs/hdiff_2dev.json \
+  >   --devices 2 --parallel --jobs 8 > par_jobs8.out
+  $ diff sequential.out par_jobs1.out && diff par_jobs1.out par_jobs8.out \
+  >   && echo identical
+  identical
+
+validate-depths fans its campaign schedules and probe arms over the
+executor pool; the verdict and every printed number must not depend on
+the job count:
+
+  $ ../../bin/main.exe validate-depths ../../examples/programs/diamond.json \
+  >   --campaign 6 --jobs 1 > vd_jobs1.out
+  $ ../../bin/main.exe validate-depths ../../examples/programs/diamond.json \
+  >   --campaign 6 --jobs 4 > vd_jobs4.out
+  $ diff vd_jobs1.out vd_jobs4.out && echo identical
+  identical
+  $ grep campaign vd_jobs4.out
+  campaign: 6/6 seeded schedules bit-identical to the unperturbed run (2092 cycles)
+
+autotune sweeps candidate widths concurrently; the table (and the
+chosen width) stays in width order for any --jobs:
+
+  $ ../../bin/main.exe autotune ../../examples/programs/diamond.json --jobs 1 > at_jobs1.out
+  $ ../../bin/main.exe autotune ../../examples/programs/diamond.json --jobs 4 > at_jobs4.out
+  $ diff at_jobs1.out at_jobs4.out && echo identical
+  identical

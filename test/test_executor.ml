@@ -1,0 +1,118 @@
+(* The shared work-stealing domain pool. Determinism is the load-bearing
+   property: every embarrassingly-parallel caller (fault campaigns,
+   probe arms, autotune sweeps) promises byte-identical results for any
+   --jobs, and that only holds if [map] really is [Array.init] no matter
+   how the steals interleave. *)
+module Executor = Sf_support.Executor
+module Engine = Sf_sim.Engine
+module Faults = Sf_sim.Faults
+module Diag = Sf_support.Diag
+
+let test_inline_when_serial () =
+  Executor.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs clamped to >= 1" 1 (Executor.jobs pool);
+      let r = Executor.map pool 10 (fun i -> i * i) in
+      Alcotest.(check (array int)) "serial map" (Array.init 10 (fun i -> i * i)) r);
+  Executor.with_pool ~jobs:(-3) (fun pool ->
+      Alcotest.(check int) "negative jobs clamped" 1 (Executor.jobs pool))
+
+let test_map_matches_serial () =
+  (* Unbalanced tasks (quadratic spin on high indices) push work through
+     the stealing path; the result must still be index-ordered. *)
+  let n = 64 in
+  let f i =
+    let acc = ref 0 in
+    for j = 0 to i * i do
+      acc := (!acc * 31) + j
+    done;
+    (i, !acc)
+  in
+  let serial = Array.init n f in
+  Executor.with_pool ~jobs:4 (fun pool ->
+      for _ = 1 to 5 do
+        Alcotest.(check bool) "jobs=4 equals serial" true (Executor.map pool n f = serial)
+      done)
+
+let test_map_list_preserves_order () =
+  Executor.with_pool ~jobs:3 (fun pool ->
+      let xs = [ "a"; "bb"; "ccc"; "dddd"; "e" ] in
+      Alcotest.(check (list int)) "order kept" [ 1; 2; 3; 4; 1 ]
+        (Executor.map_list pool String.length xs);
+      Alcotest.(check (list int)) "empty list" [] (Executor.map_list pool String.length []))
+
+let test_every_task_runs_once () =
+  Executor.with_pool ~jobs:4 (fun pool ->
+      let n = 500 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Executor.run pool n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i c ->
+          if Atomic.get c <> 1 then
+            Alcotest.failf "task %d ran %d times" i (Atomic.get c))
+        hits)
+
+exception Boom of int
+
+let test_exception_propagates_and_pool_survives () =
+  Executor.with_pool ~jobs:4 (fun pool ->
+      (match Executor.map pool 100 (fun i -> if i = 37 then raise (Boom i) else i) with
+      | _ -> Alcotest.fail "worker exception must re-raise in the submitter"
+      | exception Boom 37 -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+      (* The pool must stay usable after a failed batch. *)
+      let r = Executor.map pool 20 (fun i -> i + 1) in
+      Alcotest.(check (array int)) "pool survives" (Array.init 20 (fun i -> i + 1)) r)
+
+let test_shutdown_idempotent () =
+  let pool = Executor.create ~jobs:3 in
+  Alcotest.(check (array int)) "works" [| 0; 1; 2 |] (Executor.map pool 3 (fun i -> i));
+  Executor.shutdown pool;
+  Executor.shutdown pool
+
+(* The real consumer: a pinned fault-campaign fixture fanned over the
+   pool must produce a report structurally identical to the serial
+   one — same seeds, same outcomes, same injected-event logs. *)
+let test_campaign_identical_across_jobs () =
+  let p = Fixtures.diamond () in
+  let config =
+    Engine.Config.make ~latency:Sf_analysis.Latency.cheap
+      ~safety:(Engine.Config.safety ~deadlock_window:256 ())
+      ()
+  in
+  let inputs = Sf_reference.Interp.random_inputs ~seed:7 p in
+  let run jobs =
+    match Faults.campaign ~config ~inputs ~schedules:8 ~jobs p with
+    | Ok r -> r
+    | Error d -> Alcotest.failf "baseline failed: %s" (Diag.to_string d)
+  in
+  let serial = run 1 in
+  List.iter
+    (fun jobs ->
+      let r = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "report at jobs=%d identical to serial" jobs)
+        true (r = serial))
+    [ 2; 4 ]
+
+let prop_map_deterministic =
+  QCheck.Test.make ~count:30 ~name:"map: any jobs equals jobs=1"
+    QCheck.(pair (int_range 0 40) (int_range 2 6))
+    (fun (n, jobs) ->
+      let f i = (i * 2654435761) land 0xFFFF in
+      let serial = Array.init n f in
+      Executor.with_pool ~jobs (fun pool -> Executor.map pool n f = serial))
+
+let suite =
+  [
+    Alcotest.test_case "jobs <= 1 runs inline" `Quick test_inline_when_serial;
+    Alcotest.test_case "map: unbalanced work, identical results" `Quick
+      test_map_matches_serial;
+    Alcotest.test_case "map_list preserves order" `Quick test_map_list_preserves_order;
+    Alcotest.test_case "run: every task exactly once" `Quick test_every_task_runs_once;
+    Alcotest.test_case "exception propagation; pool survives" `Quick
+      test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "fault campaign identical across jobs" `Quick
+      test_campaign_identical_across_jobs;
+    QCheck_alcotest.to_alcotest prop_map_deterministic;
+  ]
