@@ -1,0 +1,28 @@
+(* Optimize-and-simulate smoke: every example program must survive
+   fusion + the expression optimizer (fold-cse over the hash-consed DAG)
+   and still validate bit-for-bit against the sequential reference.
+   Run via the @opt-smoke alias (attached to `dune runtest`). *)
+open Stencilflow
+
+let () =
+  let dir =
+    if Sys.file_exists "examples/programs" then "examples/programs"
+    else "../examples/programs"
+  in
+  let programs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if programs = [] then failwith ("no programs found under " ^ dir);
+  List.iter
+    (fun file ->
+      let p = Program_json.of_file_exn (Filename.concat dir file) in
+      let fused, _ = Fusion.fuse_all p in
+      let optimized, report = Opt.optimize_with_report fused in
+      match Engine.run_and_validate optimized with
+      | Ok stats ->
+          Printf.printf "%-36s ok: ops %d -> %d, %d cycles\n%!" file
+            report.Opt.ops_before report.Opt.ops_after stats.Engine.cycles
+      | Error d -> failwith (file ^ ": " ^ Diag.to_string d))
+    programs

@@ -290,6 +290,95 @@ let () =
     | Json.Obj fields -> Json.Obj (fields @ [ ("campaign_parallel", campaign_parallel_json) ])
     | other -> other
   in
+  (* Expression optimizer: op counts and per-cell eval cost on the fused
+     horizontal diffusion. The fused bodies keep their sharing as let
+     bindings (DAG extraction); the "inlined" variant re-expands every
+     shared node per occurrence — the evaluation strategy the paper
+     delegated to the vendor compiler's CSE. Work flops must be strictly
+     below tree flops, and the shared compiled body must be cheaper to
+     evaluate per cell. *)
+  let eo_case = hdiff_small ~w:1 in
+  let eo_fused, _ = Fusion.fuse_all eo_case.program in
+  let eo_opt, eo_report = Opt.optimize_with_report eo_fused in
+  let eo_counts = Op_count.of_program eo_opt in
+  let eo_work = eo_counts.Op_count.work_flops_per_cell in
+  let eo_tree = eo_counts.Op_count.tree_flops_per_cell in
+  if eo_work >= eo_tree then
+    failwith "expr_opt: fused hdiff work flops not below tree flops";
+  let eval_ns_per_cell compile body =
+    let slots = Hashtbl.create 32 in
+    let data = Array.init 64 (fun i -> 0.25 +. (float_of_int i /. 7.)) in
+    let access ~field ~offsets =
+      let idx =
+        match Hashtbl.find_opt slots (field, offsets) with
+        | Some i -> i
+        | None ->
+            let i = Hashtbl.length slots in
+            Hashtbl.add slots (field, offsets) i;
+            i
+      in
+      let i = idx land 63 in
+      fun (ctx : float array) -> Array.unsafe_get ctx i
+    in
+    let fn = compile ~access body in
+    let cells = if quick then 100_000 else 2_000_000 in
+    let sink = ref 0. in
+    ignore (fn data);
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to cells - 1 do
+      data.(i land 63) <- data.(i land 63) +. 1e-12;
+      sink := !sink +. fn data
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if Float.is_nan !sink then Printf.printf "(unreachable)";
+    dt /. float_of_int cells *. 1e9
+  in
+  (* The widest fused stencil dominates; bench both evaluation modes of
+     its body. *)
+  let eo_body =
+    let flops (s : Stencil.t) = Expr.flop_count (Stencil.work_profile s) in
+    let widest =
+      List.fold_left
+        (fun best s -> if flops s > flops best then s else best)
+        (List.hd eo_opt.Program.stencils)
+        eo_opt.Program.stencils
+    in
+    widest.Stencil.body
+  in
+  (* Shared: the DAG-slot compiler, each distinct node once per cell.
+     Inlined: the plain closure-tree compiler on the fully inlined
+     expression, every shared node re-evaluated per occurrence —
+     Compile.body would just hash-cons the sharing back. *)
+  let shared_ns = eval_ns_per_cell (fun ~access b -> Compile.body ~access b) eo_body in
+  let inlined_ns =
+    eval_ns_per_cell
+      (fun ~access b -> Compile.expr ~access ~env:(fun _ -> None) b.Expr.result)
+      { Expr.lets = []; result = Expr.inline_lets eo_body }
+  in
+  Printf.printf
+    "\nexpr_opt (%s fused): ops %d -> %d, %d work vs %d tree flops/cell (%d saved); eval %.1f ns/cell shared vs %.1f inlined (%.2fx)\n"
+    eo_case.name eo_report.Opt.ops_before eo_report.Opt.ops_after eo_work eo_tree
+    (eo_tree - eo_work) shared_ns inlined_ns (inlined_ns /. shared_ns);
+  let expr_opt_json =
+    Json.Obj
+      [
+        ("case", Json.String eo_case.name);
+        ("ops_before", Json.Int eo_report.Opt.ops_before);
+        ("ops_after", Json.Int eo_report.Opt.ops_after);
+        ("shared_nodes", Json.Int eo_report.Opt.shared_nodes);
+        ("work_flops_per_cell", Json.Int eo_work);
+        ("tree_flops_per_cell", Json.Int eo_tree);
+        ("flops_saved_per_cell", Json.Int (eo_tree - eo_work));
+        ("shared_eval_ns_per_cell", Json.Float shared_ns);
+        ("inlined_eval_ns_per_cell", Json.Float inlined_ns);
+        ("eval_speedup", Json.Float (inlined_ns /. shared_ns));
+      ]
+  in
+  let json =
+    match json with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("expr_opt", expr_opt_json) ])
+    | other -> other
+  in
   if no_json then Printf.printf "\n--no-json: skipped BENCH_sim.json\n"
   else begin
     let out = if Sys.file_exists "BENCH_sim.json" || Sys.file_exists "dune-project" then "BENCH_sim.json" else "../BENCH_sim.json" in

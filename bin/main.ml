@@ -21,6 +21,13 @@ let fuse_arg =
   let doc = "Apply aggressive stencil fusion before mapping (Sec. V-B)." in
   Arg.(value & flag & info [ "fuse" ] ~doc)
 
+let optimize_arg =
+  let doc =
+    "Run the expression optimiser (constant folding + CSE over the hash-consed \
+     DAG) after the frontend; its op counters appear in $(b,--trace-passes)."
+  in
+  Arg.(value & flag & info [ "optimize" ] ~doc)
+
 let trace_passes_arg =
   let doc = "Print per-pass wall-clock timings and artifact counters." in
   Arg.(value & flag & info [ "trace-passes" ] ~doc)
@@ -77,10 +84,13 @@ let run_pipeline ?device ?sim_config ?inputs ~trace_passes ~dump_ir ~diag_json p
       if trace_passes then Format.printf "%a" Pass_manager.pp_trace trace;
       exit_diags ~json:diag_json ds
 
-let frontend_passes path width fuse =
+(* Fusion runs before the optimiser so fold-cse sees (and re-shares) the
+   substituted fused bodies — the same order as Sdfg.Pipeline.default_pipeline. *)
+let frontend_passes ?(optimize = false) path width fuse =
   [ Passes.load_file path ]
   @ (match width with Some w -> [ Passes.vectorize w ] | None -> [])
-  @ if fuse then [ Passes.fuse () ] else []
+  @ (if fuse then [ Passes.fuse () ] else [])
+  @ if optimize then [ Passes.optimize () ] else []
 
 (* Shared loader for the commands that do not run through the pass
    manager; failures still carry coded diagnostics. *)
@@ -97,10 +107,10 @@ let the_program (ctx : Ctx.t) =
   | None -> invalid_arg "pipeline finished without a program"
 
 let analyze_cmd =
-  let run path width fuse trace_passes dump_ir diag_json =
+  let run path width fuse optimize trace_passes dump_ir diag_json =
     let ctx =
       run_pipeline ~trace_passes ~dump_ir ~diag_json
-        (frontend_passes path width fuse @ [ Passes.delay_buffers ])
+        (frontend_passes ~optimize path width fuse @ [ Passes.delay_buffers ])
     in
     let p = the_program ctx in
     let analysis = match ctx.Ctx.analysis with Some a -> a | None -> assert false in
@@ -121,8 +131,8 @@ let analyze_cmd =
   let doc = "Run the buffering, latency, and resource analyses on a program." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
-      const run $ program_arg $ vector_width_arg $ fuse_arg $ trace_passes_arg $ dump_ir_arg
-      $ diag_json_arg)
+      const run $ program_arg $ vector_width_arg $ fuse_arg $ optimize_arg $ trace_passes_arg
+      $ dump_ir_arg $ diag_json_arg)
 
 let simulate_cmd =
   let seed_arg =
@@ -190,8 +200,8 @@ let simulate_cmd =
              ~doc:"Abort the simulation after $(docv) cycles with a coded SF0703 \
                    timeout; the budget is echoed in the diagnostic's notes.")
   in
-  let run path width fuse seed trace profile trace_out counters_json parallel devices inject
-      fault_seed max_cycles jobs trace_passes dump_ir diag_json =
+  let run path width fuse optimize seed trace profile trace_out counters_json parallel devices
+      inject fault_seed max_cycles jobs trace_passes dump_ir diag_json =
     let telemetry = profile || trace_out <> None || counters_json in
     let trace_interval =
       if trace <> None || trace_out <> None then Some 16 else None
@@ -224,6 +234,7 @@ let simulate_cmd =
       run_pipeline ~sim_config ~trace_passes ~dump_ir ~diag_json
         (frontend_passes path width false
         @ [ Passes.fuse () ]
+        @ (if optimize then [ Passes.optimize () ] else [])
         @ [ Passes.delay_buffers; partition_pass; Passes.performance_model ]
         @ [ Passes.simulate ~seed () ])
     in
@@ -273,9 +284,9 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ program_arg $ vector_width_arg $ fuse_arg $ seed_arg $ trace_arg
-      $ profile_arg $ trace_out_arg $ counters_json_arg $ parallel_arg $ devices_arg
-      $ inject_arg $ fault_seed_arg $ max_cycles_arg $ jobs_arg
+      const run $ program_arg $ vector_width_arg $ fuse_arg $ optimize_arg $ seed_arg
+      $ trace_arg $ profile_arg $ trace_out_arg $ counters_json_arg $ parallel_arg
+      $ devices_arg $ inject_arg $ fault_seed_arg $ max_cycles_arg $ jobs_arg
       $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
 
 let validate_depths_cmd =
@@ -386,10 +397,10 @@ let codegen_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
            ~doc:"Write kernel files into this directory instead of stdout.")
   in
-  let run path width fuse out trace_passes dump_ir diag_json =
+  let run path width fuse optimize out trace_passes dump_ir diag_json =
     let ctx =
       run_pipeline ~trace_passes ~dump_ir ~diag_json
-        (frontend_passes path width fuse @ Passes.codegen_pipeline ~backend:`Opencl)
+        (frontend_passes ~optimize path width fuse @ Passes.codegen_pipeline ~backend:`Opencl)
     in
     let artifacts = ctx.Ctx.kernels in
     let host = match ctx.Ctx.host_source with Some h -> h | None -> assert false in
@@ -416,8 +427,8 @@ let codegen_cmd =
   let doc = "Emit Intel-FPGA-style annotated OpenCL kernels and host code." in
   Cmd.v (Cmd.info "codegen" ~doc)
     Term.(
-      const run $ program_arg $ vector_width_arg $ fuse_arg $ out_arg $ trace_passes_arg
-      $ dump_ir_arg $ diag_json_arg)
+      const run $ program_arg $ vector_width_arg $ fuse_arg $ optimize_arg $ out_arg
+      $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
 
 let partition_cmd =
   let devices_arg =

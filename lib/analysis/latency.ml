@@ -31,22 +31,33 @@ let func_latency cfg = function
   | Expr.Abs -> cfg.logic
   | Expr.Exp | Expr.Log | Expr.Pow | Expr.Sin | Expr.Cos | Expr.Floor | Expr.Ceil -> cfg.call
 
+(* Critical path over the hash-consed DAG: each distinct node's depth is
+   computed once, however often the inlined tree repeats it. The result
+   is sharing-invariant (a maximum over root-to-leaf paths), so it equals
+   the historical tree walk exactly — post-fusion bodies just no longer
+   pay an exponential walk for it. Unbound variables contribute depth 0,
+   matching the old lookup-miss behavior. *)
 let critical_path cfg (body : Expr.body) =
-  let depth_of_var = Hashtbl.create 8 in
-  let rec depth expr =
-    match expr with
-    | Expr.Const _ | Expr.Access _ -> 0
-    | Expr.Var v -> ( match Hashtbl.find_opt depth_of_var v with Some d -> d | None -> 0)
-    | Expr.Unary (Expr.Neg, x) -> cfg.add + depth x
-    | Expr.Unary (Expr.Not, x) -> cfg.logic + depth x
-    | Expr.Binary (op, x, y) -> binop_latency cfg op + max (depth x) (depth y)
-    | Expr.Select { cond; if_true; if_false } ->
-        cfg.select + max (depth cond) (max (depth if_true) (depth if_false))
-    | Expr.Call (f, args) ->
-        func_latency cfg f + List.fold_left (fun acc a -> max acc (depth a)) 0 args
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec depth t =
+    match Hashtbl.find_opt memo (Dag.id t) with
+    | Some d -> d
+    | None ->
+        let d =
+          match Dag.view t with
+          | Dag.Const _ | Dag.Access _ | Dag.Var _ -> 0
+          | Dag.Unary (Expr.Neg, x) -> cfg.add + depth x
+          | Dag.Unary (Expr.Not, x) -> cfg.logic + depth x
+          | Dag.Binary (op, x, y) -> binop_latency cfg op + max (depth x) (depth y)
+          | Dag.Select { cond; if_true; if_false } ->
+              cfg.select + max (depth cond) (max (depth if_true) (depth if_false))
+          | Dag.Call (f, args) ->
+              func_latency cfg f + List.fold_left (fun acc a -> max acc (depth a)) 0 args
+        in
+        Hashtbl.replace memo (Dag.id t) d;
+        d
   in
-  List.iter (fun (name, e) -> Hashtbl.replace depth_of_var name (depth e)) body.Expr.lets;
-  depth body.Expr.result
+  depth (Dag.of_body body)
 
 let pp_config fmt cfg =
   Format.fprintf fmt "add=%d mul=%d div=%d sqrt=%d cmp=%d sel=%d call=%d" cfg.add cfg.mul cfg.div

@@ -3,16 +3,50 @@ open Sf_ir
 type t = {
   profile : Expr.op_profile;
   flops_per_cell : int;
+  work_profile : Expr.op_profile;
+  tree_profile : Expr.op_profile;
+  work_flops_per_cell : int;
+  tree_flops_per_cell : int;
   read_elements : int;
   written_elements : int;
   read_bytes : int;
   written_bytes : int;
 }
 
+(* Tree profiles of deeply fused bodies saturate; keep the aggregate
+   saturating too. *)
+let sat_add a b =
+  let s = a + b in
+  if s < a || s < b then max_int else s
+
+let sat_add_profile (a : Expr.op_profile) (b : Expr.op_profile) =
+  {
+    Expr.adds = sat_add a.Expr.adds b.Expr.adds;
+    muls = sat_add a.Expr.muls b.Expr.muls;
+    divs = sat_add a.Expr.divs b.Expr.divs;
+    sqrts = sat_add a.Expr.sqrts b.Expr.sqrts;
+    mins = sat_add a.Expr.mins b.Expr.mins;
+    maxs = sat_add a.Expr.maxs b.Expr.maxs;
+    other_calls = sat_add a.Expr.other_calls b.Expr.other_calls;
+    compares = sat_add a.Expr.compares b.Expr.compares;
+    data_branches = sat_add a.Expr.data_branches b.Expr.data_branches;
+    const_branches = sat_add a.Expr.const_branches b.Expr.const_branches;
+  }
+
 let of_program (p : Program.t) =
   let profile =
     List.fold_left
       (fun acc s -> Expr.add_profile acc (Stencil.op_profile s))
+      Expr.empty_profile p.Program.stencils
+  in
+  let work_profile =
+    List.fold_left
+      (fun acc s -> Expr.add_profile acc (Stencil.work_profile s))
+      Expr.empty_profile p.Program.stencils
+  in
+  let tree_profile =
+    List.fold_left
+      (fun acc s -> sat_add_profile acc (Stencil.tree_profile s))
       Expr.empty_profile p.Program.stencils
   in
   let flops_per_cell = Expr.flop_count profile in
@@ -26,7 +60,21 @@ let of_program (p : Program.t) =
   let cells = Program.cells p in
   let written_elements = List.length p.Program.outputs * cells in
   let written_bytes = written_elements * Dtype.size_bytes p.Program.dtype in
-  { profile; flops_per_cell; read_elements; written_elements; read_bytes; written_bytes }
+  {
+    profile;
+    flops_per_cell;
+    work_profile;
+    tree_profile;
+    work_flops_per_cell = Expr.flop_count work_profile;
+    tree_flops_per_cell =
+      sat_add
+        (sat_add tree_profile.Expr.adds tree_profile.Expr.muls)
+        (sat_add tree_profile.Expr.divs tree_profile.Expr.sqrts);
+    read_elements;
+    written_elements;
+    read_bytes;
+    written_bytes;
+  }
 
 let total_flops p = float_of_int (of_program p).flops_per_cell *. float_of_int (Program.cells p)
 let total_operands t = t.read_elements + t.written_elements

@@ -11,6 +11,19 @@ type t = {
   flops_per_cell : int;
       (** Floating-point ops per iteration-space cell, counting adds,
           muls, divs and sqrt (each as one op), as the paper counts. *)
+  work_profile : Sf_ir.Expr.op_profile;
+      (** Sharing-aware aggregate ({!Sf_ir.Stencil.work_profile}): every
+          distinct DAG node counted once — the ops the pipeline actually
+          instantiates. *)
+  tree_profile : Sf_ir.Expr.op_profile;
+      (** Fully inlined aggregate ({!Sf_ir.Stencil.tree_profile},
+          saturating): per-occurrence counts, as a sharing-blind
+          evaluation would execute. *)
+  work_flops_per_cell : int;
+  tree_flops_per_cell : int;
+      (** [work_flops_per_cell <= flops_per_cell <= tree_flops_per_cell];
+          the spread is exactly the work CSE and fusion-preserved sharing
+          save per cell. *)
   read_elements : int;  (** Total operands read from off-chip memory. *)
   written_elements : int;  (** Total operands written to off-chip memory. *)
   read_bytes : int;

@@ -54,6 +54,15 @@ let rec expression_to_c ~access expr =
       Printf.sprintf "%s(%s)" (func_c_name f)
         (Sf_support.Util.string_concat_map ", " (expression_to_c ~access) args)
 
+(* Schedule a body's hash-consed DAG for emission: the programmer's let
+   names are preserved, and every structurally shared non-leaf node is
+   materialized as a [__tN] local so the generated kernel computes each
+   shared value once and fans it out explicitly, instead of relying on
+   the vendor compiler's CSE. *)
+let scheduled_body (b : Expr.body) =
+  let named, root = Dag.of_body_named b in
+  Dag.extract ~min_size:2 ~prefix:"__t" ~keep:named root
+
 let dim_names = [| "k"; "j"; "i" |]
 
 (* Dimension variable names for a rank-d space: the last d entries. *)
@@ -184,10 +193,11 @@ let emit_stencil_kernel buf (p : Program.t) analysis (s : Stencil.t) ~remote_in
           Printf.sprintf "pref_%s[%s]" field index
         end
   in
+  let body = scheduled_body s.Stencil.body in
   List.iter
     (fun (letname, e) -> add "        const float %s = %s;\n" letname (expression_to_c ~access e))
-    s.Stencil.body.Expr.lets;
-  add "        const float value_%d = %s;\n" 0 (expression_to_c ~access s.Stencil.body.Expr.result);
+    body.Expr.lets;
+  add "        const float value_%d = %s;\n" 0 (expression_to_c ~access body.Expr.result);
   let emit_write target = add "        %s;\n" target in
   List.iter
     (fun consumer ->

@@ -48,3 +48,9 @@ val expression_to_c :
   access:(field:string -> offsets:int list -> string) -> Sf_ir.Expr.t -> string
 (** Render an expression as C, delegating access rendering to the caller
     (exposed for tests). *)
+
+val scheduled_body : Sf_ir.Expr.body -> Sf_ir.Expr.body
+(** The body as both backends emit it: original let names preserved, and
+    every structurally shared non-leaf DAG node hoisted into a [__tN]
+    local, so generated kernels compute each shared value once instead of
+    relying on the vendor compiler's CSE. Shared by both backends. *)

@@ -20,14 +20,16 @@ let markdown ?(device = Device.stratix10) (p : Program.t) =
 
   add "## Stencil DAG\n\n";
   add
-    "| stencil | reads | flops/cell | init [cycles] | compute [cycles] | starts | first output |\n";
-  add "|---|---|---|---|---|---|---|\n";
+    "| stencil | reads | flops/cell | work flops | tree flops | init [cycles] | compute [cycles] | starts | first output |\n";
+  add "|---|---|---|---|---|---|---|---|---|\n";
   List.iter
     (fun (s : Stencil.t) ->
       let info = Sf_analysis.Delay_buffer.node_info analysis s.Stencil.name in
-      add "| %s | %s | %d | %d | %d | %d | %d |\n" s.Stencil.name
+      add "| %s | %s | %d | %d | %d | %d | %d | %d | %d |\n" s.Stencil.name
         (String.concat ", " (Stencil.input_fields s))
         (Expr.flop_count (Stencil.op_profile s))
+        (Expr.flop_count (Stencil.work_profile s))
+        (Expr.flop_count (Stencil.tree_profile s))
         info.Sf_analysis.Delay_buffer.init_cycles info.Sf_analysis.Delay_buffer.compute_cycles
         (Sf_analysis.Delay_buffer.start_cycle analysis s.Stencil.name)
         (Sf_analysis.Delay_buffer.output_cycle analysis s.Stencil.name))
@@ -60,6 +62,11 @@ let markdown ?(device = Device.stratix10) (p : Program.t) =
   add "- %d flops/cell; reads %d operands, writes %d (perfect reuse)\n"
     counts.Sf_analysis.Op_count.flops_per_cell counts.Sf_analysis.Op_count.read_elements
     counts.Sf_analysis.Op_count.written_elements;
+  add "- sharing: %d work flops/cell vs %d fully-inlined tree flops/cell (%d saved by CSE)\n"
+    counts.Sf_analysis.Op_count.work_flops_per_cell
+    counts.Sf_analysis.Op_count.tree_flops_per_cell
+    (counts.Sf_analysis.Op_count.tree_flops_per_cell
+    - counts.Sf_analysis.Op_count.work_flops_per_cell);
   let ai = Sf_analysis.Op_count.ai_ops_per_byte p in
   add "- arithmetic intensity: %.3f Op/operand = %.3f Op/B\n"
     (Sf_analysis.Op_count.ai_ops_per_operand p) ai;

@@ -113,11 +113,12 @@ let emit_stencil_pe buf (p : Program.t) analysis (s : Stencil.t) ~consumers ~wri
             (String.concat " + " (index_terms axes offsets extents))
         end
   in
+  let body = Opencl.scheduled_body s.Stencil.body in
   List.iter
     (fun (n, e) ->
       add "        const float %s = %s;\n" n (Opencl.expression_to_c ~access e))
-    s.Stencil.body.Expr.lets;
-  add "        const float value = %s;\n" (Opencl.expression_to_c ~access s.Stencil.body.Expr.result);
+    body.Expr.lets;
+  add "        const float value = %s;\n" (Opencl.expression_to_c ~access body.Expr.result);
   List.iter (fun c -> add "        out_%s.write(value);\n" c) consumers;
   if writes_memory then add "        out_mem_%s.write(value);\n" name;
   add "      }\n    }\n  }\n}\n\n"

@@ -25,6 +25,7 @@ module Util = Sf_support.Util
 module Dtype = Sf_ir.Dtype
 module Boundary = Sf_ir.Boundary
 module Expr = Sf_ir.Expr
+module Dag = Sf_ir.Dag
 module Field = Sf_ir.Field
 module Stencil = Sf_ir.Stencil
 module Program = Sf_ir.Program
@@ -42,6 +43,7 @@ module Vectorize = Sf_analysis.Vectorize
 module Influence = Sf_analysis.Influence
 module Tensor = Sf_reference.Tensor
 module Interp = Sf_reference.Interp
+module Compile = Sf_reference.Compile
 module Engine = Sf_sim.Engine
 module Parallel = Sf_sim.Parallel
 module Fault_plan = Sf_sim.Fault_plan

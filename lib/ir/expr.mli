@@ -108,9 +108,12 @@ val op_profile : t -> op_profile
 val body_op_profile : body -> op_profile
 (** Profile of a whole body. Let bindings count once each regardless of
     how often they are referenced: the pipeline computes a bound value a
-    single time and fans it out. (After fusion inlines lets, shared
-    subexpressions do count repeatedly — the paper notes fusion relies on
-    the downstream compiler's CSE to recover the sharing.) *)
+    single time and fans it out. Fusion substitutes on the hash-consed
+    DAG ({!Dag}) and re-extracts the sharing as lets, so fused bodies
+    keep their sharing here too (modulo shared nodes below the extraction
+    threshold) — see {!Dag.work_profile} for the exact sharing-aware
+    count and {!Dag.tree_profile} for the fully inlined per-occurrence
+    one. *)
 
 val flop_count : op_profile -> int
 (** Floating-point operations as the paper counts them: adds + muls + divs

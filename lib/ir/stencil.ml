@@ -29,6 +29,8 @@ let accesses_of_field t field =
   List.filter_map (fun (f, offs) -> if String.equal f field then Some offs else None) (accesses t)
 
 let op_profile t = Expr.body_op_profile t.body
+let work_profile t = Dag.work_profile (Dag.of_body t.body)
+let tree_profile t = Dag.tree_profile (Dag.of_body t.body)
 
 let equal_boundaries a b =
   let normalize s =

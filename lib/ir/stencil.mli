@@ -32,6 +32,18 @@ val accesses_of_field : t -> string -> int list list
 (** The distinct offsets at which this stencil reads a given field. *)
 
 val op_profile : t -> Expr.op_profile
+(** [Expr.body_op_profile] of the body: each let binding counted once,
+    each subexpression once per occurrence in the binding bodies. *)
+
+val work_profile : t -> Expr.op_profile
+(** Sharing-aware profile over the hash-consed DAG ({!Dag.work_profile}):
+    every distinct value counted exactly once, whether shared through a
+    let or structurally. What the pipeline instantiates. *)
+
+val tree_profile : t -> Expr.op_profile
+(** Profile of the fully inlined body ({!Dag.tree_profile}, saturating):
+    what a per-occurrence evaluation would execute. *)
+
 val equal_boundaries : t -> t -> bool
 (** Same boundary-condition table and shrink flag (fusion precondition,
     Sec. V-B). *)

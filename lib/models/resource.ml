@@ -37,7 +37,11 @@ let alm_dtype_factor = function Dtype.F64 | Dtype.I64 -> 2 | Dtype.F32 | Dtype.I
 
 let of_stencil (p : Program.t) (s : Stencil.t) =
   let w = p.Program.vector_width in
-  let profile = Stencil.op_profile s in
+  (* Work profile, not tree profile: codegen emits every shared DAG node
+     as a single local temporary, so the pipeline instantiates one ALU
+     per distinct node — shared values are computed once and fanned out,
+     and the resource estimate must not bill them per occurrence. *)
+  let profile = Stencil.work_profile s in
   let flop_ops = profile.Expr.adds + profile.Expr.muls in
   let cheap_ops =
     profile.Expr.mins + profile.Expr.maxs + profile.Expr.compares + profile.Expr.data_branches

@@ -72,29 +72,87 @@ let rec expr ~access ~env e =
           _ ) ->
           invalid_arg (Printf.sprintf "Compile.expr: wrong arity for %s" (Expr.func_name f)))
 
+(* Bodies compile through the hash-consed DAG: every distinct node gets a
+   slot and is evaluated exactly once per cell, in topological (id)
+   order, so shared values — whether shared through lets or structurally
+   — are computed once and fanned out. Variables referencing a later (or
+   missing) binding stay unresolved [Var] leaves in the DAG and are
+   rejected at compile time, exactly like the historical
+   restricted-environment compiler. Bindings the result never reads are
+   still evaluated (their predicated accesses keep feeding the validity
+   mask). *)
 let body ~access (b : Expr.body) =
-  let slots : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  List.iteri (fun i (name, _) -> Hashtbl.replace slots name i) b.Expr.lets;
-  let values = Array.make (max 1 (List.length b.Expr.lets)) 0. in
-  let env v =
-    match Hashtbl.find_opt slots v with
-    | Some i -> Some (fun _ -> values.(i))
-    | None -> None
+  let named, root = Dag.of_body_named b in
+  let nodes =
+    let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    List.concat_map Dag.topo (List.map snd named @ [ root ])
+    |> List.filter (fun t ->
+           if Hashtbl.mem seen (Dag.id t) then false
+           else begin
+             Hashtbl.add seen (Dag.id t) ();
+             true
+           end)
+    |> List.sort Dag.compare
   in
-  (* Bindings may only reference earlier bindings; restrict the
-     environment while compiling each one. *)
-  let compiled_lets =
-    List.mapi
-      (fun i (_, e) ->
-        let env v =
-          match Hashtbl.find_opt slots v with
-          | Some j when j < i -> Some (fun _ -> values.(j))
-          | Some _ | None -> None
-        in
-        expr ~access ~env e)
-      b.Expr.lets
+  let slot_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri (fun i t -> Hashtbl.replace slot_of (Dag.id t) i) nodes;
+  let n = List.length nodes in
+  let values = Array.make (max 1 n) 0. in
+  let slot t = Hashtbl.find slot_of (Dag.id t) in
+  let compile_node t : 'ctx fn =
+    match Dag.view t with
+    | Dag.Const c -> fun _ -> c
+    | Dag.Access { field; offsets } -> access ~field ~offsets
+    | Dag.Var v -> invalid_arg (Printf.sprintf "Compile.expr: unbound variable %s" v)
+    | Dag.Unary (Expr.Neg, x) ->
+        let sx = slot x in
+        fun _ -> -.values.(sx)
+    | Dag.Unary (Expr.Not, x) ->
+        let sx = slot x in
+        fun _ -> of_bool (not (truthy values.(sx)))
+    | Dag.Binary (op, x, y) -> (
+        let sx = slot x and sy = slot y in
+        match op with
+        | Expr.Add -> fun _ -> values.(sx) +. values.(sy)
+        | Expr.Sub -> fun _ -> values.(sx) -. values.(sy)
+        | Expr.Mul -> fun _ -> values.(sx) *. values.(sy)
+        | Expr.Div -> fun _ -> values.(sx) /. values.(sy)
+        | Expr.Lt -> fun _ -> of_bool (values.(sx) < values.(sy))
+        | Expr.Le -> fun _ -> of_bool (values.(sx) <= values.(sy))
+        | Expr.Gt -> fun _ -> of_bool (values.(sx) > values.(sy))
+        | Expr.Ge -> fun _ -> of_bool (values.(sx) >= values.(sy))
+        | Expr.Eq -> fun _ -> of_bool (values.(sx) = values.(sy))
+        | Expr.Ne -> fun _ -> of_bool (values.(sx) <> values.(sy))
+        (* Non-short-circuit, as in the predicated hardware pipeline (both
+           operand slots are unconditionally evaluated anyway). *)
+        | Expr.And -> fun _ -> of_bool (truthy values.(sx) && truthy values.(sy))
+        | Expr.Or -> fun _ -> of_bool (truthy values.(sx) || truthy values.(sy)))
+    | Dag.Select { cond; if_true; if_false } ->
+        (* Both branch slots evaluate (predication), then one is selected. *)
+        let sc = slot cond and st = slot if_true and sf = slot if_false in
+        fun _ -> if truthy values.(sc) then values.(st) else values.(sf)
+    | Dag.Call (f, args) -> (
+        match (f, List.map slot args) with
+        | Expr.Sqrt, [ x ] -> fun _ -> Float.sqrt values.(x)
+        | Expr.Abs, [ x ] -> fun _ -> Float.abs values.(x)
+        | Expr.Exp, [ x ] -> fun _ -> Float.exp values.(x)
+        | Expr.Log, [ x ] -> fun _ -> Float.log values.(x)
+        | Expr.Sin, [ x ] -> fun _ -> Float.sin values.(x)
+        | Expr.Cos, [ x ] -> fun _ -> Float.cos values.(x)
+        | Expr.Floor, [ x ] -> fun _ -> Float.floor values.(x)
+        | Expr.Ceil, [ x ] -> fun _ -> Float.ceil values.(x)
+        | Expr.Pow, [ x; y ] -> fun _ -> Float.pow values.(x) values.(y)
+        | Expr.Min, [ x; y ] -> fun _ -> Float.min values.(x) values.(y)
+        | Expr.Max, [ x; y ] -> fun _ -> Float.max values.(x) values.(y)
+        | ( ( Expr.Sqrt | Expr.Abs | Expr.Exp | Expr.Log | Expr.Sin | Expr.Cos | Expr.Floor
+            | Expr.Ceil | Expr.Pow | Expr.Min | Expr.Max ),
+            _ ) ->
+            invalid_arg (Printf.sprintf "Compile.expr: wrong arity for %s" (Expr.func_name f)))
   in
-  let compiled_result = expr ~access ~env b.Expr.result in
+  let fns = Array.of_list (List.map compile_node nodes) in
+  let root_slot = slot root in
   fun ctx ->
-    List.iteri (fun i c -> values.(i) <- c ctx) compiled_lets;
-    compiled_result ctx
+    for i = 0 to n - 1 do
+      values.(i) <- (Array.unsafe_get fns i) ctx
+    done;
+    values.(root_slot)

@@ -24,6 +24,11 @@ val expr :
     [Invalid_argument] on unbound variables or bad arity. *)
 
 val body : access:(field:string -> offsets:int list -> 'ctx fn) -> Sf_ir.Expr.body -> 'ctx fn
-(** Compile a whole body: each let binding is computed once per
-    invocation (into a reused slot array — the result is not reentrant,
-    matching the single-threaded execution engines). *)
+(** Compile a whole body through the hash-consed DAG ({!Sf_ir.Dag}):
+    every distinct node — let-bound or structurally shared — gets a slot
+    in a reused array and is evaluated exactly once per invocation, in
+    topological order (so the result is not reentrant, matching the
+    single-threaded execution engines). Bindings the result never reads
+    are still evaluated: their predicated accesses keep feeding the
+    validity mask. Raises [Invalid_argument] on unbound or forward
+    variable references. *)

@@ -26,35 +26,51 @@ let can_fuse (p : Program.t) ~producer ~consumer =
                  (List.length consumers))
       end
 
+(* The fused body as a hash-consed DAG. Substitute u's body (shifted by
+   the access offset) for each access to the producer. Full-rank fields
+   shift componentwise; lower-dimensional fields shift only on the axes
+   they span. Substitution happens on the DAG: the shifted producer body
+   is built once per distinct offset, shifted copies share whatever nodes
+   coincide (constants, overlapping taps), and [Dag.extract] afterwards
+   turns that sharing back into let bindings — so fusion no longer loses
+   the sharing that the paper delegates to "the downstream compiler's
+   CSE". *)
+let fused_dag (p : Program.t) (u : Stencil.t) (v : Stencil.t) ~producer =
+  let u_root = Dag.of_body u.Stencil.body in
+  let rank = Program.rank p in
+  let shifted : (int list, Dag.t) Hashtbl.t = Hashtbl.create 8 in
+  let shift_u delta =
+    match Hashtbl.find_opt shifted delta with
+    | Some d -> d
+    | None ->
+        let d =
+          Dag.map_accesses
+            (fun ~field ~offsets ->
+              let axes = Program.field_axes p field in
+              if List.length axes = rank then
+                Dag.access ~field ~offsets:(List.map2 ( + ) offsets delta)
+              else
+                Dag.access ~field
+                  ~offsets:
+                    (List.map2 (fun o axis -> o + List.nth delta axis) offsets axes))
+            u_root
+        in
+        Hashtbl.replace shifted delta d;
+        d
+  in
+  Dag.map_accesses
+    (fun ~field ~offsets ->
+      if String.equal field producer then shift_u offsets
+      else Dag.access ~field ~offsets)
+    (Dag.of_body v.Stencil.body)
+
 let fuse_pair (p : Program.t) ~producer ~consumer =
   (match can_fuse p ~producer ~consumer with
   | Ok () -> ()
   | Error m -> invalid_arg ("Fusion.fuse_pair: " ^ m));
   let u = Option.get (Program.find_stencil p producer) in
   let v = Option.get (Program.find_stencil p consumer) in
-  let u_expr = Expr.inline_lets u.Stencil.body in
-  let v_expr = Expr.inline_lets v.Stencil.body in
-  (* Substitute u's body (shifted by the access offset) for each access to
-     the producer. Full-rank fields shift componentwise; lower-dimensional
-     fields shift only on the axes they span. *)
-  let fused_expr =
-    Expr.map_accesses
-      (fun ~field ~offsets ->
-        if String.equal field producer then begin
-          let delta = offsets in
-          Expr.map_accesses
-            (fun ~field:f ~offsets:inner ->
-              let axes = Program.field_axes p f in
-              if List.length axes = Program.rank p then
-                Expr.Access { field = f; offsets = List.map2 ( + ) inner delta }
-              else
-                Expr.Access
-                  { field = f; offsets = List.map2 (fun o axis -> o + List.nth delta axis) inner axes })
-            u_expr
-        end
-        else Expr.Access { field; offsets })
-      v_expr
-  in
+  let fused_body = Dag.extract (fused_dag p u v ~producer) in
   let merged_boundary =
     let from_u =
       List.filter (fun (f, _) -> not (List.mem_assoc f v.Stencil.boundary)) u.Stencil.boundary
@@ -65,8 +81,7 @@ let fuse_pair (p : Program.t) ~producer ~consumer =
     Stencil.make
       ~boundary:
         (List.filter (fun (f, _) -> not (String.equal f producer)) merged_boundary)
-      ~shrink:v.Stencil.shrink ~name:consumer
-      { Expr.lets = []; result = fused_expr }
+      ~shrink:v.Stencil.shrink ~name:consumer fused_body
   in
   let stencils =
     List.filter_map
@@ -93,11 +108,14 @@ let fuse_all ?(max_body_size = max_int) (p : Program.t) =
               | Ok () ->
                   let u = Option.get (Program.find_stencil p producer) in
                   let v = Option.get (Program.find_stencil p consumer) in
-                  let size =
-                    Expr.size (Expr.inline_lets u.Stencil.body)
-                    * List.length (Stencil.accesses_of_field v producer)
-                    + Expr.size (Expr.inline_lets v.Stencil.body)
-                  in
+                  (* Size the candidate by the *work* of the actual fused
+                     DAG — each shared node counted once — instead of the
+                     historical inlined-tree estimate, which rejected
+                     fusions whose blow-up is purely textual. Hash-consing
+                     makes building the candidate body cheap, and a later
+                     [fuse_pair] on the same edge replays it from the memo
+                     table. *)
+                  let size = Dag.work_size (fused_dag p u v ~producer) in
                   if size <= max_body_size then Some (producer, consumer) else None
               | Error _ -> None)
           | _ -> None)

@@ -32,12 +32,18 @@ val can_fuse : Sf_ir.Program.t -> producer:string -> consumer:string -> (unit, s
 
 val fuse_pair : Sf_ir.Program.t -> producer:string -> consumer:string -> Sf_ir.Program.t
 (** Fuse one edge; raises [Invalid_argument] if {!can_fuse} fails. The
-    consumer keeps its name; the producer disappears. *)
+    consumer keeps its name; the producer disappears. The substitution
+    runs on the hash-consed DAG and the fused body is re-extracted
+    ({!Sf_ir.Dag.extract}), so sharing between the inlined producer
+    copies survives as let bindings instead of being duplicated. *)
 
 val fuse_all : ?max_body_size:int -> Sf_ir.Program.t -> Sf_ir.Program.t * report
 (** Aggressive fusion to fixpoint, as used for the paper's experiments.
-    [max_body_size] (AST nodes, default unlimited) stops the expression
-    blow-up that full inlining can cause. *)
+    [max_body_size] (default unlimited) bounds the {e work} size of the
+    candidate fused body — distinct DAG nodes, each shared value counted
+    once ({!Sf_ir.Dag.work_size}) — which is what the pipeline actually
+    instantiates; purely textual blow-up from repeated substitution no
+    longer vetoes a profitable fusion. *)
 
 val interior_radius : Sf_ir.Program.t -> int
 (** The program's accumulated influence radius

@@ -1,7 +1,5 @@
 open Sf_ir
 
-let is_const = function Expr.Const _ -> true | _ -> false
-
 let eval_const_unop op c =
   match op with
   | Expr.Neg -> -.c
@@ -41,117 +39,87 @@ let eval_const_call f args =
       _ ) ->
       None
 
-let fold_constants ?(preserve_access_effects = false) expr =
-  let rec fold_constants expr =
-    match expr with
-  | Expr.Const _ | Expr.Access _ | Expr.Var _ -> expr
-  | Expr.Unary (op, x) -> (
-      match fold_constants x with
-      | Expr.Const c -> Expr.Const (eval_const_unop op c)
-      | x' -> Expr.Unary (op, x'))
-  | Expr.Binary (op, x, y) -> (
-      let x' = fold_constants x and y' = fold_constants y in
-      match (op, x', y') with
-      | _, Expr.Const a, Expr.Const b -> Expr.Const (eval_const_binop op a b)
-      (* IEEE-safe identities only: adding/subtracting zero and
-         multiplying/dividing by one preserve NaN and Inf propagation. *)
-      | Expr.Add, Expr.Const 0., e | Expr.Add, e, Expr.Const 0. -> e
-      | Expr.Sub, e, Expr.Const 0. -> e
-      | Expr.Mul, Expr.Const 1., e | Expr.Mul, e, Expr.Const 1. -> e
-      | Expr.Div, e, Expr.Const 1. -> e
-      | _, _, _ -> Expr.Binary (op, x', y'))
-  | Expr.Select { cond; if_true; if_false } -> (
-      let cond' = fold_constants cond in
-      match cond' with
-      (* Folding a constant-condition select drops the unselected branch.
-         Under "shrink" semantics the dropped branch's (predicated,
-         possibly out-of-bounds) accesses still affect the validity mask,
-         so the fold is only legal when that branch reads nothing or the
-         caller asked for pure-value semantics. *)
-      | Expr.Const c
-        when (not preserve_access_effects)
-             || Expr.accesses (if c <> 0. then if_false else if_true) = [] ->
-          fold_constants (if c <> 0. then if_true else if_false)
-      | _ ->
-          Expr.Select
-            { cond = cond'; if_true = fold_constants if_true; if_false = fold_constants if_false })
-  | Expr.Call (f, args) -> (
-      let args' = List.map fold_constants args in
-      if List.for_all is_const args' then
-        let values = List.map (function Expr.Const c -> c | _ -> assert false) args' in
-        match eval_const_call f values with
-        | Some v -> Expr.Const v
-        | None -> Expr.Call (f, args')
-      else Expr.Call (f, args'))
+(* Constant folding as a linear pass over the DAG: each distinct node is
+   folded exactly once, however often the inlined tree repeats it. The
+   float guards [c = 0.] / [c = 1.] deliberately use OCaml's [=] so -0.0
+   triggers the zero identities exactly like the float patterns of the
+   old tree-walking fold did (and NaN never matches). *)
+let fold_dag ?(preserve_access_effects = false) root =
+  let memo : (int, Dag.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo (Dag.id t) with
+    | Some t' -> t'
+    | None ->
+        let t' =
+          match Dag.view t with
+          | Dag.Const _ | Dag.Access _ | Dag.Var _ -> t
+          | Dag.Unary (op, x) -> (
+              let x' = go x in
+              match Dag.view x' with
+              | Dag.Const c -> Dag.const (eval_const_unop op c)
+              | _ -> Dag.unary op x')
+          | Dag.Binary (op, x, y) -> (
+              let x' = go x and y' = go y in
+              match (op, Dag.view x', Dag.view y') with
+              | _, Dag.Const a, Dag.Const b -> Dag.const (eval_const_binop op a b)
+              (* IEEE-safe identities only: adding/subtracting zero and
+                 multiplying/dividing by one preserve NaN and Inf
+                 propagation. *)
+              | Expr.Add, Dag.Const c, _ when c = 0. -> y'
+              | Expr.Add, _, Dag.Const c when c = 0. -> x'
+              | Expr.Sub, _, Dag.Const c when c = 0. -> x'
+              | Expr.Mul, Dag.Const c, _ when c = 1. -> y'
+              | Expr.Mul, _, Dag.Const c when c = 1. -> x'
+              | Expr.Div, _, Dag.Const c when c = 1. -> x'
+              | _, _, _ -> Dag.binary op x' y')
+          | Dag.Select { cond; if_true; if_false } -> (
+              let cond' = go cond in
+              match Dag.view cond' with
+              (* Folding a constant-condition select drops the unselected
+                 branch. Under "shrink" semantics the dropped branch's
+                 (predicated, possibly out-of-bounds) accesses still
+                 affect the validity mask, so the fold is only legal when
+                 that branch reads nothing or the caller asked for
+                 pure-value semantics. *)
+              | Dag.Const c
+                when (not preserve_access_effects)
+                     || Dag.accesses (if c <> 0. then if_false else if_true) = [] ->
+                  go (if c <> 0. then if_true else if_false)
+              | _ ->
+                  Dag.select ~cond:cond' ~if_true:(go if_true) ~if_false:(go if_false))
+          | Dag.Call (f, args) -> (
+              let args' = List.map go args in
+              let consts =
+                List.filter_map
+                  (fun a -> match Dag.view a with Dag.Const c -> Some c | _ -> None)
+                  args'
+              in
+              if List.length consts = List.length args' then
+                match eval_const_call f consts with
+                | Some v -> Dag.const v
+                | None -> Dag.call f args'
+              else Dag.call f args')
+        in
+        Hashtbl.replace memo (Dag.id t) t';
+        t'
   in
-  fold_constants expr
+  go root
 
-let cse ?(min_size = 3) (body : Expr.body) =
-  let expr = Expr.inline_lets body in
-  (* Count structurally identical subtrees (keyed by their canonical
-     rendering, which is unambiguous). *)
-  let counts : (string, int * Expr.t) Hashtbl.t = Hashtbl.create 64 in
-  let rec count e =
-    (match e with
-    | Expr.Const _ | Expr.Access _ | Expr.Var _ -> ()
-    | Expr.Unary (_, x) -> count x
-    | Expr.Binary (_, x, y) ->
-        count x;
-        count y
-    | Expr.Select { cond; if_true; if_false } ->
-        count cond;
-        count if_true;
-        count if_false
-    | Expr.Call (_, args) -> List.iter count args);
-    if Expr.size e >= min_size then begin
-      let key = Expr.to_string e in
-      match Hashtbl.find_opt counts key with
-      | Some (n, _) -> Hashtbl.replace counts key (n + 1, e)
-      | None -> Hashtbl.replace counts key (1, e)
-    end
-  in
-  count expr;
-  let shared =
-    Hashtbl.fold (fun key (n, e) acc -> if n >= 2 then (key, e) :: acc else acc) counts []
-    (* Bind smaller subtrees first so larger ones can reference them. *)
-    |> List.sort (fun (_, a) (_, b) -> compare (Expr.size a) (Expr.size b))
-  in
-  let name_of : (string, string) Hashtbl.t = Hashtbl.create 16 in
-  List.iteri (fun i (key, _) -> Hashtbl.replace name_of key (Printf.sprintf "__cse%d" i)) shared;
-  (* Rewrite an expression, replacing shared subtrees by their variable —
-     except the expression being defined itself ([skip]). *)
-  let rec rewrite ?skip e =
-    let key = Expr.to_string e in
-    match Hashtbl.find_opt name_of key with
-    | Some v when skip <> Some key -> Expr.Var v
-    | Some _ | None -> (
-        match e with
-        | Expr.Const _ | Expr.Access _ | Expr.Var _ -> e
-        | Expr.Unary (op, x) -> Expr.Unary (op, rewrite x)
-        | Expr.Binary (op, x, y) -> Expr.Binary (op, rewrite x, rewrite y)
-        | Expr.Select { cond; if_true; if_false } ->
-            Expr.Select
-              { cond = rewrite cond; if_true = rewrite if_true; if_false = rewrite if_false }
-        | Expr.Call (f, args) -> Expr.Call (f, List.map rewrite args))
-  in
-  let lets =
-    List.map
-      (fun (key, e) -> (Hashtbl.find name_of key, rewrite ~skip:key e))
-      shared
-  in
-  { Expr.lets; result = rewrite expr }
+let fold_constants ?preserve_access_effects expr =
+  Dag.to_expr (fold_dag ?preserve_access_effects (Dag.of_expr expr))
+
+(* Compat shim: CSE is now hash-consing + let-extraction on the DAG. No
+   string keys, no repeated [Expr.size] walks, and a subtree occurring
+   many times through one shared parent is bound once, not per textual
+   occurrence. *)
+let cse ?min_size (body : Expr.body) = Dag.to_body ?min_size (Dag.of_body body)
 
 let optimize_stencil ?min_size (s : Stencil.t) =
   (* Shrink stencils must keep predicated accesses alive (they feed the
      validity mask) even when a constant condition never selects them. *)
-  let fold e = fold_constants ~preserve_access_effects:s.Stencil.shrink e in
-  let folded =
-    {
-      Expr.lets = List.map (fun (n, e) -> (n, fold e)) s.Stencil.body.Expr.lets;
-      result = fold s.Stencil.body.Expr.result;
-    }
-  in
-  let s = { s with Stencil.body = cse ?min_size folded } in
+  let root = Dag.of_body s.Stencil.body in
+  let folded = fold_dag ~preserve_access_effects:s.Stencil.shrink root in
+  let s = { s with Stencil.body = Dag.extract ?min_size folded } in
   (* Folding can eliminate every access to a field (a constant-condition
      select, for instance); drop boundary conditions for fields that are
      no longer read. *)
@@ -162,7 +130,35 @@ let optimize_stencil ?min_size (s : Stencil.t) =
       List.filter (fun (f, _) -> List.exists (String.equal f) still_read) s.Stencil.boundary;
   }
 
-let optimize ?min_size (p : Program.t) =
+type report = {
+  ops_before : int;
+  ops_after : int;
+  tree_ops_after : int;
+  shared_nodes : int;
+}
+
+let flops_saved r = r.tree_ops_after - r.ops_after
+
+let work_flops (p : Program.t) =
+  List.fold_left
+    (fun acc (s : Stencil.t) ->
+      acc + Expr.flop_count (Dag.work_profile (Dag.of_body s.Stencil.body)))
+    0 p.Program.stencils
+
+let tree_flops (p : Program.t) =
+  let sat a b = let s = a + b in if s < a || s < b then max_int else s in
+  List.fold_left
+    (fun acc (s : Stencil.t) ->
+      sat acc (Expr.flop_count (Dag.tree_profile (Dag.of_body s.Stencil.body))))
+    0 p.Program.stencils
+
+let shared_count (p : Program.t) =
+  List.fold_left
+    (fun acc (s : Stencil.t) -> acc + Dag.shared_nodes (Dag.of_body s.Stencil.body))
+    0 p.Program.stencils
+
+let optimize_with_report ?min_size (p : Program.t) =
+  let ops_before = work_flops p in
   let stencils = List.map (optimize_stencil ?min_size) p.Program.stencils in
   (* Dead-code elimination: folding may disconnect stencils entirely;
      remove (transitively) everything that is neither an output nor read
@@ -183,4 +179,14 @@ let optimize ?min_size (p : Program.t) =
   in
   let optimized = { p with Program.stencils; inputs } in
   Program.validate_exn optimized;
-  optimized
+  let report =
+    {
+      ops_before;
+      ops_after = work_flops optimized;
+      tree_ops_after = tree_flops optimized;
+      shared_nodes = shared_count optimized;
+    }
+  in
+  (optimized, report)
+
+let optimize ?min_size (p : Program.t) = fst (optimize_with_report ?min_size p)

@@ -176,6 +176,9 @@ let create ?probe ~program ~stencil ~compute_cycles ~inputs ~outputs () =
             | Boundary.Copy -> Tensor.get_flat tensor !center
           end
   in
+  (* Compile.body schedules the body's hash-consed DAG into slots: every
+     shared node (let-bound or structural) is evaluated once per cell,
+     mirroring the fan-out of the spatial pipeline. *)
   let compiled = Sf_reference.Compile.body ~access stencil.Stencil.body in
   let pend_cap = compute_cycles + 2 in
   {

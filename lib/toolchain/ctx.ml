@@ -10,6 +10,7 @@ type t = {
   source_file : string option;
   program : Program.t option;
   fusion : Sf_sdfg.Fusion.report option;
+  opt : Sf_sdfg.Opt.report option;
   pipeline_entries : Sf_sdfg.Pipeline.entry list;
   analysis : Sf_analysis.Delay_buffer.t option;
   partition : Sf_mapping.Partition.t option;
@@ -30,6 +31,7 @@ let create ?(device = Sf_models.Device.stratix10) ?(sim_config = Engine.Config.d
     source_file = None;
     program = None;
     fusion = None;
+    opt = None;
     pipeline_entries = [];
     analysis = None;
     partition = None;
@@ -93,6 +95,15 @@ let counters ctx =
         [ ("stencils", List.length p.Program.stencils); ("edges", edges) ]
   in
   program_counters
+  @ (match ctx.opt with
+    | None -> []
+    | Some (r : Sf_sdfg.Opt.report) ->
+        [
+          ("opt-ops-before", r.ops_before);
+          ("opt-ops-after", r.ops_after);
+          ("opt-shared", r.shared_nodes);
+          ("opt-flops-saved", Sf_sdfg.Opt.flops_saved r);
+        ])
   @ (match ctx.analysis with
     | None -> []
     | Some a -> [ ("delay-words", Sf_analysis.Delay_buffer.total_delay_buffer_words a) ])
@@ -141,6 +152,14 @@ let artifact_files ctx =
                   (List.map
                      (fun (u, v) -> Printf.sprintf "fused %s into %s\n" u v)
                      r.fused_pairs)))
+      | None -> None);
+      (match ctx.opt with
+      | Some (r : Sf_sdfg.Opt.report) ->
+          file "opt.txt"
+            (Printf.sprintf
+               "ops %d -> %d (tree %d)\nshared nodes %d\nflops saved by sharing %d\n"
+               r.ops_before r.ops_after r.tree_ops_after r.shared_nodes
+               (Sf_sdfg.Opt.flops_saved r))
       | None -> None);
       (match ctx.pipeline_entries with
       | [] -> None

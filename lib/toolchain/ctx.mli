@@ -15,6 +15,8 @@ type t = {
   source_file : string option;  (** Where {!t.program} was loaded from. *)
   program : Sf_ir.Program.t option;
   fusion : Sf_sdfg.Fusion.report option;
+  opt : Sf_sdfg.Opt.report option;
+      (** Counters from the last expression-optimisation pass (fold-cse). *)
   pipeline_entries : Sf_sdfg.Pipeline.entry list;
       (** Per-pass records from an embedded {!Sf_sdfg.Pipeline} run. *)
   analysis : Sf_analysis.Delay_buffer.t option;
@@ -51,9 +53,11 @@ val add_diag : t -> Sf_support.Diag.t -> t
 
 val counters : t -> (string * int) list
 (** Artifact-size counters for the artifacts present: [stencils] and
-    [edges] of the program, [delay-words] of the analysis, [devices] of
-    the partition, [code-bytes] of all generated sources. Used by
-    {!Pass_manager} to report what each pass changed. *)
+    [edges] of the program, [opt-ops-before]/[opt-ops-after]/[opt-shared]/
+    [opt-flops-saved] of the expression-optimisation report, [delay-words]
+    of the analysis, [devices] of the partition, [code-bytes] of all
+    generated sources. Used by {!Pass_manager} to report what each pass
+    changed. *)
 
 val artifact_files : t -> (string * string) list
 (** The current artifacts as [(filename, contents)] pairs — the program

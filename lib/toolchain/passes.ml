@@ -72,7 +72,8 @@ let optimize ?min_size () =
       (fun ctx ->
         let* p = Ctx.the_program ctx in
         transform_guard "fold-cse" @@ fun () ->
-        Ok (Ctx.with_program ctx (Sf_sdfg.Opt.optimize ?min_size p)));
+        let p', report = Sf_sdfg.Opt.optimize_with_report ?min_size p in
+        Ok { (Ctx.with_program ctx p') with Ctx.opt = Some report });
   }
 
 let vectorize w =

@@ -13,6 +13,20 @@ here for determinism):
     performance-model  analysis _ ms  stencils=1 edges=1 delay-words=0 devices=1
     simulate           simulation _ ms  stencils=1 edges=1 delay-words=0 devices=1 sim-cycles=2090 sim-stalls=1 sim-net-bytes=0
 
+--optimize inserts the fold-cse pass (constant folding + CSE over the
+hash-consed expression DAG); its counters report the work-op count
+before/after, the number of shared DAG nodes, and the per-cell flops the
+sharing saves relative to the fully inlined trees:
+
+  $ ../../bin/main.exe analyze ../../examples/programs/horizontal_diffusion_small.json \
+  >   --fuse --optimize --trace-passes 2>/dev/null \
+  >   | sed -E 's/ +[0-9]+\.[0-9]+ ms/ _ ms/' | head -5
+  pass trace (4 pass(es)):
+    load-file          frontend _ ms  stencils=18 edges=68
+    stencil-fusion     transform _ ms  stencils=18->4 edges=68->28
+    fold-cse           transform _ ms  stencils=4 edges=28 opt-ops-before=266 opt-ops-after=264 opt-shared=48 opt-flops-saved=1612
+    delay-buffers      analysis _ ms  stencils=4 edges=28 opt-ops-before=266 opt-ops-after=264 opt-shared=48 opt-flops-saved=1612 delay-words=768
+
 --dump-ir writes every artifact after every pass into numbered
 directories:
 

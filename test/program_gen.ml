@@ -53,6 +53,59 @@ let expr_gen ~fields ~depth =
   in
   node depth
 
+(* Adversarial expressions for the bit-exactness properties: division
+   (inf and 0/0 NaNs), signed zeros, NaN and inf constants, Eq/Ne used
+   both as values and as data-dependent select conditions. Values are
+   deliberately unbounded — the properties compare bit-for-bit, not
+   within a tolerance. *)
+let adversarial_expr_gen ~fields ~depth =
+  let access =
+    let* field, rank_of_field = oneofl fields in
+    let* offsets = offsets_gen ~rank_of_field in
+    return (Expr.Access { field; offsets })
+  in
+  let leaf =
+    frequency
+      [
+        (3, map (fun f -> Expr.Const (Float.of_int f /. 4.)) (int_range (-8) 8));
+        (2, map (fun c -> Expr.Const c) (oneofl [ 0.0; -0.0; 1.0; Float.nan; Float.infinity ]));
+        (4, access);
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 4,
+            let* op = oneofl [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div ] in
+            let* l = node (depth - 1) in
+            let* r = node (depth - 1) in
+            return (Expr.Binary (op, l, r)) );
+          ( 2,
+            let* cmp = oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le ] in
+            let* l = node (depth - 1) in
+            let* r = node (depth - 1) in
+            return (Expr.Binary (cmp, l, r)) );
+          ( 2,
+            (* Data-dependent branch: the condition reads field data. *)
+            let* cmp = oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Ge ] in
+            let* a = access in
+            let* b = node (depth - 1) in
+            let* t = node (depth - 1) in
+            let* f = node (depth - 1) in
+            return (Expr.Select { cond = Expr.Binary (cmp, a, b); if_true = t; if_false = f }) );
+          (1, map (fun x -> Expr.Call (Expr.Sqrt, [ x ])) (node (depth - 1)));
+          ( 1,
+            let* f = oneofl [ Expr.Min; Expr.Max ] in
+            let* l = node (depth - 1) in
+            let* r = node (depth - 1) in
+            return (Expr.Call (f, [ l; r ])) );
+        ]
+  in
+  node depth
+
 let boundary_gen =
   oneof
     [
@@ -60,7 +113,7 @@ let boundary_gen =
       return Boundary.Copy;
     ]
 
-let program_gen =
+let program_gen_with ~expr =
   let* rank = int_range 1 3 in
   let* shape =
     match rank with
@@ -122,7 +175,7 @@ let program_gen =
           pick num_reads available []
         in
         let fields = List.map (fun f -> (f, rank_of f)) chosen in
-        let* body = expr_gen ~fields ~depth:3 in
+        let* body = expr ~fields ~depth:3 in
         (* Ensure every chosen field is actually read (the generator may
            have dropped some): sum unused ones in. *)
         let used = List.map fst (Expr.accesses body) in
@@ -171,5 +224,11 @@ let program_gen =
   in
   return { program with Program.inputs; outputs }
 
+let program_gen = program_gen_with ~expr:expr_gen
+let adversarial_program_gen = program_gen_with ~expr:adversarial_expr_gen
+
 let arbitrary_program =
   QCheck.make ~print:(fun p -> Format.asprintf "%a" Program.pp p) program_gen
+
+let arbitrary_adversarial_program =
+  QCheck.make ~print:(fun p -> Format.asprintf "%a" Program.pp p) adversarial_program_gen

@@ -56,6 +56,22 @@ let test_lets_become_locals () =
   let src = generate_single p in
   check_contains src [ "const float t = " ]
 
+let test_shared_nodes_become_temporaries () =
+  (* Structural sharing (no lets in the source) is scheduled as __tN
+     locals: the shared subexpression is computed once and referenced
+     twice, in both backends. *)
+  let b = Builder.create ~name:"shared" ~shape:[ 8; 8 ] () in
+  Builder.input b "a";
+  Builder.stencil b "s"
+    Builder.E.(
+      sqrt_ (acc "a" [ 0; 0 ] +% acc "a" [ 0; 1 ])
+      *% sqrt_ (acc "a" [ 0; 0 ] +% acc "a" [ 0; 1 ]));
+  Builder.output b "s";
+  let p = Builder.finish b in
+  let src = generate_single p in
+  check_contains src [ "const float __t0 = "; "__t0 * __t0" ];
+  check_contains (Sf_codegen.Vitis.generate_exn p) [ "const float __t0 = "; "__t0 * __t0" ]
+
 let test_lower_dim_prefetch () =
   let p = Fixtures.kitchen_sink () in
   let src = generate_single p in
@@ -145,6 +161,8 @@ let suite =
     Alcotest.test_case "channel depths annotated" `Quick test_channel_depths_annotated;
     Alcotest.test_case "copy boundary predication" `Quick test_copy_boundary_codegen;
     Alcotest.test_case "lets lower to locals" `Quick test_lets_become_locals;
+    Alcotest.test_case "shared nodes lower to __tN temporaries" `Quick
+      test_shared_nodes_become_temporaries;
     Alcotest.test_case "lower-dim inputs prefetch" `Quick test_lower_dim_prefetch;
     Alcotest.test_case "vectorized kernels" `Quick test_vectorized_codegen;
     Alcotest.test_case "multi-device SMI emission (sec 6B)" `Quick test_multi_device_smi;

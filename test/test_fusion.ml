@@ -167,6 +167,46 @@ let test_max_body_size_limits () =
   Alcotest.(check bool) "size bound prevents some fusion" true
     (List.length bounded.Fusion.fused_pairs < List.length unbounded.Fusion.fused_pairs)
 
+let test_work_size_accepts_shared_fusion () =
+  (* A producer whose body shares work through a let is textually large
+     once inlined, but small as a DAG. The historical heuristic sized the
+     candidate as size(inline u) * accesses + size(inline v) = 9*2+3 = 21
+     and rejected it under a bound of 15; the work-size heuristic counts
+     the 11 distinct nodes of the actual fused body and accepts. *)
+  let program () =
+    let b = Builder.create ~name:"shared_fusion" ~shape:[ 8; 12 ] () in
+    Builder.input b "a";
+    Builder.stencil b
+      ~boundary:[ ("a", Boundary.Constant 0.) ]
+      ~lets:[ ("t", E.(sqrt_ (acc "a" [ 0; 0 ] +% acc "a" [ 0; 1 ]))) ]
+      "sh"
+      E.(var "t" *% var "t");
+    Builder.stencil b
+      ~boundary:[ ("sh", Boundary.Constant 0.) ]
+      "out"
+      E.(acc "sh" [ 0; -1 ] +% acc "sh" [ 0; 1 ]);
+    Builder.output b "out";
+    Builder.finish b
+  in
+  let p = program () in
+  let u = Option.get (Program.find_stencil p "sh") in
+  let v = Option.get (Program.find_stencil p "out") in
+  let tree_estimate =
+    Expr.size (Expr.inline_lets u.Stencil.body)
+    * List.length (Stencil.accesses_of_field v "sh")
+    + Expr.size (Expr.inline_lets v.Stencil.body)
+  in
+  Alcotest.(check bool) "old inlined-tree estimate exceeds the bound" true (tree_estimate > 15);
+  let fused, report = Fusion.fuse_all ~max_body_size:15 p in
+  Alcotest.(check int) "work-size heuristic accepts the fusion" 1
+    (List.length report.Fusion.fused_pairs);
+  Alcotest.(check int) "single fused stencil" 1 (List.length fused.Program.stencils);
+  let body = (List.hd fused.Program.stencils).Stencil.body in
+  Alcotest.(check bool) "fused work size within bound" true
+    (Dag.work_size (Dag.of_body body) <= 15);
+  let radius = Fusion.equivalence_radius ~original:p ~fused in
+  Alcotest.(check bool) "interior semantics" true (interior_equal ~radius p fused)
+
 let test_hdiff_fusion_shape () =
   (* Fig. 17c: aggressive fusion collapses the 18-node hdiff DAG. *)
   let p = Sf_kernels.Hdiff.program ~shape:[ 6; 12; 12 ] () in
@@ -204,6 +244,8 @@ let suite =
     Alcotest.test_case "scalar-absorbing fusion radius (regression)" `Quick
       test_scalar_absorbing_fusion_radius;
     Alcotest.test_case "body size bound" `Quick test_max_body_size_limits;
+    Alcotest.test_case "work-size heuristic accepts shared fusion" `Quick
+      test_work_size_accepts_shared_fusion;
     Alcotest.test_case "hdiff collapses to its outputs (fig 17)" `Quick test_hdiff_fusion_shape;
     QCheck_alcotest.to_alcotest prop_fusion_preserves_interior;
   ]

@@ -67,6 +67,23 @@ let test_cse_nested_sharing () =
   Alcotest.(check int) "adds reduced to 3" 3 profile.Expr.adds;
   Alcotest.(check int) "one sqrt" 1 profile.Expr.sqrts
 
+let test_cse_nested_occurrences_bind_once () =
+  (* sqrt(a+b) * sqrt(a+b): the inner (a+b) occurs twice in the tree but
+     only through the single shared sqrt parent — it must not get its own
+     redundant __cseN binding (the historical string-keyed CSE counted
+     per textual occurrence and emitted one). *)
+  let ab = E.(acc "a" [ 0 ] +% acc "b" [ 0 ]) in
+  let body = { Expr.lets = []; result = E.(sqrt_ ab *% sqrt_ ab) } in
+  let out = Opt.cse ~min_size:2 body in
+  Alcotest.(check int) "exactly one binding (the sqrt)" 1 (List.length out.Expr.lets);
+  (match out.Expr.lets with
+  | [ (_, Expr.Call (Expr.Sqrt, _)) ] -> ()
+  | _ -> Alcotest.fail "expected the shared sqrt to be the single binding");
+  let profile = Expr.body_op_profile out in
+  Alcotest.(check int) "one add" 1 profile.Expr.adds;
+  Alcotest.(check int) "one sqrt" 1 profile.Expr.sqrts;
+  Alcotest.(check int) "one mul" 1 profile.Expr.muls
+
 let test_cse_no_sharing_is_identity_profile () =
   let body = { Expr.lets = []; result = E.(acc "a" [ 0 ] +% acc "b" [ 0 ]) } in
   let out = Opt.cse body in
@@ -97,18 +114,71 @@ let test_optimize_preserves_program_semantics () =
     ]
 
 let test_fusion_plus_cse_recovers_sharing () =
-  (* Fusing a chain duplicates the producer per consuming access; CSE
-     brings the op count back down. *)
+  (* Fusing a chain duplicates the producer per consuming access — but
+     only in the *tree* view. Fusion substitutes on the hash-consed DAG
+     and re-extracts, so the fused body already carries its sharing as
+     let bindings: its work flop count (shared nodes once) is strictly
+     below its fully inlined tree flop count, and a subsequent optimize
+     pass has nothing left to recover. *)
   let p = Fixtures.chain ~shape:[ 8; 12 ] ~n:3 () in
   let fused, _ = Fusion.fuse_all p in
-  let flops body = Expr.flop_count (Expr.body_op_profile body) in
-  let before = flops (List.hd fused.Program.stencils).Stencil.body in
-  let optimized = Opt.optimize fused in
-  let after = flops (List.hd optimized.Program.stencils).Stencil.body in
+  let body = (List.hd fused.Program.stencils).Stencil.body in
+  let work = Expr.flop_count (Dag.work_profile (Dag.of_body body)) in
+  let tree = Expr.flop_count (Dag.tree_profile (Dag.of_body body)) in
   Alcotest.(check bool)
-    (Printf.sprintf "CSE reduces fused flops (%d -> %d)" before after)
-    true (after < before);
+    (Printf.sprintf "fused body keeps sharing (work %d < tree %d)" work tree)
+    true (work < tree);
+  Alcotest.(check int) "body_op_profile counts shared work once" work
+    (Expr.flop_count (Expr.body_op_profile body));
+  let optimized = Opt.optimize fused in
+  let after =
+    Expr.flop_count (Expr.body_op_profile (List.hd optimized.Program.stencils).Stencil.body)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimize does not add ops (%d -> %d)" work after)
+    true (after <= work);
   Alcotest.(check bool) "still correct" true (semantically_equal fused optimized)
+
+let test_nan_const_folding_pins_ieee () =
+  (* IEEE comparison semantics pinned across every evaluator: NaN is
+     Eq-false and Ne-true in the constant folder, the interpreter, and
+     the compiled simulator path alike. Regression guard for the folder
+     silently adopting reflexive equality. *)
+  let nan_ = Float.nan in
+  Alcotest.(check (float 0.)) "fold Eq(nan,nan) = false" 0. (Opt.eval_const_binop Expr.Eq nan_ nan_);
+  Alcotest.(check (float 0.)) "fold Ne(nan,nan) = true" 1. (Opt.eval_const_binop Expr.Ne nan_ nan_);
+  Alcotest.(check (float 0.)) "fold Eq(nan,1) = false" 0. (Opt.eval_const_binop Expr.Eq nan_ 1.);
+  Alcotest.(check (float 0.)) "fold Ne(nan,1) = true" 1. (Opt.eval_const_binop Expr.Ne nan_ 1.);
+  (* 0/0 == 0/0 is a NaN comparison: the false branch must be chosen by
+     folding, and the unfolded program must agree through the reference
+     interpreter and the engine's compiled stencil units. *)
+  let cond = E.(c 0. /% c 0. ==% (c 0. /% c 0.)) in
+  let picked = Opt.fold_constants E.(sel cond (acc "a" [ 0; 0 ] *% c 100.) (acc "a" [ 0; 0 ] +% c 2.)) in
+  Alcotest.(check bool) "fold picks the false branch" true
+    (Expr.equal picked E.(acc "a" [ 0; 0 ] +% c 2.));
+  let b = Builder.create ~name:"nan_eq" ~shape:[ 4; 8 ] () in
+  Builder.input b "a";
+  Builder.stencil b "s" E.(sel cond (acc "a" [ 0; 0 ] *% c 100.) (acc "a" [ 0; 0 ] +% c 2.));
+  Builder.output b "s";
+  let p = Builder.finish b in
+  let inputs = Interp.random_inputs p in
+  let expect i = Sf_reference.Tensor.get_flat (List.assoc "a" inputs) i +. 2. in
+  let check_result what (r : Interp.result) =
+    Array.iteri
+      (fun i v ->
+        if v <> expect i then
+          Alcotest.failf "%s: cell %d is %h, want %h" what i v (expect i))
+      r.Interp.tensor.Sf_reference.Tensor.data
+  in
+  check_result "interpreter" (List.assoc "s" (Interp.run p ~inputs));
+  (match Sf_sim.Engine.run ~inputs p with
+  | Ok stats -> check_result "simulator" (List.assoc "s" stats.Sf_sim.Engine.results)
+  | Error d -> Alcotest.fail (Sf_support.Diag.to_string d));
+  (* And the folded program agrees with itself through the sim, i.e. the
+     optimizer did not change what the engine computes. *)
+  match Sf_sim.Engine.run ~inputs (Opt.optimize p) with
+  | Ok stats -> check_result "optimized simulator" (List.assoc "s" stats.Sf_sim.Engine.results)
+  | Error d -> Alcotest.fail (Sf_support.Diag.to_string d)
 
 let test_optimized_simulates () =
   let p = Opt.optimize (fst (Fusion.fuse_all (Fixtures.kitchen_sink ()))) in
@@ -167,11 +237,15 @@ let suite =
       Alcotest.test_case "folding preserves values" `Quick test_fold_preserves_semantics;
       Alcotest.test_case "CSE extracts shared subtrees" `Quick test_cse_extracts_shared;
       Alcotest.test_case "CSE binds inner shares first" `Quick test_cse_nested_sharing;
+      Alcotest.test_case "CSE binds nested occurrences once" `Quick
+        test_cse_nested_occurrences_bind_once;
       Alcotest.test_case "CSE without sharing changes nothing" `Quick
         test_cse_no_sharing_is_identity_profile;
       Alcotest.test_case "optimize preserves program semantics" `Quick
         test_optimize_preserves_program_semantics;
       Alcotest.test_case "fusion + CSE recovers sharing" `Quick test_fusion_plus_cse_recovers_sharing;
+      Alcotest.test_case "NaN Eq/Ne folding pins IEEE across layers" `Quick
+        test_nan_const_folding_pins_ieee;
       Alcotest.test_case "optimized programs simulate" `Quick test_optimized_simulates;
       QCheck_alcotest.to_alcotest prop_fold_preserves;
       QCheck_alcotest.to_alcotest prop_cse_preserves;

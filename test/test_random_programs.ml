@@ -72,6 +72,95 @@ let prop_optimize_preserves =
   QCheck.Test.make ~count:60 ~name:"random programs: fold+CSE preserves semantics"
     Program_gen.arbitrary_program (fun p -> semantically_equal p (Opt.optimize p))
 
+(* Bit-exact equality, modulo NaN payloads (any NaN matches any NaN) and
+   OCaml's [=] on floats identifying -0.0 with 0.0 — the one identity
+   (x + 0.0 -> x) whose sign-of-zero corner the optimizer knowingly
+   tolerates. *)
+let feq a b = (Float.is_nan a && Float.is_nan b) || a = b
+
+let bit_identical_results (baseline : (string * Interp.result) list)
+    (results : (string * Interp.result) list) =
+  List.for_all
+    (fun (name, (r : Interp.result)) ->
+      match List.assoc_opt name results with
+      | None -> false
+      | Some r' ->
+          r.Interp.valid = r'.Interp.valid
+          &&
+          let ok = ref true in
+          Array.iteri
+            (fun i v ->
+              if r.Interp.valid.(i) && not (feq v (Tensor.get_flat r'.Interp.tensor i)) then
+                ok := false)
+            r.Interp.tensor.Tensor.data;
+          !ok)
+    baseline
+
+(* Adversarial bodies: NaN and inf constants, signed zeros, division by
+   zero, Eq/Ne both as values and as data-dependent branches. The
+   optimizer must be *bit*-transparent on these, not just within a
+   tolerance. *)
+let prop_optimize_bit_identical_interp =
+  QCheck.Test.make ~count:80
+    ~name:"adversarial programs: fold+CSE is bit-identical through the interpreter"
+    Program_gen.arbitrary_adversarial_program (fun p ->
+      let inputs = Interp.random_inputs p in
+      bit_identical_results (Interp.run p ~inputs) (Interp.run (Opt.optimize p) ~inputs))
+
+(* The same bit-transparency through the compiled simulator path: the
+   optimized program's DAG-compiled stencil units must reproduce the
+   unoptimized interpreter baseline exactly. *)
+let prop_optimize_bit_identical_sim =
+  QCheck.Test.make ~count:40
+    ~name:"adversarial programs: optimized simulator run matches unoptimized reference"
+    Program_gen.arbitrary_adversarial_program (fun p ->
+      let inputs = Interp.random_inputs p in
+      let baseline = Interp.run p ~inputs in
+      match Engine.run ~config:cheap ~inputs (Opt.optimize p) with
+      | Error _ -> false
+      | Ok stats -> bit_identical_results baseline stats.Engine.results)
+
+(* Fuse + optimize: on interior cells (beyond the fusion equivalence
+   radius, where boundary handling cannot differ) the composition is
+   bit-identical too. *)
+let prop_fuse_optimize_bit_identical_interior =
+  QCheck.Test.make ~count:40
+    ~name:"adversarial programs: fuse+optimize bit-identical on interior cells"
+    Program_gen.arbitrary_adversarial_program (fun p ->
+      let fused, report = Fusion.fuse_all p in
+      if report.Fusion.fused_pairs = [] then true
+      else begin
+        let optimized = Opt.optimize fused in
+        let radius = Fusion.equivalence_radius ~original:p ~fused in
+        QCheck.assume (List.for_all (fun e -> e > 2 * radius) p.Program.shape);
+        let inputs = Interp.random_inputs p in
+        let rp = Interp.run p ~inputs and rq = Interp.run optimized ~inputs in
+        let shape = p.Program.shape in
+        List.for_all
+          (fun (name, (r : Interp.result)) ->
+            match List.assoc_opt name rq with
+            | None -> false
+            | Some r' ->
+                let ok = ref true in
+                let rec scan prefix = function
+                  | [] ->
+                      let idx = List.rev prefix in
+                      if List.for_all2 (fun i e -> i >= radius && i < e - radius) idx shape
+                      then begin
+                        let a = Tensor.get r.Interp.tensor idx
+                        and b = Tensor.get r'.Interp.tensor idx in
+                        if not (feq a b) then ok := false
+                      end
+                  | e :: rest ->
+                      for i = 0 to e - 1 do
+                        scan (i :: prefix) rest
+                      done
+                in
+                scan [] shape;
+                !ok)
+          rp
+      end)
+
 let prop_fusion_interior =
   QCheck.Test.make ~count:40 ~name:"random programs: fusion preserves interior cells"
     Program_gen.arbitrary_program (fun p ->
@@ -165,6 +254,9 @@ let suite =
       prop_json_roundtrip;
       prop_sdfg_roundtrip;
       prop_optimize_preserves;
+      prop_optimize_bit_identical_interp;
+      prop_optimize_bit_identical_sim;
+      prop_fuse_optimize_bit_identical_interior;
       prop_fusion_interior;
       prop_tiling_exact;
       prop_codegen_never_crashes;
