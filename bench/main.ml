@@ -568,7 +568,7 @@ let micro () =
                (Memory_model.effective_bandwidth dev ~operands_per_cycle:24 ~element_bytes:4
                   ~vectorized:true)));
       Test.make ~name:"tab2_hdiff_parse"
-        (Staged.stage (fun () -> ignore (Program_json.of_string_exn json)));
+        (Staged.stage (fun () -> ignore (Result.get_ok (Program_json.of_string json))));
       Test.make ~name:"fig17_hdiff_fusion"
         (Staged.stage (fun () -> ignore (Fusion.fuse_all hdiff_small)));
       Test.make ~name:"fig4_diamond_simulation"

@@ -17,7 +17,11 @@ let () =
   if programs = [] then failwith ("no programs found under " ^ dir);
   List.iter
     (fun file ->
-      let p = Program_json.of_file_exn (Filename.concat dir file) in
+      let p =
+        match Program_json.of_file (Filename.concat dir file) with
+        | Ok p -> p
+        | Error ds -> failwith (String.concat "; " (List.map Diag.to_string ds))
+      in
       let fused, _ = Fusion.fuse_all p in
       let optimized, report = Opt.optimize_with_report fused in
       match Engine.run_and_validate optimized with

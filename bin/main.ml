@@ -17,38 +17,86 @@ let vector_width_arg =
   let doc = "Override the program's vectorization width W (Sec. IV-C)." in
   Arg.(value & opt (some int) None & info [ "w"; "vector-width" ] ~docv:"W" ~doc)
 
-let fuse_arg =
-  let doc = "Apply aggressive stencil fusion before mapping (Sec. V-B)." in
-  Arg.(value & flag & info [ "fuse" ] ~doc)
+(* The flags shared by every pipeline-driving command (analyze, simulate,
+   codegen, serve), factored into one record + one Cmdliner term so the
+   commands cannot drift apart. *)
+module Common = struct
+  type t = {
+    fuse : bool;
+    optimize : bool;
+    trace_passes : bool;
+    dump_ir : string option;
+    diag_json : bool;
+    jobs : int;
+    cache_dir : string option;
+  }
 
-let optimize_arg =
+  let fuse_arg =
+    let doc = "Apply aggressive stencil fusion before mapping (Sec. V-B)." in
+    Arg.(value & flag & info [ "fuse" ] ~doc)
+
+  let optimize_arg =
+    let doc =
+      "Run the expression optimiser (constant folding + CSE over the hash-consed \
+       DAG) after the frontend; its op counters appear in $(b,--trace-passes)."
+    in
+    Arg.(value & flag & info [ "optimize" ] ~doc)
+
+  let trace_passes_arg =
+    let doc =
+      "Print per-pass wall-clock timings and artifact counters; passes replayed \
+       from the cache are marked $(b,[cached]) and a hit/miss summary follows."
+    in
+    Arg.(value & flag & info [ "trace-passes" ] ~doc)
+
+  let dump_ir_arg =
+    let doc = "Dump every intermediate artifact into $(docv)/NN-passname/ after each pass." in
+    Arg.(value & opt (some string) None & info [ "dump-ir" ] ~docv:"DIR" ~doc)
+
+  let diag_json_arg =
+    let doc = "Report diagnostics as JSON on stdout instead of text on stderr." in
+    Arg.(value & flag & info [ "diag-json" ] ~doc)
+
+  let jobs_arg =
+    let doc =
+      "Hardware threads to use: campaigns, probe arms and sweeps run that many \
+       independent simulations concurrently, and the parallel engine tunes its \
+       spin/park behaviour to it. $(b,0) (the default) means auto-detect \
+       ($(b,Domain.recommended_domain_count)); $(b,1) forces fully serial \
+       execution. Results are byte-identical for every value."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+  let cache_dir_arg =
+    let doc =
+      "Back the content-addressed pass cache with an on-disk store rooted at \
+       $(docv): unchanged passes are replayed from earlier invocations instead \
+       of re-executed (keys cover the program content, device, configuration \
+       and pass options; see docs/PIPELINE.md)."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+  let term =
+    let make fuse optimize trace_passes dump_ir diag_json jobs cache_dir =
+      { fuse; optimize; trace_passes; dump_ir; diag_json; jobs; cache_dir }
+    in
+    Term.(
+      const make $ fuse_arg $ optimize_arg $ trace_passes_arg $ dump_ir_arg $ diag_json_arg
+      $ jobs_arg $ cache_dir_arg)
+end
+
+let remote_arg =
   let doc =
-    "Run the expression optimiser (constant folding + CSE over the hash-consed \
-     DAG) after the frontend; its op counters appear in $(b,--trace-passes)."
+    "Execute the request through a freshly spawned $(b,stencilflow serve) child \
+     process over its JSON protocol and print the raw response line (with \
+     $(b,--cache-dir), repeated invocations hit the shared on-disk cache)."
   in
-  Arg.(value & flag & info [ "optimize" ] ~doc)
+  Arg.(value & flag & info [ "remote" ] ~doc)
 
-let trace_passes_arg =
-  let doc = "Print per-pass wall-clock timings and artifact counters." in
-  Arg.(value & flag & info [ "trace-passes" ] ~doc)
-
-let dump_ir_arg =
-  let doc = "Dump every intermediate artifact into $(docv)/NN-passname/ after each pass." in
-  Arg.(value & opt (some string) None & info [ "dump-ir" ] ~docv:"DIR" ~doc)
-
-let diag_json_arg =
-  let doc = "Report diagnostics as JSON on stdout instead of text on stderr." in
-  Arg.(value & flag & info [ "diag-json" ] ~doc)
-
-let jobs_arg =
-  let doc =
-    "Hardware threads to use: campaigns, probe arms and sweeps run that many \
-     independent simulations concurrently, and the parallel engine tunes its \
-     spin/park behaviour to it. $(b,0) (the default) means auto-detect \
-     ($(b,Domain.recommended_domain_count)); $(b,1) forces fully serial \
-     execution. Results are byte-identical for every value."
-  in
-  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+(* Kept as top-level names: the non-pipeline commands (validate-depths,
+   autotune, partition, dot, report, tile) take these à la carte. *)
+let fuse_arg = Common.fuse_arg
+let jobs_arg = Common.jobs_arg
 
 (* --jobs 0 = auto. Campaign/probe/sweep call sites take the resolved
    count; the engine config keeps the raw value (its 0 means the same
@@ -70,19 +118,98 @@ let exit_diags ~json ds =
 (* Run a pass list from an empty context; on failure print the executed
    prefix's trace (if requested) and the diagnostics, and exit with the
    stable code. On success, warnings are reported but do not change the
-   caller's flow. *)
-let run_pipeline ?device ?sim_config ?inputs ~trace_passes ~dump_ir ~diag_json passes =
+   caller's flow. With --cache-dir, passes run against a disk-backed
+   content-addressed cache and --trace-passes appends its hit/miss
+   summary. *)
+let pp_cache_stats fmt (s : Cache.stats) =
+  Format.fprintf fmt "cache: %d hit(s), %d miss(es), %d stale@." s.Cache.hits s.Cache.misses
+    s.Cache.stale
+
+let run_pipeline ?device ?sim_config ?inputs ~(common : Common.t) passes =
   let hooks =
-    match dump_ir with Some dir -> Passes.dump_hook ~dir | None -> Pass_manager.no_hooks
+    match common.Common.dump_ir with
+    | Some dir -> Passes.dump_hook ~dir
+    | None -> Pass_manager.no_hooks
+  in
+  let cache =
+    Option.map
+      (fun dir -> Cache.with_store (Cache.create ()) (Store.open_ dir))
+      common.Common.cache_dir
+  in
+  let emit_trace trace =
+    if common.Common.trace_passes then begin
+      Format.printf "%a" Pass_manager.pp_trace trace;
+      match cache with
+      | Some c -> Format.printf "%a" pp_cache_stats (Cache.stats c)
+      | None -> ()
+    end
   in
   let ctx = Ctx.create ?device ?sim_config ?inputs () in
-  match Pass_manager.run ~hooks passes ctx with
+  match Pass_manager.run ~hooks ?cache passes ctx with
   | Ok (ctx, trace) ->
-      if trace_passes then Format.printf "%a" Pass_manager.pp_trace trace;
+      emit_trace trace;
       ctx
   | Error (ds, trace) ->
-      if trace_passes then Format.printf "%a" Pass_manager.pp_trace trace;
-      exit_diags ~json:diag_json ds
+      emit_trace trace;
+      exit_diags ~json:common.Common.diag_json ds
+
+(* --remote: spawn a serve child, send the single request this command
+   would have executed locally, print the raw response line, and exit 0
+   when the response reports ok. *)
+let remote_eval ~verb ~path ~(common : Common.t) ?width ?devices ?seed ?max_cycles () =
+  let options =
+    [ ("fuse", Json.Bool common.Common.fuse); ("optimize", Json.Bool common.Common.optimize) ]
+    @ (match width with Some w -> [ ("width", Json.Int w) ] | None -> [])
+    @ (match devices with Some n -> [ ("devices", Json.Int n) ] | None -> [])
+    @ (match seed with Some n -> [ ("seed", Json.Int n) ] | None -> [])
+    @ match max_cycles with Some n -> [ ("max_cycles", Json.Int n) ] | None -> []
+  in
+  let request =
+    Json.to_string ~minify:true
+      (Json.Obj
+         [
+           ("verb", Json.String verb);
+           ("program_file", Json.String path);
+           ("options", Json.Obj options);
+         ])
+  in
+  let exe = Sys.executable_name in
+  let argv =
+    [| exe; "serve" |]
+    |> Array.to_list
+    |> (fun base ->
+         base
+         @ match common.Common.cache_dir with Some d -> [ "--cache-dir"; d ] | None -> [])
+    |> Array.of_list
+  in
+  (* cloexec on every end: create_process dup2s req_read/resp_write onto
+     the child's stdin/stdout (clearing the flag on those), and the
+     parent's ends must NOT leak into the child or its stdin never sees
+     EOF and it outlives the session. *)
+  let req_read, req_write = Unix.pipe ~cloexec:true () in
+  let resp_read, resp_write = Unix.pipe ~cloexec:true () in
+  let pid = Unix.create_process exe argv req_read resp_write Unix.stderr in
+  Unix.close req_read;
+  Unix.close resp_write;
+  let oc = Unix.out_channel_of_descr req_write in
+  let ic = Unix.in_channel_of_descr resp_read in
+  output_string oc (request ^ "\n");
+  close_out oc;
+  let resp = In_channel.input_line ic in
+  close_in ic;
+  ignore (Unix.waitpid [] pid);
+  match resp with
+  | None ->
+      exit_diags ~json:common.Common.diag_json
+        [ Diag.error ~code:Diag.Code.internal "serve child produced no response" ]
+  | Some line ->
+      print_endline line;
+      let ok =
+        match Json.parse line with
+        | Ok json -> ( match Json.member "ok" json with Some (Json.Bool b) -> b | _ -> false)
+        | Error _ -> false
+      in
+      exit (if ok then 0 else 1)
 
 (* Fusion runs before the optimiser so fold-cse sees (and re-shares) the
    substituted fused bodies — the same order as Sdfg.Pipeline.default_pipeline. *)
@@ -107,32 +234,34 @@ let the_program (ctx : Ctx.t) =
   | None -> invalid_arg "pipeline finished without a program"
 
 let analyze_cmd =
-  let run path width fuse optimize trace_passes dump_ir diag_json =
-    let ctx =
-      run_pipeline ~trace_passes ~dump_ir ~diag_json
-        (frontend_passes ~optimize path width fuse @ [ Passes.delay_buffers ])
-    in
-    let p = the_program ctx in
-    let analysis = match ctx.Ctx.analysis with Some a -> a | None -> assert false in
-    Format.printf "%a@." Delay_buffer.pp analysis;
-    let counts = Op_count.of_program p in
-    Format.printf "%a@." Op_count.pp counts;
-    Format.printf "arithmetic intensity: %.3f Op/operand, %.3f Op/B@."
-      (Op_count.ai_ops_per_operand p) (Op_count.ai_ops_per_byte p);
-    Format.printf "expected cycles (Eq. 1): %d@." (Runtime_model.expected_cycles p);
-    let usage = Resource.of_program p in
-    Format.printf "estimated resources: %a@." Resource.pp usage;
-    let a, f, m, d = Resource.utilization Device.stratix10 usage in
-    Format.printf "utilization on %s: ALM %.1f%%, FF %.1f%%, M20K %.1f%%, DSP %.1f%%@."
-      Device.stratix10.Device.name (100. *. a) (100. *. f) (100. *. m) (100. *. d);
-    emit_diags ~json:diag_json ctx.Ctx.diags;
-    exit (Diag.exit_code ctx.Ctx.diags)
+  let run path width (common : Common.t) remote =
+    if remote then remote_eval ~verb:"analyze" ~path ~common ?width ()
+    else begin
+      let ctx =
+        run_pipeline ~common
+          (frontend_passes ~optimize:common.Common.optimize path width common.Common.fuse
+          @ [ Passes.delay_buffers ])
+      in
+      let p = the_program ctx in
+      let analysis = match ctx.Ctx.analysis with Some a -> a | None -> assert false in
+      Format.printf "%a@." Delay_buffer.pp analysis;
+      let counts = Op_count.of_program p in
+      Format.printf "%a@." Op_count.pp counts;
+      Format.printf "arithmetic intensity: %.3f Op/operand, %.3f Op/B@."
+        (Op_count.ai_ops_per_operand p) (Op_count.ai_ops_per_byte p);
+      Format.printf "expected cycles (Eq. 1): %d@." (Runtime_model.expected_cycles p);
+      let usage = Resource.of_program p in
+      Format.printf "estimated resources: %a@." Resource.pp usage;
+      let a, f, m, d = Resource.utilization Device.stratix10 usage in
+      Format.printf "utilization on %s: ALM %.1f%%, FF %.1f%%, M20K %.1f%%, DSP %.1f%%@."
+        Device.stratix10.Device.name (100. *. a) (100. *. f) (100. *. m) (100. *. d);
+      emit_diags ~json:common.Common.diag_json ctx.Ctx.diags;
+      exit (Diag.exit_code ctx.Ctx.diags)
+    end
   in
   let doc = "Run the buffering, latency, and resource analyses on a program." in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(
-      const run $ program_arg $ vector_width_arg $ fuse_arg $ optimize_arg $ trace_passes_arg
-      $ dump_ir_arg $ diag_json_arg)
+    Term.(const run $ program_arg $ vector_width_arg $ Common.term $ remote_arg)
 
 let simulate_cmd =
   let seed_arg =
@@ -200,8 +329,11 @@ let simulate_cmd =
              ~doc:"Abort the simulation after $(docv) cycles with a coded SF0703 \
                    timeout; the budget is echoed in the diagnostic's notes.")
   in
-  let run path width fuse optimize seed trace profile trace_out counters_json parallel devices
-      inject fault_seed max_cycles jobs trace_passes dump_ir diag_json =
+  let run path width (common : Common.t) remote seed trace profile trace_out counters_json
+      parallel devices inject fault_seed max_cycles =
+    if remote then remote_eval ~verb:"simulate" ~path ~common ?width ?devices ~seed ?max_cycles ()
+    else begin
+    let diag_json = common.Common.diag_json in
     let telemetry = profile || trace_out <> None || counters_json in
     let trace_interval =
       if trace <> None || trace_out <> None then Some 16 else None
@@ -222,7 +354,7 @@ let simulate_cmd =
         ~parallelism:
           (Engine.Config.parallelism
              ~mode:(if parallel then `Domains_per_device else `Sequential)
-             ~host_jobs:jobs ())
+             ~host_jobs:common.Common.jobs ())
         ~safety:(Engine.Config.safety ?max_cycles ())
         ~faults:(Engine.Config.faults ?plan:fault_plan ~seed:fault_seed ())
         ()
@@ -231,14 +363,13 @@ let simulate_cmd =
       match devices with Some n -> Passes.partition_into n | None -> Passes.partition
     in
     let ctx =
-      run_pipeline ~sim_config ~trace_passes ~dump_ir ~diag_json
+      run_pipeline ~sim_config ~common
         (frontend_passes path width false
         @ [ Passes.fuse () ]
-        @ (if optimize then [ Passes.optimize () ] else [])
+        @ (if common.Common.optimize then [ Passes.optimize () ] else [])
         @ [ Passes.delay_buffers; partition_pass; Passes.performance_model ]
         @ [ Passes.simulate ~seed () ])
     in
-    ignore fuse;
     let report = report_of_ctx ctx in
     Format.printf "%a@." pp_report report;
     (* The failed-run report is still available for profiling: the engine
@@ -277,6 +408,7 @@ let simulate_cmd =
     | _, _ -> ());
     (if diag_json then emit_diags ~json:true ctx.Ctx.diags);
     exit (Diag.exit_code ctx.Ctx.diags)
+    end
   in
   let doc =
     "Execute the program on the cycle-level spatial simulator and validate against the \
@@ -284,10 +416,9 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ program_arg $ vector_width_arg $ fuse_arg $ optimize_arg $ seed_arg
+      const run $ program_arg $ vector_width_arg $ Common.term $ remote_arg $ seed_arg
       $ trace_arg $ profile_arg $ trace_out_arg $ counters_json_arg $ parallel_arg
-      $ devices_arg $ inject_arg $ fault_seed_arg $ max_cycles_arg $ jobs_arg
-      $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
+      $ devices_arg $ inject_arg $ fault_seed_arg $ max_cycles_arg)
 
 let validate_depths_cmd =
   let campaign_arg =
@@ -397,38 +528,40 @@ let codegen_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
            ~doc:"Write kernel files into this directory instead of stdout.")
   in
-  let run path width fuse optimize out trace_passes dump_ir diag_json =
-    let ctx =
-      run_pipeline ~trace_passes ~dump_ir ~diag_json
-        (frontend_passes ~optimize path width fuse @ Passes.codegen_pipeline ~backend:`Opencl)
-    in
-    let artifacts = ctx.Ctx.kernels in
-    let host = match ctx.Ctx.host_source with Some h -> h | None -> assert false in
-    (match out with
-    | None ->
-        List.iter
-          (fun (a : Opencl.artifact) ->
-            Format.printf "// ===== %s =====@.%s@." a.Opencl.filename a.Opencl.source)
-          artifacts;
-        Format.printf "// ===== host.c =====@.%s@." host
-    | Some dir ->
-        List.iter
-          (fun (a : Opencl.artifact) ->
-            let file = Filename.concat dir a.Opencl.filename in
-            Out_channel.with_open_text file (fun oc -> output_string oc a.Opencl.source);
-            Format.printf "wrote %s@." file)
-          artifacts;
-        let host_file = Filename.concat dir "host.c" in
-        Out_channel.with_open_text host_file (fun oc -> output_string oc host);
-        Format.printf "wrote %s@." host_file);
-    emit_diags ~json:diag_json ctx.Ctx.diags;
-    exit (Diag.exit_code ctx.Ctx.diags)
+  let run path width (common : Common.t) remote out =
+    if remote then remote_eval ~verb:"codegen" ~path ~common ?width ()
+    else begin
+      let ctx =
+        run_pipeline ~common
+          (frontend_passes ~optimize:common.Common.optimize path width common.Common.fuse
+          @ Passes.codegen_pipeline ~backend:`Opencl)
+      in
+      let artifacts = ctx.Ctx.kernels in
+      let host = match ctx.Ctx.host_source with Some h -> h | None -> assert false in
+      (match out with
+      | None ->
+          List.iter
+            (fun (a : Opencl.artifact) ->
+              Format.printf "// ===== %s =====@.%s@." a.Opencl.filename a.Opencl.source)
+            artifacts;
+          Format.printf "// ===== host.c =====@.%s@." host
+      | Some dir ->
+          List.iter
+            (fun (a : Opencl.artifact) ->
+              let file = Filename.concat dir a.Opencl.filename in
+              Out_channel.with_open_text file (fun oc -> output_string oc a.Opencl.source);
+              Format.printf "wrote %s@." file)
+            artifacts;
+          let host_file = Filename.concat dir "host.c" in
+          Out_channel.with_open_text host_file (fun oc -> output_string oc host);
+          Format.printf "wrote %s@." host_file);
+      emit_diags ~json:common.Common.diag_json ctx.Ctx.diags;
+      exit (Diag.exit_code ctx.Ctx.diags)
+    end
   in
   let doc = "Emit Intel-FPGA-style annotated OpenCL kernels and host code." in
   Cmd.v (Cmd.info "codegen" ~doc)
-    Term.(
-      const run $ program_arg $ vector_width_arg $ fuse_arg $ optimize_arg $ out_arg
-      $ trace_passes_arg $ dump_ir_arg $ diag_json_arg)
+    Term.(const run $ program_arg $ vector_width_arg $ Common.term $ remote_arg $ out_arg)
 
 let partition_cmd =
   let devices_arg =
@@ -562,6 +695,34 @@ let report_cmd =
   let doc = "Print a Markdown report: DAG, buffers, runtime model, roofline, resources." in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ program_arg $ vector_width_arg $ fuse_arg)
 
+let serve_cmd =
+  let cache_entries_arg =
+    Arg.(value & opt int 128
+         & info [ "cache-entries" ] ~docv:"N"
+             ~doc:"Capacity of the in-memory LRU artifact cache, in entries.")
+  in
+  let run (common : Common.t) cache_entries =
+    let on_trace =
+      if common.Common.trace_passes then
+        Some
+          (fun ~verb trace ->
+            Format.eprintf "%s: %a%!" verb Pass_manager.pp_trace trace)
+      else None
+    in
+    let service =
+      Service.create ~cache_capacity:cache_entries ?store_dir:common.Common.cache_dir
+        ?on_trace ~jobs:common.Common.jobs ()
+    in
+    Service.serve_loop service stdin stdout
+  in
+  let doc =
+    "Run a persistent compile/simulate service over newline-delimited JSON requests \
+     on stdin (verbs: analyze, simulate, codegen, cache-stats, evict, shutdown), one \
+     JSON response per line on stdout. Repeated and incremental requests are served \
+     from a content-addressed pass cache; see docs/PIPELINE.md for the protocol."
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ Common.term $ cache_entries_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -573,5 +734,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ analyze_cmd; simulate_cmd; validate_depths_cmd; codegen_cmd; partition_cmd; dot_cmd;
-            fuse_cmd; optimize_cmd; report_cmd; tile_cmd; autotune_cmd ]))
+          [ analyze_cmd; simulate_cmd; validate_depths_cmd; codegen_cmd; serve_cmd;
+            partition_cmd; dot_cmd; fuse_cmd; optimize_cmd; report_cmd; tile_cmd;
+            autotune_cmd ]))

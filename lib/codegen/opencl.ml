@@ -399,11 +399,3 @@ let checked f p =
 
 let generate ?partition p = checked (generate_unchecked ?partition) p
 let host_source ?partition p = checked (host_source_unchecked ?partition) p
-
-let generate_exn ?partition p =
-  Program.validate_exn p;
-  generate_unchecked ?partition p
-
-let host_source_exn ?partition p =
-  Program.validate_exn p;
-  host_source_unchecked ?partition p

@@ -35,12 +35,6 @@ val host_source :
 (** Host-side C-style pseudo code: buffer allocation, replication of
     inputs to each device, kernel launch, and result copy-back. *)
 
-val generate_exn : ?partition:Sf_mapping.Partition.t -> Sf_ir.Program.t -> artifact list
-(** {!generate}, raising [Invalid_argument] — the historical behaviour. *)
-
-val host_source_exn : ?partition:Sf_mapping.Partition.t -> Sf_ir.Program.t -> string
-(** {!host_source}, raising [Invalid_argument] — the historical behaviour. *)
-
 val float_literal : float -> string
 (** C float literal rendering shared by the backends. *)
 

@@ -249,7 +249,3 @@ let generate (p : Program.t) =
       with Invalid_argument m | Failure m ->
         Error [ Diag.errorf ~code:Diag.Code.codegen "code generation failed: %s" m ])
   | Error msgs -> Error (List.map (Diag.error ~code:Diag.Code.validation) msgs)
-
-let generate_exn (p : Program.t) =
-  Program.validate_exn p;
-  generate_unchecked p

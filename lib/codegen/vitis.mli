@@ -16,7 +16,4 @@ val generate : Sf_ir.Program.t -> (string, Sf_support.Diag.t list) result
     and the [dataflow] top function). Validation problems surface as
     [SF0301] diagnostics; internal lowering failures as [SF0601]. *)
 
-val generate_exn : Sf_ir.Program.t -> string
-(** {!generate}, raising [Invalid_argument] — the historical behaviour. *)
-
 val top_function_name : Sf_ir.Program.t -> string

@@ -57,11 +57,13 @@ module Executor = Sf_support.Executor
 module Ctx = Sf_toolchain.Ctx
 module Pass_manager = Sf_toolchain.Pass_manager
 module Passes = Sf_toolchain.Passes
+module Cache = Sf_toolchain.Cache
+module Service = Sf_toolchain.Service
+module Fingerprint = Sf_support.Fingerprint
+module Store = Sf_support.Store
 
 let load_file = Program_json.of_file
 let load_string source = Program_json.of_string source
-let load_file_exn = Program_json.of_file_exn
-let load_string_exn = Program_json.of_string_exn
 
 type report = {
   program : Program.t;
@@ -102,7 +104,6 @@ let run ?device ?fuse ?simulate ?validate ?sim_config ?inputs program =
   | Error ds -> invalid_arg (String.concat "; " (List.map Diag.to_string ds))
 
 let codegen ?partition program = Opencl.generate ?partition program
-let codegen_exn ?partition program = Opencl.generate_exn ?partition program
 
 let pp_report fmt r =
   Format.fprintf fmt "program %s: %d stencil(s) over %d device(s)@." r.program.Program.name

@@ -78,6 +78,10 @@ module Executor = Sf_support.Executor
 module Ctx = Sf_toolchain.Ctx
 module Pass_manager = Sf_toolchain.Pass_manager
 module Passes = Sf_toolchain.Passes
+module Cache = Sf_toolchain.Cache
+module Service = Sf_toolchain.Service
+module Fingerprint = Sf_support.Fingerprint
+module Store = Sf_support.Store
 
 (** {1 End-to-end driver (Sec. VII)} *)
 
@@ -86,12 +90,6 @@ val load_file : string -> (Program.t, Diag.t list) result
     coded diagnostics (see {!Diag} and docs/PIPELINE.md). *)
 
 val load_string : string -> (Program.t, Diag.t list) result
-
-val load_file_exn : string -> Program.t
-(** {!load_file}, raising [Program_json.Format_error] — the historical
-    behaviour. *)
-
-val load_string_exn : string -> Program.t
 
 type report = {
   program : Program.t;  (** After optimization. *)
@@ -144,8 +142,6 @@ val run :
 
 val codegen :
   ?partition:Partition.t -> Program.t -> (Opencl.artifact list, Diag.t list) result
-
-val codegen_exn : ?partition:Partition.t -> Program.t -> Opencl.artifact list
 
 val pp_report : Format.formatter -> report -> unit
 (** Human-readable summary; the expected-cycle label reads [C = L + N/W]

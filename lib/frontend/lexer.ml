@@ -27,8 +27,6 @@ type token =
 
 type spanned = { token : token; line : int; col : int }
 
-exception Lex_error of string
-
 module Diag = Sf_support.Diag
 
 (* Internal: carries the located diagnostic to the [tokenize] boundary. *)
@@ -147,15 +145,6 @@ let tokenize_located src =
 
 let tokenize src =
   match tokenize_located src with ts -> Ok ts | exception Located d -> Error d
-
-let diag_message d =
-  match d.Diag.span with
-  | Some s when s.Diag.line > 0 ->
-      Printf.sprintf "line %d, column %d: %s" s.Diag.line s.Diag.col d.Diag.message
-  | Some _ | None -> d.Diag.message
-
-let tokenize_exn src =
-  match tokenize src with Ok ts -> ts | Error d -> raise (Lex_error (diag_message d))
 
 let token_to_string = function
   | Number f -> Printf.sprintf "number %g" f

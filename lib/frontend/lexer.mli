@@ -32,15 +32,9 @@ type token =
 
 type spanned = { token : token; line : int; col : int }
 
-exception Lex_error of string
-
 val tokenize : string -> (spanned list, Sf_support.Diag.t) result
 (** Lex a full source string; the result always ends with [Eof]. Comments
     ([// ...] to end of line) and whitespace are skipped. Failures are
     located diagnostics with code [SF0101]. *)
-
-val tokenize_exn : string -> spanned list
-(** Like {!tokenize}; raises {!Lex_error} with the position folded into
-    the message (the historical behaviour). *)
 
 val token_to_string : token -> string

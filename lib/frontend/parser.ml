@@ -1,8 +1,6 @@
 open Sf_ir
 module Diag = Sf_support.Diag
 
-exception Syntax_error of string
-
 (* Internal: carries the located diagnostic to the public boundary. *)
 exception Located of Diag.t
 
@@ -173,23 +171,7 @@ let with_state src f =
   result
 
 let located f = match f () with v -> Ok v | exception Located d -> Error d
-
-(* Historical exception behaviour: lexical diagnostics raise [Lex_error],
-   everything else [Syntax_error], both with the position in the message. *)
-let raise_diag d =
-  let msg =
-    match d.Diag.span with
-    | Some s when s.Diag.line > 0 ->
-        Printf.sprintf "line %d, column %d: %s" s.Diag.line s.Diag.col d.Diag.message
-    | Some _ | None -> d.Diag.message
-  in
-  if String.equal d.Diag.code Diag.Code.lex then raise (Lexer.Lex_error msg)
-  else raise (Syntax_error msg)
-
-let run_exn f = match located f with Ok v -> v | Error d -> raise_diag d
-
 let parse_expr src = located (fun () -> with_state src parse_ternary)
-let parse_expr_exn src = run_exn (fun () -> with_state src parse_ternary)
 
 let parse_assignments_state st =
   let rec stmts acc =
@@ -212,7 +194,6 @@ let parse_assignments_state st =
   stmts []
 
 let parse_assignments src = located (fun () -> with_state src parse_assignments_state)
-let parse_assignments_exn src = run_exn (fun () -> with_state src parse_assignments_state)
 
 let parse_body_located ~output src =
   (* Heuristic: code containing an assignment at the start is a statement
@@ -237,7 +218,6 @@ let parse_body_located ~output src =
   end
 
 let parse_body ~output src = located (fun () -> parse_body_located ~output src)
-let parse_body_exn ~output src = run_exn (fun () -> parse_body_located ~output src)
 
 let resolve_idents ~scalar expr =
   let rec go expr =

@@ -16,8 +16,6 @@
     Bare identifiers parse to [Expr.Var]; {!resolve_idents} later rewrites
     those naming scalar (0-dimensional) fields into zero-offset accesses. *)
 
-exception Syntax_error of string
-
 val parse_expr : string -> (Sf_ir.Expr.t, Sf_support.Diag.t) result
 (** Parse a single expression. Failures are located diagnostics — code
     [SF0102], or [SF0101] when lexing already failed. *)
@@ -30,13 +28,6 @@ val parse_body : output:string -> string -> (Sf_ir.Expr.body, Sf_support.Diag.t)
 (** Parse stencil code. Either a bare expression, or a statement list in
     which the assignment to [output] (which must be the final statement)
     provides the result and the preceding assignments become lets. *)
-
-val parse_expr_exn : string -> Sf_ir.Expr.t
-(** {!parse_expr}, raising {!Syntax_error} (or {!Lexer.Lex_error}) with
-    the position folded into the message — the historical behaviour. *)
-
-val parse_assignments_exn : string -> (string * Sf_ir.Expr.t) list
-val parse_body_exn : output:string -> string -> Sf_ir.Expr.body
 
 val resolve_idents : scalar:(string -> bool) -> Sf_ir.Expr.t -> Sf_ir.Expr.t
 (** Rewrite [Var v] into [Access {field = v; offsets = []}] whenever

@@ -2,8 +2,6 @@ module Json = Sf_support.Json
 module Diag = Sf_support.Diag
 open Sf_ir
 
-exception Format_error of string
-
 (* Internal: carries the structured diagnostic to the public boundary. *)
 exception Fail of Diag.t
 
@@ -136,19 +134,6 @@ let of_file path =
   match Json.parse_file path with
   | Ok j -> of_json ~file:path j
   | Error e -> json_error ~file:path e
-
-let first_message = function
-  | d :: _ -> Diag.to_string d
-  | [] -> "unknown program format error"
-
-let of_json_exn json =
-  match of_json json with Ok p -> p | Error ds -> raise (Format_error (first_message ds))
-
-let of_string_exn s =
-  match of_string s with Ok p -> p | Error ds -> raise (Format_error (first_message ds))
-
-let of_file_exn path =
-  match of_file path with Ok p -> p | Error ds -> raise (Format_error (first_message ds))
 
 let encode_field f =
   let members = [ ("dtype", Json.String (Dtype.name f.Field.dtype)) ] in

@@ -26,8 +26,6 @@
     Bare identifiers in stencil code that name scalar inputs are resolved
     to 0-offset accesses. Object member order defines stencil order. *)
 
-exception Format_error of string
-
 val of_json :
   ?file:string -> Sf_support.Json.t -> (Sf_ir.Program.t, Sf_support.Diag.t list) result
 (** Decode and validate. Failures are structured diagnostics: decode
@@ -41,12 +39,6 @@ val of_string : ?file:string -> string -> (Sf_ir.Program.t, Sf_support.Diag.t li
 
 val of_file : string -> (Sf_ir.Program.t, Sf_support.Diag.t list) result
 (** {!of_string} on a file's contents; I/O failures yield [SF0204]. *)
-
-val of_json_exn : Sf_support.Json.t -> Sf_ir.Program.t
-(** Raises {!Format_error} with the first diagnostic's rendering. *)
-
-val of_string_exn : string -> Sf_ir.Program.t
-val of_file_exn : string -> Sf_ir.Program.t
 
 val to_json : Sf_ir.Program.t -> Sf_support.Json.t
 (** Encode; decoding the result yields an equivalent program. *)

@@ -174,3 +174,116 @@ let pp fmt t =
       Format.fprintf fmt "@.")
     t.stencils;
   Format.fprintf fmt "  outputs: %s" (String.concat ", " t.outputs)
+
+(* Content fingerprints (the cache keys of lib/toolchain/cache).
+
+   The body digest walks the hash-consed DAG with a memo table keyed on
+   node ids, so every shared subexpression is digested exactly once and
+   the digest is a pure function of the body's structure: stable across
+   processes, alpha-sensitive on let names (matching [Expr.equal_body]),
+   and IEEE-bit-exact on constants (matching the interning discipline of
+   [Dag]). *)
+module F = Sf_support.Fingerprint
+
+let unop_tag = function Expr.Neg -> 0 | Expr.Not -> 1
+
+let binop_tag = function
+  | Expr.Add -> 0
+  | Expr.Sub -> 1
+  | Expr.Mul -> 2
+  | Expr.Div -> 3
+  | Expr.Lt -> 4
+  | Expr.Le -> 5
+  | Expr.Gt -> 6
+  | Expr.Ge -> 7
+  | Expr.Eq -> 8
+  | Expr.Ne -> 9
+  | Expr.And -> 10
+  | Expr.Or -> 11
+
+let dtype_tag = function Dtype.F32 -> 0 | Dtype.F64 -> 1 | Dtype.I32 -> 2 | Dtype.I64 -> 3
+
+let body_fingerprint (b : Expr.body) =
+  let memo = Hashtbl.create 64 in
+  let rec fp node =
+    match Hashtbl.find_opt memo (Dag.id node) with
+    | Some d -> d
+    | None ->
+        let child st n = F.add_fingerprint st (fp n) in
+        let d =
+          F.digest (fun st ->
+              match Dag.view node with
+              | Dag.Const c ->
+                  F.add_int st 0;
+                  F.add_float st c
+              | Dag.Access { field; offsets } ->
+                  F.add_int st 1;
+                  F.add_string st field;
+                  F.add_list st F.add_int offsets
+              | Dag.Var v ->
+                  F.add_int st 2;
+                  F.add_string st v
+              | Dag.Unary (op, a) ->
+                  F.add_int st 3;
+                  F.add_int st (unop_tag op);
+                  child st a
+              | Dag.Binary (op, a, b) ->
+                  F.add_int st 4;
+                  F.add_int st (binop_tag op);
+                  child st a;
+                  child st b
+              | Dag.Select { cond; if_true; if_false } ->
+                  F.add_int st 5;
+                  child st cond;
+                  child st if_true;
+                  child st if_false
+              | Dag.Call (fn, args) ->
+                  F.add_int st 6;
+                  F.add_string st (Expr.func_name fn);
+                  F.add_list st child args)
+        in
+        Hashtbl.add memo (Dag.id node) d;
+        d
+  in
+  let lets, root = Dag.of_body_named b in
+  F.digest (fun st ->
+      F.add_list st
+        (fun st (name, node) ->
+          F.add_string st name;
+          F.add_fingerprint st (fp node))
+        lets;
+      F.add_fingerprint st (fp root))
+
+let boundary_fp st = function
+  | Boundary.Constant c ->
+      F.add_int st 0;
+      F.add_float st c
+  | Boundary.Copy -> F.add_int st 1
+
+let stencil_fingerprint (s : Stencil.t) =
+  F.digest (fun st ->
+      F.add_string st s.Stencil.name;
+      F.add_fingerprint st (body_fingerprint s.Stencil.body);
+      F.add_list st
+        (fun st (field, b) ->
+          F.add_string st field;
+          boundary_fp st b)
+        s.Stencil.boundary;
+      F.add_bool st s.Stencil.shrink)
+
+let field_fp st (f : Field.t) =
+  F.add_string st f.Field.name;
+  F.add_int st (dtype_tag f.Field.dtype);
+  F.add_list st F.add_int f.Field.axes
+
+let fingerprint t =
+  F.digest (fun st ->
+      F.add_string st t.name;
+      F.add_list st F.add_int t.shape;
+      F.add_int st (dtype_tag t.dtype);
+      F.add_int st t.vector_width;
+      F.add_list st field_fp t.inputs;
+      F.add_list st F.add_string t.outputs;
+      F.add_list st
+        (fun st s -> F.add_fingerprint st (stencil_fingerprint s))
+        t.stencils)

@@ -70,3 +70,14 @@ val topological_stencils : t -> Stencil.t list
 val with_vector_width : t -> int -> t
 val pp : Format.formatter -> t -> unit
 (** Human-readable multi-line summary. *)
+
+val body_fingerprint : Expr.body -> Sf_support.Fingerprint.t
+(** Structural content digest of a stencil body, computed over the
+    hash-consed DAG so shared subexpressions are digested once.
+    Agrees with [Expr.equal_body]: equal bodies digest equal; any
+    semantic change (constant bit-flip, operator, access offset,
+    let name) digests different. *)
+
+val fingerprint : t -> Sf_support.Fingerprint.t
+(** Content digest of the whole program — the cache key component used
+    by the content-addressed pass cache (see docs/PIPELINE.md). *)

@@ -34,3 +34,19 @@ let bytes_per_cycle d = d.peak_bandwidth /. d.frequency_hz
 
 let link_bytes_per_cycle d =
   float_of_int d.links_per_hop *. d.link_bytes_per_s /. d.frequency_hz
+
+let fingerprint d =
+  let module F = Sf_support.Fingerprint in
+  F.digest (fun st ->
+      F.add_string st d.name;
+      F.add_int st d.alm;
+      F.add_int st d.ff;
+      F.add_int st d.m20k;
+      F.add_int st d.dsp;
+      F.add_float st d.frequency_hz;
+      F.add_float st d.peak_bandwidth;
+      F.add_float st d.scalar_bw_cap;
+      F.add_float st d.vector_bw_cap;
+      F.add_int st d.links_per_hop;
+      F.add_float st d.link_bytes_per_s;
+      F.add_float st d.die_area_mm2)

@@ -37,3 +37,7 @@ val bytes_per_cycle : t -> float
 
 val link_bytes_per_cycle : t -> float
 (** Combined network bytes per cycle between adjacent devices. *)
+
+val fingerprint : t -> Sf_support.Fingerprint.t
+(** Content digest over every field — a cache key component for passes
+    that read the device model (partitioning, performance model). *)

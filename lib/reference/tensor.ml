@@ -110,3 +110,10 @@ let slice t ~origin ~extent =
 let blit_region ~src ~src_origin ~dst ~dst_origin ~extent =
   iterate_region extent (fun idx ->
       set dst (List.map2 ( + ) dst_origin idx) (get src (List.map2 ( + ) src_origin idx)))
+
+let fingerprint t =
+  let module F = Sf_support.Fingerprint in
+  F.digest (fun st ->
+      F.add_list st F.add_int t.extent;
+      F.add_int st (Array.length t.data);
+      Array.iter (F.add_float st) t.data)

@@ -44,3 +44,7 @@ val slice : t -> origin:int list -> extent:int list -> t
 val blit_region :
   src:t -> src_origin:int list -> dst:t -> dst_origin:int list -> extent:int list -> unit
 (** Copy a rectangular region between tensors of equal rank. *)
+
+val fingerprint : t -> Sf_support.Fingerprint.t
+(** Content digest of extent and data (IEEE bit patterns), used to key
+    simulation results on their input tensors. *)

@@ -53,8 +53,6 @@ type entry = {
   verified : bool option;
 }
 
-exception Verification_failed of string
-
 let flops_per_cell p = (Sf_analysis.Op_count.of_program p).Sf_analysis.Op_count.flops_per_cell
 let latency p = (Sf_analysis.Delay_buffer.analyze p).Sf_analysis.Delay_buffer.latency_cycles
 
@@ -171,15 +169,6 @@ let run ?(verify = true) ?(max_probe_cells = 65536) passes program =
   with
   | result -> Ok result
   | exception Failed ds -> Error ds
-
-let run_exn ?verify ?max_probe_cells passes program =
-  match run ?verify ?max_probe_cells passes program with
-  | Ok result -> result
-  | Error (d :: _ as ds) ->
-      if String.equal d.Diag.code Diag.Code.pass_verification then
-        raise (Verification_failed d.Diag.message)
-      else invalid_arg (String.concat "; " (List.map Diag.to_string ds))
-  | Error [] -> invalid_arg "optimization pipeline failed"
 
 let default_pipeline = [ fuse (); fold_and_cse () ]
 

@@ -53,9 +53,6 @@ type entry = {
           too large, or no interior cells). *)
 }
 
-exception Verification_failed of string
-(** Raised by {!run_exn} when a verified pass changes interior results. *)
-
 val run :
   ?verify:bool -> ?max_probe_cells:int -> pass list -> Sf_ir.Program.t ->
   (Sf_ir.Program.t * entry list, Sf_support.Diag.t list) result
@@ -64,12 +61,6 @@ val run :
     skipping programs larger than [max_probe_cells] (default 65536).
     Failures are diagnostics: validation problems [SF0301], a pass
     raising [SF0302], and a verification mismatch [SF0801]. *)
-
-val run_exn :
-  ?verify:bool -> ?max_probe_cells:int -> pass list -> Sf_ir.Program.t ->
-  Sf_ir.Program.t * entry list
-(** {!run}, raising {!Verification_failed} on a probe mismatch and
-    [Invalid_argument] otherwise — the historical behaviour. *)
 
 val default_pipeline : pass list
 (** The paper's experiment configuration: aggressive fusion followed by

@@ -61,6 +61,48 @@ module Config = struct
     }
 
   let default = make ()
+
+  module F = Sf_support.Fingerprint
+
+  let latency_fingerprint (l : Sf_analysis.Latency.config) =
+    F.digest (fun st ->
+        List.iter (F.add_int st)
+          [
+            l.Sf_analysis.Latency.add;
+            l.mul;
+            l.div;
+            l.sqrt;
+            l.compare;
+            l.logic;
+            l.select;
+            l.call;
+            l.min_max;
+          ])
+
+  let fingerprint (c : t) =
+    F.digest (fun st ->
+        F.add_fingerprint st (latency_fingerprint c.latency);
+        F.add_int st c.channel_slack;
+        F.add_list st
+          (fun st ((src, dst), n) ->
+            F.add_string st src;
+            F.add_string st dst;
+            F.add_int st n)
+          c.override_edge_buffers;
+        F.add_float st c.bandwidth.mem_bytes_per_cycle;
+        F.add_int st c.bandwidth.writer_buffer;
+        F.add_float st c.network.net_bytes_per_cycle;
+        F.add_int st c.network.net_latency_cycles;
+        F.add_int st c.safety.deadlock_window;
+        F.add_option st F.add_int c.safety.max_cycles;
+        F.add_option st F.add_int c.tracing.trace_interval;
+        F.add_bool st c.tracing.telemetry;
+        F.add_int st (match c.parallelism.mode with `Sequential -> 0 | `Domains_per_device -> 1);
+        F.add_int st c.parallelism.window_cycles;
+        F.add_int st c.parallelism.sync_batch_cycles;
+        F.add_int st c.parallelism.host_jobs;
+        F.add_option st (fun st p -> F.add_string st (Fault_plan.to_string p)) c.faults.plan;
+        F.add_int st c.faults.fault_seed)
 end
 
 type config = Config.t

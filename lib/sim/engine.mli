@@ -161,6 +161,16 @@ module Config : sig
 
   val default : t
   (** [make ()]. *)
+
+  val latency_fingerprint : Sf_analysis.Latency.config -> Sf_support.Fingerprint.t
+  (** Content digest of just the operator-latency table — the part of
+      the config that delay-buffer analysis and the performance model
+      actually read, so cache keys for those passes ignore unrelated
+      simulation knobs (seed, safety limits, tracing). *)
+
+  val fingerprint : t -> Sf_support.Fingerprint.t
+  (** Content digest over every field (fault plans via their canonical
+      [Fault_plan.to_string] rendering). *)
 end
 
 type config = Config.t

@@ -3,9 +3,10 @@
     Every layer reports failures as values of {!t} instead of ad-hoc
     string exceptions: a severity, a stable error code (the table below),
     an optional source span, a message, and attached notes. Fallible
-    entry points follow the [('a, t list) result] idiom; thin [_exn]
-    wrappers retain the historical exception behaviour for callers that
-    want it.
+    entry points follow the [('a, t list) result] idiom throughout; the
+    few remaining [_exn] entry points (e.g. [Engine.run_exn]) are
+    conveniences for infallible-by-construction call sites, not a
+    parallel API surface.
 
     {2 Stable diagnostic codes}
 

@@ -1,0 +1,60 @@
+(* Content digests over a canonical tagged serialization, hashed with
+   the stdlib MD5 (Digest). MD5 is not collision-resistant against an
+   adversary, but the cache only ever faces its own serializations;
+   128 bits against accidental collision is ample. *)
+
+type t = string (* raw 16-byte MD5 *)
+
+let equal = String.equal
+let compare = String.compare
+let to_hex = Digest.to_hex
+
+type state = Buffer.t
+
+let create () = Buffer.create 256
+
+(* Every component is tagged with a one-byte kind and, for variable
+   length payloads, length-prefixed, so component boundaries are
+   unambiguous in the byte stream. *)
+let add_string st s =
+  Buffer.add_char st 's';
+  Buffer.add_string st (string_of_int (String.length s));
+  Buffer.add_char st ':';
+  Buffer.add_string st s
+
+let add_int st n =
+  Buffer.add_char st 'i';
+  Buffer.add_string st (string_of_int n);
+  Buffer.add_char st ';'
+
+let add_float st f =
+  Buffer.add_char st 'f';
+  Buffer.add_int64_le st (Int64.bits_of_float f)
+
+let add_bool st b = Buffer.add_char st (if b then 'T' else 'F')
+
+let add_option st add = function
+  | None -> Buffer.add_char st 'N'
+  | Some v ->
+      Buffer.add_char st 'S';
+      add st v
+
+let add_list st add xs =
+  Buffer.add_char st 'l';
+  Buffer.add_string st (string_of_int (List.length xs));
+  Buffer.add_char st ':';
+  List.iter (add st) xs
+
+let add_fingerprint st (fp : t) =
+  Buffer.add_char st 'd';
+  Buffer.add_string st fp
+
+let finish st = Digest.string (Buffer.contents st)
+
+let digest f =
+  let st = create () in
+  f st;
+  finish st
+
+let of_string s = digest (fun st -> add_string st s)
+let combine fps = digest (fun st -> add_list st add_fingerprint fps)

@@ -1,0 +1,50 @@
+(** Canonical content digests for the artifact cache.
+
+    A fingerprint is a short stable digest of a value's {e content}:
+    structurally equal values fingerprint equal, any semantic change
+    fingerprints different (up to hash collisions), and the digest is
+    stable across processes and sessions — the property the
+    content-addressed pass cache (see docs/PIPELINE.md) is keyed on.
+
+    Values are folded into a {!state} through typed combinators that
+    tag-and-length-prefix every component, so no two distinct
+    serializations collide by concatenation ambiguity (["ab"; "c"] vs
+    ["a"; "bc"]). Floats are digested on their IEEE-754 bit pattern:
+    NaN payloads and [-0.0] vs [0.0] are distinct, matching the
+    hash-consing discipline of {!Sf_ir.Dag}. *)
+
+type t
+(** An opaque digest. Total ordering and equality are structural. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_hex : t -> string
+(** 32 lowercase hex characters — the on-disk store key. *)
+
+(** {2 One-shot digests} *)
+
+val of_string : string -> t
+(** Digest raw bytes. *)
+
+val combine : t list -> t
+(** Digest of a list of digests (order-sensitive). *)
+
+(** {2 Incremental digesting} *)
+
+type state
+
+val create : unit -> state
+val add_string : state -> string -> unit
+val add_int : state -> int -> unit
+val add_float : state -> float -> unit
+(** IEEE-754 bit pattern, so [-0.0], [0.0] and distinct NaNs differ. *)
+
+val add_bool : state -> bool -> unit
+val add_option : state -> (state -> 'a -> unit) -> 'a option -> unit
+val add_list : state -> (state -> 'a -> unit) -> 'a list -> unit
+val add_fingerprint : state -> t -> unit
+val finish : state -> t
+(** The digest of everything added so far. The state must not be reused. *)
+
+val digest : (state -> unit) -> t
+(** [digest f] is [create]/[f]/[finish] in one step. *)

@@ -1,0 +1,81 @@
+type t = { dir : string; version : string }
+
+(* Bumped whenever the serialized artifact format changes shape; stale
+   blobs are then ignored rather than misread. *)
+let default_version = "sf-store-1"
+
+let open_ ?(version = default_version) dir = { dir; version }
+let version t = t.version
+let dir t = t.dir
+
+(* Keys come from Fingerprint.to_hex; reject anything else so a
+   malicious or corrupted key can never escape the store root. *)
+let valid_key key =
+  String.length key >= 2
+  && String.for_all (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false) key
+
+let blob_path t ~key =
+  Filename.concat (Filename.concat t.dir (String.sub key 0 2)) (key ^ ".blob")
+
+let mkdir_p dir =
+  let rec go dir =
+    if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let find t ~key =
+  if not (valid_key key) then `Absent
+  else
+    let path = blob_path t ~key in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ -> `Absent
+    | content -> (
+        match String.index_opt content '\n' with
+        | None -> `Stale
+        | Some nl ->
+            if String.equal (String.sub content 0 nl) t.version then
+              `Found (String.sub content (nl + 1) (String.length content - nl - 1))
+            else `Stale)
+
+let put t ~key payload =
+  valid_key key
+  &&
+  let path = blob_path t ~key in
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  match
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc t.version;
+        Out_channel.output_char oc '\n';
+        Out_channel.output_string oc payload)
+  with
+  | exception Sys_error _ -> false
+  | () -> (
+      try
+        Sys.rename tmp path;
+        true
+      with Sys_error _ ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        false)
+
+let clear t =
+  let removed = ref 0 in
+  let subdirs = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.iter
+    (fun sub ->
+      let subpath = Filename.concat t.dir sub in
+      if try Sys.is_directory subpath with Sys_error _ -> false then
+        Array.iter
+          (fun file ->
+            if Filename.check_suffix file ".blob" then begin
+              try
+                Sys.remove (Filename.concat subpath file);
+                incr removed
+              with Sys_error _ -> ()
+            end)
+          (try Sys.readdir subpath with Sys_error _ -> [||]))
+    subdirs;
+  !removed

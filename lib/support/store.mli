@@ -1,0 +1,35 @@
+(** On-disk content-addressed blob store.
+
+    Backs the in-memory artifact cache (see docs/PIPELINE.md): blobs are
+    keyed by a fingerprint's hex digest and laid out two-level
+    ([dir/ab/abcdef....blob]) to keep directories small. Every blob is
+    written with a version header; reading a blob whose header does not
+    match the store's version reports [`Stale] instead of returning
+    bytes that a different schema produced. Writes are atomic (temp file
+    + rename), so a crashed or concurrent writer can never leave a
+    torn blob behind. All I/O failures degrade to misses — the store is
+    an accelerator, never a correctness dependency. *)
+
+type t
+
+val open_ : ?version:string -> string -> t
+(** Open (creating directories as needed is deferred to {!put}) a store
+    rooted at the given directory. [version] defaults to the library's
+    cache schema version; bump it whenever the serialized artifact
+    format changes. *)
+
+val version : t -> string
+val dir : t -> string
+
+val find : t -> key:string -> [ `Found of string | `Absent | `Stale ]
+(** Look a blob up by hex key. [`Stale] means a blob exists but its
+    version header does not match {!version} (it is left on disk;
+    {!clear} removes it). Malformed keys and I/O failures are
+    [`Absent]. *)
+
+val put : t -> key:string -> string -> bool
+(** Write a blob atomically. Returns false (and writes nothing) on I/O
+    failure or a malformed key; the cache then simply stays in-memory. *)
+
+val clear : t -> int
+(** Delete every blob (any version). Returns the number removed. *)

@@ -1,0 +1,156 @@
+module F = Sf_support.Fingerprint
+module Store = Sf_support.Store
+module Diag = Sf_support.Diag
+
+type binding = B : 'a Ctx.slot * 'a -> binding
+type entry = { bindings : binding list; diags : Diag.t list }
+
+(* LRU bookkeeping: each record carries the logical time of its last
+   use; eviction scans for the minimum. Capacities are small (hundreds),
+   so the O(n) scan is cheaper than maintaining an intrusive list. *)
+type record = { mutable last_use : int; entry : entry }
+
+type t = {
+  capacity : int;
+  table : (F.t, record) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+  mutable evictions : int;
+  store : Store.t option;
+}
+
+let create ?(capacity = 128) () =
+  {
+    capacity = max 1 capacity;
+    table = Hashtbl.create 64;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    stale = 0;
+    evictions = 0;
+    store = None;
+  }
+
+let with_store t store = { t with store = Some store }
+
+let absent_marker = F.of_string "<absent>"
+
+let key ~pass_name ~options_fp ~reads ctx =
+  let read_fp slot =
+    match Ctx.slot_fingerprint ctx slot with Some fp -> fp | None -> absent_marker
+  in
+  F.combine
+    (F.of_string pass_name
+    :: (match options_fp with Some fp -> fp | None -> absent_marker)
+    :: List.map read_fp reads)
+
+(* Disk format: a marshalled [(slot_name, marshalled value) list * Diag.t
+   list]. The outer structure is versioned by the store header; the
+   per-value bytes are reattached to their typed slot by name, which is
+   the one place the module must trust the schema version ([Obj.magic]).
+   Every failure mode — unknown slot, truncated bytes, incompatible
+   marshal — lands in the [with] and is accounted as stale. *)
+let serialize entry =
+  try
+    let bindings =
+      List.map (fun (B (slot, v)) -> (slot.Ctx.slot_name, Marshal.to_string v [])) entry.bindings
+    in
+    Some (Marshal.to_string (bindings, entry.diags) [])
+  with _ -> None
+
+let deserialize payload =
+  try
+    let bindings, diags = (Marshal.from_string payload 0 : (string * string) list * Diag.t list) in
+    let bind (name, bytes) =
+      match Ctx.find_slot name with
+      | None -> raise Exit
+      | Some (Ctx.P slot) -> B (slot, Obj.magic (Marshal.from_string bytes 0))
+    in
+    Some { bindings = List.map bind bindings; diags }
+  with _ -> None
+
+let touch t record =
+  t.tick <- t.tick + 1;
+  record.last_use <- t.tick
+
+let insert_memory t key entry =
+  if not (Hashtbl.mem t.table key) then begin
+    if Hashtbl.length t.table >= t.capacity then begin
+      let victim =
+        Hashtbl.fold
+          (fun k r acc ->
+            match acc with
+            | Some (_, best) when best.last_use <= r.last_use -> acc
+            | _ -> Some (k, r))
+          t.table None
+      in
+      match victim with
+      | Some (k, _) ->
+          Hashtbl.remove t.table k;
+          t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    let record = { last_use = 0; entry } in
+    touch t record;
+    Hashtbl.add t.table key record
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some record ->
+      touch t record;
+      t.hits <- t.hits + 1;
+      Some record.entry
+  | None -> (
+      match t.store with
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+      | Some store -> (
+          match Store.find store ~key:(F.to_hex key) with
+          | `Absent ->
+              t.misses <- t.misses + 1;
+              None
+          | `Stale ->
+              t.stale <- t.stale + 1;
+              None
+          | `Found payload -> (
+              match deserialize payload with
+              | None ->
+                  t.stale <- t.stale + 1;
+                  None
+              | Some entry ->
+                  insert_memory t key entry;
+                  t.hits <- t.hits + 1;
+                  Some entry)))
+
+let add t key entry =
+  insert_memory t key entry;
+  match t.store with
+  | None -> ()
+  | Some store -> (
+      match serialize entry with
+      | None -> ()
+      | Some payload -> ignore (Store.put store ~key:(F.to_hex key) payload))
+
+type stats = { hits : int; misses : int; stale : int; evictions : int; entries : int }
+
+let stats (c : t) =
+  {
+    hits = c.hits;
+    misses = c.misses;
+    stale = c.stale;
+    evictions = c.evictions;
+    entries = Hashtbl.length c.table;
+  }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.stale <- 0;
+  t.evictions <- 0;
+  match t.store with None -> () | Some store -> ignore (Store.clear store)

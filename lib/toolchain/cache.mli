@@ -1,0 +1,62 @@
+(** Content-addressed cache of pass executions.
+
+    A cache entry records what one pass produced — the values of its
+    declared write slots plus the diagnostics it emitted — keyed by a
+    digest of everything the execution could depend on: the pass name,
+    a fingerprint of its options, and the fingerprints of its read
+    slots (see {!key}). Two executions with equal keys are guaranteed
+    (up to hash collisions) to produce identical artifacts, so
+    {!Pass_manager.run} can replay the entry instead of running the
+    pass.
+
+    Entries live in a bounded in-memory LRU; with {!with_store} they
+    are additionally written through to an on-disk {!Sf_support.Store},
+    so a fresh process (or the [serve] daemon after a restart) starts
+    warm. Disk blobs are [Marshal]-serialized per slot and guarded by
+    the store's schema version; any deserialization failure counts as
+    [stale] and falls back to executing the pass — the cache is an
+    accelerator, never a correctness dependency. *)
+
+type binding = B : 'a Ctx.slot * 'a -> binding
+(** One write-slot value captured from a pass execution. *)
+
+type entry = {
+  bindings : binding list;  (** Write slots, in declaration order. *)
+  diags : Sf_support.Diag.t list;
+      (** Diagnostics the execution appended, replayed on a hit. *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** In-memory LRU holding at most [capacity] entries (default 128). *)
+
+val with_store : t -> Sf_support.Store.t -> t
+(** Same cache, write-through to (and read-miss fallback from) [store]. *)
+
+val key :
+  pass_name:string ->
+  options_fp:Sf_support.Fingerprint.t option ->
+  reads:Ctx.packed list ->
+  Ctx.t ->
+  Sf_support.Fingerprint.t
+(** The cache key of executing [pass_name] (with options digesting to
+    [options_fp]) against the current content of [reads] in [ctx].
+    Absent read slots contribute a distinct absence marker, so "ran
+    before the artifact existed" and "ran against artifact X" never
+    collide. *)
+
+val find : t -> Sf_support.Fingerprint.t -> entry option
+(** Memory first, then the store (a disk hit is promoted to memory).
+    Updates the hit/miss/stale counters. *)
+
+val add : t -> Sf_support.Fingerprint.t -> entry -> unit
+(** Insert, evicting the least-recently-used entry when full, and write
+    through to the store when one is attached. *)
+
+type stats = { hits : int; misses : int; stale : int; evictions : int; entries : int }
+
+val stats : t -> stats
+val clear : t -> unit
+(** Drop every in-memory entry and delete the store's blobs; counters
+    are reset. *)

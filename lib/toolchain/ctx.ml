@@ -43,12 +43,18 @@ let create ?(device = Sf_models.Device.stratix10) ?(sim_config = Engine.Config.d
     diags = [];
   }
 
-(* A new program version invalidates everything derived from the old one;
-   reports about how it was produced (fusion, pipeline entries) stay. *)
+(* A new program version invalidates everything derived from the old one,
+   including the optimizer report and embedded-pipeline entries — stale
+   reports would otherwise leak into cache keys. Only the fusion report
+   survives: it describes how the current program came to be, not a
+   property of a superseded version, and passes that produce a new
+   report install it right after the swap. *)
 let with_program ctx p =
   {
     ctx with
     program = Some p;
+    opt = None;
+    pipeline_entries = [];
     analysis = None;
     partition = None;
     kernels = [];
@@ -136,6 +142,30 @@ let fmt_to_string pp v =
   Format.pp_print_flush fmt ();
   Buffer.contents buf
 
+(* Deterministic textual renderings, shared between [artifact_files] and
+   the report slots' fingerprints. *)
+let fusion_text (r : Sf_sdfg.Fusion.report) =
+  Printf.sprintf "stencils %d -> %d\n%s" r.stencils_before r.stencils_after
+    (String.concat ""
+       (List.map (fun (u, v) -> Printf.sprintf "fused %s into %s\n" u v) r.fused_pairs))
+
+let opt_text (r : Sf_sdfg.Opt.report) =
+  Printf.sprintf "ops %d -> %d (tree %d)\nshared nodes %d\nflops saved by sharing %d\n"
+    r.ops_before r.ops_after r.tree_ops_after r.shared_nodes (Sf_sdfg.Opt.flops_saved r)
+
+let pipeline_text entries =
+  String.concat ""
+    (List.map (fun e -> fmt_to_string Sf_sdfg.Pipeline.pp_entry e ^ "\n") entries)
+
+let analysis_text a = fmt_to_string Sf_analysis.Delay_buffer.pp a
+let partition_text pt = fmt_to_string Sf_mapping.Partition.pp pt
+
+let simulation_text = function
+  | Ok (s : Engine.stats) ->
+      Printf.sprintf "cycles %d (predicted %d)\nbytes read %d, written %d, network %d\n"
+        s.cycles s.predicted_cycles s.bytes_read s.bytes_written s.network_bytes
+  | Error d -> Printf.sprintf "FAILED: %s\n" (Diag.to_string d)
+
 let artifact_files ctx =
   let file name content = Some (name, content) in
   List.filter_map
@@ -144,44 +174,19 @@ let artifact_files ctx =
       (match ctx.program with
       | Some p -> file "program.json" (Sf_frontend.Program_json.to_string p)
       | None -> None);
-      (match ctx.fusion with
-      | Some (r : Sf_sdfg.Fusion.report) ->
-          file "fusion.txt"
-            (Printf.sprintf "stencils %d -> %d\n%s" r.stencils_before r.stencils_after
-               (String.concat ""
-                  (List.map
-                     (fun (u, v) -> Printf.sprintf "fused %s into %s\n" u v)
-                     r.fused_pairs)))
-      | None -> None);
-      (match ctx.opt with
-      | Some (r : Sf_sdfg.Opt.report) ->
-          file "opt.txt"
-            (Printf.sprintf
-               "ops %d -> %d (tree %d)\nshared nodes %d\nflops saved by sharing %d\n"
-               r.ops_before r.ops_after r.tree_ops_after r.shared_nodes
-               (Sf_sdfg.Opt.flops_saved r))
-      | None -> None);
+      (match ctx.fusion with Some r -> file "fusion.txt" (fusion_text r) | None -> None);
+      (match ctx.opt with Some r -> file "opt.txt" (opt_text r) | None -> None);
       (match ctx.pipeline_entries with
       | [] -> None
-      | entries ->
-          file "pipeline.txt"
-            (String.concat ""
-               (List.map
-                  (fun e -> fmt_to_string Sf_sdfg.Pipeline.pp_entry e ^ "\n")
-                  entries)));
+      | entries -> file "pipeline.txt" (pipeline_text entries));
       (match ctx.analysis with
-      | Some a -> file "analysis.txt" (fmt_to_string Sf_analysis.Delay_buffer.pp a)
+      | Some a -> file "analysis.txt" (analysis_text a)
       | None -> None);
       (match ctx.partition with
-      | Some pt -> file "partition.txt" (fmt_to_string Sf_mapping.Partition.pp pt)
+      | Some pt -> file "partition.txt" (partition_text pt)
       | None -> None);
       (match ctx.simulation with
-      | Some (Ok (s : Engine.stats)) ->
-          file "simulation.txt"
-            (Printf.sprintf
-               "cycles %d (predicted %d)\nbytes read %d, written %d, network %d\n" s.cycles
-               s.predicted_cycles s.bytes_read s.bytes_written s.network_bytes)
-      | Some (Error d) -> file "simulation.txt" (Printf.sprintf "FAILED: %s\n" (Diag.to_string d))
+      | Some r -> file "simulation.txt" (simulation_text r)
       | None -> None);
       (match ctx.host_source with Some s -> file "host.c" s | None -> None);
       (match ctx.vitis_source with Some s -> file "vitis.cpp" s | None -> None);
@@ -189,3 +194,240 @@ let artifact_files ctx =
   @ List.map
       (fun (a : Sf_codegen.Opencl.artifact) -> (a.filename, a.source))
       ctx.kernels
+
+(* Typed artifact slots.
+
+   A slot names one artifact of the context, with a uniform interface to
+   read it, install it, erase it, and fingerprint its content. Passes
+   declare the slots they read and write (see {!Pass_manager.pass}); the
+   content-addressed cache keys a pass execution on the fingerprints of
+   its read slots and replays the values of its write slots on a hit.
+
+   Environment slots (device, configuration, inputs) have no [erase] —
+   they are request parameters, not pass products — so erasing them is a
+   no-op; no pass lists them as writes. *)
+
+module F = Sf_support.Fingerprint
+
+type 'a slot = {
+  slot_name : string;
+  get : t -> 'a option;
+  put : t -> 'a -> t;
+  erase : t -> t;
+  fp : 'a -> F.t;
+}
+
+type packed = P : 'a slot -> packed
+
+let program_slot =
+  {
+    slot_name = "program";
+    get = (fun ctx -> ctx.program);
+    put = with_program;
+    erase =
+      (fun ctx ->
+        {
+          ctx with
+          program = None;
+          opt = None;
+          pipeline_entries = [];
+          analysis = None;
+          partition = None;
+          kernels = [];
+          host_source = None;
+          vitis_source = None;
+          simulation = None;
+          performance_model = None;
+        });
+    fp = Program.fingerprint;
+  }
+
+let source_file_slot =
+  {
+    slot_name = "source-file";
+    get = (fun ctx -> ctx.source_file);
+    put = (fun ctx f -> { ctx with source_file = Some f });
+    erase = (fun ctx -> { ctx with source_file = None });
+    fp = F.of_string;
+  }
+
+let fusion_slot =
+  {
+    slot_name = "fusion";
+    get = (fun ctx -> ctx.fusion);
+    put = (fun ctx r -> { ctx with fusion = Some r });
+    erase = (fun ctx -> { ctx with fusion = None });
+    fp = (fun r -> F.of_string (fusion_text r));
+  }
+
+let opt_slot =
+  {
+    slot_name = "opt";
+    get = (fun ctx -> ctx.opt);
+    put = (fun ctx r -> { ctx with opt = Some r });
+    erase = (fun ctx -> { ctx with opt = None });
+    fp = (fun r -> F.of_string (opt_text r));
+  }
+
+let pipeline_entries_slot =
+  {
+    slot_name = "pipeline-entries";
+    get = (fun ctx -> match ctx.pipeline_entries with [] -> None | es -> Some es);
+    put = (fun ctx es -> { ctx with pipeline_entries = es });
+    erase = (fun ctx -> { ctx with pipeline_entries = [] });
+    fp = (fun es -> F.of_string (pipeline_text es));
+  }
+
+let analysis_slot =
+  {
+    slot_name = "analysis";
+    get = (fun ctx -> ctx.analysis);
+    put = (fun ctx a -> { ctx with analysis = Some a });
+    erase = (fun ctx -> { ctx with analysis = None });
+    fp = (fun a -> F.of_string (analysis_text a));
+  }
+
+let partition_slot =
+  {
+    slot_name = "partition";
+    get = (fun ctx -> ctx.partition);
+    put = (fun ctx pt -> { ctx with partition = Some pt });
+    erase = (fun ctx -> { ctx with partition = None });
+    fp = (fun pt -> F.of_string (partition_text pt));
+  }
+
+let kernels_slot =
+  {
+    slot_name = "kernels";
+    get = (fun ctx -> match ctx.kernels with [] -> None | ks -> Some ks);
+    put = (fun ctx ks -> { ctx with kernels = ks });
+    erase = (fun ctx -> { ctx with kernels = [] });
+    fp =
+      (fun ks ->
+        F.digest (fun st ->
+            F.add_list st
+              (fun st (a : Sf_codegen.Opencl.artifact) ->
+                F.add_int st a.device;
+                F.add_string st a.filename;
+                F.add_string st a.source)
+              ks));
+  }
+
+let host_source_slot =
+  {
+    slot_name = "host-source";
+    get = (fun ctx -> ctx.host_source);
+    put = (fun ctx s -> { ctx with host_source = Some s });
+    erase = (fun ctx -> { ctx with host_source = None });
+    fp = F.of_string;
+  }
+
+let vitis_source_slot =
+  {
+    slot_name = "vitis-source";
+    get = (fun ctx -> ctx.vitis_source);
+    put = (fun ctx s -> { ctx with vitis_source = Some s });
+    erase = (fun ctx -> { ctx with vitis_source = None });
+    fp = F.of_string;
+  }
+
+let simulation_slot =
+  {
+    slot_name = "simulation";
+    get = (fun ctx -> ctx.simulation);
+    put = (fun ctx r -> { ctx with simulation = Some r });
+    erase = (fun ctx -> { ctx with simulation = None });
+    fp =
+      (fun r ->
+        F.digest (fun st ->
+            F.add_string st (simulation_text r);
+            match r with
+            | Error _ -> ()
+            | Ok (s : Engine.stats) ->
+                F.add_list st
+                  (fun st (name, (res : Sf_reference.Interp.result)) ->
+                    F.add_string st name;
+                    F.add_fingerprint st (Sf_reference.Tensor.fingerprint res.tensor);
+                    F.add_list st F.add_bool (Array.to_list res.valid))
+                  s.results));
+  }
+
+let performance_model_slot =
+  {
+    slot_name = "performance-model";
+    get = (fun ctx -> ctx.performance_model);
+    put = (fun ctx v -> { ctx with performance_model = Some v });
+    erase = (fun ctx -> { ctx with performance_model = None });
+    fp = (fun v -> F.digest (fun st -> F.add_float st v));
+  }
+
+let device_slot =
+  {
+    slot_name = "device";
+    get = (fun ctx -> Some ctx.device);
+    put = (fun ctx d -> { ctx with device = d });
+    erase = (fun ctx -> ctx);
+    fp = Sf_models.Device.fingerprint;
+  }
+
+let sim_config_slot =
+  {
+    slot_name = "sim-config";
+    get = (fun ctx -> Some ctx.sim_config);
+    put = (fun ctx c -> { ctx with sim_config = c });
+    erase = (fun ctx -> ctx);
+    fp = Engine.Config.fingerprint;
+  }
+
+(* Narrow view of the config so latency-driven analyses are keyed only on
+   the operator-latency table, not on simulation knobs like seeds or
+   cycle limits — that is what makes an incremental request re-run only
+   genuinely downstream passes. *)
+let sim_latency_slot =
+  {
+    slot_name = "sim-latency";
+    get = (fun ctx -> Some ctx.sim_config.Engine.Config.latency);
+    put = (fun ctx l -> { ctx with sim_config = { ctx.sim_config with Engine.Config.latency = l } });
+    erase = (fun ctx -> ctx);
+    fp = Engine.Config.latency_fingerprint;
+  }
+
+let inputs_slot =
+  {
+    slot_name = "inputs";
+    get = (fun ctx -> ctx.inputs);
+    put = (fun ctx i -> { ctx with inputs = Some i });
+    erase = (fun ctx -> { ctx with inputs = None });
+    fp =
+      (fun inputs ->
+        F.digest (fun st ->
+            F.add_list st
+              (fun st (name, t) ->
+                F.add_string st name;
+                F.add_fingerprint st (Sf_reference.Tensor.fingerprint t))
+              inputs));
+  }
+
+let all_slots =
+  [
+    P program_slot;
+    P source_file_slot;
+    P fusion_slot;
+    P opt_slot;
+    P pipeline_entries_slot;
+    P analysis_slot;
+    P partition_slot;
+    P kernels_slot;
+    P host_source_slot;
+    P vitis_source_slot;
+    P simulation_slot;
+    P performance_model_slot;
+    P device_slot;
+    P sim_config_slot;
+    P sim_latency_slot;
+    P inputs_slot;
+  ]
+
+let slot_name (P s) = s.slot_name
+let find_slot name = List.find_opt (fun p -> String.equal (slot_name p) name) all_slots
+let slot_fingerprint ctx (P s) = Option.map s.fp (s.get ctx)

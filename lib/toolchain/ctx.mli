@@ -39,9 +39,12 @@ val create :
 (** An empty context (default device: Stratix 10). *)
 
 val with_program : t -> Sf_ir.Program.t -> t
-(** Install a (new version of the) program, invalidating the artifacts
-    derived from the previous version (analysis, partition, generated
-    code, simulation). *)
+(** Install a (new version of the) program, invalidating every artifact
+    derived from the previous version (optimizer report, pipeline
+    entries, analysis, partition, generated code, simulation,
+    performance model). The fusion report is kept: it documents how the
+    current program was produced, and fusing passes re-install it right
+    after the swap. *)
 
 val the_program : t -> (Sf_ir.Program.t, Sf_support.Diag.t list) result
 (** The current program, or an [SF0901] diagnostic when no frontend pass
@@ -63,3 +66,55 @@ val artifact_files : t -> (string * string) list
 (** The current artifacts as [(filename, contents)] pairs — the program
     as JSON, textual renderings of reports/analysis/partition/simulation,
     and the generated sources verbatim. Used by the [--dump-ir] hook. *)
+
+(** {2 Typed artifact slots}
+
+    A slot is a first-class view of one artifact of the context: how to
+    read it, install it, erase it, and digest its content. Passes declare
+    the slots they read and write ({!Pass_manager.pass}); the
+    content-addressed cache ({!Cache}) keys a pass execution on the
+    digests of its read slots and replays its write slots on a hit.
+
+    The environment slots ([device], [sim-config], [sim-latency],
+    [inputs]) always [get] to [Some] and have a no-op [erase]: they are
+    request parameters, listed only in a pass's reads. [sim-latency] is a
+    narrowed view of [sim-config] so latency-driven analyses are not
+    invalidated by unrelated simulation knobs (seed, cycle limits). *)
+
+type 'a slot = {
+  slot_name : string;  (** Stable identifier, also the on-disk binding key. *)
+  get : t -> 'a option;
+  put : t -> 'a -> t;
+      (** Install a value; for [program] this is {!with_program}, so
+          installing also invalidates derived artifacts. *)
+  erase : t -> t;
+  fp : 'a -> Sf_support.Fingerprint.t;  (** Content digest of a value. *)
+}
+
+type packed = P : 'a slot -> packed
+
+val program_slot : Sf_ir.Program.t slot
+val source_file_slot : string slot
+val fusion_slot : Sf_sdfg.Fusion.report slot
+val opt_slot : Sf_sdfg.Opt.report slot
+val pipeline_entries_slot : Sf_sdfg.Pipeline.entry list slot
+val analysis_slot : Sf_analysis.Delay_buffer.t slot
+val partition_slot : Sf_mapping.Partition.t slot
+val kernels_slot : Sf_codegen.Opencl.artifact list slot
+val host_source_slot : string slot
+val vitis_source_slot : string slot
+val simulation_slot : (Sf_sim.Engine.stats, Sf_support.Diag.t) result slot
+val performance_model_slot : float slot
+val device_slot : Sf_models.Device.t slot
+val sim_config_slot : Sf_sim.Engine.config slot
+val sim_latency_slot : Sf_analysis.Latency.config slot
+val inputs_slot : (string * Sf_reference.Tensor.t) list slot
+
+val all_slots : packed list
+val slot_name : packed -> string
+val find_slot : string -> packed option
+(** Look a slot up by {!slot_name} — how the on-disk store maps
+    serialized bindings back to typed slots. *)
+
+val slot_fingerprint : t -> packed -> Sf_support.Fingerprint.t option
+(** Digest of the slot's current content, or [None] when absent. *)

@@ -1,4 +1,5 @@
 module Diag = Sf_support.Diag
+module F = Sf_support.Fingerprint
 module Program = Sf_ir.Program
 module Partition = Sf_mapping.Partition
 module Resource = Sf_models.Resource
@@ -18,8 +19,15 @@ type pass = {
   name : string;
   description : string;
   kind : kind;
+  reads : Ctx.packed list;
+  writes : Ctx.packed list;
+  fingerprint : unit -> F.t option;
   run : Ctx.t -> (Ctx.t, Diag.t list) result;
 }
+
+let make_pass ?(reads = []) ?(writes = []) ?(fingerprint = fun () -> None) ~name ~description
+    ~kind run =
+  { name; description; kind; reads; writes; fingerprint; run }
 
 type timing = {
   pass : string;
@@ -28,6 +36,7 @@ type timing = {
   counters_before : (string * int) list;
   counters_after : (string * int) list;
   ok : bool;
+  cached : bool;
 }
 
 type trace = timing list
@@ -81,45 +90,108 @@ let invariant_diags (ctx : Ctx.t) =
   | _ -> ());
   (List.rev !errors, List.rev !warnings)
 
-let run ?(hooks = no_hooks) passes ctx =
+(* Replay a cache entry: install every captured write slot (the program
+   slot first in declaration order, so its derived-artifact invalidation
+   cannot clobber a slot installed after it) and re-append the recorded
+   diagnostics through [add_diag] (deduplicated like a live run). *)
+let replay ctx (entry : Cache.entry) =
+  let ctx =
+    List.fold_left (fun ctx (Cache.B (slot, v)) -> slot.Ctx.put ctx v) ctx entry.Cache.bindings
+  in
+  List.fold_left Ctx.add_diag ctx entry.Cache.diags
+
+(* Capture what a successful execution produced: the declared write
+   slots that are present afterwards, plus the diagnostics appended
+   relative to the pre-pass context ([add_diag] only ever appends). *)
+let capture (pass : pass) (ctx : Ctx.t) (ctx' : Ctx.t) =
+  let bindings =
+    List.filter_map
+      (fun (Ctx.P slot) ->
+        match slot.Ctx.get ctx' with Some v -> Some (Cache.B (slot, v)) | None -> None)
+      pass.writes
+  in
+  let before = List.length ctx.Ctx.diags in
+  let diags = List.filteri (fun i _ -> i >= before) ctx'.Ctx.diags in
+  { Cache.bindings; diags }
+
+let run ?(hooks = no_hooks) ?cache passes ctx =
   let trace = ref [] in
   let record t =
     trace := t :: !trace;
     match hooks.on_pass with Some f -> f t | None -> ()
   in
+  let cache_lookup pass ctx =
+    match (cache, pass.fingerprint ()) with
+    | Some cache, Some options_fp ->
+        let key = Cache.key ~pass_name:pass.name ~options_fp:(Some options_fp) ~reads:pass.reads ctx in
+        Some (cache, key, Cache.find cache key)
+    | _ -> None
+  in
   let rec go index ctx = function
     | [] -> Ok (ctx, List.rev !trace)
     | pass :: rest -> (
         let counters_before = Ctx.counters ctx in
-        let t0 = Unix.gettimeofday () in
-        let result =
-          try pass.run ctx
-          with exn ->
-            Error
-              [
-                Diag.errorf ~code:Diag.Code.internal "pass %s raised: %s" pass.name
-                  (Printexc.to_string exn);
-              ]
-        in
-        let seconds = Unix.gettimeofday () -. t0 in
-        let entry ok counters_after =
-          { pass = pass.name; kind = pass.kind; seconds; counters_before; counters_after; ok }
-        in
-        match result with
-        | Error ds ->
-            record (entry false counters_before);
-            Error (ds, List.rev !trace)
-        | Ok ctx' -> (
-            let errors, warnings = invariant_diags ctx' in
-            let ctx' = List.fold_left Ctx.add_diag ctx' warnings in
-            record (entry (errors = []) (Ctx.counters ctx'));
-            match errors with
-            | _ :: _ -> Error (errors, List.rev !trace)
-            | [] ->
-                (match hooks.dump with
-                | Some f -> f ~index ~pass:pass.name ctx'
-                | None -> ());
-                go (index + 1) ctx' rest))
+        let lookup = cache_lookup pass ctx in
+        match lookup with
+        | Some (_, _, Some entry) ->
+            (* Hit: the entry was stored after its invariants passed, so
+               replaying it cannot introduce an invariant violation. *)
+            let t0 = Unix.gettimeofday () in
+            let ctx' = replay ctx entry in
+            let seconds = Unix.gettimeofday () -. t0 in
+            record
+              {
+                pass = pass.name;
+                kind = pass.kind;
+                seconds;
+                counters_before;
+                counters_after = Ctx.counters ctx';
+                ok = true;
+                cached = true;
+              };
+            (match hooks.dump with Some f -> f ~index ~pass:pass.name ctx' | None -> ());
+            go (index + 1) ctx' rest
+        | _ -> (
+            let t0 = Unix.gettimeofday () in
+            let result =
+              try pass.run ctx
+              with exn ->
+                Error
+                  [
+                    Diag.errorf ~code:Diag.Code.internal "pass %s raised: %s" pass.name
+                      (Printexc.to_string exn);
+                  ]
+            in
+            let seconds = Unix.gettimeofday () -. t0 in
+            let entry ok counters_after =
+              {
+                pass = pass.name;
+                kind = pass.kind;
+                seconds;
+                counters_before;
+                counters_after;
+                ok;
+                cached = false;
+              }
+            in
+            match result with
+            | Error ds ->
+                record (entry false counters_before);
+                Error (ds, List.rev !trace)
+            | Ok ctx' -> (
+                let errors, warnings = invariant_diags ctx' in
+                let ctx' = List.fold_left Ctx.add_diag ctx' warnings in
+                record (entry (errors = []) (Ctx.counters ctx'));
+                match errors with
+                | _ :: _ -> Error (errors, List.rev !trace)
+                | [] ->
+                    (match lookup with
+                    | Some (cache, key, None) -> Cache.add cache key (capture pass ctx ctx')
+                    | _ -> ());
+                    (match hooks.dump with
+                    | Some f -> f ~index ~pass:pass.name ctx'
+                    | None -> ());
+                    go (index + 1) ctx' rest)))
   in
   go 0 ctx passes
 
@@ -135,12 +207,16 @@ let pp_trace fmt (trace : trace) =
   Format.fprintf fmt "pass trace (%d pass(es)):@." (List.length trace);
   List.iter
     (fun t ->
-      Format.fprintf fmt "  %-18s %-10s %8.2f ms %s%a@." t.pass (kind_to_string t.kind)
+      Format.fprintf fmt "  %-18s %-10s %8.2f ms %s%s%a@." t.pass (kind_to_string t.kind)
         (t.seconds *. 1000.)
+        (if t.cached then "[cached]" else "")
         (if t.ok then "" else "[FAILED]")
         pp_counters
         (t.counters_before, t.counters_after))
     trace
+
+let cached_passes (trace : trace) = List.length (List.filter (fun t -> t.cached) trace)
+let executed_passes (trace : trace) = List.length (List.filter (fun t -> not t.cached) trace)
 
 let time ~label f =
   ignore label;

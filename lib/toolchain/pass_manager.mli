@@ -9,7 +9,14 @@
     (a deduplicated warning when it does not — the single-device
     fallback intentionally overflows). A pass returning [Error] (or an
     invariant error) aborts the pipeline; the timings of all executed
-    passes, including the failing one, are still reported. *)
+    passes, including the failing one, are still reported.
+
+    Passes declare the {!Ctx.slot}s they read and write. When {!run} is
+    given a {!Cache.t}, each cacheable pass is first looked up by its
+    content key (pass name + options fingerprint + read-slot
+    fingerprints); a hit replays the stored write slots and diagnostics
+    instead of executing, and a miss stores them after the invariants
+    pass. Failed executions are never cached. *)
 
 type kind = Frontend | Transform | Analysis | Mapping | Codegen | Simulation | Other
 
@@ -19,8 +26,29 @@ type pass = {
   name : string;
   description : string;
   kind : kind;
+  reads : Ctx.packed list;
+      (** Slots whose content the pass depends on — the cache key. *)
+  writes : Ctx.packed list;
+      (** Slots the pass may install, captured into cache entries in
+          this order (list the program slot first: installing it
+          invalidates derived slots). *)
+  fingerprint : unit -> Sf_support.Fingerprint.t option;
+      (** Digest of the pass's captured options (closure arguments);
+          [None] marks the pass uncacheable. *)
   run : Ctx.t -> (Ctx.t, Sf_support.Diag.t list) result;
 }
+
+val make_pass :
+  ?reads:Ctx.packed list ->
+  ?writes:Ctx.packed list ->
+  ?fingerprint:(unit -> Sf_support.Fingerprint.t option) ->
+  name:string ->
+  description:string ->
+  kind:kind ->
+  (Ctx.t -> (Ctx.t, Sf_support.Diag.t list) result) ->
+  pass
+(** Construct a pass. The defaults ([reads]/[writes] empty, no
+    fingerprint) make it uncacheable, which is always sound. *)
 
 type timing = {
   pass : string;
@@ -29,6 +57,7 @@ type timing = {
   counters_before : (string * int) list;
   counters_after : (string * int) list;
   ok : bool;  (** False for the pass that aborted the pipeline. *)
+  cached : bool;  (** True when the pass was replayed from the cache. *)
 }
 
 type trace = timing list
@@ -45,16 +74,29 @@ type hooks = {
 val no_hooks : hooks
 
 val run :
-  ?hooks:hooks -> pass list -> Ctx.t -> (Ctx.t * trace, Sf_support.Diag.t list * trace) result
+  ?hooks:hooks ->
+  ?cache:Cache.t ->
+  pass list ->
+  Ctx.t ->
+  (Ctx.t * trace, Sf_support.Diag.t list * trace) result
 (** Run the passes in order. [Ok] carries the final context (whose
     [diags] field holds accumulated warnings) and the trace; [Error]
     carries the diagnostics of the failing pass or invariant and the
     trace up to and including it. A pass raising an exception becomes an
-    [SF0901] diagnostic rather than escaping. *)
+    [SF0901] diagnostic rather than escaping. With [cache], cacheable
+    passes are replayed on a content-key hit (their trace entries have
+    [cached = true]) and stored on a miss. *)
 
 val pp_trace : Format.formatter -> trace -> unit
 (** The [--trace-passes] rendering: one line per pass with its kind,
-    wall-clock time and the artifact counters it changed. *)
+    wall-clock time, a [\[cached\]] marker for replayed passes, and the
+    artifact counters it changed. *)
+
+val cached_passes : trace -> int
+(** Passes replayed from the cache. *)
+
+val executed_passes : trace -> int
+(** Passes actually executed (not replayed). *)
 
 val time : label:string -> (unit -> 'a) -> 'a * float
 (** [time ~label f] runs [f ()] and returns its result with the elapsed

@@ -1,0 +1,327 @@
+module Json = Sf_support.Json
+module Diag = Sf_support.Diag
+module Store = Sf_support.Store
+module Engine = Sf_sim.Engine
+
+type t = {
+  cache : Cache.t;
+  on_trace : (verb:string -> Pass_manager.trace -> unit) option;
+  jobs : int;
+}
+
+let create ?(cache_capacity = 128) ?store_dir ?on_trace ?(jobs = 0) () =
+  let cache = Cache.create ~capacity:cache_capacity () in
+  let cache =
+    match store_dir with None -> cache | Some dir -> Cache.with_store cache (Store.open_ dir)
+  in
+  { cache; on_trace; jobs }
+
+let cache t = t.cache
+
+(* Request decoding -------------------------------------------------- *)
+
+type options = {
+  width : int option;
+  fuse : bool;
+  optimize : bool;
+  devices : int option;
+  seed : int option;
+  validate : bool;
+  max_cycles : int option;
+  backend : [ `Opencl | `Vitis ];
+}
+
+let default_options =
+  {
+    width = None;
+    fuse = false;
+    optimize = false;
+    devices = None;
+    seed = None;
+    validate = true;
+    max_cycles = None;
+    backend = `Opencl;
+  }
+
+let decode_options json =
+  match Json.member "options" json with
+  | None -> Ok default_options
+  | Some o ->
+      let int k = Option.bind (Json.member k o) Json.int_opt in
+      let bool ~default k =
+        match Json.member k o with Some (Json.Bool b) -> b | _ -> default
+      in
+      let backend =
+        match Option.bind (Json.member "backend" o) Json.string_opt with
+        | None | Some "opencl" -> Ok `Opencl
+        | Some "vitis" -> Ok `Vitis
+        | Some other ->
+            Error [ Diag.errorf ~code:Diag.Code.format "unknown backend %S" other ]
+      in
+      Result.map
+        (fun backend ->
+          {
+            width = int "width";
+            fuse = bool ~default:false "fuse";
+            optimize = bool ~default:false "optimize";
+            devices = int "devices";
+            seed = int "seed";
+            validate = bool ~default:true "validate";
+            max_cycles = int "max_cycles";
+            backend;
+          })
+        backend
+
+(* The frontend of every compile verb: a load pass keyed on the program
+   text (inline programs are re-serialized minified, so formatting
+   differences do not defeat the cache), then the option-driven
+   transforms in the same order as the CLI. *)
+let frontend_passes json opts =
+  let load =
+    match (Json.member "program" json, Json.member "program_file" json) with
+    | Some p, _ -> Ok (Passes.load_string (Json.to_string ~minify:true p))
+    | None, Some f -> (
+        match Json.string_opt f with
+        | Some path -> Ok (Passes.load_file path)
+        | None ->
+            Error [ Diag.error ~code:Diag.Code.format "\"program_file\" must be a string" ])
+    | None, None ->
+        Error
+          [
+            Diag.error ~code:Diag.Code.format
+              "request needs a \"program\" object or a \"program_file\" path";
+          ]
+  in
+  Result.map
+    (fun load ->
+      [ load ]
+      @ (match opts.width with Some w -> [ Passes.vectorize w ] | None -> [])
+      @ (if opts.fuse then [ Passes.fuse () ] else [])
+      @ if opts.optimize then [ Passes.optimize () ] else [])
+    load
+
+let verb_passes verb opts =
+  match verb with
+  | `Analyze -> [ Passes.delay_buffers ]
+  | `Simulate ->
+      [
+        Passes.delay_buffers;
+        (match opts.devices with
+        | Some n -> Passes.partition_into n
+        | None -> Passes.partition);
+        Passes.performance_model;
+        Passes.simulate ~validate:opts.validate ?seed:opts.seed ();
+      ]
+  | `Codegen -> Passes.codegen_pipeline ~backend:opts.backend
+
+(* Response encoding ------------------------------------------------- *)
+
+let diags_json ds = Json.List (List.map Diag.to_json ds)
+
+let passes_json (trace : Pass_manager.trace) =
+  Json.Obj
+    [
+      ("executed", Json.Int (Pass_manager.executed_passes trace));
+      ("cached", Json.Int (Pass_manager.cached_passes trace));
+      ( "trace",
+        Json.List
+          (List.map
+             (fun (t : Pass_manager.timing) ->
+               Json.Obj
+                 [
+                   ("pass", Json.String t.Pass_manager.pass);
+                   ("cached", Json.Bool t.Pass_manager.cached);
+                 ])
+             trace) );
+    ]
+
+let stats_json (s : Cache.stats) =
+  Json.Obj
+    [
+      ("hits", Json.Int s.Cache.hits);
+      ("misses", Json.Int s.Cache.misses);
+      ("stale", Json.Int s.Cache.stale);
+      ("evictions", Json.Int s.Cache.evictions);
+      ("entries", Json.Int s.Cache.entries);
+    ]
+
+let analyze_result (ctx : Ctx.t) =
+  match (ctx.Ctx.program, ctx.Ctx.analysis) with
+  | Some p, Some a ->
+      Json.Obj
+        [
+          ("program", Json.String p.Sf_ir.Program.name);
+          ("latency_cycles", Json.Int a.Sf_analysis.Delay_buffer.latency_cycles);
+          ( "delay_buffer_words",
+            Json.Int (Sf_analysis.Delay_buffer.total_delay_buffer_words a) );
+          ("expected_cycles", Json.Int (Sf_analysis.Runtime_model.expected_cycles p));
+        ]
+  | _ -> Json.Null
+
+let simulate_result (ctx : Ctx.t) =
+  let base = match analyze_result ctx with Json.Obj fields -> fields | _ -> [] in
+  let devices =
+    match ctx.Ctx.partition with
+    | Some pt -> [ ("devices", Json.Int pt.Sf_mapping.Partition.num_devices) ]
+    | None -> []
+  in
+  let performance =
+    match ctx.Ctx.performance_model with
+    | Some ops -> [ ("modeled_ops_per_s", Json.Float ops) ]
+    | None -> []
+  in
+  let simulation =
+    match ctx.Ctx.simulation with
+    | Some (Ok (s : Engine.stats)) ->
+        [
+          ( "simulation",
+            Json.Obj
+              [
+                ("cycles", Json.Int s.Engine.cycles);
+                ("predicted_cycles", Json.Int s.Engine.predicted_cycles);
+                ("bytes_read", Json.Int s.Engine.bytes_read);
+                ("bytes_written", Json.Int s.Engine.bytes_written);
+                ("network_bytes", Json.Int s.Engine.network_bytes);
+              ] );
+        ]
+    | Some (Error d) -> [ ("simulation", Json.Obj [ ("failed", Diag.to_json d) ]) ]
+    | None -> []
+  in
+  Json.Obj (base @ devices @ performance @ simulation)
+
+let codegen_result (ctx : Ctx.t) =
+  let files =
+    List.map
+      (fun (name, source) ->
+        Json.Obj
+          [ ("filename", Json.String name); ("bytes", Json.Int (String.length source)) ])
+      (List.filter
+         (fun (name, _) ->
+           Filename.check_suffix name ".cl"
+           || Filename.check_suffix name ".c"
+           || Filename.check_suffix name ".cpp")
+         (Ctx.artifact_files ctx))
+  in
+  let code_bytes =
+    match List.assoc_opt "code-bytes" (Ctx.counters ctx) with Some n -> n | None -> 0
+  in
+  Json.Obj [ ("files", Json.List files); ("code_bytes", Json.Int code_bytes) ]
+
+(* Request execution ------------------------------------------------- *)
+
+let response ?id ~verb ~ok ?(result = Json.Null) ?(diags = []) ?(trace = []) cache seconds =
+  Json.to_string ~minify:true
+    (Json.Obj
+       ((match id with Some id -> [ ("id", id) ] | None -> [])
+       @ [
+           ("verb", Json.String verb);
+           ("ok", Json.Bool ok);
+           ("result", result);
+           ("diagnostics", diags_json diags);
+           ("passes", passes_json trace);
+           ("cache", stats_json (Cache.stats cache));
+           ("timing", Json.Obj [ ("seconds", Json.Float seconds) ]);
+         ]))
+
+let compile_verb t ?id ~verb ~name json t0 =
+  let outcome =
+    let ( let* ) = Result.bind in
+    let* opts = decode_options json in
+    let* frontend = frontend_passes json opts in
+    Ok (opts, frontend)
+  in
+  match outcome with
+  | Error ds ->
+      response ?id ~verb:name ~ok:false ~diags:ds t.cache (Unix.gettimeofday () -. t0)
+  | Ok (opts, frontend) -> (
+      let sim_config =
+        Engine.Config.make
+          ~safety:(Engine.Config.safety ?max_cycles:opts.max_cycles ())
+          ~parallelism:(Engine.Config.parallelism ~host_jobs:t.jobs ())
+          ()
+      in
+      let ctx = Ctx.create ~sim_config () in
+      let passes = frontend @ verb_passes verb opts in
+      let emit_trace trace =
+        match t.on_trace with Some f -> f ~verb:name trace | None -> ()
+      in
+      match Pass_manager.run ~cache:t.cache passes ctx with
+      | Ok (ctx, trace) ->
+          emit_trace trace;
+          let result =
+            match verb with
+            | `Analyze -> analyze_result ctx
+            | `Simulate -> simulate_result ctx
+            | `Codegen -> codegen_result ctx
+          in
+          let ok = not (Diag.has_errors ctx.Ctx.diags) in
+          response ?id ~verb:name ~ok ~result ~diags:ctx.Ctx.diags ~trace t.cache
+            (Unix.gettimeofday () -. t0)
+      | Error (ds, trace) ->
+          emit_trace trace;
+          response ?id ~verb:name ~ok:false ~diags:ds ~trace t.cache
+            (Unix.gettimeofday () -. t0))
+
+let handle t line =
+  let t0 = Unix.gettimeofday () in
+  match Json.parse line with
+  | Error e ->
+      ( response ~verb:"error" ~ok:false
+          ~diags:
+            [
+              Diag.errorf ~code:Diag.Code.json_parse "malformed request: %s"
+                (Json.error_to_string e);
+            ]
+          t.cache
+          (Unix.gettimeofday () -. t0),
+        `Continue )
+  | Ok json -> (
+      let id = Json.member "id" json in
+      let verb = Option.bind (Json.member "verb" json) Json.string_opt in
+      match verb with
+      | Some "analyze" -> (compile_verb t ?id ~verb:`Analyze ~name:"analyze" json t0, `Continue)
+      | Some "simulate" ->
+          (compile_verb t ?id ~verb:`Simulate ~name:"simulate" json t0, `Continue)
+      | Some "codegen" -> (compile_verb t ?id ~verb:`Codegen ~name:"codegen" json t0, `Continue)
+      | Some "cache-stats" ->
+          ( response ?id ~verb:"cache-stats" ~ok:true
+              ~result:(stats_json (Cache.stats t.cache))
+              t.cache
+              (Unix.gettimeofday () -. t0),
+            `Continue )
+      | Some "evict" ->
+          let dropped = (Cache.stats t.cache).Cache.entries in
+          Cache.clear t.cache;
+          ( response ?id ~verb:"evict" ~ok:true
+              ~result:(Json.Obj [ ("entries_dropped", Json.Int dropped) ])
+              t.cache
+              (Unix.gettimeofday () -. t0),
+            `Continue )
+      | Some "shutdown" ->
+          (response ?id ~verb:"shutdown" ~ok:true t.cache (Unix.gettimeofday () -. t0), `Stop)
+      | Some other ->
+          ( response ?id ~verb:other ~ok:false
+              ~diags:[ Diag.errorf ~code:Diag.Code.format "unknown verb %S" other ]
+              t.cache
+              (Unix.gettimeofday () -. t0),
+            `Continue )
+      | None ->
+          ( response ?id ~verb:"error" ~ok:false
+              ~diags:[ Diag.error ~code:Diag.Code.format "request has no \"verb\"" ]
+              t.cache
+              (Unix.gettimeofday () -. t0),
+            `Continue ))
+
+let serve_loop t ic oc =
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+        let resp, continue = handle t line in
+        Out_channel.output_string oc resp;
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc;
+        (match continue with `Continue -> loop () | `Stop -> ())
+  in
+  loop ()

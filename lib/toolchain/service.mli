@@ -1,0 +1,73 @@
+(** The [stencilflow serve] request loop.
+
+    A service holds one {!Cache.t} (optionally disk-backed) and executes
+    newline-delimited JSON requests against it, so a design-space
+    exploration loop pays the full pipeline once and near-zero for every
+    repeated or incremental request afterwards.
+
+    {2 Protocol}
+
+    One request per line, one response per line (minified JSON).
+    Requests:
+
+    {v
+    {"id": <any>,              // optional, echoed back verbatim
+     "verb": "analyze" | "simulate" | "codegen"
+           | "cache-stats" | "evict" | "shutdown",
+     "program": {...},         // inline program description, or
+     "program_file": "path",   // a path to one (compile verbs only)
+     "options": {              // all optional
+       "width": int,           // vectorization width override
+       "fuse": bool, "optimize": bool,
+       "devices": int,         // force a contiguous partition
+       "seed": int,            // simulation input seed (default 42)
+       "validate": bool,       // validate sim against the reference
+       "max_cycles": int,      // simulation cycle budget (SF0703)
+       "backend": "opencl" | "vitis"}}
+    v}
+
+    Responses:
+
+    {v
+    {"id": ..., "verb": ..., "ok": bool,
+     "result": <verb-specific payload>,
+     "diagnostics": [...],     // SF-coded, same shape as --diag-json
+     "passes": {"executed": n, "cached": n,
+                "trace": [{"pass": name, "cached": bool}, ...]},
+     "cache": {"hits": n, "misses": n, "stale": n,
+               "evictions": n, "entries": n},
+     "timing": {"seconds": s}}
+    v}
+
+    Malformed lines produce an [ok: false] response with an [SF0201]
+    diagnostic; unknown verbs and missing programs report [SF0203]. The
+    loop never dies on a bad request — only on end of input or an
+    explicit [shutdown]. *)
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?store_dir:string ->
+  ?on_trace:(verb:string -> Pass_manager.trace -> unit) ->
+  ?jobs:int ->
+  unit ->
+  t
+(** A fresh service: an in-memory LRU of [cache_capacity] entries
+    (default 128), backed by an on-disk {!Sf_support.Store} rooted at
+    [store_dir] when given. [on_trace] observes every compile verb's
+    pass trace (the CLI's [--trace-passes]); [jobs] is threaded into
+    each request's simulation config as the host-thread budget
+    ([0] = auto). *)
+
+val cache : t -> Cache.t
+
+val handle : t -> string -> string * [ `Continue | `Stop ]
+(** Execute one request line and return the minified response line, plus
+    whether the loop should keep running ([`Stop] only after
+    [shutdown]). Exposed for in-process tests; {!serve_loop} is this in
+    a loop. *)
+
+val serve_loop : t -> in_channel -> out_channel -> unit
+(** Read request lines until EOF or [shutdown], writing (and flushing)
+    one response line each. Blank lines are ignored. *)

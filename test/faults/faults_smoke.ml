@@ -16,8 +16,13 @@ let examples_dir =
 
 let check name ok = if not ok then failwith name
 
+let load file =
+  match Program_json.of_file file with
+  | Ok p -> p
+  | Error ds -> failwith (String.concat "; " (List.map Diag.to_string ds))
+
 let run_example file =
-  let p = Program_json.of_file_exn (Filename.concat examples_dir file) in
+  let p = load (Filename.concat examples_dir file) in
   let inputs = Interp.random_inputs ~seed:42 p in
   (* The analysed-depth claim is per edge of the UNFUSED graph. *)
   let analysis = Delay_buffer.analyze p in

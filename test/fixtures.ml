@@ -2,6 +2,14 @@
 open Sf_ir
 module E = Builder.E
 
+(* Unwrap the diagnostics-returning APIs; tests treat failure as fatal. *)
+let ok = function
+  | Ok v -> v
+  | Error ds ->
+      failwith (String.concat "; " (List.map Sf_support.Diag.to_string ds))
+
+let ok1 = function Ok v -> v | Error d -> failwith (Sf_support.Diag.to_string d)
+
 (* 2D Laplace operator (Fig. 9): one stencil, four neighbour accesses. *)
 let laplace2d ?(shape = [ 8; 8 ]) ?(vector_width = 1) () =
   let b = Builder.create ~vector_width ~name:"laplace2d" ~shape () in

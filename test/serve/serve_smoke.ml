@@ -1,0 +1,63 @@
+(* End-to-end smoke for the serve loop, wired into `dune build
+   @serve-smoke` (and through it into `dune runtest`). For every seed
+   example program: an analyze request must succeed, and repeating it
+   verbatim must execute zero passes — every pass replayed from the
+   session cache. This is the service-level form of the per-pass claims
+   test/test_service.ml pins on one fixture. *)
+open Stencilflow
+
+let examples_dir =
+  List.find Sys.file_exists
+    [ "examples/programs"; "../examples/programs"; "../../examples/programs" ]
+
+let check name ok = if not ok then failwith name
+
+let int_field path json =
+  let rec go path json =
+    match path with
+    | [] -> Json.int_opt json
+    | k :: rest -> ( match Json.member k json with Some v -> go rest v | None -> None)
+  in
+  match go path json with
+  | Some n -> n
+  | None -> failwith ("missing field " ^ String.concat "." path)
+
+let request file =
+  Printf.sprintf {|{"verb": "analyze", "program_file": %S}|}
+    (Filename.concat examples_dir file)
+
+let handle t line =
+  match Service.handle t line with
+  | resp, `Continue -> (
+      match Json.parse resp with
+      | Ok json -> json
+      | Error _ -> failwith ("response is not JSON: " ^ resp))
+  | _, `Stop -> failwith "unexpected stop"
+
+let run_example t file =
+  let cold = handle t (request file) in
+  check (file ^ ": cold ok") (Json.member "ok" cold = Some (Json.Bool true));
+  check (file ^ ": cold executes") (int_field [ "passes"; "executed" ] cold > 0);
+  let warm = handle t (request file) in
+  check (file ^ ": warm ok") (Json.member "ok" warm = Some (Json.Bool true));
+  check (file ^ ": warm executes nothing") (int_field [ "passes"; "executed" ] warm = 0);
+  check
+    (file ^ ": warm replays every pass")
+    (int_field [ "passes"; "cached" ] warm = int_field [ "passes"; "executed" ] cold);
+  Printf.printf "%-36s ok: %d pass(es) cold, 0 warm\n%!" file
+    (int_field [ "passes"; "executed" ] cold)
+
+let () =
+  let t = Service.create () in
+  let examples =
+    Sys.readdir examples_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if examples = [] then failwith ("no example programs under " ^ examples_dir);
+  List.iter (run_example t) examples;
+  let stats = Cache.stats (Service.cache t) in
+  check "cache saw hits" (stats.Cache.hits > 0);
+  check "no stale entries" (stats.Cache.stale = 0);
+  Printf.printf "serve smoke: %d example(s), %d cache hit(s), %d miss(es)\n%!"
+    (List.length examples) stats.Cache.hits stats.Cache.misses

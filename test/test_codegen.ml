@@ -15,7 +15,7 @@ let check_contains source fragments =
     fragments
 
 let generate_single p =
-  match Opencl.generate_exn p with
+  match Fixtures.ok (Opencl.generate p) with
   | [ a ] -> a.Opencl.source
   | artifacts -> Alcotest.fail (Printf.sprintf "expected 1 artifact, got %d" (List.length artifacts))
 
@@ -70,7 +70,9 @@ let test_shared_nodes_become_temporaries () =
   let p = Builder.finish b in
   let src = generate_single p in
   check_contains src [ "const float __t0 = "; "__t0 * __t0" ];
-  check_contains (Sf_codegen.Vitis.generate_exn p) [ "const float __t0 = "; "__t0 * __t0" ]
+  check_contains
+    (Fixtures.ok (Sf_codegen.Vitis.generate p))
+    [ "const float __t0 = "; "__t0 * __t0" ]
 
 let test_lower_dim_prefetch () =
   let p = Fixtures.kitchen_sink () in
@@ -93,7 +95,7 @@ let test_multi_device_smi () =
       per_device_usage = [];
     }
   in
-  match Opencl.generate_exn ~partition:pt p with
+  match Fixtures.ok (Opencl.generate ~partition:pt p) with
   | [ dev0; dev1 ] ->
       check_contains dev0.Opencl.source [ "SMI_Push(&smi_f2__f3"; "__kernel void stencil_f2" ];
       check_contains dev1.Opencl.source [ "SMI_Pop(&smi_f2__f3"; "__kernel void stencil_f3" ];
@@ -107,7 +109,7 @@ let test_multi_device_smi () =
 
 let test_host_code () =
   let p = Fixtures.fork () in
-  let host = Opencl.host_source_exn p in
+  let host = Fixtures.ok (Opencl.host_source p) in
   check_contains host
     [ "clCreateBuffer"; "clEnqueueWriteBuffer"; "kernel_write_left"; "kernel_write_join" ]
 
@@ -115,14 +117,17 @@ let test_expression_to_c () =
   let access ~field ~offsets =
     Printf.sprintf "%s_%s" field (Sf_support.Util.string_concat_map "_" string_of_int offsets)
   in
-  let e = Sf_frontend.Parser.parse_expr_exn "a[0,1] * (b[0,0] + 2.0) < 1.0 ? sqrt(a[0,1]) : -b[0,0]" in
+  let e =
+    Fixtures.ok1
+      (Sf_frontend.Parser.parse_expr "a[0,1] * (b[0,0] + 2.0) < 1.0 ? sqrt(a[0,1]) : -b[0,0]")
+  in
   Alcotest.(check string) "rendered"
     "((a_0_1 * (b_0_0 + 2.0f)) < 1.0f) ? sqrtf(a_0_1) : (-b_0_0)"
     (Opencl.expression_to_c ~access e)
 
 let test_vitis_backend () =
   let p = Fixtures.diamond ~shape:[ 8; 16 ] ~span:3 () in
-  let src = Sf_codegen.Vitis.generate_exn p in
+  let src = Fixtures.ok (Sf_codegen.Vitis.generate p) in
   check_contains src
     [
       "#include <hls_stream.h>";
@@ -138,7 +143,7 @@ let test_vitis_backend () =
 
 let test_vitis_kitchen_sink () =
   (* Lower-dimensional inputs, copy boundaries and lets all lower. *)
-  let src = Sf_codegen.Vitis.generate_exn (Fixtures.kitchen_sink ()) in
+  let src = Fixtures.ok (Sf_codegen.Vitis.generate (Fixtures.kitchen_sink ())) in
   check_contains src [ "float pref_crlat[6]"; "const float t ="; "#pragma HLS ARRAY_PARTITION" ]
 
 let test_dot_export () =

@@ -93,7 +93,7 @@ let run_generated (p : Program.t) =
   let dir = Filename.temp_dir "sf_vitis" "" in
   let _ = write_file dir "hls_stream.h" hls_stub in
   let _ = write_file dir "hls_math.h" "#pragma once\n#include <cmath>\n" in
-  let _ = write_file dir "kernel.cpp" (Vitis.generate_exn p) in
+  let _ = write_file dir "kernel.cpp" (Fixtures.ok (Vitis.generate p)) in
   let _ = write_file dir "main.cpp" (harness p inputs) in
   let exe = Filename.concat dir "run" in
   let cmd =
@@ -267,7 +267,7 @@ let run_generated_opencl (p : Program.t) =
   let dir = Filename.temp_dir "sf_opencl" "" in
   let _ = write_file dir "hls_stream.h" hls_stub in
   let artifact =
-    match Sf_codegen.Opencl.generate_exn p with
+    match Fixtures.ok (Sf_codegen.Opencl.generate p) with
     | [ a ] -> a.Sf_codegen.Opencl.source
     | _ -> Alcotest.fail "expected single-device artifact"
   in

@@ -16,9 +16,9 @@ let test_all_examples_load () =
   Alcotest.(check bool) "examples shipped" true (List.length files >= 4);
   List.iter
     (fun file ->
-      let p = Program_json.of_file_exn file in
+      let p = Fixtures.ok (Program_json.of_file file) in
       (* Parse -> print -> parse is stable. *)
-      let q = Program_json.of_string_exn (Program_json.to_string p) in
+      let q = Fixtures.ok (Program_json.of_string (Program_json.to_string p)) in
       Alcotest.(check int) (file ^ " roundtrip") (List.length p.Sf_ir.Program.stencils)
         (List.length q.Sf_ir.Program.stencils))
     files
@@ -26,7 +26,7 @@ let test_all_examples_load () =
 let test_examples_simulate () =
   List.iter
     (fun file ->
-      let p = Program_json.of_file_exn file in
+      let p = Fixtures.ok (Program_json.of_file file) in
       if Sf_ir.Program.cells p <= 16384 then
         match Engine.run_and_validate p with
         | Ok _ -> ()

@@ -6,10 +6,10 @@ module Parser = Sf_frontend.Parser
 module E = Builder.E
 
 let expr_testable = Alcotest.testable (fun fmt e -> Expr.pp fmt e) Expr.equal
+let parse src = Fixtures.ok1 (Parser.parse_expr src)
 
 let check_fold src expected () =
-  Alcotest.check expr_testable src (Parser.parse_expr_exn expected)
-    (Opt.fold_constants (Parser.parse_expr_exn src))
+  Alcotest.check expr_testable src (parse expected) (Opt.fold_constants (parse src))
 
 let fold_cases =
   [
@@ -37,7 +37,7 @@ let test_fold_preserves_semantics =
     let lookup ~field:_ ~offsets:_ = 1.75 in
     List.iter
       (fun (src, _) ->
-        let e = Parser.parse_expr_exn src in
+        let e = parse src in
         let before = Interp.eval_expr ~lookup ~env:(fun _ -> None) e in
         let after = Interp.eval_expr ~lookup ~env:(fun _ -> None) (Opt.fold_constants e) in
         Alcotest.(check (float 1e-12)) src before after)

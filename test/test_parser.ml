@@ -1,12 +1,12 @@
 open Sf_ir
 module Parser = Sf_frontend.Parser
-module Lexer = Sf_frontend.Lexer
 module E = Builder.E
 
 let expr_testable = Alcotest.testable (fun fmt e -> Expr.pp fmt e) Expr.equal
+let parse_body ~output src = Fixtures.ok1 (Parser.parse_body ~output src)
 
 let check_parse src expected () =
-  Alcotest.check expr_testable src expected (Parser.parse_expr_exn src)
+  Alcotest.check expr_testable src expected (Fixtures.ok1 (Parser.parse_expr src))
 
 let test_unary_minus_literal =
   check_parse "-2.0" (Expr.Unary (Expr.Neg, Expr.Const 2.))
@@ -32,10 +32,14 @@ let test_comments_in_code =
 
 let test_errors () =
   let fails src =
-    match Parser.parse_expr_exn src with
-    | exception Parser.Syntax_error _ -> ()
-    | exception Lexer.Lex_error _ -> ()
-    | _ -> Alcotest.fail ("expected syntax error for " ^ src)
+    match Parser.parse_expr src with
+    | Error d ->
+        Alcotest.(check bool)
+          ("located diagnostic for " ^ src)
+          true
+          (List.mem d.Sf_support.Diag.code
+             [ Sf_support.Diag.Code.lex; Sf_support.Diag.Code.syntax ])
+    | Ok _ -> Alcotest.fail ("expected syntax error for " ^ src)
   in
   fails "1 +";
   fails "a[0";
@@ -49,27 +53,27 @@ let test_errors () =
   fails "@"
 
 let test_assignments () =
-  let stmts = Parser.parse_assignments_exn "t = a[0] + 1.0; out = t * t;" in
+  let stmts = Fixtures.ok1 (Parser.parse_assignments "t = a[0] + 1.0; out = t * t;") in
   Alcotest.(check int) "two statements" 2 (List.length stmts);
   Alcotest.(check string) "first lhs" "t" (fst (List.hd stmts))
 
 let test_body_statement_form () =
-  let body = Parser.parse_body_exn ~output:"out" "t = a[0] + 1.0; out = t * t" in
+  let body = parse_body ~output:"out" "t = a[0] + 1.0; out = t * t" in
   Alcotest.(check int) "one let" 1 (List.length body.Expr.lets);
   Alcotest.check expr_testable "result" E.(var "t" *% var "t") body.Expr.result
 
 let test_body_expression_form () =
-  let body = Parser.parse_body_exn ~output:"out" "a[0] * 2.0" in
+  let body = parse_body ~output:"out" "a[0] * 2.0" in
   Alcotest.(check int) "no lets" 0 (List.length body.Expr.lets);
   Alcotest.check expr_testable "result" E.(acc "a" [ 0 ] *% c 2.) body.Expr.result
 
 let test_body_wrong_output () =
-  match Parser.parse_body_exn ~output:"out" "x = 1.0; y = 2.0;" with
-  | exception Parser.Syntax_error _ -> ()
-  | _ -> Alcotest.fail "final statement must assign the output"
+  match Parser.parse_body ~output:"out" "x = 1.0; y = 2.0;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "final statement must assign the output"
 
 let test_resolve_scalars () =
-  let body = Parser.parse_body_exn ~output:"out" "t = alpha * a[0]; out = t + alpha" in
+  let body = parse_body ~output:"out" "t = alpha * a[0]; out = t + alpha" in
   let resolved = Parser.resolve_body ~scalar:(String.equal "alpha") body in
   let lets_expr = snd (List.hd resolved.Expr.lets) in
   Alcotest.check expr_testable "alpha resolved in let" E.(sc "alpha" *% acc "a" [ 0 ]) lets_expr;
@@ -78,7 +82,7 @@ let test_resolve_scalars () =
 
 let test_resolve_respects_let_shadowing () =
   (* A let binding named like a scalar field shadows it downstream. *)
-  let body = Parser.parse_body_exn ~output:"out" "alpha = 2.0; out = alpha * a[0]" in
+  let body = parse_body ~output:"out" "alpha = 2.0; out = alpha * a[0]" in
   let resolved = Parser.resolve_body ~scalar:(String.equal "alpha") body in
   Alcotest.check expr_testable "shadowed stays a var" E.(var "alpha" *% acc "a" [ 0 ])
     resolved.Expr.result

@@ -2,9 +2,12 @@ open Sf_ir
 module Pipeline = Sf_sdfg.Pipeline
 module Engine = Sf_sim.Engine
 
+let run ?verify ?max_probe_cells passes p =
+  Fixtures.ok (Pipeline.run ?verify ?max_probe_cells passes p)
+
 let test_default_pipeline_on_hdiff () =
   let p = Sf_kernels.Hdiff.program ~shape:[ 6; 16; 16 ] () in
-  let optimized, entries = Pipeline.run_exn Pipeline.default_pipeline p in
+  let optimized, entries = run Pipeline.default_pipeline p in
   Alcotest.(check int) "two entries" 2 (List.length entries);
   let fusion_entry = List.hd entries in
   Alcotest.(check int) "fusion collapses 18" 18 fusion_entry.Pipeline.stencils_before;
@@ -25,13 +28,13 @@ let test_default_pipeline_on_hdiff () =
 
 let test_vectorize_pass () =
   let p = Fixtures.chain ~shape:[ 8; 32 ] ~n:2 () in
-  let p', entries = Pipeline.run_exn [ Pipeline.vectorize 4 ] p in
+  let p', entries = run [ Pipeline.vectorize 4 ] p in
   Alcotest.(check int) "width set" 4 p'.Program.vector_width;
   Alcotest.(check (option bool)) "verified" (Some true) (List.hd entries).Pipeline.verified
 
 let test_nest_pass_skips_verification () =
   let p = Fixtures.laplace2d ~shape:[ 6; 8 ] () in
-  let p', entries = Pipeline.run_exn [ Pipeline.nest ~extent:3 ] p in
+  let p', entries = run [ Pipeline.nest ~extent:3 ] p in
   Alcotest.(check int) "lifted" 3 (Program.rank p');
   Alcotest.(check (option bool)) "verification skipped" None (List.hd entries).Pipeline.verified
 
@@ -58,21 +61,24 @@ let test_broken_pass_detected () =
         })
   in
   let p = Fixtures.laplace2d ~shape:[ 8; 8 ] () in
-  match Pipeline.run_exn [ broken ] p with
-  | exception Pipeline.Verification_failed _ -> ()
-  | _ -> Alcotest.fail "broken pass must be detected"
+  match Pipeline.run [ broken ] p with
+  | Error (d :: _) ->
+      Alcotest.(check string) "verification code" Sf_support.Diag.Code.pass_verification
+        d.Sf_support.Diag.code
+  | Error [] -> Alcotest.fail "failure without diagnostics"
+  | Ok _ -> Alcotest.fail "broken pass must be detected"
 
 let test_verification_disabled () =
   (* With verify:false even a broken pass goes through, but is recorded
      as unverified. *)
   let broken = Pipeline.custom ~name:"noop" Fun.id in
   let p = Fixtures.laplace2d ~shape:[ 8; 8 ] () in
-  let _, entries = Pipeline.run_exn ~verify:false [ broken ] p in
+  let _, entries = run ~verify:false [ broken ] p in
   Alcotest.(check (option bool)) "unverified" None (List.hd entries).Pipeline.verified
 
 let test_large_domains_skip_probes () =
   let p = Sf_kernels.Hdiff.program () in
-  let _, entries = Pipeline.run_exn ~max_probe_cells:1000 Pipeline.default_pipeline p in
+  let _, entries = run ~max_probe_cells:1000 Pipeline.default_pipeline p in
   List.iter
     (fun e -> Alcotest.(check (option bool)) "skipped" None e.Pipeline.verified)
     entries

@@ -58,7 +58,7 @@ let prop_cycles_near_model =
 let prop_json_roundtrip =
   QCheck.Test.make ~count:100 ~name:"random programs: JSON roundtrip preserves semantics"
     Program_gen.arbitrary_program (fun p ->
-      let q = Program_json.of_string_exn (Program_json.to_string p) in
+      let q = Fixtures.ok (Program_json.of_string (Program_json.to_string p)) in
       semantically_equal p q)
 
 let prop_sdfg_roundtrip =
@@ -233,9 +233,9 @@ let prop_tiling_exact =
 let prop_codegen_never_crashes =
   QCheck.Test.make ~count:80 ~name:"random programs: both backends generate without crashing"
     Program_gen.arbitrary_program (fun p ->
-      let opencl = Sf_codegen.Opencl.generate_exn p in
-      let vitis = Sf_codegen.Vitis.generate_exn p in
-      let host = Sf_codegen.Opencl.host_source_exn p in
+      let opencl = Fixtures.ok (Sf_codegen.Opencl.generate p) in
+      let vitis = Fixtures.ok (Sf_codegen.Vitis.generate p) in
+      let host = Fixtures.ok (Sf_codegen.Opencl.host_source p) in
       let dot = Sf_codegen.Dot.of_program p in
       List.for_all (fun (a : Sf_codegen.Opencl.artifact) -> String.length a.Sf_codegen.Opencl.source > 0) opencl
       && String.length vitis > 0 && String.length host > 0 && String.length dot > 0)

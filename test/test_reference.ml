@@ -111,7 +111,7 @@ let test_missing_input () =
 
 let test_non_shortcircuit_semantics () =
   (* Both sides of && are evaluated but selection is still correct. *)
-  let e = Sf_frontend.Parser.parse_expr_exn "a[0] > 0.0 && 1.0 / a[0] > 0.5 ? 1.0 : 0.0" in
+  let e = Fixtures.ok1 (Sf_frontend.Parser.parse_expr "a[0] > 0.0 && 1.0 / a[0] > 0.5 ? 1.0 : 0.0") in
   let lookup ~field:_ ~offsets:_ = 0. in
   let v = Interp.eval_expr ~lookup ~env:(fun _ -> None) e in
   Alcotest.(check (float 0.)) "division by zero tolerated" 0. v

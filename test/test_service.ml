@@ -1,0 +1,127 @@
+(* The serve request loop, driven in-process through [Service.handle]. *)
+module Json = Sf_support.Json
+module Service = Sf_toolchain.Service
+
+let program_json =
+  {|{"name": "svc", "shape": [8, 8],
+     "inputs": {"a": {}},
+     "stencils": {"b": {"code": "a[0,0] * 2.0 + a[0,1]",
+                        "boundary": {"a": {"type": "constant", "value": 0.0}}}},
+     "outputs": ["b"]}|}
+
+let request ?(verb = "analyze") ?(id = "1") ?(options = "") () =
+  Printf.sprintf {|{"id": %s, "verb": %S, "program": %s%s}|} id verb program_json
+    (if options = "" then "" else ", \"options\": " ^ options)
+
+let handle_ok t line =
+  let resp, continue = Service.handle t line in
+  (match continue with `Continue -> () | `Stop -> Alcotest.fail "unexpected stop");
+  match Json.parse resp with
+  | Ok json -> json
+  | Error _ -> Alcotest.fail ("response is not JSON: " ^ resp)
+
+let field path json =
+  List.fold_left
+    (fun j k ->
+      match Option.bind j (Json.member k) with
+      | Some v -> Some v
+      | None -> None)
+    (Some json) path
+
+let int_field path json =
+  match Option.bind (field path json) Json.int_opt with
+  | Some n -> n
+  | None -> Alcotest.fail ("missing int field " ^ String.concat "." path)
+
+let bool_field path json =
+  match field path json with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.fail ("missing bool field " ^ String.concat "." path)
+
+let test_analyze_roundtrip () =
+  let t = Service.create () in
+  let json = handle_ok t (request ()) in
+  Alcotest.(check bool) "ok" true (bool_field [ "ok" ] json);
+  Alcotest.(check bool) "has latency" true
+    (int_field [ "result"; "latency_cycles" ] json > 0);
+  (* The id is echoed back verbatim. *)
+  Alcotest.(check int) "id echoed" 1 (int_field [ "id" ] json)
+
+let test_repeat_request_fully_cached () =
+  let t = Service.create () in
+  let cold = handle_ok t (request ()) in
+  let warm = handle_ok t (request ~id:"2" ()) in
+  Alcotest.(check bool) "cold executed passes" true
+    (int_field [ "passes"; "executed" ] cold > 0);
+  Alcotest.(check int) "warm executed zero passes" 0
+    (int_field [ "passes"; "executed" ] warm);
+  Alcotest.(check int) "warm replayed every pass"
+    (int_field [ "passes"; "executed" ] cold)
+    (int_field [ "passes"; "cached" ] warm);
+  (* Identical payloads modulo the echoed id, the pass trace's cached
+     flags, the cache counters and the timing. *)
+  let result j = Option.get (field [ "result" ] j) in
+  Alcotest.(check string) "results bit-identical"
+    (Json.to_string ~minify:true (result cold))
+    (Json.to_string ~minify:true (result warm))
+
+let test_formatting_does_not_defeat_cache () =
+  let t = Service.create () in
+  ignore (handle_ok t (request ()));
+  (* Same program, different whitespace: inline programs are minified
+     before keying, so this must be a full cache hit. *)
+  let reformatted =
+    request ~id:"3" () |> String.split_on_char '\n' |> List.map String.trim
+    |> String.concat " "
+  in
+  let warm = handle_ok t reformatted in
+  Alcotest.(check int) "still zero executed" 0 (int_field [ "passes"; "executed" ] warm)
+
+let test_option_change_misses () =
+  let t = Service.create () in
+  ignore (handle_ok t (request ()));
+  let changed = handle_ok t (request ~id:"4" ~options:{|{"width": 4}|} ()) in
+  Alcotest.(check bool) "vectorized request re-executes" true
+    (int_field [ "passes"; "executed" ] changed > 0)
+
+let test_bad_requests_keep_loop_alive () =
+  let t = Service.create () in
+  let malformed = handle_ok t "{not json" in
+  Alcotest.(check bool) "malformed -> ok:false" false (bool_field [ "ok" ] malformed);
+  let unknown = handle_ok t {|{"verb": "transmogrify"}|} in
+  Alcotest.(check bool) "unknown verb -> ok:false" false (bool_field [ "ok" ] unknown);
+  let missing = handle_ok t {|{"verb": "analyze"}|} in
+  Alcotest.(check bool) "missing program -> ok:false" false (bool_field [ "ok" ] missing);
+  (* The service still works afterwards. *)
+  Alcotest.(check bool) "still serving" true (bool_field [ "ok" ] (handle_ok t (request ())))
+
+let test_evict_and_stats () =
+  let t = Service.create () in
+  ignore (handle_ok t (request ()));
+  let stats = handle_ok t {|{"verb": "cache-stats"}|} in
+  Alcotest.(check bool) "entries after a run" true (int_field [ "result"; "entries" ] stats > 0);
+  let evict = handle_ok t {|{"verb": "evict"}|} in
+  Alcotest.(check int) "evict reports drops"
+    (int_field [ "result"; "entries" ] stats)
+    (int_field [ "result"; "entries_dropped" ] evict);
+  let stats' = handle_ok t {|{"verb": "cache-stats"}|} in
+  Alcotest.(check int) "cache empty" 0 (int_field [ "result"; "entries" ] stats')
+
+let test_shutdown_stops () =
+  let t = Service.create () in
+  match Service.handle t {|{"verb": "shutdown"}|} with
+  | _, `Stop -> ()
+  | _, `Continue -> Alcotest.fail "shutdown must stop the loop"
+
+let suite =
+  [
+    Alcotest.test_case "analyze roundtrip" `Quick test_analyze_roundtrip;
+    Alcotest.test_case "repeat request fully cached" `Quick test_repeat_request_fully_cached;
+    Alcotest.test_case "formatting does not defeat the cache" `Quick
+      test_formatting_does_not_defeat_cache;
+    Alcotest.test_case "option change misses" `Quick test_option_change_misses;
+    Alcotest.test_case "bad requests keep the loop alive" `Quick
+      test_bad_requests_keep_loop_alive;
+    Alcotest.test_case "evict and cache-stats" `Quick test_evict_and_stats;
+    Alcotest.test_case "shutdown stops the loop" `Quick test_shutdown_stops;
+  ]

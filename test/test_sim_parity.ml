@@ -92,7 +92,7 @@ let signature outcome =
 let example name =
   let candidates = [ "../examples/programs/" ^ name; "examples/programs/" ^ name ] in
   match List.find_opt Sys.file_exists candidates with
-  | Some path -> Sf_frontend.Program_json.of_file_exn path
+  | Some path -> Fixtures.ok (Sf_frontend.Program_json.of_file path)
   | None -> failwith ("cannot locate example program " ^ name)
 
 let cases : (string * (unit -> Engine.outcome)) list =

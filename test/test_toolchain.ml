@@ -12,24 +12,18 @@ let names trace = List.map (fun (t : Pass_manager.timing) -> t.Pass_manager.pass
    not the pipeline completes. Randomize the pipeline shape and the
    index of an injected failing pass. *)
 let fail_pass =
-  {
-    Pass_manager.name = "explode";
-    description = "always fails";
-    kind = Pass_manager.Other;
-    run = (fun _ -> Error [ Diag.error ~code:Diag.Code.internal "boom" ]);
-  }
+  Pass_manager.make_pass ~name:"explode" ~description:"always fails" ~kind:Pass_manager.Other
+    (fun _ -> Error [ Diag.error ~code:Diag.Code.internal "boom" ])
 
 let timing_per_pass =
   QCheck.Test.make ~count:50 ~name:"one timing entry per executed pass"
     QCheck.(pair (int_bound 3) (option (int_bound 4)))
     (fun (extra_noops, fail_at) ->
       let noop i =
-        {
-          Pass_manager.name = Printf.sprintf "noop%d" i;
-          description = "identity";
-          kind = Pass_manager.Other;
-          run = (fun ctx -> Ok ctx);
-        }
+        Pass_manager.make_pass
+          ~name:(Printf.sprintf "noop%d" i)
+          ~description:"identity" ~kind:Pass_manager.Other
+          (fun ctx -> Ok ctx)
       in
       let base =
         Passes.use_program (Fixtures.diamond ())
