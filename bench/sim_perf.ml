@@ -450,6 +450,98 @@ let () =
     | Json.Obj fields -> Json.Obj (fields @ [ ("service_cache", service_cache_json) ])
     | other -> other
   in
+  (* Concurrent serve tier: the same stream of distinct simulate
+     requests through a one-worker vs an N-worker server — the full
+     serve loop over pipes, so admission, pool scheduling, the
+     thread-safe cache and the writer are all on the measured path. A
+     second stream with every request duplicated measures how much work
+     single-flight deduplication absorbs. On a single-core host the
+     speedup is recorded but flagged invalid. *)
+  let svc_programs = if quick then 4 else 12 in
+  let svc_shape = if quick then 48 else 96 in
+  let svc_program i =
+    Printf.sprintf
+      {|{"name": "bench%d", "shape": [%d, %d], "inputs": {"x": {}}, "stencils": {"s": {"code": "x[0,0] * %d.0 + x[0,1]", "boundary": {"x": {"type": "constant", "value": 0.0}}}}, "outputs": ["s"]}|}
+      i svc_shape svc_shape (i + 2)
+  in
+  let svc_request i =
+    Printf.sprintf {|{"id": %d, "verb": "simulate", "program": %s, "options": {"validate": false}}|}
+      i (svc_program i)
+  in
+  let run_serve ~serve_jobs reqs =
+    let t = Service.create ~serve_jobs () in
+    let req_r, req_w = Unix.pipe () in
+    let resp_r, resp_w = Unix.pipe () in
+    let ocq = Unix.out_channel_of_descr req_w in
+    List.iter
+      (fun l ->
+        output_string ocq l;
+        output_char ocq '\n')
+      (reqs @ [ {|{"verb": "shutdown"}|} ]);
+    close_out ocq;
+    let t0 = Util.monotime () in
+    let server =
+      Domain.spawn (fun () ->
+          let ic = Unix.in_channel_of_descr req_r in
+          let oc = Unix.out_channel_of_descr resp_w in
+          Service.serve_loop t ic oc;
+          Out_channel.close oc;
+          In_channel.close ic)
+    in
+    let ic = Unix.in_channel_of_descr resp_r in
+    let rec read n =
+      match In_channel.input_line ic with None -> n | Some _ -> read (n + 1)
+    in
+    let answered = read 0 in
+    Domain.join server;
+    In_channel.close ic;
+    let dt = Util.monotime () -. t0 in
+    if answered <> List.length reqs + 1 then failwith "service_concurrent: lost a response";
+    (dt, Cache.stats (Service.cache t))
+  in
+  let svc_reqs = List.init svc_programs svc_request in
+  let svc_jobs_n = if host_cores > 1 then min 4 host_cores else 4 in
+  let svc_serial_s, _ = run_serve ~serve_jobs:1 svc_reqs in
+  let svc_par_s, _ = run_serve ~serve_jobs:svc_jobs_n svc_reqs in
+  let rps1 = float_of_int svc_programs /. svc_serial_s in
+  let rpsn = float_of_int svc_programs /. svc_par_s in
+  let svc_dup_reqs = List.concat_map (fun r -> [ r; r ]) svc_reqs in
+  let _, dup_stats = run_serve ~serve_jobs:svc_jobs_n svc_dup_reqs in
+  let lookups = dup_stats.Cache.hits + dup_stats.Cache.misses + dup_stats.Cache.joined in
+  let dedup_ratio =
+    if lookups = 0 then 0. else float_of_int dup_stats.Cache.joined /. float_of_int lookups
+  in
+  Printf.printf
+    "\n\
+     service concurrent (%d simulate requests): jobs=1 %.2f req/s, jobs=%d %.2f req/s \
+     (%.2fx)%s\n\
+     single-flight: %d joined of %d lookups (ratio %.2f) on the duplicated stream\n"
+    svc_programs rps1 svc_jobs_n rpsn (rpsn /. rps1)
+    (if host_cores > 1 then "" else " [1-core host: speedup not meaningful]")
+    dup_stats.Cache.joined lookups dedup_ratio;
+  let service_concurrent_json =
+    Json.Obj
+      [
+        ("requests", Json.Int svc_programs);
+        ("jobs", Json.Int svc_jobs_n);
+        ("serial_wall_seconds", Json.Float svc_serial_s);
+        ("parallel_wall_seconds", Json.Float svc_par_s);
+        ("requests_per_second_jobs1", Json.Float rps1);
+        ("requests_per_second_jobsN", Json.Float rpsn);
+        ("speedup", Json.Float (rpsn /. rps1));
+        ("host_cores", Json.Int host_cores);
+        ("speedup_valid", Json.Bool (host_cores > 1));
+        ("singleflight_joined", Json.Int dup_stats.Cache.joined);
+        ("singleflight_lookups", Json.Int lookups);
+        ("singleflight_dedup_ratio", Json.Float dedup_ratio);
+      ]
+  in
+  let json =
+    match json with
+    | Json.Obj fields ->
+        Json.Obj (fields @ [ ("service_concurrent", service_concurrent_json) ])
+    | other -> other
+  in
   if no_json then Printf.printf "\n--no-json: skipped BENCH_sim.json\n"
   else begin
     let out = if Sys.file_exists "BENCH_sim.json" || Sys.file_exists "dune-project" then "BENCH_sim.json" else "../BENCH_sim.json" in

@@ -122,8 +122,8 @@ let exit_diags ~json ds =
    content-addressed cache and --trace-passes appends its hit/miss
    summary. *)
 let pp_cache_stats fmt (s : Cache.stats) =
-  Format.fprintf fmt "cache: %d hit(s), %d miss(es), %d stale@." s.Cache.hits s.Cache.misses
-    s.Cache.stale
+  Format.fprintf fmt "cache: %d hit(s), %d miss(es), %d stale@." (s.Cache.hits + s.Cache.joined)
+    s.Cache.misses s.Cache.stale
 
 let run_pipeline ?device ?sim_config ?inputs ~(common : Common.t) passes =
   let hooks =
@@ -701,7 +701,26 @@ let serve_cmd =
          & info [ "cache-entries" ] ~docv:"N"
              ~doc:"Capacity of the in-memory LRU artifact cache, in entries.")
   in
-  let run (common : Common.t) cache_entries =
+  let serve_jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "serve-jobs" ] ~docv:"N"
+             ~doc:"Worker domains executing requests concurrently (default 1: one \
+                   worker, FIFO execution). Identical concurrent requests still \
+                   execute their passes once (single-flight).")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Maximum admitted-but-uncompleted requests; further requests are \
+                   rejected immediately with an SF0903 diagnostic.")
+  in
+  let ordered_arg =
+    Arg.(value & flag
+         & info [ "ordered" ]
+             ~doc:"Emit responses in request order (FIFO) instead of completion \
+                   order. Costs head-of-line blocking under --serve-jobs > 1.")
+  in
+  let run (common : Common.t) cache_entries serve_jobs queue_depth ordered =
     let on_trace =
       if common.Common.trace_passes then
         Some
@@ -711,17 +730,21 @@ let serve_cmd =
     in
     let service =
       Service.create ~cache_capacity:cache_entries ?store_dir:common.Common.cache_dir
-        ?on_trace ~jobs:common.Common.jobs ()
+        ?on_trace ~jobs:common.Common.jobs ~serve_jobs ~queue_depth ~ordered ()
     in
     Service.serve_loop service stdin stdout
   in
   let doc =
     "Run a persistent compile/simulate service over newline-delimited JSON requests \
-     on stdin (verbs: analyze, simulate, codegen, cache-stats, evict, shutdown), one \
-     JSON response per line on stdout. Repeated and incremental requests are served \
-     from a content-addressed pass cache; see docs/PIPELINE.md for the protocol."
+     on stdin (verbs: analyze, simulate, codegen, cache-stats, evict, cancel, \
+     shutdown), one JSON response per line on stdout. Requests execute concurrently \
+     on $(b,--serve-jobs) worker domains over a shared content-addressed pass cache; \
+     see docs/PIPELINE.md for the protocol."
   in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ Common.term $ cache_entries_arg)
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ Common.term $ cache_entries_arg $ serve_jobs_arg $ queue_depth_arg
+      $ ordered_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

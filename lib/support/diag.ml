@@ -30,6 +30,8 @@ module Code = struct
   let sim_config = "SF0704"
   let pass_verification = "SF0801"
   let internal = "SF0901"
+  let cancelled = "SF0902"
+  let overload = "SF0903"
 end
 
 let span ?file ~line ~col () = { file; line; col }

@@ -64,7 +64,17 @@ module Code : sig
   val sim_timeout : string
   val sim_config : string
   val pass_verification : string
+
   val internal : string
+  (** [SF0901] — escaped exception. *)
+
+  val cancelled : string
+  (** [SF0902] — request cancelled at a pass boundary (serve [cancel]
+      verb); the pipeline stops cleanly, nothing is cached. *)
+
+  val overload : string
+  (** [SF0903] — serve admission queue full; the request was rejected
+      without executing (resubmit later or raise [--queue-depth]). *)
 end
 
 val span : ?file:string -> line:int -> col:int -> unit -> span

@@ -59,12 +59,18 @@ type t = {
   done_cv : Condition.t;  (* the submitter waits here for completion *)
   mutable current : (int * batch) option;  (* generation, batch *)
   mutable generation : int;
+  submitted : (unit -> unit) Queue.t;  (* persistent one-off tasks *)
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
 }
 
 let jobs t = t.jobs
 let default_jobs () = Domain.recommended_domain_count ()
+
+(* Which pool worker the current domain is (0 = a domain that is not a
+   pool worker, e.g. the submitter). Set once per worker at spawn. *)
+let worker_key = Domain.DLS.new_key (fun () -> 0)
+let worker_index () = Domain.DLS.get worker_key
 
 (* Run one claimed task. After a failure the batch is cancelled: tasks
    are still claimed (so [pending] drains and the submitter wakes) but
@@ -110,32 +116,44 @@ let drain pool b me =
   in
   own ()
 
+(* A worker alternates between three duties, in priority order: drain
+   the current barrier batch (a submitter is blocked on it), run one
+   submitted task, park. Submitted tasks still queued at shutdown are
+   drained before the worker exits, so [submit]ted work is never lost;
+   a task's exception is swallowed (the submitter is long gone — tasks
+   that care must catch their own). *)
 let worker pool me () =
+  Domain.DLS.set worker_key me;
   let last = ref 0 in
   let rec loop () =
     Mutex.lock pool.mu;
     let rec next () =
-      if pool.stopped then None
-      else
-        match pool.current with
-        | Some (g, b) when g > !last ->
-            last := g;
-            Some b
-        | _ ->
+      match pool.current with
+      | Some (g, b) when g > !last ->
+          last := g;
+          `Batch b
+      | _ ->
+          if not (Queue.is_empty pool.submitted) then `Task (Queue.pop pool.submitted)
+          else if pool.stopped then `Exit
+          else begin
             Condition.wait pool.work_cv pool.mu;
             next ()
+          end
     in
-    let b = next () in
+    let duty = next () in
     Mutex.unlock pool.mu;
-    match b with
-    | None -> ()
-    | Some b ->
+    match duty with
+    | `Exit -> ()
+    | `Batch b ->
         drain pool b me;
+        loop ()
+    | `Task f ->
+        (try f () with _ -> ());
         loop ()
   in
   loop ()
 
-let create ~jobs =
+let create ?(dedicated = false) ~jobs () =
   let jobs = max 1 jobs in
   let pool =
     {
@@ -145,12 +163,31 @@ let create ~jobs =
       done_cv = Condition.create ();
       current = None;
       generation = 0;
+      submitted = Queue.create ();
       stopped = false;
       domains = [];
     }
   in
-  pool.domains <- List.init (jobs - 1) (fun k -> Domain.spawn (worker pool (k + 1)));
+  let workers = if dedicated then jobs else jobs - 1 in
+  pool.domains <- List.init workers (fun k -> Domain.spawn (worker pool (k + 1)));
   pool
+
+let submit t f =
+  Mutex.lock t.mu;
+  if t.stopped then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Executor.submit: pool is shut down"
+  end
+  else if t.domains = [] then begin
+    (* No worker domains (a non-dedicated jobs=1 pool): run inline. *)
+    Mutex.unlock t.mu;
+    f ()
+  end
+  else begin
+    Queue.push f t.submitted;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.mu
+  end
 
 let shutdown t =
   Mutex.lock t.mu;
@@ -212,5 +249,5 @@ let map_list pool f xs =
   Array.to_list (map pool (Array.length arr) (fun i -> f arr.(i)))
 
 let with_pool ~jobs f =
-  let pool = create ~jobs in
+  let pool = create ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

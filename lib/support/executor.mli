@@ -26,14 +26,28 @@
     {b Limits.} Batches must not nest: calling [map]/[run] from inside a
     task of the same pool deadlocks the submitter. A pool with
     [jobs <= 1] never spawns a domain and runs every batch inline, so
-    serial behaviour is always available as the degenerate case. *)
+    serial behaviour is always available as the degenerate case.
+
+    {b Persistent submission.} Alongside the barrier-style batches, a
+    pool accepts individual fire-and-forget tasks through {!submit}:
+    the task is queued and executed asynchronously by the next free
+    worker, and the submitter continues immediately. This is the serve
+    tier's request path — a reader domain admits requests as tasks and
+    a writer domain collects their responses, with completion signalled
+    by whatever channel the task itself writes to. Submitted tasks and
+    batches share the workers; batches take priority (a submitter is
+    blocked on them). *)
 
 type t
 
-val create : jobs:int -> t
+val create : ?dedicated:bool -> jobs:int -> unit -> t
 (** A pool executing up to [jobs] tasks concurrently: the submitting
     domain participates, so [jobs - 1] worker domains are spawned
-    (none when [jobs <= 1]). [jobs] is clamped to at least 1. *)
+    (none when [jobs <= 1]). [jobs] is clamped to at least 1.
+    [dedicated] (default false) spawns [jobs] worker domains instead —
+    for submission-style pools whose creating domain never drains
+    batches itself (e.g. the serve reader), so [jobs] tasks really run
+    concurrently without counting the submitter. *)
 
 val jobs : t -> int
 (** The configured concurrency (>= 1). *)
@@ -52,6 +66,23 @@ val map : t -> int -> (int -> 'a) -> 'a array
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] over a list, preserving order. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one task for asynchronous execution by a pool worker and
+    return immediately. Completion is not signalled by the pool — the
+    task communicates through its own side effects (typically a
+    response queue). Tasks still queued at {!shutdown} are drained
+    before the workers exit, so a submitted task always runs exactly
+    once. A task's exception is discarded; tasks that care must catch.
+    On a pool with no worker domains (non-dedicated [jobs <= 1]) the
+    task runs inline in the submitting domain before [submit] returns.
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val worker_index : unit -> int
+(** The calling domain's worker number within its pool ([1 .. workers]),
+    or [0] when the caller is not a pool worker (e.g. the submitting
+    domain, or a task inlined by [submit] on a workerless pool) —
+    telemetry for per-request worker attribution in serve responses. *)
 
 val shutdown : t -> unit
 (** Join the worker domains. The pool must not be used afterwards;

@@ -1,0 +1,19 @@
+/* Monotonic clock for timing measurements.
+
+   OCaml 5.1's Unix library exposes only gettimeofday, which is wall
+   clock: NTP slews and manual clock changes can make intervals
+   negative or wildly wrong. Every duration the toolchain reports
+   (pass timings, per-request serve telemetry, bench sections) should
+   come from CLOCK_MONOTONIC instead; this stub is the one place that
+   reads it. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value sf_monotime_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -1,3 +1,7 @@
+external monotime_ns : unit -> int64 = "sf_monotime_ns"
+
+let monotime () = Int64.to_float (monotime_ns ()) *. 1e-9
+
 let range n = List.init (max 0 n) Fun.id
 let sum_int = List.fold_left ( + ) 0
 let sum_float = List.fold_left ( +. ) 0.

@@ -1,5 +1,15 @@
 (** Small shared helpers used across the StencilFlow stack. *)
 
+val monotime : unit -> float
+(** Seconds on the system's monotonic clock ([CLOCK_MONOTONIC], read
+    through a C stub — OCaml 5.1's Unix only exposes wall clock).
+    The origin is arbitrary; only differences are meaningful. Use this,
+    never [Unix.gettimeofday], to measure durations: the wall clock can
+    be slewed or stepped mid-measurement. *)
+
+val monotime_ns : unit -> int64
+(** The same clock in integer nanoseconds. *)
+
 val range : int -> int list
 (** [range n] is [[0; 1; ...; n-1]]; empty when [n <= 0]. *)
 

@@ -10,30 +10,50 @@ type entry = { bindings : binding list; diags : Diag.t list }
    so the O(n) scan is cheaper than maintaining an intrusive list. *)
 type record = { mutable last_use : int; entry : entry }
 
+(* One in-progress execution of a key. The first caller to miss becomes
+   the leader and runs the pass; concurrent callers with the same key
+   block on [cv] (sharing the cache mutex) until the leader settles the
+   flight with [fulfill] (outcome = Some entry) or [abandon] (None —
+   failed or cancelled executions are never published). *)
+type flight = {
+  flight_key : F.t;
+  mutable settled : bool;
+  mutable outcome : entry option;
+  cv : Condition.t;
+}
+
 type t = {
   capacity : int;
+  mu : Mutex.t;
   table : (F.t, record) Hashtbl.t;
+  flights : (F.t, flight) Hashtbl.t;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable stale : int;
   mutable evictions : int;
-  store : Store.t option;
+  mutable joined : int;
+  mutable store : Store.t option;
 }
 
 let create ?(capacity = 128) () =
   {
     capacity = max 1 capacity;
+    mu = Mutex.create ();
     table = Hashtbl.create 64;
+    flights = Hashtbl.create 8;
     tick = 0;
     hits = 0;
     misses = 0;
     stale = 0;
     evictions = 0;
+    joined = 0;
     store = None;
   }
 
-let with_store t store = { t with store = Some store }
+let with_store t store =
+  t.store <- Some store;
+  t
 
 let absent_marker = F.of_string "<absent>"
 
@@ -71,6 +91,8 @@ let deserialize payload =
     Some { bindings = List.map bind bindings; diags }
   with _ -> None
 
+(* The helpers below assume [t.mu] is held by the caller. *)
+
 let touch t record =
   t.tick <- t.tick + 1;
   record.last_use <- t.tick
@@ -97,60 +119,139 @@ let insert_memory t key entry =
     Hashtbl.add t.table key record
   end
 
-let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some record ->
-      touch t record;
-      t.hits <- t.hits + 1;
-      Some record.entry
-  | None -> (
-      match t.store with
-      | None ->
-          t.misses <- t.misses + 1;
-          None
-      | Some store -> (
-          match Store.find store ~key:(F.to_hex key) with
-          | `Absent ->
-              t.misses <- t.misses + 1;
-              None
-          | `Stale ->
-              t.stale <- t.stale + 1;
-              None
-          | `Found payload -> (
-              match deserialize payload with
-              | None ->
-                  t.stale <- t.stale + 1;
-                  None
-              | Some entry ->
-                  insert_memory t key entry;
-                  t.hits <- t.hits + 1;
-                  Some entry)))
+let settle t flight outcome =
+  flight.settled <- true;
+  flight.outcome <- outcome;
+  Hashtbl.remove t.flights flight.flight_key;
+  Condition.broadcast flight.cv
 
-let add t key entry =
-  insert_memory t key entry;
-  match t.store with
+type outcome = Hit of entry | Joined of entry | Miss of flight
+
+let acquire t key =
+  Mutex.lock t.mu;
+  let rec go ~waited =
+    match Hashtbl.find_opt t.table key with
+    | Some record ->
+        touch t record;
+        if waited then t.joined <- t.joined + 1 else t.hits <- t.hits + 1;
+        let entry = record.entry in
+        Mutex.unlock t.mu;
+        if waited then Joined entry else Hit entry
+    | None -> (
+        match Hashtbl.find_opt t.flights key with
+        | Some flight ->
+            while not flight.settled do
+              Condition.wait flight.cv t.mu
+            done;
+            (match flight.outcome with
+            | Some entry ->
+                (* The leader published while we slept: a deduplicated
+                   execution, counted separately from plain hits. *)
+                t.joined <- t.joined + 1;
+                Mutex.unlock t.mu;
+                Joined entry
+            | None ->
+                (* Leader failed or was cancelled; race to lead a fresh
+                   attempt (or join whoever won). *)
+                go ~waited)
+        | None -> (
+            let flight =
+              { flight_key = key; settled = false; outcome = None; cv = Condition.create () }
+            in
+            Hashtbl.add t.flights key flight;
+            match t.store with
+            | None ->
+                t.misses <- t.misses + 1;
+                Mutex.unlock t.mu;
+                Miss flight
+            | Some store -> (
+                (* Disk lookup without the lock: blob reads must not
+                   stall unrelated keys. The registered flight keeps
+                   same-key callers parked meanwhile. *)
+                Mutex.unlock t.mu;
+                let found =
+                  match Store.find store ~key:(F.to_hex key) with
+                  | `Absent -> Ok None
+                  | `Stale -> Error `Stale
+                  | `Found payload -> (
+                      match deserialize payload with
+                      | None -> Error `Stale
+                      | Some entry -> Ok (Some entry))
+                in
+                Mutex.lock t.mu;
+                match found with
+                | Ok (Some entry) ->
+                    insert_memory t key entry;
+                    t.hits <- t.hits + 1;
+                    settle t flight (Some entry);
+                    Mutex.unlock t.mu;
+                    if waited then Joined entry else Hit entry
+                | Ok None ->
+                    t.misses <- t.misses + 1;
+                    Mutex.unlock t.mu;
+                    Miss flight
+                | Error `Stale ->
+                    t.stale <- t.stale + 1;
+                    Mutex.unlock t.mu;
+                    Miss flight)))
+  in
+  go ~waited:false
+
+let fulfill t flight entry =
+  (* Write through to the store before publishing: blob IO happens
+     outside the lock, and a follower woken by [settle] must already be
+     able to find the blob's in-memory twin. *)
+  (match t.store with
   | None -> ()
   | Some store -> (
       match serialize entry with
       | None -> ()
-      | Some payload -> ignore (Store.put store ~key:(F.to_hex key) payload))
+      | Some payload -> ignore (Store.put store ~key:(F.to_hex flight.flight_key) payload)));
+  Mutex.lock t.mu;
+  insert_memory t flight.flight_key entry;
+  settle t flight (Some entry);
+  Mutex.unlock t.mu
 
-type stats = { hits : int; misses : int; stale : int; evictions : int; entries : int }
+let abandon t flight =
+  Mutex.lock t.mu;
+  settle t flight None;
+  Mutex.unlock t.mu
+
+type stats = {
+  hits : int;
+  misses : int;
+  stale : int;
+  evictions : int;
+  joined : int;
+  entries : int;
+}
 
 let stats (c : t) =
-  {
-    hits = c.hits;
-    misses = c.misses;
-    stale = c.stale;
-    evictions = c.evictions;
-    entries = Hashtbl.length c.table;
-  }
+  Mutex.lock c.mu;
+  let s =
+    {
+      hits = c.hits;
+      misses = c.misses;
+      stale = c.stale;
+      evictions = c.evictions;
+      joined = c.joined;
+      entries = Hashtbl.length c.table;
+    }
+  in
+  Mutex.unlock c.mu;
+  s
 
 let clear t =
+  Mutex.lock t.mu;
+  (* In-progress flights are left to settle into the fresh table; only
+     published entries and counters are dropped. *)
   Hashtbl.reset t.table;
   t.tick <- 0;
   t.hits <- 0;
   t.misses <- 0;
   t.stale <- 0;
   t.evictions <- 0;
-  match t.store with None -> () | Some store -> ignore (Store.clear store)
+  t.joined <- 0;
+  let store = t.store in
+  Mutex.unlock t.mu;
+  match store with None -> () | Some store -> ignore (Store.clear store)

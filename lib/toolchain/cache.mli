@@ -1,4 +1,5 @@
-(** Content-addressed cache of pass executions.
+(** Content-addressed cache of pass executions — thread-safe, with
+    single-flight deduplication.
 
     A cache entry records what one pass produced — the values of its
     declared write slots plus the diagnostics it emitted — keyed by a
@@ -15,7 +16,18 @@
     warm. Disk blobs are [Marshal]-serialized per slot and guarded by
     the store's schema version; any deserialization failure counts as
     [stale] and falls back to executing the pass — the cache is an
-    accelerator, never a correctness dependency. *)
+    accelerator, never a correctness dependency.
+
+    {b Concurrency.} Every operation is safe to call from any domain:
+    lookups, insertions, [stats] and [clear] synchronize on one
+    internal mutex (held only for table operations, never for blob
+    IO). Lookup follows a {e single-flight} protocol: {!acquire}
+    returns [Miss flight] to exactly one caller per key — the leader,
+    who must execute the pass and then {!fulfill} (publish) or
+    {!abandon} (failed / cancelled — never published) the flight.
+    Concurrent acquirers of the same key block until the flight
+    settles and get [Joined entry], so a fleet replaying near-identical
+    requests executes each distinct pass once. *)
 
 type binding = B : 'a Ctx.slot * 'a -> binding
 (** One write-slot value captured from a pass execution. *)
@@ -32,7 +44,8 @@ val create : ?capacity:int -> unit -> t
 (** In-memory LRU holding at most [capacity] entries (default 128). *)
 
 val with_store : t -> Sf_support.Store.t -> t
-(** Same cache, write-through to (and read-miss fallback from) [store]. *)
+(** Attach a write-through (and read-miss fallback) [store]; returns
+    the same cache. *)
 
 val key :
   pass_name:string ->
@@ -46,17 +59,47 @@ val key :
     before the artifact existed" and "ran against artifact X" never
     collide. *)
 
-val find : t -> Sf_support.Fingerprint.t -> entry option
-(** Memory first, then the store (a disk hit is promoted to memory).
-    Updates the hit/miss/stale counters. *)
+type flight
+(** A claimed in-progress execution. The holder must settle it with
+    {!fulfill} or {!abandon} — leaking one blocks every later acquirer
+    of its key forever. *)
 
-val add : t -> Sf_support.Fingerprint.t -> entry -> unit
-(** Insert, evicting the least-recently-used entry when full, and write
-    through to the store when one is attached. *)
+type outcome =
+  | Hit of entry  (** Found in memory or promoted from the store. *)
+  | Joined of entry
+      (** Deduplicated: a concurrent execution of the same key finished
+          while this caller waited. *)
+  | Miss of flight
+      (** This caller leads: execute, then {!fulfill} or {!abandon}. *)
 
-type stats = { hits : int; misses : int; stale : int; evictions : int; entries : int }
+val acquire : t -> Sf_support.Fingerprint.t -> outcome
+(** Look the key up (memory first, then the store — a disk hit is
+    promoted to memory and settles the flight for any waiters), joining
+    an in-progress execution if one exists. Blocks only in the [Joined]
+    case, for as long as the leader executes. Updates the
+    hit/miss/stale/joined counters. *)
+
+val fulfill : t -> flight -> entry -> unit
+(** Publish the leader's result: insert into memory (evicting LRU when
+    full), write through to the store when attached, and wake every
+    waiter with [Joined entry]. *)
+
+val abandon : t -> flight -> unit
+(** Settle the flight without publishing (the execution failed or was
+    cancelled). Waiters retry; the first one becomes the new leader. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  stale : int;
+  evictions : int;
+  joined : int;  (** Executions deduplicated by single-flight waiting. *)
+  entries : int;
+}
 
 val stats : t -> stats
+
 val clear : t -> unit
 (** Drop every in-memory entry and delete the store's blobs; counters
-    are reset. *)
+    are reset. In-progress flights are unaffected and settle into the
+    cleared table. *)

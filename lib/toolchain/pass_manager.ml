@@ -29,6 +29,8 @@ let make_pass ?(reads = []) ?(writes = []) ?(fingerprint = fun () -> None) ~name
     ~kind run =
   { name; description; kind; reads; writes; fingerprint; run }
 
+let monotime = Sf_support.Util.monotime
+
 type timing = {
   pass : string;
   kind : kind;
@@ -37,6 +39,8 @@ type timing = {
   counters_after : (string * int) list;
   ok : bool;
   cached : bool;
+  joined : bool;
+  missed : bool;
 }
 
 type trace = timing list
@@ -114,84 +118,113 @@ let capture (pass : pass) (ctx : Ctx.t) (ctx' : Ctx.t) =
   let diags = List.filteri (fun i _ -> i >= before) ctx'.Ctx.diags in
   { Cache.bindings; diags }
 
-let run ?(hooks = no_hooks) ?cache passes ctx =
+let run ?(hooks = no_hooks) ?cache ?(should_stop = fun () -> false) passes ctx =
   let trace = ref [] in
   let record t =
     trace := t :: !trace;
     match hooks.on_pass with Some f -> f t | None -> ()
   in
-  let cache_lookup pass ctx =
-    match (cache, pass.fingerprint ()) with
-    | Some cache, Some options_fp ->
-        let key = Cache.key ~pass_name:pass.name ~options_fp:(Some options_fp) ~reads:pass.reads ctx in
-        Some (cache, key, Cache.find cache key)
-    | _ -> None
-  in
   let rec go index ctx = function
     | [] -> Ok (ctx, List.rev !trace)
-    | pass :: rest -> (
-        let counters_before = Ctx.counters ctx in
-        let lookup = cache_lookup pass ctx in
-        match lookup with
-        | Some (_, _, Some entry) ->
-            (* Hit: the entry was stored after its invariants passed, so
-               replaying it cannot introduce an invariant violation. *)
-            let t0 = Unix.gettimeofday () in
-            let ctx' = replay ctx entry in
-            let seconds = Unix.gettimeofday () -. t0 in
-            record
-              {
-                pass = pass.name;
-                kind = pass.kind;
-                seconds;
-                counters_before;
-                counters_after = Ctx.counters ctx';
-                ok = true;
-                cached = true;
-              };
-            (match hooks.dump with Some f -> f ~index ~pass:pass.name ctx' | None -> ());
-            go (index + 1) ctx' rest
-        | _ -> (
-            let t0 = Unix.gettimeofday () in
-            let result =
-              try pass.run ctx
-              with exn ->
-                Error
-                  [
-                    Diag.errorf ~code:Diag.Code.internal "pass %s raised: %s" pass.name
-                      (Printexc.to_string exn);
-                  ]
-            in
-            let seconds = Unix.gettimeofday () -. t0 in
-            let entry ok counters_after =
-              {
-                pass = pass.name;
-                kind = pass.kind;
-                seconds;
-                counters_before;
-                counters_after;
-                ok;
-                cached = false;
-              }
-            in
-            match result with
-            | Error ds ->
-                record (entry false counters_before);
-                Error (ds, List.rev !trace)
-            | Ok ctx' -> (
-                let errors, warnings = invariant_diags ctx' in
-                let ctx' = List.fold_left Ctx.add_diag ctx' warnings in
-                record (entry (errors = []) (Ctx.counters ctx'));
-                match errors with
-                | _ :: _ -> Error (errors, List.rev !trace)
-                | [] ->
-                    (match lookup with
-                    | Some (cache, key, None) -> Cache.add cache key (capture pass ctx ctx')
-                    | _ -> ());
-                    (match hooks.dump with
-                    | Some f -> f ~index ~pass:pass.name ctx'
-                    | None -> ());
-                    go (index + 1) ctx' rest)))
+    | pass :: rest ->
+        if should_stop () then
+          (* Cancellation is only honoured at pass boundaries: a pass
+             either runs to completion or not at all, so a cancelled
+             request can never publish a half-built artifact. *)
+          Error
+            ( [ Diag.errorf ~code:Diag.Code.cancelled "request cancelled before pass %s" pass.name ],
+              List.rev !trace )
+        else begin
+          let counters_before = Ctx.counters ctx in
+          let lookup =
+            match (cache, pass.fingerprint ()) with
+            | Some cache, Some options_fp ->
+                let key =
+                  Cache.key ~pass_name:pass.name ~options_fp:(Some options_fp) ~reads:pass.reads
+                    ctx
+                in
+                Some (cache, Cache.acquire cache key)
+            | _ -> None
+          in
+          match lookup with
+          | Some (_, ((Cache.Hit entry | Cache.Joined entry) as outcome)) ->
+              (* Hit: the entry was stored after its invariants passed, so
+                 replaying it cannot introduce an invariant violation. *)
+              let t0 = monotime () in
+              let ctx' = replay ctx entry in
+              let seconds = monotime () -. t0 in
+              record
+                {
+                  pass = pass.name;
+                  kind = pass.kind;
+                  seconds;
+                  counters_before;
+                  counters_after = Ctx.counters ctx';
+                  ok = true;
+                  cached = true;
+                  joined = (match outcome with Cache.Joined _ -> true | _ -> false);
+                  missed = false;
+                };
+              (match hooks.dump with Some f -> f ~index ~pass:pass.name ctx' | None -> ());
+              go (index + 1) ctx' rest
+          | Some (_, Cache.Miss _) | None -> (
+              (* As flight leader (the [Miss] case) this execution must
+                 settle the flight on every exit path: [fulfill] only
+                 after the invariants pass, [abandon] on failure or
+                 invariant violation — failed runs are never published,
+                 and a parked follower then retries as the new leader. *)
+              let flight =
+                match lookup with Some (cache, Cache.Miss f) -> Some (cache, f) | _ -> None
+              in
+              let abandon () =
+                match flight with Some (cache, f) -> Cache.abandon cache f | None -> ()
+              in
+              let t0 = monotime () in
+              let result =
+                try pass.run ctx
+                with exn ->
+                  Error
+                    [
+                      Diag.errorf ~code:Diag.Code.internal "pass %s raised: %s" pass.name
+                        (Printexc.to_string exn);
+                    ]
+              in
+              let seconds = monotime () -. t0 in
+              let entry ok counters_after =
+                {
+                  pass = pass.name;
+                  kind = pass.kind;
+                  seconds;
+                  counters_before;
+                  counters_after;
+                  ok;
+                  cached = false;
+                  joined = false;
+                  missed = flight <> None;
+                }
+              in
+              match result with
+              | Error ds ->
+                  abandon ();
+                  record (entry false counters_before);
+                  Error (ds, List.rev !trace)
+              | Ok ctx' -> (
+                  let errors, warnings = invariant_diags ctx' in
+                  let ctx' = List.fold_left Ctx.add_diag ctx' warnings in
+                  record (entry (errors = []) (Ctx.counters ctx'));
+                  match errors with
+                  | _ :: _ ->
+                      abandon ();
+                      Error (errors, List.rev !trace)
+                  | [] ->
+                      (match flight with
+                      | Some (cache, f) -> Cache.fulfill cache f (capture pass ctx ctx')
+                      | None -> ());
+                      (match hooks.dump with
+                      | Some f -> f ~index ~pass:pass.name ctx'
+                      | None -> ());
+                      go (index + 1) ctx' rest))
+        end
   in
   go 0 ctx passes
 
@@ -220,6 +253,6 @@ let executed_passes (trace : trace) = List.length (List.filter (fun t -> not t.c
 
 let time ~label f =
   ignore label;
-  let t0 = Unix.gettimeofday () in
+  let t0 = monotime () in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, monotime () -. t0)

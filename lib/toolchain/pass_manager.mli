@@ -58,6 +58,13 @@ type timing = {
   counters_after : (string * int) list;
   ok : bool;  (** False for the pass that aborted the pipeline. *)
   cached : bool;  (** True when the pass was replayed from the cache. *)
+  joined : bool;
+      (** True when the replayed entry came from waiting on a concurrent
+          execution of the same key (single-flight deduplication) rather
+          than from an already-published entry. Implies [cached]. *)
+  missed : bool;
+      (** True when the pass was cacheable, missed, and executed as the
+          flight leader (its result was published on success). *)
 }
 
 type trace = timing list
@@ -76,6 +83,7 @@ val no_hooks : hooks
 val run :
   ?hooks:hooks ->
   ?cache:Cache.t ->
+  ?should_stop:(unit -> bool) ->
   pass list ->
   Ctx.t ->
   (Ctx.t * trace, Sf_support.Diag.t list * trace) result
@@ -85,7 +93,13 @@ val run :
     trace up to and including it. A pass raising an exception becomes an
     [SF0901] diagnostic rather than escaping. With [cache], cacheable
     passes are replayed on a content-key hit (their trace entries have
-    [cached = true]) and stored on a miss. *)
+    [cached = true]) and stored on a miss via the single-flight protocol
+    — concurrent [run]s over a shared cache execute each distinct key
+    once, and failed or cancelled executions abandon their flight so
+    they never poison the cache. [should_stop] is polled before each
+    pass (default: never); when it returns [true] the pipeline aborts
+    with an [SF0902] cancellation error — a pass either runs to
+    completion or not at all. *)
 
 val pp_trace : Format.formatter -> trace -> unit
 (** The [--trace-passes] rendering: one line per pass with its kind,

@@ -1,22 +1,82 @@
 module Json = Sf_support.Json
 module Diag = Sf_support.Diag
 module Store = Sf_support.Store
+module Executor = Sf_support.Executor
 module Engine = Sf_sim.Engine
+
+let monotime = Sf_support.Util.monotime
 
 type t = {
   cache : Cache.t;
   on_trace : (verb:string -> Pass_manager.trace -> unit) option;
   jobs : int;
+  serve_jobs : int;
+  queue_depth : int;
+  ordered : bool;
+  cancels : (string, bool Atomic.t) Hashtbl.t;
+  cancels_mu : Mutex.t;
 }
 
-let create ?(cache_capacity = 128) ?store_dir ?on_trace ?(jobs = 0) () =
+let create ?(cache_capacity = 128) ?store_dir ?on_trace ?(jobs = 0) ?(serve_jobs = 1)
+    ?(queue_depth = 64) ?(ordered = false) () =
   let cache = Cache.create ~capacity:cache_capacity () in
   let cache =
     match store_dir with None -> cache | Some dir -> Cache.with_store cache (Store.open_ dir)
   in
-  { cache; on_trace; jobs }
+  {
+    cache;
+    on_trace;
+    jobs;
+    serve_jobs = max 1 serve_jobs;
+    queue_depth = max 1 queue_depth;
+    ordered;
+    cancels = Hashtbl.create 16;
+    cancels_mu = Mutex.create ();
+  }
 
 let cache t = t.cache
+
+(* Each request's simulation gets a slice of the host-thread budget: the
+   pool's workers run [serve_jobs] simulations concurrently, so handing
+   every one of them the full budget would oversubscribe the host by a
+   factor of [serve_jobs]. *)
+let sim_jobs t =
+  let resolved = if t.jobs > 0 then t.jobs else Executor.default_jobs () in
+  if t.serve_jobs > 1 then max 1 (resolved / t.serve_jobs) else resolved
+
+(* Cancellation registry --------------------------------------------- *)
+
+(* Requests are addressed by their client [id] (any JSON value, keyed by
+   its minified rendering). A flag is registered at admission — before
+   the request reaches a worker — so a [cancel] can hit a request that
+   is still queued; the executing pipeline polls it at pass boundaries. *)
+
+let cancel_key id = Json.to_string ~minify:true id
+
+let register_cancel t id =
+  let flag = Atomic.make false in
+  let key = cancel_key id in
+  Mutex.lock t.cancels_mu;
+  Hashtbl.add t.cancels key flag;
+  Mutex.unlock t.cancels_mu;
+  (key, flag)
+
+let unregister_cancel t key =
+  Mutex.lock t.cancels_mu;
+  Hashtbl.remove t.cancels key;
+  Mutex.unlock t.cancels_mu
+
+let request_cancel t id =
+  Mutex.lock t.cancels_mu;
+  let found =
+    match Hashtbl.find_opt t.cancels (cancel_key id) with
+    | Some flag ->
+        Atomic.set flag true;
+        true
+    | None -> false
+  in
+  Mutex.unlock t.cancels_mu;
+  found
 
 (* Request decoding -------------------------------------------------- *)
 
@@ -114,6 +174,54 @@ let verb_passes verb opts =
       ]
   | `Codegen -> Passes.codegen_pipeline ~backend:opts.backend
 
+(* Request parsing --------------------------------------------------- *)
+
+type body =
+  | Compile of [ `Analyze | `Simulate | `Codegen ] * Json.t
+  | Cache_stats
+  | Evict
+  | Cancel of Json.t option
+  | Shutdown
+  | Invalid of Diag.t list
+
+type request = { id : Json.t option; verb_name : string; body : body }
+
+let parse_request line =
+  match Json.parse line with
+  | Error e ->
+      {
+        id = None;
+        verb_name = "error";
+        body =
+          Invalid
+            [
+              Diag.errorf ~code:Diag.Code.json_parse "malformed request: %s"
+                (Json.error_to_string e);
+            ];
+      }
+  | Ok json -> (
+      let id = Json.member "id" json in
+      match Option.bind (Json.member "verb" json) Json.string_opt with
+      | Some "analyze" -> { id; verb_name = "analyze"; body = Compile (`Analyze, json) }
+      | Some "simulate" -> { id; verb_name = "simulate"; body = Compile (`Simulate, json) }
+      | Some "codegen" -> { id; verb_name = "codegen"; body = Compile (`Codegen, json) }
+      | Some "cache-stats" -> { id; verb_name = "cache-stats"; body = Cache_stats }
+      | Some "evict" -> { id; verb_name = "evict"; body = Evict }
+      | Some "cancel" -> { id; verb_name = "cancel"; body = Cancel (Json.member "target" json) }
+      | Some "shutdown" -> { id; verb_name = "shutdown"; body = Shutdown }
+      | Some other ->
+          {
+            id;
+            verb_name = other;
+            body = Invalid [ Diag.errorf ~code:Diag.Code.format "unknown verb %S" other ];
+          }
+      | None ->
+          {
+            id;
+            verb_name = "error";
+            body = Invalid [ Diag.error ~code:Diag.Code.format "request has no \"verb\"" ];
+          })
+
 (* Response encoding ------------------------------------------------- *)
 
 let diags_json ds = Json.List (List.map Diag.to_json ds)
@@ -142,7 +250,22 @@ let stats_json (s : Cache.stats) =
       ("misses", Json.Int s.Cache.misses);
       ("stale", Json.Int s.Cache.stale);
       ("evictions", Json.Int s.Cache.evictions);
+      ("joined", Json.Int s.Cache.joined);
       ("entries", Json.Int s.Cache.entries);
+    ]
+
+(* What this request did to the cache, derived from its own pass trace —
+   unlike the global counters these deltas are race-free, so responses
+   stay deterministic under concurrent execution. The global totals are
+   only reported by the explicit [cache-stats] verb. *)
+let trace_cache_json (trace : Pass_manager.trace) =
+  let count p = List.length (List.filter p trace) in
+  Json.Obj
+    [
+      ( "hits",
+        Json.Int (count (fun t -> t.Pass_manager.cached && not t.Pass_manager.joined)) );
+      ("misses", Json.Int (count (fun t -> t.Pass_manager.missed)));
+      ("joined", Json.Int (count (fun t -> t.Pass_manager.joined)));
     ]
 
 let analyze_result (ctx : Ctx.t) =
@@ -209,21 +332,43 @@ let codegen_result (ctx : Ctx.t) =
 
 (* Request execution ------------------------------------------------- *)
 
-let response ?id ~verb ~ok ?(result = Json.Null) ?(diags = []) ?(trace = []) cache seconds =
+type reply = {
+  ok : bool;
+  result : Json.t;
+  diags : Diag.t list;
+  trace : Pass_manager.trace;
+  control : [ `Continue | `Stop ];
+}
+
+let reply ?(ok = true) ?(result = Json.Null) ?(diags = []) ?(trace = [])
+    ?(control = `Continue) () =
+  { ok; result; diags; trace; control }
+
+type timing = { seconds : float; queue_seconds : float; exec_seconds : float; worker : int }
+
+let render ?seq ~id ~verb ~timing reply =
   Json.to_string ~minify:true
     (Json.Obj
        ((match id with Some id -> [ ("id", id) ] | None -> [])
+       @ (match seq with Some n -> [ ("seq", Json.Int n) ] | None -> [])
        @ [
            ("verb", Json.String verb);
-           ("ok", Json.Bool ok);
-           ("result", result);
-           ("diagnostics", diags_json diags);
-           ("passes", passes_json trace);
-           ("cache", stats_json (Cache.stats cache));
-           ("timing", Json.Obj [ ("seconds", Json.Float seconds) ]);
+           ("ok", Json.Bool reply.ok);
+           ("result", reply.result);
+           ("diagnostics", diags_json reply.diags);
+           ("passes", passes_json reply.trace);
+           ("cache", trace_cache_json reply.trace);
+           ( "timing",
+             Json.Obj
+               [
+                 ("seconds", Json.Float timing.seconds);
+                 ("queue_seconds", Json.Float timing.queue_seconds);
+                 ("exec_seconds", Json.Float timing.exec_seconds);
+                 ("worker", Json.Int timing.worker);
+               ] );
          ]))
 
-let compile_verb t ?id ~verb ~name json t0 =
+let compile_verb t ~should_stop ~verb ~name json =
   let outcome =
     let ( let* ) = Result.bind in
     let* opts = decode_options json in
@@ -231,13 +376,12 @@ let compile_verb t ?id ~verb ~name json t0 =
     Ok (opts, frontend)
   in
   match outcome with
-  | Error ds ->
-      response ?id ~verb:name ~ok:false ~diags:ds t.cache (Unix.gettimeofday () -. t0)
+  | Error ds -> reply ~ok:false ~diags:ds ()
   | Ok (opts, frontend) -> (
       let sim_config =
         Engine.Config.make
           ~safety:(Engine.Config.safety ?max_cycles:opts.max_cycles ())
-          ~parallelism:(Engine.Config.parallelism ~host_jobs:t.jobs ())
+          ~parallelism:(Engine.Config.parallelism ~host_jobs:(sim_jobs t) ())
           ()
       in
       let ctx = Ctx.create ~sim_config () in
@@ -245,7 +389,7 @@ let compile_verb t ?id ~verb ~name json t0 =
       let emit_trace trace =
         match t.on_trace with Some f -> f ~verb:name trace | None -> ()
       in
-      match Pass_manager.run ~cache:t.cache passes ctx with
+      match Pass_manager.run ~cache:t.cache ~should_stop passes ctx with
       | Ok (ctx, trace) ->
           emit_trace trace;
           let result =
@@ -255,73 +399,227 @@ let compile_verb t ?id ~verb ~name json t0 =
             | `Codegen -> codegen_result ctx
           in
           let ok = not (Diag.has_errors ctx.Ctx.diags) in
-          response ?id ~verb:name ~ok ~result ~diags:ctx.Ctx.diags ~trace t.cache
-            (Unix.gettimeofday () -. t0)
+          reply ~ok ~result ~diags:ctx.Ctx.diags ~trace ()
       | Error (ds, trace) ->
           emit_trace trace;
-          response ?id ~verb:name ~ok:false ~diags:ds ~trace t.cache
-            (Unix.gettimeofday () -. t0))
+          reply ~ok:false ~diags:ds ~trace ())
+
+let cancel_reply t target =
+  match target with
+  | None ->
+      reply ~ok:false
+        ~diags:[ Diag.error ~code:Diag.Code.format "cancel needs a \"target\" id" ]
+        ()
+  | Some target ->
+      let found = request_cancel t target in
+      reply ~result:(Json.Obj [ ("target", target); ("found", Json.Bool found) ]) ()
+
+let run_request t ~should_stop req =
+  match req.body with
+  | Compile (verb, json) -> compile_verb t ~should_stop ~verb ~name:req.verb_name json
+  | Cache_stats -> reply ~result:(stats_json (Cache.stats t.cache)) ()
+  | Evict ->
+      let dropped = (Cache.stats t.cache).Cache.entries in
+      Cache.clear t.cache;
+      reply ~result:(Json.Obj [ ("entries_dropped", Json.Int dropped) ]) ()
+  | Cancel target -> cancel_reply t target
+  | Shutdown -> reply ~control:`Stop ()
+  | Invalid ds -> reply ~ok:false ~diags:ds ()
 
 let handle t line =
-  let t0 = Unix.gettimeofday () in
-  match Json.parse line with
-  | Error e ->
-      ( response ~verb:"error" ~ok:false
-          ~diags:
-            [
-              Diag.errorf ~code:Diag.Code.json_parse "malformed request: %s"
-                (Json.error_to_string e);
-            ]
-          t.cache
-          (Unix.gettimeofday () -. t0),
-        `Continue )
-  | Ok json -> (
-      let id = Json.member "id" json in
-      let verb = Option.bind (Json.member "verb" json) Json.string_opt in
-      match verb with
-      | Some "analyze" -> (compile_verb t ?id ~verb:`Analyze ~name:"analyze" json t0, `Continue)
-      | Some "simulate" ->
-          (compile_verb t ?id ~verb:`Simulate ~name:"simulate" json t0, `Continue)
-      | Some "codegen" -> (compile_verb t ?id ~verb:`Codegen ~name:"codegen" json t0, `Continue)
-      | Some "cache-stats" ->
-          ( response ?id ~verb:"cache-stats" ~ok:true
-              ~result:(stats_json (Cache.stats t.cache))
-              t.cache
-              (Unix.gettimeofday () -. t0),
-            `Continue )
-      | Some "evict" ->
-          let dropped = (Cache.stats t.cache).Cache.entries in
-          Cache.clear t.cache;
-          ( response ?id ~verb:"evict" ~ok:true
-              ~result:(Json.Obj [ ("entries_dropped", Json.Int dropped) ])
-              t.cache
-              (Unix.gettimeofday () -. t0),
-            `Continue )
-      | Some "shutdown" ->
-          (response ?id ~verb:"shutdown" ~ok:true t.cache (Unix.gettimeofday () -. t0), `Stop)
-      | Some other ->
-          ( response ?id ~verb:other ~ok:false
-              ~diags:[ Diag.errorf ~code:Diag.Code.format "unknown verb %S" other ]
-              t.cache
-              (Unix.gettimeofday () -. t0),
-            `Continue )
-      | None ->
-          ( response ?id ~verb:"error" ~ok:false
-              ~diags:[ Diag.error ~code:Diag.Code.format "request has no \"verb\"" ]
-              t.cache
-              (Unix.gettimeofday () -. t0),
-            `Continue ))
+  let t0 = monotime () in
+  let req = parse_request line in
+  let registration =
+    match (req.id, req.body) with
+    | Some id, Compile _ -> Some (register_cancel t id)
+    | _ -> None
+  in
+  let should_stop =
+    match registration with
+    | Some (_, flag) -> fun () -> Atomic.get flag
+    | None -> fun () -> false
+  in
+  let rep = run_request t ~should_stop req in
+  (match registration with Some (key, _) -> unregister_cancel t key | None -> ());
+  let dt = monotime () -. t0 in
+  let timing =
+    { seconds = dt; queue_seconds = 0.; exec_seconds = dt; worker = Executor.worker_index () }
+  in
+  (render ~id:req.id ~verb:req.verb_name ~timing rep, rep.control)
+
+(* The concurrent serve loop ----------------------------------------- *)
+
+(* Three roles share the session:
+
+   - the {e reader} (the calling domain) parses each line, admits it —
+     or rejects it with [SF0903] when [queue_depth] requests are already
+     in flight — and submits admitted work to the pool. Cheap control
+     verbs ([cancel], [shutdown], malformed lines) are answered by the
+     reader directly so a busy pool cannot delay them (a [cancel] that
+     queued behind its target would be useless);
+   - the {e pool} ([serve_jobs] dedicated workers) executes requests;
+   - the {e writer} (one domain) is the only role touching [oc]: it
+     serializes completed responses, assigns the monotone [seq] at write
+     time, and in [ordered] mode buffers out-of-order completions until
+     every earlier admission has been written.
+
+   [busy] counts admitted-but-uncompleted pool requests: the admission
+   bound, and the writer's liveness criterion (it exits once the reader
+   closed, [busy] is zero and the queue is drained). *)
+
+type sched = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  out : (int * (seq:int -> string)) Queue.t;  (* admission index, renderer *)
+  mutable busy : int;
+  mutable closed : bool;
+}
+
+let enqueue sched admitted render =
+  Mutex.lock sched.mu;
+  Queue.push (admitted, render) sched.out;
+  Condition.broadcast sched.cv;
+  Mutex.unlock sched.mu
+
+let complete sched admitted render =
+  Mutex.lock sched.mu;
+  sched.busy <- sched.busy - 1;
+  Queue.push (admitted, render) sched.out;
+  Condition.broadcast sched.cv;
+  Mutex.unlock sched.mu
+
+let writer_loop ~ordered sched oc =
+  let next_seq = ref 0 in
+  let buffer = Hashtbl.create 16 in
+  let next_admitted = ref 0 in
+  let emit render =
+    let seq = !next_seq in
+    incr next_seq;
+    Out_channel.output_string oc (render ~seq);
+    Out_channel.output_char oc '\n';
+    Out_channel.flush oc
+  in
+  let rec flush_ordered () =
+    match Hashtbl.find_opt buffer !next_admitted with
+    | Some render ->
+        Hashtbl.remove buffer !next_admitted;
+        incr next_admitted;
+        emit render;
+        flush_ordered ()
+    | None -> ()
+  in
+  let rec loop () =
+    Mutex.lock sched.mu;
+    while Queue.is_empty sched.out && not (sched.closed && sched.busy = 0) do
+      Condition.wait sched.cv sched.mu
+    done;
+    if Queue.is_empty sched.out then Mutex.unlock sched.mu
+    else begin
+      let admitted, render = Queue.pop sched.out in
+      Mutex.unlock sched.mu;
+      if ordered then begin
+        Hashtbl.replace buffer admitted render;
+        flush_ordered ()
+      end
+      else emit render;
+      loop ()
+    end
+  in
+  loop ()
 
 let serve_loop t ic oc =
+  let pool = Executor.create ~dedicated:true ~jobs:t.serve_jobs () in
+  let sched =
+    { mu = Mutex.create (); cv = Condition.create (); out = Queue.create (); busy = 0;
+      closed = false }
+  in
+  let writer = Domain.spawn (fun () -> writer_loop ~ordered:t.ordered sched oc) in
+  let admitted = ref 0 in
   let rec loop () =
     match In_channel.input_line ic with
     | None -> ()
     | Some line when String.trim line = "" -> loop ()
-    | Some line ->
-        let resp, continue = handle t line in
-        Out_channel.output_string oc resp;
-        Out_channel.output_char oc '\n';
-        Out_channel.flush oc;
-        (match continue with `Continue -> loop () | `Stop -> ())
+    | Some line -> (
+        let t_admit = monotime () in
+        let req = parse_request line in
+        let n = !admitted in
+        incr admitted;
+        let quick rep =
+          let dt = monotime () -. t_admit in
+          let timing = { seconds = dt; queue_seconds = 0.; exec_seconds = dt; worker = 0 } in
+          enqueue sched n (fun ~seq -> render ~seq ~id:req.id ~verb:req.verb_name ~timing rep)
+        in
+        match req.body with
+        | Shutdown ->
+            (* Answered by the reader; the writer still drains every
+               admitted request before the session ends. *)
+            quick (reply ~control:`Stop ())
+        | Cancel target ->
+            quick (cancel_reply t target);
+            loop ()
+        | Invalid ds ->
+            quick (reply ~ok:false ~diags:ds ());
+            loop ()
+        | Compile _ | Cache_stats | Evict ->
+            Mutex.lock sched.mu;
+            let full = sched.busy >= t.queue_depth in
+            if not full then sched.busy <- sched.busy + 1;
+            Mutex.unlock sched.mu;
+            if full then
+              quick
+                (reply ~ok:false
+                   ~diags:
+                     [
+                       Diag.errorf ~code:Diag.Code.overload
+                         "server overloaded: %d request(s) already in flight (queue depth %d)"
+                         t.queue_depth t.queue_depth;
+                     ]
+                   ())
+            else begin
+              let registration =
+                match (req.id, req.body) with
+                | Some id, Compile _ -> Some (register_cancel t id)
+                | _ -> None
+              in
+              Executor.submit pool (fun () ->
+                  let t_start = monotime () in
+                  let should_stop =
+                    match registration with
+                    | Some (_, flag) -> fun () -> Atomic.get flag
+                    | None -> fun () -> false
+                  in
+                  let rep =
+                    try run_request t ~should_stop req
+                    with exn ->
+                      reply ~ok:false
+                        ~diags:
+                          [
+                            Diag.errorf ~code:Diag.Code.internal "request raised: %s"
+                              (Printexc.to_string exn);
+                          ]
+                        ()
+                  in
+                  (match registration with
+                  | Some (key, _) -> unregister_cancel t key
+                  | None -> ());
+                  let t_end = monotime () in
+                  let timing =
+                    {
+                      seconds = t_end -. t_admit;
+                      queue_seconds = t_start -. t_admit;
+                      exec_seconds = t_end -. t_start;
+                      worker = Executor.worker_index ();
+                    }
+                  in
+                  complete sched n (fun ~seq ->
+                      render ~seq ~id:req.id ~verb:req.verb_name ~timing rep))
+            end;
+            loop ())
   in
-  loop ()
+  loop ();
+  Mutex.lock sched.mu;
+  sched.closed <- true;
+  Condition.broadcast sched.cv;
+  Mutex.unlock sched.mu;
+  Domain.join writer;
+  Executor.shutdown pool

@@ -3,7 +3,11 @@ each with one response line, holding a single pass cache across the
 whole session. Request 2 repeats request 1 verbatim: every pass replays
 from the cache (executed=0). Request 4 changes only the simulation seed
 of request 3: the frontend, analysis, partition and performance-model
-passes all hit, and only the simulate pass re-runs. Timings are
+passes all hit, and only the simulate pass re-runs. Each response
+reports its own cache deltas; the racy global totals only appear under
+the explicit cache-stats verb. --ordered pins the response order to the
+request order (the writer otherwise emits in completion order, so the
+reader-answered shutdown could overtake a slow simulate). Timings are
 normalized for determinism:
 
   $ cat > requests <<'EOF'
@@ -14,20 +18,20 @@ normalized for determinism:
   > {"id": 5, "verb": "cache-stats"}
   > {"id": 6, "verb": "shutdown"}
   > EOF
-  $ ../../bin/main.exe serve < requests | sed -E 's/"seconds":[0-9.e+-]+/"seconds":_/'
-  {"id":1,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":2,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false}]},"cache":{"hits":0,"misses":2,"stale":0,"evictions":0,"entries":2},"timing":{"seconds":_}}
-  {"id":2,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":0,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true}]},"cache":{"hits":2,"misses":2,"stale":0,"evictions":0,"entries":2},"timing":{"seconds":_}}
-  {"id":3,"verb":"simulate","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088,"devices":1,"modeled_ops_per_s":882758620.68965518,"simulation":{"cycles":2092,"predicted_cycles":2088,"bytes_read":8192,"bytes_written":8192,"network_bytes":0}},"diagnostics":[],"passes":{"executed":3,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true},{"pass":"partition","cached":false},{"pass":"performance-model","cached":false},{"pass":"simulate","cached":false}]},"cache":{"hits":4,"misses":5,"stale":0,"evictions":0,"entries":5},"timing":{"seconds":_}}
-  {"id":4,"verb":"simulate","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088,"devices":1,"modeled_ops_per_s":882758620.68965518,"simulation":{"cycles":2092,"predicted_cycles":2088,"bytes_read":8192,"bytes_written":8192,"network_bytes":0}},"diagnostics":[],"passes":{"executed":1,"cached":4,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true},{"pass":"partition","cached":true},{"pass":"performance-model","cached":true},{"pass":"simulate","cached":false}]},"cache":{"hits":8,"misses":6,"stale":0,"evictions":0,"entries":6},"timing":{"seconds":_}}
-  {"id":5,"verb":"cache-stats","ok":true,"result":{"hits":8,"misses":6,"stale":0,"evictions":0,"entries":6},"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":8,"misses":6,"stale":0,"evictions":0,"entries":6},"timing":{"seconds":_}}
-  {"id":6,"verb":"shutdown","ok":true,"result":null,"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":8,"misses":6,"stale":0,"evictions":0,"entries":6},"timing":{"seconds":_}}
+  $ ../../bin/main.exe serve --ordered < requests | sed -E 's/"(queue_|exec_)?seconds":[0-9.e+-]+/"\1seconds":_/g'
+  {"id":1,"seq":0,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":2,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false}]},"cache":{"hits":0,"misses":2,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":2,"seq":1,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":0,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true}]},"cache":{"hits":2,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":3,"seq":2,"verb":"simulate","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088,"devices":1,"modeled_ops_per_s":882758620.68965518,"simulation":{"cycles":2092,"predicted_cycles":2088,"bytes_read":8192,"bytes_written":8192,"network_bytes":0}},"diagnostics":[],"passes":{"executed":3,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true},{"pass":"partition","cached":false},{"pass":"performance-model","cached":false},{"pass":"simulate","cached":false}]},"cache":{"hits":2,"misses":3,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":4,"seq":3,"verb":"simulate","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088,"devices":1,"modeled_ops_per_s":882758620.68965518,"simulation":{"cycles":2092,"predicted_cycles":2088,"bytes_read":8192,"bytes_written":8192,"network_bytes":0}},"diagnostics":[],"passes":{"executed":1,"cached":4,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true},{"pass":"partition","cached":true},{"pass":"performance-model","cached":true},{"pass":"simulate","cached":false}]},"cache":{"hits":4,"misses":1,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":5,"seq":4,"verb":"cache-stats","ok":true,"result":{"hits":8,"misses":6,"stale":0,"evictions":0,"joined":0,"entries":6},"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":6,"seq":5,"verb":"shutdown","ok":true,"result":null,"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
 
 Bad requests answer with an SF-coded diagnostic but never kill the loop:
 
   $ printf '%s\n' '{not json' '{"verb": "transmogrify"}' \
-  >   | ../../bin/main.exe serve | sed -E 's/"seconds":[0-9.e+-]+/"seconds":_/'
-  {"verb":"error","ok":false,"result":null,"diagnostics":[{"severity":"error","code":"SF0201","message":"malformed request: line 1, column 2: expected \" but found n"}],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"stale":0,"evictions":0,"entries":0},"timing":{"seconds":_}}
-  {"verb":"transmogrify","ok":false,"result":null,"diagnostics":[{"severity":"error","code":"SF0203","message":"unknown verb \"transmogrify\""}],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"stale":0,"evictions":0,"entries":0},"timing":{"seconds":_}}
+  >   | ../../bin/main.exe serve | sed -E 's/"(queue_|exec_)?seconds":[0-9.e+-]+/"\1seconds":_/g'
+  {"seq":0,"verb":"error","ok":false,"result":null,"diagnostics":[{"severity":"error","code":"SF0201","message":"malformed request: line 1, column 2: expected \" but found n"}],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
+  {"seq":1,"verb":"transmogrify","ok":false,"result":null,"diagnostics":[{"severity":"error","code":"SF0203","message":"unknown verb \"transmogrify\""}],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
 
 With --cache-dir the cache survives across server processes: a second
 server over the same directory answers the same request without
@@ -36,5 +40,5 @@ executing a single pass (2 disk hits):
   $ echo '{"id": 1, "verb": "analyze", "program_file": "../../examples/programs/diamond.json"}' > one
   $ ../../bin/main.exe serve --cache-dir store < one > /dev/null
   $ ../../bin/main.exe serve --cache-dir store < one \
-  >   | sed -E 's/"seconds":[0-9.e+-]+/"seconds":_/'
-  {"id":1,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":0,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true}]},"cache":{"hits":2,"misses":0,"stale":0,"evictions":0,"entries":2},"timing":{"seconds":_}}
+  >   | sed -E 's/"(queue_|exec_)?seconds":[0-9.e+-]+/"\1seconds":_/g'
+  {"id":1,"seq":0,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":0,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true}]},"cache":{"hits":2,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}

@@ -1,0 +1,66 @@
+The concurrent serve tier. Three scenarios, each pinned to request
+order with --ordered so the goldens are stable regardless of which
+worker finishes first. Timings are normalized; in the multi-worker
+scenario the worker attribution is normalized too (which worker claims
+which request is scheduling-dependent).
+
+Pipelined independent requests over two workers: every request gets
+exactly one response tagged with its client id and a gap-free seq in
+admission order.
+
+  $ cat > requests <<'EOF'
+  > {"id": 1, "verb": "analyze", "program_file": "../../examples/programs/diamond.json"}
+  > {"id": 2, "verb": "analyze", "program_file": "../../examples/programs/laplace2d.json"}
+  > {"id": 3, "verb": "analyze", "program_file": "../../examples/programs/jacobi2d_8stage.json"}
+  > {"id": 4, "verb": "shutdown"}
+  > EOF
+  $ ../../bin/main.exe serve --serve-jobs 2 --ordered < requests \
+  >   | sed -E -e 's/"(queue_|exec_)?seconds":[0-9.e+-]+/"\1seconds":_/g' -e 's/"worker":[0-9]+/"worker":_/'
+  {"id":1,"seq":0,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":2,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false}]},"cache":{"hits":0,"misses":2,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":_}}
+  {"id":2,"seq":1,"verb":"analyze","ok":true,"result":{"program":"laplace2d","latency_cycles":160,"delay_buffer_words":0,"expected_cycles":4256},"diagnostics":[],"passes":{"executed":2,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false}]},"cache":{"hits":0,"misses":2,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":_}}
+  {"id":3,"seq":2,"verb":"analyze","ok":true,"result":{"program":"jacobi2d_chain8","latency_cycles":4352,"delay_buffer_words":0,"expected_cycles":69888},"diagnostics":[],"passes":{"executed":2,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false}]},"cache":{"hits":0,"misses":2,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":_}}
+  {"id":4,"seq":3,"verb":"shutdown","ok":true,"result":null,"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":_}}
+
+Cancellation: with a single worker, request A (a deliberately large
+simulation) occupies the worker while B waits in the queue; the cancel
+verb is answered by the reader immediately, flags B, and B aborts at
+its first pass boundary with SF0902 — no partial result is published
+to the cache.
+
+  $ cat > slow.json <<'EOF'
+  > {"name": "slow", "shape": [1024, 1024], "inputs": {"x": {}},
+  >  "stencils": {
+  >    "a": {"code": "x[0, 0] * 2.0"},
+  >    "b": {"code": "a[0, -8] + a[0, 8]",
+  >          "boundary": {"a": {"type": "constant", "value": 0.0}}},
+  >    "c": {"code": "a[0, 0] + b[0, 0]"}},
+  >  "outputs": ["c"]}
+  > EOF
+  $ cat > requests <<'EOF'
+  > {"id": "A", "verb": "simulate", "program_file": "slow.json", "options": {"validate": false}}
+  > {"id": "B", "verb": "simulate", "program_file": "slow.json", "options": {"validate": false, "seed": 7}}
+  > {"id": "C", "verb": "cancel", "target": "B"}
+  > {"id": "D", "verb": "shutdown"}
+  > EOF
+  $ ../../bin/main.exe serve --ordered < requests \
+  >   | sed -E 's/"(queue_|exec_)?seconds":[0-9.e+-]+/"\1seconds":_/g'
+  {"id":"A","seq":0,"verb":"simulate","ok":true,"result":{"program":"slow","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":1048616,"devices":1,"modeled_ops_per_s":899965669.03423178,"simulation":{"cycles":1048620,"predicted_cycles":1048616,"bytes_read":4194304,"bytes_written":4194304,"network_bytes":0}},"diagnostics":[],"passes":{"executed":5,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false},{"pass":"partition","cached":false},{"pass":"performance-model","cached":false},{"pass":"simulate","cached":false}]},"cache":{"hits":0,"misses":5,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":"B","seq":1,"verb":"simulate","ok":false,"result":null,"diagnostics":[{"severity":"error","code":"SF0902","message":"request cancelled before pass load-file"}],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":"C","seq":2,"verb":"cancel","ok":true,"result":{"target":"B","found":true},"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
+  {"id":"D","seq":3,"verb":"shutdown","ok":true,"result":null,"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
+
+Overload: with --queue-depth 1 the slow request fills the only slot;
+the next pool verb is rejected immediately with SF0903 instead of
+queueing behind it. Control verbs (shutdown here) are answered by the
+reader and never rejected.
+
+  $ cat > requests <<'EOF'
+  > {"id": "A", "verb": "simulate", "program_file": "slow.json", "options": {"validate": false}}
+  > {"id": "B", "verb": "analyze", "program_file": "../../examples/programs/diamond.json"}
+  > {"id": "C", "verb": "shutdown"}
+  > EOF
+  $ ../../bin/main.exe serve --queue-depth 1 --ordered < requests \
+  >   | sed -E 's/"(queue_|exec_)?seconds":[0-9.e+-]+/"\1seconds":_/g'
+  {"id":"A","seq":0,"verb":"simulate","ok":true,"result":{"program":"slow","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":1048616,"devices":1,"modeled_ops_per_s":899965669.03423178,"simulation":{"cycles":1048620,"predicted_cycles":1048616,"bytes_read":4194304,"bytes_written":4194304,"network_bytes":0}},"diagnostics":[],"passes":{"executed":5,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false},{"pass":"partition","cached":false},{"pass":"performance-model","cached":false},{"pass":"simulate","cached":false}]},"cache":{"hits":0,"misses":5,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":"B","seq":1,"verb":"analyze","ok":false,"result":null,"diagnostics":[{"severity":"error","code":"SF0903","message":"server overloaded: 1 request(s) already in flight (queue depth 1)"}],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
+  {"id":"C","seq":2,"verb":"shutdown","ok":true,"result":null,"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}

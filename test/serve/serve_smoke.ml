@@ -47,6 +47,57 @@ let run_example t file =
   Printf.printf "%-36s ok: %d pass(es) cold, 0 warm\n%!" file
     (int_field [ "passes"; "executed" ] cold)
 
+(* The same examples through a real concurrent server: a four-worker
+   serve loop over pipes, two identical analyze requests per example so
+   the single-flight cache gets concurrent identical keys. Every request
+   must be answered ok, exactly once, with a gap-free seq. *)
+let concurrent_leg examples =
+  let t = Service.create ~serve_jobs:4 ~queue_depth:64 () in
+  let reqs =
+    List.concat_map (fun f -> [ request f; request f ]) examples
+    @ [ {|{"verb": "shutdown"}|} ]
+  in
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let ocq = Unix.out_channel_of_descr req_w in
+  List.iter
+    (fun l ->
+      Out_channel.output_string ocq l;
+      Out_channel.output_char ocq '\n')
+    reqs;
+  Out_channel.close ocq;
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Service.serve_loop t ic oc;
+        Out_channel.close oc;
+        In_channel.close ic)
+  in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let rec read acc =
+    match In_channel.input_line ic with None -> List.rev acc | Some l -> read (l :: acc)
+  in
+  let responses = read [] in
+  Domain.join server;
+  In_channel.close ic;
+  check "concurrent: one response per request" (List.length responses = List.length reqs);
+  let parsed =
+    List.map
+      (fun l ->
+        match Json.parse l with Ok j -> j | Error _ -> failwith ("bad response: " ^ l))
+      responses
+  in
+  List.iter
+    (fun j -> check "concurrent: every response ok" (Json.member "ok" j = Some (Json.Bool true)))
+    parsed;
+  let seqs = List.sort compare (List.map (int_field [ "seq" ]) parsed) in
+  check "concurrent: seq gap-free" (seqs = List.init (List.length reqs) Fun.id);
+  let stats = Cache.stats (Service.cache t) in
+  check "concurrent: no stale entries" (stats.Cache.stale = 0);
+  Printf.printf "serve smoke (4 workers): %d request(s) answered, seq gap-free\n%!"
+    (List.length reqs)
+
 let () =
   let t = Service.create () in
   let examples =
@@ -60,4 +111,5 @@ let () =
   check "cache saw hits" (stats.Cache.hits > 0);
   check "no stale entries" (stats.Cache.stale = 0);
   Printf.printf "serve smoke: %d example(s), %d cache hit(s), %d miss(es)\n%!"
-    (List.length examples) stats.Cache.hits stats.Cache.misses
+    (List.length examples) stats.Cache.hits stats.Cache.misses;
+  concurrent_leg examples

@@ -64,7 +64,7 @@ let test_exception_propagates_and_pool_survives () =
       Alcotest.(check (array int)) "pool survives" (Array.init 20 (fun i -> i + 1)) r)
 
 let test_shutdown_idempotent () =
-  let pool = Executor.create ~jobs:3 in
+  let pool = Executor.create ~jobs:3 () in
   Alcotest.(check (array int)) "works" [| 0; 1; 2 |] (Executor.map pool 3 (fun i -> i));
   Executor.shutdown pool;
   Executor.shutdown pool

@@ -113,6 +113,142 @@ let test_shutdown_stops () =
   | _, `Stop -> ()
   | _, `Continue -> Alcotest.fail "shutdown must stop the loop"
 
+(* Concurrency ------------------------------------------------------- *)
+
+module Pass_manager = Sf_toolchain.Pass_manager
+
+(* A family of small distinct programs (the stencil constant varies), so
+   concurrent domains produce a mix of cache misses, hits and joins. *)
+let family_program i =
+  Printf.sprintf
+    {|{"name": "svc%d", "shape": [8, 8],
+       "inputs": {"a": {}},
+       "stencils": {"b": {"code": "a[0,0] * %d.0 + a[0,1]",
+                          "boundary": {"a": {"type": "constant", "value": 0.0}}}},
+       "outputs": ["b"]}|}
+    i (i + 2)
+
+let family_request ~id ~verb i =
+  (* One line: the serve loop is newline-delimited. *)
+  Printf.sprintf {|{"id": %S, "verb": %S, "program": %s, "options": {"validate": false}}|} id
+    verb (family_program i)
+  |> String.split_on_char '\n' |> List.map String.trim |> String.concat " "
+
+let result_payload json = Json.to_string ~minify:true (Option.get (field [ "result" ] json))
+
+(* N domains x M mixed requests against one shared service: every result
+   payload must be byte-identical to the one a fresh serial service
+   computes for the same request — concurrent execution (and whichever
+   mix of misses/hits/joins it produces) never changes an answer. *)
+let test_concurrent_handle_matches_serial () =
+  let domains = 4 and per = 8 in
+  let verb i = if i mod 2 = 0 then "analyze" else "simulate" in
+  let t = Service.create () in
+  let run d =
+    List.init per (fun i ->
+        let id = Printf.sprintf "%d-%d" d i in
+        (i, result_payload (handle_ok t (family_request ~id ~verb:(verb i) i))))
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (fun () -> run d)) in
+  let concurrent = List.map Domain.join spawned in
+  let serial_service = Service.create () in
+  let serial =
+    List.init per (fun i ->
+        result_payload (handle_ok serial_service (family_request ~id:"s" ~verb:(verb i) i)))
+  in
+  List.iter
+    (List.iter (fun (i, payload) ->
+         Alcotest.(check string) "payload matches serial run" (List.nth serial i) payload))
+    concurrent
+
+(* Concurrent identical requests: the single-flight protocol lets only
+   one domain execute the simulate pass; everyone else replays (as a
+   join while it runs, as a plain hit afterwards) the same entry. *)
+let test_single_flight_dedup () =
+  let mu = Mutex.create () in
+  let executed = ref 0 and replayed = ref 0 in
+  let on_trace ~verb:_ trace =
+    Mutex.lock mu;
+    List.iter
+      (fun (tm : Pass_manager.timing) ->
+        if tm.Pass_manager.pass = "simulate" then
+          if tm.Pass_manager.cached then incr replayed else incr executed)
+      trace;
+    Mutex.unlock mu
+  in
+  let t = Service.create ~on_trace () in
+  let line = family_request ~id:"sf" ~verb:"simulate" 0 in
+  let k = 6 in
+  let spawned =
+    List.init k (fun _ -> Domain.spawn (fun () -> result_payload (handle_ok t line)))
+  in
+  let results = List.map Domain.join spawned in
+  Alcotest.(check int) "simulate executed exactly once" 1 !executed;
+  Alcotest.(check int) "other requests replayed it" (k - 1) !replayed;
+  match results with
+  | first :: rest ->
+      List.iter (fun r -> Alcotest.(check string) "identical result payloads" first r) rest
+  | [] -> assert false
+
+(* The full serve loop over pipes with three workers: every request line
+   (including the malformed and unknown-verb ones) gets exactly one
+   response, ids are echoed exactly once each, and the writer's seq is
+   gap-free no matter the completion order. *)
+let test_serve_loop_seq_gap_free () =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let reqs =
+    List.init 10 (fun i ->
+        let verb = if i mod 2 = 0 then "analyze" else "simulate" in
+        family_request ~id:(string_of_int i) ~verb (i mod 5))
+    @ [ "{not json"; {|{"verb": "transmogrify", "id": "bad"}|};
+        {|{"verb": "shutdown", "id": "end"}|} ]
+  in
+  let oc_req = Unix.out_channel_of_descr req_w in
+  List.iter
+    (fun l ->
+      Out_channel.output_string oc_req l;
+      Out_channel.output_char oc_req '\n')
+    reqs;
+  Out_channel.close oc_req;
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        let t = Service.create ~serve_jobs:3 ~queue_depth:32 () in
+        Service.serve_loop t ic oc;
+        Out_channel.close oc;
+        In_channel.close ic)
+  in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let rec read acc =
+    match In_channel.input_line ic with None -> List.rev acc | Some l -> read (l :: acc)
+  in
+  let responses = read [] in
+  Domain.join server;
+  In_channel.close ic;
+  Alcotest.(check int) "one response per request" (List.length reqs) (List.length responses);
+  let parsed =
+    List.map
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail ("response is not JSON: " ^ l))
+      responses
+  in
+  let seqs = List.sort compare (List.map (int_field [ "seq" ]) parsed) in
+  Alcotest.(check (list int)) "seq gap-free" (List.init (List.length reqs) Fun.id) seqs;
+  let ids =
+    List.sort compare
+      (List.filter_map
+         (fun j -> Option.map (Json.to_string ~minify:true) (field [ "id" ] j))
+         parsed)
+  in
+  let expected_ids =
+    List.sort compare ({|"bad"|} :: {|"end"|} :: List.init 10 (fun i -> Printf.sprintf {|"%d"|} i))
+  in
+  Alcotest.(check (list string)) "every id answered exactly once" expected_ids ids
+
 let suite =
   [
     Alcotest.test_case "analyze roundtrip" `Quick test_analyze_roundtrip;
@@ -124,4 +260,10 @@ let suite =
       test_bad_requests_keep_loop_alive;
     Alcotest.test_case "evict and cache-stats" `Quick test_evict_and_stats;
     Alcotest.test_case "shutdown stops the loop" `Quick test_shutdown_stops;
+    Alcotest.test_case "concurrent handle matches serial run" `Quick
+      test_concurrent_handle_matches_serial;
+    Alcotest.test_case "single-flight dedups identical requests" `Quick
+      test_single_flight_dedup;
+    Alcotest.test_case "serve loop: gap-free seq, every request answered" `Quick
+      test_serve_loop_seq_gap_free;
   ]
