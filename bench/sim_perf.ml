@@ -542,6 +542,65 @@ let () =
         Json.Obj (fields @ [ ("service_concurrent", service_concurrent_json) ])
     | other -> other
   in
+  (* Service chaos: the hardened serve tier under seeded adversity —
+     injected worker exceptions, slow passes, malformed lines and blob
+     corruption — timed end to end. The campaign is a correctness gate
+     (any violated invariant fails the bench) and its wall clock tracks
+     how much the hardening costs per perturbed seed. *)
+  let chaos_dir =
+    if Sys.file_exists "examples/programs" then "examples/programs"
+    else "../examples/programs"
+  in
+  let chaos_programs =
+    List.map (Filename.concat chaos_dir) [ "diamond.json"; "laplace2d.json" ]
+  in
+  let chaos_seeds = List.init (if quick then 5 else 25) (fun i -> i + 1) in
+  let chaos_requests = if quick then 4 else 6 in
+  let ch0 = Util.monotime () in
+  let chaos_report =
+    Chaos.campaign ~seeds:chaos_seeds ~requests:chaos_requests
+      ~programs:chaos_programs ()
+  in
+  let chaos_s = Util.monotime () -. ch0 in
+  if not (Chaos.passed chaos_report) then begin
+    Format.printf "%a@." Chaos.pp_report chaos_report;
+    failwith "service_chaos: campaign violated an invariant"
+  end;
+  let chaos_total f =
+    List.fold_left (fun acc (r : Chaos.seed_report) -> acc + f r) 0
+      chaos_report.Chaos.seed_reports
+  in
+  let chaos_raises = chaos_total (fun r -> r.Chaos.raises) in
+  let chaos_malformed = chaos_total (fun r -> r.Chaos.malformed) in
+  let chaos_slows = chaos_total (fun r -> r.Chaos.slows) in
+  let chaos_corrupted = chaos_total (fun r -> r.Chaos.corrupted_blobs) in
+  Printf.printf
+    "\n\
+     service chaos (%d seeds x %d requests): all invariants held in %.2fs (%.3fs/seed)\n\
+     injected: %d raise(s), %d malformed line(s), %d slow(s), %d corrupted blob(s)\n"
+    chaos_report.Chaos.seeds chaos_requests chaos_s
+    (chaos_s /. float_of_int (max 1 chaos_report.Chaos.seeds))
+    chaos_raises chaos_malformed chaos_slows chaos_corrupted;
+  let service_chaos_json =
+    Json.Obj
+      [
+        ("seeds", Json.Int chaos_report.Chaos.seeds);
+        ("requests_per_seed", Json.Int chaos_requests);
+        ("failed_seeds", Json.Int chaos_report.Chaos.failed);
+        ("wall_seconds", Json.Float chaos_s);
+        ( "seconds_per_seed",
+          Json.Float (chaos_s /. float_of_int (max 1 chaos_report.Chaos.seeds)) );
+        ("injected_raises", Json.Int chaos_raises);
+        ("injected_malformed", Json.Int chaos_malformed);
+        ("injected_slows", Json.Int chaos_slows);
+        ("corrupted_blobs", Json.Int chaos_corrupted);
+      ]
+  in
+  let json =
+    match json with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("service_chaos", service_chaos_json) ])
+    | other -> other
+  in
   if no_json then Printf.printf "\n--no-json: skipped BENCH_sim.json\n"
   else begin
     let out = if Sys.file_exists "BENCH_sim.json" || Sys.file_exists "dune-project" then "BENCH_sim.json" else "../BENCH_sim.json" in

@@ -155,8 +155,15 @@ let run_pipeline ?device ?sim_config ?inputs ~(common : Common.t) passes =
 
 (* --remote: spawn a serve child, send the single request this command
    would have executed locally, print the raw response line, and exit 0
-   when the response reports ok. *)
+   when the response reports ok. A child that dies mid-stream (no
+   response line, or a broken request pipe) is retried a bounded number
+   of times with backoff — each retry spawns a fresh child. *)
+let remote_attempts = 3
+
 let remote_eval ~verb ~path ~(common : Common.t) ?width ?devices ?seed ?max_cycles () =
+  (* A dead child must surface as EOF/EPIPE on the pipes, not kill this
+     process with an unhandled SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let options =
     [ ("fuse", Json.Bool common.Common.fuse); ("optimize", Json.Bool common.Common.optimize) ]
     @ (match width with Some w -> [ ("width", Json.Int w) ] | None -> [])
@@ -186,30 +193,51 @@ let remote_eval ~verb ~path ~(common : Common.t) ?width ?devices ?seed ?max_cycl
      the child's stdin/stdout (clearing the flag on those), and the
      parent's ends must NOT leak into the child or its stdin never sees
      EOF and it outlives the session. *)
-  let req_read, req_write = Unix.pipe ~cloexec:true () in
-  let resp_read, resp_write = Unix.pipe ~cloexec:true () in
-  let pid = Unix.create_process exe argv req_read resp_write Unix.stderr in
-  Unix.close req_read;
-  Unix.close resp_write;
-  let oc = Unix.out_channel_of_descr req_write in
-  let ic = Unix.in_channel_of_descr resp_read in
-  output_string oc (request ^ "\n");
-  close_out oc;
-  let resp = In_channel.input_line ic in
-  close_in ic;
-  ignore (Unix.waitpid [] pid);
-  match resp with
-  | None ->
-      exit_diags ~json:common.Common.diag_json
-        [ Diag.error ~code:Diag.Code.internal "serve child produced no response" ]
-  | Some line ->
-      print_endline line;
-      let ok =
-        match Json.parse line with
-        | Ok json -> ( match Json.member "ok" json with Some (Json.Bool b) -> b | _ -> false)
-        | Error _ -> false
-      in
-      exit (if ok then 0 else 1)
+  let attempt () =
+    let req_read, req_write = Unix.pipe ~cloexec:true () in
+    let resp_read, resp_write = Unix.pipe ~cloexec:true () in
+    let pid = Unix.create_process exe argv req_read resp_write Unix.stderr in
+    Unix.close req_read;
+    Unix.close resp_write;
+    let oc = Unix.out_channel_of_descr req_write in
+    let ic = Unix.in_channel_of_descr resp_read in
+    let resp =
+      (* A child dying before (or while) reading the request raises
+         Sys_error (EPIPE) on the write; a child dying before answering
+         yields EOF (None). Both are the same failure: no response. *)
+      try
+        output_string oc (request ^ "\n");
+        flush oc;
+        In_channel.input_line ic
+      with Sys_error _ -> None
+    in
+    close_out_noerr oc;
+    close_in_noerr ic;
+    ignore (Unix.waitpid [] pid);
+    resp
+  in
+  let rec go n =
+    match attempt () with
+    | Some line -> line
+    | None when n < remote_attempts ->
+        (* Exponential backoff: 50ms, 100ms, ... between fresh children. *)
+        Unix.sleepf (0.05 *. float_of_int (1 lsl (n - 1)));
+        go (n + 1)
+    | None ->
+        exit_diags ~json:common.Common.diag_json
+          [
+            Diag.errorf ~code:Diag.Code.internal
+              "serve child produced no response (%d attempt(s))" remote_attempts;
+          ]
+  in
+  let line = go 1 in
+  print_endline line;
+  let ok =
+    match Json.parse line with
+    | Ok json -> ( match Json.member "ok" json with Some (Json.Bool b) -> b | _ -> false)
+    | Error _ -> false
+  in
+  exit (if ok then 0 else 1)
 
 (* Fusion runs before the optimiser so fold-cse sees (and re-shares) the
    substituted fused bodies — the same order as Sdfg.Pipeline.default_pipeline. *)
@@ -720,7 +748,19 @@ let serve_cmd =
              ~doc:"Emit responses in request order (FIFO) instead of completion \
                    order. Costs head-of-line blocking under --serve-jobs > 1.")
   in
-  let run (common : Common.t) cache_entries serve_jobs queue_depth ordered =
+  let deadline_ms_arg =
+    Arg.(value & opt int 0
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline in milliseconds (0 = none). A \
+                   request whose budget expires before a pass that would actually \
+                   execute answers SF0904 — cached replays are free, and completed \
+                   passes stay cached for the retry. Overridable per request with \
+                   the $(b,deadline_ms) field (negative disables).")
+  in
+  let run (common : Common.t) cache_entries serve_jobs queue_depth ordered deadline_ms =
+    (* A client hanging up must surface as EPIPE in the writer (handled
+       as graceful shutdown), not kill the daemon with SIGPIPE. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let on_trace =
       if common.Common.trace_passes then
         Some
@@ -730,21 +770,49 @@ let serve_cmd =
     in
     let service =
       Service.create ~cache_capacity:cache_entries ?store_dir:common.Common.cache_dir
-        ?on_trace ~jobs:common.Common.jobs ~serve_jobs ~queue_depth ~ordered ()
+        ?on_trace ~jobs:common.Common.jobs ~serve_jobs ~queue_depth ~ordered ~deadline_ms ()
     in
     Service.serve_loop service stdin stdout
   in
   let doc =
     "Run a persistent compile/simulate service over newline-delimited JSON requests \
      on stdin (verbs: analyze, simulate, codegen, cache-stats, evict, cancel, \
-     shutdown), one JSON response per line on stdout. Requests execute concurrently \
-     on $(b,--serve-jobs) worker domains over a shared content-addressed pass cache; \
-     see docs/PIPELINE.md for the protocol."
+     health, shutdown), one JSON response per line on stdout. Requests execute \
+     concurrently on $(b,--serve-jobs) worker domains over a shared \
+     content-addressed pass cache; see docs/PIPELINE.md for the protocol."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ Common.term $ cache_entries_arg $ serve_jobs_arg $ queue_depth_arg
-      $ ordered_arg)
+      $ ordered_arg $ deadline_ms_arg)
+
+(* stencilflow cache verify --cache-dir DIR: scrub every blob in the
+   on-disk store, quarantining any whose checksum fails. *)
+let cache_cmd =
+  let verify_cmd =
+    let run (common : Common.t) =
+      match common.Common.cache_dir with
+      | None ->
+          prerr_endline "cache verify: --cache-dir is required";
+          exit 2
+      | Some dir ->
+          let store = Store.open_ dir in
+          let r = Store.scrub store in
+          Printf.printf
+            "cache verify: %d blob(s) scanned, %d ok, %d stale, %d corrupt%s\n" r.Store.scanned
+            r.Store.ok r.Store.stale r.Store.corrupt
+            (if r.Store.corrupt > 0 then " (quarantined as .corrupt)" else "");
+          exit (if r.Store.corrupt > 0 then 1 else 0)
+    in
+    let doc =
+      "Scrub the on-disk pass cache at $(b,--cache-dir): verify every blob's \
+       version header and checksum trailer, quarantine corrupt blobs aside as \
+       $(b,.corrupt) files, and report. Exits non-zero when corruption was found."
+    in
+    Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ Common.term)
+  in
+  let doc = "Inspect and maintain the on-disk pass cache." in
+  Cmd.group (Cmd.info "cache" ~doc) [ verify_cmd ]
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -758,5 +826,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ analyze_cmd; simulate_cmd; validate_depths_cmd; codegen_cmd; serve_cmd;
-            partition_cmd; dot_cmd; fuse_cmd; optimize_cmd; report_cmd; tile_cmd;
-            autotune_cmd ]))
+            cache_cmd; partition_cmd; dot_cmd; fuse_cmd; optimize_cmd; report_cmd;
+            tile_cmd; autotune_cmd ]))

@@ -80,6 +80,7 @@ module Pass_manager = Sf_toolchain.Pass_manager
 module Passes = Sf_toolchain.Passes
 module Cache = Sf_toolchain.Cache
 module Service = Sf_toolchain.Service
+module Chaos = Sf_toolchain.Chaos
 module Fingerprint = Sf_support.Fingerprint
 module Store = Sf_support.Store
 

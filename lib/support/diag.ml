@@ -32,6 +32,8 @@ module Code = struct
   let internal = "SF0901"
   let cancelled = "SF0902"
   let overload = "SF0903"
+  let deadline = "SF0904"
+  let serve_internal = "SF0905"
 end
 
 let span ?file ~line ~col () = { file; line; col }

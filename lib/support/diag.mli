@@ -25,7 +25,9 @@
       SF07xx  simulation (deadlock SF0701, mismatch SF0702,
               timeout SF0703, invalid config SF0704)            exit 7
       SF08xx  optimization-pass verification SF0801             exit 8
-      SF09xx  internal errors SF0901                            exit 9
+      SF09xx  internal errors SF0901, cancelled SF0902,
+              overload SF0903, deadline SF0904, serve
+              internal SF0905                                   exit 9
     v} *)
 
 type severity = Error | Warning | Note
@@ -75,6 +77,17 @@ module Code : sig
   val overload : string
   (** [SF0903] — serve admission queue full; the request was rejected
       without executing (resubmit later or raise [--queue-depth]). *)
+
+  val deadline : string
+  (** [SF0904] — request deadline exceeded at a pass boundary
+      ([deadline_ms] request field or [--deadline-ms] default). Passes
+      completed before the deadline stay cached; only the remaining
+      suffix is abandoned. *)
+
+  val serve_internal : string
+  (** [SF0905] — an exception escaped a serve worker while executing a
+      request. The crash is isolated: the request is answered with this
+      diag (backtrace attached as a note) and the pool keeps serving. *)
 end
 
 val span : ?file:string -> line:int -> col:int -> unit -> span

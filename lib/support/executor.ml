@@ -62,6 +62,8 @@ type t = {
   submitted : (unit -> unit) Queue.t;  (* persistent one-off tasks *)
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
+  mutable live : int;  (* spawned worker domains currently running *)
+  mutable crashes : int;  (* workers killed by an escaped task exception *)
 }
 
 let jobs t = t.jobs
@@ -119,9 +121,11 @@ let drain pool b me =
 (* A worker alternates between three duties, in priority order: drain
    the current barrier batch (a submitter is blocked on it), run one
    submitted task, park. Submitted tasks still queued at shutdown are
-   drained before the worker exits, so [submit]ted work is never lost;
-   a task's exception is swallowed (the submitter is long gone — tasks
-   that care must catch their own). *)
+   drained before the worker exits, so [submit]ted work is never lost.
+   A submitted task's exception propagates out of [worker] and kills
+   this domain — the crash guard in [spawn_worker] then accounts for it
+   and spawns a replacement, so the pool's concurrency survives tasks
+   that fail to catch their own. *)
 let worker pool me () =
   Domain.DLS.set worker_key me;
   let last = ref 0 in
@@ -148,10 +152,32 @@ let worker pool me () =
         drain pool b me;
         loop ()
     | `Task f ->
-        (try f () with _ -> ());
+        f ();
         loop ()
   in
   loop ()
+
+(* Spawn worker [me] under a crash guard: if a submitted task's
+   exception escapes and kills the worker, record the crash and spawn a
+   replacement (same worker number) unless the pool is shutting down.
+   The dying domain itself terminates normally, so [shutdown]'s joins
+   never re-raise. *)
+let rec spawn_worker pool me =
+  Domain.spawn (fun () ->
+      match worker pool me () with
+      | () ->
+          Mutex.lock pool.mu;
+          pool.live <- pool.live - 1;
+          Mutex.unlock pool.mu
+      | exception _ ->
+          Mutex.lock pool.mu;
+          pool.live <- pool.live - 1;
+          pool.crashes <- pool.crashes + 1;
+          if not pool.stopped then begin
+            pool.live <- pool.live + 1;
+            pool.domains <- spawn_worker pool me :: pool.domains
+          end;
+          Mutex.unlock pool.mu)
 
 let create ?(dedicated = false) ~jobs () =
   let jobs = max 1 jobs in
@@ -166,11 +192,26 @@ let create ?(dedicated = false) ~jobs () =
       submitted = Queue.create ();
       stopped = false;
       domains = [];
+      live = 0;
+      crashes = 0;
     }
   in
   let workers = if dedicated then jobs else jobs - 1 in
-  pool.domains <- List.init workers (fun k -> Domain.spawn (worker pool (k + 1)));
+  pool.live <- max 0 workers;
+  pool.domains <- List.init workers (fun k -> spawn_worker pool (k + 1));
   pool
+
+let alive t =
+  Mutex.lock t.mu;
+  let n = t.live in
+  Mutex.unlock t.mu;
+  n
+
+let crashes t =
+  Mutex.lock t.mu;
+  let n = t.crashes in
+  Mutex.unlock t.mu;
+  n
 
 let submit t f =
   Mutex.lock t.mu;

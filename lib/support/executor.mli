@@ -73,10 +73,25 @@ val submit : t -> (unit -> unit) -> unit
     task communicates through its own side effects (typically a
     response queue). Tasks still queued at {!shutdown} are drained
     before the workers exit, so a submitted task always runs exactly
-    once. A task's exception is discarded; tasks that care must catch.
+    once. A task's escaped exception kills its worker; the pool records
+    the crash ({!crashes}) and spawns a replacement worker, so the
+    pool's concurrency survives — but the task's remaining work is
+    lost, so tasks that must answer someone should catch their own.
     On a pool with no worker domains (non-dedicated [jobs <= 1]) the
-    task runs inline in the submitting domain before [submit] returns.
-    Raises [Invalid_argument] after {!shutdown}. *)
+    task runs inline in the submitting domain before [submit] returns
+    and its exception propagates to the submitter. Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val alive : t -> int
+(** Spawned worker domains currently running. Equals the spawn count
+    ([jobs] when dedicated, [jobs - 1] otherwise) in steady state —
+    crashed workers are respawned — and drops only transiently between
+    a crash and its respawn, or permanently during {!shutdown}. *)
+
+val crashes : t -> int
+(** Cumulative count of workers killed by an escaped {!submit}-task
+    exception (each was replaced unless the pool was shutting down).
+    Surfaced by the serve tier's [health] verb. *)
 
 val worker_index : unit -> int
 (** The calling domain's worker number within its pool ([1 .. workers]),

@@ -1,8 +1,9 @@
 type t = { dir : string; version : string }
 
 (* Bumped whenever the serialized artifact format changes shape; stale
-   blobs are then ignored rather than misread. *)
-let default_version = "sf-store-1"
+   blobs are then ignored rather than misread. v2 added the checksum
+   trailer, so v1 blobs (no trailer) surface as `Stale, not `Corrupt. *)
+let default_version = "sf-store-2"
 
 let open_ ?(version = default_version) dir = { dir; version }
 let version t = t.version
@@ -26,19 +27,53 @@ let mkdir_p dir =
   in
   go dir
 
+let checksum payload = Fingerprint.to_hex (Fingerprint.of_string payload)
+let checksum_len = 32
+
+let is_hex s = String.for_all (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false) s
+
+(* Classify raw blob bytes: [version "\n" payload "\n" hex_md5(payload)].
+   The trailer is parsed from the end so payloads may contain newlines.
+   Anything that is not a well-formed blob of the expected version is
+   `Corrupt — except a well-formed header with a different version,
+   which is `Stale (a schema change, not damage). *)
+let classify t content =
+  match String.index_opt content '\n' with
+  | None -> `Corrupt
+  | Some nl ->
+      if not (String.equal (String.sub content 0 nl) t.version) then `Stale
+      else
+        let body_len = String.length content - nl - 1 in
+        if body_len < checksum_len + 1 then `Corrupt
+        else
+          let trailer_nl = String.length content - checksum_len - 1 in
+          let trailer = String.sub content (trailer_nl + 1) checksum_len in
+          if content.[trailer_nl] <> '\n' || not (is_hex trailer) then `Corrupt
+          else
+            let payload = String.sub content (nl + 1) (trailer_nl - nl - 1) in
+            if String.equal (checksum payload) trailer then `Found payload
+            else `Corrupt
+
+(* Move a damaged blob aside so it stops shadowing future writes but
+   stays available for post-mortem inspection. Best-effort: if the
+   rename fails the blob is simply reported corrupt again next read. *)
+let quarantine path =
+  try Sys.rename path (path ^ ".corrupt") with Sys_error _ -> ()
+
 let find t ~key =
   if not (valid_key key) then `Absent
   else
     let path = blob_path t ~key in
     match In_channel.with_open_bin path In_channel.input_all with
     | exception Sys_error _ -> `Absent
+    | exception _ -> `Absent
     | content -> (
-        match String.index_opt content '\n' with
-        | None -> `Stale
-        | Some nl ->
-            if String.equal (String.sub content 0 nl) t.version then
-              `Found (String.sub content (nl + 1) (String.length content - nl - 1))
-            else `Stale)
+        match classify t content with
+        | `Found payload -> `Found payload
+        | `Stale -> `Stale
+        | `Corrupt ->
+            quarantine path;
+            `Corrupt)
 
 let put t ~key payload =
   valid_key key
@@ -50,7 +85,9 @@ let put t ~key payload =
     Out_channel.with_open_bin tmp (fun oc ->
         Out_channel.output_string oc t.version;
         Out_channel.output_char oc '\n';
-        Out_channel.output_string oc payload)
+        Out_channel.output_string oc payload;
+        Out_channel.output_char oc '\n';
+        Out_channel.output_string oc (checksum payload))
   with
   | exception Sys_error _ -> false
   | () -> (
@@ -61,8 +98,7 @@ let put t ~key payload =
         (try Sys.remove tmp with Sys_error _ -> ());
         false)
 
-let clear t =
-  let removed = ref 0 in
+let iter_blobs t f =
   let subdirs = try Sys.readdir t.dir with Sys_error _ -> [||] in
   Array.iter
     (fun sub ->
@@ -70,12 +106,35 @@ let clear t =
       if try Sys.is_directory subpath with Sys_error _ -> false then
         Array.iter
           (fun file ->
-            if Filename.check_suffix file ".blob" then begin
-              try
-                Sys.remove (Filename.concat subpath file);
-                incr removed
-              with Sys_error _ -> ()
-            end)
+            if Filename.check_suffix file ".blob" then
+              f (Filename.concat subpath file))
           (try Sys.readdir subpath with Sys_error _ -> [||]))
-    subdirs;
+    subdirs
+
+let clear t =
+  let removed = ref 0 in
+  iter_blobs t (fun path ->
+      try
+        Sys.remove path;
+        incr removed
+      with Sys_error _ -> ());
   !removed
+
+type scrub_report = { scanned : int; ok : int; stale : int; corrupt : int }
+
+let scrub t =
+  let scanned = ref 0 and ok = ref 0 and stale = ref 0 and corrupt = ref 0 in
+  iter_blobs t (fun path ->
+      incr scanned;
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception _ ->
+          (* Unreadable counts as corrupt but cannot be quarantined. *)
+          incr corrupt
+      | content -> (
+          match classify t content with
+          | `Found _ -> incr ok
+          | `Stale -> incr stale
+          | `Corrupt ->
+              quarantine path;
+              incr corrupt));
+  { scanned = !scanned; ok = !ok; stale = !stale; corrupt = !corrupt }

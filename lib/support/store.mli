@@ -3,12 +3,14 @@
     Backs the in-memory artifact cache (see docs/PIPELINE.md): blobs are
     keyed by a fingerprint's hex digest and laid out two-level
     ([dir/ab/abcdef....blob]) to keep directories small. Every blob is
-    written with a version header; reading a blob whose header does not
-    match the store's version reports [`Stale] instead of returning
-    bytes that a different schema produced. Writes are atomic (temp file
-    + rename), so a crashed or concurrent writer can never leave a
-    torn blob behind. All I/O failures degrade to misses — the store is
-    an accelerator, never a correctness dependency. *)
+    written with a version header and an MD5 checksum trailer over the
+    payload; reading a blob whose header does not match the store's
+    version reports [`Stale], and a blob whose bytes fail the checksum
+    (truncation, bit flips, torn writes that slipped past rename)
+    reports [`Corrupt] and is quarantined aside as [<blob>.corrupt].
+    Writes are atomic (temp file + rename). All I/O failures degrade to
+    misses — the store is an accelerator, never a correctness
+    dependency, and {!find} never raises on any byte sequence. *)
 
 type t
 
@@ -21,15 +23,28 @@ val open_ : ?version:string -> string -> t
 val version : t -> string
 val dir : t -> string
 
-val find : t -> key:string -> [ `Found of string | `Absent | `Stale ]
+val find : t -> key:string -> [ `Found of string | `Absent | `Stale | `Corrupt ]
 (** Look a blob up by hex key. [`Stale] means a blob exists but its
     version header does not match {!version} (it is left on disk;
-    {!clear} removes it). Malformed keys and I/O failures are
-    [`Absent]. *)
+    {!clear} removes it). [`Corrupt] means the blob exists with the
+    right version but its payload fails the checksum trailer — the blob
+    is renamed to [<path>.corrupt] and callers must treat the key as a
+    miss. Malformed keys and I/O failures are [`Absent]. Never
+    raises. *)
 
 val put : t -> key:string -> string -> bool
-(** Write a blob atomically. Returns false (and writes nothing) on I/O
-    failure or a malformed key; the cache then simply stays in-memory. *)
+(** Write a blob atomically (with checksum trailer). Returns false (and
+    writes nothing) on I/O failure or a malformed key; the cache then
+    simply stays in-memory. *)
 
 val clear : t -> int
-(** Delete every blob (any version). Returns the number removed. *)
+(** Delete every blob (any version). Returns the number removed.
+    Quarantined [.corrupt] files are left for inspection. *)
+
+type scrub_report = { scanned : int; ok : int; stale : int; corrupt : int }
+
+val scrub : t -> scrub_report
+(** Validate every blob in the store: verify version header and
+    checksum trailer without deserializing payloads. Corrupt blobs are
+    quarantined exactly as {!find} would. Backs the
+    [stencilflow cache verify] subcommand. *)

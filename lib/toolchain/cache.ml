@@ -33,6 +33,8 @@ type t = {
   mutable stale : int;
   mutable evictions : int;
   mutable joined : int;
+  mutable store_corrupt : int;
+  mutable takeovers : int;
   mutable store : Store.t option;
 }
 
@@ -48,6 +50,8 @@ let create ?(capacity = 128) () =
     stale = 0;
     evictions = 0;
     joined = 0;
+    store_corrupt = 0;
+    takeovers = 0;
     store = None;
   }
 
@@ -122,12 +126,42 @@ let insert_memory t key entry =
 let settle t flight outcome =
   flight.settled <- true;
   flight.outcome <- outcome;
-  Hashtbl.remove t.flights flight.flight_key;
+  (* Only unregister the flight we actually own: after a takeover the
+     table holds the new leader's flight under the same key, and a
+     stale leader settling late must not evict it. *)
+  (match Hashtbl.find_opt t.flights flight.flight_key with
+  | Some registered when registered == flight -> Hashtbl.remove t.flights flight.flight_key
+  | _ -> ());
   Condition.broadcast flight.cv
 
 type outcome = Hit of entry | Joined of entry | Miss of flight
 
-let acquire t key =
+(* Wait for [flight] to settle while holding [t.mu]. Without a bound
+   this is a plain [Condition.wait] loop. With [wait_until] (an absolute
+   {!Sf_support.Util.monotime}) the wait polls — OCaml's [Condition] has
+   no timed wait — and returns [`Expired] once the bound passes with the
+   flight still unsettled. *)
+let wait_for_flight t flight wait_until =
+  match wait_until with
+  | None ->
+      while not flight.settled do
+        Condition.wait flight.cv t.mu
+      done;
+      `Settled
+  | Some bound ->
+      let rec loop () =
+        if flight.settled then `Settled
+        else if Sf_support.Util.monotime () >= bound then `Expired
+        else begin
+          Mutex.unlock t.mu;
+          Unix.sleepf 0.001;
+          Mutex.lock t.mu;
+          loop ()
+        end
+      in
+      loop ()
+
+let acquire ?wait_until t key =
   Mutex.lock t.mu;
   let rec go ~waited =
     match Hashtbl.find_opt t.table key with
@@ -139,21 +173,39 @@ let acquire t key =
         if waited then Joined entry else Hit entry
     | None -> (
         match Hashtbl.find_opt t.flights key with
-        | Some flight ->
-            while not flight.settled do
-              Condition.wait flight.cv t.mu
-            done;
-            (match flight.outcome with
-            | Some entry ->
-                (* The leader published while we slept: a deduplicated
-                   execution, counted separately from plain hits. *)
-                t.joined <- t.joined + 1;
+        | Some flight -> (
+            match wait_for_flight t flight wait_until with
+            | `Expired ->
+                (* The leader stalled past our bound. If its flight is
+                   still the registered one, take it over: unregister
+                   the stalled flight and lead a fresh one, so waiters
+                   are never parked behind a wedged (or crashed) leader
+                   forever. The stale leader's eventual settle is
+                   harmless — [settle] only unregisters its own
+                   flight. *)
+                let fresh =
+                  { flight_key = key; settled = false; outcome = None; cv = Condition.create () }
+                in
+                (match Hashtbl.find_opt t.flights key with
+                | Some registered when registered == flight -> Hashtbl.remove t.flights key
+                | _ -> ());
+                Hashtbl.replace t.flights key fresh;
+                t.takeovers <- t.takeovers + 1;
+                t.misses <- t.misses + 1;
                 Mutex.unlock t.mu;
-                Joined entry
-            | None ->
-                (* Leader failed or was cancelled; race to lead a fresh
-                   attempt (or join whoever won). *)
-                go ~waited)
+                Miss fresh
+            | `Settled -> (
+                match flight.outcome with
+                | Some entry ->
+                    (* The leader published while we slept: a deduplicated
+                       execution, counted separately from plain hits. *)
+                    t.joined <- t.joined + 1;
+                    Mutex.unlock t.mu;
+                    Joined entry
+                | None ->
+                    (* Leader failed or was cancelled; race to lead a fresh
+                       attempt (or join whoever won). *)
+                    go ~waited))
         | None -> (
             let flight =
               { flight_key = key; settled = false; outcome = None; cv = Condition.create () }
@@ -173,6 +225,7 @@ let acquire t key =
                   match Store.find store ~key:(F.to_hex key) with
                   | `Absent -> Ok None
                   | `Stale -> Error `Stale
+                  | `Corrupt -> Error `Corrupt
                   | `Found payload -> (
                       match deserialize payload with
                       | None -> Error `Stale
@@ -192,6 +245,14 @@ let acquire t key =
                     Miss flight
                 | Error `Stale ->
                     t.stale <- t.stale + 1;
+                    Mutex.unlock t.mu;
+                    Miss flight
+                | Error `Corrupt ->
+                    (* The blob failed its checksum; the store has
+                       already quarantined it. Count it and execute the
+                       pass — a damaged artifact must never replay. *)
+                    t.store_corrupt <- t.store_corrupt + 1;
+                    t.misses <- t.misses + 1;
                     Mutex.unlock t.mu;
                     Miss flight)))
   in
@@ -223,6 +284,8 @@ type stats = {
   stale : int;
   evictions : int;
   joined : int;
+  store_corrupt : int;
+  takeovers : int;
   entries : int;
 }
 
@@ -235,6 +298,8 @@ let stats (c : t) =
       stale = c.stale;
       evictions = c.evictions;
       joined = c.joined;
+      store_corrupt = c.store_corrupt;
+      takeovers = c.takeovers;
       entries = Hashtbl.length c.table;
     }
   in
@@ -252,6 +317,8 @@ let clear t =
   t.stale <- 0;
   t.evictions <- 0;
   t.joined <- 0;
+  t.store_corrupt <- 0;
+  t.takeovers <- 0;
   let store = t.store in
   Mutex.unlock t.mu;
   match store with None -> () | Some store -> ignore (Store.clear store)

@@ -72,12 +72,20 @@ type outcome =
   | Miss of flight
       (** This caller leads: execute, then {!fulfill} or {!abandon}. *)
 
-val acquire : t -> Sf_support.Fingerprint.t -> outcome
+val acquire : ?wait_until:float -> t -> Sf_support.Fingerprint.t -> outcome
 (** Look the key up (memory first, then the store — a disk hit is
-    promoted to memory and settles the flight for any waiters), joining
-    an in-progress execution if one exists. Blocks only in the [Joined]
-    case, for as long as the leader executes. Updates the
-    hit/miss/stale/joined counters. *)
+    promoted to memory and settles the flight for any waiters; a blob
+    failing its checksum is counted in [store_corrupt] and treated as a
+    miss), joining an in-progress execution if one exists. Blocks only
+    while waiting on a leader, normally for as long as the leader
+    executes. With [wait_until] (an absolute {!Sf_support.Util.monotime}
+    bound) the flight-wait is bounded: if the leader has not settled by
+    then, this caller {e takes over} — the stalled flight is
+    unregistered and a fresh one returned as [Miss], so a crashed or
+    wedged leader can never park waiters forever. A stale leader
+    settling after a takeover only wakes its own waiters; it cannot
+    disturb the new flight. Updates the hit/miss/stale/joined/takeover
+    counters. *)
 
 val fulfill : t -> flight -> entry -> unit
 (** Publish the leader's result: insert into memory (evicting LRU when
@@ -94,6 +102,12 @@ type stats = {
   stale : int;
   evictions : int;
   joined : int;  (** Executions deduplicated by single-flight waiting. *)
+  store_corrupt : int;
+      (** Store blobs that failed their checksum trailer (each was
+          quarantined and served as a miss). *)
+  takeovers : int;
+      (** Bounded flight-waits that expired and took over a stalled
+          leader's flight. *)
   entries : int;
 }
 

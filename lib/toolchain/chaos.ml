@@ -1,0 +1,380 @@
+module Json = Sf_support.Json
+module Store = Sf_support.Store
+module Rng = Sf_sim.Fault_plan.Rng
+
+(* What the plan does to one admitted request, injected through the
+   service's [disturb] hook at the moment a worker starts executing. *)
+type disturbance = Calm | Raise | Slow of float
+
+type seed_report = {
+  seed : int;
+  requests : int;
+  malformed : int;
+  raises : int;
+  slows : int;
+  corrupted_blobs : int;
+  failures : string list;
+}
+
+type report = { seeds : int; failed : int; seed_reports : seed_report list }
+
+let passed r = r.failed = 0
+
+(* --- deterministic request plan ------------------------------------ *)
+
+type plan = {
+  lines : string list;  (* the full NDJSON stream, shutdown included *)
+  clean : (string * string) list;  (* id key -> clean request line *)
+  disturbances : (string, disturbance) Hashtbl.t;
+  n_malformed : int;
+  n_raises : int;
+  n_slows : int;
+}
+
+let id_key k = Printf.sprintf "\"r%d\"" k
+
+let request_line ?deadline_ms ~verb ~file k =
+  let deadline =
+    match deadline_ms with
+    | Some ms -> Printf.sprintf {|, "deadline_ms": %d|} ms
+    | None -> ""
+  in
+  Printf.sprintf {|{"id": "r%d", "verb": %S, "program_file": %S%s}|} k verb file deadline
+
+(* Garbage the reader must survive: invalid JSON, wrong-typed verbs,
+   unknown verbs, compile verbs with no program. Every one of these must
+   be answered (ok:false), never crash the loop. *)
+let malformed_pool =
+  [|
+    "{";
+    "not json at all";
+    {|{"verb": 42}|};
+    {|{"verb": "bogus-verb", "id": "m"}|};
+    {|[1, 2|};
+    {|{"verb": "analyze"}|};
+    "\"just a string\"";
+    {|{"id": {"deep": [1, {"nest": null}]}}|};
+  |]
+
+let make_plan ~rng ~programs ~requests =
+  let d_rng = Rng.split rng "disturb" in
+  let m_rng = Rng.split rng "malformed" in
+  let v_rng = Rng.split rng "verbs" in
+  let disturbances = Hashtbl.create 16 in
+  let n_malformed = ref 0 and n_raises = ref 0 and n_slows = ref 0 in
+  let progs = Array.of_list programs in
+  let clean = ref [] in
+  let lines = ref [] in
+  let emit l = lines := l :: !lines in
+  for k = 0 to requests - 1 do
+    (* Seeded garbage interleaved with real traffic. *)
+    if Rng.int m_rng 3 = 0 then begin
+      emit malformed_pool.(Rng.int m_rng (Array.length malformed_pool));
+      incr n_malformed
+    end;
+    let file = progs.(k mod Array.length progs) in
+    let verb = if Rng.int v_rng 4 = 0 then "simulate" else "analyze" in
+    let line = request_line ~verb ~file k in
+    clean := (id_key k, line) :: !clean;
+    (match Rng.int d_rng 4 with
+    | 0 ->
+        Hashtbl.replace disturbances (id_key k) Raise;
+        incr n_raises
+    | 1 ->
+        let ms = 1 + Rng.int d_rng 10 in
+        Hashtbl.replace disturbances (id_key k) (Slow (float_of_int ms /. 1000.));
+        incr n_slows
+    | _ -> ());
+    emit line
+  done;
+  emit {|{"id": "probe", "verb": "health"}|};
+  emit {|{"verb": "shutdown"}|};
+  {
+    lines = List.rev !lines;
+    clean = List.rev !clean;
+    disturbances;
+    n_malformed = !n_malformed;
+    n_raises = !n_raises;
+    n_slows = !n_slows;
+  }
+
+(* --- driving a live serve_loop ------------------------------------- *)
+
+(* Feed [lines] to a real [Service.serve_loop] over pipes — same
+   plumbing as a remote client — and return the response lines. The
+   writer goes first and the whole stream fits comfortably in the pipe
+   buffer for campaign-sized plans, so no extra feeder domain is
+   needed. *)
+let drive service lines =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let ocq = Unix.out_channel_of_descr req_w in
+  List.iter
+    (fun l ->
+      Out_channel.output_string ocq l;
+      Out_channel.output_char ocq '\n')
+    lines;
+  Out_channel.close ocq;
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Service.serve_loop service ic oc;
+        Out_channel.close oc;
+        In_channel.close ic)
+  in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let rec read acc =
+    match In_channel.input_line ic with None -> List.rev acc | Some l -> read (l :: acc)
+  in
+  let responses = read [] in
+  Domain.join server;
+  In_channel.close ic;
+  responses
+
+(* The semantic core of a response — what must be reproducible across
+   runs. Timing, seq, worker attribution and cache deltas are
+   scheduling-dependent by design and excluded. *)
+let essence json =
+  Json.to_string ~minify:true
+    (Json.Obj
+       [
+         ("ok", Option.value ~default:Json.Null (Json.member "ok" json));
+         ("result", Option.value ~default:Json.Null (Json.member "result" json));
+         ("diagnostics", Option.value ~default:Json.Null (Json.member "diagnostics" json));
+       ])
+
+let member_key name json =
+  match Json.member name json with
+  | Some v -> Some (Json.to_string ~minify:true v)
+  | None -> None
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- store corruption ----------------------------------------------- *)
+
+let rec rm_rf path =
+  if (try Sys.is_directory path with Sys_error _ -> false) then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    try Sys.rmdir path with Sys_error _ -> ()
+  end
+  else try Sys.remove path with Sys_error _ -> ()
+
+let list_blobs dir =
+  let acc = ref [] in
+  let subdirs = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.iter
+    (fun sub ->
+      let subpath = Filename.concat dir sub in
+      if try Sys.is_directory subpath with Sys_error _ -> false then
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".blob" then acc := Filename.concat subpath f :: !acc)
+          (try Sys.readdir subpath with Sys_error _ -> [||]))
+    subdirs;
+  List.sort compare !acc
+
+(* Damage a seeded subset of the store's blobs in place: truncation or a
+   single bit flip in the payload region. At least one blob is hit
+   whenever the store is non-empty, so every seed exercises the
+   corruption path. *)
+let corrupt_blobs ~rng dir =
+  let c_rng = Rng.split rng "corrupt" in
+  let blobs = list_blobs dir in
+  let corrupted = ref 0 in
+  List.iteri
+    (fun i path ->
+      if Rng.int c_rng 2 = 0 || (i = 0 && !corrupted = 0) then begin
+        match In_channel.with_open_bin path In_channel.input_all with
+        | exception _ -> ()
+        | content when String.length content < 4 -> ()
+        | content ->
+            let damaged =
+              if Rng.int c_rng 2 = 0 then
+                (* Truncate: cut the blob roughly in half. *)
+                String.sub content 0 (String.length content / 2)
+              else begin
+                (* Bit-flip one byte past the version header. *)
+                let b = Bytes.of_string content in
+                let lo = min (String.length content - 1) 12 in
+                let pos = lo + Rng.int c_rng (String.length content - lo) in
+                Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+                Bytes.to_string b
+              end
+            in
+            Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc damaged);
+            incr corrupted
+      end)
+    blobs;
+  !corrupted
+
+(* --- one seed ------------------------------------------------------- *)
+
+let run_seed ?(serve_jobs = 3) ?(requests = 8) ~store_root ~programs seed =
+  let rng = Rng.make seed in
+  let plan = make_plan ~rng ~programs ~requests in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+
+  (* Unperturbed baseline: the clean requests through a fresh serial
+     service, no store — the answers every later run must reproduce. *)
+  let baseline =
+    let t = Service.create () in
+    List.map
+      (fun (key, line) ->
+        match Service.handle t line with
+        | resp, `Continue -> (
+            match Json.parse resp with
+            | Ok json -> (key, essence json)
+            | Error _ -> (key, "unparseable"))
+        | _, `Stop -> (key, "unexpected stop"))
+      plan.clean
+  in
+
+  let store_dir = Filename.concat store_root (Printf.sprintf "seed-%d" seed) in
+  rm_rf store_dir;
+
+  (* Perturbed run: live serve loop, seeded worker exceptions and slow
+     passes injected via the disturb hook, malformed lines interleaved. *)
+  let disturb ~id =
+    match id with
+    | None -> ()
+    | Some id -> (
+        match Hashtbl.find_opt plan.disturbances (Json.to_string ~minify:true id) with
+        | Some Raise -> failwith "chaos: injected worker exception"
+        | Some (Slow dt) -> Unix.sleepf dt
+        | Some Calm | None -> ())
+  in
+  let t = Service.create ~serve_jobs ~queue_depth:256 ~store_dir ~disturb () in
+  let responses =
+    match drive t plan.lines with
+    | responses -> responses
+    | exception exn ->
+        fail "serve loop died: %s" (Printexc.to_string exn);
+        []
+  in
+  let parsed =
+    List.filter_map
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> Some j
+        | Error _ ->
+            fail "response is not JSON: %s" l;
+            None)
+      responses
+  in
+
+  (* Invariant 1: one response per submitted line — every admitted id
+     (and every piece of garbage) answered exactly once. *)
+  let expected = List.length plan.lines in
+  if List.length responses <> expected then
+    fail "expected %d response(s), got %d" expected (List.length responses);
+  List.iter
+    (fun (key, _) ->
+      let n =
+        List.length
+          (List.filter (fun j -> member_key "id" j = Some key) parsed)
+      in
+      if n <> 1 then fail "id %s answered %d time(s)" key n)
+    plan.clean;
+
+  (* Invariant 2: seq gap-free. *)
+  let seqs =
+    List.sort compare
+      (List.filter_map (fun j -> Option.bind (Json.member "seq" j) Json.int_opt) parsed)
+  in
+  if seqs <> List.init (List.length parsed) Fun.id then fail "seq has gaps: not 0..n-1";
+
+  (* Invariant 3: loop alive at the end — the health probe (sent after
+     all traffic) answered ok with every worker still accounted for. *)
+  (match List.find_opt (fun j -> member_key "id" j = Some "\"probe\"") parsed with
+  | None -> fail "health probe unanswered"
+  | Some j -> (
+      if Json.member "ok" j <> Some (Json.Bool true) then fail "health probe not ok";
+      match Json.member "result" j with
+      | Some result -> (
+          match Option.bind (Json.member "workers_alive" result) Json.int_opt with
+          | Some alive when alive >= serve_jobs -> ()
+          | Some alive -> fail "only %d/%d workers alive" alive serve_jobs
+          | None -> fail "health result has no workers_alive")
+      | None -> fail "health probe has no result"));
+
+  (* Every injected exception must have surfaced as SF0905, not been
+     swallowed or crashed the loop. *)
+  let sf0905 =
+    List.length
+      (List.filter
+         (fun j ->
+           match member_key "diagnostics" j with
+           | Some d -> contains_substring ~needle:"SF0905" d
+           | None -> false)
+         parsed)
+  in
+  if sf0905 <> plan.n_raises then
+    fail "expected %d SF0905 response(s), found %d" plan.n_raises sf0905;
+
+  (* Invariant 4: damage the on-disk store, then a clean serial re-run
+     over it must reproduce the baseline byte-for-byte — corrupt blobs
+     are detected and re-executed, never replayed. *)
+  let corrupted = corrupt_blobs ~rng store_dir in
+  let rerun_service = Service.create ~store_dir () in
+  List.iter
+    (fun (key, line) ->
+      match Service.handle rerun_service line with
+      | exception exn -> fail "re-run of %s raised: %s" key (Printexc.to_string exn)
+      | resp, `Continue -> (
+          match Json.parse resp with
+          | Ok json ->
+              let e = essence json in
+              let b = List.assoc key baseline in
+              if not (String.equal e b) then
+                fail "re-run of %s diverged from baseline after corruption" key
+          | Error _ -> fail "re-run of %s: response is not JSON" key)
+      | _, `Stop -> fail "re-run of %s stopped" key)
+    plan.clean;
+  rm_rf store_dir;
+
+  {
+    seed;
+    requests;
+    malformed = plan.n_malformed;
+    raises = plan.n_raises;
+    slows = plan.n_slows;
+    corrupted_blobs = corrupted;
+    failures = List.rev !failures;
+  }
+
+let campaign ?(seeds = List.init 25 (fun i -> i + 1)) ?serve_jobs ?requests ?store_root
+    ~programs () =
+  if programs = [] then invalid_arg "Chaos.campaign: no programs";
+  let store_root =
+    match store_root with
+    | Some d -> d
+    | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "sf-chaos-%d" (Unix.getpid ()))
+  in
+  let seed_reports =
+    List.map (fun seed -> run_seed ?serve_jobs ?requests ~store_root ~programs seed) seeds
+  in
+  rm_rf store_root;
+  {
+    seeds = List.length seed_reports;
+    failed = List.length (List.filter (fun r -> r.failures <> []) seed_reports);
+    seed_reports;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "chaos campaign: %d seed(s), %d failed@." r.seeds r.failed;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt
+        "  seed %-4d %-4s %d req(s), %d malformed, %d raise(s), %d slow(s), %d blob(s) corrupted@."
+        s.seed
+        (if s.failures = [] then "ok" else "FAIL")
+        s.requests s.malformed s.raises s.slows s.corrupted_blobs;
+      List.iter (fun m -> Format.fprintf fmt "    - %s@." m) s.failures)
+    r.seed_reports

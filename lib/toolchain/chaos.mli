@@ -1,0 +1,67 @@
+(** Deterministic chaos harness for the serve tier.
+
+    The simulator earned its robustness claims through seeded fault
+    campaigns ([Sf_sim.Faults]); this module applies the same discipline
+    to the service layer. A campaign drives a {e live}
+    {!Service.serve_loop} (real pipes, real worker pool, real writer)
+    with a seed-derived plan of adversity — worker exceptions and slow
+    passes injected through the service's [disturb] hook, malformed
+    NDJSON interleaved with real traffic, and post-hoc on-disk blob
+    corruption — and asserts the hardening invariants:
+
+    + every submitted line (admitted id or garbage) is answered exactly
+      once;
+    + response [seq] numbers are gap-free ([0..n-1]);
+    + the loop is alive at the end: the trailing [health] probe answers
+      [ok] with every worker accounted for, and each injected exception
+      surfaced as an [SF0905] response rather than a lost worker;
+    + after corrupting a seeded subset of the store's blobs, a clean
+      serial re-run over that store reproduces the unperturbed baseline
+      byte-for-byte (on [ok]/[result]/[diagnostics] — timing and [seq]
+      are scheduling-dependent by design) — a damaged blob is detected,
+      quarantined and re-executed, never replayed.
+
+    Everything is derived from the seed via [Fault_plan.Rng]'s
+    splittable SplitMix64, so a failing seed replays exactly. *)
+
+type disturbance = Calm | Raise | Slow of float
+
+type seed_report = {
+  seed : int;
+  requests : int;  (** Clean compile requests in the plan. *)
+  malformed : int;  (** Garbage lines interleaved. *)
+  raises : int;  (** Injected worker exceptions. *)
+  slows : int;  (** Injected slow executions. *)
+  corrupted_blobs : int;  (** Store blobs damaged before the re-run. *)
+  failures : string list;  (** Violated invariants; empty = pass. *)
+}
+
+type report = { seeds : int; failed : int; seed_reports : seed_report list }
+
+val passed : report -> bool
+
+val run_seed :
+  ?serve_jobs:int ->
+  ?requests:int ->
+  store_root:string ->
+  programs:string list ->
+  int ->
+  seed_report
+(** Run one seed: baseline, perturbed live run against a store under
+    [store_root] (created and removed per seed), corruption, clean
+    re-run. [serve_jobs] defaults to 3, [requests] to 8; [programs] are
+    program-file paths cycled across requests. *)
+
+val campaign :
+  ?seeds:int list ->
+  ?serve_jobs:int ->
+  ?requests:int ->
+  ?store_root:string ->
+  programs:string list ->
+  unit ->
+  report
+(** {!run_seed} over every seed (default [1..25]). [store_root] defaults
+    to a pid-qualified directory under the system temp dir and is
+    removed afterwards. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -118,7 +118,7 @@ let capture (pass : pass) (ctx : Ctx.t) (ctx' : Ctx.t) =
   let diags = List.filteri (fun i _ -> i >= before) ctx'.Ctx.diags in
   { Cache.bindings; diags }
 
-let run ?(hooks = no_hooks) ?cache ?(should_stop = fun () -> false) passes ctx =
+let run ?(hooks = no_hooks) ?cache ?(should_stop = fun () -> false) ?deadline passes ctx =
   let trace = ref [] in
   let record t =
     trace := t :: !trace;
@@ -143,7 +143,11 @@ let run ?(hooks = no_hooks) ?cache ?(should_stop = fun () -> false) passes ctx =
                   Cache.key ~pass_name:pass.name ~options_fp:(Some options_fp) ~reads:pass.reads
                     ctx
                 in
-                Some (cache, Cache.acquire cache key)
+                (* The deadline also bounds the single-flight wait: a
+                   waiter parked behind a stalled leader takes the
+                   flight over at the deadline instead of blocking
+                   forever (and then typically fails fast below). *)
+                Some (cache, Cache.acquire ?wait_until:deadline cache key)
             | _ -> None
           in
           match lookup with
@@ -179,6 +183,24 @@ let run ?(hooks = no_hooks) ?cache ?(should_stop = fun () -> false) passes ctx =
               let abandon () =
                 match flight with Some (cache, f) -> Cache.abandon cache f | None -> ()
               in
+              let expired =
+                match deadline with Some d -> monotime () >= d | None -> false
+              in
+              if expired then begin
+                (* The deadline is only charged against actual work:
+                   cached replays above are free, so a warm request can
+                   still answer after its budget, while a cold one
+                   stops at the first pass it cannot afford. Completed
+                   passes stay cached for the retry. *)
+                abandon ();
+                Error
+                  ( [
+                      Diag.errorf ~code:Diag.Code.deadline "deadline exceeded before pass %s"
+                        pass.name;
+                    ],
+                    List.rev !trace )
+              end
+              else
               let t0 = monotime () in
               let result =
                 try pass.run ctx

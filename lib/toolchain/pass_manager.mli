@@ -84,6 +84,7 @@ val run :
   ?hooks:hooks ->
   ?cache:Cache.t ->
   ?should_stop:(unit -> bool) ->
+  ?deadline:float ->
   pass list ->
   Ctx.t ->
   (Ctx.t * trace, Sf_support.Diag.t list * trace) result
@@ -99,7 +100,13 @@ val run :
     they never poison the cache. [should_stop] is polled before each
     pass (default: never); when it returns [true] the pipeline aborts
     with an [SF0902] cancellation error — a pass either runs to
-    completion or not at all. *)
+    completion or not at all. [deadline] (an absolute
+    {!Sf_support.Util.monotime}, default: none) is charged only against
+    passes that would actually execute: cache replays are free, but a
+    pass that must run (or lead a flight) after the deadline aborts the
+    pipeline with [SF0904] instead — completed passes stay cached, so a
+    retry resumes from the abandoned pass. The deadline also bounds
+    single-flight waits (see {!Cache.acquire}). *)
 
 val pp_trace : Format.formatter -> trace -> unit
 (** The [--trace-passes] rendering: one line per pass with its kind,

@@ -13,12 +13,16 @@ type t = {
   serve_jobs : int;
   queue_depth : int;
   ordered : bool;
+  deadline_ms : int option;  (* server-wide default request budget *)
+  disturb : (id:Json.t option -> unit) option;  (* chaos injection hook *)
+  created_at : float;
+  pool : Executor.t option Atomic.t;  (* live serve pool, for [health] *)
   cancels : (string, bool Atomic.t) Hashtbl.t;
   cancels_mu : Mutex.t;
 }
 
 let create ?(cache_capacity = 128) ?store_dir ?on_trace ?(jobs = 0) ?(serve_jobs = 1)
-    ?(queue_depth = 64) ?(ordered = false) () =
+    ?(queue_depth = 64) ?(ordered = false) ?deadline_ms ?disturb () =
   let cache = Cache.create ~capacity:cache_capacity () in
   let cache =
     match store_dir with None -> cache | Some dir -> Cache.with_store cache (Store.open_ dir)
@@ -30,6 +34,10 @@ let create ?(cache_capacity = 128) ?store_dir ?on_trace ?(jobs = 0) ?(serve_jobs
     serve_jobs = max 1 serve_jobs;
     queue_depth = max 1 queue_depth;
     ordered;
+    deadline_ms = (match deadline_ms with Some ms when ms > 0 -> Some ms | _ -> None);
+    disturb;
+    created_at = monotime ();
+    pool = Atomic.make None;
     cancels = Hashtbl.create 16;
     cancels_mu = Mutex.create ();
   }
@@ -181,10 +189,16 @@ type body =
   | Cache_stats
   | Evict
   | Cancel of Json.t option
+  | Health
   | Shutdown
   | Invalid of Diag.t list
 
-type request = { id : Json.t option; verb_name : string; body : body }
+type request = {
+  id : Json.t option;
+  verb_name : string;
+  body : body;
+  deadline_ms : int option;  (* per-request override of the server default *)
+}
 
 let parse_request line =
   match Json.parse line with
@@ -198,29 +212,38 @@ let parse_request line =
               Diag.errorf ~code:Diag.Code.json_parse "malformed request: %s"
                 (Json.error_to_string e);
             ];
+        deadline_ms = None;
       }
   | Ok json -> (
       let id = Json.member "id" json in
+      let deadline_ms = Option.bind (Json.member "deadline_ms" json) Json.int_opt in
+      let req verb_name body = { id; verb_name; body; deadline_ms } in
       match Option.bind (Json.member "verb" json) Json.string_opt with
-      | Some "analyze" -> { id; verb_name = "analyze"; body = Compile (`Analyze, json) }
-      | Some "simulate" -> { id; verb_name = "simulate"; body = Compile (`Simulate, json) }
-      | Some "codegen" -> { id; verb_name = "codegen"; body = Compile (`Codegen, json) }
-      | Some "cache-stats" -> { id; verb_name = "cache-stats"; body = Cache_stats }
-      | Some "evict" -> { id; verb_name = "evict"; body = Evict }
-      | Some "cancel" -> { id; verb_name = "cancel"; body = Cancel (Json.member "target" json) }
-      | Some "shutdown" -> { id; verb_name = "shutdown"; body = Shutdown }
+      | Some "analyze" -> req "analyze" (Compile (`Analyze, json))
+      | Some "simulate" -> req "simulate" (Compile (`Simulate, json))
+      | Some "codegen" -> req "codegen" (Compile (`Codegen, json))
+      | Some "cache-stats" -> req "cache-stats" Cache_stats
+      | Some "evict" -> req "evict" Evict
+      | Some "cancel" -> req "cancel" (Cancel (Json.member "target" json))
+      | Some "health" -> req "health" Health
+      | Some "shutdown" -> req "shutdown" Shutdown
       | Some other ->
-          {
-            id;
-            verb_name = other;
-            body = Invalid [ Diag.errorf ~code:Diag.Code.format "unknown verb %S" other ];
-          }
+          req other (Invalid [ Diag.errorf ~code:Diag.Code.format "unknown verb %S" other ])
       | None ->
-          {
-            id;
-            verb_name = "error";
-            body = Invalid [ Diag.error ~code:Diag.Code.format "request has no \"verb\"" ];
-          })
+          req "error" (Invalid [ Diag.error ~code:Diag.Code.format "request has no \"verb\"" ]))
+
+(* The absolute monotonic deadline of a request admitted at [t_admit]:
+   the request's own [deadline_ms] when present (negative disables even
+   the server default — an explicit opt-out), else the server-wide
+   [--deadline-ms] default, else none. *)
+let deadline_of (t : t) req ~t_admit =
+  match req.deadline_ms with
+  | Some ms when ms >= 0 -> Some (t_admit +. (float_of_int ms /. 1000.))
+  | Some _ -> None
+  | None -> (
+      match t.deadline_ms with
+      | Some ms -> Some (t_admit +. (float_of_int ms /. 1000.))
+      | None -> None)
 
 (* Response encoding ------------------------------------------------- *)
 
@@ -251,7 +274,32 @@ let stats_json (s : Cache.stats) =
       ("stale", Json.Int s.Cache.stale);
       ("evictions", Json.Int s.Cache.evictions);
       ("joined", Json.Int s.Cache.joined);
+      ("store_corrupt", Json.Int s.Cache.store_corrupt);
+      ("takeovers", Json.Int s.Cache.takeovers);
       ("entries", Json.Int s.Cache.entries);
+    ]
+
+(* Load-balancer probe payload. [in_flight] is supplied by the caller
+   (the serve reader knows its admission counter; the synchronous
+   [handle] path is always 0); worker liveness comes from the live pool
+   when one is attached. *)
+let health_json t ~in_flight =
+  let stats = Cache.stats t.cache in
+  let workers_alive, worker_crashes =
+    match Atomic.get t.pool with
+    | Some pool -> (Executor.alive pool, Executor.crashes pool)
+    | None -> (0, 0)
+  in
+  Json.Obj
+    [
+      ("uptime_seconds", Json.Float (monotime () -. t.created_at));
+      ("in_flight", Json.Int in_flight);
+      ("serve_jobs", Json.Int t.serve_jobs);
+      ("workers_alive", Json.Int workers_alive);
+      ("worker_crashes", Json.Int worker_crashes);
+      ("store_corrupt", Json.Int stats.Cache.store_corrupt);
+      ("takeovers", Json.Int stats.Cache.takeovers);
+      ("cache_entries", Json.Int stats.Cache.entries);
     ]
 
 (* What this request did to the cache, derived from its own pass trace —
@@ -368,7 +416,7 @@ let render ?seq ~id ~verb ~timing reply =
                ] );
          ]))
 
-let compile_verb t ~should_stop ~verb ~name json =
+let compile_verb t ~should_stop ?deadline ~verb ~name json =
   let outcome =
     let ( let* ) = Result.bind in
     let* opts = decode_options json in
@@ -389,7 +437,7 @@ let compile_verb t ~should_stop ~verb ~name json =
       let emit_trace trace =
         match t.on_trace with Some f -> f ~verb:name trace | None -> ()
       in
-      match Pass_manager.run ~cache:t.cache ~should_stop passes ctx with
+      match Pass_manager.run ~cache:t.cache ~should_stop ?deadline passes ctx with
       | Ok (ctx, trace) ->
           emit_trace trace;
           let result =
@@ -414,15 +462,16 @@ let cancel_reply t target =
       let found = request_cancel t target in
       reply ~result:(Json.Obj [ ("target", target); ("found", Json.Bool found) ]) ()
 
-let run_request t ~should_stop req =
+let run_request t ~should_stop ?deadline ?(in_flight = 0) req =
   match req.body with
-  | Compile (verb, json) -> compile_verb t ~should_stop ~verb ~name:req.verb_name json
+  | Compile (verb, json) -> compile_verb t ~should_stop ?deadline ~verb ~name:req.verb_name json
   | Cache_stats -> reply ~result:(stats_json (Cache.stats t.cache)) ()
   | Evict ->
       let dropped = (Cache.stats t.cache).Cache.entries in
       Cache.clear t.cache;
       reply ~result:(Json.Obj [ ("entries_dropped", Json.Int dropped) ]) ()
   | Cancel target -> cancel_reply t target
+  | Health -> reply ~result:(health_json t ~in_flight) ()
   | Shutdown -> reply ~control:`Stop ()
   | Invalid ds -> reply ~ok:false ~diags:ds ()
 
@@ -439,7 +488,7 @@ let handle t line =
     | Some (_, flag) -> fun () -> Atomic.get flag
     | None -> fun () -> false
   in
-  let rep = run_request t ~should_stop req in
+  let rep = run_request t ~should_stop ?deadline:(deadline_of t req ~t_admit:t0) req in
   (match registration with Some (key, _) -> unregister_cancel t key | None -> ());
   let dt = monotime () -. t0 in
   let timing =
@@ -492,12 +541,21 @@ let writer_loop ~ordered sched oc =
   let next_seq = ref 0 in
   let buffer = Hashtbl.create 16 in
   let next_admitted = ref 0 in
+  (* A client hanging up mid-stream surfaces here as [Sys_error]
+     (EPIPE/closed fd). That is a normal way for a session to end, not a
+     crash: mark the sink dead and keep draining the queue silently so
+     workers' [complete] calls never block and the loop unwinds
+     cleanly. *)
+  let dead = ref false in
   let emit render =
     let seq = !next_seq in
     incr next_seq;
-    Out_channel.output_string oc (render ~seq);
-    Out_channel.output_char oc '\n';
-    Out_channel.flush oc
+    if not !dead then
+      try
+        Out_channel.output_string oc (render ~seq);
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc
+      with Sys_error _ -> dead := true
   in
   let rec flush_ordered () =
     match Hashtbl.find_opt buffer !next_admitted with
@@ -529,6 +587,7 @@ let writer_loop ~ordered sched oc =
 
 let serve_loop t ic oc =
   let pool = Executor.create ~dedicated:true ~jobs:t.serve_jobs () in
+  Atomic.set t.pool (Some pool);
   let sched =
     { mu = Mutex.create (); cv = Condition.create (); out = Queue.create (); busy = 0;
       closed = false }
@@ -556,6 +615,14 @@ let serve_loop t ic oc =
             quick (reply ~control:`Stop ())
         | Cancel target ->
             quick (cancel_reply t target);
+            loop ()
+        | Health ->
+            (* Answered by the reader so a saturated pool cannot starve
+               a load-balancer probe — that is the whole point of it. *)
+            Mutex.lock sched.mu;
+            let in_flight = sched.busy in
+            Mutex.unlock sched.mu;
+            quick (reply ~result:(health_json t ~in_flight) ());
             loop ()
         | Invalid ds ->
             quick (reply ~ok:false ~diags:ds ());
@@ -589,13 +656,23 @@ let serve_loop t ic oc =
                     | None -> fun () -> false
                   in
                   let rep =
-                    try run_request t ~should_stop req
+                    (* Crash isolation: whatever escapes the request —
+                       including a chaos [disturb] injection — becomes
+                       an SF0905 response with the backtrace attached,
+                       never a dead worker or a dropped reply. *)
+                    try
+                      (match t.disturb with Some f -> f ~id:req.id | None -> ());
+                      run_request t ~should_stop
+                        ?deadline:(deadline_of t req ~t_admit)
+                        req
                     with exn ->
+                      let bt = Printexc.get_backtrace () in
+                      let notes = if bt = "" then [] else [ "backtrace: " ^ bt ] in
                       reply ~ok:false
                         ~diags:
                           [
-                            Diag.errorf ~code:Diag.Code.internal "request raised: %s"
-                              (Printexc.to_string exn);
+                            Diag.errorf ~notes ~code:Diag.Code.serve_internal
+                              "request raised: %s" (Printexc.to_string exn);
                           ]
                         ()
                   in

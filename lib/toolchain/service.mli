@@ -19,8 +19,10 @@
     {v
     {"id": <any>,              // optional, echoed back verbatim
      "verb": "analyze" | "simulate" | "codegen"
-           | "cache-stats" | "evict" | "cancel" | "shutdown",
+           | "cache-stats" | "evict" | "cancel" | "health" | "shutdown",
      "target": <id>,           // cancel only: the id to cancel
+     "deadline_ms": int,       // per-request budget; overrides the
+                               // --deadline-ms default, < 0 disables it
      "program": {...},         // inline program description, or
      "program_file": "path",   // a path to one (compile verbs only)
      "options": {              // all optional
@@ -75,7 +77,24 @@
     Malformed lines produce an [ok: false] response with an [SF0201]
     diagnostic; unknown verbs and missing programs report [SF0203]. The
     loop never dies on a bad request — only on end of input or an
-    explicit [shutdown] (which still drains every admitted request). *)
+    explicit [shutdown] (which still drains every admitted request).
+
+    {2 Robustness}
+
+    A request whose deadline (its own [deadline_ms], else the server's
+    [--deadline-ms] default) expires before a pass that would actually
+    execute answers [ok: false] with [SF0904] — cached replays are free,
+    and the passes completed before the deadline stay cached, so a retry
+    resumes where the budget ran out. An exception escaping a request
+    (or injected by the chaos hook, see {!Chaos}) answers [SF0905] with
+    the backtrace attached as a note instead of killing the worker; the
+    pool respawns any worker that does die. [{"verb": "health"}] is
+    answered by the reader directly — even with the pool saturated —
+    with uptime, in-flight count, worker liveness/crash counters and the
+    cache's integrity counters ([store_corrupt], [takeovers]). A client
+    that hangs up mid-stream (EPIPE) ends the session cleanly: the
+    writer marks its sink dead and drains remaining completions without
+    writing. *)
 
 type t
 
@@ -87,6 +106,8 @@ val create :
   ?serve_jobs:int ->
   ?queue_depth:int ->
   ?ordered:bool ->
+  ?deadline_ms:int ->
+  ?disturb:(id:Sf_support.Json.t option -> unit) ->
   unit ->
   t
 (** A fresh service: an in-memory LRU of [cache_capacity] entries
@@ -99,7 +120,12 @@ val create :
     simulations never oversubscribe the host. [serve_jobs] (default 1)
     sizes the worker pool, [queue_depth] (default 64) bounds admitted
     uncompleted requests, [ordered] (default false) restores FIFO
-    response order. *)
+    response order. [deadline_ms] (default none; [<= 0] means none) is
+    the default per-request budget, overridable per request. [disturb]
+    is the chaos-injection hook: called with the request's [id] at the
+    start of every pool execution; whatever it raises is crash-isolated
+    into an [SF0905] response ({!Chaos} uses this to inject seeded
+    worker exceptions and slow passes). *)
 
 val cache : t -> Cache.t
 

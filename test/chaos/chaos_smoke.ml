@@ -1,0 +1,23 @@
+(* Deterministic service-chaos campaign, wired into `dune build
+   @chaos-smoke` (and through it into `dune runtest`). Twenty-five seeds
+   of adversity against a live serve loop — injected worker exceptions,
+   slow passes, malformed NDJSON, on-disk blob corruption — each checked
+   against the four hardening invariants (every line answered exactly
+   once, gap-free seq, loop alive with SF0905 per injected raise, and a
+   clean re-run over the damaged store byte-identical to the baseline).
+   A failing seed prints its report and replays exactly by number. *)
+open Stencilflow
+
+let examples_dir =
+  List.find Sys.file_exists
+    [ "examples/programs"; "../examples/programs"; "../../examples/programs" ]
+
+let () =
+  let programs =
+    List.map
+      (Filename.concat examples_dir)
+      [ "diamond.json"; "laplace2d.json"; "smoothing3d.json" ]
+  in
+  let report = Chaos.campaign ~requests:6 ~programs () in
+  Format.printf "%a@." Chaos.pp_report report;
+  if not (Chaos.passed report) then failwith "chaos campaign failed"

@@ -1,0 +1,59 @@
+Request deadlines are charged only against passes that would actually
+execute — cached replays are free. Request 2 arrives with an
+already-expired budget ("deadline_ms": 0): the analyze-primed frontend
+prefix replays from the cache, then SF0904 fires before the first pass
+that would execute (partition). Request 4 repeats request 3's simulate
+with the same zero budget after the cache is warm: every pass replays,
+so the request still answers ok. The health probe (request 1, answered
+by the reader before any work is admitted) reports the loop's vitals;
+its uptime is normalized like the timings:
+
+  $ cat > requests <<'EOF'
+  > {"id": 1, "verb": "health"}
+  > {"id": 2, "verb": "simulate", "deadline_ms": 0, "program_file": "../../examples/programs/diamond.json", "options": {"seed": 1, "validate": false}}
+  > {"id": 3, "verb": "simulate", "program_file": "../../examples/programs/diamond.json", "options": {"seed": 1, "validate": false}}
+  > {"id": 4, "verb": "simulate", "deadline_ms": 0, "program_file": "../../examples/programs/diamond.json", "options": {"seed": 1, "validate": false}}
+  > {"id": 5, "verb": "shutdown"}
+  > EOF
+  $ echo '{"id": 0, "verb": "analyze", "program_file": "../../examples/programs/diamond.json"}' > prime
+  $ cat prime requests | ../../bin/main.exe serve --ordered \
+  >   | sed -E -e 's/"(queue_|exec_|uptime_)?seconds":[0-9.e+-]+/"\1seconds":_/g'
+  {"id":0,"seq":0,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":2,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false}]},"cache":{"hits":0,"misses":2,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":1,"seq":1,"verb":"health","ok":true,"result":{"uptime_seconds":_,"in_flight":0,"serve_jobs":1,"workers_alive":1,"worker_crashes":0,"store_corrupt":0,"takeovers":0,"cache_entries":2},"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
+  {"id":2,"seq":2,"verb":"simulate","ok":false,"result":null,"diagnostics":[{"severity":"error","code":"SF0904","message":"deadline exceeded before pass partition"}],"passes":{"executed":0,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true}]},"cache":{"hits":2,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":3,"seq":3,"verb":"simulate","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088,"devices":1,"modeled_ops_per_s":882758620.68965518,"simulation":{"cycles":2092,"predicted_cycles":2088,"bytes_read":8192,"bytes_written":8192,"network_bytes":0}},"diagnostics":[],"passes":{"executed":3,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true},{"pass":"partition","cached":false},{"pass":"performance-model","cached":false},{"pass":"simulate","cached":false}]},"cache":{"hits":2,"misses":3,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":4,"seq":4,"verb":"simulate","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088,"devices":1,"modeled_ops_per_s":882758620.68965518,"simulation":{"cycles":2092,"predicted_cycles":2088,"bytes_read":8192,"bytes_written":8192,"network_bytes":0}},"diagnostics":[],"passes":{"executed":0,"cached":5,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true},{"pass":"partition","cached":true},{"pass":"performance-model","cached":true},{"pass":"simulate","cached":true}]},"cache":{"hits":5,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":5,"seq":5,"verb":"shutdown","ok":true,"result":null,"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
+
+On-disk blobs carry a checksum trailer. Damage every blob of a primed
+store, then replay the same request: each damaged blob is detected,
+quarantined aside as .corrupt and treated as a miss — the passes
+re-execute (and re-populate the store) instead of replaying garbage,
+and the corruption is counted in cache-stats:
+
+  $ echo '{"id": 1, "verb": "analyze", "program_file": "../../examples/programs/diamond.json"}' > one
+  $ ../../bin/main.exe serve --cache-dir store < one > /dev/null
+  $ for f in store/*/*.blob; do printf 'sf-store-2\ngarbage' > "$f"; done
+  $ { cat one; echo '{"id": 2, "verb": "cache-stats"}'; } \
+  >   | ../../bin/main.exe serve --ordered --cache-dir store \
+  >   | sed -E 's/"(queue_|exec_)?seconds":[0-9.e+-]+/"\1seconds":_/g'
+  {"id":1,"seq":0,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":2,"cached":0,"trace":[{"pass":"load-file","cached":false},{"pass":"delay-buffers","cached":false}]},"cache":{"hits":0,"misses":2,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":2,"seq":1,"verb":"cache-stats","ok":true,"result":{"hits":0,"misses":2,"stale":0,"evictions":0,"joined":0,"store_corrupt":2,"takeovers":0,"entries":2},"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  $ ls store/*/*.corrupt | wc -l | tr -d ' '
+  2
+
+`stencilflow cache verify` scrubs a store offline. The re-execution
+above re-populated the damaged slots, so the store is clean again:
+
+  $ ../../bin/main.exe cache verify --cache-dir store
+  cache verify: 2 blob(s) scanned, 2 ok, 0 stale, 0 corrupt
+
+Damage them again: verify quarantines and exits non-zero; a second pass
+over the quarantined store is clean:
+
+  $ for f in store/*/*.blob; do printf 'sf-store-2\ngarbage' > "$f"; done
+  $ ../../bin/main.exe cache verify --cache-dir store
+  cache verify: 2 blob(s) scanned, 0 ok, 0 stale, 2 corrupt (quarantined as .corrupt)
+  [1]
+  $ ../../bin/main.exe cache verify --cache-dir store
+  cache verify: 0 blob(s) scanned, 0 ok, 0 stale, 0 corrupt

@@ -23,7 +23,7 @@ normalized for determinism:
   {"id":2,"seq":1,"verb":"analyze","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088},"diagnostics":[],"passes":{"executed":0,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true}]},"cache":{"hits":2,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
   {"id":3,"seq":2,"verb":"simulate","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088,"devices":1,"modeled_ops_per_s":882758620.68965518,"simulation":{"cycles":2092,"predicted_cycles":2088,"bytes_read":8192,"bytes_written":8192,"network_bytes":0}},"diagnostics":[],"passes":{"executed":3,"cached":2,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true},{"pass":"partition","cached":false},{"pass":"performance-model","cached":false},{"pass":"simulate","cached":false}]},"cache":{"hits":2,"misses":3,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
   {"id":4,"seq":3,"verb":"simulate","ok":true,"result":{"program":"diamond","latency_cycles":40,"delay_buffer_words":24,"expected_cycles":2088,"devices":1,"modeled_ops_per_s":882758620.68965518,"simulation":{"cycles":2092,"predicted_cycles":2088,"bytes_read":8192,"bytes_written":8192,"network_bytes":0}},"diagnostics":[],"passes":{"executed":1,"cached":4,"trace":[{"pass":"load-file","cached":true},{"pass":"delay-buffers","cached":true},{"pass":"partition","cached":true},{"pass":"performance-model","cached":true},{"pass":"simulate","cached":false}]},"cache":{"hits":4,"misses":1,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
-  {"id":5,"seq":4,"verb":"cache-stats","ok":true,"result":{"hits":8,"misses":6,"stale":0,"evictions":0,"joined":0,"entries":6},"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
+  {"id":5,"seq":4,"verb":"cache-stats","ok":true,"result":{"hits":8,"misses":6,"stale":0,"evictions":0,"joined":0,"store_corrupt":0,"takeovers":0,"entries":6},"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":1}}
   {"id":6,"seq":5,"verb":"shutdown","ok":true,"result":null,"diagnostics":[],"passes":{"executed":0,"cached":0,"trace":[]},"cache":{"hits":0,"misses":0,"joined":0},"timing":{"seconds":_,"queue_seconds":_,"exec_seconds":_,"worker":0}}
 
 Bad requests answer with an SF-coded diagnostic but never kill the loop:

@@ -94,6 +94,38 @@ let test_campaign_identical_across_jobs () =
         true (r = serial))
     [ 2; 4 ]
 
+(* Crash isolation: a submitted task whose exception escapes kills its
+   worker, but the pool respawns a replacement — later submissions and
+   batches still run, and the crash is counted. *)
+let test_submit_crash_respawns_worker () =
+  let pool = Executor.create ~dedicated:true ~jobs:2 () in
+  Alcotest.(check int) "both workers alive" 2 (Executor.alive pool);
+  let crashed = Atomic.make 0 in
+  for _ = 1 to 3 do
+    Executor.submit pool (fun () ->
+        Atomic.incr crashed;
+        failwith "task bomb")
+  done;
+  (* Wait for the crashes to land and the replacements to spawn. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Executor.crashes pool < 3 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check int) "every bomb ran" 3 (Atomic.get crashed);
+  Alcotest.(check int) "three crashes recorded" 3 (Executor.crashes pool);
+  Alcotest.(check int) "pool respawned to full strength" 2 (Executor.alive pool);
+  (* The respawned workers still execute work. *)
+  let ran = Atomic.make 0 in
+  for _ = 1 to 4 do
+    Executor.submit pool (fun () -> Atomic.incr ran)
+  done;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get ran < 4 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check int) "pool still serves after crashes" 4 (Atomic.get ran);
+  Executor.shutdown pool
+
 let prop_map_deterministic =
   QCheck.Test.make ~count:30 ~name:"map: any jobs equals jobs=1"
     QCheck.(pair (int_range 0 40) (int_range 2 6))
@@ -112,6 +144,8 @@ let suite =
     Alcotest.test_case "exception propagation; pool survives" `Quick
       test_exception_propagates_and_pool_survives;
     Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "submit crash respawns worker" `Quick
+      test_submit_crash_respawns_worker;
     Alcotest.test_case "fault campaign identical across jobs" `Quick
       test_campaign_identical_across_jobs;
     QCheck_alcotest.to_alcotest prop_map_deterministic;

@@ -249,6 +249,177 @@ let test_serve_loop_seq_gap_free () =
   in
   Alcotest.(check (list string)) "every id answered exactly once" expected_ids ids
 
+(* Robustness --------------------------------------------------------- *)
+
+module Cache = Sf_toolchain.Cache
+module F = Sf_support.Fingerprint
+
+let diag_codes json =
+  match field [ "diagnostics" ] json with
+  | Some (Json.List ds) ->
+      List.filter_map
+        (fun d -> Option.bind (Json.member "code" d) Json.string_opt)
+        ds
+  | _ -> []
+
+(* An expired deadline fails a cold request with SF0904 before any pass
+   executes — but cached replays are free, so the same request over a
+   warm cache still answers, and a partially-warm one keeps its cached
+   prefix and stops at the first pass that would execute. *)
+let test_deadline_sf0904 () =
+  let t = Service.create () in
+  ignore (handle_ok t (request ~id:"10" ~options:{|{"validate": false}|} ()));
+  (* Cold simulate with an already-expired deadline: analyze primed
+     load-string and delay-buffers, so the trace replays those two and
+     SF0904 fires before partition. *)
+  let line =
+    Printf.sprintf
+      {|{"id": "11", "verb": "simulate", "deadline_ms": 0, "program": %s, "options": {"validate": false}}|}
+      program_json
+    |> String.split_on_char '\n' |> List.map String.trim |> String.concat " "
+  in
+  let dead = handle_ok t line in
+  Alcotest.(check bool) "expired deadline -> ok:false" false (bool_field [ "ok" ] dead);
+  Alcotest.(check (list string)) "SF0904" [ "SF0904" ] (diag_codes dead);
+  Alcotest.(check int) "prefix replayed from cache" 2 (int_field [ "passes"; "cached" ] dead);
+  Alcotest.(check int) "nothing executed" 0 (int_field [ "passes"; "executed" ] dead);
+  (* Fully warm: the same request without the deadline, then again with
+     deadline 0 — all passes replay, so the budget is never charged. *)
+  ignore
+    (handle_ok t
+       (Printf.sprintf
+          {|{"id": "12", "verb": "simulate", "program": %s, "options": {"validate": false}}|}
+          program_json
+       |> String.split_on_char '\n' |> List.map String.trim |> String.concat " "));
+  let warm = handle_ok t line in
+  Alcotest.(check bool) "warm replay beats the deadline" true (bool_field [ "ok" ] warm);
+  Alcotest.(check int) "warm executes nothing" 0 (int_field [ "passes"; "executed" ] warm);
+  (* A negative deadline_ms disables the server-wide default. *)
+  let strict = Service.create ~deadline_ms:1 () in
+  let opt_out =
+    Printf.sprintf {|{"id": "13", "verb": "analyze", "deadline_ms": -1, "program": %s}|}
+      program_json
+    |> String.split_on_char '\n' |> List.map String.trim |> String.concat " "
+  in
+  Alcotest.(check bool) "negative deadline_ms opts out" true
+    (bool_field [ "ok" ] (handle_ok strict opt_out))
+
+(* An exception escaping a pool worker's request — injected through the
+   chaos hook — answers SF0905 (with a backtrace note) and the loop
+   keeps serving. *)
+let test_sf0905_crash_isolation () =
+  let disturb ~id =
+    match id with
+    | Some (Json.String "boom") -> failwith "injected"
+    | _ -> ()
+  in
+  let t = Service.create ~serve_jobs:2 ~disturb () in
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let reqs =
+    [
+      family_request ~id:"ok1" ~verb:"analyze" 0;
+      family_request ~id:"boom" ~verb:"analyze" 1;
+      family_request ~id:"ok2" ~verb:"analyze" 2;
+      {|{"verb": "shutdown"}|};
+    ]
+  in
+  let oc_req = Unix.out_channel_of_descr req_w in
+  List.iter
+    (fun l ->
+      Out_channel.output_string oc_req l;
+      Out_channel.output_char oc_req '\n')
+    reqs;
+  Out_channel.close oc_req;
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Service.serve_loop t ic oc;
+        Out_channel.close oc;
+        In_channel.close ic)
+  in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let rec read acc =
+    match In_channel.input_line ic with None -> List.rev acc | Some l -> read (l :: acc)
+  in
+  let responses = read [] in
+  Domain.join server;
+  In_channel.close ic;
+  Alcotest.(check int) "every request answered" (List.length reqs) (List.length responses);
+  let parsed =
+    List.map
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail ("response is not JSON: " ^ l))
+      responses
+  in
+  let by_id key =
+    match
+      List.find_opt
+        (fun j ->
+          match field [ "id" ] j with
+          | Some id -> Json.to_string ~minify:true id = key
+          | None -> false)
+        parsed
+    with
+    | Some j -> j
+    | None -> Alcotest.fail ("no response for id " ^ key)
+  in
+  Alcotest.(check bool) "ok1 fine" true (bool_field [ "ok" ] (by_id {|"ok1"|}));
+  Alcotest.(check bool) "ok2 fine" true (bool_field [ "ok" ] (by_id {|"ok2"|}));
+  let boom = by_id {|"boom"|} in
+  Alcotest.(check bool) "boom failed" false (bool_field [ "ok" ] boom);
+  Alcotest.(check (list string)) "boom is SF0905" [ "SF0905" ] (diag_codes boom)
+
+let test_health_verb () =
+  let t = Service.create ~serve_jobs:3 () in
+  let json = handle_ok t {|{"id": "h", "verb": "health"}|} in
+  Alcotest.(check bool) "ok" true (bool_field [ "ok" ] json);
+  Alcotest.(check int) "in_flight (sync path)" 0 (int_field [ "result"; "in_flight" ] json);
+  Alcotest.(check int) "serve_jobs" 3 (int_field [ "result"; "serve_jobs" ] json);
+  Alcotest.(check int) "no corruption" 0 (int_field [ "result"; "store_corrupt" ] json);
+  match field [ "result"; "uptime_seconds" ] json with
+  | Some (Json.Float s) when s >= 0. -> ()
+  | _ -> Alcotest.fail "uptime_seconds missing"
+
+(* A waiter bounded by [wait_until] takes over a stalled leader's flight
+   instead of blocking forever; the stale leader settling later cannot
+   disturb the published entry. *)
+let test_flight_takeover () =
+  let cache = Cache.create () in
+  let key = F.of_string "takeover-key" in
+  let leader_flight =
+    match Cache.acquire cache key with
+    | Cache.Miss f -> f
+    | _ -> Alcotest.fail "leader must miss"
+  in
+  (* The leader never settles (simulating a wedged execution). A bounded
+     waiter must take the flight over at its deadline and lead. *)
+  let entry = { Cache.bindings = []; diags = [] } in
+  let waiter =
+    Domain.spawn (fun () ->
+        let wait_until = Sf_support.Util.monotime () +. 0.02 in
+        match Cache.acquire ~wait_until cache key with
+        | Cache.Miss f ->
+            Cache.fulfill cache f entry;
+            `Took_over
+        | Cache.Hit _ -> `Hit
+        | Cache.Joined _ -> `Joined)
+  in
+  Alcotest.(check bool) "waiter took the flight over" true (Domain.join waiter = `Took_over);
+  Alcotest.(check int) "takeover counted" 1 (Cache.stats cache).Cache.takeovers;
+  (* The entry is published despite the wedged leader. *)
+  (match Cache.acquire cache key with
+  | Cache.Hit _ -> ()
+  | _ -> Alcotest.fail "takeover result must be published");
+  (* The stale leader finally settles; the published entry survives. *)
+  Cache.abandon cache leader_flight;
+  match Cache.acquire cache key with
+  | Cache.Hit _ -> ()
+  | _ -> Alcotest.fail "stale leader's abandon must not evict the entry"
+
 let suite =
   [
     Alcotest.test_case "analyze roundtrip" `Quick test_analyze_roundtrip;
@@ -266,4 +437,11 @@ let suite =
       test_single_flight_dedup;
     Alcotest.test_case "serve loop: gap-free seq, every request answered" `Quick
       test_serve_loop_seq_gap_free;
+    Alcotest.test_case "deadline: SF0904, cached prefix survives" `Quick
+      test_deadline_sf0904;
+    Alcotest.test_case "crash isolation: SF0905, loop survives" `Quick
+      test_sf0905_crash_isolation;
+    Alcotest.test_case "health verb" `Quick test_health_verb;
+    Alcotest.test_case "flight takeover unparks bounded waiters" `Quick
+      test_flight_takeover;
   ]

@@ -1,0 +1,200 @@
+(* The on-disk blob store's integrity contract: [find] never raises on
+   any byte sequence, never returns [`Found] for damaged bytes, and
+   quarantines corruption aside instead of re-reporting it forever.
+   Every row of the corruption matrix — truncated, bit-flipped, empty,
+   wrong-version, oversized — must behave as miss-and-quarantine (or
+   stale for a clean version mismatch), never a crash or a wrong
+   replay. *)
+module Store = Sf_support.Store
+module F = Sf_support.Fingerprint
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sf-store-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    dir
+
+let key_of payload = F.to_hex (F.of_string payload)
+
+let blob_path dir key =
+  Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".blob")
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path content =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content)
+
+let kind = function
+  | `Found _ -> "Found"
+  | `Absent -> "Absent"
+  | `Stale -> "Stale"
+  | `Corrupt -> "Corrupt"
+
+let check_kind name expected actual = Alcotest.(check string) name expected (kind actual)
+
+let test_round_trip () =
+  let dir = temp_dir () in
+  let store = Store.open_ dir in
+  let payload = "hello blob \x00\x01 with\nnewlines\nand bytes" in
+  let key = key_of payload in
+  Alcotest.(check bool) "put succeeds" true (Store.put store ~key payload);
+  (match Store.find store ~key with
+  | `Found p -> Alcotest.(check string) "payload round-trips" payload p
+  | other -> Alcotest.failf "expected Found, got %s" (kind other));
+  check_kind "unknown key" "Absent" (Store.find store ~key:"deadbeefdeadbeef");
+  check_kind "invalid key" "Absent" (Store.find store ~key:"../../etc/passwd")
+
+(* One matrix row: damage the blob with [mutate], then [find] must
+   report [expected] without raising, and — when corrupt — the blob must
+   be quarantined so the next lookup is a plain miss. *)
+let matrix_row name mutate expected () =
+  let dir = temp_dir () in
+  let store = Store.open_ dir in
+  let payload = "matrix payload: " ^ name in
+  let key = key_of payload in
+  Alcotest.(check bool) "put succeeds" true (Store.put store ~key payload);
+  let path = blob_path dir key in
+  write_file path (mutate (read_file path));
+  check_kind (name ^ " detected") expected (Store.find store ~key);
+  match expected with
+  | "Corrupt" ->
+      check_kind (name ^ " quarantined -> miss") "Absent" (Store.find store ~key);
+      Alcotest.(check bool)
+        (name ^ " .corrupt file kept") true
+        (Sys.file_exists (path ^ ".corrupt"))
+  | "Stale" ->
+      (* Version mismatches are not damage: left in place for [clear]. *)
+      check_kind (name ^ " still stale") "Stale" (Store.find store ~key);
+      Alcotest.(check bool) (name ^ " not quarantined") false
+        (Sys.file_exists (path ^ ".corrupt"))
+  | _ -> ()
+
+let truncated content = String.sub content 0 (String.length content / 2)
+
+let bit_flipped content =
+  let b = Bytes.of_string content in
+  (* Flip a payload byte (past the "sf-store-2\n" header). *)
+  let pos = min (Bytes.length b - 1) 15 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+  Bytes.to_string b
+
+let empty _ = ""
+
+let wrong_version content =
+  let nl = String.index content '\n' in
+  "sf-store-0" ^ String.sub content nl (String.length content - nl)
+
+let oversized content = content ^ "trailing garbage beyond the checksum"
+
+let checksum_garbage content =
+  (* Keep the length plausible but make the trailer non-hex. *)
+  String.sub content 0 (String.length content - 32) ^ String.make 32 'Z'
+
+let test_no_trailing_newline () =
+  let dir = temp_dir () in
+  let store = Store.open_ dir in
+  let payload = "p" in
+  let key = key_of payload in
+  Alcotest.(check bool) "put" true (Store.put store ~key payload);
+  write_file (blob_path dir key) "sf-store-2\nshort";
+  check_kind "short body is corrupt" "Corrupt" (Store.find store ~key)
+
+(* A corrupt blob must never shadow the slot: after quarantine, a fresh
+   [put] under the same key must serve the new payload. *)
+let test_corrupt_then_rewrite () =
+  let dir = temp_dir () in
+  let store = Store.open_ dir in
+  let payload = "original" in
+  let key = key_of payload in
+  Alcotest.(check bool) "put" true (Store.put store ~key payload);
+  let path = blob_path dir key in
+  write_file path (truncated (read_file path));
+  check_kind "detected" "Corrupt" (Store.find store ~key);
+  Alcotest.(check bool) "re-put succeeds" true (Store.put store ~key payload);
+  match Store.find store ~key with
+  | `Found p -> Alcotest.(check string) "fresh payload served" payload p
+  | other -> Alcotest.failf "expected Found after rewrite, got %s" (kind other)
+
+let test_scrub () =
+  let dir = temp_dir () in
+  let store = Store.open_ dir in
+  let payloads = [ "alpha"; "beta"; "gamma"; "delta" ] in
+  List.iter (fun p -> ignore (Store.put store ~key:(key_of p) p)) payloads;
+  (* Damage two, stale one. *)
+  let damage p mutate =
+    let path = blob_path dir (key_of p) in
+    write_file path (mutate (read_file path))
+  in
+  damage "alpha" truncated;
+  damage "beta" bit_flipped;
+  damage "gamma" wrong_version;
+  let r = Store.scrub store in
+  Alcotest.(check int) "scanned" 4 r.Store.scanned;
+  Alcotest.(check int) "ok" 1 r.Store.ok;
+  Alcotest.(check int) "stale" 1 r.Store.stale;
+  Alcotest.(check int) "corrupt" 2 r.Store.corrupt;
+  (* Scrub quarantined the corrupt blobs: a second pass is clean. *)
+  let r2 = Store.scrub store in
+  Alcotest.(check int) "second scan" 2 r2.Store.scanned;
+  Alcotest.(check int) "second corrupt" 0 r2.Store.corrupt;
+  (* The intact blob still replays. *)
+  match Store.find store ~key:(key_of "delta") with
+  | `Found p -> Alcotest.(check string) "survivor intact" "delta" p
+  | other -> Alcotest.failf "expected Found, got %s" (kind other)
+
+(* [find] must never raise, whatever bytes are on disk — fuzz the blob
+   with adversarial shapes, including huge headers and binary noise. *)
+let test_find_never_raises () =
+  let dir = temp_dir () in
+  let store = Store.open_ dir in
+  let payload = "fuzz" in
+  let key = key_of payload in
+  let path = blob_path dir key in
+  let shapes =
+    [
+      "";
+      "\n";
+      "sf-store-2";
+      "sf-store-2\n";
+      "sf-store-2\n\n";
+      "sf-store-2\nx\n" ^ String.make 31 'a';
+      "sf-store-2\nx\n" ^ String.make 33 'a';
+      String.make 4096 '\xff';
+      "sf-store-2\n" ^ String.make 64 '\x00';
+      "v1\npayload";
+    ]
+  in
+  List.iter
+    (fun shape ->
+      ignore (Store.put store ~key payload);
+      write_file path shape;
+      match Store.find store ~key with
+      | `Found p ->
+          Alcotest.failf "damaged shape %S must not be Found (got %S)" shape p
+      | `Absent | `Stale | `Corrupt -> ();
+      (* Clean up any quarantine so the next shape starts fresh. *)
+      (try Sys.remove (path ^ ".corrupt") with Sys_error _ -> ()))
+    shapes
+
+let suite =
+  [
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "matrix: truncated" `Quick (matrix_row "truncated" truncated "Corrupt");
+    Alcotest.test_case "matrix: bit-flipped" `Quick
+      (matrix_row "bit-flipped" bit_flipped "Corrupt");
+    Alcotest.test_case "matrix: empty" `Quick (matrix_row "empty" empty "Corrupt");
+    Alcotest.test_case "matrix: wrong version" `Quick
+      (matrix_row "wrong-version" wrong_version "Stale");
+    Alcotest.test_case "matrix: oversized" `Quick (matrix_row "oversized" oversized "Corrupt");
+    Alcotest.test_case "matrix: garbage checksum" `Quick
+      (matrix_row "garbage-checksum" checksum_garbage "Corrupt");
+    Alcotest.test_case "short body" `Quick test_no_trailing_newline;
+    Alcotest.test_case "corrupt then rewrite" `Quick test_corrupt_then_rewrite;
+    Alcotest.test_case "scrub" `Quick test_scrub;
+    Alcotest.test_case "find never raises" `Quick test_find_never_raises;
+  ]
